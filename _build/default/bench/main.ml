@@ -1,0 +1,184 @@
+(* The benchmark harness: `dune exec bench/main.exe`.
+
+   Part 1 — Bechamel micro-benchmarks of the kernels every experiment
+   leans on (one Test.make per kernel): the multipath exploration
+   tree, CSC Dijkstra, Yen, the congestion controller, the LP-based
+   optimal baseline, the fluid MAC, the packet engine and the 20-byte
+   header codec.
+
+   Part 2 — regeneration of every table and figure of the paper's
+   evaluation at bench scale (the same printers the CLI uses, smaller
+   run counts). Set EMPOWER_BENCH_RUNS to scale part 2 up; the paper
+   itself uses 1000 simulation runs per figure. *)
+
+open Bechamel
+open Toolkit
+
+(* ---------- part 1: kernels ---------- *)
+
+let residential_case =
+  lazy
+    (let inst = Residential.generate (Rng.create 77) in
+     let g = Builder.graph inst Builder.Hybrid in
+     let dom = Domain.of_instance inst Builder.Hybrid g in
+     (g, dom))
+
+let testbed_case =
+  lazy
+    (let inst = Testbed.generate (Rng.create 4242) in
+     let g = Builder.graph inst Builder.Hybrid in
+     let dom = Domain.of_instance inst Builder.Hybrid g in
+     (g, dom))
+
+let bench_multipath () =
+  let g, dom = Lazy.force residential_case in
+  ignore (Multipath.find g dom ~src:0 ~dst:9)
+
+let bench_dijkstra () =
+  let g, _ = Lazy.force residential_case in
+  ignore (Dijkstra.shortest_path g ~src:0 ~dst:9)
+
+let bench_yen () =
+  let g, _ = Lazy.force residential_case in
+  ignore (Yen.k_shortest g ~src:0 ~dst:9 ~k:5)
+
+let bench_cc () =
+  let g, dom = Lazy.force residential_case in
+  let routes = Multipath.routes (Multipath.find g dom ~src:0 ~dst:9) in
+  let p = Problem.make g dom ~flows:[ routes ] in
+  let x_init = Array.of_list (List.map (Update.path_rate g dom) routes) in
+  ignore (Multi_cc.solve ~x_init ~slots:500 p)
+
+let bench_lp () =
+  let g, dom = Lazy.force residential_case in
+  ignore (Opt_solver.max_throughput Rate_region.Exact g dom ~src:0 ~dst:9)
+
+let bench_fluid () =
+  let g, dom = Lazy.force residential_case in
+  let routes = Multipath.routes (Multipath.find g dom ~src:0 ~dst:9) in
+  let offered = List.map (fun p -> (p, Update.path_rate g dom p)) routes in
+  ignore (Fluid.goodput g dom ~offered)
+
+let bench_engine () =
+  let g, dom = Lazy.force testbed_case in
+  let comb = Multipath.find g dom ~src:0 ~dst:12 in
+  match Multipath.routes comb with
+  | [] -> ()
+  | routes ->
+    let spec =
+      {
+        Engine.src = 0;
+        dst = 12;
+        routes;
+        init_rates = List.map snd comb.Multipath.paths;
+        workload = Workload.Saturated;
+        transport = Engine.Udp;
+        start_time = 0.0;
+        stop_time = None;
+      }
+    in
+    ignore (Engine.run (Rng.create 1) g dom ~flows:[ spec ] ~duration:2.0)
+
+let bench_header () =
+  let h = Header.make ~seq:123456 ~qr:0.125 ~route:[| 0x1a2b; 0x3c4d; 0x5e6f |] in
+  ignore (Header.decode (Header.encode h))
+
+let kernel_tests =
+  [
+    Test.make ~name:"multipath exploration tree" (Staged.stage bench_multipath);
+    Test.make ~name:"CSC dijkstra" (Staged.stage bench_dijkstra);
+    Test.make ~name:"yen 5-shortest" (Staged.stage bench_yen);
+    Test.make ~name:"multipath CC (500 slots)" (Staged.stage bench_cc);
+    Test.make ~name:"LP optimal baseline" (Staged.stage bench_lp);
+    Test.make ~name:"fluid MAC goodput" (Staged.stage bench_fluid);
+    Test.make ~name:"packet engine (2 s sim)" (Staged.stage bench_engine);
+    Test.make ~name:"header encode+decode" (Staged.stage bench_header);
+  ]
+
+let run_kernels () =
+  print_endline "=== Bechamel kernel benchmarks ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let grouped = Test.make_grouped ~name:"empower" ~fmt:"%s %s" kernel_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let time_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | Some [] | None -> Float.nan
+      in
+      rows := (name, time_ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "%-45s (no estimate)\n" name
+      else if ns > 1e9 then Printf.printf "%-45s %8.2f s/run\n" name (ns /. 1e9)
+      else if ns > 1e6 then Printf.printf "%-45s %8.2f ms/run\n" name (ns /. 1e6)
+      else if ns > 1e3 then Printf.printf "%-45s %8.2f us/run\n" name (ns /. 1e3)
+      else Printf.printf "%-45s %8.0f ns/run\n" name ns)
+    (List.sort compare !rows)
+
+(* ---------- part 2: table/figure regeneration ---------- *)
+
+let scale =
+  match Sys.getenv_opt "EMPOWER_BENCH_RUNS" with
+  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> 100)
+  | None -> 100
+
+let scaled default = max 3 (default * scale / 100)
+
+let header title = Printf.printf "\n===== %s =====\n%!" title
+
+let run_experiments () =
+  header "Figure 4 (residential + enterprise)";
+  Fig4.print (Fig4.run ~runs:(scaled 30) Common.Residential);
+  Fig4.print (Fig4.run ~runs:(scaled 30) Common.Enterprise);
+  header "Figure 5";
+  Fig5.print (Fig5.run ~runs:(scaled 30) Common.Residential);
+  Fig5.print (Fig5.run ~runs:(scaled 30) Common.Enterprise);
+  header "Figure 6";
+  Fig6.print (Fig6.run ~runs:(scaled 15) Common.Residential);
+  Fig6.print (Fig6.run ~runs:(scaled 15) Common.Enterprise);
+  header "Figure 7";
+  Fig7.print (Fig7.run ~runs:(scaled 8) Common.Residential);
+  Fig7.print (Fig7.run ~runs:(scaled 8) Common.Enterprise);
+  header "Convergence (Section 5.2.2)";
+  Convergence.print (Convergence.run ~runs:(scaled 6) Common.Residential);
+  Convergence.print (Convergence.run ~runs:(scaled 6) Common.Enterprise);
+  header "Figure 9 (packet-level)";
+  Fig9.print (Fig9.run ~time_scale:0.1 ());
+  header "Figure 10";
+  Fig10.print (Fig10.run ~pairs:(scaled 15) ());
+  header "Figure 11 (packet-level)";
+  Fig11.print (Fig11.run ~duration:150.0 ());
+  header "Table 1 (packet-level)";
+  Table1.print (Table1.run ~repeats:(max 2 (scaled 2)) ~long_scale:0.02 ());
+  header "Figure 12 (packet-level TCP)";
+  Fig12.print (Fig12.run ~phase_seconds:120.0 ());
+  header "Figure 13 (packet-level TCP)";
+  Fig13.print (Fig13.run ~duration:80.0 ());
+  header "Footnote 7: metric comparison";
+  Metric_comparison.print (Metric_comparison.run ~runs:(scaled 15) Common.Residential);
+  Metric_comparison.print (Metric_comparison.run ~runs:(scaled 15) Common.Enterprise);
+  header "Section 7: MPTCP applicability";
+  Mptcp_applicability.print (Mptcp_applicability.run ());
+  header "MAC fairness [40]";
+  Mac_fairness.print (Mac_fairness.run ~slots:(max 20000 (scaled 100_000)) ());
+  header "Ablations";
+  Ablations.print (Ablations.n_shortest ~runs:(scaled 10) ());
+  Ablations.print (Ablations.csc ~runs:(scaled 10) ());
+  Ablations.print (Ablations.delta ~runs:(scaled 10) ());
+  Ablations.print (Ablations.tree_depth ~runs:(scaled 10) ());
+  Ablations.print (Ablations.gain ~runs:(scaled 5) ());
+  Ablations.print (Ablations.delta_delay ())
+
+let () =
+  run_kernels ();
+  run_experiments ();
+  print_endline "\nbench: done"

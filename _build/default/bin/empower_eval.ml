@@ -1,0 +1,189 @@
+(* Command-line driver that regenerates every table and figure of the
+   paper's evaluation. `empower_eval <experiment> [--runs N] [--seed S]`;
+   `empower_eval all` runs the full suite with default sizes. *)
+
+open Cmdliner
+
+let runs_arg default =
+  let doc = Printf.sprintf "Number of runs/instances (default %d)." default in
+  Arg.(value & opt int default & info [ "runs"; "r" ] ~docv:"N" ~doc)
+
+let seed_arg default =
+  let doc = "Random seed (experiments are deterministic given the seed)." in
+  Arg.(value & opt int default & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+
+let both_topologies f =
+  f Common.Residential;
+  print_newline ();
+  f Common.Enterprise
+
+let fig4_cmd =
+  let run runs seed =
+    both_topologies (fun topo -> Fig4.print (Fig4.run ~runs ~seed topo))
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"CDF of flow throughput per scheme (Figure 4).")
+    Term.(const run $ runs_arg 100 $ seed_arg 1)
+
+let fig5_cmd =
+  let run runs seed =
+    both_topologies (fun topo -> Fig5.print (Fig5.run ~runs ~seed topo))
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"MP-mWiFi vs EMPoWER on the worst flows (Figure 5).")
+    Term.(const run $ runs_arg 100 $ seed_arg 2)
+
+let fig6_cmd =
+  let run runs seed =
+    both_topologies (fun topo -> Fig6.print (Fig6.run ~runs ~seed topo))
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Throughput against optimal schemes (Figure 6).")
+    Term.(const run $ runs_arg 60 $ seed_arg 3)
+
+let fig7_cmd =
+  let run runs seed =
+    both_topologies (fun topo -> Fig7.print (Fig7.run ~runs ~seed topo))
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Utility with 3 contending flows (Figure 7).")
+    Term.(const run $ runs_arg 40 $ seed_arg 4)
+
+let convergence_cmd =
+  let run runs seed =
+    both_topologies (fun topo -> Convergence.print (Convergence.run ~runs ~seed topo))
+  in
+  Cmd.v
+    (Cmd.info "convergence"
+       ~doc:"Convergence of EMPoWER vs backpressure (Section 5.2.2).")
+    Term.(const run $ runs_arg 30 $ seed_arg 5)
+
+let fig9_cmd =
+  let run seed = Fig9.print (Fig9.run ~seed ()) in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"Two-flow adaptation example, packet-level (Figure 9).")
+    Term.(const run $ seed_arg 9)
+
+let fig10_cmd =
+  let run runs seed = Fig10.print (Fig10.run ~pairs:runs ~seed ()) in
+  Cmd.v
+    (Cmd.info "fig10" ~doc:"50 random testbed pairs (Figure 10).")
+    Term.(const run $ runs_arg 50 $ seed_arg 10)
+
+let fig11_cmd =
+  let run seed = Fig11.print (Fig11.run ~seed ()) in
+  Cmd.v
+    (Cmd.info "fig11" ~doc:"Per-flow mean/std throughput, packet-level (Figure 11).")
+    Term.(const run $ seed_arg 11)
+
+let table1_cmd =
+  let run runs seed = Table1.print (Table1.run ~seed ~repeats:runs ()) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Download times with and without CC (Table 1).")
+    Term.(const run $ runs_arg 5 $ seed_arg 12)
+
+let fig12_cmd =
+  let run seed = Fig12.print (Fig12.run ~seed ()) in
+  Cmd.v
+    (Cmd.info "fig12" ~doc:"TCP over EMPoWER time series (Figure 12).")
+    Term.(const run $ seed_arg 13)
+
+let fig13_cmd =
+  let run seed = Fig13.print (Fig13.run ~seed ()) in
+  Cmd.v
+    (Cmd.info "fig13" ~doc:"TCP rate over ten flows (Figure 13).")
+    Term.(const run $ seed_arg 14)
+
+let ablations_cmd =
+  let run runs seed =
+    Ablations.print (Ablations.n_shortest ~runs ~seed ());
+    print_newline ();
+    Ablations.print (Ablations.csc ~runs ~seed:(seed + 1) ());
+    print_newline ();
+    Ablations.print (Ablations.delta ~runs ~seed:(seed + 2) ());
+    print_newline ();
+    Ablations.print (Ablations.tree_depth ~runs ~seed:(seed + 3) ());
+    print_newline ();
+    Ablations.print (Ablations.gain ~runs:(max 5 (runs / 2)) ~seed:(seed + 4) ());
+    print_newline ();
+    Ablations.print (Ablations.delta_delay ~seed:(seed + 5) ())
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md section 4).")
+    Term.(const run $ runs_arg 30 $ seed_arg 21)
+
+let metrics_cmd =
+  let run runs seed =
+    both_topologies (fun topo ->
+        Metric_comparison.print (Metric_comparison.run ~runs ~seed topo))
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Single-path metric comparison (footnote 7).")
+    Term.(const run $ runs_arg 40 $ seed_arg 31)
+
+let mptcp_cmd =
+  let run seed = Mptcp_applicability.print (Mptcp_applicability.run ~seed ()) in
+  Cmd.v
+    (Cmd.info "mptcp" ~doc:"MPTCP applicability census (Section 7).")
+    Term.(const run $ seed_arg 4242)
+
+let mac_cmd =
+  let run seed = Mac_fairness.print (Mac_fairness.run ~seed ()) in
+  Cmd.v
+    (Cmd.info "mac" ~doc:"802.11 vs IEEE 1901 CSMA/CA comparison ([40]).")
+    Term.(const run $ seed_arg 40)
+
+let all_cmd =
+  let run runs seed =
+    let header title =
+      Printf.printf "\n================ %s ================\n" title
+    in
+    header "Figure 4";
+    both_topologies (fun t -> Fig4.print (Fig4.run ~runs ~seed t));
+    header "Figure 5";
+    both_topologies (fun t -> Fig5.print (Fig5.run ~runs ~seed:(seed + 1) t));
+    header "Figure 6";
+    both_topologies (fun t ->
+        Fig6.print (Fig6.run ~runs:(max 10 (runs * 3 / 5)) ~seed:(seed + 2) t));
+    header "Figure 7";
+    both_topologies (fun t ->
+        Fig7.print (Fig7.run ~runs:(max 10 (runs * 2 / 5)) ~seed:(seed + 3) t));
+    header "Convergence (Section 5.2.2)";
+    both_topologies (fun t ->
+        Convergence.print (Convergence.run ~runs:(max 5 (runs / 4)) ~seed:(seed + 4) t));
+    header "Figure 9";
+    Fig9.print (Fig9.run ~seed:(seed + 5) ());
+    header "Figure 10";
+    Fig10.print (Fig10.run ~pairs:(max 20 (runs / 2)) ~seed:(seed + 6) ());
+    header "Figure 11";
+    Fig11.print (Fig11.run ~seed:(seed + 7) ());
+    header "Table 1";
+    Table1.print (Table1.run ~seed:(seed + 8) ~repeats:3 ());
+    header "Figure 12";
+    Fig12.print (Fig12.run ~seed:(seed + 9) ());
+    header "Figure 13";
+    Fig13.print (Fig13.run ~seed:(seed + 10) ());
+    header "Footnote 7: metric comparison";
+    both_topologies (fun t ->
+        Metric_comparison.print
+          (Metric_comparison.run ~runs:(max 10 (runs / 3)) ~seed:(seed + 11) t));
+    header "Section 7: MPTCP applicability";
+    Mptcp_applicability.print (Mptcp_applicability.run ());
+    header "MAC fairness [40]";
+    Mac_fairness.print (Mac_fairness.run ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run the full evaluation suite.")
+    Term.(const run $ runs_arg 60 $ seed_arg 1)
+
+let main =
+  let doc = "Reproduce the EMPoWER (CoNEXT'16) evaluation." in
+  Cmd.group
+    (Cmd.info "empower_eval" ~version:"1.0" ~doc)
+    [
+      fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; convergence_cmd; fig9_cmd;
+      fig10_cmd; fig11_cmd; table1_cmd; fig12_cmd; fig13_cmd; ablations_cmd;
+      metrics_cmd; mptcp_cmd; mac_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

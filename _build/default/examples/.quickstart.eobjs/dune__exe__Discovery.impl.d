@@ -1,0 +1,1 @@
+examples/discovery.ml: Abstraction_layer Array Builder Cmdu Control_plane Domain Format List Lsa Lsdb Multigraph Paths Residential Rng Single_path Technology Update

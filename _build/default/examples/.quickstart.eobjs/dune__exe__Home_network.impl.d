@@ -1,0 +1,1 @@
+examples/home_network.ml: Array Builder Empower Float Format List Multipath Opt_solver Paths Rate_region Residential Rng Single_path String Sys Update

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Empower Engine Format List Multipath Paths

@@ -1,0 +1,1 @@
+examples/tcp_streaming.ml: Array Empower Engine Format Printf Rng Runner Schemes Testbed Workload

@@ -1,0 +1,1 @@
+examples/testbed_example.ml: Fig9 Format List

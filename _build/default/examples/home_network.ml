@@ -1,0 +1,60 @@
+(* A random residential home: hybrid PLC/WiFi vs WiFi-only.
+
+   Draws the paper's residential topology (50 x 30 m, 5 PLC/WiFi
+   boxes + 5 WiFi-only clients), then for a gateway-to-client download
+   compares: single-path WiFi, single-path hybrid, and full EMPoWER
+   multipath with congestion control — the Section 5 story on one
+   concrete home.
+
+   Run with: dune exec examples/home_network.exe [seed] *)
+
+let () =
+  let seed =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2024
+  in
+  let rng = Rng.create seed in
+  let inst = Residential.generate rng in
+  Format.printf "Residential draw (seed %d): %d nodes, duals %s@." seed
+    (Builder.node_count inst)
+    (String.concat "," (List.map string_of_int (Builder.dual_nodes inst)));
+
+  let src, dst = (List.hd (Builder.dual_nodes inst), Builder.node_count inst - 1) in
+  Format.printf "flow: node %d (gateway-class) -> node %d@." src dst;
+
+  (* WiFi-only view of the same home. *)
+  let wifi = Empower.of_instance inst Builder.Single_wifi in
+  (match Single_path.route ~csc:false wifi.Empower.g ~src ~dst with
+  | None -> Format.printf "WiFi-only: no connectivity at all!@."
+  | Some (p, _) ->
+    Format.printf "WiFi-only single path: %a -> %.1f Mbps@."
+      (Paths.pp wifi.Empower.g) p
+      (Update.path_rate wifi.Empower.g wifi.Empower.dom p));
+
+  (* Hybrid view. *)
+  let net = Empower.of_instance inst Builder.Hybrid in
+  (match Single_path.route net.Empower.g ~src ~dst with
+  | None -> Format.printf "hybrid: unreachable@."
+  | Some (p, _) ->
+    Format.printf "hybrid single path:    %a -> %.1f Mbps@." (Paths.pp net.Empower.g)
+      p
+      (Update.path_rate net.Empower.g net.Empower.dom p));
+
+  let alloc = Empower.allocate net ~flows:[ (src, dst) ] in
+  Format.printf "EMPoWER multipath:     %d route(s) -> %.1f Mbps@."
+    (Array.length alloc.Empower.route_rates.(0))
+    alloc.Empower.flow_rates.(0);
+  Array.iteri
+    (fun i (path, _) ->
+      Format.printf "    route %d: %a at %.1f Mbps@." (i + 1)
+        (Paths.pp net.Empower.g) path
+        alloc.Empower.route_rates.(0).(i))
+    (Array.of_list alloc.Empower.plans.(0).Empower.combination.Multipath.paths);
+
+  (* How close is that to the theoretical optimum? *)
+  let opt =
+    Opt_solver.max_throughput Rate_region.Exact net.Empower.g net.Empower.dom ~src
+      ~dst
+  in
+  Format.printf "optimal centralized scheduler would reach %.1f Mbps (EMPoWER at %.0f%%)@."
+    opt
+    (100.0 *. alloc.Empower.flow_rates.(0) /. Float.max 0.1 opt)

@@ -1,0 +1,43 @@
+(* Quickstart: the paper's Figure 1 network in a dozen lines.
+
+   A PLC/WiFi gateway (a), a PLC/WiFi range extender (b) and a
+   WiFi-only laptop (c). EMPoWER finds two routes for the download
+   a -> c — the hybrid PLC+WiFi relay route and the two-hop WiFi
+   route — and balances traffic so their sum beats the best single
+   path by 66%.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* Technology 0 = WiFi, technology 1 = PLC; one collision domain
+     per medium (it is a small flat). Capacities in Mbit/s. *)
+  let net =
+    Empower.of_edges ~n_nodes:3 ~n_techs:2
+      [
+        (0, 1, 0, 15.0) (* WiFi  a-b *);
+        (1, 2, 0, 30.0) (* WiFi  b-c *);
+        (0, 1, 1, 10.0) (* PLC   a-b *);
+      ]
+  in
+
+  (* 1. Routing: find the best combination of simultaneous paths. *)
+  let plan = Empower.plan net ~src:0 ~dst:2 in
+  Format.printf "Routes selected for a -> c:@.";
+  List.iter
+    (fun (path, rate) ->
+      Format.printf "  %a  (standalone rate %.1f Mbps)@." (Paths.pp net.Empower.g)
+        path rate)
+    plan.Empower.combination.Multipath.paths;
+  Format.printf "combined capacity: %.1f Mbps@."
+    plan.Empower.combination.Multipath.total_rate;
+
+  (* 2. Congestion control: utility-optimal rates on those routes. *)
+  let alloc = Empower.allocate net ~flows:[ (0, 2) ] in
+  Format.printf "controller allocation: %.1f Mbps total@." alloc.Empower.flow_rates.(0);
+
+  (* 3. Packet-level: simulate the full layer-2.5 datapath for 30 s. *)
+  let flows = Empower.flow_specs_of_allocation alloc in
+  let res = Empower.simulate net ~flows ~duration:30.0 in
+  let received = res.Engine.flows.(0).Engine.received_bytes in
+  Format.printf "packet simulation: %.1f Mbps delivered over 30 s@."
+    (float_of_int received *. 8e-6 /. 30.0)

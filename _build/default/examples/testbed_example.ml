@@ -1,0 +1,34 @@
+(* The Figure 9 scenario, interactively: watch EMPoWER's congestion
+   controller move traffic between mediums as a contender comes and
+   goes.
+
+   Flow A (node 1 -> node 13 in paper numbering) owns a two-hop
+   WiFi+PLC route and a direct PLC route. Flow B (4 -> 7) is pure
+   WiFi and runs only during the middle third of the experiment.
+   While B is active, A's WiFi route is priced out and its traffic
+   rides PLC alone; when B stops, A spreads out again.
+
+   Run with: dune exec examples/testbed_example.exe *)
+
+let () =
+  let data = Fig9.run ~time_scale:0.04 () in
+  let t_on, t_off = data.Fig9.contender_window in
+  Format.printf
+    "Flow 1->13 under EMPoWER; WiFi contender (flow 4->7) active %.0f-%.0f s@."
+    t_on t_off;
+  Format.printf "best single path would give %.1f Mbps@.@."
+    data.Fig9.best_single_path;
+  Format.printf " t(s)  WiFi+PLC   PLC-only   received@.";
+  List.iter
+    (fun s ->
+      if int_of_float s.Fig9.time mod 5 = 0 then begin
+        let marker =
+          if s.Fig9.time >= t_on && s.Fig9.time <= t_off then " <- contender on"
+          else ""
+        in
+        Format.printf "%5.0f  %8.1f  %9.1f  %9.1f%s@." s.Fig9.time
+          s.Fig9.route1_rate s.Fig9.route2_rate s.Fig9.received marker
+      end)
+    data.Fig9.series;
+  Format.printf "@.mean goodput: %.1f before / %.1f during / %.1f after (Mbps)@."
+    data.Fig9.mean_before data.Fig9.mean_during data.Fig9.mean_after

@@ -1,0 +1,1 @@
+lib/baselines/backpressure.ml: Array Domain Float List Multigraph Queue Utility

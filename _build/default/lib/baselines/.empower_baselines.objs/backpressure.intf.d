@@ -1,0 +1,1 @@
+lib/baselines/backpressure.mli: Domain Multigraph Utility

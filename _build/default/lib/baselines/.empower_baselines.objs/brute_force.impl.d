@@ -1,0 +1,1 @@
+lib/baselines/brute_force.ml: Float Fluid List Multigraph Paths Single_path

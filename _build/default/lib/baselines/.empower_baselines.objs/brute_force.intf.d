@@ -1,0 +1,1 @@
+lib/baselines/brute_force.mli: Domain Multigraph Paths

@@ -1,0 +1,1 @@
+lib/baselines/fluid.ml: Array Domain Float Hashtbl List Multigraph Paths

@@ -1,0 +1,1 @@
+lib/baselines/fluid.mli: Domain Multigraph Paths

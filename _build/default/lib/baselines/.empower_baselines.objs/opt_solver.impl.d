@@ -1,0 +1,1 @@
+lib/baselines/opt_solver.ml: Array Float List Rate_region Simplex Utility

@@ -1,0 +1,1 @@
+lib/baselines/opt_solver.mli: Domain Multigraph Rate_region Utility

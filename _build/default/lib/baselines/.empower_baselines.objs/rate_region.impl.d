@@ -1,0 +1,1 @@
+lib/baselines/rate_region.ml: Array Domain Fun List Multigraph Simplex

@@ -1,0 +1,1 @@
+lib/baselines/rate_region.mli: Domain Multigraph Simplex

@@ -1,0 +1,1 @@
+lib/baselines/schemes.ml: Array Builder Cc_result Domain Float Fluid List Multi_cc Multigraph Multipath Problem Rng Single_path Update Yen

@@ -1,0 +1,1 @@
+lib/baselines/schemes.mli: Builder Domain Multigraph Paths Rng

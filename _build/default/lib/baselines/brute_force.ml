@@ -1,0 +1,22 @@
+let best_rate_on_path ?(step = 2.0) g dom path =
+  (* Sweep to just past the best single-link capacity on the route —
+     no delivered rate can exceed it. *)
+  let cap_bound =
+    List.fold_left
+      (fun acc l -> Float.max acc (Multigraph.capacity g l))
+      0.0 path.Paths.links
+  in
+  let best = ref 0.0 in
+  let offered = ref step in
+  while !offered <= cap_bound +. step do
+    (match Fluid.goodput g dom ~offered:[ (path, !offered) ] with
+    | [ delivered ] -> if delivered > !best then best := delivered
+    | _ -> assert false);
+    offered := !offered +. step
+  done;
+  !best
+
+let sp_bf ?(csc = true) ?step g dom ~src ~dst =
+  match Single_path.route ~csc g ~src ~dst with
+  | None -> 0.0
+  | Some (p, _) -> best_rate_on_path ?step g dom p

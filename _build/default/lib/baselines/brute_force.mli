@@ -1,0 +1,19 @@
+(** Brute-force single-path rate search (SP-bf / SP-WiFi-bf).
+
+    The paper's testbed baseline sweeps the sending rate from 0 to the
+    maximum in 0.25 MB/s (2 Mbit/s) increments on a fixed single route
+    and keeps the maximum *received* rate. It needs no capacity
+    estimates and no margin δ, so it upper-bounds what any single-path
+    scheme can do on that route; EMPoWER beating it demonstrates a
+    genuine multipath gain. *)
+
+val best_rate_on_path :
+  ?step:float -> Multigraph.t -> Domain.t -> Paths.t -> float
+(** Maximum delivered goodput over offered rates [0, step, 2·step, …]
+    (default step 2 Mbit/s, the paper's 0.25 MB/s), evaluated against
+    the fluid MAC model. *)
+
+val sp_bf :
+  ?csc:bool -> ?step:float -> Multigraph.t -> Domain.t -> src:int -> dst:int -> float
+(** {!best_rate_on_path} on the single-path procedure's route;
+    0 when unreachable. *)

@@ -1,0 +1,1 @@
+lib/control/alpha.ml: Float

@@ -1,0 +1,1 @@
+lib/control/cc_result.ml: Array Float Utility

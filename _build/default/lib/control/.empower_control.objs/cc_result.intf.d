@@ -1,0 +1,1 @@
+lib/control/cc_result.mli: Utility

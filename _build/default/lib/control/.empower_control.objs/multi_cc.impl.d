@@ -1,0 +1,1 @@
+lib/control/multi_cc.ml: Alpha Array Cc_result Float Price Problem Utility

@@ -1,0 +1,1 @@
+lib/control/multi_cc.mli: Alpha Cc_result Problem

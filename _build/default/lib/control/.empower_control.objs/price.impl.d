@@ -1,0 +1,1 @@
+lib/control/price.ml: Array Domain Float Fun List Multigraph Paths Problem

@@ -1,0 +1,1 @@
+lib/control/price.mli: Problem

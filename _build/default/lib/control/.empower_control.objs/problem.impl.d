@@ -1,0 +1,1 @@
+lib/control/problem.ml: Array Domain Float List Multigraph Paths Utility

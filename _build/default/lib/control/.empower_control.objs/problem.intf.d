@@ -1,0 +1,1 @@
+lib/control/problem.mli: Domain Multigraph Paths Utility

@@ -1,0 +1,1 @@
+lib/control/single_cc.ml: Alpha Array Cc_result Float List Price Problem Utility

@@ -1,0 +1,1 @@
+lib/control/single_cc.mli: Alpha Cc_result Problem

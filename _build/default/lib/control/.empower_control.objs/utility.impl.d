@@ -1,0 +1,1 @@
+lib/control/utility.ml: Float List Printf

@@ -1,0 +1,21 @@
+(** The single-path congestion controller (Section 4.2).
+
+    One route per flow. Each slot applies (7)–(10):
+    [y_l] from measured airtime demands, the dual update
+    [γ_l ← [γ_l + α (y_l - (1-δ))]+], route costs [q_r], and the
+    primal step [x_r ← U'^-1(q_r)]. With a diminishing step size this
+    converges to the optimum of (4)–(6); EMPoWER uses a fixed (or
+    heuristically adapted) α to keep tracking network changes, which
+    converges to a small neighborhood of the optimum. *)
+
+val solve :
+  ?alpha:Alpha.t ->
+  ?slots:int ->
+  ?x_cap:float ->
+  Problem.t ->
+  Cc_result.t
+(** Run the controller for [slots] iterations (default 2000) from
+    x = 0, γ = 0. [?alpha] defaults to the fixed paper value 0.02.
+    [x_cap] (default 1000 Mbps) bounds the primal iterate — U'^-1
+    explodes while prices are still zero in the first slots.
+    Requires every flow of the problem to have exactly one route. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Builder Cc_result Common Domain Empower Engine List Multi_cc Multipath Paths Printf Problem Residential Rng Runner Schemes Stats Table Testbed Update

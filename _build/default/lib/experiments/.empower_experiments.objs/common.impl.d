@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Builder Enterprise List Printf Residential Rng Sys

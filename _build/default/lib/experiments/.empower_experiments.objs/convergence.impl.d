@@ -1,0 +1,1 @@
+lib/experiments/convergence.ml: Array Backpressure Builder Cc_result Common Domain Float List Multi_cc Multipath Option Printf Problem Rng Stats Table

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Array Brute_force Builder Cc_result Common Domain List Multi_cc Multigraph Multipath Printf Problem Rng Schemes Stats Table Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array Empower Engine List Printf Rng Runner Schemes Table Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Empower Engine Float List Printf Rng Runner Schemes Stats Table Testbed

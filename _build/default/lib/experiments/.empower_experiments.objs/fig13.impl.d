@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Array Empower Engine List Paths Printf Rng Runner Schemes Table Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Common Float List Printf Rng Schemes Stats Table

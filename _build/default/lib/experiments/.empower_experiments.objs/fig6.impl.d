@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Builder Common Domain List Opt_solver Printf Rate_region Rng Schemes Stats Table

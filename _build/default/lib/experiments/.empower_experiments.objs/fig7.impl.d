@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Builder Common Domain Float List Opt_solver Printf Rate_region Rng Schemes Stats Table

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array Brute_force Empower Engine Float List Multipath Paths Printf Stats Table Update Workload

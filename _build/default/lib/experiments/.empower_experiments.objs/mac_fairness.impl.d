@@ -1,0 +1,1 @@
+lib/experiments/mac_fairness.ml: Common Csma List Printf Rng Table

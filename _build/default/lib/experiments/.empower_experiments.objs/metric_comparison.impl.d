@@ -1,0 +1,1 @@
+lib/experiments/metric_comparison.ml: Array Builder Cc_result Common Domain List Metrics Multi_cc Printf Problem Rng Stats Table Update

@@ -1,0 +1,1 @@
+lib/experiments/metric_comparison.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/mptcp_applicability.ml: Builder Common Domain List Multigraph Multipath Paths Printf Rng Testbed

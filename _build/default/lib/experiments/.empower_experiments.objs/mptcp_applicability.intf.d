@@ -1,0 +1,1 @@
+lib/experiments/mptcp_applicability.mli:

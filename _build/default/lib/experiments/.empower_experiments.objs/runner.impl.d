@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Empower Engine List Schemes Stats Update Workload

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Builder Empower Engine Paths Schemes Workload

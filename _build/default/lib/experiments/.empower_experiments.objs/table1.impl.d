@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Empower Engine Float List Option Printf Rng Runner Schemes Stats Table Testbed Workload

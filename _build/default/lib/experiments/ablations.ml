@@ -1,0 +1,203 @@
+type point = {
+  label : string;
+  mean_rate : float;
+  mean_aux : float;
+}
+
+type data = {
+  name : string;
+  aux_label : string;
+  points : point list;
+  runs : int;
+}
+
+(* One random single-flow residential case. *)
+let cases ~runs ~seed =
+  let master = Rng.create seed in
+  List.init runs (fun _ ->
+      let rng = Rng.split master in
+      let inst = Residential.generate rng in
+      let flow = Common.random_flow rng inst in
+      let g = Builder.graph inst Builder.Hybrid in
+      let dom = Domain.of_instance inst Builder.Hybrid g in
+      (g, dom, flow))
+
+let allocate_on ?(delta = 0.0) ?gain g dom routes =
+  match routes with
+  | [] -> 0.0
+  | _ ->
+    let p = Problem.make ~delta g dom ~flows:[ routes ] in
+    let x_init = Array.of_list (List.map (Update.path_rate g dom) routes) in
+    let res = Multi_cc.solve ?gain ~x_init ~slots:2000 p in
+    res.Cc_result.flow_rates.(0)
+
+let n_shortest ?(runs = Common.runs_scaled 30) ?(seed = 21) () =
+  let cs = cases ~runs ~seed in
+  let points =
+    List.map
+      (fun n ->
+        let rates, vertices =
+          List.split
+            (List.map
+               (fun (g, dom, (s, d)) ->
+                 let comb = Multipath.find ~n g dom ~src:s ~dst:d in
+                 ( allocate_on g dom (Multipath.routes comb),
+                   float_of_int comb.Multipath.tree_vertices ))
+               cs)
+        in
+        {
+          label = Printf.sprintf "n=%d" n;
+          mean_rate = Stats.mean rates;
+          mean_aux = Stats.mean vertices;
+        })
+      [ 1; 2; 3; 5; 8 ]
+  in
+  { name = "n-shortest"; aux_label = "tree vertices"; points; runs }
+
+let csc ?(runs = Common.runs_scaled 30) ?(seed = 22) () =
+  let cs = cases ~runs ~seed in
+  let points =
+    List.map
+      (fun (label, use_csc) ->
+        let rates, hops =
+          List.split
+            (List.map
+               (fun (g, dom, (s, d)) ->
+                 let comb = Multipath.find ~csc:use_csc g dom ~src:s ~dst:d in
+                 let routes = Multipath.routes comb in
+                 let mean_hops =
+                   match routes with
+                   | [] -> 0.0
+                   | _ ->
+                     Stats.mean (List.map (fun p -> float_of_int (Paths.hops p)) routes)
+                 in
+                 (allocate_on g dom routes, mean_hops))
+               cs)
+        in
+        { label; mean_rate = Stats.mean rates; mean_aux = Stats.mean hops })
+      [ ("CSC on", true); ("CSC off", false) ]
+  in
+  { name = "channel-switching cost"; aux_label = "mean hops"; points; runs }
+
+let delta ?(runs = Common.runs_scaled 30) ?(seed = 23) () =
+  let cs = cases ~runs ~seed in
+  let base =
+    List.map
+      (fun (g, dom, (s, d)) ->
+        Multipath.routes (Multipath.find g dom ~src:s ~dst:d))
+      cs
+  in
+  let rate_at delta =
+    List.map2 (fun (g, dom, _) routes -> allocate_on ~delta g dom routes) cs base
+  in
+  let rates0 = rate_at 0.0 in
+  let points =
+    List.map
+      (fun dl ->
+        let rates = rate_at dl in
+        let retained =
+          Stats.mean
+            (List.map2 (fun r r0 -> if r0 > 0.0 then r /. r0 else 1.0) rates rates0)
+        in
+        {
+          label = Printf.sprintf "delta=%.2f" dl;
+          mean_rate = Stats.mean rates;
+          mean_aux = retained;
+        })
+      [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+  in
+  { name = "constraint margin delta"; aux_label = "fraction of delta=0 rate"; points; runs }
+
+let tree_depth ?(runs = Common.runs_scaled 30) ?(seed = 24) () =
+  let cs = cases ~runs ~seed in
+  let points =
+    List.map
+      (fun (label, cap) ->
+        let rates, nroutes =
+          List.split
+            (List.map
+               (fun (g, dom, (s, d)) ->
+                 let comb =
+                   match cap with
+                   | None -> Multipath.find g dom ~src:s ~dst:d
+                   | Some depth -> Multipath.find ~max_depth:depth g dom ~src:s ~dst:d
+                 in
+                 let routes = Multipath.routes comb in
+                 (allocate_on g dom routes, float_of_int (List.length routes)))
+               cs)
+        in
+        { label; mean_rate = Stats.mean rates; mean_aux = Stats.mean nroutes })
+      [ ("depth<=1", Some 1); ("depth<=2", Some 2); ("depth<=3", Some 3);
+        ("unlimited", None) ]
+  in
+  { name = "exploration-tree depth cap"; aux_label = "routes used"; points; runs }
+
+let gain ?(runs = Common.runs_scaled 20) ?(seed = 25) () =
+  let cs = cases ~runs ~seed in
+  let points =
+    List.map
+      (fun gn ->
+        let rates, convs =
+          List.split
+            (List.map
+               (fun (g, dom, (s, d)) ->
+                 let routes = Multipath.routes (Multipath.find g dom ~src:s ~dst:d) in
+                 match routes with
+                 | [] -> (0.0, 0.0)
+                 | _ ->
+                   let p = Problem.make g dom ~flows:[ routes ] in
+                   let res = Multi_cc.solve ~gain:gn ~slots:4000 p in
+                   let conv =
+                     match Cc_result.convergence_slot res with
+                     | Some s -> float_of_int s
+                     | None -> 4000.0
+                   in
+                   (res.Cc_result.flow_rates.(0), conv))
+               cs)
+        in
+        {
+          label = Printf.sprintf "gain=%.0f" gn;
+          mean_rate = Stats.mean rates;
+          mean_aux = Stats.mean convs;
+        })
+      [ 5.0; 20.0; 50.0; 100.0; 200.0 ]
+  in
+  { name = "proximal gain (cold start)"; aux_label = "convergence slot"; points; runs }
+
+let delta_delay ?(seed = 26) ?(duration = 60.0) () =
+  let inst = Testbed.generate (Rng.create 4242) in
+  let net = Runner.network inst Schemes.Empower in
+  let src = Testbed.node 6 and dst = Testbed.node 13 in
+  let rr = Runner.routes_and_rates net Schemes.Empower ~src ~dst in
+  let points =
+    List.map
+      (fun dl ->
+        let config = { Engine.default_config with delta = dl } in
+        let spec = Runner.flow_spec ~src ~dst rr in
+        let res = Empower.simulate ~config ~seed net ~flows:[ spec ] ~duration in
+        let fr = res.Engine.flows.(0) in
+        let rate =
+          float_of_int fr.Engine.received_bytes *. 8e-6 /. duration
+        in
+        {
+          label = Printf.sprintf "delta=%.2f" dl;
+          mean_rate = rate;
+          mean_aux = fr.Engine.mean_delay *. 1000.0;
+        })
+      [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+  in
+  {
+    name = "margin vs delay (packet-level)";
+    aux_label = "mean frame delay (ms)";
+    points;
+    runs = 1;
+  }
+
+let print data =
+  print_endline (Printf.sprintf "Ablation: %s (%d runs)" data.name data.runs);
+  Table.print_table
+    ~header:[ "setting"; "mean rate (Mbps)"; data.aux_label ]
+    ~rows:
+      (List.map
+         (fun p -> [ p.label; Table.fmt_float p.mean_rate; Table.fmt_float p.mean_aux ])
+         data.points)

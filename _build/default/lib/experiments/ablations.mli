@@ -1,0 +1,53 @@
+(** Ablations of EMPoWER's design choices (DESIGN.md section 4).
+
+    Each ablation sweeps one knob on a batch of random residential
+    topologies with a single saturated flow and reports the mean
+    achieved throughput (and where relevant, routing cost):
+
+    - [n_shortest]: the n of n-shortest (paper: 5) — route diversity
+      vs exploration cost;
+    - [csc]: the channel-switching cost on/off — does favouring
+      technology alternation pay?
+    - [delta]: the constraint margin of (3) — throughput given away
+      for queue headroom;
+    - [tree_depth]: capping the exploration tree (depth 1 = best
+      isolated route);
+    - [gain]: the proximal weight of the controller — convergence
+      speed vs stability. *)
+
+type point = {
+  label : string;
+  mean_rate : float;
+  mean_aux : float;  (** knob-specific second metric (see [print]) *)
+}
+
+type data = {
+  name : string;
+  aux_label : string;
+  points : point list;
+  runs : int;
+}
+
+val n_shortest : ?runs:int -> ?seed:int -> unit -> data
+(** Sweep n over 1, 2, 3, 5, 8; aux = explored tree vertices. *)
+
+val csc : ?runs:int -> ?seed:int -> unit -> data
+(** CSC on vs off; aux = mean hop count of selected routes. *)
+
+val delta : ?runs:int -> ?seed:int -> unit -> data
+(** Sweep δ over 0, 0.05, 0.1, 0.2, 0.3; aux = fraction of the δ=0
+    rate retained. *)
+
+val tree_depth : ?runs:int -> ?seed:int -> unit -> data
+(** Depth cap 1, 2, 3, unlimited; aux = number of routes used. *)
+
+val gain : ?runs:int -> ?seed:int -> unit -> data
+(** Proximal gain 5-200; aux = convergence slot (cold start). *)
+
+val delta_delay : ?seed:int -> ?duration:float -> unit -> data
+(** Packet-level sweep of δ on a saturated testbed flow: mean rate vs
+    mean one-way frame delay (ms). Section 4.1's motivation for the
+    margin: pushing airtime toward 1 buys little rate and costs a lot
+    of queueing delay. *)
+
+val print : data -> unit

@@ -1,0 +1,83 @@
+type data = {
+  topology : Common.topology;
+  runs : int;
+  empower_cold : float list;
+  empower_warm : float list;
+  backpressure : float list;
+}
+
+let empower_convergence g dom ~src ~dst ~warm =
+  let comb = Multipath.find g dom ~src ~dst in
+  match Multipath.routes comb with
+  | [] -> None
+  | routes ->
+    let p = Problem.make g dom ~flows:[ routes ] in
+    let x_init =
+      if warm then Some (Array.of_list (List.map snd comb.Multipath.paths))
+      else None
+    in
+    let res = Multi_cc.solve ?x_init ~slots:6000 p in
+    Option.map float_of_int (Cc_result.convergence_slot res)
+
+let run ?(runs = Common.runs_scaled 30) ?(seed = 5) ?(bp_slots = 20000) topology =
+  let master = Rng.create seed in
+  let cold = ref [] and warm = ref [] and bp = ref [] in
+  for _ = 1 to runs do
+    let rng = Rng.split master in
+    let inst = Common.generate topology rng in
+    let src, dst = Common.random_flow rng inst in
+    let g = Builder.graph inst Builder.Hybrid in
+    let dom = Domain.of_instance inst Builder.Hybrid g in
+    match empower_convergence g dom ~src ~dst ~warm:false with
+    | None -> ()
+    | Some c ->
+      cold := c :: !cold;
+      (match empower_convergence g dom ~src ~dst ~warm:true with
+      | Some w -> warm := w :: !warm
+      | None -> ());
+      let r = Backpressure.run ~slots:bp_slots g dom ~flows:[ (src, dst) ] in
+      let b =
+        match r.Backpressure.convergence_slot with
+        | Some s -> float_of_int s
+        | None -> float_of_int bp_slots
+      in
+      bp := b :: !bp
+  done;
+  {
+    topology;
+    runs;
+    empower_cold = List.rev !cold;
+    empower_warm = List.rev !warm;
+    backpressure = List.rev !bp;
+  }
+
+let print data =
+  print_endline
+    (Printf.sprintf "Convergence (%s, %d runs): slots to reach within 1%% of final"
+       (Common.topology_name data.topology) data.runs);
+  let row name xs =
+    match xs with
+    | [] -> [ name; "-"; "-"; "-" ]
+    | _ ->
+      [
+        name;
+        Table.fmt_float (Stats.mean xs);
+        Table.fmt_float (Stats.median xs);
+        Table.fmt_float (Stats.percentile xs 90.0);
+      ]
+  in
+  Table.print_table
+    ~header:[ "scheme"; "mean"; "median"; "p90" ]
+    ~rows:
+      [
+        row "EMPoWER (warm start)" data.empower_warm;
+        row "EMPoWER (cold start)" data.empower_cold;
+        row "backpressure optimal" data.backpressure;
+      ];
+  match (data.empower_warm, data.backpressure) with
+  | _ :: _, _ :: _ ->
+    (* EMPoWER operates warm (injection starts at the routing-estimated
+       rates); the cold-start row is a diagnostic of the proximal ramp. *)
+    Printf.printf "backpressure/EMPoWER mean ratio: %.0fx\n"
+      (Stats.mean data.backpressure /. Float.max 1.0 (Stats.mean data.empower_warm))
+  | _ -> ()

@@ -1,0 +1,133 @@
+type data = {
+  pairs : int;
+  ratios : (string * float list) list;
+  early : float list;
+  late : float list;
+  spbf_ratio : float list;
+}
+
+let testbed_opts =
+  { Schemes.default_options with delta = 0.05; estimate_noise = 0.02 }
+
+let scheme_list =
+  [
+    ("MP-2bp", Schemes.Mp_2bp);
+    ("SP", Schemes.Sp);
+    ("SP-WiFi", Schemes.Sp_wifi);
+    ("MP-mWiFi", Schemes.Mp_mwifi);
+  ]
+
+let run ?(pairs = 50) ?(seed = 10) () =
+  let master = Rng.create seed in
+  let inst = Testbed.generate (Rng.create 4242) in
+  let g = Builder.graph inst Builder.Hybrid in
+  let dom = Domain.of_instance inst Builder.Hybrid g in
+  let gw = Builder.graph inst Builder.Single_wifi in
+  let domw = Domain.of_instance inst Builder.Single_wifi gw in
+  let acc =
+    List.map (fun (nm, _) -> (nm, ref []))
+      (scheme_list @ [ ("SP-bf", Schemes.Sp); ("SP-WiFi-bf", Schemes.Sp) ])
+  in
+  let early = ref [] and late = ref [] and spbf_ratio = ref [] in
+  let n = Multigraph.n_nodes g in
+  for _ = 1 to pairs do
+    let rng = Rng.split master in
+    let src = Rng.int rng n in
+    let dst =
+      let rec go () =
+        let d = Rng.int rng n in
+        if d = src then go () else d
+      in
+      go ()
+    in
+    let flow = (src, dst) in
+    let t_emp =
+      (Schemes.evaluate ~opts:testbed_opts (Rng.copy rng) inst Schemes.Empower
+         ~flows:[ flow ]).(0)
+    in
+    if t_emp > 0.1 then begin
+      let record nm v =
+        let cell = List.assoc nm acc in
+        cell := (v /. t_emp) :: !cell
+      in
+      List.iter
+        (fun (nm, s) ->
+          record nm
+            (Schemes.evaluate ~opts:testbed_opts (Rng.copy rng) inst s
+               ~flows:[ flow ]).(0))
+        scheme_list;
+      let spbf = Brute_force.sp_bf g dom ~src ~dst in
+      record "SP-bf" spbf;
+      spbf_ratio := (spbf /. t_emp) :: !spbf_ratio;
+      record "SP-WiFi-bf" (Brute_force.sp_bf ~csc:false gw domw ~src ~dst);
+      (* Convergence trace: controller on EMPoWER's routes, warm
+         start, 1 slot = 100 ms. *)
+      let comb = Multipath.find g dom ~src ~dst in
+      (match Multipath.routes comb with
+      | [] -> ()
+      | routes ->
+        let p = Problem.make ~delta:0.05 g dom ~flows:[ routes ] in
+        let x_init = Array.of_list (List.map snd comb.Multipath.paths) in
+        let res = Multi_cc.solve ~x_init ~slots:2200 p in
+        let final = res.Cc_result.flow_rates.(0) in
+        if final > 0.1 then begin
+          let window lo hi =
+            let acc = ref 0.0 and n = ref 0 in
+            for t = lo to hi - 1 do
+              acc := !acc +. res.Cc_result.trace.(t).(0);
+              incr n
+            done;
+            !acc /. float_of_int !n
+          in
+          early := (window 100 200 /. final) :: !early;
+          late := (window 1900 2000 /. final) :: !late
+        end)
+    end
+  done;
+  {
+    pairs;
+    ratios = List.map (fun (nm, cell) -> (nm, List.rev !cell)) acc;
+    early = List.rev !early;
+    late = List.rev !late;
+    spbf_ratio = List.rev !spbf_ratio;
+  }
+
+let print data =
+  let series =
+    List.filter_map
+      (fun (nm, xs) ->
+        match xs with [] -> None | _ -> Some (nm, Stats.Ecdf.of_list xs))
+      data.ratios
+  in
+  Table.print_cdf_grid
+    ~title:
+      (Printf.sprintf "Figure 10 (left): CDF of T_X / T_EMPoWER, %d testbed pairs"
+         data.pairs)
+    ~xlabel:"ratio"
+    ~grid:(Table.log_grid ~lo:0.1 ~hi:3.0 ~n:14)
+    ~series;
+  (match List.assoc_opt "MP-mWiFi" data.ratios with
+  | Some (_ :: _ as xs) ->
+    Printf.printf "EMPoWER beats MP-mWiFi on %s of pairs (max EMPoWER gain %.1fx, max mWiFi gain %.1fx)\n"
+      (Common.percent (Stats.fraction_below xs 1.0))
+      (1.0 /. Stats.minimum xs) (Stats.maximum xs)
+  | _ -> ());
+  (match data.spbf_ratio with
+  | _ :: _ ->
+    Printf.printf "EMPoWER beats SP-bf on %s of pairs\n"
+      (Common.percent (Stats.fraction_below data.spbf_ratio 1.0))
+  | [] -> ());
+  match (data.early, data.late) with
+  | _ :: _, _ :: _ ->
+    print_endline "Figure 10 (right): throughput vs final";
+    Table.print_cdf_grid ~title:"" ~xlabel:"fraction of final"
+      ~grid:(Table.linear_grid ~lo:0.4 ~hi:1.2 ~n:9)
+      ~series:
+        [
+          ("after 10-20s", Stats.Ecdf.of_list data.early);
+          ("after 190-200s", Stats.Ecdf.of_list data.late);
+          ("SP-bf", Stats.Ecdf.of_list data.spbf_ratio);
+        ];
+    Printf.printf "within 80%% of final after 10s: %s of flows\n"
+      (Common.percent (Stats.fraction_at_least data.early 0.8))
+  | _ -> ()

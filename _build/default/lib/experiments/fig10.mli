@@ -1,0 +1,27 @@
+(** Figure 10: testbed evaluation over 50 random station pairs.
+
+    Left: CDF of T_X / T_EMPoWER for X in {MP-2bp, SP, SP-bf, SP-WiFi,
+    SP-WiFi-bf, MP-mWiFi} with saturated UDP, margin δ = 0.05, and
+    realistic (noisy) capacity estimation. The paper's findings: SP
+    always beats SP-WiFi-bf (hybrid gain); EMPoWER beats MP-mWiFi in
+    75% of pairs with gains up to 10x (mWiFi's best advantage only
+    2.5x); EMPoWER beats even the brute-force single path (SP-bf) in
+    60% of pairs (up to 2.7x) and almost always beats MP-2bp and SP.
+
+    Right: convergence — the rate reached after 10-20 s and after
+    190-200 s as a fraction of the final rate (controller trace at
+    one slot per 100 ms), with SP-bf/T_EMPoWER as a baseline: 80% of
+    flows are within 80% of the final rate after 10 s. *)
+
+type data = {
+  pairs : int;
+  ratios : (string * float list) list; (** T_X / T_EMPoWER *)
+  early : float list;   (** rate(10-20 s) / final *)
+  late : float list;    (** rate(190-200 s) / final *)
+  spbf_ratio : float list;
+}
+
+val run : ?pairs:int -> ?seed:int -> unit -> data
+(** Default 50 pairs (as the paper), seed 10. *)
+
+val print : data -> unit

@@ -1,0 +1,61 @@
+type row = {
+  flow : int * int;
+  empower : float * float;
+  mp_mwifi : float * float;
+  sp : float * float;
+}
+
+type data = { rows : row list; seconds : int }
+
+let paper_flows =
+  [ (4, 19); (1, 11); (17, 1); (19, 3); (9, 4); (11, 5); (13, 21); (11, 15);
+    (20, 19); (7, 6) ]
+
+let config = { Engine.default_config with delta = 0.05 }
+
+let measure inst scheme ~src ~dst ~seed ~duration =
+  let net = Runner.network inst scheme in
+  let rr = Runner.routes_and_rates net scheme ~src ~dst in
+  match fst rr with
+  | [] -> (0.0, 0.0)
+  | _ ->
+    let spec = Runner.flow_spec ~src ~dst rr in
+    let res = Empower.simulate ~config ~seed net ~flows:[ spec ] ~duration in
+    Runner.goodput_stats res.Engine.flows.(0) ~last_seconds:100 ~duration
+
+let run ?(seed = 11) ?(duration = 200.0) () =
+  let inst = Testbed.generate (Rng.create 4242) in
+  let rows =
+    List.mapi
+      (fun i (a, b) ->
+        let src = Testbed.node a and dst = Testbed.node b in
+        let seed = seed + (100 * i) in
+        {
+          flow = (a, b);
+          empower = measure inst Schemes.Empower ~src ~dst ~seed ~duration;
+          mp_mwifi = measure inst Schemes.Mp_mwifi ~src ~dst ~seed:(seed + 1) ~duration;
+          sp = measure inst Schemes.Sp ~src ~dst ~seed:(seed + 2) ~duration;
+        })
+      paper_flows
+  in
+  { rows; seconds = 100 }
+
+let print data =
+  print_endline
+    (Printf.sprintf
+       "Figure 11: mean +/- std of throughput over the last %d s (packet-level)"
+       data.seconds);
+  let cell (m, s) = Printf.sprintf "%.1f +/- %.1f" m s in
+  Table.print_table
+    ~header:[ "flow"; "EMPoWER"; "MP-mWiFi"; "SP" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           let a, b = r.flow in
+           [ Printf.sprintf "%d-%d" a b; cell r.empower; cell r.mp_mwifi; cell r.sp ])
+         data.rows);
+  let wins =
+    List.length
+      (List.filter (fun r -> fst r.empower > fst r.mp_mwifi) data.rows)
+  in
+  Printf.printf "EMPoWER >= MP-mWiFi on %d of %d flows\n" wins (List.length data.rows)

@@ -1,0 +1,29 @@
+(** Figure 12: TCP over EMPoWER, Flow 9→13.
+
+    A long TCP download: plain single-path TCP (SP-w/o-CC) for the
+    first half of the experiment, then EMPoWER with two routes, the
+    congestion controller (margin δ = 0.3), destination reordering
+    and delay equalization for the second half. The paper's point:
+    the received TCP throughput matches the rate the controller
+    injects — TCP adapts to the controller's drops/backpressure — and
+    multipath raises the throughput despite routes of different
+    lengths and contending mediums. *)
+
+type sample = {
+  time : float;
+  cc_route_rates : float array;  (** controller rates (empty in phase 1) *)
+  received : float;
+}
+
+type data = {
+  series : sample list;
+  phase_switch : float;
+  mean_sp : float;        (** mean TCP goodput, single path w/o CC *)
+  mean_empower : float;   (** mean TCP goodput under EMPoWER *)
+  delta : float;
+}
+
+val run : ?seed:int -> ?phase_seconds:float -> ?delta:float -> unit -> data
+(** Default 250 s per phase (the paper uses 500), δ = 0.3, seed 13. *)
+
+val print : data -> unit

@@ -1,0 +1,60 @@
+type data = {
+  topology : Common.topology;
+  runs : int;
+  samples : (Schemes.t * float list) list;
+}
+
+let schemes =
+  [ Schemes.Empower; Schemes.Sp; Schemes.Sp_wifi; Schemes.Mp_wifi; Schemes.Mp_mwifi ]
+
+let run ?(runs = Common.runs_scaled 100) ?(seed = 1) topology =
+  let master = Rng.create seed in
+  let acc = List.map (fun s -> (s, ref [])) schemes in
+  for _ = 1 to runs do
+    let rng = Rng.split master in
+    let inst = Common.generate topology rng in
+    let flow = Common.random_flow rng inst in
+    List.iter
+      (fun (s, cell) ->
+        let rates = Schemes.evaluate (Rng.copy rng) inst s ~flows:[ flow ] in
+        cell := rates.(0) :: !cell)
+      acc
+  done;
+  { topology; runs; samples = List.map (fun (s, cell) -> (s, List.rev !cell)) acc }
+
+let mean_of data s =
+  match List.assoc_opt s data.samples with
+  | None -> 0.0
+  | Some xs -> Stats.mean xs
+
+let gain data ~over =
+  let m = mean_of data over in
+  if m <= 0.0 then infinity else mean_of data Schemes.Empower /. m
+
+let print data =
+  let series =
+    List.map
+      (fun (s, xs) -> (Schemes.name s, Stats.Ecdf.of_list xs))
+      (List.filter (fun (s, _) -> s <> Schemes.Mp_wifi) data.samples)
+  in
+  let hi =
+    List.fold_left
+      (fun acc (_, ecdf) -> Float.max acc (snd (Stats.Ecdf.support ecdf)))
+      1.0 series
+  in
+  Table.print_cdf_grid
+    ~title:
+      (Printf.sprintf "Figure 4 (%s): CDF of flow throughput T_X (%d runs)"
+         (Common.topology_name data.topology) data.runs)
+    ~xlabel:"Mbps"
+    ~grid:(Table.linear_grid ~lo:0.0 ~hi ~n:16)
+    ~series;
+  Printf.printf "mean gain of EMPoWER over SP-WiFi: %.0f%%\n"
+    (100.0 *. (gain data ~over:Schemes.Sp_wifi -. 1.0));
+  Printf.printf "mean gain of EMPoWER over SP:      %.0f%%\n"
+    (100.0 *. (gain data ~over:Schemes.Sp -. 1.0));
+  (* The text's sanity claim: MP-WiFi coincides with SP-WiFi. *)
+  Printf.printf "MP-WiFi vs SP-WiFi mean (should coincide): %.2f vs %.2f Mbps\n"
+    (mean_of data Schemes.Mp_wifi) (mean_of data Schemes.Sp_wifi);
+  Printf.printf "EMPoWER vs MP-mWiFi mean: %.2f vs %.2f Mbps\n"
+    (mean_of data Schemes.Empower) (mean_of data Schemes.Mp_mwifi)

@@ -1,0 +1,27 @@
+(** Figure 4: CDF of the flow throughput T_X per scheme.
+
+    One saturated flow per random topology; schemes EMPoWER, SP,
+    SP-WiFi, MP-mWiFi (MP-WiFi is also computed to verify the text's
+    claim that it coincides with SP-WiFi), on residential and
+    enterprise topologies. The paper's headline numbers: the average
+    hybrid gain over WiFi-only is 59% (residential) / 68%
+    (enterprise), and 39% / 31% over single-path hybrid. *)
+
+type data = {
+  topology : Common.topology;
+  runs : int;
+  samples : (Schemes.t * float list) list;  (** T_X per run, per scheme *)
+}
+
+val schemes : Schemes.t list
+(** The schemes the figure plots (plus MP-WiFi for the text claim). *)
+
+val run : ?runs:int -> ?seed:int -> Common.topology -> data
+(** Default 100 runs (paper: 1000), seed 1. *)
+
+val gain : data -> over:Schemes.t -> float
+(** Mean of EMPoWER's throughput divided by the mean of the given
+    scheme's (the paper's "average gain"). *)
+
+val print : data -> unit
+(** The CDF grid and the summary gains. *)

@@ -1,0 +1,58 @@
+type data = {
+  topology : Common.topology;
+  runs : int;
+  ratios : float list;
+  empower_only : int;
+  mwifi_only : int;
+  worst_count : int;
+}
+
+let run ?(runs = Common.runs_scaled 100) ?(seed = 2) topology =
+  let master = Rng.create seed in
+  let pairs = ref [] in
+  for _ = 1 to runs do
+    let rng = Rng.split master in
+    let inst = Common.generate topology rng in
+    let flow = Common.random_flow rng inst in
+    let e = (Schemes.evaluate (Rng.copy rng) inst Schemes.Empower ~flows:[ flow ]).(0) in
+    let m = (Schemes.evaluate (Rng.copy rng) inst Schemes.Mp_mwifi ~flows:[ flow ]).(0) in
+    if e > 0.0 || m > 0.0 then pairs := (m, e) :: !pairs
+  done;
+  (* Worst flows: bottom 20% w.r.t. min of the two throughputs. *)
+  let sorted =
+    List.sort
+      (fun (m1, e1) (m2, e2) -> compare (Float.min m1 e1) (Float.min m2 e2))
+      !pairs
+  in
+  let k = max 1 (List.length sorted / 5) in
+  let worst = List.filteri (fun i _ -> i < k) sorted in
+  let ratios =
+    List.filter_map
+      (fun (m, e) -> if e > 0.0 && m > 0.0 then Some (m /. e) else None)
+      worst
+  in
+  let empower_only = List.length (List.filter (fun (m, e) -> m = 0.0 && e > 0.0) worst) in
+  let mwifi_only = List.length (List.filter (fun (m, e) -> m > 0.0 && e = 0.0) worst) in
+  { topology; runs; ratios; empower_only; mwifi_only; worst_count = k }
+
+let print data =
+  print_endline
+    (Printf.sprintf "Figure 5 (%s): T_MP-mWiFi / T_EMPoWER on the worst 20%% flows (%d runs)"
+       (Common.topology_name data.topology) data.runs);
+  (match data.ratios with
+  | [] -> print_endline "  (no worst flows with connectivity on both)"
+  | ratios ->
+    let ecdf = Stats.Ecdf.of_list ratios in
+    Table.print_cdf_grid ~title:"" ~xlabel:"ratio"
+      ~grid:(Table.log_grid ~lo:0.1 ~hi:2.5 ~n:12)
+      ~series:[ ("CDF", ecdf) ];
+    Printf.printf "EMPoWER better (ratio < 1): %s of worst flows\n"
+      (Common.percent (Stats.fraction_below ratios 1.0));
+    Printf.printf "max EMPoWER advantage: %.1fx; max MP-mWiFi advantage: %.1fx\n"
+      (1.0 /. Stats.minimum ratios)
+      (Stats.maximum ratios));
+  Printf.printf
+    "connectivity only with PLC/WiFi: %d of %d worst flows (%s); only with mWiFi: %d\n"
+    data.empower_only data.worst_count
+    (Common.percent (float_of_int data.empower_only /. float_of_int data.worst_count))
+    data.mwifi_only

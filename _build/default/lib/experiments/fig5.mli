@@ -1,0 +1,22 @@
+(** Figure 5: multi-channel WiFi vs hybrid on the worst flows.
+
+    CDF of T_MP-mWiFi / T_EMPoWER restricted to the worst flows — the
+    bottom 20% by min(T_MP-mWiFi, T_EMPoWER) — dropping cases where
+    neither scheme has connectivity. The paper finds ~60% of the
+    worst flows better off with EMPoWER (up to 3-4x in simulation),
+    15-25% better off with MP-mWiFi (at most 1.7x), and 6% / 19% of
+    flows where only PLC/WiFi has any connectivity at all. *)
+
+type data = {
+  topology : Common.topology;
+  runs : int;
+  ratios : float list;       (** T_mwifi / T_empower on worst flows, finite ones *)
+  empower_only : int;        (** worst flows where only EMPoWER has connectivity *)
+  mwifi_only : int;          (** worst flows where only MP-mWiFi has connectivity *)
+  worst_count : int;
+}
+
+val run : ?runs:int -> ?seed:int -> Common.topology -> data
+(** Default 100 runs, seed 2. *)
+
+val print : data -> unit

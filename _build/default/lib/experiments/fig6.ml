@@ -1,0 +1,69 @@
+type data = {
+  topology : Common.topology;
+  runs : int;
+  ratios : (string * float list) list;
+}
+
+let scheme_list =
+  [
+    ("conservative opt", None);
+    ("EMPoWER", Some Schemes.Empower);
+    ("MP-2bp", Some Schemes.Mp_2bp);
+    ("MP-w/o-CC", Some Schemes.Mp_wo_cc);
+    ("SP", Some Schemes.Sp);
+  ]
+
+let run ?(runs = Common.runs_scaled 60) ?(seed = 3) topology =
+  let master = Rng.create seed in
+  let acc = List.map (fun (nm, _) -> (nm, ref [])) scheme_list in
+  for _ = 1 to runs do
+    let rng = Rng.split master in
+    let inst = Common.generate topology rng in
+    let src, dst = Common.random_flow rng inst in
+    let g = Builder.graph inst Builder.Hybrid in
+    let dom = Domain.of_instance inst Builder.Hybrid g in
+    let t_opt = Opt_solver.max_throughput Rate_region.Exact g dom ~src ~dst in
+    if t_opt > 0.1 then begin
+      let record name v =
+        let cell = List.assoc name acc in
+        cell := (v /. t_opt) :: !cell
+      in
+      record "conservative opt"
+        (Opt_solver.max_throughput Rate_region.Conservative g dom ~src ~dst);
+      List.iter
+        (fun (nm, scheme) ->
+          match scheme with
+          | None -> ()
+          | Some s ->
+            let rates = Schemes.evaluate (Rng.copy rng) inst s ~flows:[ (src, dst) ] in
+            record nm rates.(0))
+        scheme_list
+    end
+  done;
+  { topology; runs; ratios = List.map (fun (nm, cell) -> (nm, List.rev !cell)) acc }
+
+let fraction_within data ~scheme ~loss =
+  match List.assoc_opt scheme data.ratios with
+  | None | Some [] -> 0.0
+  | Some xs -> Stats.fraction_at_least xs (1.0 -. loss)
+
+let print data =
+  let series =
+    List.filter_map
+      (fun (nm, xs) ->
+        match xs with [] -> None | _ -> Some (nm, Stats.Ecdf.of_list xs))
+      data.ratios
+  in
+  Table.print_cdf_grid
+    ~title:
+      (Printf.sprintf "Figure 6 (%s): CDF of T_X / T_optimal (%d runs)"
+         (Common.topology_name data.topology) data.runs)
+    ~xlabel:"ratio"
+    ~grid:(Table.linear_grid ~lo:0.3 ~hi:1.05 ~n:16)
+    ~series;
+  Printf.printf "EMPoWER within 10%% of conservative opt... EMPoWER>=0.9: %s\n"
+    (Common.percent (fraction_within data ~scheme:"EMPoWER" ~loss:0.10));
+  Printf.printf "EMPoWER at optimal (>= 0.99 of T_opt): %s\n"
+    (Common.percent (fraction_within data ~scheme:"EMPoWER" ~loss:0.01));
+  Printf.printf "EMPoWER within 15%% of optimal: %s\n"
+    (Common.percent (fraction_within data ~scheme:"EMPoWER" ~loss:0.15))

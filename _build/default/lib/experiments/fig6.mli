@@ -1,0 +1,25 @@
+(** Figure 6: throughput against the optimal centralized schemes.
+
+    CDF of T_X / T_optimal for X in {conservative opt, EMPoWER,
+    MP-2bp, MP-w/o-CC, SP}, single saturated flow. T_optimal is the
+    exact utility/throughput optimum over the clique airtime polytope
+    (backpressure's steady state); conservative opt is the optimum
+    under EMPoWER's constraint (2). The paper: EMPoWER within 10% of
+    conservative opt in 98% (residential) / 85% (enterprise) of
+    cases, optimal throughput in 88% / 60%, within 15% of optimal in
+    99% / 83%. *)
+
+type data = {
+  topology : Common.topology;
+  runs : int;
+  ratios : (string * float list) list;  (** T_X / T_optimal per scheme *)
+}
+
+val run : ?runs:int -> ?seed:int -> Common.topology -> data
+(** Default 60 runs (each run solves 2+ LPs), seed 3. *)
+
+val fraction_within : data -> scheme:string -> loss:float -> float
+(** Fraction of runs where the scheme's ratio is at least
+    [1 - loss]. *)
+
+val print : data -> unit

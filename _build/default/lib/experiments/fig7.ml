@@ -1,0 +1,64 @@
+type data = {
+  topology : Common.topology;
+  runs : int;
+  ratios : (string * float list) list;
+}
+
+let utility rates =
+  Array.fold_left (fun acc x -> acc +. log (1.0 +. Float.max 0.0 x)) 0.0 rates
+
+let scheme_list =
+  [
+    ("conservative opt", None);
+    ("EMPoWER", Some Schemes.Empower);
+    ("MP-2bp", Some Schemes.Mp_2bp);
+    ("MP-w/o-CC", Some Schemes.Mp_wo_cc);
+    ("SP", Some Schemes.Sp);
+  ]
+
+let run ?(runs = Common.runs_scaled 40) ?(seed = 4) topology =
+  let master = Rng.create seed in
+  let acc = List.map (fun (nm, _) -> (nm, ref [])) scheme_list in
+  for _ = 1 to runs do
+    let rng = Rng.split master in
+    let inst = Common.generate topology rng in
+    let flows = Common.random_flows rng inst ~n:3 in
+    let g = Builder.graph inst Builder.Hybrid in
+    let dom = Domain.of_instance inst Builder.Hybrid g in
+    let u_opt = utility (Opt_solver.max_utility Rate_region.Exact g dom ~flows) in
+    if u_opt > 0.1 then begin
+      let record name u =
+        let cell = List.assoc name acc in
+        cell := (u /. u_opt) :: !cell
+      in
+      record "conservative opt"
+        (utility (Opt_solver.max_utility Rate_region.Conservative g dom ~flows));
+      List.iter
+        (fun (nm, scheme) ->
+          match scheme with
+          | None -> ()
+          | Some s -> record nm (utility (Schemes.evaluate (Rng.copy rng) inst s ~flows)))
+        scheme_list
+    end
+  done;
+  { topology; runs; ratios = List.map (fun (nm, cell) -> (nm, List.rev !cell)) acc }
+
+let print data =
+  let series =
+    List.filter_map
+      (fun (nm, xs) ->
+        match xs with [] -> None | _ -> Some (nm, Stats.Ecdf.of_list xs))
+      data.ratios
+  in
+  Table.print_cdf_grid
+    ~title:
+      (Printf.sprintf
+         "Figure 7 (%s): CDF of U_X / U_optimal, 3 contending flows (%d runs)"
+         (Common.topology_name data.topology) data.runs)
+    ~xlabel:"ratio"
+    ~grid:(Table.linear_grid ~lo:0.6 ~hi:1.02 ~n:15)
+    ~series;
+  List.iter
+    (fun (nm, xs) ->
+      if xs <> [] then Printf.printf "mean U_%s / U_opt = %.3f\n" nm (Stats.mean xs))
+    data.ratios

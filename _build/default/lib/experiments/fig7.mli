@@ -1,0 +1,17 @@
+(** Figure 7: utility maximization with three contending flows.
+
+    CDF of U_X / U_optimal with three saturated flows between random
+    pairs, U = Σ_f log(1 + x_f). The multipath gain is conditional on
+    congestion control: MP-w/o-CC collapses, EMPoWER tracks
+    conservative opt and beats MP-2bp and SP. *)
+
+type data = {
+  topology : Common.topology;
+  runs : int;
+  ratios : (string * float list) list;  (** U_X / U_optimal *)
+}
+
+val run : ?runs:int -> ?seed:int -> Common.topology -> data
+(** Default 40 runs (each run solves Frank–Wolfe programs), seed 4. *)
+
+val print : data -> unit

@@ -1,0 +1,53 @@
+type row = {
+  n_stations : int;
+  wifi : Csma.result;
+  plc : Csma.result;
+}
+
+type data = { rows : row list; slots : int }
+
+let run ?(seed = 40) ?(slots = 200_000) ?(stations = [ 1; 2; 4; 8; 16; 32 ]) () =
+  let rows =
+    List.map
+      (fun n ->
+        {
+          n_stations = n;
+          wifi = Csma.simulate ~slots (Rng.create seed) Csma.Dcf_80211 ~n_stations:n;
+          plc = Csma.simulate ~slots (Rng.create (seed + 1)) Csma.Csma_1901 ~n_stations:n;
+        })
+      stations
+  in
+  { rows; slots }
+
+let print data =
+  print_endline
+    (Printf.sprintf
+       "MAC fairness [40]: 802.11 DCF vs IEEE 1901, saturated single domain (%d slots)"
+       data.slots);
+  Table.print_table
+    ~header:
+      [ "N"; "thr .11"; "thr 1901"; "coll .11"; "coll 1901"; "jain .11";
+        "jain 1901"; "cv .11"; "cv 1901" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.n_stations;
+             Table.fmt_float r.wifi.Csma.throughput;
+             Table.fmt_float r.plc.Csma.throughput;
+             Table.fmt_float r.wifi.Csma.collision_rate;
+             Table.fmt_float r.plc.Csma.collision_rate;
+             Table.fmt_float r.wifi.Csma.jain;
+             Table.fmt_float r.plc.Csma.jain;
+             Table.fmt_float r.wifi.Csma.service_cv;
+             Table.fmt_float r.plc.Csma.service_cv;
+           ])
+         data.rows);
+  let contended = List.filter (fun r -> r.n_stations >= 4) data.rows in
+  let frac p =
+    float_of_int (List.length (List.filter p contended))
+    /. float_of_int (max 1 (List.length contended))
+  in
+  Printf.printf "1901 collides less than 802.11 in %s of contended cases\n"
+    (Common.percent
+       (frac (fun r -> r.plc.Csma.collision_rate < r.wifi.Csma.collision_rate)))

@@ -1,0 +1,24 @@
+(** Footnote 4 / reference [40]: IEEE 1901 vs 802.11 CSMA/CA.
+
+    The slot-accurate single-domain comparison behind the paper's
+    claim that PLC links, like WiFi, are CSMA/CA-contended (and
+    behind our engine's contention-loss abstraction): for each number
+    of saturated stations, throughput, collision probability,
+    long-term fairness (Jain) and short-term fairness (coefficient of
+    variation of inter-service gaps). Expected shapes, from Vlachou
+    et al. [40]: 1901's deferral counters collide less and keep
+    throughput higher under load, but are markedly less short-term
+    fair at small N. *)
+
+type row = {
+  n_stations : int;
+  wifi : Csma.result;
+  plc : Csma.result;
+}
+
+type data = { rows : row list; slots : int }
+
+val run : ?seed:int -> ?slots:int -> ?stations:int list -> unit -> data
+(** Defaults: 200000 slots, N in 1, 2, 4, 8, 16, 32. *)
+
+val print : data -> unit

@@ -1,0 +1,74 @@
+type data = {
+  topology : Common.topology;
+  runs : int;
+  mean_rate : (string * float) list;
+  empower_wins : (string * float) list;
+}
+
+let achieved_rate g dom route =
+  let p = Problem.make g dom ~flows:[ [ route ] ] in
+  let x_init = [| Update.path_rate g dom route |] in
+  let res = Multi_cc.solve ~x_init ~slots:1500 ~stop_tol:0.05 p in
+  res.Cc_result.flow_rates.(0)
+
+let run ?(runs = Common.runs_scaled 40) ?(seed = 31) topology =
+  let master = Rng.create seed in
+  let acc = List.map (fun m -> (m, ref [])) Metrics.all in
+  for _ = 1 to runs do
+    let rng = Rng.split master in
+    let inst = Common.generate topology rng in
+    let src, dst = Common.random_flow rng inst in
+    let g = Builder.graph inst Builder.Hybrid in
+    let dom = Domain.of_instance inst Builder.Hybrid g in
+    List.iter
+      (fun (m, cell) ->
+        let rate =
+          match Metrics.route m g dom ~src ~dst with
+          | None -> 0.0
+          | Some (p, _) -> achieved_rate g dom p
+        in
+        cell := rate :: !cell)
+      acc
+  done;
+  let samples = List.map (fun (m, cell) -> (m, List.rev !cell)) acc in
+  let empower_samples = List.assoc Metrics.Empower_csc samples in
+  let wins other =
+    let total = List.length other in
+    if total = 0 then 0.0
+    else begin
+      let w =
+        List.fold_left2
+          (fun acc e o -> if e >= o -. 1e-6 then acc + 1 else acc)
+          0 empower_samples other
+      in
+      float_of_int w /. float_of_int total
+    end
+  in
+  {
+    topology;
+    runs;
+    mean_rate = List.map (fun (m, xs) -> (Metrics.name m, Stats.mean xs)) samples;
+    empower_wins =
+      List.filter_map
+        (fun (m, xs) ->
+          if m = Metrics.Empower_csc then None else Some (Metrics.name m, wins xs))
+        samples;
+  }
+
+let print data =
+  print_endline
+    (Printf.sprintf
+       "Footnote 7 (%s, %d runs): single-path metrics, achieved rate under CC"
+       (Common.topology_name data.topology) data.runs);
+  Table.print_table
+    ~header:[ "metric"; "mean rate (Mbps)"; "EMPoWER >= it" ]
+    ~rows:
+      (List.map
+         (fun (nm, mean) ->
+           let win =
+             match List.assoc_opt nm data.empower_wins with
+             | None -> "-"
+             | Some w -> Common.percent w
+           in
+           [ nm; Table.fmt_float mean; win ])
+         data.mean_rate)

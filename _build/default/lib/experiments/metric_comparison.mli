@@ -1,0 +1,22 @@
+(** Footnote 7: single-path metric shoot-out.
+
+    The paper: "We also implemented other single-path procedures
+    employing different metrics, such as IRU [44], ETT [7], and
+    CATT [12]; all gave worse results in our experiments." This
+    experiment reruns that comparison: on random residential and
+    enterprise draws, each metric picks a single route for a random
+    flow; the achieved rate is the route's R(P) under the congestion
+    controller. *)
+
+type data = {
+  topology : Common.topology;
+  runs : int;
+  mean_rate : (string * float) list;  (** per metric *)
+  empower_wins : (string * float) list;
+      (** fraction of runs where EMPoWER's metric is at least as good
+          as the alternative *)
+}
+
+val run : ?runs:int -> ?seed:int -> Common.topology -> data
+
+val print : data -> unit

@@ -1,0 +1,27 @@
+(** Section 7's MPTCP-applicability measurement.
+
+    MPTCP exploits multiple paths only when the end hosts expose
+    several interfaces (or routers do equal-cost splitting): if the
+    client reaches every path through one interface, MPTCP sees a
+    single subflow. The paper reports that on their testbed, "34% of
+    source-destination pairs between which multiple paths exist would
+    not support MPTCP, because the interface used by the client is
+    common to the different paths".
+
+    We rerun the census on the synthetic testbed: for every ordered
+    pair with EMPoWER-multipath (>= 2 routes), check whether all
+    routes enter the destination over the same interface
+    (technology). EMPoWER, operating at layer 2.5 inside the network,
+    is indifferent to this. *)
+
+type data = {
+  pairs : int;             (** ordered pairs examined *)
+  multipath_pairs : int;   (** pairs where EMPoWER uses >= 2 routes *)
+  mptcp_blocked : int;     (** of those: all routes share the client's interface *)
+  blocked_fraction : float;
+}
+
+val run : ?seed:int -> unit -> data
+(** Census over all 22x21 ordered testbed pairs. *)
+
+val print : data -> unit

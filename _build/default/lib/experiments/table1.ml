@@ -1,0 +1,129 @@
+type cell = { mean : float; std : float; runs : int }
+
+type data = {
+  tiny : cell * cell;
+  short : cell * cell;
+  long_ : cell * cell;
+  conc_main : cell * cell;
+  conc_side : cell * cell;
+  long_bytes : int;
+}
+
+let cell_of xs = { mean = Stats.mean xs; std = Stats.stddev xs; runs = List.length xs }
+
+(* One run: the 6->13 download (plus, for Conc, the 12->8 Poisson
+   files) with or without congestion control. Returns (main download
+   duration, sum of side download durations). *)
+let one_run inst ~cc ~seed ~main_bytes ~side ~side_gap =
+  let net = Runner.network inst Schemes.Empower in
+  let src = Testbed.node 6 and dst = Testbed.node 13 in
+  let rr = Runner.routes_and_rates net Schemes.Empower ~src ~dst in
+  let main_rate = List.fold_left ( +. ) 0.0 (snd rr) in
+  let main_spec =
+    Runner.flow_spec ~transport:Engine.Tcp_transport
+      ~workload:(Workload.File { bytes = main_bytes }) ~src ~dst rr
+  in
+  let side_spec =
+    if not side then []
+    else begin
+      let s = Testbed.node 12 and d = Testbed.node 8 in
+      let rr2 = Runner.routes_and_rates net Schemes.Empower ~src:s ~dst:d in
+      [
+        Runner.flow_spec ~transport:Engine.Tcp_transport
+          ~workload:
+            (Workload.Poisson_files { bytes = 5_000_000; mean_gap_s = side_gap; count = 5 })
+          ~src:s ~dst:d rr2;
+      ]
+    end
+  in
+  let est = float_of_int main_bytes *. 8e-6 /. Float.max 1.0 (main_rate *. 0.25) in
+  (* Horizon: generous for the main transfer, and past the last
+     Poisson arrival plus its transfer for the side files. *)
+  let duration =
+    Float.max 60.0
+      (Float.min 4000.0 ((est *. 4.0) +. (side_gap *. 7.0) +. (if side then 60.0 else 0.0)))
+  in
+  (* Downloads ride TCP (Section 6.4): with EMPoWER the controller
+     paces TCP inside the margin and the destination equalizes route
+     delays; without CC, TCP is striped over the same routes and left
+     to fend against reordering and contention. *)
+  let config =
+    { Engine.default_config with delta = 0.05; enable_cc = cc; delay_equalize = cc }
+  in
+  let res = Empower.simulate ~config ~seed net ~flows:(main_spec :: side_spec) ~duration in
+  let main_time =
+    match res.Engine.flows.(0).Engine.completions with
+    | (_, d) :: _ -> Some d
+    | [] -> None
+  in
+  let side_time =
+    if not side then None
+    else begin
+      let cs = res.Engine.flows.(1).Engine.completions in
+      if List.length cs < 5 then None
+      else Some (List.fold_left (fun acc (_, d) -> acc +. d) 0.0 cs)
+    end
+  in
+  (main_time, side_time)
+
+let experiment inst ~seed ~repeats ~main_bytes ~side ~side_gap =
+  let run_scheme ~cc base =
+    let mains = ref [] and sides = ref [] in
+    for i = 0 to repeats - 1 do
+      let m, s = one_run inst ~cc ~seed:(base + i) ~main_bytes ~side ~side_gap in
+      Option.iter (fun v -> mains := v :: !mains) m;
+      Option.iter (fun v -> sides := v :: !sides) s
+    done;
+    (!mains, !sides)
+  in
+  let cc_m, cc_s = run_scheme ~cc:true (seed * 17) in
+  let no_m, no_s = run_scheme ~cc:false ((seed * 17) + 7000) in
+  ((cell_of cc_m, cell_of no_m), (cell_of cc_s, cell_of no_s))
+
+let run ?(seed = 12) ?(repeats = 5) ?(long_scale = 0.05) () =
+  let inst = Testbed.generate (Rng.create 4242) in
+  let long_bytes = int_of_float (2e9 *. long_scale) in
+  let long_repeats = max 2 (repeats * 3 / 5) in
+  let tiny, _ =
+    experiment inst ~seed:(seed + 1) ~repeats ~main_bytes:100_000 ~side:false
+      ~side_gap:0.0
+  in
+  let short, _ =
+    experiment inst ~seed:(seed + 2) ~repeats ~main_bytes:5_000_000 ~side:false
+      ~side_gap:0.0
+  in
+  let long_, _ =
+    experiment inst ~seed:(seed + 3) ~repeats:long_repeats ~main_bytes:long_bytes
+      ~side:false ~side_gap:0.0
+  in
+  let conc_main, conc_side =
+    experiment inst ~seed:(seed + 4) ~repeats:long_repeats ~main_bytes:long_bytes
+      ~side:true ~side_gap:(60.0 *. long_scale /. 0.05)
+  in
+  { tiny; short; long_; conc_main; conc_side; long_bytes }
+
+let print data =
+  print_endline "Table 1: download times (s), EMPoWER vs MP-w/o-CC";
+  Printf.printf "(Long/Conc main file scaled to %.0f MB)\n"
+    (float_of_int data.long_bytes /. 1e6);
+  let fmt c =
+    if c.runs = 0 then "-" else Printf.sprintf "%.2f +/- %.2f" c.mean c.std
+  in
+  let row name (cc, no) =
+    let speedup =
+      if cc.runs > 0 && no.runs > 0 && cc.mean > 0.0 then
+        Printf.sprintf "%.0f%%" (100.0 *. ((no.mean /. cc.mean) -. 1.0))
+      else "-"
+    in
+    [ name; fmt cc; fmt no; speedup ]
+  in
+  Table.print_table
+    ~header:[ "experiment"; "EMPoWER"; "MP-w/o-CC"; "w/o-CC slower by" ]
+    ~rows:
+      [
+        row "Tiny, F.6-13 (100 kB)" data.tiny;
+        row "Short, F.6-13 (5 MB)" data.short;
+        row "Long, F.6-13" data.long_;
+        row "Conc, F.6-13" data.conc_main;
+        row "Conc, F.12-8 (25 MB)" data.conc_side;
+      ]

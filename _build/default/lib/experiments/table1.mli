@@ -1,0 +1,33 @@
+(** Table 1: download times with and without congestion control.
+
+    Four experiments on the testbed, Flow 6→13 using two two-hop
+    routes (PLC+WiFi and PLC+PLC through Node 7):
+
+    - Tiny: a 100 kB file, no concurrent traffic;
+    - Short: a 5 MB file;
+    - Long: a 2 GB file (scaled by [long_scale] to keep the default
+      run short; the paper value is reported rescaled);
+    - Conc: the long download with a concurrent Flow 12→8 fetching
+      five 5 MB files at Poisson times (mean gap 60 s).
+
+    Downloads run over TCP (Section 6.4). EMPoWER vs MP-w/o-CC (same
+    routes, no controller, no delay equalization): CC helps short
+    flows moderately (~20-35%) and long/concurrent flows massively
+    (~40-60% faster in the paper). *)
+
+type cell = { mean : float; std : float; runs : int }
+
+type data = {
+  tiny : cell * cell;     (** EMPoWER, MP-w/o-CC *)
+  short : cell * cell;
+  long_ : cell * cell;
+  conc_main : cell * cell;
+  conc_side : cell * cell; (** the five concurrent 5 MB files, total *)
+  long_bytes : int;
+}
+
+val run : ?seed:int -> ?repeats:int -> ?long_scale:float -> unit -> data
+(** Default: 5 repeats of Tiny/Short, 3 of Long/Conc (the paper uses
+    40/10), [long_scale = 0.05] (2 GB -> 100 MB). Seed 12. *)
+
+val print : data -> unit

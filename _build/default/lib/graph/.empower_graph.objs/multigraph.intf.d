@@ -1,0 +1,1 @@
+lib/graph/multigraph.mli: Format

@@ -1,0 +1,1 @@
+lib/graph/yen.ml: Array Dijkstra Float Hashtbl List Multigraph Paths Pqueue Set Stdlib

@@ -1,0 +1,89 @@
+module Path_set = Set.Make (struct
+  type t = int list
+
+  let compare = Stdlib.compare
+end)
+
+let k_shortest ?(csc = true) g ~src ~dst ~k =
+  if k < 1 then invalid_arg "Yen.k_shortest: k < 1";
+  match Dijkstra.shortest_path ~csc g ~src ~dst with
+  | None -> []
+  | Some first ->
+    let accepted = ref [ first ] in
+    let seen = ref (Path_set.singleton (fst first).Paths.links) in
+    (* Candidate paths found so far but not yet accepted. *)
+    let candidates = Pqueue.create () in
+    let add_candidate (p, c) =
+      if (not (Path_set.mem p.Paths.links !seen)) && Paths.is_loopless g p then begin
+        seen := Path_set.add p.Paths.links !seen;
+        Pqueue.push candidates c p
+      end
+    in
+    let expand (prev_path, _) =
+      let links = Array.of_list prev_path.Paths.links in
+      let nodes = Array.of_list (Paths.nodes g prev_path) in
+      for i = 0 to Array.length links - 1 do
+        let spur_node = nodes.(i) in
+        let root_links = Array.to_list (Array.sub links 0 i) in
+        (* Links banned at the spur: the i-th hop of every accepted or
+           candidate path sharing this root prefix. *)
+        let banned_links_tbl = Hashtbl.create 8 in
+        let consider p =
+          let pl = p.Paths.links in
+          let rec prefix_match a b =
+            match (a, b) with
+            | [], _ -> true
+            | x :: xs, y :: ys when x = y -> prefix_match xs ys
+            | _ -> false
+          in
+          if prefix_match root_links pl then
+            match List.nth_opt pl i with
+            | Some l -> Hashtbl.replace banned_links_tbl l ()
+            | None -> ()
+        in
+        List.iter (fun (p, _) -> consider p) !accepted;
+        (* Nodes of the root path (except the spur node) are banned to
+           keep candidates loopless. *)
+        let banned_nodes_tbl = Hashtbl.create 8 in
+        for j = 0 to i - 1 do
+          Hashtbl.replace banned_nodes_tbl nodes.(j) ()
+        done;
+        let constraints =
+          {
+            Dijkstra.banned_links = Hashtbl.mem banned_links_tbl;
+            banned_nodes = Hashtbl.mem banned_nodes_tbl;
+          }
+        in
+        let init_tech =
+          if i = 0 then None
+          else Some (Multigraph.link g links.(i - 1)).Multigraph.tech
+        in
+        let spur =
+          match init_tech with
+          | None -> Dijkstra.shortest_path ~csc ~constraints g ~src:spur_node ~dst
+          | Some t ->
+            Dijkstra.shortest_path ~csc ~constraints ~init_tech:t g ~src:spur_node
+              ~dst
+        in
+        match spur with
+        | None -> ()
+        | Some (spur_path, _) ->
+          let total_links = root_links @ spur_path.Paths.links in
+          let p = Paths.of_links g total_links in
+          let cost = Dijkstra.path_cost ~csc g p in
+          if Float.is_finite cost then add_candidate (p, cost)
+      done
+    in
+    let rec loop () =
+      if List.length !accepted >= k then ()
+      else begin
+        expand (List.hd !accepted);
+        match Pqueue.pop candidates with
+        | None -> ()
+        | Some (cost, p) ->
+          accepted := (p, cost) :: !accepted;
+          loop ()
+      end
+    in
+    loop ();
+    List.sort (fun (_, a) (_, b) -> compare a b) (List.rev !accepted)

@@ -1,0 +1,19 @@
+(** Yen's algorithm: the n shortest loopless paths under the CSC metric.
+
+    This implements the [n-shortest(G)] step of Section 3.2. The
+    multipath exploration tree expands each multigraph vertex with the
+    [n] shortest single-path-procedure routes; considering several
+    candidates both enables route diversity and compensates for the
+    single-path procedure not always returning the highest-throughput
+    route. The paper uses [n = 5].
+
+    Spur-path computations charge the channel-switching cost at the
+    spur node according to the technology of the last root-path hop,
+    so candidate costs equal {!Dijkstra.path_cost} of the full path. *)
+
+val k_shortest :
+  ?csc:bool -> Multigraph.t -> src:int -> dst:int -> k:int -> (Paths.t * float) list
+(** [k_shortest g ~src ~dst ~k] returns up to [k] distinct loopless
+    paths in non-decreasing weight order (fewer if the network does
+    not contain [k] usable paths; empty if [dst] is unreachable).
+    Requires [k >= 1] and [src <> dst]. *)

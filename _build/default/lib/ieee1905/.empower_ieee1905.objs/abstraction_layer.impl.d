@@ -1,0 +1,1 @@
+lib/ieee1905/abstraction_layer.ml: Array Char Cmdu Hashtbl List Multigraph String Technology Tlv

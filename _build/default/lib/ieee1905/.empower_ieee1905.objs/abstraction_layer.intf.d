@@ -1,0 +1,1 @@
+lib/ieee1905/abstraction_layer.mli: Cmdu Multigraph Technology Tlv

@@ -1,0 +1,1 @@
+lib/ieee1905/cmdu.ml: Bytes Char Format List Printf Tlv

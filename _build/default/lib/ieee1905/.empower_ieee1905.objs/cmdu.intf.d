@@ -1,0 +1,1 @@
+lib/ieee1905/cmdu.mli: Format Tlv

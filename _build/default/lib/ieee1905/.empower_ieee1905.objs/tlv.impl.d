@@ -1,0 +1,1 @@
+lib/ieee1905/tlv.ml: Buffer Bytes Char Float Format List String

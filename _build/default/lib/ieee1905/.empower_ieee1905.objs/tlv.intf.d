@@ -1,0 +1,1 @@
+lib/ieee1905/tlv.mli: Format

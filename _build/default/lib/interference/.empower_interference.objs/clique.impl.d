@@ -1,0 +1,1 @@
+lib/interference/clique.ml: Array Fun Int List Set

@@ -1,0 +1,1 @@
+lib/interference/clique.mli:

@@ -1,0 +1,1 @@
+lib/interference/domain.ml: Array Builder Clique Float Geometry Multigraph Technology

@@ -1,0 +1,1 @@
+lib/interference/domain.mli: Builder Geometry Multigraph Technology

@@ -1,0 +1,38 @@
+module Int_set = Set.Make (Int)
+
+let bron_kerbosch ~n ~neighbors =
+  let nbr = Array.init n (fun v -> Int_set.of_list (neighbors v)) in
+  let cliques = ref [] in
+  (* Pivoted Bron-Kerbosch: r = current clique, p = candidates,
+     x = already-covered vertices. *)
+  let rec go r p x =
+    if Int_set.is_empty p && Int_set.is_empty x then
+      cliques := Int_set.elements r :: !cliques
+    else begin
+      (* Pivot: vertex of p U x with most neighbors in p. *)
+      let pivot =
+        let best = ref (-1) and bestn = ref (-1) in
+        Int_set.iter
+          (fun v ->
+            let cnt = Int_set.cardinal (Int_set.inter nbr.(v) p) in
+            if cnt > !bestn then begin
+              bestn := cnt;
+              best := v
+            end)
+          (Int_set.union p x);
+        !best
+      in
+      let candidates =
+        if pivot < 0 then p else Int_set.diff p nbr.(pivot)
+      in
+      let p = ref p and x = ref x in
+      Int_set.iter
+        (fun v ->
+          go (Int_set.add v r) (Int_set.inter !p nbr.(v)) (Int_set.inter !x nbr.(v));
+          p := Int_set.remove v !p;
+          x := Int_set.add v !x)
+        candidates
+    end
+  in
+  go Int_set.empty (Int_set.of_list (List.init n Fun.id)) Int_set.empty;
+  List.sort compare !cliques

@@ -1,0 +1,15 @@
+(** Maximal cliques of an undirected graph (Bron–Kerbosch).
+
+    The exact airtime-feasibility region of a perfectly scheduled
+    shared medium has one constraint per maximal clique of the
+    link-interference graph; the optimal baselines of Section 5.2.2
+    need these cliques. Pivoted Bron–Kerbosch is exponential in the
+    worst case but instantaneous on the paper-scale networks (tens to
+    a few hundred links whose interference graphs are near-cliques
+    per medium). *)
+
+val bron_kerbosch : n:int -> neighbors:(int -> int list) -> int list list
+(** All maximal cliques of the graph on vertices [0..n-1]. [neighbors]
+    must be symmetric and irreflexive. Each clique is sorted; the list
+    order is deterministic. Singleton vertices yield singleton
+    cliques. *)

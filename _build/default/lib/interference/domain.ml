@@ -1,0 +1,84 @@
+type t = {
+  matrix : bool array array;  (* symmetric pairwise interference *)
+  domains : int list array;   (* I_l, sorted, includes l *)
+}
+
+let build_domains matrix =
+  let n = Array.length matrix in
+  Array.init n (fun l ->
+      let acc = ref [] in
+      for l' = n - 1 downto 0 do
+        if matrix.(l).(l') then acc := l' :: !acc
+      done;
+      !acc)
+
+let create g ~interferes =
+  let n = Multigraph.num_links g in
+  let matrix = Array.make_matrix n n false in
+  for l = 0 to n - 1 do
+    matrix.(l).(l) <- true;
+    let peer = (Multigraph.link g l).Multigraph.peer in
+    matrix.(l).(peer) <- true;
+    for l' = l + 1 to n - 1 do
+      if interferes l l' || interferes l' l then begin
+        matrix.(l).(l') <- true;
+        matrix.(l').(l) <- true
+      end
+    done
+  done;
+  { matrix; domains = build_domains matrix }
+
+let endpoint_distance positions (a : Multigraph.link) (b : Multigraph.link) =
+  let dist u v = Geometry.distance positions.(u) positions.(v) in
+  let open Multigraph in
+  Float.min
+    (Float.min (dist a.src b.src) (dist a.src b.dst))
+    (Float.min (dist a.dst b.src) (dist a.dst b.dst))
+
+let standard ?(cs_factor = 1.5) g ~techs ~positions ~panels =
+  let interferes l l' =
+    let a = Multigraph.link g l and b = Multigraph.link g l' in
+    let open Multigraph in
+    if a.tech <> b.tech then false
+    else begin
+      let tech = techs.(a.tech) in
+      if Technology.is_plc tech then
+        (* One collision domain per electrical panel (one coordinator). *)
+        panels.(a.src) = panels.(b.src)
+      else begin
+        let cs_range = cs_factor *. tech.Technology.conn_radius_m in
+        a.src = b.src || a.src = b.dst || a.dst = b.src || a.dst = b.dst
+        || endpoint_distance positions a b <= cs_range
+      end
+    end
+  in
+  create g ~interferes
+
+let of_instance inst scenario g =
+  let nodes = inst.Builder.nodes in
+  let positions = Array.map (fun nd -> nd.Builder.pos) nodes in
+  let panels = Array.map (fun nd -> nd.Builder.panel) nodes in
+  standard g ~techs:(Builder.techs scenario) ~positions ~panels
+
+let single_domain_per_tech g =
+  let interferes l l' =
+    (Multigraph.link g l).Multigraph.tech = (Multigraph.link g l').Multigraph.tech
+  in
+  create g ~interferes
+
+let interferes t l l' = t.matrix.(l).(l')
+
+let domain t l = t.domains.(l)
+
+let num_links t = Array.length t.matrix
+
+let graph_cliques t =
+  let n = Array.length t.matrix in
+  let neighbors v =
+    let acc = ref [] in
+    for u = n - 1 downto 0 do
+      if u <> v && t.matrix.(v).(u) then acc := u :: !acc
+    done;
+    !acc
+  in
+  Clique.bron_kerbosch ~n ~neighbors

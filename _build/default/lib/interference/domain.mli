@@ -1,0 +1,59 @@
+(** Interference domains I_l (Section 2).
+
+    The interference domain of link [l] contains [l] itself and every
+    link that cannot transmit simultaneously with [l]. Both WiFi
+    (802.11 CSMA/CA) and PLC (IEEE 1901 CSMA/CA) are shared mediums,
+    so interference exists within each technology and never across
+    technologies:
+
+    - two WiFi links on the same channel interfere when any endpoint
+      of one senses any endpoint of the other (perfect carrier
+      sensing, range = carrier-sense factor x connection radius);
+    - all PLC links under the same central coordinator (same
+      electrical panel) form one collision domain [IEEE 1901];
+    - the two directions of a physical edge always interfere.
+
+    A {!t} is precomputed once per multigraph and queried by routing,
+    congestion control, the optimal baselines and the MAC simulator. *)
+
+type t
+(** Symmetric interference structure over the links of one multigraph. *)
+
+val create : Multigraph.t -> interferes:(int -> int -> bool) -> t
+(** Build from an explicit pairwise predicate (symmetrized; peers and
+    self are always included). *)
+
+val standard :
+  ?cs_factor:float ->
+  Multigraph.t ->
+  techs:Technology.t array ->
+  positions:Geometry.point array ->
+  panels:int array ->
+  t
+(** The physical model described above. [cs_factor] (default 1.5)
+    scales each WiFi technology's connection radius into its
+    carrier-sense radius. [positions] and [panels] are indexed by node
+    id; [techs] by technology index. *)
+
+val of_instance : Builder.instance -> Builder.scenario -> Multigraph.t -> t
+(** Convenience: {!standard} wired to a topology instance's positions
+    and panels, with the scenario's technology table. *)
+
+val single_domain_per_tech : Multigraph.t -> t
+(** Every pair of same-technology links interferes — the small-network
+    limit (used by unit tests and the paper's illustrating examples,
+    e.g. Figure 3's "all links using the same medium interfere"). *)
+
+val interferes : t -> int -> int -> bool
+(** [interferes t l l'] — symmetric; [interferes t l l = true]. *)
+
+val domain : t -> int -> int list
+(** I_l: the sorted ids of links interfering with [l] (includes [l]). *)
+
+val num_links : t -> int
+(** Number of links covered. *)
+
+val graph_cliques : t -> int list list
+(** Maximal cliques of the link-interference graph (via
+    {!Clique.bron_kerbosch}); the exact airtime constraints of the
+    centralized optimal scheduler are one inequality per clique. *)

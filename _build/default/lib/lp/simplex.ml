@@ -1,0 +1,216 @@
+type op = Le | Eq | Ge
+
+type outcome =
+  | Optimal of float array * float
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: [m] constraint rows over [n_cols] structural +
+   slack/artificial columns, plus the right-hand side in column
+   [n_cols]. [basis.(i)] is the column basic in row i. *)
+type tableau = {
+  a : float array array;  (* m x (n_cols + 1) *)
+  basis : int array;
+  m : int;
+  n_cols : int;
+}
+
+let pivot t ~row ~col =
+  let piv = t.a.(row).(col) in
+  let arow = t.a.(row) in
+  for j = 0 to t.n_cols do
+    arow.(j) <- arow.(j) /. piv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if Float.abs f > 0.0 then begin
+        let ai = t.a.(i) in
+        for j = 0 to t.n_cols do
+          ai.(j) <- ai.(j) -. (f *. arow.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced cost of column j under objective [obj] (a row vector over
+   all columns): obj_j - sum_i obj_basis(i) * a_ij. *)
+let reduced_costs t obj =
+  let z = Array.make t.n_cols 0.0 in
+  for j = 0 to t.n_cols - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to t.m - 1 do
+      let ob = obj.(t.basis.(i)) in
+      if ob <> 0.0 then acc := !acc +. (ob *. t.a.(i).(j))
+    done;
+    z.(j) <- obj.(j) -. !acc
+  done;
+  z
+
+let objective_value t obj =
+  let acc = ref 0.0 in
+  for i = 0 to t.m - 1 do
+    let ob = obj.(t.basis.(i)) in
+    if ob <> 0.0 then acc := !acc +. (ob *. t.a.(i).(t.n_cols))
+  done;
+  !acc
+
+(* One simplex phase: maximize obj over the tableau. [allowed j] masks
+   columns that may enter (used to keep artificials out in phase 2).
+   Dantzig's rule with a switch to Bland's rule after an iteration
+   budget guards against cycling. Returns [`Optimal] or [`Unbounded]. *)
+let run_phase t obj ~allowed =
+  let max_dantzig = 20 * (t.m + t.n_cols) in
+  let iter = ref 0 in
+  let rec step () =
+    incr iter;
+    let z = reduced_costs t obj in
+    let entering =
+      if !iter <= max_dantzig then begin
+        (* Dantzig: most positive reduced cost. *)
+        let best = ref (-1) and bestv = ref eps in
+        for j = 0 to t.n_cols - 1 do
+          if allowed j && z.(j) > !bestv then begin
+            bestv := z.(j);
+            best := j
+          end
+        done;
+        !best
+      end
+      else begin
+        (* Bland: smallest index with positive reduced cost. *)
+        let rec find j =
+          if j >= t.n_cols then -1
+          else if allowed j && z.(j) > eps then j
+          else find (j + 1)
+        in
+        find 0
+      end
+    in
+    if entering < 0 then `Optimal
+    else begin
+      (* Ratio test; Bland tie-break on the leaving basic variable. *)
+      let row = ref (-1) and best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(entering) in
+        if aij > eps then begin
+          let ratio = t.a.(i).(t.n_cols) /. aij in
+          if
+            ratio < !best_ratio -. eps
+            || (Float.abs (ratio -. !best_ratio) <= eps
+               && !row >= 0
+               && t.basis.(i) < t.basis.(!row))
+          then begin
+            best_ratio := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!row ~col:entering;
+        step ()
+      end
+    end
+  in
+  step ()
+
+let solve_max ~c ~rows =
+  let n = Array.length c in
+  List.iter
+    (fun (a, _, _) ->
+      if Array.length a <> n then
+        invalid_arg "Simplex: row length differs from objective length")
+    rows;
+  (* Normalize to b >= 0. *)
+  let rows =
+    List.map
+      (fun (a, op, b) ->
+        if b < 0.0 then
+          ( Array.map (fun v -> -.v) a,
+            (match op with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (a, op, b))
+      rows
+  in
+  let m = List.length rows in
+  let n_slack =
+    List.fold_left
+      (fun acc (_, op, _) -> match op with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  (* Artificials: for Ge and Eq rows. *)
+  let n_art =
+    List.fold_left
+      (fun acc (_, op, _) -> match op with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows
+  in
+  let n_cols = n + n_slack + n_art in
+  let a = Array.make_matrix m (n_cols + 1) 0.0 in
+  let basis = Array.make m 0 in
+  let slack_idx = ref n and art_idx = ref (n + n_slack) in
+  List.iteri
+    (fun i (arow, op, b) ->
+      Array.blit arow 0 a.(i) 0 n;
+      a.(i).(n_cols) <- b;
+      (match op with
+      | Le ->
+        a.(i).(!slack_idx) <- 1.0;
+        basis.(i) <- !slack_idx;
+        incr slack_idx
+      | Ge ->
+        a.(i).(!slack_idx) <- -1.0;
+        incr slack_idx;
+        a.(i).(!art_idx) <- 1.0;
+        basis.(i) <- !art_idx;
+        incr art_idx
+      | Eq ->
+        a.(i).(!art_idx) <- 1.0;
+        basis.(i) <- !art_idx;
+        incr art_idx))
+    rows;
+  let t = { a; basis; m; n_cols } in
+  let is_artificial j = j >= n + n_slack in
+  (* Phase 1: maximize -(sum of artificials). *)
+  if n_art > 0 then begin
+    let obj1 = Array.make n_cols 0.0 in
+    for j = n + n_slack to n_cols - 1 do
+      obj1.(j) <- -1.0
+    done;
+    match run_phase t obj1 ~allowed:(fun _ -> true) with
+    | `Unbounded -> assert false (* phase-1 objective is bounded by 0 *)
+    | `Optimal ->
+      if objective_value t obj1 < -.1e-7 then raise Exit
+  end;
+  (* Drive any zero-valued artificials out of the basis when possible. *)
+  for i = 0 to m - 1 do
+    if is_artificial t.basis.(i) then begin
+      let found = ref (-1) in
+      for j = 0 to n + n_slack - 1 do
+        if !found < 0 && Float.abs t.a.(i).(j) > 1e-7 then found := j
+      done;
+      if !found >= 0 then pivot t ~row:i ~col:!found
+    end
+  done;
+  (* Phase 2. *)
+  let obj2 = Array.make n_cols 0.0 in
+  Array.blit c 0 obj2 0 n;
+  let allowed j = not (is_artificial j) in
+  match run_phase t obj2 ~allowed with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+    let x = Array.make n 0.0 in
+    for i = 0 to m - 1 do
+      if t.basis.(i) < n then x.(t.basis.(i)) <- t.a.(i).(n_cols)
+    done;
+    Optimal (x, objective_value t obj2)
+
+let maximize ~c ~rows = try solve_max ~c ~rows with Exit -> Infeasible
+
+let minimize ~c ~rows =
+  match maximize ~c:(Array.map (fun v -> -.v) c) ~rows with
+  | Optimal (x, v) -> Optimal (x, -.v)
+  | (Infeasible | Unbounded) as o -> o

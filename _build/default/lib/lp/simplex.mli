@@ -1,0 +1,32 @@
+(** Dense two-phase primal simplex.
+
+    The optimal baselines of Section 5.2.2 need exact solutions of
+    linear programs over the airtime polytopes (max-throughput flow
+    for a single flow; the Frank–Wolfe linear oracle for utility
+    maximization with several flows). Paper-scale instances are tiny
+    (hundreds of variables, ~100 rows), so a dense tableau simplex
+    with Bland's anti-cycling rule is entirely adequate and has no
+    external dependencies.
+
+    Problems are stated over variables [x >= 0]:
+    maximize [c . x] subject to rows [a_i . x (<= | = | >=) b_i].
+    Right-hand sides may be negative (rows are normalized
+    internally). *)
+
+type op = Le | Eq | Ge
+
+type outcome =
+  | Optimal of float array * float  (** solution vector and objective *)
+  | Infeasible
+  | Unbounded
+
+val maximize :
+  c:float array -> rows:(float array * op * float) list -> outcome
+(** Solve. Raises [Invalid_argument] if a row's coefficient vector
+    length differs from [c]'s. Numerical tolerance is 1e-9; feasible
+    solutions are exact vertices of the constraint polytope. *)
+
+val minimize :
+  c:float array -> rows:(float array * op * float) list -> outcome
+(** [maximize] on the negated objective, with the objective value
+    sign-corrected. *)

@@ -1,0 +1,1 @@
+lib/lsdb/control_plane.ml: Array Float List Lsa Lsdb Multigraph Rng

@@ -1,0 +1,1 @@
+lib/lsdb/control_plane.mli: Lsa Lsdb Multigraph Rng

@@ -1,0 +1,1 @@
+lib/lsdb/lsa.ml: Bytes Char Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/lsdb/lsa.mli: Format

@@ -1,0 +1,1 @@
+lib/lsdb/lsdb.ml: Array Hashtbl List Lsa Multigraph

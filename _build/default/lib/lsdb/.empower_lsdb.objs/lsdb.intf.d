@@ -1,0 +1,1 @@
+lib/lsdb/lsdb.mli: Lsa Multigraph

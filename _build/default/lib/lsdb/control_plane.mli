@@ -1,0 +1,26 @@
+(** Gluing the link-state machinery to a hybrid network.
+
+    Every node advertises its egress links (capacity estimates, not
+    ground truth) in one or more LSAs; databases are populated by
+    flooding over the network's own connectivity; each source then
+    assembles its multigraph view from its database and runs routing
+    on it. {!converged_view} packages the whole cycle — what the
+    paper's implementation does continuously in the background. *)
+
+val advertise :
+  ?noise:float -> ?seq:int -> Rng.t -> Multigraph.t -> node:int -> Lsa.t list
+(** The LSAs node [node] originates for its usable egress links
+    (chunked at {!Lsa.max_links} entries). [noise] is the relative
+    std of the capacity-estimation error (default 0). *)
+
+val converged_view :
+  ?noise:float ->
+  Rng.t ->
+  Multigraph.t ->
+  viewer:int ->
+  Multigraph.t * Lsdb.Flood.stats
+(** Run a full LSA exchange over the graph's own links and return
+    node [viewer]'s reconstructed multigraph plus the flooding cost.
+    On a connected network the reconstruction contains every usable
+    link (capacities at wire precision, averaged between the two
+    endpoint estimates). *)

@@ -1,0 +1,95 @@
+type link_entry = {
+  neighbor : int;
+  tech : int;
+  capacity_mbps : float;
+}
+
+type t = {
+  origin : int;
+  seq : int;
+  fragment : int;
+  links : link_entry list;
+}
+
+let max_links = 31
+
+let make ?(fragment = 0) ~origin ~seq links =
+  if origin < 0 || origin > 0xFFFF then invalid_arg "Lsa.make: bad origin";
+  if seq < 0 || seq > 0xFFFFFFFF then invalid_arg "Lsa.make: bad seq";
+  if fragment < 0 || fragment > 0xFF then invalid_arg "Lsa.make: bad fragment";
+  if List.length links > max_links then invalid_arg "Lsa.make: too many links";
+  List.iter
+    (fun e ->
+      if e.neighbor < 0 || e.neighbor > 0xFFFF then invalid_arg "Lsa.make: bad neighbor";
+      if e.tech < 0 || e.tech > 0xFF then invalid_arg "Lsa.make: bad tech";
+      if (not (Float.is_finite e.capacity_mbps)) || e.capacity_mbps < 0.0 then
+        invalid_arg "Lsa.make: bad capacity")
+    links;
+  { origin; seq; fragment; links }
+
+let put_u16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let get_u16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let put_u32 b off v =
+  put_u16 b off ((v lsr 16) land 0xFFFF);
+  put_u16 b (off + 2) (v land 0xFFFF)
+
+let get_u32 b off = (get_u16 b off lsl 16) lor get_u16 b (off + 2)
+
+let kbps_of_mbps c = min 0xFFFFFFFF (int_of_float (Float.round (c *. 1000.0)))
+
+let encode t =
+  let n = List.length t.links in
+  let b = Bytes.make (8 + (8 * n)) '\000' in
+  put_u16 b 0 t.origin;
+  put_u32 b 2 t.seq;
+  Bytes.set b 6 (Char.chr n);
+  Bytes.set b 7 (Char.chr t.fragment);
+  List.iteri
+    (fun i e ->
+      let off = 8 + (8 * i) in
+      put_u16 b off e.neighbor;
+      Bytes.set b (off + 2) (Char.chr e.tech);
+      put_u32 b (off + 4) (kbps_of_mbps e.capacity_mbps))
+    t.links;
+  b
+
+let decode b =
+  let len = Bytes.length b in
+  if len < 8 then invalid_arg "Lsa.decode: truncated header";
+  let n = Char.code (Bytes.get b 6) in
+  if n > max_links then invalid_arg "Lsa.decode: bad link count";
+  if len <> 8 + (8 * n) then invalid_arg "Lsa.decode: length mismatch";
+  let links =
+    List.init n (fun i ->
+        let off = 8 + (8 * i) in
+        if Bytes.get b (off + 3) <> '\000' then
+          invalid_arg "Lsa.decode: reserved byte set";
+        {
+          neighbor = get_u16 b off;
+          tech = Char.code (Bytes.get b (off + 2));
+          capacity_mbps = float_of_int (get_u32 b (off + 4)) /. 1000.0;
+        })
+  in
+  { origin = get_u16 b 0; seq = get_u32 b 2; fragment = Char.code (Bytes.get b 7); links }
+
+let size t = 8 + (8 * List.length t.links)
+
+let equal a b =
+  a.origin = b.origin && a.seq = b.seq && a.fragment = b.fragment
+  && List.length a.links = List.length b.links
+  && List.for_all2
+       (fun x y ->
+         x.neighbor = y.neighbor && x.tech = y.tech
+         && kbps_of_mbps x.capacity_mbps = kbps_of_mbps y.capacity_mbps)
+       a.links b.links
+
+let pp ppf t =
+  Format.fprintf ppf "lsa[%d#%d.%d:%s]" t.origin t.seq t.fragment
+    (String.concat ";"
+       (List.map
+          (fun e -> Printf.sprintf "%d/t%d@%.1f" e.neighbor e.tech e.capacity_mbps)
+          t.links))

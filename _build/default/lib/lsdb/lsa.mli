@@ -1,0 +1,59 @@
+(** Link-state advertisements for EMPoWER's control plane.
+
+    The paper's implementation replaces ARP with its own routing
+    protocol: every node periodically advertises its egress links and
+    their estimated capacities so that flow sources can assemble the
+    hybrid multigraph that Section 3's algorithms run on. An LSA
+    carries one node's view of its own links; sequence numbers
+    version it (higher wins, as in OSPF), and flooding forwards an
+    LSA once per node.
+
+    Wire format (big-endian), 8-byte header + 8 bytes per link:
+    {v
+    bytes 0..1  origin node id (uint16)
+    bytes 2..5  sequence number (uint32)
+    byte  6     number of link entries (uint8, <= 31)
+    byte  7     fragment id (uint8; nodes with more than 31 links
+                split their advertisement into fragments)
+    then per link:
+      bytes 0..1  neighbor node id (uint16)
+      byte  2     technology index (uint8)
+      byte  3     reserved (0)
+      bytes 4..7  capacity in kbit/s (uint32)
+    v} *)
+
+type link_entry = {
+  neighbor : int;        (** receiving node of the advertised link *)
+  tech : int;            (** technology index *)
+  capacity_mbps : float; (** estimated capacity *)
+}
+
+type t = {
+  origin : int;
+  seq : int;
+  fragment : int;
+  links : link_entry list;
+}
+
+val max_links : int
+(** 31 entries per LSA (one byte of count, top bits reserved). *)
+
+val make : ?fragment:int -> origin:int -> seq:int -> link_entry list -> t
+(** Validate ranges ([Invalid_argument] on out-of-range ids, negative
+    capacity, too many links). Capacities are quantized to 1 kbit/s
+    on the wire. *)
+
+val encode : t -> bytes
+(** Serialize; length is [8 + 8 * length links]. *)
+
+val decode : bytes -> t
+(** Parse; [Invalid_argument] on malformed input (wrong length,
+    nonzero reserved bytes). *)
+
+val size : t -> int
+(** Encoded size in bytes. *)
+
+val equal : t -> t -> bool
+(** Structural equality with capacities compared at wire precision. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/phy/capacity.ml: Array Float Rng Technology

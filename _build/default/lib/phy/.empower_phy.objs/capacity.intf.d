@@ -1,0 +1,1 @@
+lib/phy/capacity.mli: Rng Technology

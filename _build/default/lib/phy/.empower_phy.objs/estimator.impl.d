@@ -1,0 +1,1 @@
+lib/phy/estimator.ml: Array Capacity Float Rng

@@ -1,0 +1,1 @@
+lib/phy/estimator.mli: Rng

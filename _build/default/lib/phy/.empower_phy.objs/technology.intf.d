@@ -1,0 +1,1 @@
+lib/phy/technology.mli: Format

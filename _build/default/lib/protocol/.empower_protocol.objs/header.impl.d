@@ -1,0 +1,1 @@
+lib/protocol/header.ml: Array Bytes Char Float Format Route_codec String

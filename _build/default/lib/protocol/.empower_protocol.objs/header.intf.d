@@ -1,0 +1,1 @@
+lib/protocol/header.mli: Format Route_codec

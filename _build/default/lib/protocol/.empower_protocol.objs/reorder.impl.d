@@ -1,0 +1,1 @@
+lib/protocol/reorder.ml: Array Float Int List Map

@@ -1,0 +1,1 @@
+lib/protocol/route_codec.ml: Array Int64 List Multigraph Paths

@@ -1,0 +1,1 @@
+lib/protocol/route_codec.mli: Multigraph Paths

@@ -1,0 +1,47 @@
+type route_report = {
+  route : int;
+  qr : float;
+  highest_seq : int;
+  bytes : int;
+}
+
+type t = {
+  flow : int;
+  sent_at : float;
+  reports : route_report list;
+}
+
+let period = 0.1
+
+type collector = {
+  flow : int;
+  qr : float array;
+  highest : int array;
+  window_bytes : int array;
+}
+
+let collector ~flow ~n_routes =
+  {
+    flow;
+    qr = Array.make n_routes 0.0;
+    highest = Array.make n_routes (-1);
+    window_bytes = Array.make n_routes 0;
+  }
+
+let on_packet c ~route ~qr ~seq ~bytes =
+  c.qr.(route) <- qr;
+  if seq > c.highest.(route) then c.highest.(route) <- seq;
+  c.window_bytes.(route) <- c.window_bytes.(route) + bytes
+
+let emit c ~now =
+  let reports =
+    List.init (Array.length c.qr) (fun r ->
+        {
+          route = r;
+          qr = c.qr.(r);
+          highest_seq = c.highest.(r);
+          bytes = c.window_bytes.(r);
+        })
+  in
+  Array.fill c.window_bytes 0 (Array.length c.window_bytes) 0;
+  { flow = c.flow; sent_at = now; reports }

@@ -1,0 +1,51 @@
+let max_hops = 6
+
+(* SplitMix-style scramble of the interface index, folded to 16 bits;
+   0 is reserved for "unused slot". *)
+let iface_hash ~node ~tech =
+  let z = Int64.of_int (((node + 1) * 131) + (tech * 7919)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let h = Int64.to_int (Int64.logand z 0xFFFFL) in
+  if h = 0 then 1 else h
+
+type route = int array
+
+let route_of_path g path =
+  let hops = path.Paths.links in
+  if List.length hops > max_hops then
+    invalid_arg "Route_codec.route_of_path: more than 6 hops";
+  let entries =
+    List.map
+      (fun l ->
+        let lk = Multigraph.link g l in
+        iface_hash ~node:lk.Multigraph.dst ~tech:lk.Multigraph.tech)
+      hops
+  in
+  let arr = Array.of_list entries in
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  for i = 0 to Array.length sorted - 2 do
+    if sorted.(i) = sorted.(i + 1) then
+      invalid_arg "Route_codec.route_of_path: interface hash collision in route"
+  done;
+  arr
+
+let find_own route ~my_ifaces =
+  let n = Array.length route in
+  let rec go i =
+    if i >= n then None
+    else if List.mem route.(i) my_ifaces then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let next_hop route ~my_ifaces =
+  match find_own route ~my_ifaces with
+  | None -> None
+  | Some i -> if i + 1 < Array.length route then Some route.(i + 1) else None
+
+let is_destination route ~my_ifaces =
+  match find_own route ~my_ifaces with
+  | None -> false
+  | Some i -> i = Array.length route - 1

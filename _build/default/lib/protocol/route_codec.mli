@@ -1,0 +1,38 @@
+(** Interface identifiers and the 12-byte source-route field.
+
+    EMPoWER uses short hashes of the interfaces' MAC addresses as
+    layer-2.5 identifiers: 2 bytes per ingress interface along the
+    route, at most 6 hops (Section 6.1). In the simulator an interface
+    is a (node, technology) pair; its identifier is a deterministic
+    16-bit hash, never zero (zero marks unused route slots). An
+    intermediate node locates its own interface hash in the route and
+    forwards toward the next entry. *)
+
+val max_hops : int
+(** 6, the paper's route-length limit. *)
+
+val iface_hash : node:int -> tech:int -> int
+(** Deterministic 16-bit identifier of an interface, in [1, 0xffff].
+    Collisions are possible in principle (16-bit space) but never
+    occur on paper-scale networks; {!route_of_path} raises if two
+    interfaces of the same route collide. *)
+
+type route = int array
+(** Ingress-interface hashes along the route, in hop order
+    (length <= {!max_hops}, entries in [1, 0xffff]). *)
+
+val route_of_path : Multigraph.t -> Paths.t -> route
+(** Compile a path: one entry per hop, the hash of the receiving
+    (ingress) interface of that hop. Raises [Invalid_argument] when
+    the path exceeds {!max_hops} or on a hash collision within the
+    route. *)
+
+val next_hop : route -> my_ifaces:int list -> int option
+(** Forwarding decision at a node owning the given interface hashes:
+    [Some h] is the ingress-interface hash of the next hop; [None]
+    when this node's interface is the route's last entry (the node is
+    the destination) or none of its interfaces appear (misrouted;
+    drop). The hop after entry i is entry i+1. *)
+
+val is_destination : route -> my_ifaces:int list -> bool
+(** Whether one of the node's interfaces is the final route entry. *)

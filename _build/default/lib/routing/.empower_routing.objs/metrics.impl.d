@@ -1,0 +1,1 @@
+lib/routing/metrics.ml: Array Dijkstra Domain Float List Multigraph Paths Yen

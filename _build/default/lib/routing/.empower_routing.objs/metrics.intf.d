@@ -1,0 +1,1 @@
+lib/routing/metrics.mli: Domain Multigraph Paths

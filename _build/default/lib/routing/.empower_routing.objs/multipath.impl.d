@@ -1,0 +1,1 @@
+lib/routing/multipath.ml: List Paths Update Yen

@@ -1,0 +1,1 @@
+lib/routing/multipath.mli: Domain Multigraph Paths

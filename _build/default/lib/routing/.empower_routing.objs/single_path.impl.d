@@ -1,0 +1,1 @@
+lib/routing/single_path.ml: Dijkstra Update

@@ -1,0 +1,1 @@
+lib/routing/single_path.mli: Domain Multigraph Paths

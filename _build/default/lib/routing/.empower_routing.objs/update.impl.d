@@ -1,0 +1,1 @@
+lib/routing/update.ml: Array Domain Float Hashtbl List Multigraph Paths

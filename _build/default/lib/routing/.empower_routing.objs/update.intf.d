@@ -1,0 +1,1 @@
+lib/routing/update.mli: Domain Multigraph Paths

@@ -1,0 +1,50 @@
+(** Alternative single-path link metrics (the paper's footnote 7).
+
+    Besides its own [W(l) = d_l] + CSC metric, the authors implemented
+    the classic multi-channel mesh metrics and found they all gave
+    worse routes in hybrid networks:
+
+    - {b ETT} [7] (expected transmission time): [d_l] per link, no
+      switching cost — pure capacity, ignores intra-path interference;
+    - {b IRU} [44] (interference-aware resource usage): [d_l]
+      multiplied by the number of links the transmission interferes
+      with — accounts for inter-flow interference that EMPoWER leaves
+      to the congestion controller;
+    - {b CATT} [12] (contention-aware transmission time): [d_l] summed
+      over the link's contention neighborhood, weighing how much
+      airtime a transmission really claims.
+
+    Each metric yields a weighting usable by a generic weighted
+    Dijkstra; {!route} runs it. The {!Ablations}-style comparison of
+    achieved throughput across metrics lives in the experiments
+    library. *)
+
+type t =
+  | Empower_csc  (** the paper's metric: d_l + channel-switching cost *)
+  | Optimal_csc  (** the tech report's per-path optimal CSC: w_ns = 0,
+                     w_s = -min(d_in, d_out) — not isotone (negative,
+                     per-path weights), so it cannot drive Dijkstra;
+                     we rerank Yen candidates by it instead *)
+  | Ett          (** d_l, no CSC *)
+  | Iru          (** d_l x |I_l| *)
+  | Catt         (** sum of d_l' over l' in I_l *)
+
+val all : t list
+(** All five, EMPoWER's first. *)
+
+val name : t -> string
+(** ["EMPoWER"], ["optimal-CSC"], ["ETT"], ["IRU"], ["CATT"]. *)
+
+val link_weight : t -> Multigraph.t -> Domain.t -> int -> float
+(** The metric's weight for one link ([infinity] on unusable links).
+    For [Empower_csc] and [Optimal_csc] this is just [d_l]; their
+    switching costs are charged at nodes, not links. *)
+
+val optimal_csc_cost : Multigraph.t -> Paths.t -> float
+(** A path's weight under the tech report's optimal CSC:
+    [Σ d_l - Σ_{switching nodes} min(d_in, d_out)]. *)
+
+val route :
+  t -> Multigraph.t -> Domain.t -> src:int -> dst:int -> (Paths.t * float) option
+(** Best single path under the metric (CSC active only for
+    [Empower_csc]). *)

@@ -1,0 +1,6 @@
+let route ?(csc = true) g ~src ~dst = Dijkstra.shortest_path ~csc g ~src ~dst
+
+let route_rate ?(csc = true) g dom ~src ~dst =
+  match route ~csc g ~src ~dst with
+  | None -> None
+  | Some (p, _) -> Some (p, Update.path_rate g dom p)

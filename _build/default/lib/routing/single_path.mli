@@ -1,0 +1,19 @@
+(** The single-path procedure (Section 3.1).
+
+    A thin, intention-revealing wrapper over the CSC-aware Dijkstra:
+    link weight [W(l) = d_l] (ETT-equivalent) plus the channel-
+    switching cost, computed on the virtual interface graph. Not
+    always the highest-throughput route — the multipath procedure
+    compensates by considering the n shortest candidates. *)
+
+val route :
+  ?csc:bool -> Multigraph.t -> src:int -> dst:int -> (Paths.t * float) option
+(** Shortest usable route and its metric weight, or [None] when
+    disconnected. [?csc] defaults to [true]; the paper sets the CSC
+    to zero in WiFi-only scenarios (there is nothing to alternate),
+    which callers express with [~csc:false]. *)
+
+val route_rate :
+  ?csc:bool -> Multigraph.t -> Domain.t -> src:int -> dst:int -> (Paths.t * float) option
+(** Same route, paired with its achievable rate [R(P)] instead of the
+    metric weight. *)

@@ -1,0 +1,33 @@
+let domain_path_weight g dom path l =
+  (* Σ_{l' ∈ I_l ∩ P} d_l' : the airtime-per-bit that path traffic
+     costs link l's collision domain. *)
+  List.fold_left
+    (fun acc l' ->
+      if Domain.interferes dom l l' then acc +. Multigraph.d g l' else acc)
+    0.0 path.Paths.links
+
+let rate_on_link g dom path l =
+  let w = domain_path_weight g dom path l in
+  if Float.is_finite w && w > 0.0 then 1.0 /. w else 0.0
+
+let path_rate g dom path =
+  List.fold_left
+    (fun acc l -> Float.min acc (rate_on_link g dom path l))
+    infinity path.Paths.links
+
+let idle_fraction g dom path l =
+  let r = path_rate g dom path in
+  if r <= 0.0 then 1.0
+  else begin
+    let consumed = r *. domain_path_weight g dom path l in
+    Float.max 0.0 (Float.min 1.0 (1.0 -. consumed))
+  end
+
+let update g dom path =
+  let caps = Multigraph.capacities g in
+  let touched = Hashtbl.create 32 in
+  List.iter
+    (fun l -> List.iter (fun l' -> Hashtbl.replace touched l' ()) (Domain.domain dom l))
+    path.Paths.links;
+  Hashtbl.iter (fun l () -> caps.(l) <- caps.(l) *. idle_fraction g dom path l) touched;
+  Multigraph.with_capacities g caps

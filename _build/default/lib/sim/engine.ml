@@ -1,0 +1,842 @@
+type transport = Udp | Tcp_transport
+
+type flow_spec = {
+  src : int;
+  dst : int;
+  routes : Paths.t list;
+  init_rates : float list;
+  workload : Workload.t;
+  transport : transport;
+  start_time : float;
+  stop_time : float option;
+}
+
+type config = {
+  frame_bytes : int;
+  queue_limit : int;
+  delta : float;
+  gamma_alpha : float;
+  cc_gain : float;
+  enable_cc : bool;
+  adaptive_alpha : bool;
+  delay_equalize : bool;
+  estimate_capacities : bool;
+  control_period : float;
+  collision_prob : float;
+}
+
+let default_config =
+  {
+    frame_bytes = 12000;
+    queue_limit = 100;
+    delta = 0.0;
+    gamma_alpha = 0.02;
+    cc_gain = 50.0;
+    enable_cc = true;
+    adaptive_alpha = true;
+    delay_equalize = false;
+    estimate_capacities = true;
+    control_period = 0.1;
+    collision_prob = 0.12;
+  }
+
+type flow_result = {
+  received_bytes : int;
+  goodput_series : (float * float) list;
+  rate_series : (float * float array) list;
+  completions : (float * float) list;
+  frames_lost : int;
+  frames_dropped : int;
+  final_rates : float array;
+  mean_delay : float;
+  p95_delay : float;
+}
+
+type result = {
+  flows : flow_result array;
+  duration : float;
+  queue_drops : int;
+  events_processed : int;
+}
+
+(* ---------- internal state ---------- *)
+
+type packet = {
+  flow : int;
+  route_idx : int;
+  mutable header : Header.t;
+  bytes : int;
+  sent_at : float;
+  links : int array;
+  mutable hop : int;
+}
+
+type file_rec = {
+  arrival : float;
+  fbytes : int;
+  mutable started_at : float;
+  mutable done_at : float;  (* < 0 while pending *)
+}
+
+type link_state = {
+  queue : packet Queue.t;
+  mutable on_air : packet option;
+  mutable air_collided : bool;
+  mutable last_service : float;
+  mutable window_bits : float;  (* bits that arrived at this queue in the window *)
+  mutable had_traffic : bool;
+  estimator : Estimator.t;
+}
+
+type flow_state = {
+  id : int;
+  spec : flow_spec;
+  routes : Paths.t array;
+  route_links : int array array;
+  route_codes : Route_codec.route array;
+  x : float array;
+  x_bar : float array;
+  alpha : Alpha.t;
+  mutable next_seq : int;
+  mutable active : bool;
+  mutable inject_scheduled : bool;
+  (* workload *)
+  files : file_rec array;       (* empty for Saturated *)
+  mutable sent_bytes : int;     (* handed to layer 2.5 by the app *)
+  (* receiver *)
+  reorder : packet Reorder.t;
+  collector : Ack.collector;
+  equalizer : Reorder.Equalizer.t;
+  mutable received_bytes : int;
+  mutable delivered_in_order_bytes : int;
+  mutable lost : int;
+  mutable src_dropped : int;
+  (* failure detection: bytes injected per route since the last ACK,
+     and how many consecutive ACKs reported nothing back *)
+  injected_window : float array;
+  dead_acks : int array;
+  (* tcp *)
+  tcp : Tcp.t option;
+  mutable tokens : float;
+  mutable tokens_at : float;
+  (* traces *)
+  mutable bin_start : float;
+  mutable bin_bits : float;
+  mutable goodput_rev : (float * float) list;
+  mutable rates_rev : (float * float array) list;
+  mutable delays_rev : float list;  (* sampled one-way frame delays *)
+  mutable delay_count : int;
+  reverse_latency : float;
+}
+
+type event =
+  | Tx_end of int
+  | Capacity_change of int * float  (* link id, new capacity (Mbps) *)
+  | Inject of int
+  | Control_tick
+  | Ack_arrive of int * Ack.t
+  | Tcp_ack_arrive of int * int
+  | Reorder_release of int * packet
+  | Tcp_rto of int * float  (* flow, the deadline this event was armed for *)
+  | Flow_start of int
+  | Flow_stop of int
+
+let mbps_of_bits bits seconds = bits /. 1e6 /. seconds
+
+let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duration =
+  let n_links = Multigraph.num_links g in
+  (* Live link capacities: start from the graph's and follow the
+     scheduled capacity-change / failure events. *)
+  let caps = Multigraph.capacities g in
+  let cap l = caps.(l) in
+  let queue_drops = ref 0 in
+  let events_processed = ref 0 in
+  let now = ref 0.0 in
+  let q = Pqueue.create () in
+  let schedule dt ev = Pqueue.push q (!now +. dt) ev in
+
+  (* --- links --- *)
+  let links =
+    Array.init n_links (fun l ->
+        {
+          queue = Queue.create ();
+          on_air = None;
+          air_collided = false;
+          last_service = -1.0;
+          window_bits = 0.0;
+          had_traffic = false;
+          estimator =
+            Estimator.create (Rng.split rng) ~initial_capacity:(cap l);
+        })
+  in
+  let d_est l =
+    if config.estimate_capacities then begin
+      let e = Estimator.estimate links.(l).estimator in
+      if e <= 0.01 then 100.0 else 1.0 /. e
+    end
+    else if cap l <= 0.0 then infinity
+    else 1.0 /. cap l
+  in
+  let gamma = Array.make n_links 0.0 in
+  (* Only links on some flow's route ever carry data-plane traffic;
+     only links interfering with those can accumulate airtime and
+     gamma. Restricting the control-plane loops to these sets keeps
+     the 100 ms tick cost independent of the network size. *)
+  let is_carrier = Array.make n_links false in
+  List.iter
+    (fun (spec : flow_spec) ->
+      List.iter
+        (fun p -> List.iter (fun l -> is_carrier.(l) <- true) p.Paths.links)
+        spec.routes)
+    flows;
+  let carrier_links =
+    List.filter (fun l -> is_carrier.(l)) (List.init n_links Fun.id)
+  in
+  let is_priced = Array.make n_links false in
+  List.iter
+    (fun l -> List.iter (fun i -> is_priced.(i) <- true) (Domain.domain dom l))
+    carrier_links;
+  let priced_links =
+    List.filter (fun l -> is_priced.(l)) (List.init n_links Fun.id)
+  in
+  (* Congestion price of link l: d_l * sum of gamma over I_l. *)
+  let link_price l =
+    let s =
+      List.fold_left (fun acc i -> acc +. gamma.(i)) 0.0 (Domain.domain dom l)
+    in
+    d_est l *. s
+  in
+
+  (* Per-node egress map: interface hash -> outgoing link id toward
+     that hash's owner. Used by the source-route forwarding. *)
+  let egress_by_hash = Array.make (Multigraph.n_nodes g) [] in
+  Array.iter
+    (fun (lk : Multigraph.link) ->
+      let h = Route_codec.iface_hash ~node:lk.Multigraph.dst ~tech:lk.Multigraph.tech in
+      egress_by_hash.(lk.Multigraph.src) <-
+        (h, lk.Multigraph.id) :: egress_by_hash.(lk.Multigraph.src))
+    (Multigraph.links g);
+  let my_ifaces =
+    Array.init (Multigraph.n_nodes g) (fun v ->
+        List.init (Multigraph.n_techs g) (fun k -> Route_codec.iface_hash ~node:v ~tech:k))
+  in
+
+  (* --- flows --- *)
+  let reverse_latency_of spec =
+    match Dijkstra.shortest_path g ~src:spec.dst ~dst:spec.src with
+    | None -> 0.005
+    | Some (p, _) ->
+      List.fold_left
+        (fun acc l ->
+          acc +. Units.tx_time ~capacity_mbps:(Multigraph.capacity g l) ~bytes:120
+          +. 0.001)
+        0.0 p.Paths.links
+  in
+  let make_flow id (spec : flow_spec) =
+    if spec.start_time < 0.0 then invalid_arg "Engine.run: negative start_time";
+    if List.length spec.routes <> List.length spec.init_rates then
+      invalid_arg "Engine.run: routes/init_rates length mismatch";
+    let routes = Array.of_list spec.routes in
+    Array.iter
+      (fun p ->
+        if Paths.hops p > Route_codec.max_hops then
+          invalid_arg "Engine.run: route exceeds 6 hops";
+        if Paths.src g p <> spec.src || Paths.dst g p <> spec.dst then
+          invalid_arg "Engine.run: route endpoints mismatch")
+      routes;
+    let n_routes = max 1 (Array.length routes) in
+    let longest =
+      Array.fold_left (fun acc p -> max acc (Paths.hops p)) 1 routes
+    in
+    let files =
+      match spec.workload with
+      | Workload.Saturated -> [||]
+      | Workload.File { bytes } ->
+        [| { arrival = 0.0; fbytes = bytes; started_at = -1.0; done_at = -1.0 } |]
+      | Workload.Poisson_files _ as w ->
+        let times = Workload.arrival_times (Rng.split rng) w in
+        let bytes =
+          match w with Workload.Poisson_files { bytes; _ } -> bytes | _ -> 0
+        in
+        Array.of_list
+          (List.map
+             (fun t -> { arrival = t; fbytes = bytes; started_at = -1.0; done_at = -1.0 })
+             times)
+    in
+    {
+      id;
+      spec;
+      routes;
+      route_links = Array.map (fun p -> Array.of_list p.Paths.links) routes;
+      route_codes = Array.map (Route_codec.route_of_path g) routes;
+      x = Array.of_list spec.init_rates;
+      x_bar = Array.of_list spec.init_rates;
+      alpha =
+        (if config.adaptive_alpha then
+           Alpha.create
+             ~single_path:(Array.length routes <= 1)
+             ~longest_route_hops:longest
+         else Alpha.fixed 0.02);
+      next_seq = 0;
+      active = false;
+      inject_scheduled = false;
+      files;
+      sent_bytes = 0;
+      reorder =
+        Reorder.create
+          ~declare_losses:(spec.transport = Udp)
+          ~n_routes ();
+      collector = Ack.collector ~flow:id ~n_routes;
+      equalizer = Reorder.Equalizer.create ~n_routes;
+      received_bytes = 0;
+      delivered_in_order_bytes = 0;
+      lost = 0;
+      src_dropped = 0;
+      injected_window = Array.make n_routes 0.0;
+      dead_acks = Array.make n_routes 0;
+      tcp =
+        (match spec.transport with
+        | Udp -> None
+        | Tcp_transport ->
+          let params = { Tcp.default_params with segment_bytes = config.frame_bytes } in
+          Some (Tcp.create ~params ~total_bytes:(Workload.total_bytes spec.workload) ()));
+      tokens = float_of_int config.frame_bytes;
+      tokens_at = 0.0;
+      bin_start = 0.0;
+      bin_bits = 0.0;
+      goodput_rev = [];
+      rates_rev = [];
+      delays_rev = [];
+      delay_count = 0;
+      reverse_latency = reverse_latency_of spec;
+    }
+  in
+  let flow_states = Array.of_list (List.mapi make_flow flows) in
+
+  (* --- goodput bins --- *)
+  let flush_bins_upto f t =
+    while f.bin_start +. 1.0 <= t do
+      f.goodput_rev <- (f.bin_start +. 1.0, mbps_of_bits f.bin_bits 1.0) :: f.goodput_rev;
+      f.bin_bits <- 0.0;
+      f.bin_start <- f.bin_start +. 1.0
+    done
+  in
+
+  (* --- MAC --- *)
+  let domain_free l =
+    List.for_all (fun l' -> links.(l').on_air = None) (Domain.domain dom l)
+  in
+  let collisions = ref 0 in
+  let rec try_start l =
+    let st = links.(l) in
+    if st.on_air = None && (not (Queue.is_empty st.queue)) && domain_free l then begin
+      let pkt = Queue.pop st.queue in
+      st.on_air <- Some pkt;
+      st.last_service <- !now;
+      (* CSMA/CA contention: the more backlogged stations share the
+         collision domain, the likelier two of them pick the same
+         slot. A collided frame still occupies the medium (the waste
+         the delta margin of (3) buys headroom against) but is lost.
+         With the controller keeping airtime below 1 - delta, queues
+         stay short and collisions stay rare; blasting without CC
+         keeps every contender backlogged and pays the full price. *)
+      (if config.collision_prob > 0.0 then begin
+         let contenders = ref 0 in
+         List.iter
+           (fun l' ->
+             if l' <> l && not (Queue.is_empty links.(l').queue) then incr contenders)
+           (Domain.domain dom l);
+         let p_ok = (1.0 -. config.collision_prob) ** float_of_int !contenders in
+         st.air_collided <- Rng.float rng > p_ok;
+         if st.air_collided then incr collisions
+       end
+       else st.air_collided <- false);
+      let cap_l = cap l in
+      if cap_l <= 0.0 then begin
+        (* Link died under us: drop the frame. *)
+        st.on_air <- None;
+        incr queue_drops;
+        try_start l
+      end
+      else schedule (Units.tx_time ~capacity_mbps:cap_l ~bytes:pkt.bytes) (Tx_end l)
+    end
+  in
+  let try_start_domain l =
+    (* Serve backlogged links of the freed domain,
+       least-recently-served first (CSMA fairness). *)
+    let candidates =
+      List.filter
+        (fun l' -> links.(l').on_air = None && not (Queue.is_empty links.(l').queue))
+        (Domain.domain dom l)
+    in
+    let sorted =
+      List.sort
+        (fun a b -> compare links.(a).last_service links.(b).last_service)
+        candidates
+    in
+    List.iter try_start sorted
+  in
+  let enqueue_on_link l pkt =
+    let st = links.(l) in
+    st.window_bits <- st.window_bits +. (8.0 *. float_of_int pkt.bytes);
+    st.had_traffic <- true;
+    if Queue.length st.queue >= config.queue_limit then incr queue_drops
+    else begin
+      (* Stamp the congestion price for this hop into the header. *)
+      pkt.header <- Header.add_price pkt.header (link_price l);
+      Queue.push pkt st.queue;
+      try_start l
+    end
+  in
+
+  (* --- source-side sending --- *)
+  let total_rate f = Array.fold_left ( +. ) 0.0 f.x in
+  let pick_route f =
+    let tot = total_rate f in
+    if tot <= 0.0 || Array.length f.routes = 0 then 0
+    else begin
+      let r = Rng.float rng *. tot in
+      let acc = ref 0.0 and chosen = ref (Array.length f.routes - 1) in
+      (try
+         Array.iteri
+           (fun i xi ->
+             acc := !acc +. xi;
+             if r < !acc then begin
+               chosen := i;
+               raise Exit
+             end)
+           f.x
+       with Exit -> ());
+      !chosen
+    end
+  in
+  let inject_frame f ~bytes ~seq =
+    let ri = pick_route f in
+    let pkt =
+      {
+        flow = f.id;
+        route_idx = ri;
+        header = Header.make ~seq ~qr:0.0 ~route:f.route_codes.(ri);
+        bytes;
+        sent_at = !now;
+        links = f.route_links.(ri);
+        hop = 0;
+      }
+    in
+    f.injected_window.(ri) <- f.injected_window.(ri) +. float_of_int bytes;
+    enqueue_on_link pkt.links.(0) pkt
+  in
+  let sendable_bytes f =
+    match f.spec.workload with
+    | Workload.Saturated -> max_int
+    | Workload.File _ | Workload.Poisson_files _ ->
+      Array.fold_left
+        (fun acc file -> if file.arrival <= !now then acc + file.fbytes else acc)
+        0 f.files
+  in
+  (* UDP pacing: one frame per Inject event, next scheduled from the
+     controller's total rate. *)
+  let rec schedule_inject f =
+    if f.active && not f.inject_scheduled then begin
+      let rate = total_rate f in
+      if rate < 0.05 then begin
+        f.inject_scheduled <- true;
+        schedule 0.2 (Inject f.id)
+      end
+      else begin
+        let dt = 8.0 *. float_of_int config.frame_bytes /. (rate *. 1e6) in
+        f.inject_scheduled <- true;
+        schedule dt (Inject f.id)
+      end
+    end
+  and handle_inject f =
+    f.inject_scheduled <- false;
+    if f.active && Array.length f.routes > 0 then begin
+      let rate = total_rate f in
+      (* File workloads are reliable: the sender keeps transmitting
+         (the application resends what was lost) until the receiver
+         holds the full file, so MAC losses cost time, not data. *)
+      if rate >= 0.05 && f.received_bytes < sendable_bytes f then begin
+        inject_frame f ~bytes:config.frame_bytes ~seq:(f.next_seq land 0xFFFFFFFF);
+        f.next_seq <- f.next_seq + 1;
+        f.sent_bytes <- f.sent_bytes + config.frame_bytes
+      end;
+      schedule_inject f
+    end
+  in
+  (* TCP sending: window-driven, policed by the controller's rate. *)
+  let refill_tokens f =
+    let rate = total_rate f in
+    (* Bucket depth: a quarter-second of the allocation (at least 8
+       frames) so ack-clocked TCP bursts are not punished when the
+       average rate respects the allocation. *)
+    let depth =
+      Float.max
+        (8.0 *. float_of_int config.frame_bytes)
+        (rate *. 1e6 /. 8.0 *. 0.25)
+    in
+    f.tokens <- Float.min depth (f.tokens +. (rate *. 1e6 /. 8.0 *. (!now -. f.tokens_at)));
+    f.tokens_at <- !now
+  in
+  let debug = Sys.getenv_opt "ENGINE_DEBUG" <> None in
+  let arm_rto f =
+    match f.tcp with
+    | None -> ()
+    | Some tcp -> (
+      match Tcp.rto_deadline tcp with
+      | Some dl -> Pqueue.push q (Float.max dl !now) (Tcp_rto (f.id, dl))
+      | None -> ())
+  in
+  (* The controller gates TCP by backpressure: when the flow's token
+     bucket is empty the source holds the next segment and resumes
+     when tokens accrue (the tun/tap queue filling up and blocking the
+     stack). Packets are only lost to MAC contention (queue overflow,
+     delta-dependent) and to reordering - the Section 6.4 effects. *)
+  let rec tcp_try_send f =
+    (match f.tcp with
+    | None -> ()
+    | Some tcp ->
+      if f.active && Array.length f.routes > 0 && not (Tcp.finished tcp) then begin
+        let tokens_ok =
+          if not config.enable_cc then true
+          else begin
+            refill_tokens f;
+            f.tokens >= float_of_int config.frame_bytes
+          end
+        in
+        if not tokens_ok then begin
+          if not f.inject_scheduled then begin
+            let rate = total_rate f in
+            let wait =
+              if rate < 0.05 then 0.2
+              else
+                (float_of_int config.frame_bytes -. f.tokens)
+                *. 8.0 /. (rate *. 1e6)
+            in
+            f.inject_scheduled <- true;
+            schedule (Float.max wait 1e-4) (Inject f.id)
+          end
+        end
+        else begin
+          let new_data_limit =
+            match Workload.total_bytes f.spec.workload with
+            | None -> None
+            | Some _ ->
+              (* ceil: the final partial segment is sendable *)
+              Some
+                ((sendable_bytes f + config.frame_bytes - 1) / config.frame_bytes)
+          in
+          match Tcp.take_segment ?new_data_limit tcp ~now:!now with
+          | None -> ()
+          | Some seq ->
+            if config.enable_cc then
+              f.tokens <- f.tokens -. float_of_int config.frame_bytes;
+            inject_frame f ~bytes:config.frame_bytes ~seq;
+            if debug then
+              Printf.eprintf "%.3f tcp send seq=%d cwnd=%.1f una=%d inflight=%d rate=%.2f tokens=%.0f\n"
+                !now seq (Tcp.cwnd tcp) (Tcp.snd_una tcp) (Tcp.in_flight tcp)
+                (total_rate f) f.tokens;
+            tcp_try_send f
+        end
+      end);
+    (* Heartbeat for bounded workloads: sending can be gated on future
+       file arrivals (Poisson workloads) with nothing in flight to
+       produce an ACK or RTO, so poll again shortly. *)
+    (match f.tcp with
+    | Some tcp
+      when f.active
+           && (not (Tcp.finished tcp))
+           && Workload.total_bytes f.spec.workload <> None
+           && not f.inject_scheduled ->
+      f.inject_scheduled <- true;
+      schedule 0.2 (Inject f.id)
+    | Some _ | None -> ());
+    arm_rto f
+  in
+
+  (* --- receiver --- *)
+  let completions_check f =
+    (* A file completes when the receiver's cumulative progress passes
+       its boundary; it starts when the previous finished (or at its
+       arrival). Under TCP, progress means in-order delivered bytes
+       (retransmitted duplicates must not count); UDP frames are never
+       duplicated, so raw arrivals are the right measure there. *)
+    let progress =
+      match f.tcp with
+      | Some _ -> f.delivered_in_order_bytes
+      | None -> f.received_bytes
+    in
+    let cum = ref 0 in
+    Array.iteri
+      (fun i file ->
+        let prev_done = if i = 0 then 0.0 else f.files.(i - 1).done_at in
+        if file.started_at < 0.0 && file.arrival <= !now && (i = 0 || prev_done >= 0.0)
+        then file.started_at <- Float.max file.arrival prev_done;
+        cum := !cum + file.fbytes;
+        if file.done_at < 0.0 && progress >= !cum then file.done_at <- !now)
+      f.files
+  in
+  let release_packet f (pkt : packet) =
+    (* Sample every 8th frame's one-way delay (queueing + transmission
+       along the route) to keep memory bounded on long runs. *)
+    f.delay_count <- f.delay_count + 1;
+    if f.delay_count land 7 = 0 then
+      f.delays_rev <- (!now -. pkt.sent_at) :: f.delays_rev;
+    Ack.on_packet f.collector ~route:pkt.route_idx ~qr:pkt.header.Header.qr
+      ~seq:pkt.header.Header.seq ~bytes:pkt.bytes;
+    flush_bins_upto f !now;
+    f.received_bytes <- f.received_bytes + pkt.bytes;
+    f.bin_bits <- f.bin_bits +. (8.0 *. float_of_int pkt.bytes);
+    let events =
+      Reorder.push f.reorder ~route:pkt.route_idx ~seq:pkt.header.Header.seq pkt
+    in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Reorder.Deliver (_, p) ->
+          f.delivered_in_order_bytes <- f.delivered_in_order_bytes + p.bytes
+        | Reorder.Lost _ -> f.lost <- f.lost + 1)
+      events;
+    (match f.tcp with
+    | None -> ()
+    | Some _ ->
+      (* Cumulative TCP ACK on every arrival (dup-acks included). *)
+      let cum = Reorder.next_expected f.reorder in
+      schedule f.reverse_latency (Tcp_ack_arrive (f.id, cum)));
+    completions_check f
+  in
+  let deliver_to_destination f pkt =
+    if config.delay_equalize then begin
+      let delay = !now -. pkt.sent_at in
+      Reorder.Equalizer.observe f.equalizer ~route:pkt.route_idx ~delay;
+      let hold = Reorder.Equalizer.release_delay f.equalizer ~route:pkt.route_idx in
+      if hold > 1e-6 then schedule hold (Reorder_release (f.id, pkt))
+      else release_packet f pkt
+    end
+    else release_packet f pkt
+  in
+
+  (* --- forwarding --- *)
+  let handle_tx_end l =
+    let st = links.(l) in
+    match st.on_air with
+    | None -> ()
+    | Some pkt when st.air_collided ->
+      (* Collided: airtime spent, frame lost. *)
+      st.on_air <- None;
+      st.air_collided <- false;
+      ignore pkt;
+      try_start_domain l
+    | Some pkt ->
+      st.on_air <- None;
+      let arrived_at = (Multigraph.link g l).Multigraph.dst in
+      let f = flow_states.(pkt.flow) in
+      (* Use the layer-2.5 source route for the forwarding decision. *)
+      if Route_codec.is_destination pkt.header.Header.route ~my_ifaces:my_ifaces.(arrived_at)
+      then deliver_to_destination f pkt
+      else begin
+        match
+          Route_codec.next_hop pkt.header.Header.route ~my_ifaces:my_ifaces.(arrived_at)
+        with
+        | None -> () (* misrouted; drop *)
+        | Some next_hash -> (
+          match List.assoc_opt next_hash egress_by_hash.(arrived_at) with
+          | None -> () (* no such neighbor anymore; drop *)
+          | Some next_link ->
+            pkt.hop <- pkt.hop + 1;
+            enqueue_on_link next_link pkt)
+      end;
+      try_start_domain l
+  in
+
+  (* --- controller --- *)
+  let probe_rate = 0.2 in
+  let cc_update f (ack : Ack.t) =
+    if config.enable_cc && Array.length f.routes > 0 then begin
+      let a = Alpha.current f.alpha in
+      let xf = total_rate f in
+      let u' = 1.0 /. (1.0 +. xf) in
+      List.iter
+        (fun (r : Ack.route_report) ->
+          let i = r.Ack.route in
+          (* Failure detection (Section 6.1: link failures are caught
+             within hundreds of ms): a route we keep feeding that
+             returns no bytes for several ACK periods is treated as
+             broken and backed off multiplicatively; the stale q_r it
+             last reported would otherwise keep it attractive. *)
+          if
+            f.injected_window.(i) > 2.0 *. float_of_int config.frame_bytes
+            && r.Ack.bytes = 0
+          then f.dead_acks.(i) <- f.dead_acks.(i) + 1
+          else if r.Ack.bytes > 0 then f.dead_acks.(i) <- 0;
+          f.injected_window.(i) <- 0.0;
+          if f.dead_acks.(i) >= 3 then begin
+            f.x.(i) <- f.x.(i) *. 0.5;
+            f.x_bar.(i) <- f.x_bar.(i) *. 0.5
+          end
+          else begin
+            let inner =
+              Float.max 0.0
+                (f.x_bar.(i) +. (config.cc_gain *. (u' -. r.Ack.qr)))
+            in
+            (* Keep a small probe rate on every configured route: a
+               route priced out of use must still carry occasional
+               packets, or its q_r would never refresh and the route
+               could never be reclaimed when conditions improve
+               (e.g. the Figure 9 contender leaving). *)
+            f.x.(i) <-
+              Float.max probe_rate (((1.0 -. a) *. f.x.(i)) +. (a *. inner))
+          end)
+        ack.Ack.reports;
+      for i = 0 to Array.length f.x - 1 do
+        f.x_bar.(i) <- ((1.0 -. a) *. f.x_bar.(i)) +. (a *. f.x.(i))
+      done;
+      Alpha.observe f.alpha (total_rate f);
+      (* refresh TCP policing promptly *)
+      match f.tcp with Some _ -> tcp_try_send f | None -> ()
+    end
+  in
+  let handle_control_tick () =
+    (* 1. Demand measurement and dual update (carrier/priced sets
+       only; everything else has zero demand and zero gamma). *)
+    let demand = Array.make n_links 0.0 in
+    List.iter
+      (fun l ->
+        let bits = links.(l).window_bits in
+        links.(l).window_bits <- 0.0;
+        demand.(l) <- bits /. 1e6 *. d_est l /. config.control_period)
+      carrier_links;
+    List.iter
+      (fun l ->
+        let y =
+          List.fold_left (fun acc l' -> acc +. demand.(l')) 0.0 (Domain.domain dom l)
+        in
+        gamma.(l) <-
+          Float.max 0.0
+            (gamma.(l) +. (config.gamma_alpha *. (y -. (1.0 -. config.delta)))))
+      priced_links;
+    (* 2. Capacity estimation (only carriers are ever priced or
+       transmitted on, so only they need tracking). *)
+    if config.estimate_capacities then
+      List.iter
+        (fun l ->
+          let st = links.(l) in
+          Estimator.set_mode st.estimator
+            (if st.had_traffic then Estimator.Active_traffic else Estimator.Probing);
+          st.had_traffic <- false;
+          Estimator.observe st.estimator ~now:!now ~true_capacity:(cap l))
+        carrier_links;
+    (* 3. Destination ACK emission + trace recording. *)
+    Array.iter
+      (fun f ->
+        if f.active then begin
+          let ack = Ack.emit f.collector ~now:!now in
+          schedule f.reverse_latency (Ack_arrive (f.id, ack));
+          f.rates_rev <- (!now, Array.copy f.x) :: f.rates_rev
+        end)
+      flow_states;
+    schedule config.control_period Control_tick
+  in
+
+  (* --- event dispatch --- *)
+  let handle = function
+    | Tx_end l -> handle_tx_end l
+    | Capacity_change (l, c) ->
+      caps.(l) <- Float.max 0.0 c;
+      (* A dead link drops its backlog; a healthier one may start. *)
+      if caps.(l) <= 0.0 then Queue.clear links.(l).queue else try_start l
+    | Inject fid -> (
+      let f = flow_states.(fid) in
+      match f.spec.transport with
+      | Udp -> handle_inject f
+      | Tcp_transport ->
+        f.inject_scheduled <- false;
+        tcp_try_send f)
+    | Control_tick -> handle_control_tick ()
+    | Ack_arrive (fid, ack) -> cc_update flow_states.(fid) ack
+    | Tcp_ack_arrive (fid, cum) -> (
+      let f = flow_states.(fid) in
+      match f.tcp with
+      | None -> ()
+      | Some tcp ->
+        Tcp.on_ack tcp ~now:!now ~cum_ack:cum;
+        tcp_try_send f;
+        arm_rto f)
+    | Reorder_release (fid, pkt) -> release_packet flow_states.(fid) pkt
+    | Tcp_rto (fid, armed_for) -> (
+      let f = flow_states.(fid) in
+      match f.tcp with
+      | None -> ()
+      | Some tcp -> (
+        match Tcp.rto_deadline tcp with
+        | Some dl when Float.abs (dl -. armed_for) < 1e-9 && dl <= !now +. 1e-9 ->
+          Tcp.on_rto tcp ~now:!now;
+          tcp_try_send f
+        | _ -> () (* stale timer *)))
+    | Flow_start fid ->
+      let f = flow_states.(fid) in
+      f.active <- true;
+      (match f.spec.transport with
+      | Udp -> schedule_inject f
+      | Tcp_transport -> tcp_try_send f)
+    | Flow_stop fid -> flow_states.(fid).active <- false
+  in
+
+  (* --- bootstrap --- *)
+  Array.iter
+    (fun f ->
+      Pqueue.push q f.spec.start_time (Flow_start f.id);
+      match f.spec.stop_time with
+      | Some t -> Pqueue.push q t (Flow_stop f.id)
+      | None -> ())
+    flow_states;
+  Pqueue.push q config.control_period Control_tick;
+  List.iter
+    (fun (t, l, c) ->
+      if t < 0.0 || l < 0 || l >= n_links then
+        invalid_arg "Engine.run: bad link event";
+      Pqueue.push q t (Capacity_change (l, c)))
+    link_events;
+
+  let rec loop () =
+    match Pqueue.peek q with
+    | None -> ()
+    | Some (t, _) when t > duration -> ()
+    | Some _ ->
+      (match Pqueue.pop q with
+      | None -> ()
+      | Some (t, ev) ->
+        now := Float.max !now t;
+        incr events_processed;
+        handle ev);
+      loop ()
+  in
+  loop ();
+  now := duration;
+
+  let results =
+    Array.map
+      (fun f ->
+        flush_bins_upto f duration;
+        {
+          received_bytes = f.received_bytes;
+          goodput_series = List.rev f.goodput_rev;
+          rate_series = List.rev f.rates_rev;
+          completions =
+            Array.to_list f.files
+            |> List.filter_map (fun file ->
+                   if file.done_at >= 0.0 && file.started_at >= 0.0 then
+                     Some (file.started_at, file.done_at -. file.started_at)
+                   else None);
+          frames_lost = f.lost;
+          frames_dropped = f.src_dropped;
+          final_rates = Array.copy f.x;
+          mean_delay = Stats.mean f.delays_rev;
+          p95_delay =
+            (match f.delays_rev with
+            | [] -> 0.0
+            | ds -> Stats.percentile ds 95.0);
+        })
+      flow_states
+  in
+  { flows = results; duration; queue_drops = !queue_drops; events_processed = !events_processed }

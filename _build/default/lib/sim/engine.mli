@@ -1,0 +1,126 @@
+(** Discrete-event packet simulator of the full EMPoWER datapath.
+
+    This is the OCaml equivalent of the paper's Click implementation
+    plus the testbed it ran on, with the same MAC abstraction as the
+    paper's Matlab simulator:
+
+    {b MAC.} Each directed link owns a FIFO frame queue. A link may
+    start transmitting when no link of its interference domain is on
+    the air (perfect carrier sensing, no back-off); when a domain
+    frees up, backlogged links are served least-recently-served-first,
+    which gives the equal-transmission-opportunity behaviour of
+    CSMA/CA (and hence Lemma 1's equal-rate sharing under
+    saturation). A frame occupies the medium for
+    [bytes / capacity]; queues overflow by dropping the arriving
+    frame.
+
+    {b Layer 2.5.} Sources inject frames carrying the 20-byte
+    EMPoWER header; the route is chosen per-frame with probability
+    proportional to the controller's route rates. Forwarding nodes
+    locate their interface hash in the source route, add the current
+    congestion price [d_l Σ_{i∈I_l} γ_i] to the header's q_r field
+    and enqueue on the matching egress link. Destinations feed a
+    reorder buffer, collect q_r per route, and return an ACK every
+    100 ms over the best reverse path (prioritized: modeled as a
+    fixed reverse-path latency, no data-plane airtime).
+
+    {b Control plane.} Every 100 ms each node measures the airtime
+    demand of its egress links from the bits that arrived in the last
+    window and the estimated capacities, exchanges the per-technology
+    aggregates with its interference neighborhood (the paper's
+    broadcast packets; modeled as instantaneous overhearing), and
+    updates the dual variables γ_l. Sources apply the proximal
+    multipath update on each ACK. Link capacities are known only
+    through {!Estimator}s (precise under traffic, coarser when
+    probing).
+
+    {b Transports.} UDP (rate-driven by the controller, or fixed
+    rates without CC) and the Reno TCP of {!Tcp} (window-driven, with
+    the controller enforcing its allocation by dropping above-rate
+    segments at the source, and optional destination-side delay
+    equalization). *)
+
+type transport =
+  | Udp
+  | Tcp_transport
+
+type flow_spec = {
+  src : int;
+  dst : int;
+  routes : Paths.t list;       (** preselected routes (from routing) *)
+  init_rates : float list;     (** initial injection rate per route (Mbit/s) *)
+  workload : Workload.t;
+  transport : transport;
+  start_time : float;          (** when the flow begins *)
+  stop_time : float option;    (** when the flow is switched off *)
+}
+
+type config = {
+  frame_bytes : int;        (** aggregate frame payload (default 12000) *)
+  queue_limit : int;        (** per-link queue capacity, frames (default 100) *)
+  delta : float;            (** constraint margin δ (default 0) *)
+  gamma_alpha : float;      (** dual step size (default 0.02) *)
+  cc_gain : float;          (** proximal gain (default 50) *)
+  enable_cc : bool;         (** false: inject at [init_rates] forever *)
+  adaptive_alpha : bool;    (** use the Section 6.1 α heuristic *)
+  delay_equalize : bool;    (** destination-side delay equalization *)
+  estimate_capacities : bool; (** true: prices use Estimator output *)
+  control_period : float;   (** controller/ACK period (default 0.1 s) *)
+  collision_prob : float;
+      (** CSMA/CA contention losses: a transmission starting while [m]
+          other stations of its collision domain are backlogged
+          collides (airtime wasted, frame lost) with probability
+          [1 - (1-p)^m]. Default 0.12; 0 disables (the idealized
+          Section 5 MAC). This is what makes over-driving the network
+          expensive and the δ margin worthwhile. *)
+}
+
+val default_config : config
+
+type flow_result = {
+  received_bytes : int;
+  goodput_series : (float * float) list;
+      (** (bin end time, delivered Mbit/s) per 1 s bin *)
+  rate_series : (float * float array) list;
+      (** (time, per-route injection rates) per control period *)
+  completions : (float * float) list;
+      (** per workload file: (start time, duration) *)
+  frames_lost : int;        (** declared lost by the reorder buffer *)
+  frames_dropped : int;     (** dropped at source token bucket (TCP over CC) *)
+  final_rates : float array; (** controller rates at the end *)
+  mean_delay : float;
+      (** mean one-way frame delay (s), sampled every 8th delivery —
+          the quantity the δ margin of (3) keeps low *)
+  p95_delay : float;         (** 95th percentile of the same samples *)
+}
+
+type result = {
+  flows : flow_result array;
+  duration : float;
+  queue_drops : int;        (** total MAC queue overflows *)
+  events_processed : int;
+}
+
+val run :
+  ?config:config ->
+  ?link_events:(float * int * float) list ->
+  Rng.t ->
+  Multigraph.t ->
+  Domain.t ->
+  flows:flow_spec list ->
+  duration:float ->
+  result
+(** Simulate [duration] seconds. Flow routes must be non-empty for
+    flows that should carry traffic; a flow with no routes idles.
+
+    [link_events] schedules capacity changes: [(t, link, capacity)]
+    sets the directed link's capacity at time [t] (0 = link failure,
+    which also drops the link's backlog). Estimators track the change
+    and the congestion controller re-prices the affected routes —
+    the Section 6.1 reaction to capacity changes and link failures.
+    Note that entries affect one direction; schedule the peer link
+    too for a physical-edge failure.
+
+    Raises [Invalid_argument] on malformed specs (negative times,
+    route/rate length mismatch, routes longer than the 6-hop header
+    limit, out-of-range link events). *)

@@ -1,0 +1,182 @@
+type params = {
+  segment_bytes : int;
+  init_cwnd : float;
+  init_ssthresh : float;
+  min_rto : float;
+  max_cwnd : float;
+}
+
+let default_params =
+  {
+    segment_bytes = 12000;
+    init_cwnd = 2.0;
+    init_ssthresh = 64.0;
+    min_rto = 0.2;
+    max_cwnd = 1000.0;
+  }
+
+type t = {
+  p : params;
+  total_segments : int option;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable next_new : int;
+  mutable una : int;
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;
+  mutable srtt_v : float;
+  mutable rttvar : float;
+  mutable rto : float;
+  mutable timer : float option;
+  mutable retransmit_queue : int list;
+  send_times : (int, float * bool) Hashtbl.t;  (* seq -> sent_at, retransmitted *)
+  mutable retx_count : int;
+  mutable max_sent : int;  (* one past the highest segment ever sent *)
+}
+
+let create ?(params = default_params) ~total_bytes () =
+  let total_segments =
+    Option.map
+      (fun b -> (b + params.segment_bytes - 1) / params.segment_bytes)
+      total_bytes
+  in
+  {
+    p = params;
+    total_segments;
+    cwnd = params.init_cwnd;
+    ssthresh = params.init_ssthresh;
+    next_new = 0;
+    una = 0;
+    dup_acks = 0;
+    in_recovery = false;
+    recover = -1;
+    srtt_v = 0.0;
+    rttvar = 0.0;
+    rto = 1.0;
+    timer = None;
+    retransmit_queue = [];
+    send_times = Hashtbl.create 64;
+    retx_count = 0;
+    max_sent = 0;
+  }
+
+let params t = t.p
+let segments_total t = t.total_segments
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+let srtt t = t.srtt_v
+let snd_una t = t.una
+let in_flight t = t.next_new - t.una
+let retransmissions t = t.retx_count
+let rto_deadline t = t.timer
+
+let finished t =
+  match t.total_segments with None -> false | Some n -> t.una >= n
+
+let arm_timer_if_needed t ~now =
+  if t.timer = None && in_flight t > 0 then t.timer <- Some (now +. t.rto)
+
+let take_segment ?new_data_limit t ~now =
+  let rec pop_retx () =
+    match t.retransmit_queue with
+    | [] -> None
+    | seq :: tl ->
+      t.retransmit_queue <- tl;
+      if seq < t.una then pop_retx () (* already acked meanwhile *)
+      else begin
+        Hashtbl.replace t.send_times seq (now, true);
+        t.retx_count <- t.retx_count + 1;
+        t.timer <- Some (now +. t.rto);
+        Some seq
+      end
+  in
+  match pop_retx () with
+  | Some seq -> Some seq
+  | None ->
+    let data_remains =
+      (match t.total_segments with None -> true | Some n -> t.next_new < n)
+      && match new_data_limit with None -> true | Some lim -> t.next_new < lim
+    in
+    if data_remains && float_of_int (in_flight t) < Float.min t.cwnd t.p.max_cwnd
+    then begin
+      let seq = t.next_new in
+      t.next_new <- t.next_new + 1;
+      (* After a go-back-N reset, re-sent segments are retransmissions
+         (Karn: their RTT samples would be ambiguous). *)
+      let is_retx = seq < t.max_sent in
+      if is_retx then t.retx_count <- t.retx_count + 1 else t.max_sent <- seq + 1;
+      Hashtbl.replace t.send_times seq (now, is_retx);
+      arm_timer_if_needed t ~now;
+      Some seq
+    end
+    else None
+
+let rtt_sample t rtt =
+  if t.srtt_v = 0.0 then begin
+    t.srtt_v <- rtt;
+    t.rttvar <- rtt /. 2.0
+  end
+  else begin
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt_v -. rtt));
+    t.srtt_v <- (0.875 *. t.srtt_v) +. (0.125 *. rtt)
+  end;
+  t.rto <- Float.max t.p.min_rto (t.srtt_v +. (4.0 *. t.rttvar))
+
+let on_ack t ~now ~cum_ack =
+  if cum_ack > t.una then begin
+    (* New data acknowledged. Karn's rule: only sample RTT on
+       never-retransmitted segments. *)
+    (match Hashtbl.find_opt t.send_times (cum_ack - 1) with
+    | Some (sent_at, false) -> rtt_sample t (now -. sent_at)
+    | Some (_, true) | None -> ());
+    for seq = t.una to cum_ack - 1 do
+      Hashtbl.remove t.send_times seq
+    done;
+    let newly_acked = cum_ack - t.una in
+    t.una <- cum_ack;
+    t.dup_acks <- 0;
+    if t.in_recovery then begin
+      if t.una > t.recover then begin
+        (* Full recovery. *)
+        t.in_recovery <- false;
+        t.cwnd <- t.ssthresh
+      end
+      else
+        (* Partial ACK: the next hole was also lost (NewReno). *)
+        t.retransmit_queue <- t.retransmit_queue @ [ t.una ]
+    end
+    else if t.cwnd < t.ssthresh then
+      t.cwnd <- Float.min t.p.max_cwnd (t.cwnd +. float_of_int newly_acked)
+    else t.cwnd <- Float.min t.p.max_cwnd (t.cwnd +. (float_of_int newly_acked /. t.cwnd));
+    t.timer <- (if in_flight t > 0 then Some (now +. t.rto) else None)
+  end
+  else if cum_ack = t.una && in_flight t > 0 then begin
+    t.dup_acks <- t.dup_acks + 1;
+    if t.in_recovery then
+      (* Window inflation during recovery. *)
+      t.cwnd <- Float.min t.p.max_cwnd (t.cwnd +. 1.0)
+    else if t.dup_acks = 3 then begin
+      (* Fast retransmit / fast recovery. *)
+      t.ssthresh <- Float.max 2.0 (float_of_int (in_flight t) /. 2.0);
+      t.cwnd <- t.ssthresh +. 3.0;
+      t.in_recovery <- true;
+      t.recover <- t.next_new - 1;
+      t.retransmit_queue <- t.retransmit_queue @ [ t.una ]
+    end
+  end
+
+let on_rto t ~now =
+  t.ssthresh <- Float.max 2.0 (t.cwnd /. 2.0);
+  t.cwnd <- 1.0;
+  t.dup_acks <- 0;
+  t.in_recovery <- false;
+  (* Go-back-N: without SACK, everything past the timeout point is
+     presumed lost and will be re-sent as the window reopens. *)
+  for seq = t.una to t.next_new - 1 do
+    Hashtbl.remove t.send_times seq
+  done;
+  t.next_new <- t.una;
+  t.retransmit_queue <- [];
+  t.rto <- Float.min 5.0 (t.rto *. 2.0);
+  t.timer <- Some (now +. t.rto)

@@ -1,0 +1,78 @@
+(** A Reno-style TCP sender state machine (for Section 6.4).
+
+    The TCP-friendliness study only needs the dynamics that interact
+    with EMPoWER: window growth (slow start / congestion avoidance),
+    loss detection by triple duplicate ACK (fast retransmit / fast
+    recovery) and by retransmission timeout, and RTT estimation
+    (Jacobson/Karn). Segments are fixed-size and identified by index;
+    the receiver side is the engine's reorder buffer, which produces
+    cumulative ACKs.
+
+    The module is pure state: the simulator asks {!take_segment} when
+    it can transmit, feeds {!on_ack} / {!on_rto}, and polls
+    {!rto_deadline} to schedule timer events. *)
+
+type params = {
+  segment_bytes : int;    (** segment size (one aggregate frame) *)
+  init_cwnd : float;      (** initial window, segments *)
+  init_ssthresh : float;  (** initial slow-start threshold, segments *)
+  min_rto : float;        (** RTO floor, seconds *)
+  max_cwnd : float;       (** window cap, segments *)
+}
+
+val default_params : params
+(** 12000-byte segments, cwnd 2, ssthresh 64, 200 ms RTO floor,
+    cwnd cap 1000. *)
+
+type t
+
+val create : ?params:params -> total_bytes:int option -> unit -> t
+(** A sender with the given amount of data ([None] = unbounded). *)
+
+val params : t -> params
+
+val segments_total : t -> int option
+(** Total segments to deliver, if bounded. *)
+
+val take_segment : ?new_data_limit:int -> t -> now:float -> int option
+(** The next segment index to transmit, if the window allows:
+    retransmissions first, then new data. Marks the segment as
+    in-flight and records its send time. [None] when window-limited
+    or out of data. [new_data_limit] caps the index of *new* segments
+    (exclusive) — the application-layer gate for data that has not
+    been produced yet (e.g. Poisson file arrivals); retransmissions
+    are never blocked. *)
+
+val on_ack : t -> now:float -> cum_ack:int -> unit
+(** Process a cumulative ACK ([cum_ack] = number of in-order segments
+    the receiver has; i.e. segments [0 .. cum_ack-1] are delivered).
+    Handles new-data ACKs (window growth, RTT sample), duplicate ACKs
+    and fast retransmit/recovery. *)
+
+val on_rto : t -> now:float -> unit
+(** Retransmission timeout: collapse cwnd to 1, halve ssthresh,
+    queue the oldest unacked segment, back the timer off. *)
+
+val rto_deadline : t -> float option
+(** Absolute time at which the pending timer fires; [None] when
+    nothing is in flight. *)
+
+val finished : t -> bool
+(** All segments delivered (never true for unbounded senders). *)
+
+val cwnd : t -> float
+(** Current congestion window, segments. *)
+
+val ssthresh : t -> float
+
+val srtt : t -> float
+(** Smoothed RTT estimate (0 before the first sample). *)
+
+val snd_una : t -> int
+(** Lowest unacknowledged segment index. *)
+
+val in_flight : t -> int
+(** Segments sent and not yet cumulatively acknowledged. *)
+
+val retransmissions : t -> int
+(** Total retransmitted segments (diagnostic). *)

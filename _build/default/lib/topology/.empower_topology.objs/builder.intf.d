@@ -1,0 +1,1 @@
+lib/topology/builder.mli: Geometry Multigraph Rng Technology

@@ -1,0 +1,1 @@
+lib/topology/enterprise.ml: Array Builder Geometry List Rng

@@ -1,0 +1,1 @@
+lib/topology/enterprise.mli: Builder Geometry Rng

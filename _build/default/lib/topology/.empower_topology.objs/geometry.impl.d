@@ -1,0 +1,1 @@
+lib/topology/geometry.ml: List Rng

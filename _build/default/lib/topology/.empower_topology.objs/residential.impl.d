@@ -1,0 +1,1 @@
+lib/topology/residential.ml: Array Builder Geometry

@@ -1,0 +1,1 @@
+lib/topology/residential.mli: Builder Rng

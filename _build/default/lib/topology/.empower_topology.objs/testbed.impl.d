@@ -1,0 +1,1 @@
+lib/topology/testbed.ml: Array Builder Float Geometry Rng

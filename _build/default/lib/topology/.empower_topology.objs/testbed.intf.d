@@ -1,0 +1,1 @@
+lib/topology/testbed.mli: Builder Geometry Rng

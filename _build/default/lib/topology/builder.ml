@@ -1,0 +1,73 @@
+type node = {
+  id : int;
+  pos : Geometry.point;
+  dual : bool;
+  panel : int;
+}
+
+type instance = {
+  nodes : node array;
+  wifi1 : float array array;
+  wifi2 : float array array;
+  plc : float array array;
+}
+
+type scenario = Hybrid | Single_wifi | Multi_wifi
+
+let make rng ~nodes =
+  let n = Array.length nodes in
+  let wifi1 = Array.make_matrix n n 0.0 in
+  let wifi2 = Array.make_matrix n n 0.0 in
+  let plc = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = nodes.(i) and b = nodes.(j) in
+      let dist = Geometry.distance a.pos b.pos in
+      (* The paper's multi-channel WiFi assumption: both orthogonal
+         channels see the same capacity, so one draw serves both. *)
+      let w1, w2 = Capacity.equal_wifi_pair rng ~distance_m:dist in
+      wifi1.(i).(j) <- w1;
+      wifi1.(j).(i) <- w1;
+      if a.dual && b.dual then begin
+        wifi2.(i).(j) <- w2;
+        wifi2.(j).(i) <- w2;
+        if a.panel = b.panel then begin
+          let p = Capacity.plc_capacity rng ~distance_m:dist in
+          plc.(i).(j) <- p;
+          plc.(j).(i) <- p
+        end
+      end
+    done
+  done;
+  { nodes; wifi1; wifi2; plc }
+
+let techs = function
+  | Hybrid -> [| Technology.wifi ~index:0 ~channel:1; Technology.plc ~index:1 |]
+  | Single_wifi -> [| Technology.wifi ~index:0 ~channel:1 |]
+  | Multi_wifi ->
+    [| Technology.wifi ~index:0 ~channel:1; Technology.wifi ~index:1 ~channel:2 |]
+
+let graph inst scenario =
+  let n = Array.length inst.nodes in
+  let edges = ref [] in
+  let add_matrix m tech_index =
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if m.(i).(j) > 0.0 then edges := (i, j, tech_index, m.(i).(j)) :: !edges
+      done
+    done
+  in
+  add_matrix inst.wifi1 0;
+  (match scenario with
+  | Single_wifi -> ()
+  | Hybrid -> add_matrix inst.plc 1
+  | Multi_wifi -> add_matrix inst.wifi2 1);
+  let n_techs = match scenario with Single_wifi -> 1 | Hybrid | Multi_wifi -> 2 in
+  Multigraph.create ~n_nodes:n ~n_techs ~edges:(List.rev !edges)
+
+let dual_nodes inst =
+  Array.to_list inst.nodes
+  |> List.filter (fun nd -> nd.dual)
+  |> List.map (fun nd -> nd.id)
+
+let node_count inst = Array.length inst.nodes

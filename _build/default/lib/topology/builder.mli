@@ -1,0 +1,54 @@
+(** Scenario instances: one random draw, three comparable networks.
+
+    The paper compares hybrid PLC/WiFi, single-channel WiFi and
+    two-channel WiFi *on the same topology* (same node positions, same
+    WiFi channel-1 capacities). An {!instance} captures one random
+    draw — node positions, panel assignment and per-pair capacities
+    for WiFi channel 1, WiFi channel 2 (equal to channel 1, the
+    paper's multi-channel assumption) and PLC — and {!graph} projects
+    it onto a {!scenario}, producing the multigraph the routing and
+    congestion-control algorithms run on.
+
+    Dual nodes model PLC/WiFi gateways/extenders: in the hybrid
+    scenario they own the PLC interface, in the multi-channel WiFi
+    scenario they own the second WiFi radio. Single nodes (phones,
+    laptops) always have only WiFi channel 1. *)
+
+type node = {
+  id : int;
+  pos : Geometry.point;
+  dual : bool;  (** has the second interface (PLC or WiFi channel 2) *)
+  panel : int;  (** electrical panel feeding this node's outlets *)
+}
+
+type instance = {
+  nodes : node array;
+  wifi1 : float array array;  (** symmetric channel-1 capacity matrix, Mbps *)
+  wifi2 : float array array;  (** channel-2 capacities (= wifi1 by default) *)
+  plc : float array array;    (** PLC capacities; 0 across panels *)
+}
+
+type scenario =
+  | Hybrid       (** WiFi channel 1 + PLC on dual nodes (EMPoWER's setting) *)
+  | Single_wifi  (** WiFi channel 1 only *)
+  | Multi_wifi   (** WiFi channels 1 and 2 (channel 2 on dual nodes) *)
+
+val make :
+  Rng.t -> nodes:node array -> instance
+(** Sample all capacity matrices for the given node layout: channel-1
+    WiFi for every pair in radius; channel 2 equal to channel 1
+    between dual nodes; PLC between same-panel dual nodes in radius. *)
+
+val techs : scenario -> Technology.t array
+(** The technology table of a scenario ([index] fields are dense). *)
+
+val graph : instance -> scenario -> Multigraph.t
+(** Project the instance onto a scenario. Technology indexes follow
+    {!techs}: index 0 is always WiFi channel 1; index 1 is PLC
+    ([Hybrid]) or WiFi channel 2 ([Multi_wifi]). *)
+
+val dual_nodes : instance -> int list
+(** Ids of dual (gateway/extender-class) nodes. *)
+
+val node_count : instance -> int
+(** Number of nodes. *)

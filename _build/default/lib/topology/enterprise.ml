@@ -1,0 +1,20 @@
+let width = 100.0
+let height = 60.0
+let n_ap = 10
+let n_client = 10
+
+let panel_of (p : Geometry.point) = if p.Geometry.x < width /. 2.0 then 0 else 1
+
+let generate rng =
+  let cells = Array.of_list (Geometry.grid_cells ~width ~height ~cell:10.0) in
+  let ap_cells = Rng.sample_without_replacement rng n_ap (Array.length cells) in
+  let ap_positions = List.map (fun i -> cells.(i)) ap_cells in
+  let nodes = Array.make (n_ap + n_client) { Builder.id = 0; pos = { Geometry.x = 0.0; y = 0.0 }; dual = false; panel = 0 } in
+  List.iteri
+    (fun i pos -> nodes.(i) <- { Builder.id = i; pos; dual = true; panel = panel_of pos })
+    ap_positions;
+  for i = n_ap to n_ap + n_client - 1 do
+    let pos = Geometry.uniform_in_rect rng ~width ~height in
+    nodes.(i) <- { Builder.id = i; pos; dual = false; panel = panel_of pos }
+  done;
+  Builder.make rng ~nodes

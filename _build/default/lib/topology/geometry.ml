@@ -1,0 +1,19 @@
+type point = { x : float; y : float }
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let uniform_in_rect rng ~width ~height =
+  { x = Rng.uniform rng 0.0 width; y = Rng.uniform rng 0.0 height }
+
+let grid_cells ~width ~height ~cell =
+  let nx = int_of_float (width /. cell) in
+  let ny = int_of_float (height /. cell) in
+  List.concat
+    (List.init ny (fun j ->
+         List.init nx (fun i ->
+             {
+               x = (float_of_int i +. 0.5) *. cell;
+               y = (float_of_int j +. 0.5) *. cell;
+             })))

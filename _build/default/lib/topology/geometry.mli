@@ -1,0 +1,13 @@
+(** Plane geometry for node placement. *)
+
+type point = { x : float; y : float }
+(** Position in meters. *)
+
+val distance : point -> point -> float
+(** Euclidean distance. *)
+
+val uniform_in_rect : Rng.t -> width:float -> height:float -> point
+(** Uniform draw in the [0,width] x [0,height] rectangle. *)
+
+val grid_cells : width:float -> height:float -> cell:float -> point list
+(** Centers of a [cell] x [cell] grid covering the rectangle, row-major. *)

@@ -1,0 +1,18 @@
+let width = 50.0
+let height = 30.0
+let n_dual = 5
+let n_single = 5
+
+let generate rng =
+  let make_node id dual =
+    {
+      Builder.id;
+      pos = Geometry.uniform_in_rect rng ~width ~height;
+      dual;
+      panel = 0;
+    }
+  in
+  let nodes =
+    Array.init (n_dual + n_single) (fun i -> make_node i (i < n_dual))
+  in
+  Builder.make rng ~nodes

@@ -1,0 +1,21 @@
+(** The paper's residential topology (Section 5.1).
+
+    A 50 x 30 m rectangle with 10 nodes dropped uniformly at random:
+    5 dual PLC/WiFi nodes (gateways, extenders, desktops, TVs) and 5
+    single-channel WiFi nodes (phones, laptops). One electrical panel
+    feeds the whole home. *)
+
+val width : float
+(** 50 m. *)
+
+val height : float
+(** 30 m. *)
+
+val n_dual : int
+(** 5 dual PLC/WiFi nodes. *)
+
+val n_single : int
+(** 5 WiFi-only nodes. *)
+
+val generate : Rng.t -> Builder.instance
+(** One random residential draw (positions + capacities). *)

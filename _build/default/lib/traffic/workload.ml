@@ -1,0 +1,30 @@
+type t =
+  | Saturated
+  | File of { bytes : int }
+  | Poisson_files of { bytes : int; mean_gap_s : float; count : int }
+
+let describe = function
+  | Saturated -> "saturated UDP"
+  | File { bytes } -> Printf.sprintf "file %.1f MB" (float_of_int bytes /. 1e6)
+  | Poisson_files { bytes; mean_gap_s; count } ->
+    Printf.sprintf "%d x %.1f MB files (Poisson, mean gap %.0f s)" count
+      (float_of_int bytes /. 1e6)
+      mean_gap_s
+
+let total_bytes = function
+  | Saturated -> None
+  | File { bytes } -> Some bytes
+  | Poisson_files { bytes; count; _ } -> Some (bytes * count)
+
+let arrival_times rng = function
+  | Saturated | File _ -> [ 0.0 ]
+  | Poisson_files { mean_gap_s; count; _ } ->
+    let rec go t n acc =
+      if n = 0 then List.rev acc
+      else begin
+        let gap = Rng.exponential rng ~rate:(1.0 /. mean_gap_s) in
+        let t' = t +. gap in
+        go t' (n - 1) (t' :: acc)
+      end
+    in
+    go 0.0 count []

@@ -1,0 +1,27 @@
+(** Traffic workloads offered to a flow (Sections 6.2 and 6.3).
+
+    - [Saturated] — iperf-style saturated UDP: the source always has
+      data and injects at whatever rate the congestion controller (or
+      the fixed offered rate, without CC) allows.
+    - [File] — a single transfer of the given size; the experiment
+      records its completion time (Table 1's Tiny/Short/Long are
+      100 kB, 5 MB and 2 GB files).
+    - [Poisson_files] — a sequence of equal-size files whose start
+      times follow a Poisson process (Table 1's Conc experiment:
+      five 5 MB files, 60 s mean inter-arrival); a file also cannot
+      start before the previous one finished. *)
+
+type t =
+  | Saturated
+  | File of { bytes : int }
+  | Poisson_files of { bytes : int; mean_gap_s : float; count : int }
+
+val describe : t -> string
+(** Human-readable summary, e.g. ["file 5.0 MB"]. *)
+
+val total_bytes : t -> int option
+(** Total volume, [None] for [Saturated]. *)
+
+val arrival_times : Rng.t -> t -> float list
+(** Workload start times: [0.] for [Saturated] and [File];
+    Poisson draws (cumulative, starting at 0) for [Poisson_files]. *)

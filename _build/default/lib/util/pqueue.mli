@@ -1,0 +1,30 @@
+(** Mutable binary min-heap keyed by float priority.
+
+    Used by Dijkstra/Yen in [empower_graph] and by the event queue of
+    the discrete-event simulator, where the priority is an event
+    timestamp. Ties are broken by insertion order (FIFO), which keeps
+    simulations deterministic. *)
+
+type 'a t
+(** A min-heap of ['a] elements with float priorities. *)
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val is_empty : 'a t -> bool
+(** [true] iff the heap holds no element. *)
+
+val size : 'a t -> int
+(** Number of queued elements. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element, FIFO among ties. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return the minimum-priority element without removing it. *)
+
+val clear : 'a t -> unit
+(** Drop all elements. *)

@@ -1,0 +1,73 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 step: advance the state by the golden gamma and scramble. *)
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = int64 t in
+  { state = s }
+
+let float t =
+  (* Use the top 53 bits for a uniform double in [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t lo hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit
+     native int; modulo bias is negligible for our n << 2^62. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod n
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t ~mean ~std =
+  let rec draw () =
+    let u1 = float t in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = float t in
+      mean +. (std *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+  in
+  draw ()
+
+let exponential t ~rate =
+  assert (rate > 0.0);
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-300 then draw () else -.log u /. rate
+  in
+  draw ()
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  assert (k <= n);
+  let arr = Array.init n (fun i -> i) in
+  shuffle t arr;
+  Array.to_list (Array.sub arr 0 k)

@@ -1,0 +1,67 @@
+(** Descriptive statistics and empirical distributions.
+
+    The evaluation section of the paper reports empirical CDFs of
+    throughput and throughput ratios; this module provides the
+    summaries (mean, standard deviation, percentiles) and the
+    {!Ecdf} type used by every figure reproduction. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val mean_arr : float array -> float
+(** Arithmetic mean of an array; 0 on the empty array. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val variance : float list -> float
+(** Population variance; 0 on lists shorter than 2. *)
+
+val minimum : float list -> float
+(** Smallest element. Raises [Invalid_argument] on the empty list. *)
+
+val maximum : float list -> float
+(** Largest element. Raises [Invalid_argument] on the empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,100], linear interpolation between
+    order statistics. Raises [Invalid_argument] on the empty list. *)
+
+val median : float list -> float
+(** 50th percentile. *)
+
+module Ecdf : sig
+  type t
+  (** Empirical cumulative distribution function of a finite sample. *)
+
+  val of_list : float list -> t
+  (** Build from a sample. Raises [Invalid_argument] on the empty list. *)
+
+  val eval : t -> float -> float
+  (** [eval t x] is the fraction of sample points [<= x]. *)
+
+  val inverse : t -> float -> float
+  (** [inverse t q] with [q] in [0,1]: the smallest sample value [v]
+      with [eval t v >= q]. *)
+
+  val support : t -> float * float
+  (** Smallest and largest sample values. *)
+
+  val size : t -> int
+  (** Number of sample points. *)
+
+  val points : t -> (float * float) list
+  (** The staircase as sorted [(value, cumulative fraction)] pairs,
+      one pair per sample point. *)
+
+  val sample_at : t -> float list -> (float * float) list
+  (** [sample_at t xs] evaluates the CDF at each of [xs]; useful for
+      printing fixed-grid figure series. *)
+end
+
+val fraction_below : float list -> float -> float
+(** [fraction_below xs x] is the fraction of values strictly below [x];
+    0 on the empty list. *)
+
+val fraction_at_least : float list -> float -> float
+(** Fraction of values [>= x]; 0 on the empty list. *)

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Alpha Array Builder Cc_result Domain Float List Multi_cc Multigraph Multipath Paths Price Printf Problem QCheck QCheck_alcotest Residential Rng Single_cc Update Utility

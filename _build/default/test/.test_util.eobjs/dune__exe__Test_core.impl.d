@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Builder Domain Empower Engine Float List Multigraph Multipath Residential Rng String Workload

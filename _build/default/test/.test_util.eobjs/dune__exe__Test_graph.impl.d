@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dijkstra Float List Multigraph Paths QCheck QCheck_alcotest Rng Yen

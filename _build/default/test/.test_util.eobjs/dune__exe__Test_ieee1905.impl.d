@@ -1,0 +1,1 @@
+test/test_ieee1905.ml: Abstraction_layer Alcotest Array Bytes Char Cmdu Float Gen List Multigraph Paths QCheck QCheck_alcotest Single_path String Technology Tlv

@@ -1,0 +1,1 @@
+test/test_ieee1905.mli:

@@ -1,0 +1,1 @@
+test/test_interference.ml: Alcotest Array Builder Clique Domain Enterprise Fun Geometry List Multigraph QCheck QCheck_alcotest Residential Rng Technology

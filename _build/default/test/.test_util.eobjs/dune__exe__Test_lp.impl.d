@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List QCheck QCheck_alcotest Rng Simplex

@@ -1,0 +1,1 @@
+test/test_lsdb.ml: Alcotest Array Builder Bytes Control_plane Float Gen List Lsa Lsdb Multigraph Paths QCheck QCheck_alcotest Residential Rng Single_path

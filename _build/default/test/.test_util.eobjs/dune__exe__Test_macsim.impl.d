@@ -1,0 +1,1 @@
+test/test_macsim.ml: Alcotest Array Csma Float List Mac_fairness QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_phy.ml: Alcotest Array Capacity Estimator Float List QCheck QCheck_alcotest Rng Stats Technology

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Ack Alcotest Array Bytes Float Fun Gen Hashtbl Header List Multigraph Paths QCheck QCheck_alcotest Reorder Rng Route_codec

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Builder Domain Float List Metrics Multigraph Multipath Paths QCheck QCheck_alcotest Residential Rng Single_path Update

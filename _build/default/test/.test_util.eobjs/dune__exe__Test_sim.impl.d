@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Builder Domain Engine Float List Multigraph Multipath Opt_solver Paths QCheck QCheck_alcotest Rate_region Residential Rng Stats Workload

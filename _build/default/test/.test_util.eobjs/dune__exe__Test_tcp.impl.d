@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Float Option QCheck QCheck_alcotest Queue Rng Tcp

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Builder Enterprise Fun Geometry List Multigraph QCheck QCheck_alcotest Residential Rng Technology Testbed

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen List Pqueue QCheck QCheck_alcotest Rng Stats Table Units

@@ -1,0 +1,193 @@
+(* Tests for the two-phase simplex. *)
+
+let check_float ?(eps = 1e-7) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9f, got %.9f" msg expected actual
+
+let solve_exn ~c ~rows =
+  match Simplex.maximize ~c ~rows with
+  | Simplex.Optimal (x, v) -> (x, v)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_basic_2d () =
+  (* max x + y st x <= 3, y <= 2. *)
+  let x, v =
+    solve_exn ~c:[| 1.0; 1.0 |]
+      ~rows:[ ([| 1.0; 0.0 |], Simplex.Le, 3.0); ([| 0.0; 1.0 |], Simplex.Le, 2.0) ]
+  in
+  check_float "objective" 5.0 v;
+  check_float "x" 3.0 x.(0);
+  check_float "y" 2.0 x.(1)
+
+let test_shared_constraint () =
+  (* max 3x + 2y st x + y <= 4, x <= 2 -> x=2, y=2, obj=10. *)
+  let x, v =
+    solve_exn ~c:[| 3.0; 2.0 |]
+      ~rows:[ ([| 1.0; 1.0 |], Simplex.Le, 4.0); ([| 1.0; 0.0 |], Simplex.Le, 2.0) ]
+  in
+  check_float "objective" 10.0 v;
+  check_float "x" 2.0 x.(0);
+  check_float "y" 2.0 x.(1)
+
+let test_equality () =
+  (* max x + 2y st x + y = 3, y <= 2 -> (1,2), obj 5. *)
+  let x, v =
+    solve_exn ~c:[| 1.0; 2.0 |]
+      ~rows:[ ([| 1.0; 1.0 |], Simplex.Eq, 3.0); ([| 0.0; 1.0 |], Simplex.Le, 2.0) ]
+  in
+  check_float "objective" 5.0 v;
+  check_float "x" 1.0 x.(0);
+  check_float "y" 2.0 x.(1)
+
+let test_ge_constraint () =
+  (* min x st x >= 4 (via maximize -x). *)
+  match
+    Simplex.minimize ~c:[| 1.0 |] ~rows:[ ([| 1.0 |], Simplex.Ge, 4.0) ]
+  with
+  | Simplex.Optimal (x, v) ->
+    check_float "objective" 4.0 v;
+    check_float "x" 4.0 x.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_infeasible () =
+  match
+    Simplex.maximize ~c:[| 1.0 |]
+      ~rows:[ ([| 1.0 |], Simplex.Le, 1.0); ([| 1.0 |], Simplex.Ge, 2.0) ]
+  with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  match Simplex.maximize ~c:[| 1.0 |] ~rows:[ ([| -1.0 |], Simplex.Le, 1.0) ] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_negative_rhs_normalization () =
+  (* x >= 1 written as -x <= -1. *)
+  match
+    Simplex.minimize ~c:[| 1.0 |] ~rows:[ ([| -1.0 |], Simplex.Le, -1.0) ]
+  with
+  | Simplex.Optimal (x, v) ->
+    check_float "objective" 1.0 v;
+    check_float "x" 1.0 x.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_degenerate () =
+  (* Degenerate vertex: three constraints meeting at a point. *)
+  let _, v =
+    solve_exn ~c:[| 1.0; 1.0 |]
+      ~rows:
+        [
+          ([| 1.0; 0.0 |], Simplex.Le, 1.0);
+          ([| 0.0; 1.0 |], Simplex.Le, 1.0);
+          ([| 1.0; 1.0 |], Simplex.Le, 2.0);
+        ]
+  in
+  check_float "objective" 2.0 v
+
+let test_row_length_mismatch () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Simplex.maximize ~c:[| 1.0; 2.0 |] ~rows:[ ([| 1.0 |], Simplex.Le, 1.0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_zero_objective () =
+  let _, v = solve_exn ~c:[| 0.0 |] ~rows:[ ([| 1.0 |], Simplex.Le, 5.0) ] in
+  check_float "objective" 0.0 v
+
+(* Randomized: compare against brute-force vertex enumeration for 2-D
+   problems. *)
+let prop_matches_vertex_enumeration =
+  QCheck.Test.make ~name:"2-D LP matches vertex enumeration" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      (* Constraints: x <= a, y <= b, x + cy <= d, all >= 0. *)
+      let a = Rng.uniform rng 0.5 10.0 in
+      let b = Rng.uniform rng 0.5 10.0 in
+      let c = Rng.uniform rng 0.2 3.0 in
+      let d = Rng.uniform rng 0.5 12.0 in
+      let o1 = Rng.uniform rng 0.1 5.0 and o2 = Rng.uniform rng 0.1 5.0 in
+      let rows =
+        [
+          ([| 1.0; 0.0 |], Simplex.Le, a);
+          ([| 0.0; 1.0 |], Simplex.Le, b);
+          ([| 1.0; c |], Simplex.Le, d);
+        ]
+      in
+      match Simplex.maximize ~c:[| o1; o2 |] ~rows with
+      | Simplex.Optimal (x, v) ->
+        (* Feasibility. *)
+        let feasible =
+          x.(0) >= -1e-9 && x.(1) >= -1e-9 && x.(0) <= a +. 1e-9
+          && x.(1) <= b +. 1e-9
+          && x.(0) +. (c *. x.(1)) <= d +. 1e-9
+        in
+        (* Enumerate candidate vertices. *)
+        let candidates =
+          [
+            (0.0, 0.0); (a, 0.0); (0.0, b); (a, b);
+            (a, Float.max 0.0 ((d -. a) /. c));
+            (Float.max 0.0 (d -. (c *. b)), b);
+            (d, 0.0); (0.0, d /. c);
+          ]
+        in
+        let feas (x, y) =
+          x >= 0.0 && y >= 0.0 && x <= a +. 1e-9 && y <= b +. 1e-9
+          && x +. (c *. y) <= d +. 1e-9
+        in
+        let best =
+          List.fold_left
+            (fun acc p ->
+              if feas p then Float.max acc ((o1 *. fst p) +. (o2 *. snd p)) else acc)
+            0.0 candidates
+        in
+        feasible && Float.abs (v -. best) < 1e-6
+      | _ -> false)
+
+let prop_optimal_is_feasible =
+  QCheck.Test.make ~name:"random LP solutions satisfy all constraints" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (seed + 5) in
+      let n = 2 + Rng.int rng 5 in
+      let m = 2 + Rng.int rng 5 in
+      let c = Array.init n (fun _ -> Rng.uniform rng 0.0 3.0) in
+      let rows =
+        List.init m (fun _ ->
+            ( Array.init n (fun _ -> Rng.uniform rng 0.1 2.0),
+              Simplex.Le,
+              Rng.uniform rng 1.0 10.0 ))
+      in
+      match Simplex.maximize ~c ~rows with
+      | Simplex.Optimal (x, _) ->
+        Array.for_all (fun v -> v >= -1e-9) x
+        && List.for_all
+             (fun (a, _, b) ->
+               let lhs = ref 0.0 in
+               Array.iteri (fun i ai -> lhs := !lhs +. (ai *. x.(i))) a;
+               !lhs <= b +. 1e-6)
+             rows
+      | _ -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic 2d" `Quick test_basic_2d;
+          Alcotest.test_case "shared constraint" `Quick test_shared_constraint;
+          Alcotest.test_case "equality" `Quick test_equality;
+          Alcotest.test_case "ge constraint" `Quick test_ge_constraint;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalization;
+          Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
+          Alcotest.test_case "row length mismatch" `Quick test_row_length_mismatch;
+          Alcotest.test_case "zero objective" `Quick test_zero_objective;
+          QCheck_alcotest.to_alcotest prop_matches_vertex_enumeration;
+          QCheck_alcotest.to_alcotest prop_optimal_is_feasible;
+        ] );
+    ]

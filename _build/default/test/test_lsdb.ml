@@ -1,0 +1,236 @@
+(* Tests for the link-state control plane: LSA wire format, database
+   freshness rules, flooding convergence, and multigraph
+   reconstruction. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+let entry n t c = { Lsa.neighbor = n; tech = t; capacity_mbps = c }
+
+(* --- Lsa --- *)
+
+let test_lsa_roundtrip () =
+  let lsa =
+    Lsa.make ~origin:7 ~seq:42 [ entry 3 0 55.5; entry 9 1 12.345 ]
+  in
+  let lsa' = Lsa.decode (Lsa.encode lsa) in
+  Alcotest.(check bool) "roundtrip" true (Lsa.equal lsa lsa');
+  Alcotest.(check int) "size" (8 + 16) (Lsa.size lsa);
+  Alcotest.(check int) "encoded length" (Lsa.size lsa) (Bytes.length (Lsa.encode lsa))
+
+let test_lsa_fragment_roundtrip () =
+  let lsa = Lsa.make ~fragment:3 ~origin:1 ~seq:5 [ entry 2 0 10.0 ] in
+  let lsa' = Lsa.decode (Lsa.encode lsa) in
+  Alcotest.(check int) "fragment" 3 lsa'.Lsa.fragment
+
+let test_lsa_kbps_quantization () =
+  let lsa = Lsa.make ~origin:0 ~seq:1 [ entry 1 0 10.0001234 ] in
+  let lsa' = Lsa.decode (Lsa.encode lsa) in
+  (match lsa'.Lsa.links with
+  | [ e ] -> check_float ~eps:0.001 "kbit/s precision" 10.0 e.Lsa.capacity_mbps
+  | _ -> Alcotest.fail "one entry");
+  Alcotest.(check bool) "wire-precision equality" true (Lsa.equal lsa lsa')
+
+let test_lsa_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "too many links" true
+    (bad (fun () -> Lsa.make ~origin:0 ~seq:0 (List.init 32 (fun i -> entry i 0 1.0))));
+  Alcotest.(check bool) "negative capacity" true
+    (bad (fun () -> Lsa.make ~origin:0 ~seq:0 [ entry 1 0 (-1.0) ]));
+  Alcotest.(check bool) "bad origin" true
+    (bad (fun () -> Lsa.make ~origin:(-1) ~seq:0 []));
+  Alcotest.(check bool) "truncated decode" true
+    (bad (fun () -> Lsa.decode (Bytes.make 7 '\000')));
+  Alcotest.(check bool) "length mismatch" true
+    (bad (fun () ->
+         let b = Lsa.encode (Lsa.make ~origin:0 ~seq:0 [ entry 1 0 1.0 ]) in
+         Lsa.decode (Bytes.sub b 0 (Bytes.length b - 1))))
+
+let prop_lsa_roundtrip =
+  QCheck.Test.make ~name:"lsa roundtrip" ~count:200
+    QCheck.(
+      triple (int_bound 0xFFFF) (int_bound 1000)
+        (list_of_size Gen.(int_range 0 31)
+           (triple (int_bound 0xFFFF) (int_bound 3) (float_range 0.0 1000.0))))
+    (fun (origin, seq, raw) ->
+      let links = List.map (fun (n, t, c) -> entry n t c) raw in
+      let lsa = Lsa.make ~origin ~seq links in
+      Lsa.equal lsa (Lsa.decode (Lsa.encode lsa)))
+
+(* --- Lsdb --- *)
+
+let test_lsdb_freshness () =
+  let db = Lsdb.create ~node:0 in
+  let v1 = Lsa.make ~origin:3 ~seq:1 [ entry 1 0 10.0 ] in
+  let v2 = Lsa.make ~origin:3 ~seq:2 [ entry 1 0 20.0 ] in
+  Alcotest.(check bool) "new installed" true (Lsdb.insert db ~now:0.0 v1 = `Installed);
+  Alcotest.(check bool) "duplicate" true (Lsdb.insert db ~now:0.1 v1 = `Duplicate);
+  Alcotest.(check bool) "fresher installed" true (Lsdb.insert db ~now:0.2 v2 = `Installed);
+  Alcotest.(check bool) "stale dropped" true (Lsdb.insert db ~now:0.3 v1 = `Stale);
+  match Lsdb.lookup db ~origin:3 with
+  | [ stored ] -> Alcotest.(check int) "kept v2" 2 stored.Lsa.seq
+  | _ -> Alcotest.fail "expected one fragment"
+
+let test_lsdb_fragments_coexist () =
+  let db = Lsdb.create ~node:0 in
+  ignore (Lsdb.insert db ~now:0.0 (Lsa.make ~fragment:0 ~origin:5 ~seq:1 [ entry 1 0 1.0 ]));
+  ignore (Lsdb.insert db ~now:0.0 (Lsa.make ~fragment:1 ~origin:5 ~seq:1 [ entry 2 0 2.0 ]));
+  Alcotest.(check int) "two fragments" 2 (List.length (Lsdb.lookup db ~origin:5))
+
+let test_lsdb_purge () =
+  let db = Lsdb.create ~node:0 in
+  ignore (Lsdb.insert db ~now:0.0 (Lsa.make ~origin:1 ~seq:1 [ entry 0 0 1.0 ]));
+  ignore (Lsdb.insert db ~now:50.0 (Lsa.make ~origin:2 ~seq:1 [ entry 0 0 1.0 ]));
+  Alcotest.(check int) "one expired" 1 (Lsdb.purge db ~now:60.0 ~max_age:30.0);
+  Alcotest.(check int) "one left" 1 (List.length (Lsdb.entries db))
+
+let test_lsdb_graph_reconstruction () =
+  let db = Lsdb.create ~node:0 in
+  (* Both endpoints advertise the same wifi link with different
+     estimates; one also advertises a plc link. *)
+  ignore (Lsdb.insert db ~now:0.0 (Lsa.make ~origin:0 ~seq:1 [ entry 1 0 10.0 ]));
+  ignore
+    (Lsdb.insert db ~now:0.0
+       (Lsa.make ~origin:1 ~seq:1 [ entry 0 0 14.0; entry 0 1 30.0 ]));
+  let g = Lsdb.graph db ~n_nodes:2 ~n_techs:2 in
+  Alcotest.(check int) "two physical edges" 4 (Multigraph.num_links g);
+  (* The doubly-advertised link is averaged. *)
+  let wifi = List.hd (Multigraph.out_links_tech g 0 0) in
+  check_float ~eps:1e-6 "averaged estimate" 12.0 (Multigraph.capacity g wifi)
+
+let test_lsdb_graph_ignores_garbage () =
+  let db = Lsdb.create ~node:0 in
+  ignore
+    (Lsdb.insert db ~now:0.0
+       (Lsa.make ~origin:0 ~seq:1
+          [ entry 99 0 10.0 (* out-of-range node *); entry 1 7 10.0 (* bad tech *) ]));
+  let g = Lsdb.graph db ~n_nodes:2 ~n_techs:2 in
+  Alcotest.(check int) "nothing poisoned" 0 (Multigraph.num_links g)
+
+(* --- Flooding --- *)
+
+let line_neighbors n u =
+  List.filter (fun v -> v >= 0 && v < n) [ u - 1; u + 1 ]
+
+let test_flood_line_convergence () =
+  let n = 8 in
+  let dbs = Array.init n (fun node -> Lsdb.create ~node) in
+  let lsa = Lsa.make ~origin:0 ~seq:1 [ entry 1 0 10.0 ] in
+  let stats =
+    Lsdb.Flood.propagate ~neighbors:(line_neighbors n) ~dbs ~from:0 lsa
+  in
+  (* Every node has it; rounds = diameter; each node forwards once. *)
+  Array.iter
+    (fun db ->
+      Alcotest.(check int) "received" 1 (List.length (Lsdb.lookup db ~origin:0)))
+    dbs;
+  (* diameter rounds to reach everyone, plus at most one echo round
+     in which duplicates die out *)
+  Alcotest.(check bool) "rounds ~ diameter" true
+    (stats.Lsdb.Flood.rounds >= n - 1 && stats.Lsdb.Flood.rounds <= n);
+  Alcotest.(check bool) "at most 2 sends per node" true
+    (stats.Lsdb.Flood.messages <= 2 * n)
+
+let test_flood_does_not_cross_partition () =
+  let n = 6 in
+  (* Two components: 0-1-2 and 3-4-5. *)
+  let neighbors u =
+    List.filter (fun v -> v >= 0 && v < n && v / 3 = u / 3) [ u - 1; u + 1 ]
+  in
+  let dbs = Array.init n (fun node -> Lsdb.create ~node) in
+  let lsa = Lsa.make ~origin:0 ~seq:1 [ entry 1 0 10.0 ] in
+  ignore (Lsdb.Flood.propagate ~neighbors ~dbs ~from:0 lsa);
+  Alcotest.(check int) "reached own side" 1 (List.length (Lsdb.lookup dbs.(2) ~origin:0));
+  Alcotest.(check int) "not the other side" 0
+    (List.length (Lsdb.lookup dbs.(4) ~origin:0))
+
+(* --- Control plane end-to-end --- *)
+
+let test_converged_view_matches_truth () =
+  let rng = Rng.create 5 in
+  let inst = Residential.generate rng in
+  let g = Builder.graph inst Builder.Hybrid in
+  let view, stats = Control_plane.converged_view (Rng.create 1) g ~viewer:0 in
+  (* Same link structure (kbit/s wire precision). *)
+  Alcotest.(check int) "same number of links" (Multigraph.num_links g)
+    (Multigraph.num_links view);
+  Alcotest.(check bool) "flooding did work" true (stats.Lsdb.Flood.messages > 0);
+  (* Routing decisions on the reconstructed view match the truth. *)
+  let routes_on gr = Single_path.route gr ~src:0 ~dst:9 in
+  match (routes_on g, routes_on view) with
+  | Some (p, _), Some (p', _) ->
+    Alcotest.(check bool) "same shortest path" true
+      (Paths.nodes g p = Paths.nodes view p')
+  | None, None -> ()
+  | _ -> Alcotest.fail "connectivity differs"
+
+let test_converged_view_with_noise () =
+  let rng = Rng.create 6 in
+  let inst = Residential.generate rng in
+  let g = Builder.graph inst Builder.Hybrid in
+  let view, _ = Control_plane.converged_view ~noise:0.05 (Rng.create 2) g ~viewer:3 in
+  Alcotest.(check int) "structure preserved" (Multigraph.num_links g)
+    (Multigraph.num_links view);
+  (* Capacities within ~20% of truth (5% noise, two estimates averaged). *)
+  let ok = ref true in
+  for l = 0 to Multigraph.num_links g - 1 do
+    let t = Multigraph.capacity g l in
+    if t > 0.0 then begin
+      (* Find the matching link in the view by endpoints and tech. *)
+      let lk = Multigraph.link g l in
+      let candidates =
+        List.filter
+          (fun l' -> (Multigraph.link view l').Multigraph.tech = lk.Multigraph.tech)
+          (Multigraph.find_links view ~src:lk.Multigraph.src ~dst:lk.Multigraph.dst)
+      in
+      match candidates with
+      | [ l' ] ->
+        if Float.abs (Multigraph.capacity view l' -. t) > 0.25 *. t then ok := false
+      | _ -> ok := false
+    end
+  done;
+  Alcotest.(check bool) "estimates near truth" true !ok
+
+let test_advertise_chunking () =
+  (* A star node with 40 links must emit two fragments. *)
+  let edges = List.init 40 (fun i -> (0, i + 1, 0, 10.0)) in
+  let g = Multigraph.create ~n_nodes:41 ~n_techs:1 ~edges in
+  let lsas = Control_plane.advertise (Rng.create 1) g ~node:0 in
+  Alcotest.(check int) "two fragments" 2 (List.length lsas);
+  let total = List.fold_left (fun acc l -> acc + List.length l.Lsa.links) 0 lsas in
+  Alcotest.(check int) "all links advertised" 40 total
+
+let () =
+  Alcotest.run "lsdb"
+    [
+      ( "lsa",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_lsa_roundtrip;
+          Alcotest.test_case "fragment" `Quick test_lsa_fragment_roundtrip;
+          Alcotest.test_case "quantization" `Quick test_lsa_kbps_quantization;
+          Alcotest.test_case "validation" `Quick test_lsa_validation;
+          QCheck_alcotest.to_alcotest prop_lsa_roundtrip;
+        ] );
+      ( "lsdb",
+        [
+          Alcotest.test_case "freshness rules" `Quick test_lsdb_freshness;
+          Alcotest.test_case "fragments coexist" `Quick test_lsdb_fragments_coexist;
+          Alcotest.test_case "purge" `Quick test_lsdb_purge;
+          Alcotest.test_case "graph reconstruction" `Quick
+            test_lsdb_graph_reconstruction;
+          Alcotest.test_case "garbage ignored" `Quick test_lsdb_graph_ignores_garbage;
+        ] );
+      ( "flooding",
+        [
+          Alcotest.test_case "line convergence" `Quick test_flood_line_convergence;
+          Alcotest.test_case "partition" `Quick test_flood_does_not_cross_partition;
+        ] );
+      ( "control-plane",
+        [
+          Alcotest.test_case "view matches truth" `Quick
+            test_converged_view_matches_truth;
+          Alcotest.test_case "noisy estimates" `Quick test_converged_view_with_noise;
+          Alcotest.test_case "chunking" `Quick test_advertise_chunking;
+        ] );
+    ]

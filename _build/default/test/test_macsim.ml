@@ -1,0 +1,115 @@
+(* Tests for the slot-accurate CSMA/CA model (802.11 DCF vs IEEE
+   1901). *)
+
+let sim ?(slots = 60_000) proto n seed =
+  Csma.simulate ~slots (Rng.create seed) proto ~n_stations:n
+
+let test_single_station_no_collisions () =
+  List.iter
+    (fun proto ->
+      let r = sim proto 1 1 in
+      Alcotest.(check (float 0.0)) "no collisions" 0.0 r.Csma.collision_rate;
+      Alcotest.(check bool) "airtime mostly used" true (r.Csma.throughput > 0.6);
+      Alcotest.(check (float 0.0)) "perfectly fair" 1.0 r.Csma.jain)
+    [ Csma.Dcf_80211; Csma.Csma_1901 ]
+
+let test_collisions_grow_with_contention () =
+  List.iter
+    (fun proto ->
+      let c2 = (sim proto 2 2).Csma.collision_rate in
+      let c16 = (sim proto 16 2).Csma.collision_rate in
+      Alcotest.(check bool) "monotone-ish in N" true (c16 > c2);
+      Alcotest.(check bool) "nonzero under contention" true (c2 > 0.0))
+    [ Csma.Dcf_80211; Csma.Csma_1901 ]
+
+let test_1901_defers_more_collides_less () =
+  (* The deferral counter is 1901's collision-avoidance mechanism;
+     reference [40]'s headline comparison. *)
+  List.iter
+    (fun n ->
+      let wifi = sim Csma.Dcf_80211 n 3 and plc = sim Csma.Csma_1901 n 3 in
+      if plc.Csma.collision_rate >= wifi.Csma.collision_rate then
+        Alcotest.failf "N=%d: 1901 collides more (%.3f vs %.3f)" n
+          plc.Csma.collision_rate wifi.Csma.collision_rate)
+    [ 4; 8; 16 ]
+
+let test_long_term_fairness () =
+  List.iter
+    (fun proto ->
+      let r = sim ~slots:200_000 proto 8 4 in
+      Alcotest.(check bool) "jain close to 1" true (r.Csma.jain > 0.95))
+    [ Csma.Dcf_80211; Csma.Csma_1901 ]
+
+let test_1901_short_term_unfair_at_small_n () =
+  (* [40]: with few stations, 1901's aggressive deferral produces
+     bursty service (one station hogging while others defer). *)
+  let wifi = sim ~slots:200_000 Csma.Dcf_80211 2 5 in
+  let plc = sim ~slots:200_000 Csma.Csma_1901 2 5 in
+  Alcotest.(check bool) "1901 burstier at N=2" true
+    (plc.Csma.service_cv > wifi.Csma.service_cv)
+
+let test_throughput_bounds () =
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun n ->
+          let r = sim proto n 6 in
+          Alcotest.(check bool) "throughput in (0,1]" true
+            (r.Csma.throughput > 0.0 && r.Csma.throughput <= 1.0))
+        [ 1; 3; 9; 27 ])
+    [ Csma.Dcf_80211; Csma.Csma_1901 ]
+
+let test_determinism () =
+  let a = sim Csma.Csma_1901 5 7 and b = sim Csma.Csma_1901 5 7 in
+  Alcotest.(check bool) "same seed, same run" true (a = b)
+
+let test_validation () =
+  Alcotest.(check bool) "zero stations rejected" true
+    (try
+       ignore (Csma.simulate (Rng.create 1) Csma.Dcf_80211 ~n_stations:0);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_successes_sum_matches_throughput =
+  QCheck.Test.make ~name:"throughput consistent with per-station successes"
+    ~count:20
+    QCheck.(pair (int_range 1 12) (int_bound 1000))
+    (fun (n, seed) ->
+      let frame_slots = 20 in
+      let r =
+        Csma.simulate ~slots:30_000 ~frame_slots (Rng.create seed) Csma.Dcf_80211
+          ~n_stations:n
+      in
+      let total = Array.fold_left ( + ) 0 r.Csma.per_station in
+      (* busy success slots = total successes x frame length; the slot
+         count can overshoot `slots` by at most one frame. *)
+      let implied =
+        float_of_int (total * frame_slots) /. float_of_int (30_000 + frame_slots)
+      in
+      Float.abs (implied -. r.Csma.throughput) < 0.05)
+
+let test_experiment_smoke () =
+  let d = Mac_fairness.run ~slots:20_000 ~stations:[ 1; 4 ] () in
+  Alcotest.(check int) "two rows" 2 (List.length d.Mac_fairness.rows)
+
+let () =
+  Alcotest.run "macsim"
+    [
+      ( "csma",
+        [
+          Alcotest.test_case "single station" `Quick test_single_station_no_collisions;
+          Alcotest.test_case "contention grows collisions" `Quick
+            test_collisions_grow_with_contention;
+          Alcotest.test_case "1901 collides less" `Quick
+            test_1901_defers_more_collides_less;
+          Alcotest.test_case "long-term fairness" `Quick test_long_term_fairness;
+          Alcotest.test_case "1901 short-term unfair" `Quick
+            test_1901_short_term_unfair_at_small_n;
+          Alcotest.test_case "throughput bounds" `Quick test_throughput_bounds;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "validation" `Quick test_validation;
+          QCheck_alcotest.to_alcotest prop_successes_sum_matches_throughput;
+        ] );
+      ( "experiment",
+        [ Alcotest.test_case "smoke" `Quick test_experiment_smoke ] );
+    ]

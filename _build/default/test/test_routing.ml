@@ -1,0 +1,373 @@
+(* Tests for the multipath-routing protocol: Lemma 1, R(P), the
+   update procedure and the exploration tree, including the paper's
+   Figure 1 worked example and a Figure 3-style network where the best
+   isolated route is not part of the best combination. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+(* Figure 1: gateway a(0), extender b(1), client c(2).
+   WiFi a-b 15, WiFi b-c 30, PLC a-b 10. Links (fwd ids): wifi a->b =
+   0, wifi b->c = 2, plc a->b = 4. *)
+let fig1 () =
+  let g =
+    Multigraph.create ~n_nodes:3 ~n_techs:2
+      ~edges:[ (0, 1, 0, 15.0); (1, 2, 0, 30.0); (0, 1, 1, 10.0) ]
+  in
+  (g, Domain.single_domain_per_tech g)
+
+let test_lemma1_rate () =
+  (* Lemma 1 via path_rate on a two-hop same-medium path: both links
+     contend, R = (d1 + d2)^-1. *)
+  let g =
+    Multigraph.create ~n_nodes:3 ~n_techs:1 ~edges:[ (0, 1, 0, 15.0); (1, 2, 0, 30.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let p = Paths.of_links g [ 0; 2 ] in
+  check_float "R = 1/(1/15+1/30)" 10.0 (Update.path_rate g dom p)
+
+let test_rate_no_interference () =
+  (* Hybrid two-hop path with non-interfering mediums: pipeline min. *)
+  let g, dom = fig1 () in
+  let p = Paths.of_links g [ 4; 2 ] in
+  (* PLC 10 then WiFi 30: no shared medium, R = min(10, 30) = 10. *)
+  check_float "hybrid pipeline" 10.0 (Update.path_rate g dom p);
+  check_float "R(l,P) on plc hop" 10.0 (Update.rate_on_link g dom p 4);
+  check_float "R(l,P) on wifi hop" 30.0 (Update.rate_on_link g dom p 2)
+
+let test_rate_zero_capacity () =
+  let g =
+    Multigraph.create ~n_nodes:3 ~n_techs:1 ~edges:[ (0, 1, 0, 0.0); (1, 2, 0, 30.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let p = Paths.of_links g [ 0; 2 ] in
+  check_float "dead hop -> 0" 0.0 (Update.path_rate g dom p)
+
+let test_idle_fraction_and_update () =
+  let g, dom = fig1 () in
+  (* Route 1 = PLC a->b (link 4), WiFi b->c (link 2); R = 10. *)
+  let p = Paths.of_links g [ 4; 2 ] in
+  (* PLC hop is the bottleneck: idle 0. WiFi b->c consumed 10/30. *)
+  check_float "bottleneck idle" 0.0 (Update.idle_fraction g dom p 4);
+  check_float "wifi idle" (2.0 /. 3.0) (Update.idle_fraction g dom p 2);
+  (* WiFi a->b shares the medium with b->c: same 2/3 idle. *)
+  check_float "other wifi idle" (2.0 /. 3.0) (Update.idle_fraction g dom p 0);
+  let g' = Update.update g dom p in
+  check_float "plc zeroed" 0.0 (Multigraph.capacity g' 4);
+  check_float "wifi b->c scaled" 20.0 (Multigraph.capacity g' 2);
+  check_float "wifi a->b scaled" 10.0 (Multigraph.capacity g' 0);
+  (* Original untouched. *)
+  check_float "orig" 10.0 (Multigraph.capacity g 4)
+
+let test_update_leaves_far_links () =
+  (* A link in a different medium and different location must keep its
+     capacity. *)
+  let g =
+    Multigraph.create ~n_nodes:4 ~n_techs:2
+      ~edges:[ (0, 1, 0, 10.0); (2, 3, 1, 42.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let p = Paths.of_links g [ 0 ] in
+  let g' = Update.update g dom p in
+  check_float "other medium untouched" 42.0 (Multigraph.capacity g' 2)
+
+(* Figure 1's headline result: EMPoWER finds the two routes and their
+   combined capacity 10 + 6.6 = 16.6 Mbps. *)
+let test_fig1_combination () =
+  let g, dom = fig1 () in
+  let comb = Multipath.find g dom ~src:0 ~dst:2 in
+  Alcotest.(check int) "two routes" 2 (List.length comb.Multipath.paths);
+  check_float ~eps:0.01 "total 10 + 20/3" (10.0 +. (20.0 /. 3.0))
+    comb.Multipath.total_rate;
+  let rates = List.map snd comb.Multipath.paths in
+  check_float ~eps:0.01 "first route rate" 10.0 (List.hd rates);
+  check_float ~eps:0.01 "second route rate" (20.0 /. 3.0) (List.nth rates 1);
+  (* 66% improvement over the best single route, as in the paper. *)
+  match Single_path.route_rate g dom ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "single path missing"
+  | Some (_, r) ->
+    Alcotest.(check bool) "66% gain" true
+      (comb.Multipath.total_rate /. r > 1.6)
+
+(* A Figure 3-style network: the best isolated route is NOT part of
+   the best combination. Mediums A (tech 0) and B (tech 1), single
+   collision domain each.
+
+     Route 1: s -A-> a -A-> d   caps 20/20, R = 10
+     Route 2: s -A-> c -B-> d   caps 11/11, R = 11 (best isolated)
+     Route 3: s -B-> b -B-> d   caps 20/20, R = 10
+
+   Route 2 consumes all airtime of both mediums; Routes 1+3 coexist
+   for a total of 20. *)
+let fig3_style () =
+  let g =
+    Multigraph.create ~n_nodes:5 ~n_techs:2
+      ~edges:
+        [
+          (0, 1, 0, 20.0) (* s-a  A  id 0 *);
+          (1, 4, 0, 20.0) (* a-d  A  id 2 *);
+          (0, 2, 0, 11.0) (* s-c  A  id 4 *);
+          (2, 4, 1, 11.0) (* c-d  B  id 6 *);
+          (0, 3, 1, 20.0) (* s-b  B  id 8 *);
+          (3, 4, 1, 20.0) (* b-d  B  id 10 *);
+        ]
+  in
+  (g, Domain.single_domain_per_tech g)
+
+let test_fig3_best_isolated_route () =
+  let g, dom = fig3_style () in
+  (* Depth-1 exploration = the best isolated route by rate. *)
+  let comb = Multipath.find ~max_depth:1 g dom ~src:0 ~dst:4 in
+  Alcotest.(check int) "one route" 1 (List.length comb.Multipath.paths);
+  check_float ~eps:1e-6 "best isolated = 11" 11.0 comb.Multipath.total_rate;
+  (* ... which differs from the single-path procedure's choice (the
+     CSC-weighted shortest path is Route 1 or 3, cost 0.15 < 0.18). *)
+  match Single_path.route_rate g dom ~src:0 ~dst:4 with
+  | None -> Alcotest.fail "no single path"
+  | Some (_, r) -> check_float ~eps:1e-6 "single-path proc rate" 10.0 r
+
+let test_fig3_combination_excludes_best_isolated () =
+  let g, dom = fig3_style () in
+  let comb = Multipath.find g dom ~src:0 ~dst:4 in
+  check_float ~eps:1e-6 "total 20" 20.0 comb.Multipath.total_rate;
+  Alcotest.(check int) "two routes" 2 (List.length comb.Multipath.paths);
+  (* Neither chosen route goes through node c (the Route-2 relay). *)
+  List.iter
+    (fun (p, _) ->
+      Alcotest.(check bool) "route avoids c" false (List.mem 2 (Paths.nodes g p)))
+    comb.Multipath.paths
+
+let test_multipath_unreachable () =
+  let g = Multigraph.create ~n_nodes:3 ~n_techs:1 ~edges:[ (0, 1, 0, 10.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let comb = Multipath.find g dom ~src:0 ~dst:2 in
+  Alcotest.(check int) "no routes" 0 (List.length comb.Multipath.paths);
+  check_float "zero rate" 0.0 comb.Multipath.total_rate
+
+let test_multipath_single_link_network () =
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 50.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let comb = Multipath.find g dom ~src:0 ~dst:1 in
+  Alcotest.(check int) "one route" 1 (List.length comb.Multipath.paths);
+  check_float "full capacity" 50.0 comb.Multipath.total_rate;
+  Alcotest.(check int) "depth 1" 1 comb.Multipath.tree_depth
+
+let test_multipath_parallel_mediums_aggregate () =
+  (* Two parallel one-hop links on different mediums aggregate. *)
+  let g =
+    Multigraph.create ~n_nodes:2 ~n_techs:2 ~edges:[ (0, 1, 0, 30.0); (0, 1, 1, 20.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let comb = Multipath.find g dom ~src:0 ~dst:1 in
+  check_float "30 + 20" 50.0 comb.Multipath.total_rate;
+  Alcotest.(check int) "two routes" 2 (List.length comb.Multipath.paths)
+
+let test_multipath_single_medium_no_gain () =
+  (* Two disjoint two-hop routes in ONE medium: no multiplexing gain;
+     the procedure must not return a second path that adds nothing.
+     Route A: 0-1-3 (20/20), Route B: 0-2-3 (20/20), all same medium:
+     after Route A (R=10) everything shares the collision domain and
+     is scaled by idle fraction... Route A consumes all airtime, so
+     the tree stops at depth 1. *)
+  let g =
+    Multigraph.create ~n_nodes:4 ~n_techs:1
+      ~edges:[ (0, 1, 0, 20.0); (1, 3, 0, 20.0); (0, 2, 0, 20.0); (2, 3, 0, 20.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let comb = Multipath.find g dom ~src:0 ~dst:3 in
+  check_float ~eps:1e-6 "R = 10 total" 10.0 comb.Multipath.total_rate;
+  Alcotest.(check int) "single route" 1 (List.length comb.Multipath.paths)
+
+let test_multipath_n1_vs_n5 () =
+  (* With n = 1 the tree can only follow the CSC-shortest path chain;
+     with n = 5 it must do at least as well. *)
+  let g, dom = fig3_style () in
+  let c1 = Multipath.find ~n:1 g dom ~src:0 ~dst:4 in
+  let c5 = Multipath.find ~n:5 g dom ~src:0 ~dst:4 in
+  Alcotest.(check bool) "n=5 >= n=1" true
+    (c5.Multipath.total_rate >= c1.Multipath.total_rate -. 1e-9)
+
+let test_routes_accessor () =
+  let g, dom = fig1 () in
+  let comb = Multipath.find g dom ~src:0 ~dst:2 in
+  Alcotest.(check int) "routes list" (List.length comb.Multipath.paths)
+    (List.length (Multipath.routes comb))
+
+(* --- alternative metrics (footnote 7) --- *)
+
+let test_metrics_names_and_weights () =
+  Alcotest.(check int) "five metrics" 5 (List.length Metrics.all);
+  let g, dom = fig1 () in
+  (* ETT weight is d_l. *)
+  check_float "ett weight" (1.0 /. 15.0) (Metrics.link_weight Metrics.Ett g dom 0);
+  (* IRU multiplies by the domain size (4 wifi links here). *)
+  check_float "iru weight" (4.0 /. 15.0) (Metrics.link_weight Metrics.Iru g dom 0);
+  (* CATT sums d over the domain: 2/15 + 2/30. *)
+  check_float "catt weight"
+    ((2.0 /. 15.0) +. (2.0 /. 30.0))
+    (Metrics.link_weight Metrics.Catt g dom 0)
+
+let test_metrics_routes_valid () =
+  let inst = Residential.generate (Rng.create 77) in
+  let g = Builder.graph inst Builder.Hybrid in
+  let dom = Domain.of_instance inst Builder.Hybrid g in
+  List.iter
+    (fun m ->
+      match Metrics.route m g dom ~src:0 ~dst:9 with
+      | None -> Alcotest.failf "%s found no route" (Metrics.name m)
+      | Some (p, cost) ->
+        Alcotest.(check bool) "valid endpoints" true
+          (Paths.src g p = 0 && Paths.dst g p = 9);
+        Alcotest.(check bool) "finite cost" true (Float.is_finite cost))
+    Metrics.all
+
+let test_metrics_ett_ignores_csc () =
+  (* On the test_dijkstra_no_csc network, ETT must pick the
+     higher-capacity same-tech route that the CSC metric avoids. *)
+  let g =
+    Multigraph.create ~n_nodes:4 ~n_techs:2
+      ~edges:[ (0, 1, 0, 25.0); (1, 3, 0, 25.0); (0, 2, 0, 20.0); (2, 3, 1, 20.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  (match Metrics.route Metrics.Ett g dom ~src:0 ~dst:3 with
+  | Some (p, _) -> Alcotest.(check (list int)) "ett same-tech" [ 0; 0 ] (Paths.techs g p)
+  | None -> Alcotest.fail "no ett route");
+  match Metrics.route Metrics.Empower_csc g dom ~src:0 ~dst:3 with
+  | Some (p, _) ->
+    Alcotest.(check (list int)) "empower alternates" [ 0; 1 ] (Paths.techs g p)
+  | None -> Alcotest.fail "no empower route"
+
+let test_optimal_csc_cost_and_route () =
+  (* Tech report: w_ns = 0, w_s = -min(d_in, d_out). On a tie between
+     a same-tech and an alternating route of equal capacities, the
+     optimal CSC strictly prefers alternation. *)
+  let g =
+    Multigraph.create ~n_nodes:4 ~n_techs:2
+      ~edges:[ (0, 1, 0, 20.0); (1, 3, 0, 20.0); (0, 2, 0, 20.0); (2, 3, 1, 20.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let same_tech = Paths.of_links g [ 0; 2 ] in
+  let alternating = Paths.of_links g [ 4; 6 ] in
+  check_float "same tech: plain sum" 0.1 (Metrics.optimal_csc_cost g same_tech);
+  check_float "alternating: rewarded" (0.1 -. 0.05)
+    (Metrics.optimal_csc_cost g alternating);
+  match Metrics.route Metrics.Optimal_csc g dom ~src:0 ~dst:3 with
+  | Some (p, c) ->
+    Alcotest.(check (list int)) "picks alternation" [ 0; 1 ] (Paths.techs g p);
+    check_float "reranked cost" 0.05 c
+  | None -> Alcotest.fail "no route"
+
+(* Property tests on random hybrid networks. *)
+
+let random_instance seed =
+  let rng = Rng.create seed in
+  Residential.generate rng
+
+let prop_update_shrinks_capacities =
+  QCheck.Test.make ~name:"update never increases capacities" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let inst = random_instance seed in
+      let g = Builder.graph inst Builder.Hybrid in
+      let dom = Domain.of_instance inst Builder.Hybrid g in
+      match Single_path.route g ~src:0 ~dst:(Multigraph.n_nodes g - 1) with
+      | None -> true
+      | Some (p, _) ->
+        let g' = Update.update g dom p in
+        let ok = ref true in
+        for l = 0 to Multigraph.num_links g - 1 do
+          if Multigraph.capacity g' l > Multigraph.capacity g l +. 1e-9 then ok := false
+        done;
+        !ok)
+
+let prop_update_zeroes_bottleneck =
+  QCheck.Test.make ~name:"update zeroes at least one path link" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let inst = random_instance (seed + 13) in
+      let g = Builder.graph inst Builder.Hybrid in
+      let dom = Domain.of_instance inst Builder.Hybrid g in
+      match Single_path.route g ~src:0 ~dst:(Multigraph.n_nodes g - 1) with
+      | None -> true
+      | Some (p, _) ->
+        if Update.path_rate g dom p <= 0.0 then true
+        else begin
+          let g' = Update.update g dom p in
+          List.exists (fun l -> Multigraph.capacity g' l < 1e-9) p.Paths.links
+        end)
+
+let prop_combination_at_least_single_path =
+  QCheck.Test.make ~name:"combination total >= single-path rate" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let inst = random_instance (seed + 29) in
+      let g = Builder.graph inst Builder.Hybrid in
+      let dom = Domain.of_instance inst Builder.Hybrid g in
+      let src = 0 and dst = Multigraph.n_nodes g - 1 in
+      match Single_path.route_rate g dom ~src ~dst with
+      | None -> true
+      | Some (_, r) ->
+        let comb = Multipath.find g dom ~src ~dst in
+        comb.Multipath.total_rate >= r -. 1e-6)
+
+let prop_routes_valid =
+  QCheck.Test.make ~name:"returned routes are loopless src->dst paths" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let inst = random_instance (seed + 41) in
+      let g = Builder.graph inst Builder.Hybrid in
+      let dom = Domain.of_instance inst Builder.Hybrid g in
+      let src = 0 and dst = Multigraph.n_nodes g - 1 in
+      let comb = Multipath.find g dom ~src ~dst in
+      List.for_all
+        (fun (p, r) ->
+          Paths.is_loopless g p && Paths.src g p = src && Paths.dst g p = dst && r > 0.0)
+        comb.Multipath.paths)
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "rates",
+        [
+          Alcotest.test_case "lemma 1" `Quick test_lemma1_rate;
+          Alcotest.test_case "hybrid pipeline" `Quick test_rate_no_interference;
+          Alcotest.test_case "zero capacity" `Quick test_rate_zero_capacity;
+        ] );
+      ( "update",
+        [
+          Alcotest.test_case "idle fractions + update" `Quick
+            test_idle_fraction_and_update;
+          Alcotest.test_case "far links untouched" `Quick test_update_leaves_far_links;
+        ] );
+      ( "multipath",
+        [
+          Alcotest.test_case "figure 1 combination" `Quick test_fig1_combination;
+          Alcotest.test_case "figure 3: best isolated" `Quick
+            test_fig3_best_isolated_route;
+          Alcotest.test_case "figure 3: combination" `Quick
+            test_fig3_combination_excludes_best_isolated;
+          Alcotest.test_case "unreachable" `Quick test_multipath_unreachable;
+          Alcotest.test_case "single link" `Quick test_multipath_single_link_network;
+          Alcotest.test_case "parallel mediums aggregate" `Quick
+            test_multipath_parallel_mediums_aggregate;
+          Alcotest.test_case "single medium: no fake gain" `Quick
+            test_multipath_single_medium_no_gain;
+          Alcotest.test_case "n=1 vs n=5" `Quick test_multipath_n1_vs_n5;
+          Alcotest.test_case "routes accessor" `Quick test_routes_accessor;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "weights" `Quick test_metrics_names_and_weights;
+          Alcotest.test_case "routes valid" `Quick test_metrics_routes_valid;
+          Alcotest.test_case "ett vs csc" `Quick test_metrics_ett_ignores_csc;
+          Alcotest.test_case "optimal csc" `Quick test_optimal_csc_cost_and_route;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_update_shrinks_capacities;
+          QCheck_alcotest.to_alcotest prop_update_zeroes_bottleneck;
+          QCheck_alcotest.to_alcotest prop_combination_at_least_single_path;
+          QCheck_alcotest.to_alcotest prop_routes_valid;
+        ] );
+    ]

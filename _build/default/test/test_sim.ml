@@ -1,0 +1,444 @@
+(* Tests for the discrete-event engine: MAC sharing (Lemma 1),
+   forwarding through the layer-2.5 header, congestion-controlled and
+   fixed-rate injection, file workloads, flow start/stop, and TCP
+   transport. *)
+
+let check_float ?(eps = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+let fig1 () =
+  let g =
+    Multigraph.create ~n_nodes:3 ~n_techs:2
+      ~edges:[ (0, 1, 0, 15.0); (1, 2, 0, 30.0); (0, 1, 1, 10.0) ]
+  in
+  (g, Domain.single_domain_per_tech g)
+
+let saturated_flow g dom ~src ~dst =
+  let comb = Multipath.find g dom ~src ~dst in
+  {
+    Engine.src;
+    dst;
+    routes = Multipath.routes comb;
+    init_rates = List.map snd comb.Multipath.paths;
+    workload = Workload.Saturated;
+    transport = Engine.Udp;
+    start_time = 0.0;
+    stop_time = None;
+  }
+
+let goodput_of res i =
+  float_of_int res.Engine.flows.(i).Engine.received_bytes
+  *. 8e-6 /. res.Engine.duration
+
+let test_single_link_throughput () =
+  (* Fixed-rate injection below capacity must be delivered 1:1. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 8.0 ];
+      workload = Workload.Saturated;
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let config = { Engine.default_config with enable_cc = false } in
+  let res = Engine.run ~config (Rng.create 1) g dom ~flows:[ flow ] ~duration:20.0 in
+  check_float ~eps:0.5 "delivered = offered" 8.0 (goodput_of res 0);
+  Alcotest.(check int) "no drops" 0 res.Engine.queue_drops
+
+let test_lemma1_mac_sharing () =
+  (* Two saturated links in one collision domain with capacities 15
+     and 30: equal transmission opportunities give each the rate
+     1/(1/15+1/30) = 10 (Lemma 1). *)
+  let g =
+    Multigraph.create ~n_nodes:4 ~n_techs:1 ~edges:[ (0, 1, 0, 15.0); (2, 3, 0, 30.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let mk src dst links rate =
+    {
+      Engine.src;
+      dst;
+      routes = [ Paths.of_links g links ];
+      init_rates = [ rate ];
+      workload = Workload.Saturated;
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  (* Overload both links; MAC fairness should equalize goodputs.
+     Collisions off: this checks the idealized sharing of Lemma 1. *)
+  let config =
+    { Engine.default_config with enable_cc = false; collision_prob = 0.0 }
+  in
+  let res =
+    Engine.run ~config (Rng.create 2) g dom
+      ~flows:[ mk 0 1 [ 0 ] 40.0; mk 2 3 [ 2 ] 40.0 ]
+      ~duration:30.0
+  in
+  check_float ~eps:1.0 "flow a at Rmax" 10.0 (goodput_of res 0);
+  check_float ~eps:1.0 "flow b at Rmax" 10.0 (goodput_of res 1)
+
+let test_fig1_cc_run () =
+  let g, dom = fig1 () in
+  let flow = saturated_flow g dom ~src:0 ~dst:2 in
+  let config = { Engine.default_config with collision_prob = 0.0 } in
+  let res = Engine.run ~config (Rng.create 3) g dom ~flows:[ flow ] ~duration:60.0 in
+  let gp = goodput_of res 0 in
+  Alcotest.(check bool) "close to 16.67 optimum" true (gp > 14.0 && gp < 17.5);
+  (* Rate series recorded every control period. *)
+  Alcotest.(check bool) "rate series populated" true
+    (List.length res.Engine.flows.(0).Engine.rate_series > 500)
+
+let test_multihop_forwarding () =
+  (* Three-hop chain across alternating mediums: packets must be
+     relayed via the source-route header. *)
+  let g =
+    Multigraph.create ~n_nodes:4 ~n_techs:2
+      ~edges:[ (0, 1, 0, 30.0); (1, 2, 1, 30.0); (2, 3, 0, 30.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let flow = saturated_flow g dom ~src:0 ~dst:3 in
+  Alcotest.(check bool) "multi-hop route" true
+    (List.for_all (fun p -> Paths.hops p = 3) flow.Engine.routes);
+  let res = Engine.run (Rng.create 4) g dom ~flows:[ flow ] ~duration:30.0 in
+  Alcotest.(check bool) "delivered end to end" true (goodput_of res 0 > 10.0)
+
+let test_flow_start_stop () =
+  let g, dom = fig1 () in
+  let flow =
+    { (saturated_flow g dom ~src:0 ~dst:2) with start_time = 10.0; stop_time = Some 20.0 }
+  in
+  let res = Engine.run (Rng.create 5) g dom ~flows:[ flow ] ~duration:40.0 in
+  let series = res.Engine.flows.(0).Engine.goodput_series in
+  let in_window lo hi =
+    List.filter_map (fun (t, gp) -> if t > lo && t <= hi then Some gp else None) series
+  in
+  check_float ~eps:0.2 "silent before start" 0.0 (Stats.mean (in_window 0.0 9.0));
+  Alcotest.(check bool) "active during window" true
+    (Stats.mean (in_window 12.0 20.0) > 5.0);
+  check_float ~eps:0.5 "silent after stop" 0.0 (Stats.mean (in_window 25.0 40.0))
+
+let test_file_completion () =
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 10.0 ];
+      workload = Workload.File { bytes = 5_000_000 };
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let config = { Engine.default_config with enable_cc = false } in
+  let res = Engine.run ~config (Rng.create 6) g dom ~flows:[ flow ] ~duration:30.0 in
+  match res.Engine.flows.(0).Engine.completions with
+  | [ (start, d) ] ->
+    check_float ~eps:1e-6 "starts at 0" 0.0 start;
+    (* 40 Mbit at 10 Mbps = ~4 s. *)
+    check_float ~eps:0.8 "completion time" 4.0 d;
+    Alcotest.(check bool) "received everything" true
+      (res.Engine.flows.(0).Engine.received_bytes >= 5_000_000)
+  | other -> Alcotest.failf "expected one completion, got %d" (List.length other)
+
+let test_poisson_files_sequential () =
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 50.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 40.0 ];
+      workload = Workload.Poisson_files { bytes = 1_000_000; mean_gap_s = 3.0; count = 4 };
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let config = { Engine.default_config with enable_cc = false } in
+  let res = Engine.run ~config (Rng.create 7) g dom ~flows:[ flow ] ~duration:120.0 in
+  let cs = res.Engine.flows.(0).Engine.completions in
+  Alcotest.(check int) "all four complete" 4 (List.length cs);
+  List.iter
+    (fun (_, d) -> Alcotest.(check bool) "duration sane" true (d > 0.0 && d < 20.0))
+    cs
+
+let test_queue_drops_under_overload () =
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 5.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 50.0 ];
+      workload = Workload.Saturated;
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let config = { Engine.default_config with enable_cc = false } in
+  let res = Engine.run ~config (Rng.create 8) g dom ~flows:[ flow ] ~duration:10.0 in
+  Alcotest.(check bool) "drops happen" true (res.Engine.queue_drops > 0);
+  (* Goodput still capped by capacity. *)
+  Alcotest.(check bool) "correct cap" true (goodput_of res 0 < 5.5)
+
+let test_collisions_under_contention () =
+  (* With the CSMA collision model on, blasting two backlogged links
+     in one domain loses frames to collisions; a lone link does not. *)
+  let g =
+    Multigraph.create ~n_nodes:4 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0); (2, 3, 0, 20.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let mk src dst l =
+    {
+      Engine.src;
+      dst;
+      routes = [ Paths.of_links g [ l ] ];
+      init_rates = [ 40.0 ];
+      workload = Workload.Saturated;
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let config = { Engine.default_config with enable_cc = false } in
+  let both =
+    Engine.run ~config (Rng.create 21) g dom ~flows:[ mk 0 1 0; mk 2 3 2 ]
+      ~duration:20.0
+  in
+  let alone =
+    Engine.run ~config (Rng.create 22) g dom ~flows:[ mk 0 1 0 ] ~duration:20.0
+  in
+  let ideal_share = 10.0 in
+  Alcotest.(check bool) "contention costs throughput" true
+    (goodput_of both 0 < ideal_share -. 0.5);
+  Alcotest.(check bool) "lone link loses nothing" true (goodput_of alone 0 > 19.0)
+
+let test_link_failure_reroutes_traffic () =
+  (* Two single-hop routes on different mediums; the PLC link dies at
+     t = 20 s. The controller must starve the dead route and keep the
+     flow alive on WiFi (the Section 6.1 failure reaction). *)
+  let g =
+    Multigraph.create ~n_nodes:2 ~n_techs:2
+      ~edges:[ (0, 1, 0, 20.0) (* wifi, links 0/1 *); (0, 1, 1, 20.0) (* plc, links 2/3 *) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let routes = [ Paths.of_links g [ 0 ]; Paths.of_links g [ 2 ] ] in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes;
+      init_rates = [ 20.0; 20.0 ];
+      workload = Workload.Saturated;
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let res =
+    Engine.run ~link_events:[ (20.0, 2, 0.0); (20.0, 3, 0.0) ] (Rng.create 11) g dom
+      ~flows:[ flow ] ~duration:60.0
+  in
+  let fr = res.Engine.flows.(0) in
+  let mean_window lo hi =
+    Stats.mean
+      (List.filter_map
+         (fun (t, gp) -> if t > lo && t <= hi then Some gp else None)
+         fr.Engine.goodput_series)
+  in
+  (* Before: both mediums ~40 Mbps; after: only WiFi ~20. *)
+  Alcotest.(check bool) "both mediums before" true (mean_window 5.0 19.0 > 30.0);
+  let after = mean_window 35.0 60.0 in
+  Alcotest.(check bool) "alive on wifi after failure" true (after > 14.0);
+  Alcotest.(check bool) "plc contribution gone" true (after < 25.0);
+  (* The controller's final rate on the dead route collapses. *)
+  Alcotest.(check bool) "dead route starved" true (fr.Engine.final_rates.(1) < 3.0)
+
+let test_capacity_drop_adapts () =
+  (* A capacity drop (not failure) on the only link: goodput follows. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 40.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 40.0 ];
+      workload = Workload.Saturated;
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let res =
+    Engine.run ~link_events:[ (30.0, 0, 10.0); (30.0, 1, 10.0) ] (Rng.create 12) g dom
+      ~flows:[ flow ] ~duration:70.0
+  in
+  let fr = res.Engine.flows.(0) in
+  let mean_window lo hi =
+    Stats.mean
+      (List.filter_map
+         (fun (t, gp) -> if t > lo && t <= hi then Some gp else None)
+         fr.Engine.goodput_series)
+  in
+  Alcotest.(check bool) "full rate before" true (mean_window 5.0 29.0 > 30.0);
+  let after = mean_window 45.0 70.0 in
+  Alcotest.(check bool) "adapted down" true (after < 12.0);
+  Alcotest.(check bool) "still flowing" true (after > 6.0)
+
+let test_delay_grows_without_margin () =
+  (* Section 4.1: airtime near 1 makes delays blow up; the margin
+     buys queue headroom. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 20.0 ];
+      workload = Workload.Saturated;
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let run delta =
+    let config = { Engine.default_config with delta; collision_prob = 0.0 } in
+    (Engine.run ~config (Rng.create 13) g dom ~flows:[ flow ] ~duration:40.0)
+      .Engine.flows.(0)
+  in
+  let tight = run 0.0 and slack = run 0.2 in
+  Alcotest.(check bool) "delays measured" true (tight.Engine.mean_delay > 0.0);
+  Alcotest.(check bool) "margin cuts delay" true
+    (slack.Engine.mean_delay < tight.Engine.mean_delay);
+  Alcotest.(check bool) "p95 >= mean" true
+    (tight.Engine.p95_delay >= tight.Engine.mean_delay)
+
+let test_tcp_transfer_over_engine () =
+  let g, dom = fig1 () in
+  let comb = Multipath.find g dom ~src:0 ~dst:2 in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 2;
+      routes = Multipath.routes comb;
+      init_rates = List.map snd comb.Multipath.paths;
+      workload = Workload.File { bytes = 10_000_000 };
+      transport = Engine.Tcp_transport;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let config =
+    { Engine.default_config with delta = 0.3; delay_equalize = true }
+  in
+  let res = Engine.run ~config (Rng.create 9) g dom ~flows:[ flow ] ~duration:60.0 in
+  match res.Engine.flows.(0).Engine.completions with
+  | [ (_, d) ] ->
+    (* 80 Mbit at ~11.7 Mbps allocation -> ~7-12 s. *)
+    Alcotest.(check bool) "completes in sane time" true (d > 4.0 && d < 30.0)
+  | _ -> Alcotest.fail "TCP transfer did not complete"
+
+let test_validation_errors () =
+  let g, dom = fig1 () in
+  let base = saturated_flow g dom ~src:0 ~dst:2 in
+  let bad f =
+    try
+      ignore (Engine.run (Rng.create 1) g dom ~flows:[ f ] ~duration:1.0);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative start" true (bad { base with Engine.start_time = -1.0 });
+  Alcotest.(check bool) "rate/route mismatch" true (bad { base with Engine.init_rates = [] })
+
+let test_determinism () =
+  let g, dom = fig1 () in
+  let run () =
+    let flow = saturated_flow g dom ~src:0 ~dst:2 in
+    let res = Engine.run (Rng.create 42) g dom ~flows:[ flow ] ~duration:10.0 in
+    (res.Engine.flows.(0).Engine.received_bytes, res.Engine.events_processed)
+  in
+  Alcotest.(check bool) "same seed, same run" true (run () = run ())
+
+let prop_engine_goodput_below_optimal =
+  QCheck.Test.make ~name:"engine goodput never exceeds the LP optimum" ~count:8
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let inst = Residential.generate (Rng.create seed) in
+      let g = Builder.graph inst Builder.Hybrid in
+      let dom = Domain.of_instance inst Builder.Hybrid g in
+      let comb = Multipath.find g dom ~src:0 ~dst:9 in
+      match Multipath.routes comb with
+      | [] -> true
+      | routes ->
+        let flow =
+          {
+            Engine.src = 0;
+            dst = 9;
+            routes;
+            init_rates = List.map snd comb.Multipath.paths;
+            workload = Workload.Saturated;
+            transport = Engine.Udp;
+            start_time = 0.0;
+            stop_time = None;
+          }
+        in
+        let res = Engine.run (Rng.create (seed + 1)) g dom ~flows:[ flow ] ~duration:15.0 in
+        let gp =
+          float_of_int res.Engine.flows.(0).Engine.received_bytes *. 8e-6 /. 15.0
+        in
+        let opt = Opt_solver.max_throughput Rate_region.Exact g dom ~src:0 ~dst:9 in
+        gp <= (opt *. 1.05) +. 1.0)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "mac",
+        [
+          Alcotest.test_case "single link" `Quick test_single_link_throughput;
+          Alcotest.test_case "lemma 1 sharing" `Quick test_lemma1_mac_sharing;
+          Alcotest.test_case "queue drops under overload" `Quick
+            test_queue_drops_under_overload;
+          Alcotest.test_case "collisions under contention" `Quick
+            test_collisions_under_contention;
+        ] );
+      ( "datapath",
+        [
+          Alcotest.test_case "figure-1 CC run" `Quick test_fig1_cc_run;
+          Alcotest.test_case "multihop forwarding" `Quick test_multihop_forwarding;
+          Alcotest.test_case "flow start/stop" `Quick test_flow_start_stop;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "file completion" `Quick test_file_completion;
+          Alcotest.test_case "poisson files" `Quick test_poisson_files_sequential;
+        ] );
+      ( "tcp",
+        [ Alcotest.test_case "transfer completes" `Quick test_tcp_transfer_over_engine ] );
+      ( "dynamics",
+        [
+          Alcotest.test_case "link failure reroutes" `Quick
+            test_link_failure_reroutes_traffic;
+          Alcotest.test_case "capacity drop adapts" `Quick test_capacity_drop_adapts;
+          Alcotest.test_case "margin cuts delay" `Quick test_delay_grows_without_margin;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_engine_goodput_below_optimal ] );
+    ]

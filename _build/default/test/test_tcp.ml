@@ -1,0 +1,189 @@
+(* Tests for the Reno TCP state machine. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+let mk ?params ?total () = Tcp.create ?params ~total_bytes:total ()
+
+let test_initial_state () =
+  let t = mk () in
+  check_float "cwnd" 2.0 (Tcp.cwnd t);
+  Alcotest.(check int) "una" 0 (Tcp.snd_una t);
+  Alcotest.(check int) "in flight" 0 (Tcp.in_flight t);
+  Alcotest.(check bool) "no timer" true (Tcp.rto_deadline t = None);
+  Alcotest.(check bool) "unbounded never finishes" false (Tcp.finished t)
+
+let test_segment_count () =
+  let t = mk ~total:25000 () in
+  (* 25 kB at 12 kB segments -> 3 segments. *)
+  Alcotest.(check (option int)) "3 segments" (Some 3) (Tcp.segments_total t)
+
+let test_window_limits_sending () =
+  let t = mk () in
+  Alcotest.(check (option int)) "seg 0" (Some 0) (Tcp.take_segment t ~now:0.0);
+  Alcotest.(check (option int)) "seg 1" (Some 1) (Tcp.take_segment t ~now:0.0);
+  Alcotest.(check (option int)) "window full" None (Tcp.take_segment t ~now:0.0);
+  Alcotest.(check bool) "timer armed" true (Tcp.rto_deadline t <> None)
+
+let test_slow_start_growth () =
+  let t = mk () in
+  ignore (Tcp.take_segment t ~now:0.0);
+  ignore (Tcp.take_segment t ~now:0.0);
+  Tcp.on_ack t ~now:0.1 ~cum_ack:2;
+  (* Two segments acked in slow start: cwnd 2 -> 4. *)
+  check_float "cwnd grew" 4.0 (Tcp.cwnd t);
+  Alcotest.(check int) "una advanced" 2 (Tcp.snd_una t);
+  Alcotest.(check bool) "rtt sampled" true (Tcp.srtt t > 0.0)
+
+let test_congestion_avoidance_growth () =
+  let params = { Tcp.default_params with init_ssthresh = 2.0 } in
+  let t = mk ~params () in
+  ignore (Tcp.take_segment t ~now:0.0);
+  ignore (Tcp.take_segment t ~now:0.0);
+  Tcp.on_ack t ~now:0.1 ~cum_ack:2;
+  (* Above ssthresh: cwnd += newly_acked / cwnd = 2/2 = 1. *)
+  check_float "linear growth" 3.0 (Tcp.cwnd t)
+
+let test_fast_retransmit () =
+  let t = mk () in
+  (* Send 5 segments (grow window first). *)
+  ignore (Tcp.take_segment t ~now:0.0);
+  ignore (Tcp.take_segment t ~now:0.0);
+  Tcp.on_ack t ~now:0.05 ~cum_ack:2;
+  for _ = 1 to 4 do
+    ignore (Tcp.take_segment t ~now:0.1)
+  done;
+  (* Segment 2 lost; three dup acks for 2. *)
+  Tcp.on_ack t ~now:0.2 ~cum_ack:2;
+  Tcp.on_ack t ~now:0.21 ~cum_ack:2;
+  Alcotest.(check bool) "not yet retransmitting" true
+    (Tcp.retransmissions t = 0);
+  Tcp.on_ack t ~now:0.22 ~cum_ack:2;
+  (* Fast retransmit queued: next take returns seq 2 again. *)
+  Alcotest.(check (option int)) "retransmit 2" (Some 2) (Tcp.take_segment t ~now:0.23);
+  Alcotest.(check int) "counted" 1 (Tcp.retransmissions t);
+  Alcotest.(check bool) "ssthresh dropped" true (Tcp.ssthresh t <= 3.0)
+
+let test_recovery_exit () =
+  let t = mk () in
+  ignore (Tcp.take_segment t ~now:0.0);
+  ignore (Tcp.take_segment t ~now:0.0);
+  Tcp.on_ack t ~now:0.05 ~cum_ack:2;
+  for _ = 1 to 4 do
+    ignore (Tcp.take_segment t ~now:0.1)
+  done;
+  for i = 1 to 3 do
+    Tcp.on_ack t ~now:(0.2 +. (0.01 *. float_of_int i)) ~cum_ack:2
+  done;
+  ignore (Tcp.take_segment t ~now:0.25);
+  (* Full cumulative ack past everything sent: recovery exits, cwnd =
+     ssthresh. *)
+  Tcp.on_ack t ~now:0.3 ~cum_ack:6;
+  check_float "cwnd = ssthresh" (Tcp.ssthresh t) (Tcp.cwnd t);
+  Alcotest.(check int) "una" 6 (Tcp.snd_una t)
+
+let test_rto_go_back_n () =
+  let t = mk () in
+  ignore (Tcp.take_segment t ~now:0.0);
+  ignore (Tcp.take_segment t ~now:0.0);
+  Tcp.on_ack t ~now:0.05 ~cum_ack:1;
+  ignore (Tcp.take_segment t ~now:0.1);
+  ignore (Tcp.take_segment t ~now:0.1);
+  (* Timeout: cwnd collapses, everything from una re-sent. *)
+  Tcp.on_rto t ~now:2.0;
+  check_float "cwnd 1" 1.0 (Tcp.cwnd t);
+  Alcotest.(check int) "in flight reset" 0 (Tcp.in_flight t);
+  (match Tcp.take_segment t ~now:2.0 with
+  | Some seq -> Alcotest.(check int) "resend from una" (Tcp.snd_una t) seq
+  | None -> Alcotest.fail "expected a retransmission");
+  Alcotest.(check bool) "marked as retransmission" true (Tcp.retransmissions t > 0)
+
+let test_rto_backoff () =
+  let t = mk () in
+  ignore (Tcp.take_segment t ~now:0.0);
+  let d1 = Option.get (Tcp.rto_deadline t) in
+  Tcp.on_rto t ~now:d1;
+  let d2 = Option.get (Tcp.rto_deadline t) in
+  Tcp.on_rto t ~now:d2;
+  let d3 = Option.get (Tcp.rto_deadline t) in
+  Alcotest.(check bool) "exponential backoff" true (d3 -. d2 > (d2 -. d1) *. 1.5)
+
+let test_finished () =
+  let t = mk ~total:20000 () in
+  (* 2 segments. *)
+  ignore (Tcp.take_segment t ~now:0.0);
+  ignore (Tcp.take_segment t ~now:0.0);
+  Alcotest.(check (option int)) "no more data" None (Tcp.take_segment t ~now:0.0);
+  Tcp.on_ack t ~now:0.1 ~cum_ack:2;
+  Alcotest.(check bool) "finished" true (Tcp.finished t);
+  Alcotest.(check bool) "timer cleared" true (Tcp.rto_deadline t = None)
+
+let test_rtt_estimation () =
+  let t = mk () in
+  ignore (Tcp.take_segment t ~now:0.0);
+  Tcp.on_ack t ~now:0.08 ~cum_ack:1;
+  check_float ~eps:1e-6 "first srtt = rtt" 0.08 (Tcp.srtt t);
+  ignore (Tcp.take_segment t ~now:0.1);
+  Tcp.on_ack t ~now:0.26 ~cum_ack:2;
+  (* srtt = 0.875*0.08 + 0.125*0.16 = 0.09. *)
+  check_float ~eps:1e-6 "ewma" 0.09 (Tcp.srtt t)
+
+let test_dupack_ignored_when_idle () =
+  let t = mk () in
+  (* Nothing in flight: dup acks must not trigger anything. *)
+  Tcp.on_ack t ~now:0.1 ~cum_ack:0;
+  Tcp.on_ack t ~now:0.2 ~cum_ack:0;
+  Tcp.on_ack t ~now:0.3 ~cum_ack:0;
+  check_float "cwnd unchanged" 2.0 (Tcp.cwnd t);
+  Alcotest.(check int) "no retransmissions" 0 (Tcp.retransmissions t)
+
+(* Property: simulate an ideal lossless pipe; TCP must deliver all
+   segments, never shrink below 1 segment, and keep in_flight within
+   the window. *)
+let prop_lossless_pipe_completes =
+  QCheck.Test.make ~name:"lossless pipe completes in order" ~count:40
+    QCheck.(pair (int_range 1 60) (int_bound 10000))
+    (fun (segments, seed) ->
+      let rng = Rng.create seed in
+      let t = mk ~total:(segments * Tcp.default_params.Tcp.segment_bytes) () in
+      let now = ref 0.0 in
+      let inflight = Queue.create () in
+      let received = ref 0 in
+      let steps = ref 0 in
+      while (not (Tcp.finished t)) && !steps < 10000 do
+        incr steps;
+        (match Tcp.take_segment t ~now:!now with
+        | Some seq -> Queue.push seq inflight
+        | None -> ());
+        now := !now +. (0.001 +. Rng.float rng *. 0.01);
+        if not (Queue.is_empty inflight) then begin
+          let seq = Queue.pop inflight in
+          if seq = !received then incr received;
+          Tcp.on_ack t ~now:!now ~cum_ack:!received
+        end;
+        if float_of_int (Tcp.in_flight t) > Tcp.cwnd t +. 1.0 then steps := 100000
+      done;
+      Tcp.finished t && !received = segments)
+
+let () =
+  Alcotest.run "tcp"
+    [
+      ( "reno",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "segment count" `Quick test_segment_count;
+          Alcotest.test_case "window limits" `Quick test_window_limits_sending;
+          Alcotest.test_case "slow start" `Quick test_slow_start_growth;
+          Alcotest.test_case "congestion avoidance" `Quick
+            test_congestion_avoidance_growth;
+          Alcotest.test_case "fast retransmit" `Quick test_fast_retransmit;
+          Alcotest.test_case "recovery exit" `Quick test_recovery_exit;
+          Alcotest.test_case "rto go-back-n" `Quick test_rto_go_back_n;
+          Alcotest.test_case "rto backoff" `Quick test_rto_backoff;
+          Alcotest.test_case "finished" `Quick test_finished;
+          Alcotest.test_case "rtt estimation" `Quick test_rtt_estimation;
+          Alcotest.test_case "idle dupacks" `Quick test_dupack_ignored_when_idle;
+          QCheck_alcotest.to_alcotest prop_lossless_pipe_completes;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the residential/enterprise/testbed topology generators
+   and the scenario projection. *)
+
+let test_residential_shape () =
+  let rng = Rng.create 1 in
+  let inst = Residential.generate rng in
+  Alcotest.(check int) "10 nodes" 10 (Builder.node_count inst);
+  Alcotest.(check int) "5 dual" 5 (List.length (Builder.dual_nodes inst));
+  Array.iter
+    (fun nd ->
+      let p = nd.Builder.pos in
+      Alcotest.(check bool) "inside rectangle" true
+        (p.Geometry.x >= 0.0 && p.Geometry.x <= 50.0 && p.Geometry.y >= 0.0
+       && p.Geometry.y <= 30.0);
+      Alcotest.(check int) "single panel" 0 nd.Builder.panel)
+    inst.Builder.nodes
+
+let test_enterprise_shape () =
+  let rng = Rng.create 2 in
+  let inst = Enterprise.generate rng in
+  Alcotest.(check int) "20 nodes" 20 (Builder.node_count inst);
+  Alcotest.(check int) "10 APs" 10 (List.length (Builder.dual_nodes inst));
+  (* APs sit on distinct 10x10 grid cells. *)
+  let ap_cells =
+    List.filter_map
+      (fun nd ->
+        if nd.Builder.dual then
+          Some
+            ( int_of_float (nd.Builder.pos.Geometry.x /. 10.0),
+              int_of_float (nd.Builder.pos.Geometry.y /. 10.0) )
+        else None)
+      (Array.to_list inst.Builder.nodes)
+  in
+  Alcotest.(check int) "distinct cells" 10 (List.length (List.sort_uniq compare ap_cells));
+  (* Panels split the floor at x = 50. *)
+  Array.iter
+    (fun nd ->
+      let expected = if nd.Builder.pos.Geometry.x < 50.0 then 0 else 1 in
+      Alcotest.(check int) "panel by half" expected nd.Builder.panel)
+    inst.Builder.nodes
+
+let test_plc_respects_panels () =
+  let rng = Rng.create 3 in
+  let inst = Enterprise.generate rng in
+  let n = Builder.node_count inst in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if inst.Builder.plc.(i).(j) > 0.0 then begin
+        Alcotest.(check int) "same panel" inst.Builder.nodes.(i).Builder.panel
+          inst.Builder.nodes.(j).Builder.panel;
+        Alcotest.(check bool) "both dual" true
+          (inst.Builder.nodes.(i).Builder.dual && inst.Builder.nodes.(j).Builder.dual)
+      end
+    done
+  done
+
+let test_matrices_symmetric () =
+  let rng = Rng.create 4 in
+  let inst = Residential.generate rng in
+  let n = Builder.node_count inst in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Alcotest.(check (float 0.0)) "wifi sym" inst.Builder.wifi1.(i).(j)
+        inst.Builder.wifi1.(j).(i);
+      Alcotest.(check (float 0.0)) "plc sym" inst.Builder.plc.(i).(j)
+        inst.Builder.plc.(j).(i)
+    done;
+    Alcotest.(check (float 0.0)) "no self wifi" 0.0 inst.Builder.wifi1.(i).(i)
+  done
+
+let test_wifi2_equals_wifi1_between_duals () =
+  let rng = Rng.create 5 in
+  let inst = Residential.generate rng in
+  let n = Builder.node_count inst in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if inst.Builder.nodes.(i).Builder.dual && inst.Builder.nodes.(j).Builder.dual then
+        Alcotest.(check (float 0.0)) "equal channels" inst.Builder.wifi1.(i).(j)
+          inst.Builder.wifi2.(i).(j)
+      else Alcotest.(check (float 0.0)) "no second radio" 0.0 inst.Builder.wifi2.(i).(j)
+    done
+  done
+
+let test_scenario_projection () =
+  let rng = Rng.create 6 in
+  let inst = Residential.generate rng in
+  let g_h = Builder.graph inst Builder.Hybrid in
+  let g_w = Builder.graph inst Builder.Single_wifi in
+  let g_m = Builder.graph inst Builder.Multi_wifi in
+  Alcotest.(check int) "hybrid 2 techs" 2 (Multigraph.n_techs g_h);
+  Alcotest.(check int) "wifi 1 tech" 1 (Multigraph.n_techs g_w);
+  Alcotest.(check int) "mwifi 2 techs" 2 (Multigraph.n_techs g_m);
+  (* The WiFi channel-1 links are identical across scenarios. *)
+  let count_tech g k =
+    Array.fold_left
+      (fun acc l -> if l.Multigraph.tech = k then acc + 1 else acc)
+      0 (Multigraph.links g)
+  in
+  Alcotest.(check int) "same wifi1 links h/w" (count_tech g_h 0) (count_tech g_w 0);
+  Alcotest.(check int) "same wifi1 links h/m" (count_tech g_h 0) (count_tech g_m 0)
+
+let test_techs_tables () =
+  let th = Builder.techs Builder.Hybrid in
+  Alcotest.(check bool) "hybrid = wifi + plc" true
+    (Technology.is_wifi th.(0) && Technology.is_plc th.(1));
+  let tm = Builder.techs Builder.Multi_wifi in
+  Alcotest.(check bool) "mwifi = wifi + wifi" true
+    (Technology.is_wifi tm.(0) && Technology.is_wifi tm.(1))
+
+let test_testbed_fixed () =
+  Alcotest.(check int) "22 nodes" 22 Testbed.n_nodes;
+  Alcotest.(check int) "positions array" 22 (Array.length Testbed.positions);
+  let rng = Rng.create 7 in
+  let inst = Testbed.generate rng in
+  Alcotest.(check int) "instance nodes" 22 (Builder.node_count inst);
+  Alcotest.(check int) "all dual" 22 (List.length (Builder.dual_nodes inst));
+  Array.iter
+    (fun nd ->
+      let p = nd.Builder.pos in
+      Alcotest.(check bool) "inside floor" true
+        (p.Geometry.x >= 0.0 && p.Geometry.x <= 65.0 && p.Geometry.y >= 0.0
+       && p.Geometry.y <= 40.0))
+    inst.Builder.nodes;
+  (* Node numbering helper. *)
+  Alcotest.(check int) "node 1 -> id 0" 0 (Testbed.node 1);
+  Alcotest.(check int) "node 22 -> id 21" 21 (Testbed.node 22);
+  Alcotest.(check bool) "node 0 rejected" true
+    (try
+       ignore (Testbed.node 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_testbed_not_single_hop () =
+  (* The floor diagonal exceeds the WiFi radius: some pairs must lack
+     a direct WiFi link, making multi-hop necessary. *)
+  let rng = Rng.create 8 in
+  let inst = Testbed.generate rng in
+  let far_pairs = ref 0 in
+  let n = Builder.node_count inst in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if inst.Builder.wifi1.(i).(j) = 0.0 then incr far_pairs
+    done
+  done;
+  Alcotest.(check bool) "some pairs need relaying" true (!far_pairs > 10)
+
+let test_hybrid_graph_connected_via_plc () =
+  (* In the hybrid testbed, PLC (50 m radius) should connect most of
+     the floor: the hybrid graph must be connected for seed 9. *)
+  let rng = Rng.create 9 in
+  let inst = Testbed.generate rng in
+  let g = Builder.graph inst Builder.Hybrid in
+  let reachable = Array.make (Multigraph.n_nodes g) false in
+  let rec dfs u =
+    if not reachable.(u) then begin
+      reachable.(u) <- true;
+      List.iter
+        (fun l -> if Multigraph.usable g l then dfs (Multigraph.link g l).Multigraph.dst)
+        (Multigraph.out_links g u)
+    end
+  in
+  dfs 0;
+  Alcotest.(check bool) "connected" true (Array.for_all Fun.id reachable)
+
+let prop_generators_deterministic =
+  QCheck.Test.make ~name:"same seed, same instance" ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let a = Residential.generate (Rng.create seed) in
+      let b = Residential.generate (Rng.create seed) in
+      a.Builder.wifi1 = b.Builder.wifi1 && a.Builder.plc = b.Builder.plc
+      && Array.for_all2
+           (fun x y -> x.Builder.pos = y.Builder.pos)
+           a.Builder.nodes b.Builder.nodes)
+
+let prop_capacities_within_radius =
+  QCheck.Test.make ~name:"links only exist within connection radius" ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let inst = Enterprise.generate (Rng.create seed) in
+      let n = Builder.node_count inst in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let d =
+            Geometry.distance inst.Builder.nodes.(i).Builder.pos
+              inst.Builder.nodes.(j).Builder.pos
+          in
+          if inst.Builder.wifi1.(i).(j) > 0.0 && d > 35.0 then ok := false;
+          if inst.Builder.plc.(i).(j) > 0.0 && d > 50.0 then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "residential",
+        [ Alcotest.test_case "shape" `Quick test_residential_shape ] );
+      ( "enterprise",
+        [
+          Alcotest.test_case "shape" `Quick test_enterprise_shape;
+          Alcotest.test_case "plc respects panels" `Quick test_plc_respects_panels;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "matrices symmetric" `Quick test_matrices_symmetric;
+          Alcotest.test_case "wifi2 = wifi1 between duals" `Quick
+            test_wifi2_equals_wifi1_between_duals;
+          Alcotest.test_case "scenario projection" `Quick test_scenario_projection;
+          Alcotest.test_case "technology tables" `Quick test_techs_tables;
+        ] );
+      ( "testbed",
+        [
+          Alcotest.test_case "fixed floorplan" `Quick test_testbed_fixed;
+          Alcotest.test_case "multi-hop needed" `Quick test_testbed_not_single_hop;
+          Alcotest.test_case "hybrid connectivity" `Quick
+            test_hybrid_graph_connected_via_plc;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_generators_deterministic;
+          QCheck_alcotest.to_alcotest prop_capacities_within_radius;
+        ] );
+    ]

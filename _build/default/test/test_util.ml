@@ -1,0 +1,247 @@
+(* Tests for the utility layer: RNG determinism, statistics, the
+   priority queue, units, and table formatting helpers. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9f, got %.9f" msg expected actual
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same stream" true (Rng.float a = Rng.float b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 10 (fun _ -> Rng.float a) in
+  let ys = List.init 10 (fun _ -> Rng.float b) in
+  Alcotest.(check bool) "different seeds differ" true (xs <> ys)
+
+let test_rng_float_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %f" x
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 9 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 7000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "int out of range: %d" v;
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 700 then Alcotest.failf "bucket %d starved: %d" i c)
+    counts
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.float a) in
+  let ys = List.init 20 (fun _ -> Rng.float b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_copy () =
+  let a = Rng.create 11 in
+  ignore (Rng.float a);
+  let b = Rng.copy a in
+  Alcotest.(check bool) "copy replays" true (Rng.float a = Rng.float b)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 3 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng ~mean:5.0 ~std:2.0) in
+  check_float ~eps:0.1 "mean" 5.0 (Stats.mean xs);
+  check_float ~eps:0.1 "std" 2.0 (Stats.stddev xs)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 4 in
+  let xs = List.init 20000 (fun _ -> Rng.exponential rng ~rate:2.0) in
+  check_float ~eps:0.02 "mean 1/rate" 0.5 (Stats.mean xs)
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 8 in
+  let s = Rng.sample_without_replacement rng 5 10 in
+  Alcotest.(check int) "five values" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+  List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 10)) s
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 12 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is a permutation" true (sorted = Array.init 20 Fun.id)
+
+(* --- Stats --- *)
+
+let test_stats_basics () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean []);
+  check_float "stddev" (sqrt (2.0 /. 3.0)) (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  check_float "stddev short" 0.0 (Stats.stddev [ 1.0 ]);
+  check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 1.5 (Stats.median [ 1.0; 2.0; 0.0; 3.0 ])
+
+let test_stats_percentile () =
+  let xs = List.init 101 float_of_int in
+  check_float "p0" 0.0 (Stats.percentile xs 0.0);
+  check_float "p100" 100.0 (Stats.percentile xs 100.0);
+  check_float "p50" 50.0 (Stats.percentile xs 50.0);
+  check_float "p25" 25.0 (Stats.percentile xs 25.0)
+
+let test_ecdf () =
+  let e = Stats.Ecdf.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_float "below support" 0.0 (Stats.Ecdf.eval e 0.5);
+  check_float "at 2" 0.5 (Stats.Ecdf.eval e 2.0);
+  check_float "mid" 0.5 (Stats.Ecdf.eval e 2.5);
+  check_float "above" 1.0 (Stats.Ecdf.eval e 10.0);
+  check_float "inverse 0.5" 2.0 (Stats.Ecdf.inverse e 0.5);
+  check_float "inverse 1.0" 4.0 (Stats.Ecdf.inverse e 1.0);
+  Alcotest.(check int) "size" 4 (Stats.Ecdf.size e);
+  let lo, hi = Stats.Ecdf.support e in
+  check_float "lo" 1.0 lo;
+  check_float "hi" 4.0 hi;
+  Alcotest.(check int) "points" 4 (List.length (Stats.Ecdf.points e))
+
+let prop_ecdf_monotone =
+  QCheck.Test.make ~name:"ecdf is monotone and ends at 1" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (float_range (-100.) 100.))
+    (fun xs ->
+      let e = Stats.Ecdf.of_list xs in
+      let grid = List.init 21 (fun i -> -110.0 +. (11.0 *. float_of_int i)) in
+      let vals = List.map (Stats.Ecdf.eval e) grid in
+      let rec mono = function
+        | a :: (b :: _ as tl) -> a <= b && mono tl
+        | _ -> true
+      in
+      mono vals && Stats.Ecdf.eval e 200.0 = 1.0)
+
+let prop_percentile_within_range =
+  QCheck.Test.make ~name:"percentile stays within sample range" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (float_range (-50.) 50.))
+        (float_range 0. 100.))
+    (fun (xs, p) ->
+      let v = Stats.percentile xs p in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+(* --- Pqueue --- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3.0 "c";
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 2.0 "b";
+  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (1.0, "a")) (Pqueue.peek q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c")) (Pqueue.pop q);
+  Alcotest.(check bool) "empty" true (Pqueue.pop q = None)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 "first";
+  Pqueue.push q 1.0 "second";
+  Pqueue.push q 1.0 "third";
+  let order = List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?") in
+  Alcotest.(check (list string)) "FIFO among ties" [ "first"; "second"; "third" ] order
+
+let test_pqueue_size_clear () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "fresh empty" true (Pqueue.is_empty q);
+  for i = 1 to 100 do
+    Pqueue.push q (float_of_int (100 - i)) i
+  done;
+  Alcotest.(check int) "size" 100 (Pqueue.size q);
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:200
+    QCheck.(list (float_range (-1000.) 1000.))
+    (fun xs ->
+      let q = Pqueue.create () in
+      List.iter (fun x -> Pqueue.push q x ()) xs;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (p, ()) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare xs)
+
+(* --- Units --- *)
+
+let test_units () =
+  check_float "mbps->Bps" 1.25e6 (Units.mbps_to_bytes_per_s 10.0);
+  check_float "roundtrip" 10.0 (Units.bytes_per_s_to_mbps (Units.mbps_to_bytes_per_s 10.0));
+  check_float "bytes->mbit" 8.0 (Units.bytes_to_mbit 1e6);
+  check_float "mbit->bytes" 1e6 (Units.mbit_to_bytes 8.0);
+  check_float "tx time" 0.001 (Units.tx_time ~capacity_mbps:8.0 ~bytes:1000);
+  Alcotest.(check int) "kib" 2048 (Units.kib 2);
+  Alcotest.(check int) "mib" 1048576 (Units.mib 1)
+
+(* --- Table --- *)
+
+let test_grids () =
+  let lin = Table.linear_grid ~lo:0.0 ~hi:10.0 ~n:11 in
+  Alcotest.(check int) "n points" 11 (List.length lin);
+  check_float "first" 0.0 (List.hd lin);
+  check_float "last" 10.0 (List.nth lin 10);
+  let lg = Table.log_grid ~lo:0.1 ~hi:10.0 ~n:3 in
+  check_float "log mid" 1.0 (List.nth lg 1);
+  check_float ~eps:1e-9 "log last" 10.0 (List.nth lg 2)
+
+let test_fmt_float () =
+  Alcotest.(check string) "integer" "12" (Table.fmt_float 12.0);
+  Alcotest.(check string) "small" "0.070" (Table.fmt_float 0.07);
+  Alcotest.(check string) "mid" "3.14" (Table.fmt_float 3.142)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range + spread" `Quick test_rng_int_range;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_rng_sample_without_replacement;
+          Alcotest.test_case "shuffle is a permutation" `Quick
+            test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "ecdf" `Quick test_ecdf;
+          QCheck_alcotest.to_alcotest prop_ecdf_monotone;
+          QCheck_alcotest.to_alcotest prop_percentile_within_range;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "size/clear" `Quick test_pqueue_size_clear;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+        ] );
+      ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
+      ( "table",
+        [
+          Alcotest.test_case "grids" `Quick test_grids;
+          Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+        ] );
+    ]
