@@ -124,6 +124,60 @@ let run_kernels () =
       else Printf.printf "%-45s %8.0f ns/run\n" name ns)
     (List.sort compare !rows)
 
+(* ---------- part 1b: engine throughput on a fixed scenario ---------- *)
+
+let write_sim_bench () =
+  (* The figure-4 residential scenario, pinned (seed 77, flow 0->9):
+     wall-clock engine throughput lands in BENCH_sim.json so numbers
+     are comparable across commits. *)
+  let g, dom = Lazy.force residential_case in
+  let comb = Multipath.find g dom ~src:0 ~dst:9 in
+  match Multipath.routes comb with
+  | [] -> print_endline "BENCH_sim.json: skipped (no route 0 -> 9)"
+  | routes ->
+    let spec =
+      {
+        Engine.src = 0;
+        dst = 9;
+        routes;
+        init_rates = List.map snd comb.Multipath.paths;
+        workload = Workload.Saturated;
+        transport = Engine.Udp;
+        start_time = 0.0;
+        stop_time = None;
+      }
+    in
+    let duration = 4.0 in
+    let one seed = Engine.run (Rng.create seed) g dom ~flows:[ spec ] ~duration in
+    ignore (one 0) (* warm-up *);
+    let reps = 5 in
+    let events = ref 0 and bytes = ref 0 in
+    let t0 = Sys.time () in
+    for i = 1 to reps do
+      let res = one i in
+      events := !events + res.Engine.events_processed;
+      bytes := !bytes + res.Engine.flows.(0).Engine.received_bytes
+    done;
+    let elapsed = Float.max 1e-9 (Sys.time () -. t0) in
+    let frames = !bytes / Engine.default_config.Engine.frame_bytes in
+    let runs_s = float_of_int reps /. elapsed in
+    let events_s = float_of_int !events /. elapsed in
+    let frames_s = float_of_int frames /. elapsed in
+    let oc = open_out "BENCH_sim.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"scenario\": \"fig4 residential (seed 77), flow 0->9, %.0f s sim\",\n\
+      \  \"runs\": %d,\n\
+      \  \"elapsed_s\": %.3f,\n\
+      \  \"runs_per_s\": %.2f,\n\
+      \  \"events_per_s\": %.0f,\n\
+      \  \"delivered_frames_per_s\": %.0f\n\
+       }\n"
+      duration reps elapsed runs_s events_s frames_s;
+    close_out oc;
+    Printf.printf "BENCH_sim.json: %.2f runs/s, %.0f events/s, %.0f frames/s\n%!"
+      runs_s events_s frames_s
+
 (* ---------- part 2: table/figure regeneration ---------- *)
 
 let scale =
@@ -180,5 +234,6 @@ let run_experiments () =
 
 let () =
   run_kernels ();
+  write_sim_bench ();
   run_experiments ();
   print_endline "\nbench: done"

@@ -69,12 +69,16 @@ val allocate :
 
 val simulate :
   ?config:Engine.config ->
+  ?invariants:Invariants.t ->
   ?seed:int ->
   network ->
   flows:Engine.flow_spec list ->
   duration:float ->
   Engine.result
-(** Packet-level simulation of the full stack (see {!Engine}). *)
+(** Packet-level simulation of the full stack (see {!Engine}).
+    [?invariants] threads a runtime invariant checker through the run
+    (see {!Invariants}); the [EMPOWER_CHECK] environment variable
+    enables one implicitly. *)
 
 val flow_specs_of_allocation :
   ?workload:Workload.t ->

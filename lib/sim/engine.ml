@@ -143,8 +143,14 @@ type event =
 
 let mbps_of_bits bits seconds = bits /. 1e6 /. seconds
 
-let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duration =
+let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~flows
+    ~duration =
   let n_links = Multigraph.num_links g in
+  let inv =
+    match invariants with
+    | Some _ -> invariants
+    | None -> if Invariants.env_enabled () then Some (Invariants.create ()) else None
+  in
   (* Live link capacities: start from the graph's and follow the
      scheduled capacity-change / failure events. *)
   let caps = Multigraph.capacities g in
@@ -157,6 +163,14 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
 
   (* --- links --- *)
   let links =
+    (* Estimator streams are split off [rng] in link-id order by an
+       explicit loop: Array.init's evaluation order is unspecified and
+       must not decide the seeding (see the determinism contract in
+       the interface). *)
+    let est_rngs = Array.init n_links (fun _ -> rng) in
+    for l = 0 to n_links - 1 do
+      est_rngs.(l) <- Rng.split rng
+    done;
     Array.init n_links (fun l ->
         {
           queue = Queue.create ();
@@ -165,8 +179,7 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
           last_service = -1.0;
           window_bits = 0.0;
           had_traffic = false;
-          estimator =
-            Estimator.create (Rng.split rng) ~initial_capacity:(cap l);
+          estimator = Estimator.create est_rngs.(l) ~initial_capacity:(cap l);
         })
   in
   let d_est l =
@@ -311,7 +324,65 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
       reverse_latency = reverse_latency_of spec;
     }
   in
-  let flow_states = Array.of_list (List.mapi make_flow flows) in
+  let flow_states =
+    (* Explicit left-to-right construction: [make_flow] consumes rng
+       splits (Poisson arrival draws), so evaluation order is part of
+       the seeding contract and List.mapi does not guarantee one. *)
+    let rev, _ =
+      List.fold_left
+        (fun (acc, i) spec -> (make_flow i spec :: acc, i + 1))
+        ([], 0) flows
+    in
+    Array.of_list (List.rev rev)
+  in
+
+  (* --- invariant checker wiring --- *)
+  (match inv with
+  | None -> ()
+  | Some t ->
+    Invariants.configure t ~n_links ~queue_limit:config.queue_limit
+      ~frame_bytes:config.frame_bytes ~control_period:config.control_period;
+    Array.iter
+      (fun f ->
+        let pacing =
+          match f.spec.transport with
+          | Udp -> Invariants.Paced
+          | Tcp_transport ->
+            if config.enable_cc then Invariants.Token_bucket
+            else Invariants.Unpoliced
+        in
+        Invariants.register_flow t ~flow:f.id ~pacing
+          ~rate:(Array.fold_left ( +. ) 0.0 f.x))
+      flow_states);
+  let inv_view =
+    lazy
+      {
+        Invariants.n_links;
+        queue_len = (fun l -> Queue.length links.(l).queue);
+        on_air_flow =
+          (fun l ->
+            match links.(l).on_air with Some p -> Some p.flow | None -> None);
+        iter_queued =
+          (fun l k -> Queue.iter (fun (p : packet) -> k p.flow) links.(l).queue);
+        domain = (fun l -> Domain.domain dom l);
+        gamma = (fun l -> gamma.(l));
+        link_src = (fun l -> (Multigraph.link g l).Multigraph.src);
+      }
+  in
+  let inv_inject f =
+    match inv with Some t -> Invariants.on_inject t ~now:!now ~flow:f | None -> ()
+  in
+  let inv_deliver f =
+    match inv with Some t -> Invariants.on_deliver t ~now:!now ~flow:f | None -> ()
+  in
+  let inv_drop ~link ~reason f =
+    match inv with
+    | Some t -> Invariants.on_drop t ~now:!now ~flow:f ~link ~reason
+    | None -> ()
+  in
+  let inv_release f ev =
+    match inv with Some t -> Invariants.on_release t ~now:!now ~flow:f ev | None -> ()
+  in
 
   (* --- goodput bins --- *)
   let flush_bins_upto f t =
@@ -356,6 +427,7 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
         (* Link died under us: drop the frame. *)
         st.on_air <- None;
         incr queue_drops;
+        inv_drop ~link:(Some l) ~reason:Invariants.Link_down pkt.flow;
         try_start l
       end
       else schedule (Units.tx_time ~capacity_mbps:cap_l ~bytes:pkt.bytes) (Tx_end l)
@@ -370,8 +442,13 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
         (Domain.domain dom l)
     in
     let sorted =
+      (* Tie-break equal service times by link id: List.sort makes no
+         stability promise, and an unspecified order here would leak
+         into which link wins the medium. *)
       List.sort
-        (fun a b -> compare links.(a).last_service links.(b).last_service)
+        (fun a b ->
+          let c = compare links.(a).last_service links.(b).last_service in
+          if c <> 0 then c else compare a b)
         candidates
     in
     List.iter try_start sorted
@@ -380,7 +457,10 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
     let st = links.(l) in
     st.window_bits <- st.window_bits +. (8.0 *. float_of_int pkt.bytes);
     st.had_traffic <- true;
-    if Queue.length st.queue >= config.queue_limit then incr queue_drops
+    if Queue.length st.queue >= config.queue_limit then begin
+      incr queue_drops;
+      inv_drop ~link:(Some l) ~reason:Invariants.Queue_overflow pkt.flow
+    end
     else begin
       (* Stamp the congestion price for this hop into the header. *)
       pkt.header <- Header.add_price pkt.header (link_price l);
@@ -424,6 +504,7 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
       }
     in
     f.injected_window.(ri) <- f.injected_window.(ri) +. float_of_int bytes;
+    inv_inject f.id;
     enqueue_on_link pkt.links.(0) pkt
   in
   let sendable_bytes f =
@@ -593,9 +674,12 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
     List.iter
       (fun ev ->
         match ev with
-        | Reorder.Deliver (_, p) ->
+        | Reorder.Deliver (seq, p) ->
+          inv_release f.id (`Deliver seq);
           f.delivered_in_order_bytes <- f.delivered_in_order_bytes + p.bytes
-        | Reorder.Lost _ -> f.lost <- f.lost + 1)
+        | Reorder.Lost seq ->
+          inv_release f.id (`Lost seq);
+          f.lost <- f.lost + 1)
       events;
     (match f.tcp with
     | None -> ()
@@ -606,6 +690,7 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
     completions_check f
   in
   let deliver_to_destination f pkt =
+    inv_deliver f.id;
     if config.delay_equalize then begin
       let delay = !now -. pkt.sent_at in
       Reorder.Equalizer.observe f.equalizer ~route:pkt.route_idx ~delay;
@@ -625,7 +710,7 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
       (* Collided: airtime spent, frame lost. *)
       st.on_air <- None;
       st.air_collided <- false;
-      ignore pkt;
+      inv_drop ~link:(Some l) ~reason:Invariants.Collision pkt.flow;
       try_start_domain l
     | Some pkt ->
       st.on_air <- None;
@@ -638,10 +723,14 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
         match
           Route_codec.next_hop pkt.header.Header.route ~my_ifaces:my_ifaces.(arrived_at)
         with
-        | None -> () (* misrouted; drop *)
+        | None ->
+          (* misrouted; drop *)
+          inv_drop ~link:(Some l) ~reason:Invariants.Misroute pkt.flow
         | Some next_hash -> (
           match List.assoc_opt next_hash egress_by_hash.(arrived_at) with
-          | None -> () (* no such neighbor anymore; drop *)
+          | None ->
+            (* no such neighbor anymore; drop *)
+            inv_drop ~link:(Some l) ~reason:Invariants.Misroute pkt.flow
           | Some next_link ->
             pkt.hop <- pkt.hop + 1;
             enqueue_on_link next_link pkt)
@@ -692,6 +781,9 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
         f.x_bar.(i) <- ((1.0 -. a) *. f.x_bar.(i)) +. (a *. f.x.(i))
       done;
       Alpha.observe f.alpha (total_rate f);
+      (match inv with
+      | Some t -> Invariants.on_rate t ~flow:f.id ~rate:(total_rate f)
+      | None -> ());
       (* refresh TCP policing promptly *)
       match f.tcp with Some _ -> tcp_try_send f | None -> ()
     end
@@ -735,6 +827,9 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
           f.rates_rev <- (!now, Array.copy f.x) :: f.rates_rev
         end)
       flow_states;
+    (match inv with
+    | Some t -> Invariants.on_tick t ~now:!now (Lazy.force inv_view)
+    | None -> ());
     schedule config.control_period Control_tick
   in
 
@@ -744,7 +839,17 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
     | Capacity_change (l, c) ->
       caps.(l) <- Float.max 0.0 c;
       (* A dead link drops its backlog; a healthier one may start. *)
-      if caps.(l) <= 0.0 then Queue.clear links.(l).queue else try_start l
+      if caps.(l) <= 0.0 then begin
+        let st = links.(l) in
+        (* The flushed backlog counts as queue drops — frames must not
+           vanish from the accounting when a link dies. *)
+        queue_drops := !queue_drops + Queue.length st.queue;
+        Queue.iter
+          (fun p -> inv_drop ~link:(Some l) ~reason:Invariants.Backlog_cleared p.flow)
+          st.queue;
+        Queue.clear st.queue
+      end
+      else try_start l
     | Inject fid -> (
       let f = flow_states.(fid) in
       match f.spec.transport with
@@ -808,7 +913,10 @@ let run ?(config = default_config) ?(link_events = []) rng g dom ~flows ~duratio
       | Some (t, ev) ->
         now := Float.max !now t;
         incr events_processed;
-        handle ev);
+        handle ev;
+        match inv with
+        | Some chk -> Invariants.check_step chk ~now:!now (Lazy.force inv_view)
+        | None -> ());
       loop ()
   in
   loop ();

@@ -103,6 +103,7 @@ type result = {
 
 val run :
   ?config:config ->
+  ?invariants:Invariants.t ->
   ?link_events:(float * int * float) list ->
   Rng.t ->
   Multigraph.t ->
@@ -112,6 +113,29 @@ val run :
   result
 (** Simulate [duration] seconds. Flow routes must be non-empty for
     flows that should carry traffic; a flow with no routes idles.
+
+    {b Determinism / seeding contract.} The run is a pure function of
+    ([config], [link_events], the [Rng.t]'s state, [g], [dom], [flows],
+    [duration]): equal inputs produce bit-identical {!result}s. All
+    randomness flows through the given generator, which is consumed in
+    a fixed order — one {!Rng.split} per link (in link-id order) for
+    the capacity estimators, then, per flow in list order, the splits
+    its workload needs (Poisson arrival draws), then the per-frame
+    draws as events execute. MAC ties (equal last-service times when a
+    domain frees up) break by link id; event-queue ties pop FIFO.
+    Adding a link or flow therefore shifts the streams of everything
+    created after it, but no ordering decision is left to hashing or
+    unspecified evaluation order.
+
+    {b Invariant checking.} Passing [~invariants:t] runs the
+    {!Invariants} checker over every event of the simulation (frame
+    conservation, MAC occupancy, queue bounds, price positivity,
+    reorder-release order, pacing/goodput bounds) — in its default
+    [`Raise] mode any violated invariant aborts the run with
+    {!Invariants.Violation}. When the [EMPOWER_CHECK] environment
+    variable is set, every [run] without an explicit checker creates
+    one, so a whole experiment binary can be audited without code
+    changes. Expect a 2-4x slowdown with checking on.
 
     [link_events] schedules capacity changes: [(t, link, capacity)]
     sets the directed link's capacity at time [t] (0 = link failure,

@@ -1,0 +1,153 @@
+(* Deterministic random-case generators for the property suite.
+
+   Every generator is a pure function of an integer seed through
+   [Rng]: a QCheck counterexample therefore consists of one printed
+   integer, and replaying it rebuilds the exact topology, interference
+   structure and flow set (see README "Testing & invariants").
+
+   Topologies are random connected hybrid multigraphs: a random
+   spanning tree guarantees connectivity, extra edges (possibly
+   parallel, on a second technology) add the multipath structure the
+   oracles exercise. Interference is drawn from the two in-tree
+   models: the single-collision-domain-per-technology limit, or a
+   random symmetric per-technology predicate thickened with the
+   mandatory peer/self pairs. *)
+
+type case = {
+  seed : int;
+  g : Multigraph.t;
+  dom : Domain.t;
+  src : int;
+  dst : int;
+}
+
+let capacity rng =
+  (* Spread over the paper's PLC/WiFi range, away from zero. *)
+  Rng.uniform rng 5.0 100.0
+
+(* A connected multigraph on [n] nodes and [n_techs] technologies. *)
+let random_graph rng ~n ~n_techs ~extra =
+  let edges = ref [] in
+  (* Random spanning tree: node i attaches to a uniform predecessor. *)
+  for v = 1 to n - 1 do
+    let u = Rng.int rng v in
+    edges := (u, v, Rng.int rng n_techs, capacity rng) :: !edges
+  done;
+  (* Extra edges, rejecting self-loops and exact duplicates (same
+     unordered pair + technology, which Multigraph.create forbids). *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v, k, _) -> Hashtbl.replace seen (min u v, max u v, k) ())
+    !edges;
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra && !attempts < 50 * (extra + 1) do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    let k = Rng.int rng n_techs in
+    let key = (min u v, max u v, k) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      edges := (u, v, k, capacity rng) :: !edges;
+      incr added
+    end
+  done;
+  Multigraph.create ~n_nodes:n ~n_techs ~edges:(List.rev !edges)
+
+let random_domain rng g =
+  if Rng.bool rng then Domain.single_domain_per_tech g
+  else begin
+    (* Random symmetric same-technology interference: precompute the
+       matrix so the predicate handed to Domain.create is pure. *)
+    let m = Multigraph.num_links g in
+    let mat = Array.make_matrix m m false in
+    let links = Multigraph.links g in
+    let p = Rng.uniform rng 0.3 0.9 in
+    for a = 0 to m - 1 do
+      for b = a + 1 to m - 1 do
+        let la = links.(a) and lb = links.(b) in
+        let touches =
+          la.Multigraph.src = lb.Multigraph.src
+          || la.Multigraph.src = lb.Multigraph.dst
+          || la.Multigraph.dst = lb.Multigraph.src
+          || la.Multigraph.dst = lb.Multigraph.dst
+        in
+        if la.Multigraph.tech = lb.Multigraph.tech
+           && (touches || Rng.float rng < p)
+        then begin
+          mat.(a).(b) <- true;
+          mat.(b).(a) <- true
+        end
+      done
+    done;
+    Domain.create g ~interferes:(fun a b -> mat.(a).(b))
+  end
+
+let case_of_seed seed =
+  let rng = Rng.create (0x9E3779B9 + seed) in
+  let n = 3 + Rng.int rng 6 in
+  let n_techs = 1 + Rng.int rng 2 in
+  let extra = Rng.int rng (n + 2) in
+  let g = random_graph rng ~n ~n_techs ~extra in
+  let dom = random_domain rng g in
+  let src = Rng.int rng n in
+  let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+  { seed; g; dom; src; dst }
+
+let saturated_flow_of_case c =
+  let comb = Multipath.find c.g c.dom ~src:c.src ~dst:c.dst in
+  match Multipath.routes comb with
+  | [] -> None
+  | routes ->
+    Some
+      ( comb,
+        {
+          Engine.src = c.src;
+          dst = c.dst;
+          routes;
+          init_rates = List.map snd comb.Multipath.paths;
+          workload = Workload.Saturated;
+          transport = Engine.Udp;
+          start_time = 0.0;
+          stop_time = None;
+        } )
+
+(* Lemma 1 cases: k disjoint saturated links sharing one collision
+   domain; the closed form predicts each delivers (Σ_l d_l)^-1. *)
+type lemma1_case = {
+  l1_seed : int;
+  l1_g : Multigraph.t;
+  l1_dom : Domain.t;
+  caps : float array;
+}
+
+let lemma1_case_of_seed seed =
+  let rng = Rng.create (0x51ED2701 + seed) in
+  let k = 2 + Rng.int rng 4 in
+  let caps = Array.init k (fun _ -> Rng.uniform rng 8.0 60.0) in
+  let edges =
+    List.init k (fun i -> (2 * i, (2 * i) + 1, 0, caps.(i)))
+  in
+  let g = Multigraph.create ~n_nodes:(2 * k) ~n_techs:1 ~edges in
+  { l1_seed = seed; l1_g = g; l1_dom = Domain.single_domain_per_tech g; caps }
+
+let lemma1_flows c =
+  Array.to_list
+    (Array.mapi
+       (fun i _ ->
+         {
+           Engine.src = 2 * i;
+           dst = (2 * i) + 1;
+           (* edge i materializes directed links 2i (u->v) and 2i+1 *)
+           routes = [ Paths.of_links c.l1_g [ 2 * i ] ];
+           (* overload: well above any link's fair share *)
+           init_rates = [ 100.0 ];
+           workload = Workload.Saturated;
+           transport = Engine.Udp;
+           start_time = 0.0;
+           stop_time = None;
+         })
+       c.caps)
+
+let goodput res i duration =
+  float_of_int res.Engine.flows.(i).Engine.received_bytes *. 8e-6 /. duration

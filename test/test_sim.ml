@@ -405,6 +405,143 @@ let prop_engine_goodput_below_optimal =
         let opt = Opt_solver.max_throughput Rate_region.Exact g dom ~src:0 ~dst:9 in
         gp <= (opt *. 1.05) +. 1.0)
 
+(* ---------- runtime invariant checker ---------- *)
+
+let assert_clean name inv =
+  (match Invariants.violations inv with
+  | [] -> ()
+  | v :: _ as all ->
+    Alcotest.failf "%s: %d violation(s), first: %s" name (List.length all)
+      (Invariants.describe v));
+  Alcotest.(check bool) (name ^ ": checker ran") true
+    (Invariants.events_checked inv > 0);
+  Alcotest.(check bool) (name ^ ": traffic flowed") true
+    (Invariants.frames_delivered inv > 0)
+
+let test_invariants_fig4_scenario () =
+  (* The figure-4 setting: an EMPoWER multipath flow across a random
+     residential hybrid, congestion control on. *)
+  let inst = Residential.generate (Rng.create 77) in
+  let g = Builder.graph inst Builder.Hybrid in
+  let dom = Domain.of_instance inst Builder.Hybrid g in
+  let flow = saturated_flow g dom ~src:0 ~dst:9 in
+  let inv = Invariants.create ~mode:`Collect () in
+  ignore
+    (Engine.run ~invariants:inv (Rng.create 78) g dom ~flows:[ flow ]
+       ~duration:10.0);
+  assert_clean "fig4" inv
+
+let test_invariants_fig7_scenario () =
+  (* The figure-7 setting: several contending EMPoWER flows sharing
+     the residential network's collision domains. *)
+  let rng = Rng.create 907 in
+  let inst = Common.generate Common.Residential rng in
+  let g = Builder.graph inst Builder.Hybrid in
+  let dom = Domain.of_instance inst Builder.Hybrid g in
+  let flows =
+    Common.random_flows rng inst ~n:3
+    |> List.filter_map (fun (src, dst) ->
+           let f = saturated_flow g dom ~src ~dst in
+           if f.Engine.routes = [] then None else Some f)
+  in
+  Alcotest.(check bool) "contending flows found" true (List.length flows >= 2);
+  let inv = Invariants.create ~mode:`Collect () in
+  ignore (Engine.run ~invariants:inv (Rng.create 908) g dom ~flows ~duration:10.0);
+  assert_clean "fig7" inv
+
+let test_invariants_table1_scenario () =
+  (* The table-1 setting: a TCP file download on the testbed graph
+     with delay equalization, driven through the library facade. *)
+  let inst = Testbed.generate (Rng.create 4242) in
+  let net = Runner.network inst Schemes.Empower in
+  let src = Testbed.node 6 and dst = Testbed.node 13 in
+  let rr = Runner.routes_and_rates net Schemes.Empower ~src ~dst in
+  Alcotest.(check bool) "testbed route exists" true (fst rr <> []);
+  let spec =
+    Runner.flow_spec ~transport:Engine.Tcp_transport
+      ~workload:(Workload.File { bytes = 20_000_000 })
+      ~src ~dst rr
+  in
+  let config = { Engine.default_config with delay_equalize = true } in
+  let inv = Invariants.create ~mode:`Collect () in
+  ignore
+    (Empower.simulate ~config ~invariants:inv ~seed:4243 net ~flows:[ spec ]
+       ~duration:30.0);
+  assert_clean "table1" inv
+
+(* Negative tests: drive the checker's hooks directly with deliberate
+   bookkeeping bugs and verify each one is caught with the right rule.
+   The [view] closures play the role of the live MAC state. *)
+
+let quiet_view =
+  {
+    Invariants.n_links = 2;
+    queue_len = (fun _ -> 0);
+    on_air_flow = (fun _ -> None);
+    iter_queued = (fun _ _ -> ());
+    domain = (fun _ -> [ 0; 1 ]);
+    gamma = (fun _ -> 0.0);
+    link_src = (fun _ -> 0);
+  }
+
+let fresh_checker () =
+  let inv = Invariants.create () in
+  Invariants.configure inv ~n_links:2 ~queue_limit:64 ~frame_bytes:1500
+    ~control_period:0.03;
+  Invariants.register_flow inv ~flow:0 ~pacing:Invariants.Unpoliced ~rate:10.0;
+  inv
+
+let expect_violation name rule f =
+  match f () with
+  | () -> Alcotest.failf "%s: the injected bug was not caught" name
+  | exception Invariants.Violation v ->
+    Alcotest.(check string) (name ^ ": rule") rule v.Invariants.rule
+
+let test_catches_lost_frame () =
+  expect_violation "lost frame" "frame-conservation" (fun () ->
+      let inv = fresh_checker () in
+      for _ = 1 to 5 do
+        Invariants.on_inject inv ~now:0.01 ~flow:0
+      done;
+      for _ = 1 to 3 do
+        Invariants.on_deliver inv ~now:0.02 ~flow:0
+      done;
+      (* Two frames vanished with no drop record and no queue holding
+         them: exactly the bug a skipped [queue_drops] update makes. *)
+      Invariants.check_step inv ~now:0.03 quiet_view)
+
+let test_catches_duplicate_release () =
+  expect_violation "duplicate release" "reorder-duplicate" (fun () ->
+      let inv = fresh_checker () in
+      Invariants.on_release inv ~now:0.01 ~flow:0 (`Deliver 0);
+      Invariants.on_release inv ~now:0.02 ~flow:0 (`Deliver 0))
+
+let test_catches_reordered_release () =
+  expect_violation "reordered release" "reorder-gap" (fun () ->
+      let inv = fresh_checker () in
+      Invariants.on_release inv ~now:0.01 ~flow:0 (`Deliver 1))
+
+let test_catches_negative_price () =
+  expect_violation "negative price" "negative-price" (fun () ->
+      let inv = fresh_checker () in
+      Invariants.check_step inv ~now:0.01
+        { quiet_view with Invariants.gamma = (fun _ -> -0.25) })
+
+let test_catches_queue_over_bound () =
+  expect_violation "queue over bound" "queue-bound" (fun () ->
+      let inv = fresh_checker () in
+      Invariants.check_step inv ~now:0.01
+        { quiet_view with Invariants.queue_len = (fun _ -> 65) })
+
+let test_catches_double_occupancy () =
+  expect_violation "double occupancy" "medium-occupancy" (fun () ->
+      let inv = fresh_checker () in
+      Invariants.on_inject inv ~now:0.005 ~flow:0;
+      Invariants.on_inject inv ~now:0.005 ~flow:0;
+      (* Both links of one interference domain on the air at once. *)
+      Invariants.check_step inv ~now:0.01
+        { quiet_view with Invariants.on_air_flow = (fun _ -> Some 0) })
+
 let () =
   Alcotest.run "sim"
     [
@@ -438,6 +575,26 @@ let () =
             test_link_failure_reroutes_traffic;
           Alcotest.test_case "capacity drop adapts" `Quick test_capacity_drop_adapts;
           Alcotest.test_case "margin cuts delay" `Quick test_delay_grows_without_margin;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "fig4 scenario clean" `Quick
+            test_invariants_fig4_scenario;
+          Alcotest.test_case "fig7 scenario clean" `Quick
+            test_invariants_fig7_scenario;
+          Alcotest.test_case "table1 scenario clean" `Quick
+            test_invariants_table1_scenario;
+          Alcotest.test_case "catches lost frame" `Quick test_catches_lost_frame;
+          Alcotest.test_case "catches duplicate release" `Quick
+            test_catches_duplicate_release;
+          Alcotest.test_case "catches reordered release" `Quick
+            test_catches_reordered_release;
+          Alcotest.test_case "catches negative price" `Quick
+            test_catches_negative_price;
+          Alcotest.test_case "catches queue over bound" `Quick
+            test_catches_queue_over_bound;
+          Alcotest.test_case "catches double occupancy" `Quick
+            test_catches_double_occupancy;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_engine_goodput_below_optimal ] );

@@ -79,6 +79,35 @@ let test_rng_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check bool) "is a permutation" true (sorted = Array.init 20 Fun.id)
 
+let test_rng_split_uncorrelated () =
+  (* The summary-level independence check: the parent stream and the
+     split-off child must be (empirically) uncorrelated, and splitting
+     twice must give two distinct children. *)
+  let a = Rng.create 99 in
+  let b = Rng.split a in
+  let c = Rng.split a in
+  let n = 5000 in
+  let xs = Array.init n (fun _ -> Rng.float a) in
+  let ys = Array.init n (fun _ -> Rng.float b) in
+  let zs = Array.init n (fun _ -> Rng.float c) in
+  let corr xs ys =
+    let mx = Stats.mean_arr xs and my = Stats.mean_arr ys in
+    let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let a = x -. mx and b = ys.(i) -. my in
+        num := !num +. (a *. b);
+        dx := !dx +. (a *. a);
+        dy := !dy +. (b *. b))
+      xs;
+    !num /. sqrt (!dx *. !dy)
+  in
+  Alcotest.(check bool) "parent/child uncorrelated" true
+    (Float.abs (corr xs ys) < 0.05);
+  Alcotest.(check bool) "siblings uncorrelated" true
+    (Float.abs (corr ys zs) < 0.05);
+  Alcotest.(check bool) "siblings distinct" true (ys <> zs)
+
 (* --- Stats --- *)
 
 let test_stats_basics () =
@@ -97,6 +126,39 @@ let test_stats_percentile () =
   check_float "p100" 100.0 (Stats.percentile xs 100.0);
   check_float "p50" 50.0 (Stats.percentile xs 50.0);
   check_float "p25" 25.0 (Stats.percentile xs 25.0)
+
+let test_stats_degenerate () =
+  (* Empty and singleton samples: totals the experiments rely on when
+     a run produces no (or one) data point. *)
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check_float "singleton stddev" 0.0 (Stats.stddev [ 4.2 ]);
+  check_float "singleton variance" 0.0 (Stats.variance [ 4.2 ]);
+  check_float "singleton median" 4.2 (Stats.median [ 4.2 ]);
+  check_float "singleton p0" 4.2 (Stats.percentile [ 4.2 ] 0.0);
+  check_float "singleton p100" 4.2 (Stats.percentile [ 4.2 ] 100.0);
+  check_float "empty fraction_below" 0.0 (Stats.fraction_below [] 1.0);
+  check_float "empty fraction_at_least" 0.0 (Stats.fraction_at_least [] 1.0);
+  check_float "fraction strictly below" 0.5
+    (Stats.fraction_below [ 1.0; 2.0 ] 2.0);
+  check_float "fraction at least incl" 0.5
+    (Stats.fraction_at_least [ 1.0; 2.0 ] 2.0);
+  Alcotest.(check bool) "min raises on empty" true (raises (fun () -> Stats.minimum []));
+  Alcotest.(check bool) "max raises on empty" true (raises (fun () -> Stats.maximum []));
+  Alcotest.(check bool) "percentile raises on empty" true
+    (raises (fun () -> Stats.percentile [] 50.0));
+  Alcotest.(check bool) "ecdf raises on empty" true
+    (raises (fun () -> Stats.Ecdf.of_list []))
+
+let test_ecdf_singleton () =
+  let e = Stats.Ecdf.of_list [ 2.5 ] in
+  check_float "below" 0.0 (Stats.Ecdf.eval e 2.0);
+  check_float "at" 1.0 (Stats.Ecdf.eval e 2.5);
+  check_float "above" 1.0 (Stats.Ecdf.eval e 3.0);
+  check_float "inverse" 2.5 (Stats.Ecdf.inverse e 0.5);
+  let lo, hi = Stats.Ecdf.support e in
+  check_float "support lo" 2.5 lo;
+  check_float "support hi" 2.5 hi;
+  Alcotest.(check int) "size" 1 (Stats.Ecdf.size e)
 
 let test_ecdf () =
   let e = Stats.Ecdf.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
@@ -178,6 +240,37 @@ let prop_pqueue_sorts =
       let out = drain [] in
       out = List.sort compare xs)
 
+let test_pqueue_empty_ops () =
+  let q : unit Pqueue.t = Pqueue.create () in
+  Alcotest.(check bool) "pop on empty" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek on empty" true (Pqueue.peek q = None);
+  Alcotest.(check int) "size zero" 0 (Pqueue.size q);
+  Pqueue.clear q;
+  Alcotest.(check bool) "clear on empty is fine" true (Pqueue.is_empty q);
+  Pqueue.push q 1.0 ();
+  ignore (Pqueue.pop q);
+  Alcotest.(check bool) "pop after drain" true (Pqueue.pop q = None)
+
+let test_pqueue_interleaved_ties () =
+  (* FIFO among equal priorities must survive interleaved pushes and
+     pops at mixed priorities (the event queue does exactly this). *)
+  let q = Pqueue.create () in
+  Pqueue.push q 2.0 "t1";
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 2.0 "t2";
+  Alcotest.(check (option (pair (float 0.0) string))) "min first" (Some (1.0, "a"))
+    (Pqueue.pop q);
+  Pqueue.push q 2.0 "t3";
+  Pqueue.push q 0.5 "b";
+  Alcotest.(check (option (pair (float 0.0) string))) "new min" (Some (0.5, "b"))
+    (Pqueue.pop q);
+  let order =
+    List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "ties stay FIFO across pops"
+    [ "t1"; "t2"; "t3" ] order;
+  Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
+
 (* --- Units --- *)
 
 let test_units () =
@@ -215,6 +308,7 @@ let () =
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "int range + spread" `Quick test_rng_int_range;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "split uncorrelated" `Quick test_rng_split_uncorrelated;
           Alcotest.test_case "copy replays" `Quick test_rng_copy;
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
@@ -227,7 +321,9 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "degenerate samples" `Quick test_stats_degenerate;
           Alcotest.test_case "ecdf" `Quick test_ecdf;
+          Alcotest.test_case "ecdf singleton" `Quick test_ecdf_singleton;
           QCheck_alcotest.to_alcotest prop_ecdf_monotone;
           QCheck_alcotest.to_alcotest prop_percentile_within_range;
         ] );
@@ -235,6 +331,8 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_pqueue_order;
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "empty ops" `Quick test_pqueue_empty_ops;
+          Alcotest.test_case "interleaved ties" `Quick test_pqueue_interleaved_ties;
           Alcotest.test_case "size/clear" `Quick test_pqueue_size_clear;
           QCheck_alcotest.to_alcotest prop_pqueue_sorts;
         ] );
