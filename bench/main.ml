@@ -148,21 +148,36 @@ let write_sim_bench () =
       }
     in
     let duration = 4.0 in
-    let one seed = Engine.run (Rng.create seed) g dom ~flows:[ spec ] ~duration in
+    let one ?trace seed =
+      Engine.run ?trace (Rng.create seed) g dom ~flows:[ spec ] ~duration
+    in
     ignore (one 0) (* warm-up *);
     let reps = 5 in
-    let events = ref 0 and bytes = ref 0 in
+    let events = ref 0 and bytes = ref 0 and peak_q = ref 0 in
     let t0 = Sys.time () in
     for i = 1 to reps do
       let res = one i in
       events := !events + res.Engine.events_processed;
-      bytes := !bytes + res.Engine.flows.(0).Engine.received_bytes
+      bytes := !bytes + res.Engine.flows.(0).Engine.received_bytes;
+      peak_q := max !peak_q res.Engine.perf.Engine.peak_queue_depth
     done;
     let elapsed = Float.max 1e-9 (Sys.time () -. t0) in
+    (* Same reps again with a counting trace sink attached: the delta
+       is the cost of the instrumentation hooks plus event records. *)
+    let trace_events = ref 0 in
+    let t1 = Sys.time () in
+    for i = 1 to reps do
+      let sink, count = Obs.Trace.counter () in
+      ignore (one ~trace:sink i);
+      trace_events := !trace_events + count ()
+    done;
+    let elapsed_traced = Float.max 1e-9 (Sys.time () -. t1) in
     let frames = !bytes / Engine.default_config.Engine.frame_bytes in
     let runs_s = float_of_int reps /. elapsed in
     let events_s = float_of_int !events /. elapsed in
+    let events_s_traced = float_of_int !events /. elapsed_traced in
     let frames_s = float_of_int frames /. elapsed in
+    let overhead_pct = (elapsed_traced /. elapsed -. 1.0) *. 100.0 in
     let oc = open_out "BENCH_sim.json" in
     Printf.fprintf oc
       "{\n\
@@ -171,12 +186,20 @@ let write_sim_bench () =
       \  \"elapsed_s\": %.3f,\n\
       \  \"runs_per_s\": %.2f,\n\
       \  \"events_per_s\": %.0f,\n\
-      \  \"delivered_frames_per_s\": %.0f\n\
+      \  \"delivered_frames_per_s\": %.0f,\n\
+      \  \"peak_event_queue\": %d,\n\
+      \  \"events_per_s_traced\": %.0f,\n\
+      \  \"trace_events_per_run\": %d,\n\
+      \  \"trace_overhead_pct\": %.1f\n\
        }\n"
-      duration reps elapsed runs_s events_s frames_s;
+      duration reps elapsed runs_s events_s frames_s !peak_q events_s_traced
+      (!trace_events / reps) overhead_pct;
     close_out oc;
-    Printf.printf "BENCH_sim.json: %.2f runs/s, %.0f events/s, %.0f frames/s\n%!"
-      runs_s events_s frames_s
+    Printf.printf
+      "BENCH_sim.json: %.2f runs/s, %.0f events/s, %.0f frames/s, trace \
+       overhead %.1f%%\n\
+       %!"
+      runs_s events_s frames_s overhead_pct
 
 (* ---------- part 2: table/figure regeneration ---------- *)
 

@@ -1,6 +1,15 @@
 (* Command-line driver that regenerates every table and figure of the
    paper's evaluation. `empower_eval <experiment> [--runs N] [--seed S]`;
-   `empower_eval all` runs the full suite with default sizes. *)
+   `empower_eval all` runs the full suite with default sizes.
+
+   Observability: every experiment command takes `--json` (machine-
+   readable figures, one JSON object per line on stdout) and
+   `--metrics` (collect engine metrics during the runs, dump the
+   registry summary to stderr afterwards); `empower_eval trace
+   <scenario> --out trace.jsonl` records a full JSONL event trace of a
+   reference scenario and self-validates it: the file is re-read with
+   the strict decoder and replayed through Obs.Summary, which must
+   reproduce the engine's own accounting (non-zero exit otherwise). *)
 
 open Cmdliner
 
@@ -12,169 +21,315 @@ let seed_arg default =
   let doc = "Random seed (experiments are deterministic given the seed)." in
   Arg.(value & opt int default & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
 
+let json_arg =
+  let doc =
+    "Emit the figure as machine-readable JSON on stdout (one object per \
+     line) instead of the text rendering."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let metrics_arg =
+  let doc =
+    "Install the process-global metrics registry for the duration of the \
+     command (every engine run feeds it) and print the registry summary to \
+     stderr at the end."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Run [body] under the --json/--metrics flags: [body e] renders each
+   figure through [e.emit], which picks text or JSON. (A record with a
+   polymorphic field: one emitter serves every figure type.) *)
+type emitter = { emit : 'a. 'a -> ('a -> unit) -> ('a -> Obs.Json.t) -> unit }
+
+let with_obs ~json ~metrics body =
+  if metrics then ignore (Obs.Runtime.install_metrics ());
+  body
+    {
+      emit =
+        (fun data print to_json ->
+          if json then Figure_json.print_json (to_json data) else print data);
+    };
+  if metrics then (
+    match Obs.Runtime.metrics () with
+    | Some reg -> Obs.Metrics.print_summary ~out:stderr reg
+    | None -> ())
+
 let both_topologies f =
   f Common.Residential;
   print_newline ();
   f Common.Enterprise
 
 let fig4_cmd =
-  let run runs seed =
-    both_topologies (fun topo -> Fig4.print (Fig4.run ~runs ~seed topo))
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        both_topologies (fun topo ->
+            e.emit (Fig4.run ~runs ~seed topo) Fig4.print Figure_json.fig4))
   in
   Cmd.v
     (Cmd.info "fig4" ~doc:"CDF of flow throughput per scheme (Figure 4).")
-    Term.(const run $ runs_arg 100 $ seed_arg 1)
+    Term.(const run $ runs_arg 100 $ seed_arg 1 $ json_arg $ metrics_arg)
 
 let fig5_cmd =
-  let run runs seed =
-    both_topologies (fun topo -> Fig5.print (Fig5.run ~runs ~seed topo))
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        both_topologies (fun topo ->
+            e.emit (Fig5.run ~runs ~seed topo) Fig5.print Figure_json.fig5))
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"MP-mWiFi vs EMPoWER on the worst flows (Figure 5).")
-    Term.(const run $ runs_arg 100 $ seed_arg 2)
+    Term.(const run $ runs_arg 100 $ seed_arg 2 $ json_arg $ metrics_arg)
 
 let fig6_cmd =
-  let run runs seed =
-    both_topologies (fun topo -> Fig6.print (Fig6.run ~runs ~seed topo))
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        both_topologies (fun topo ->
+            e.emit (Fig6.run ~runs ~seed topo) Fig6.print Figure_json.fig6))
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Throughput against optimal schemes (Figure 6).")
-    Term.(const run $ runs_arg 60 $ seed_arg 3)
+    Term.(const run $ runs_arg 60 $ seed_arg 3 $ json_arg $ metrics_arg)
 
 let fig7_cmd =
-  let run runs seed =
-    both_topologies (fun topo -> Fig7.print (Fig7.run ~runs ~seed topo))
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        both_topologies (fun topo ->
+            e.emit (Fig7.run ~runs ~seed topo) Fig7.print Figure_json.fig7))
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Utility with 3 contending flows (Figure 7).")
-    Term.(const run $ runs_arg 40 $ seed_arg 4)
+    Term.(const run $ runs_arg 40 $ seed_arg 4 $ json_arg $ metrics_arg)
 
 let convergence_cmd =
-  let run runs seed =
-    both_topologies (fun topo -> Convergence.print (Convergence.run ~runs ~seed topo))
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        both_topologies (fun topo ->
+            e.emit
+              (Convergence.run ~runs ~seed topo)
+              Convergence.print Figure_json.convergence))
   in
   Cmd.v
     (Cmd.info "convergence"
        ~doc:"Convergence of EMPoWER vs backpressure (Section 5.2.2).")
-    Term.(const run $ runs_arg 30 $ seed_arg 5)
+    Term.(const run $ runs_arg 30 $ seed_arg 5 $ json_arg $ metrics_arg)
 
 let fig9_cmd =
-  let run seed = Fig9.print (Fig9.run ~seed ()) in
+  let run seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        e.emit (Fig9.run ~seed ()) Fig9.print Figure_json.fig9)
+  in
   Cmd.v
     (Cmd.info "fig9" ~doc:"Two-flow adaptation example, packet-level (Figure 9).")
-    Term.(const run $ seed_arg 9)
+    Term.(const run $ seed_arg 9 $ json_arg $ metrics_arg)
 
 let fig10_cmd =
-  let run runs seed = Fig10.print (Fig10.run ~pairs:runs ~seed ()) in
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        e.emit (Fig10.run ~pairs:runs ~seed ()) Fig10.print Figure_json.fig10)
+  in
   Cmd.v
     (Cmd.info "fig10" ~doc:"50 random testbed pairs (Figure 10).")
-    Term.(const run $ runs_arg 50 $ seed_arg 10)
+    Term.(const run $ runs_arg 50 $ seed_arg 10 $ json_arg $ metrics_arg)
 
 let fig11_cmd =
-  let run seed = Fig11.print (Fig11.run ~seed ()) in
+  let run seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        e.emit (Fig11.run ~seed ()) Fig11.print Figure_json.fig11)
+  in
   Cmd.v
     (Cmd.info "fig11" ~doc:"Per-flow mean/std throughput, packet-level (Figure 11).")
-    Term.(const run $ seed_arg 11)
+    Term.(const run $ seed_arg 11 $ json_arg $ metrics_arg)
 
 let table1_cmd =
-  let run runs seed = Table1.print (Table1.run ~seed ~repeats:runs ()) in
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        e.emit (Table1.run ~seed ~repeats:runs ()) Table1.print Figure_json.table1)
+  in
   Cmd.v
     (Cmd.info "table1" ~doc:"Download times with and without CC (Table 1).")
-    Term.(const run $ runs_arg 5 $ seed_arg 12)
+    Term.(const run $ runs_arg 5 $ seed_arg 12 $ json_arg $ metrics_arg)
 
 let fig12_cmd =
-  let run seed = Fig12.print (Fig12.run ~seed ()) in
+  let run seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        e.emit (Fig12.run ~seed ()) Fig12.print Figure_json.fig12)
+  in
   Cmd.v
     (Cmd.info "fig12" ~doc:"TCP over EMPoWER time series (Figure 12).")
-    Term.(const run $ seed_arg 13)
+    Term.(const run $ seed_arg 13 $ json_arg $ metrics_arg)
 
 let fig13_cmd =
-  let run seed = Fig13.print (Fig13.run ~seed ()) in
+  let run seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        e.emit (Fig13.run ~seed ()) Fig13.print Figure_json.fig13)
+  in
   Cmd.v
     (Cmd.info "fig13" ~doc:"TCP rate over ten flows (Figure 13).")
-    Term.(const run $ seed_arg 14)
+    Term.(const run $ seed_arg 14 $ json_arg $ metrics_arg)
 
 let ablations_cmd =
-  let run runs seed =
-    Ablations.print (Ablations.n_shortest ~runs ~seed ());
-    print_newline ();
-    Ablations.print (Ablations.csc ~runs ~seed:(seed + 1) ());
-    print_newline ();
-    Ablations.print (Ablations.delta ~runs ~seed:(seed + 2) ());
-    print_newline ();
-    Ablations.print (Ablations.tree_depth ~runs ~seed:(seed + 3) ());
-    print_newline ();
-    Ablations.print (Ablations.gain ~runs:(max 5 (runs / 2)) ~seed:(seed + 4) ());
-    print_newline ();
-    Ablations.print (Ablations.delta_delay ~seed:(seed + 5) ())
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        let show d =
+          e.emit d Ablations.print Figure_json.ablation;
+          if not json then print_newline ()
+        in
+        show (Ablations.n_shortest ~runs ~seed ());
+        show (Ablations.csc ~runs ~seed:(seed + 1) ());
+        show (Ablations.delta ~runs ~seed:(seed + 2) ());
+        show (Ablations.tree_depth ~runs ~seed:(seed + 3) ());
+        show (Ablations.gain ~runs:(max 5 (runs / 2)) ~seed:(seed + 4) ());
+        show (Ablations.delta_delay ~seed:(seed + 5) ()))
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md section 4).")
-    Term.(const run $ runs_arg 30 $ seed_arg 21)
+    Term.(const run $ runs_arg 30 $ seed_arg 21 $ json_arg $ metrics_arg)
 
 let metrics_cmd =
-  let run runs seed =
-    both_topologies (fun topo ->
-        Metric_comparison.print (Metric_comparison.run ~runs ~seed topo))
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        both_topologies (fun topo ->
+            e.emit
+              (Metric_comparison.run ~runs ~seed topo)
+              Metric_comparison.print Figure_json.metric_comparison))
   in
   Cmd.v
     (Cmd.info "metrics" ~doc:"Single-path metric comparison (footnote 7).")
-    Term.(const run $ runs_arg 40 $ seed_arg 31)
+    Term.(const run $ runs_arg 40 $ seed_arg 31 $ json_arg $ metrics_arg)
 
 let mptcp_cmd =
-  let run seed = Mptcp_applicability.print (Mptcp_applicability.run ~seed ()) in
+  let run seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        e.emit
+          (Mptcp_applicability.run ~seed ())
+          Mptcp_applicability.print Figure_json.mptcp)
+  in
   Cmd.v
     (Cmd.info "mptcp" ~doc:"MPTCP applicability census (Section 7).")
-    Term.(const run $ seed_arg 4242)
+    Term.(const run $ seed_arg 4242 $ json_arg $ metrics_arg)
 
 let mac_cmd =
-  let run seed = Mac_fairness.print (Mac_fairness.run ~seed ()) in
+  let run seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        e.emit (Mac_fairness.run ~seed ()) Mac_fairness.print Figure_json.mac_fairness)
+  in
   Cmd.v
     (Cmd.info "mac" ~doc:"802.11 vs IEEE 1901 CSMA/CA comparison ([40]).")
-    Term.(const run $ seed_arg 40)
+    Term.(const run $ seed_arg 40 $ json_arg $ metrics_arg)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let scenario_arg =
+    let doc =
+      Printf.sprintf "Scenario to trace; one of %s."
+        (String.concat ", " (Tracing.names ()))
+    in
+    Arg.(value & pos 0 string "mini" & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let out_arg =
+    let doc = "Output JSONL file (one trace event per line)." in
+    Arg.(value & opt string "trace.jsonl" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run scenario out =
+    match Tracing.find scenario with
+    | None ->
+      Printf.eprintf "unknown scenario %S; available: %s\n" scenario
+        (String.concat ", " (Tracing.names ()));
+      exit 2
+    | Some sc ->
+      let oc = open_out out in
+      let outcome =
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> sc.Tracing.exec ~trace:(Obs.Trace.to_channel oc) ())
+      in
+      (* Self-validation: strict-decode the file we just wrote and
+         replay it; the replay must reproduce the engine's numbers. *)
+      (match Obs.Summary.of_file ~duration:outcome.Tracing.duration out with
+      | Error e ->
+        Printf.eprintf "trace validation failed: %s\n" e;
+        exit 1
+      | Ok summary -> (
+        match Tracing.cross_check outcome summary with
+        | Error e ->
+          Printf.eprintf "trace cross-check failed:\n%s\n" e;
+          exit 1
+        | Ok () ->
+          Obs.Summary.print summary;
+          let p = outcome.Tracing.result.Engine.perf in
+          Printf.printf
+            "engine: %d events (%.0f events/s, %.3f s wall, peak event-queue \
+             %d)\n"
+            outcome.Tracing.result.Engine.events_processed p.Engine.events_per_s
+            p.Engine.wall_s p.Engine.peak_queue_depth;
+          Printf.printf "%s: %d events -> %s (cross-check OK)\n"
+            sc.Tracing.name summary.Obs.Summary.events out))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a JSONL event trace of a reference scenario, then validate \
+          it (strict schema decode + replay cross-check against the engine).")
+    Term.(const run $ scenario_arg $ out_arg)
 
 let all_cmd =
-  let run runs seed =
-    let header title =
-      Printf.printf "\n================ %s ================\n" title
-    in
-    header "Figure 4";
-    both_topologies (fun t -> Fig4.print (Fig4.run ~runs ~seed t));
-    header "Figure 5";
-    both_topologies (fun t -> Fig5.print (Fig5.run ~runs ~seed:(seed + 1) t));
-    header "Figure 6";
-    both_topologies (fun t ->
-        Fig6.print (Fig6.run ~runs:(max 10 (runs * 3 / 5)) ~seed:(seed + 2) t));
-    header "Figure 7";
-    both_topologies (fun t ->
-        Fig7.print (Fig7.run ~runs:(max 10 (runs * 2 / 5)) ~seed:(seed + 3) t));
-    header "Convergence (Section 5.2.2)";
-    both_topologies (fun t ->
-        Convergence.print (Convergence.run ~runs:(max 5 (runs / 4)) ~seed:(seed + 4) t));
-    header "Figure 9";
-    Fig9.print (Fig9.run ~seed:(seed + 5) ());
-    header "Figure 10";
-    Fig10.print (Fig10.run ~pairs:(max 20 (runs / 2)) ~seed:(seed + 6) ());
-    header "Figure 11";
-    Fig11.print (Fig11.run ~seed:(seed + 7) ());
-    header "Table 1";
-    Table1.print (Table1.run ~seed:(seed + 8) ~repeats:3 ());
-    header "Figure 12";
-    Fig12.print (Fig12.run ~seed:(seed + 9) ());
-    header "Figure 13";
-    Fig13.print (Fig13.run ~seed:(seed + 10) ());
-    header "Footnote 7: metric comparison";
-    both_topologies (fun t ->
-        Metric_comparison.print
-          (Metric_comparison.run ~runs:(max 10 (runs / 3)) ~seed:(seed + 11) t));
-    header "Section 7: MPTCP applicability";
-    Mptcp_applicability.print (Mptcp_applicability.run ());
-    header "MAC fairness [40]";
-    Mac_fairness.print (Mac_fairness.run ())
+  let run runs seed json metrics =
+    with_obs ~json ~metrics (fun e ->
+        let header title =
+          if not json then
+            Printf.printf "\n================ %s ================\n" title
+        in
+        header "Figure 4";
+        both_topologies (fun t ->
+            e.emit (Fig4.run ~runs ~seed t) Fig4.print Figure_json.fig4);
+        header "Figure 5";
+        both_topologies (fun t ->
+            e.emit (Fig5.run ~runs ~seed:(seed + 1) t) Fig5.print Figure_json.fig5);
+        header "Figure 6";
+        both_topologies (fun t ->
+            e.emit
+              (Fig6.run ~runs:(max 10 (runs * 3 / 5)) ~seed:(seed + 2) t)
+              Fig6.print Figure_json.fig6);
+        header "Figure 7";
+        both_topologies (fun t ->
+            e.emit
+              (Fig7.run ~runs:(max 10 (runs * 2 / 5)) ~seed:(seed + 3) t)
+              Fig7.print Figure_json.fig7);
+        header "Convergence (Section 5.2.2)";
+        both_topologies (fun t ->
+            e.emit
+              (Convergence.run ~runs:(max 5 (runs / 4)) ~seed:(seed + 4) t)
+              Convergence.print Figure_json.convergence);
+        header "Figure 9";
+        e.emit (Fig9.run ~seed:(seed + 5) ()) Fig9.print Figure_json.fig9;
+        header "Figure 10";
+        e.emit
+          (Fig10.run ~pairs:(max 20 (runs / 2)) ~seed:(seed + 6) ())
+          Fig10.print Figure_json.fig10;
+        header "Figure 11";
+        e.emit (Fig11.run ~seed:(seed + 7) ()) Fig11.print Figure_json.fig11;
+        header "Table 1";
+        e.emit
+          (Table1.run ~seed:(seed + 8) ~repeats:3 ())
+          Table1.print Figure_json.table1;
+        header "Figure 12";
+        e.emit (Fig12.run ~seed:(seed + 9) ()) Fig12.print Figure_json.fig12;
+        header "Figure 13";
+        e.emit (Fig13.run ~seed:(seed + 10) ()) Fig13.print Figure_json.fig13;
+        header "Footnote 7: metric comparison";
+        both_topologies (fun t ->
+            e.emit
+              (Metric_comparison.run ~runs:(max 10 (runs / 3)) ~seed:(seed + 11) t)
+              Metric_comparison.print Figure_json.metric_comparison);
+        header "Section 7: MPTCP applicability";
+        e.emit (Mptcp_applicability.run ()) Mptcp_applicability.print
+          Figure_json.mptcp;
+        header "MAC fairness [40]";
+        e.emit (Mac_fairness.run ()) Mac_fairness.print Figure_json.mac_fairness)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run the full evaluation suite.")
-    Term.(const run $ runs_arg 60 $ seed_arg 1)
+    Term.(const run $ runs_arg 60 $ seed_arg 1 $ json_arg $ metrics_arg)
 
 let main =
   let doc = "Reproduce the EMPoWER (CoNEXT'16) evaluation." in
@@ -183,7 +338,7 @@ let main =
     [
       fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; convergence_cmd; fig9_cmd;
       fig10_cmd; fig11_cmd; table1_cmd; fig12_cmd; fig13_cmd; ablations_cmd;
-      metrics_cmd; mptcp_cmd; mac_cmd; all_cmd;
+      metrics_cmd; mptcp_cmd; mac_cmd; trace_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -22,6 +22,7 @@ val solve :
   ?slots:int ->
   ?stop_tol:float ->
   ?x_init:float array ->
+  ?sink:Obs.Trace.sink ->
   Problem.t ->
   Cc_result.t
 (** Run for [slots] iterations (default 2000) from [x_init] (default
@@ -44,7 +45,13 @@ val solve :
     instead (the source knows them from the multipath procedure),
     which is what makes the observed 90-slot convergence possible —
     pass those rates as [x_init]; the controller then only fine-tunes
-    toward the utility optimum and resolves inter-flow contention. *)
+    toward the utility optimum and resolves inter-flow contention.
+
+    [sink] streams the controller's convergence into an
+    {!Obs.Trace.sink}: one [Price_update] per slot for every link some
+    route traverses (γ_l plus the full congestion price
+    [d_l Σ_{i∈I_l} γ_i]) and one [Rate_update] per flow (its per-route
+    rates), with the slot index as the event timestamp. *)
 
 val solve_tracked :
   ?alpha:Alpha.t ->
@@ -52,6 +59,7 @@ val solve_tracked :
   ?slots:int ->
   ?stop_tol:float ->
   ?x_init:float array ->
+  ?sink:Obs.Trace.sink ->
   on_slot:(int -> float array -> unit) ->
   Problem.t ->
   Cc_result.t

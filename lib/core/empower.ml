@@ -53,8 +53,9 @@ let allocate ?n ?(delta = 0.0) ?(slots = 3000) ?utility net ~flows =
     plans;
   { plans; flow_rates = cc.Cc_result.flow_rates; route_rates; cc }
 
-let simulate ?config ?invariants ?(seed = 0) net ~flows ~duration =
-  Engine.run ?config ?invariants (Rng.create seed) net.g net.dom ~flows ~duration
+let simulate ?config ?invariants ?trace ?(seed = 0) net ~flows ~duration =
+  Engine.run ?config ?invariants ?trace (Rng.create seed) net.g net.dom ~flows
+    ~duration
 
 let flow_specs_of_allocation ?(workload = Workload.Saturated)
     ?(transport = Engine.Udp) alloc =

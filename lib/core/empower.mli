@@ -70,6 +70,7 @@ val allocate :
 val simulate :
   ?config:Engine.config ->
   ?invariants:Invariants.t ->
+  ?trace:Obs.Trace.sink ->
   ?seed:int ->
   network ->
   flows:Engine.flow_spec list ->
@@ -78,7 +79,9 @@ val simulate :
 (** Packet-level simulation of the full stack (see {!Engine}).
     [?invariants] threads a runtime invariant checker through the run
     (see {!Invariants}); the [EMPOWER_CHECK] environment variable
-    enables one implicitly. *)
+    enables one implicitly. [?trace] streams every datapath and
+    control-plane event into an {!Obs.Trace.sink} (see the tracing
+    notes on {!Engine.run}). *)
 
 val flow_specs_of_allocation :
   ?workload:Workload.t ->

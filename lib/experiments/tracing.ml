@@ -1,0 +1,158 @@
+type outcome = {
+  scenario : string;
+  result : Engine.result;
+  duration : float;
+}
+
+type scenario = {
+  name : string;
+  about : string;
+  exec : ?trace:Obs.Trace.sink -> unit -> outcome;
+}
+
+let saturated_flow net ~src ~dst =
+  let routes, rates = Runner.routes_and_rates net Schemes.Empower ~src ~dst in
+  if routes = [] then
+    invalid_arg (Printf.sprintf "trace scenario: no route %d -> %d" src dst);
+  Runner.flow_spec ~src ~dst (routes, rates)
+
+let residential_net seed =
+  let inst = Residential.generate (Rng.create seed) in
+  Runner.network inst Schemes.Empower
+
+let testbed_net seed =
+  let inst = Testbed.generate (Rng.create seed) in
+  Runner.network inst Schemes.Empower
+
+let run_engine ?trace net ~flows ~link_events ~duration ~seed name =
+  let result =
+    Engine.run ?trace ~link_events (Rng.create seed) net.Empower.g net.Empower.dom
+      ~flows ~duration
+  in
+  { scenario = name; result; duration }
+
+let scenarios =
+  [
+    {
+      name = "mini";
+      about = "1 s saturated flow on the fig4 residential draw (CI-sized)";
+      exec =
+        (fun ?trace () ->
+          let net = residential_net 77 in
+          run_engine ?trace net
+            ~flows:[ saturated_flow net ~src:0 ~dst:9 ]
+            ~link_events:[] ~duration:1.0 ~seed:1 "mini");
+    };
+    {
+      name = "fig4";
+      about = "the figure-4 scenario: saturated EMPoWER flow 0->9, residential seed 77";
+      exec =
+        (fun ?trace () ->
+          let net = residential_net 77 in
+          run_engine ?trace net
+            ~flows:[ saturated_flow net ~src:0 ~dst:9 ]
+            ~link_events:[] ~duration:8.0 ~seed:1 "fig4");
+    };
+    {
+      name = "failure";
+      about = "testbed flow 0->12 with a mid-run link failure and recovery";
+      exec =
+        (fun ?trace () ->
+          let net = testbed_net 4242 in
+          let flow = saturated_flow net ~src:0 ~dst:12 in
+          (* Fail the first link of the flow's first route at 3 s and
+             bring it back at 4.5 s: exercises Link_event,
+             Backlog_cleared and the controller's failure reaction. *)
+          let l = List.hd (List.hd flow.Engine.routes).Paths.links in
+          let cap = Multigraph.capacity net.Empower.g l in
+          run_engine ?trace net ~flows:[ flow ]
+            ~link_events:[ (3.0, l, 0.0); (4.5, l, cap) ]
+            ~duration:6.0 ~seed:2 "failure");
+    };
+    {
+      name = "tcp";
+      about = "testbed TCP download 0->12 (token-bucket policing, reordering)";
+      exec =
+        (fun ?trace () ->
+          let net = testbed_net 4242 in
+          let routes, rates =
+            Runner.routes_and_rates net Schemes.Empower ~src:0 ~dst:12
+          in
+          if routes = [] then invalid_arg "trace scenario: no route 0 -> 12";
+          let flow =
+            Runner.flow_spec
+              ~workload:(Workload.File { bytes = 20_000_000 })
+              ~transport:Engine.Tcp_transport ~src:0 ~dst:12 (routes, rates)
+          in
+          run_engine ?trace net ~flows:[ flow ] ~link_events:[] ~duration:8.0
+            ~seed:3 "tcp");
+    };
+  ]
+
+let names () = List.map (fun s -> s.name) scenarios
+
+let find name = List.find_opt (fun s -> s.name = name) scenarios
+
+let goodput_mbps (fr : Engine.flow_result) ~duration =
+  float_of_int fr.Engine.received_bytes *. 8e-6 /. duration
+
+(* The instrumentation must tell the truth: a replayed trace has to
+   reproduce the engine's own accounting. Byte counts are integers
+   (exact); goodput must agree to 1e-9 (the acceptance bar); the mean
+   delay is an exact stream on both sides; p95 compares the engine's
+   0.5%-error sketch against the replay's exact order statistic. *)
+let cross_check (o : outcome) (s : Obs.Summary.t) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  Array.iteri
+    (fun fid (fr : Engine.flow_result) ->
+      let st =
+        match Obs.Summary.flow_stats s fid with
+        | Some st -> st
+        | None ->
+          {
+            Obs.Summary.flow = fid;
+            delivered_frames = 0;
+            delivered_bytes = 0;
+            goodput_mbps = 0.0;
+            mean_delay = 0.0;
+            p95_delay = 0.0;
+            max_delay = 0.0;
+            rate_updates = 0;
+            final_rates = [||];
+          }
+      in
+      if st.Obs.Summary.delivered_bytes <> fr.Engine.received_bytes then
+        err "flow %d: trace delivers %d bytes, engine reports %d" fid
+          st.Obs.Summary.delivered_bytes fr.Engine.received_bytes;
+      let gp = goodput_mbps fr ~duration:o.duration in
+      if Float.abs (st.Obs.Summary.goodput_mbps -. gp) > 1e-9 then
+        err "flow %d: trace goodput %.12f Mbit/s, engine %.12f" fid
+          st.Obs.Summary.goodput_mbps gp;
+      let rel a b = Float.abs (a -. b) /. Float.max 1e-12 (Float.abs b) in
+      if rel st.Obs.Summary.mean_delay fr.Engine.mean_delay > 1e-9 then
+        err "flow %d: trace mean delay %.9g s, engine %.9g" fid
+          st.Obs.Summary.mean_delay fr.Engine.mean_delay;
+      if
+        st.Obs.Summary.delivered_frames > 0
+        && rel st.Obs.Summary.p95_delay fr.Engine.p95_delay > 0.02
+      then
+        err "flow %d: trace p95 delay %.9g s vs engine sketch %.9g (>2%%)" fid
+          st.Obs.Summary.p95_delay fr.Engine.p95_delay;
+      if
+        st.Obs.Summary.rate_updates > 0
+        && st.Obs.Summary.final_rates <> fr.Engine.final_rates
+      then err "flow %d: final controller rates diverge" fid)
+    o.result.Engine.flows;
+  let reason_drops r =
+    match List.assoc_opt r s.Obs.Summary.drops with Some n -> n | None -> 0
+  in
+  let traced_queue_drops =
+    reason_drops Obs.Trace.Queue_overflow
+    + reason_drops Obs.Trace.Link_down
+    + reason_drops Obs.Trace.Backlog_cleared
+  in
+  if traced_queue_drops <> o.result.Engine.queue_drops then
+    err "trace shows %d queue drops, engine reports %d" traced_queue_drops
+      o.result.Engine.queue_drops;
+  match !errors with [] -> Ok () | es -> Error (String.concat "\n" (List.rev es))

@@ -1,0 +1,1098 @@
+(* Structured tracing + metrics. See obs.mli for the schema and the
+   design contract (observation only: no randomness, no engine-state
+   mutation, zero cost when disabled). *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (* Shortest decimal that round-trips the double exactly. *)
+  let float_repr f =
+    if not (Float.is_finite f) then "null"
+    else begin
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+    end
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec to_buffer buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 128 in
+    to_buffer buf v;
+    Buffer.contents buf
+
+  exception Parse_error of int * string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | Some c' -> fail (Printf.sprintf "expected '%c', got '%c'" c c')
+      | None -> fail (Printf.sprintf "expected '%c', got end of input" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "invalid literal (expected %s)" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "unterminated escape"
+          | Some c ->
+            advance ();
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                match int_of_string_opt ("0x" ^ hex) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
+              (* Codepoints above 0x7f are re-encoded as UTF-8; the
+                 encoder never emits surrogate pairs. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            go ())
+        | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      let is_int =
+        (not (String.contains tok '.'))
+        && (not (String.contains tok 'e'))
+        && not (String.contains tok 'E')
+      in
+      if is_int then
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" tok))
+      else
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "offset %d: %s" at msg)
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+
+  let to_int_opt = function
+    | Int n -> Some n
+    | Float f when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
+
+  let to_float_opt = function
+    | Float f -> Some f
+    | Int n -> Some (float_of_int n)
+    | _ -> None
+
+  let to_string_opt = function String s -> Some s | _ -> None
+  let to_bool_opt = function Bool b -> Some b | _ -> None
+end
+
+module Trace = struct
+  type drop_reason = Queue_overflow | Link_down | Misroute | Backlog_cleared
+
+  let drop_reason_name = function
+    | Queue_overflow -> "queue_overflow"
+    | Link_down -> "link_down"
+    | Misroute -> "misroute"
+    | Backlog_cleared -> "backlog_cleared"
+
+  let drop_reason_of_name = function
+    | "queue_overflow" -> Some Queue_overflow
+    | "link_down" -> Some Link_down
+    | "misroute" -> Some Misroute
+    | "backlog_cleared" -> Some Backlog_cleared
+    | _ -> None
+
+  type event =
+    | Enqueue of { t : float; link : int; flow : int; seq : int; bytes : int; qlen : int }
+    | Mac_grant of
+        { t : float; link : int; flow : int; seq : int; collided : bool; airtime : float }
+    | Dequeue of { t : float; link : int; flow : int; seq : int }
+    | Collision of { t : float; link : int; flow : int; seq : int }
+    | Drop of { t : float; link : int option; flow : int; seq : int; reason : drop_reason }
+    | Delivery of { t : float; flow : int; seq : int; bytes : int; delay : float }
+    | Price_update of { t : float; link : int; gamma : float; price : float }
+    | Rate_update of { t : float; flow : int; rates : float array }
+    | Ack of { t : float; flow : int; qr : float array; bytes : int array }
+    | Link_event of { t : float; link : int; capacity : float }
+
+  let time = function
+    | Enqueue { t; _ }
+    | Mac_grant { t; _ }
+    | Dequeue { t; _ }
+    | Collision { t; _ }
+    | Drop { t; _ }
+    | Delivery { t; _ }
+    | Price_update { t; _ }
+    | Rate_update { t; _ }
+    | Ack { t; _ }
+    | Link_event { t; _ } -> t
+
+  let kind = function
+    | Enqueue _ -> "enqueue"
+    | Mac_grant _ -> "grant"
+    | Dequeue _ -> "dequeue"
+    | Collision _ -> "collision"
+    | Drop _ -> "drop"
+    | Delivery _ -> "delivery"
+    | Price_update _ -> "price"
+    | Rate_update _ -> "rate"
+    | Ack _ -> "ack"
+    | Link_event _ -> "link"
+
+  let kinds =
+    [ "enqueue"; "grant"; "dequeue"; "collision"; "drop"; "delivery"; "price";
+      "rate"; "ack"; "link" ]
+
+  let to_json ev =
+    let base fields = Json.Obj (("ev", Json.String (kind ev)) :: fields) in
+    let f x = Json.Float x and i x = Json.Int x in
+    match ev with
+    | Enqueue { t; link; flow; seq; bytes; qlen } ->
+      base
+        [ ("t", f t); ("link", i link); ("flow", i flow); ("seq", i seq);
+          ("bytes", i bytes); ("qlen", i qlen) ]
+    | Mac_grant { t; link; flow; seq; collided; airtime } ->
+      base
+        [ ("t", f t); ("link", i link); ("flow", i flow); ("seq", i seq);
+          ("collided", Json.Bool collided); ("airtime", f airtime) ]
+    | Dequeue { t; link; flow; seq } ->
+      base [ ("t", f t); ("link", i link); ("flow", i flow); ("seq", i seq) ]
+    | Collision { t; link; flow; seq } ->
+      base [ ("t", f t); ("link", i link); ("flow", i flow); ("seq", i seq) ]
+    | Drop { t; link; flow; seq; reason } ->
+      base
+        [ ("t", f t);
+          ("link", match link with Some l -> i l | None -> Json.Null);
+          ("flow", i flow); ("seq", i seq);
+          ("reason", Json.String (drop_reason_name reason)) ]
+    | Delivery { t; flow; seq; bytes; delay } ->
+      base
+        [ ("t", f t); ("flow", i flow); ("seq", i seq); ("bytes", i bytes);
+          ("delay", f delay) ]
+    | Price_update { t; link; gamma; price } ->
+      base [ ("t", f t); ("link", i link); ("gamma", f gamma); ("price", f price) ]
+    | Rate_update { t; flow; rates } ->
+      base
+        [ ("t", f t); ("flow", i flow);
+          ("rates", Json.List (Array.to_list (Array.map (fun x -> f x) rates))) ]
+    | Ack { t; flow; qr; bytes } ->
+      base
+        [ ("t", f t); ("flow", i flow);
+          ("qr", Json.List (Array.to_list (Array.map (fun x -> f x) qr)));
+          ("bytes", Json.List (Array.to_list (Array.map (fun x -> i x) bytes))) ]
+    | Link_event { t; link; capacity } ->
+      base [ ("t", f t); ("link", i link); ("capacity", f capacity) ]
+
+  let encode ev = Json.to_string (to_json ev)
+
+  (* Field accessors for the decoder; every miss is a structured
+     error so a corrupted trace line names its defect. *)
+  let field name conv j =
+    match Json.member name j with
+    | None -> Error (Printf.sprintf "missing field %S" name)
+    | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "mistyped field %S" name))
+
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+  let float_array j =
+    match j with
+    | Json.List xs ->
+      let rec go acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | x :: rest -> (
+          match Json.to_float_opt x with
+          | Some f -> go (f :: acc) rest
+          | None -> None)
+      in
+      go [] xs
+    | _ -> None
+
+  let int_array j =
+    match j with
+    | Json.List xs ->
+      let rec go acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | x :: rest -> (
+          match Json.to_int_opt x with
+          | Some i -> go (i :: acc) rest
+          | None -> None)
+      in
+      go [] xs
+    | _ -> None
+
+  let decode line =
+    match Json.parse line with
+    | Error e -> Error e
+    | Ok j -> (
+      let* ev = field "ev" Json.to_string_opt j in
+      let* t = field "t" Json.to_float_opt j in
+      match ev with
+      | "enqueue" ->
+        let* link = field "link" Json.to_int_opt j in
+        let* flow = field "flow" Json.to_int_opt j in
+        let* seq = field "seq" Json.to_int_opt j in
+        let* bytes = field "bytes" Json.to_int_opt j in
+        let* qlen = field "qlen" Json.to_int_opt j in
+        Ok (Enqueue { t; link; flow; seq; bytes; qlen })
+      | "grant" ->
+        let* link = field "link" Json.to_int_opt j in
+        let* flow = field "flow" Json.to_int_opt j in
+        let* seq = field "seq" Json.to_int_opt j in
+        let* collided = field "collided" Json.to_bool_opt j in
+        let* airtime = field "airtime" Json.to_float_opt j in
+        Ok (Mac_grant { t; link; flow; seq; collided; airtime })
+      | "dequeue" ->
+        let* link = field "link" Json.to_int_opt j in
+        let* flow = field "flow" Json.to_int_opt j in
+        let* seq = field "seq" Json.to_int_opt j in
+        Ok (Dequeue { t; link; flow; seq })
+      | "collision" ->
+        let* link = field "link" Json.to_int_opt j in
+        let* flow = field "flow" Json.to_int_opt j in
+        let* seq = field "seq" Json.to_int_opt j in
+        Ok (Collision { t; link; flow; seq })
+      | "drop" ->
+        let* link =
+          match Json.member "link" j with
+          | None -> Error "missing field \"link\""
+          | Some Json.Null -> Ok None
+          | Some v -> (
+            match Json.to_int_opt v with
+            | Some l -> Ok (Some l)
+            | None -> Error "mistyped field \"link\"")
+        in
+        let* flow = field "flow" Json.to_int_opt j in
+        let* seq = field "seq" Json.to_int_opt j in
+        let* reason_s = field "reason" Json.to_string_opt j in
+        let* reason =
+          match drop_reason_of_name reason_s with
+          | Some r -> Ok r
+          | None -> Error (Printf.sprintf "unknown drop reason %S" reason_s)
+        in
+        Ok (Drop { t; link; flow; seq; reason })
+      | "delivery" ->
+        let* flow = field "flow" Json.to_int_opt j in
+        let* seq = field "seq" Json.to_int_opt j in
+        let* bytes = field "bytes" Json.to_int_opt j in
+        let* delay = field "delay" Json.to_float_opt j in
+        Ok (Delivery { t; flow; seq; bytes; delay })
+      | "price" ->
+        let* link = field "link" Json.to_int_opt j in
+        let* gamma = field "gamma" Json.to_float_opt j in
+        let* price = field "price" Json.to_float_opt j in
+        Ok (Price_update { t; link; gamma; price })
+      | "rate" ->
+        let* flow = field "flow" Json.to_int_opt j in
+        let* rates = field "rates" float_array j in
+        Ok (Rate_update { t; flow; rates })
+      | "ack" ->
+        let* flow = field "flow" Json.to_int_opt j in
+        let* qr = field "qr" float_array j in
+        let* bytes = field "bytes" int_array j in
+        Ok (Ack { t; flow; qr; bytes })
+      | "link" ->
+        let* link = field "link" Json.to_int_opt j in
+        let* capacity = field "capacity" Json.to_float_opt j in
+        Ok (Link_event { t; link; capacity })
+      | k -> Error (Printf.sprintf "unknown event kind %S" k))
+
+  type sink = event -> unit
+
+  let emit (s : sink) ev = s ev
+  let of_fn f : sink = f
+  let tee a b : sink = fun ev -> a ev; b ev
+
+  let to_channel oc : sink =
+    let buf = Buffer.create 256 in
+    fun ev ->
+      Buffer.clear buf;
+      Json.to_buffer buf (to_json ev);
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer oc buf
+
+  let collector () =
+    let acc = ref [] in
+    ((fun ev -> acc := ev :: !acc), fun () -> List.rev !acc)
+
+  let counter () =
+    let n = ref 0 in
+    ((fun _ -> incr n), fun () -> !n)
+end
+
+module Metrics = struct
+  module Counter = struct
+    type t = int ref
+
+    let incr t = Stdlib.incr t
+    let add t n = t := !t + n
+    let value t = !t
+  end
+
+  module Gauge = struct
+    type t = float ref
+
+    let set t v = t := v
+    let value t = !t
+  end
+
+  module Histogram = struct
+    type t = {
+      gamma : float;
+      log_gamma : float;
+      buckets : (int, int ref) Hashtbl.t;
+      mutable zero : int;  (* observations <= zero_floor *)
+      mutable count : int;
+      mutable sum : float;
+      mutable min_v : float;
+      mutable max_v : float;
+    }
+
+    let zero_floor = 1e-12
+
+    let create ?(relative_error = 0.005) () =
+      if relative_error <= 0.0 || relative_error >= 1.0 then
+        invalid_arg "Histogram.create: relative_error must be in (0,1)";
+      let gamma = (1.0 +. relative_error) /. (1.0 -. relative_error) in
+      {
+        gamma;
+        log_gamma = log gamma;
+        buckets = Hashtbl.create 64;
+        zero = 0;
+        count = 0;
+        sum = 0.0;
+        min_v = infinity;
+        max_v = neg_infinity;
+      }
+
+    let observe t v =
+      t.count <- t.count + 1;
+      t.sum <- t.sum +. v;
+      if v < t.min_v then t.min_v <- v;
+      if v > t.max_v then t.max_v <- v;
+      if v <= zero_floor then t.zero <- t.zero + 1
+      else begin
+        let key = int_of_float (Float.ceil (log v /. t.log_gamma)) in
+        match Hashtbl.find_opt t.buckets key with
+        | Some r -> incr r
+        | None -> Hashtbl.add t.buckets key (ref 1)
+      end
+
+    let count t = t.count
+    let sum t = t.sum
+    let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+    let minimum t = if t.count = 0 then 0.0 else t.min_v
+    let maximum t = if t.count = 0 then 0.0 else t.max_v
+
+    let quantile t q =
+      if t.count = 0 then 0.0
+      else if q <= 0.0 then t.min_v
+      else if q >= 1.0 then t.max_v
+      else begin
+        let rank =
+          let r = int_of_float (Float.ceil (q *. float_of_int t.count)) in
+          if r < 1 then 1 else if r > t.count then t.count else r
+        in
+        if rank <= t.zero then Float.max 0.0 t.min_v
+        else begin
+          let keys =
+            Hashtbl.fold (fun k _ acc -> k :: acc) t.buckets []
+            |> List.sort compare
+          in
+          let rec walk acc = function
+            | [] -> t.max_v
+            | k :: rest ->
+              let c = !(Hashtbl.find t.buckets k) in
+              let acc = acc + c in
+              if acc >= rank then begin
+                (* Bucket k covers (gamma^(k-1), gamma^k]; the midpoint
+                   bounds the relative error by the configured ε. *)
+                let v =
+                  2.0 *. (t.gamma ** float_of_int k) /. (t.gamma +. 1.0)
+                in
+                Float.max t.min_v (Float.min t.max_v v)
+              end
+              else walk acc rest
+          in
+          walk t.zero keys
+        end
+      end
+  end
+
+  module Series = struct
+    type t = { mutable rev : (float * float) list; mutable n : int; mutable sum : float }
+
+    let create () = { rev = []; n = 0; sum = 0.0 }
+
+    let add t time v =
+      t.rev <- (time, v) :: t.rev;
+      t.n <- t.n + 1;
+      t.sum <- t.sum +. v
+
+    let length t = t.n
+    let points t = List.rev t.rev
+    let last t = match t.rev with [] -> None | p :: _ -> Some p
+    let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+  end
+
+  type instrument =
+    | C of Counter.t
+    | G of Gauge.t
+    | H of Histogram.t
+    | S of Series.t
+
+  type t = (string, instrument) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let kind_name = function
+    | C _ -> "counter"
+    | G _ -> "gauge"
+    | H _ -> "histogram"
+    | S _ -> "series"
+
+  let get_or_create t name make match_ =
+    match Hashtbl.find_opt t name with
+    | Some inst -> (
+      match match_ inst with
+      | Some x -> x
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Metrics: %S is a %s, requested another kind" name
+             (kind_name inst)))
+    | None ->
+      let inst, x = make () in
+      Hashtbl.add t name inst;
+      x
+
+  let counter t name =
+    get_or_create t name
+      (fun () ->
+        let c = ref 0 in
+        (C c, c))
+      (function C c -> Some c | _ -> None)
+
+  let gauge t name =
+    get_or_create t name
+      (fun () ->
+        let g = ref 0.0 in
+        (G g, g))
+      (function G g -> Some g | _ -> None)
+
+  let histogram t ?relative_error name =
+    get_or_create t name
+      (fun () ->
+        let h = Histogram.create ?relative_error () in
+        (H h, h))
+      (function H h -> Some h | _ -> None)
+
+  let series t name =
+    get_or_create t name
+      (fun () ->
+        let s = Series.create () in
+        (S s, s))
+      (function S s -> Some s | _ -> None)
+
+  let names t =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+  let instrument_json = function
+    | C c -> Json.Int (Counter.value c)
+    | G g -> Json.Float (Gauge.value g)
+    | H h ->
+      Json.Obj
+        [ ("count", Json.Int (Histogram.count h));
+          ("mean", Json.Float (Histogram.mean h));
+          ("min", Json.Float (Histogram.minimum h));
+          ("max", Json.Float (Histogram.maximum h));
+          ("p50", Json.Float (Histogram.quantile h 0.5));
+          ("p95", Json.Float (Histogram.quantile h 0.95));
+          ("p99", Json.Float (Histogram.quantile h 0.99)) ]
+    | S s ->
+      Json.Obj
+        [ ("n", Json.Int (Series.length s));
+          ("last", match Series.last s with
+            | None -> Json.Null
+            | Some (_, v) -> Json.Float v);
+          ("mean", Json.Float (Series.mean s)) ]
+
+  let to_json t =
+    Json.Obj
+      (List.map (fun name -> (name, instrument_json (Hashtbl.find t name))) (names t))
+
+  let print_summary ?(out = stdout) t =
+    let p fmt = Printf.fprintf out fmt in
+    p "--- metrics (%d instruments) ---\n" (Hashtbl.length t);
+    List.iter
+      (fun name ->
+        match Hashtbl.find t name with
+        | C c -> p "%-32s counter %d\n" name (Counter.value c)
+        | G g -> p "%-32s gauge   %.6g\n" name (Gauge.value g)
+        | H h ->
+          p "%-32s hist    n=%d mean=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g\n"
+            name (Histogram.count h) (Histogram.mean h)
+            (Histogram.quantile h 0.5) (Histogram.quantile h 0.95)
+            (Histogram.quantile h 0.99) (Histogram.maximum h)
+        | S s ->
+          let last = match Series.last s with None -> 0.0 | Some (_, v) -> v in
+          p "%-32s series  n=%d last=%.6g mean=%.6g\n" name (Series.length s)
+            last (Series.mean s))
+      (names t)
+end
+
+module Recorder = struct
+  type t = {
+    reg : Metrics.t;
+    window : float;
+    domain_of : (int -> int list) option;
+    mutable window_start : float;
+    link_air : (int, float ref) Hashtbl.t;    (* airtime in current window *)
+    link_qlen : (int, int ref) Hashtbl.t;     (* last observed queue length *)
+    flow_bits : (int, float ref) Hashtbl.t;   (* delivered bits in window *)
+    flow_rates : (int, float array) Hashtbl.t;
+    gamma_prev : (int, float) Hashtbl.t;
+    mutable tick_t : float;                   (* time of current price tick *)
+    mutable tick_delta : float;               (* max |Δγ| within that tick *)
+    events : Metrics.Counter.t;
+  }
+
+  let create ?(window = 1.0) ?domain_of reg =
+    if window <= 0.0 then invalid_arg "Recorder.create: window must be positive";
+    {
+      reg;
+      window;
+      domain_of;
+      window_start = 0.0;
+      link_air = Hashtbl.create 32;
+      link_qlen = Hashtbl.create 32;
+      flow_bits = Hashtbl.create 8;
+      flow_rates = Hashtbl.create 8;
+      gamma_prev = Hashtbl.create 32;
+      tick_t = -1.0;
+      tick_delta = 0.0;
+      events = Metrics.counter reg "trace.events";
+    }
+
+  let sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+  let flush_window r =
+    let w_end = r.window_start +. r.window in
+    (* Per-link airtime utilisation, and I_l busy fraction (the left
+       side of constraint (2)) when the interference structure is
+       known. *)
+    let air l =
+      match Hashtbl.find_opt r.link_air l with Some a -> !a | None -> 0.0
+    in
+    List.iter
+      (fun l ->
+        let u = air l /. r.window in
+        Metrics.Series.add
+          (Metrics.series r.reg (Printf.sprintf "link.%d.util" l))
+          w_end u;
+        match r.domain_of with
+        | None -> ()
+        | Some dom ->
+          let busy = List.fold_left (fun acc m -> acc +. air m) 0.0 (dom l) in
+          Metrics.Series.add
+            (Metrics.series r.reg (Printf.sprintf "domain.%d.busy" l))
+            w_end
+            (busy /. r.window))
+      (sorted_keys r.link_air);
+    (* Queue occupancy sampled at the window boundary. *)
+    List.iter
+      (fun l ->
+        Metrics.Series.add
+          (Metrics.series r.reg (Printf.sprintf "link.%d.queue" l))
+          w_end
+          (float_of_int !(Hashtbl.find r.link_qlen l)))
+      (sorted_keys r.link_qlen);
+    (* Per-flow delivered Mbit/s over the window. *)
+    List.iter
+      (fun f ->
+        let bits = !(Hashtbl.find r.flow_bits f) in
+        Metrics.Series.add
+          (Metrics.series r.reg (Printf.sprintf "flow.%d.goodput" f))
+          w_end
+          (bits /. 1e6 /. r.window))
+      (sorted_keys r.flow_bits);
+    Hashtbl.reset r.link_air;
+    Hashtbl.reset r.flow_bits;
+    r.window_start <- w_end
+
+  let advance r t =
+    while t >= r.window_start +. r.window do
+      flush_window r
+    done
+
+  let flush_tick r =
+    if r.tick_t >= 0.0 then begin
+      Metrics.Series.add (Metrics.series r.reg "ctrl.price_delta") r.tick_t r.tick_delta;
+      r.tick_t <- -1.0;
+      r.tick_delta <- 0.0
+    end
+
+  let acc_float tbl k v =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> r := !r +. v
+    | None -> Hashtbl.add tbl k (ref v)
+
+  let on_event r ev =
+    Metrics.Counter.incr r.events;
+    advance r (Trace.time ev);
+    match ev with
+    | Trace.Enqueue { link; qlen; _ } -> (
+      match Hashtbl.find_opt r.link_qlen link with
+      | Some c -> c := qlen
+      | None -> Hashtbl.add r.link_qlen link (ref qlen))
+    | Trace.Mac_grant { link; collided; airtime; _ } ->
+      Metrics.Counter.incr (Metrics.counter r.reg "mac.grants");
+      acc_float r.link_air link airtime;
+      (match Hashtbl.find_opt r.link_qlen link with
+      | Some c -> if !c > 0 then c := !c - 1
+      | None -> ());
+      if collided then ()
+    | Trace.Dequeue _ -> ()
+    | Trace.Collision { link; _ } ->
+      Metrics.Counter.incr (Metrics.counter r.reg "mac.collisions");
+      Metrics.Counter.incr
+        (Metrics.counter r.reg (Printf.sprintf "link.%d.collisions" link))
+    | Trace.Drop { reason; _ } ->
+      Metrics.Counter.incr
+        (Metrics.counter r.reg ("drops." ^ Trace.drop_reason_name reason))
+    | Trace.Delivery { flow; bytes; delay; _ } ->
+      Metrics.Histogram.observe
+        (Metrics.histogram r.reg (Printf.sprintf "flow.%d.delay" flow))
+        delay;
+      acc_float r.flow_bits flow (8.0 *. float_of_int bytes)
+    | Trace.Price_update { t; link; gamma; _ } ->
+      if t <> r.tick_t then begin
+        flush_tick r;
+        r.tick_t <- t
+      end;
+      let prev =
+        match Hashtbl.find_opt r.gamma_prev link with Some g -> g | None -> 0.0
+      in
+      let d = Float.abs (gamma -. prev) in
+      if d > r.tick_delta then r.tick_delta <- d;
+      Hashtbl.replace r.gamma_prev link gamma;
+      let gm = Metrics.gauge r.reg "ctrl.gamma_max" in
+      if gamma > Metrics.Gauge.value gm then Metrics.Gauge.set gm gamma
+    | Trace.Rate_update { t; flow; rates } ->
+      let total = Array.fold_left ( +. ) 0.0 rates in
+      Metrics.Series.add
+        (Metrics.series r.reg (Printf.sprintf "flow.%d.rate" flow))
+        t total;
+      (match Hashtbl.find_opt r.flow_rates flow with
+      | Some prev when Array.length prev = Array.length rates ->
+        let delta = ref 0.0 in
+        Array.iteri (fun i x -> delta := !delta +. Float.abs (x -. prev.(i))) rates;
+        Metrics.Series.add
+          (Metrics.series r.reg (Printf.sprintf "flow.%d.rate_delta" flow))
+          t !delta
+      | Some _ | None -> ());
+      Hashtbl.replace r.flow_rates flow (Array.copy rates)
+    | Trace.Ack { flow; _ } ->
+      Metrics.Counter.incr
+        (Metrics.counter r.reg (Printf.sprintf "flow.%d.acks" flow))
+    | Trace.Link_event { link; capacity; _ } ->
+      Metrics.Counter.incr (Metrics.counter r.reg "link.events");
+      Metrics.Gauge.set
+        (Metrics.gauge r.reg (Printf.sprintf "link.%d.capacity" link))
+        capacity
+
+  let sink r = Trace.of_fn (on_event r)
+
+  let flush r ~now =
+    advance r now;
+    (* Close the partial window so short runs still produce points. *)
+    if now > r.window_start then begin
+      let keep = r.window_start in
+      let partial = now -. keep in
+      if partial > 1e-9 then begin
+        let air l =
+          match Hashtbl.find_opt r.link_air l with Some a -> !a | None -> 0.0
+        in
+        List.iter
+          (fun l ->
+            Metrics.Series.add
+              (Metrics.series r.reg (Printf.sprintf "link.%d.util" l))
+              now (air l /. partial))
+          (sorted_keys r.link_air);
+        List.iter
+          (fun f ->
+            let bits = !(Hashtbl.find r.flow_bits f) in
+            Metrics.Series.add
+              (Metrics.series r.reg (Printf.sprintf "flow.%d.goodput" f))
+              now
+              (bits /. 1e6 /. partial))
+          (sorted_keys r.flow_bits);
+        Hashtbl.reset r.link_air;
+        Hashtbl.reset r.flow_bits
+      end
+    end;
+    flush_tick r
+end
+
+module Summary = struct
+  type flow_stats = {
+    flow : int;
+    delivered_frames : int;
+    delivered_bytes : int;
+    goodput_mbps : float;
+    mean_delay : float;
+    p95_delay : float;
+    max_delay : float;
+    rate_updates : int;
+    final_rates : float array;
+  }
+
+  type t = {
+    duration : float;
+    events : int;
+    flows : flow_stats list;
+    drops : (Trace.drop_reason * int) list;
+    collisions : int;
+    grants : int;
+    link_airtime : (int * float) list;
+  }
+
+  type flow_acc = {
+    mutable frames : int;
+    mutable bytes : int;
+    mutable delays_rev : float list;
+    mutable rate_updates : int;
+    mutable final_rates : float array;
+  }
+
+  let of_events ~duration events =
+    if duration <= 0.0 then invalid_arg "Summary.of_events: duration must be positive";
+    let flows : (int, flow_acc) Hashtbl.t = Hashtbl.create 8 in
+    let flow f =
+      match Hashtbl.find_opt flows f with
+      | Some a -> a
+      | None ->
+        let a =
+          { frames = 0; bytes = 0; delays_rev = []; rate_updates = 0; final_rates = [||] }
+        in
+        Hashtbl.add flows f a;
+        a
+    in
+    let drops = Hashtbl.create 4 in
+    let collisions = ref 0 and grants = ref 0 and n_events = ref 0 in
+    let airtime = Hashtbl.create 32 in
+    List.iter
+      (fun ev ->
+        incr n_events;
+        match ev with
+        | Trace.Delivery { flow = f; bytes; delay; _ } ->
+          let a = flow f in
+          a.frames <- a.frames + 1;
+          a.bytes <- a.bytes + bytes;
+          a.delays_rev <- delay :: a.delays_rev
+        | Trace.Rate_update { flow = f; rates; _ } ->
+          let a = flow f in
+          a.rate_updates <- a.rate_updates + 1;
+          a.final_rates <- rates
+        | Trace.Drop { reason; _ } ->
+          let c =
+            match Hashtbl.find_opt drops reason with
+            | Some c -> c
+            | None ->
+              let c = ref 0 in
+              Hashtbl.add drops reason c;
+              c
+          in
+          incr c
+        | Trace.Collision _ -> incr collisions
+        | Trace.Mac_grant { link; airtime = a; _ } ->
+          incr grants;
+          (match Hashtbl.find_opt airtime link with
+          | Some r -> r := !r +. a
+          | None -> Hashtbl.add airtime link (ref a))
+        | Trace.Enqueue _ | Trace.Dequeue _ | Trace.Price_update _
+        | Trace.Ack _ | Trace.Link_event _ -> ())
+      events;
+    let flow_ids =
+      Hashtbl.fold (fun k _ acc -> k :: acc) flows [] |> List.sort compare
+    in
+    {
+      duration;
+      events = !n_events;
+      flows =
+        List.map
+          (fun f ->
+            let a = Hashtbl.find flows f in
+            let delays = List.rev a.delays_rev in
+            {
+              flow = f;
+              delivered_frames = a.frames;
+              delivered_bytes = a.bytes;
+              goodput_mbps = float_of_int a.bytes *. 8e-6 /. duration;
+              mean_delay = Stats.mean delays;
+              p95_delay =
+                (match delays with [] -> 0.0 | ds -> Stats.percentile ds 95.0);
+              max_delay = (match delays with [] -> 0.0 | ds -> Stats.maximum ds);
+              rate_updates = a.rate_updates;
+              final_rates = a.final_rates;
+            })
+          flow_ids;
+      drops =
+        Hashtbl.fold (fun r c acc -> (r, !c) :: acc) drops []
+        |> List.sort (fun (a, _) (b, _) -> compare a b);
+      collisions = !collisions;
+      grants = !grants;
+      link_airtime =
+        Hashtbl.fold (fun l a acc -> (l, !a) :: acc) airtime []
+        |> List.sort (fun (a, _) (b, _) -> compare a b);
+    }
+
+  let of_file ~duration path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let events = ref [] in
+        let line_no = ref 0 in
+        let error = ref None in
+        (try
+           while !error = None do
+             let line = input_line ic in
+             incr line_no;
+             match Trace.decode line with
+             | Ok ev -> events := ev :: !events
+             | Error msg ->
+               error := Some (Printf.sprintf "%s:%d: %s" path !line_no msg)
+           done
+         with End_of_file -> ());
+        match !error with
+        | Some e -> Error e
+        | None -> Ok (of_events ~duration (List.rev !events)))
+
+  let flow_stats t f = List.find_opt (fun s -> s.flow = f) t.flows
+
+  let print ?(out = stdout) t =
+    let p fmt = Printf.fprintf out fmt in
+    p "--- trace summary: %d events over %.3f s ---\n" t.events t.duration;
+    p "MAC: %d grants, %d collisions" t.grants t.collisions;
+    (match t.drops with
+    | [] -> p ", no drops\n"
+    | ds ->
+      p "; drops:";
+      List.iter (fun (r, c) -> p " %s=%d" (Trace.drop_reason_name r) c) ds;
+      p "\n");
+    List.iter
+      (fun s ->
+        p
+          "flow %d: %d frames, %d bytes, %.3f Mbit/s, delay mean %.4g s p95 %.4g s \
+           (%d rate updates)\n"
+          s.flow s.delivered_frames s.delivered_bytes s.goodput_mbps s.mean_delay
+          s.p95_delay s.rate_updates)
+      t.flows;
+    List.iter
+      (fun (l, a) ->
+        p "link %d: %.3f s on air (%.1f%% of the run)\n" l a
+          (100.0 *. a /. t.duration))
+      t.link_airtime
+end
+
+module Runtime = struct
+  let registry : Metrics.t option ref = ref None
+
+  let install_metrics () =
+    match !registry with
+    | Some reg -> reg
+    | None ->
+      let reg = Metrics.create () in
+      registry := Some reg;
+      reg
+
+  let metrics () =
+    match !registry with
+    | Some _ as r -> r
+    | None ->
+      if Sys.getenv_opt "EMPOWER_METRICS" <> None then Some (install_metrics ())
+      else None
+
+  let clear () = registry := None
+end

@@ -1,0 +1,347 @@
+(** Structured tracing and metrics for the datapath, the control
+    plane and the experiment harness.
+
+    The paper's evaluation is made of quantities that live {e inside}
+    a run — per-link airtime against the feasibility constraint (2),
+    queue build-up, price/rate convergence, reorder behaviour — and
+    this module is how the repository sees them. It follows the
+    pattern established by {!Invariants}: the engine is threaded with
+    narrow, optional hooks that cost nothing when disabled and never
+    perturb the simulation when enabled (a sink only observes; it
+    consumes no randomness and mutates no engine state, so results
+    are bit-identical with and without one).
+
+    Three layers:
+
+    - {!Trace} — a typed event record for everything that happens on
+      the datapath and control plane, with a JSONL wire format
+      ({!Trace.encode} / {!Trace.decode}) whose schema is documented
+      below. [Engine.run ~trace:sink] streams every event into the
+      sink; [empower_eval trace <scenario> --out t.jsonl] does it
+      from the command line.
+    - {!Metrics} — a name-keyed registry of counters, gauges,
+      windowed time series and streaming histograms, populated from
+      the same events by a {!Recorder}, or directly by harness code.
+    - {!Summary} — a trace replayer: recomputes per-flow goodput and
+      delay distributions from a trace (in memory or from a JSONL
+      file) so a trace can be cross-checked against the engine's own
+      [flow_result] — the end-to-end proof that the instrumentation
+      tells the truth.
+
+    {2 JSONL schema}
+
+    One event per line, one JSON object per event. Every object has:
+
+    - ["ev"] : string — the event kind (see below);
+    - ["t"] : float — simulation time in seconds.
+
+    Kinds and their additional fields:
+
+    {v
+    enqueue    link flow seq bytes qlen   frame entered a link FIFO
+                                          (qlen = queue length after)
+    grant      link flow seq collided airtime
+                                          MAC granted the medium; the
+                                          frame occupies it for
+                                          airtime seconds
+    dequeue    link flow seq              frame left the link after a
+                                          successful transmission
+    collision  link flow seq              transmission ended collided
+                                          (airtime wasted, frame lost)
+    drop       link? flow seq reason      frame left the network
+                                          undelivered; reason is one of
+                                          queue_overflow | link_down |
+                                          misroute | backlog_cleared
+    delivery   flow seq bytes delay       frame released to the
+                                          application at the
+                                          destination (delay = one-way
+                                          seconds since injection)
+    price      link gamma price           control tick updated the
+                                          link dual γ_l; price is the
+                                          full congestion price
+                                          d_l·Σ_{i∈I_l} γ_i
+    rate       flow rates                 controller updated the
+                                          flow's per-route rates
+                                          (array of Mbit/s)
+    ack        flow qr bytes              destination emitted its
+                                          100 ms ACK (per-route q_r
+                                          and byte counts)
+    link       link capacity              link capacity changed
+                                          (0 = failure)
+    v}
+
+    Numbers are encoded with enough digits to round-trip
+    bit-exactly, so [decode (encode e) = Ok e] for every event. *)
+
+(** Minimal JSON values — the wire format shared by the trace
+    encoder, the metrics dumps and the harness's [--json] output.
+    (The repository uses no external JSON dependency.) *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact rendering (no trailing newline). Floats are printed
+      with round-trip precision; non-finite floats become [null]. *)
+
+  val to_buffer : Buffer.t -> t -> unit
+
+  val parse : string -> (t, string) result
+  (** Strict parser for the subset this module emits (full JSON minus
+      [\uXXXX] surrogate pairs). [Error msg] pinpoints the offset. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] otherwise. *)
+
+  val to_int_opt : t -> int option
+  (** [Int n] and integral [Float]s. *)
+
+  val to_float_opt : t -> float option
+
+  val to_string_opt : t -> string option
+
+  val to_bool_opt : t -> bool option
+end
+
+(** Typed datapath/control-plane events and their JSONL codec. *)
+module Trace : sig
+  type drop_reason =
+    | Queue_overflow   (** arriving frame hit a full FIFO *)
+    | Link_down        (** head-of-line frame on a dead link *)
+    | Misroute         (** no next hop matched the source route *)
+    | Backlog_cleared  (** link failure flushed its queue *)
+
+  val drop_reason_name : drop_reason -> string
+  val drop_reason_of_name : string -> drop_reason option
+
+  type event =
+    | Enqueue of { t : float; link : int; flow : int; seq : int; bytes : int; qlen : int }
+    | Mac_grant of
+        { t : float; link : int; flow : int; seq : int; collided : bool; airtime : float }
+    | Dequeue of { t : float; link : int; flow : int; seq : int }
+    | Collision of { t : float; link : int; flow : int; seq : int }
+    | Drop of { t : float; link : int option; flow : int; seq : int; reason : drop_reason }
+    | Delivery of { t : float; flow : int; seq : int; bytes : int; delay : float }
+    | Price_update of { t : float; link : int; gamma : float; price : float }
+    | Rate_update of { t : float; flow : int; rates : float array }
+    | Ack of { t : float; flow : int; qr : float array; bytes : int array }
+    | Link_event of { t : float; link : int; capacity : float }
+
+  val time : event -> float
+  val kind : event -> string
+  (** The ["ev"] tag: ["enqueue"], ["grant"], ["dequeue"],
+      ["collision"], ["drop"], ["delivery"], ["price"], ["rate"],
+      ["ack"], ["link"]. *)
+
+  val kinds : string list
+  (** Every valid ["ev"] tag (the schema's closed set). *)
+
+  val to_json : event -> Json.t
+
+  val encode : event -> string
+  (** One JSONL line (no trailing newline). *)
+
+  val decode : string -> (event, string) result
+  (** Strict: malformed JSON, an unknown ["ev"] kind, or a missing /
+      mistyped field is an [Error]. [decode (encode e) = Ok e]. *)
+
+  (** A consumer of events. Emission never fails upward: sinks are
+      observation only. *)
+  type sink
+
+  val emit : sink -> event -> unit
+
+  val of_fn : (event -> unit) -> sink
+
+  val tee : sink -> sink -> sink
+  (** Both sinks see every event, left first. *)
+
+  val to_channel : out_channel -> sink
+  (** Writes one JSONL line per event. The caller owns the channel
+      (flush/close). *)
+
+  val collector : unit -> sink * (unit -> event list)
+  (** In-memory sink; the closure returns events oldest-first. *)
+
+  val counter : unit -> sink * (unit -> int)
+  (** Cheapest possible sink — used to measure tracing overhead. *)
+end
+
+(** Name-keyed registry of counters, gauges, time series and
+    streaming histograms. *)
+module Metrics : sig
+  module Counter : sig
+    type t
+
+    val incr : t -> unit
+    val add : t -> int -> unit
+    val value : t -> int
+  end
+
+  module Gauge : sig
+    type t
+
+    val set : t -> float -> unit
+    val value : t -> float
+    (** 0 until first set. *)
+  end
+
+  (** Streaming histogram with bounded memory and deterministic,
+      seed-free behaviour: log-spaced buckets with relative width
+      [2ε/(1-ε)] (DDSketch-style), so any quantile is exact to within
+      a relative error of [ε] (default 0.5%) while count, sum, mean,
+      min and max are exact. Negative observations are clamped to the
+      dedicated zero bucket (delays are never negative). *)
+  module Histogram : sig
+    type t
+
+    val create : ?relative_error:float -> unit -> t
+    val observe : t -> float -> unit
+    val count : t -> int
+    val sum : t -> float
+    val mean : t -> float
+    (** Exact ([sum/count]); 0 when empty. *)
+
+    val minimum : t -> float
+    (** Exact; 0 when empty. *)
+
+    val maximum : t -> float
+    (** Exact; 0 when empty. *)
+
+    val quantile : t -> float -> float
+    (** [quantile h q] with [q] in [0,1]; within the configured
+        relative error of the exact order statistic. [q <= 0] and
+        [q >= 1] return the exact minimum and maximum. 0 when
+        empty. *)
+  end
+
+  (** Windowed time series: [(time, value)] points, appended in
+      time order. *)
+  module Series : sig
+    type t
+
+    val create : unit -> t
+    val add : t -> float -> float -> unit
+    val length : t -> int
+    val points : t -> (float * float) list
+    val last : t -> (float * float) option
+    val mean : t -> float
+    (** Mean of the values; 0 when empty. *)
+  end
+
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** Get-or-create by name (and likewise below). A name holds one
+      instrument kind; reusing it with another kind raises
+      [Invalid_argument]. *)
+
+  val gauge : t -> string -> Gauge.t
+  val histogram : t -> ?relative_error:float -> string -> Histogram.t
+  val series : t -> string -> Series.t
+
+  val names : t -> string list
+  (** Sorted. *)
+
+  val to_json : t -> Json.t
+  (** One object member per instrument: counters/gauges as numbers,
+      histograms as [{count,mean,min,max,p50,p95,p99}], series as
+      [{n,last,mean}]. *)
+
+  val print_summary : ?out:out_channel -> t -> unit
+  (** Human-readable dump, sorted by name. *)
+end
+
+(** Populates a {!Metrics.t} registry from trace events. Metric
+    names:
+
+    - ["mac.collisions"], ["mac.grants"], ["drops.<reason>"],
+      ["trace.events"] — counters;
+    - ["link.<l>.util"] — per-window airtime fraction of link [l]
+      (time series), and ["link.<l>.queue"] — queue occupancy sampled
+      at window boundaries;
+    - ["domain.<l>.busy"] — per-window busy fraction of [l]'s
+      interference domain I_l, i.e. the left side of feasibility
+      constraint (2) (needs [~domain_of]);
+    - ["flow.<f>.delay"] — exact-count streaming histogram of one-way
+      delivery delays; ["flow.<f>.goodput"] — delivered Mbit/s per
+      window (series); ["flow.<f>.rate"] — controller total rate at
+      each update (series); ["flow.<f>.rate_delta"] — absolute rate
+      movement per update (series);
+    - ["ctrl.price_delta"] — max |Δγ| per control tick (series);
+      ["ctrl.gamma_max"] — running max γ (gauge). *)
+module Recorder : sig
+  type t
+
+  val create : ?window:float -> ?domain_of:(int -> int list) -> Metrics.t -> t
+  (** [window] (default 1 s) sets the time-series bucketing;
+      [domain_of l] lists the links of I_l (including [l]) and
+      enables the per-domain busy metric. *)
+
+  val sink : t -> Trace.sink
+
+  val flush : t -> now:float -> unit
+  (** Close the final partial window at end of run. *)
+end
+
+(** Replay a trace and recompute what the engine reported — the
+    cross-check that the instrumentation and the simulation agree. *)
+module Summary : sig
+  type flow_stats = {
+    flow : int;
+    delivered_frames : int;
+    delivered_bytes : int;
+    goodput_mbps : float;      (** delivered_bytes·8e-6 / duration *)
+    mean_delay : float;        (** exact, over every delivery *)
+    p95_delay : float;         (** exact order statistic *)
+    max_delay : float;
+    rate_updates : int;
+    final_rates : float array; (** last Rate_update seen; [||] if none *)
+  }
+
+  type t = {
+    duration : float;
+    events : int;
+    flows : flow_stats list;               (** sorted by flow id *)
+    drops : (Trace.drop_reason * int) list;
+    collisions : int;
+    grants : int;
+    link_airtime : (int * float) list;     (** seconds on air per link, sorted *)
+  }
+
+  val of_events : duration:float -> Trace.event list -> t
+
+  val of_file : duration:float -> string -> (t, string) result
+  (** Reads a JSONL trace with the strict decoder; the first
+      malformed line or unknown event kind is an [Error] naming the
+      line number. Blank lines are rejected too. *)
+
+  val flow_stats : t -> int -> flow_stats option
+
+  val print : ?out:out_channel -> t -> unit
+end
+
+(** Process-global metrics registry, for instrumenting code that is
+    too deep to thread a sink through (the [--metrics] flag of the
+    experiment commands; the [EMPOWER_METRICS] environment variable).
+    When installed, every [Engine.run] without an explicit [?trace]
+    attaches a {!Recorder} over this registry. *)
+module Runtime : sig
+  val install_metrics : unit -> Metrics.t
+  (** Install (or return the already-installed) global registry. *)
+
+  val metrics : unit -> Metrics.t option
+  (** The global registry, if installed (or if [EMPOWER_METRICS] is
+      set, in which case the first call installs it). *)
+
+  val clear : unit -> unit
+  (** Uninstall. *)
+end

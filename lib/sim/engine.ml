@@ -52,12 +52,25 @@ type flow_result = {
   p95_delay : float;
 }
 
+type perf = {
+  wall_s : float;
+  events_per_s : float;
+  wall_per_sim_s : float;
+  peak_queue_depth : int;
+}
+
+let zero_perf =
+  { wall_s = 0.0; events_per_s = 0.0; wall_per_sim_s = 0.0; peak_queue_depth = 0 }
+
 type result = {
   flows : flow_result array;
   duration : float;
   queue_drops : int;
   events_processed : int;
+  perf : perf;
 }
+
+let strip_perf r = { r with perf = zero_perf }
 
 (* ---------- internal state ---------- *)
 
@@ -124,8 +137,7 @@ type flow_state = {
   mutable bin_bits : float;
   mutable goodput_rev : (float * float) list;
   mutable rates_rev : (float * float array) list;
-  mutable delays_rev : float list;  (* sampled one-way frame delays *)
-  mutable delay_count : int;
+  delay_hist : Obs.Metrics.Histogram.t;  (* every one-way frame delay *)
   reverse_latency : float;
 }
 
@@ -143,13 +155,36 @@ type event =
 
 let mbps_of_bits bits seconds = bits /. 1e6 /. seconds
 
-let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~flows
-    ~duration =
+let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g dom
+    ~flows ~duration =
   let n_links = Multigraph.num_links g in
   let inv =
     match invariants with
     | Some _ -> invariants
     | None -> if Invariants.env_enabled () then Some (Invariants.create ()) else None
+  in
+  (* Observability: an explicit sink wins; otherwise a process-global
+     metrics registry (--metrics / EMPOWER_METRICS) attaches a
+     recorder. Sinks only observe — they consume no randomness and
+     mutate no engine state, so results are identical either way; with
+     no sink every emission site is a single branch on [trace_on]. *)
+  let recorder =
+    match trace with
+    | Some _ -> None
+    | None -> (
+      match Obs.Runtime.metrics () with
+      | Some reg -> Some (Obs.Recorder.create ~domain_of:(Domain.domain dom) reg)
+      | None -> None)
+  in
+  let trace =
+    match (trace, recorder) with
+    | (Some _ as t), _ -> t
+    | None, Some r -> Some (Obs.Recorder.sink r)
+    | None, None -> None
+  in
+  let trace_on = Option.is_some trace in
+  let emit ev =
+    match trace with Some s -> Obs.Trace.emit s ev | None -> ()
   in
   (* Live link capacities: start from the graph's and follow the
      scheduled capacity-change / failure events. *)
@@ -319,8 +354,7 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
       bin_bits = 0.0;
       goodput_rev = [];
       rates_rev = [];
-      delays_rev = [];
-      delay_count = 0;
+      delay_hist = Obs.Metrics.Histogram.create ();
       reverse_latency = reverse_latency_of spec;
     }
   in
@@ -428,9 +462,33 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
         st.on_air <- None;
         incr queue_drops;
         inv_drop ~link:(Some l) ~reason:Invariants.Link_down pkt.flow;
+        if trace_on then
+          emit
+            (Obs.Trace.Drop
+               {
+                 t = !now;
+                 link = Some l;
+                 flow = pkt.flow;
+                 seq = pkt.header.Header.seq;
+                 reason = Obs.Trace.Link_down;
+               });
         try_start l
       end
-      else schedule (Units.tx_time ~capacity_mbps:cap_l ~bytes:pkt.bytes) (Tx_end l)
+      else begin
+        let airtime = Units.tx_time ~capacity_mbps:cap_l ~bytes:pkt.bytes in
+        if trace_on then
+          emit
+            (Obs.Trace.Mac_grant
+               {
+                 t = !now;
+                 link = l;
+                 flow = pkt.flow;
+                 seq = pkt.header.Header.seq;
+                 collided = st.air_collided;
+                 airtime;
+               });
+        schedule airtime (Tx_end l)
+      end
     end
   in
   let try_start_domain l =
@@ -459,12 +517,33 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
     st.had_traffic <- true;
     if Queue.length st.queue >= config.queue_limit then begin
       incr queue_drops;
-      inv_drop ~link:(Some l) ~reason:Invariants.Queue_overflow pkt.flow
+      inv_drop ~link:(Some l) ~reason:Invariants.Queue_overflow pkt.flow;
+      if trace_on then
+        emit
+          (Obs.Trace.Drop
+             {
+               t = !now;
+               link = Some l;
+               flow = pkt.flow;
+               seq = pkt.header.Header.seq;
+               reason = Obs.Trace.Queue_overflow;
+             })
     end
     else begin
       (* Stamp the congestion price for this hop into the header. *)
       pkt.header <- Header.add_price pkt.header (link_price l);
       Queue.push pkt st.queue;
+      if trace_on then
+        emit
+          (Obs.Trace.Enqueue
+             {
+               t = !now;
+               link = l;
+               flow = pkt.flow;
+               seq = pkt.header.Header.seq;
+               bytes = pkt.bytes;
+               qlen = Queue.length st.queue;
+             });
       try_start l
     end
   in
@@ -658,11 +737,21 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
       f.files
   in
   let release_packet f (pkt : packet) =
-    (* Sample every 8th frame's one-way delay (queueing + transmission
-       along the route) to keep memory bounded on long runs. *)
-    f.delay_count <- f.delay_count + 1;
-    if f.delay_count land 7 = 0 then
-      f.delays_rev <- (!now -. pkt.sent_at) :: f.delays_rev;
+    (* Every frame's one-way delay (queueing + transmission along the
+       route) lands in a streaming histogram: exact count/mean,
+       quantiles within 0.5% relative error, bounded memory. *)
+    let delay = !now -. pkt.sent_at in
+    Obs.Metrics.Histogram.observe f.delay_hist delay;
+    if trace_on then
+      emit
+        (Obs.Trace.Delivery
+           {
+             t = !now;
+             flow = f.id;
+             seq = pkt.header.Header.seq;
+             bytes = pkt.bytes;
+             delay;
+           });
     Ack.on_packet f.collector ~route:pkt.route_idx ~qr:pkt.header.Header.qr
       ~seq:pkt.header.Header.seq ~bytes:pkt.bytes;
     flush_bins_upto f !now;
@@ -711,11 +800,32 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
       st.on_air <- None;
       st.air_collided <- false;
       inv_drop ~link:(Some l) ~reason:Invariants.Collision pkt.flow;
+      if trace_on then
+        emit
+          (Obs.Trace.Collision
+             { t = !now; link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
       try_start_domain l
     | Some pkt ->
       st.on_air <- None;
+      if trace_on then
+        emit
+          (Obs.Trace.Dequeue
+             { t = !now; link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
       let arrived_at = (Multigraph.link g l).Multigraph.dst in
       let f = flow_states.(pkt.flow) in
+      let drop_misroute () =
+        inv_drop ~link:(Some l) ~reason:Invariants.Misroute pkt.flow;
+        if trace_on then
+          emit
+            (Obs.Trace.Drop
+               {
+                 t = !now;
+                 link = Some l;
+                 flow = pkt.flow;
+                 seq = pkt.header.Header.seq;
+                 reason = Obs.Trace.Misroute;
+               })
+      in
       (* Use the layer-2.5 source route for the forwarding decision. *)
       if Route_codec.is_destination pkt.header.Header.route ~my_ifaces:my_ifaces.(arrived_at)
       then deliver_to_destination f pkt
@@ -725,12 +835,12 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
         with
         | None ->
           (* misrouted; drop *)
-          inv_drop ~link:(Some l) ~reason:Invariants.Misroute pkt.flow
+          drop_misroute ()
         | Some next_hash -> (
           match List.assoc_opt next_hash egress_by_hash.(arrived_at) with
           | None ->
             (* no such neighbor anymore; drop *)
-            inv_drop ~link:(Some l) ~reason:Invariants.Misroute pkt.flow
+            drop_misroute ()
           | Some next_link ->
             pkt.hop <- pkt.hop + 1;
             enqueue_on_link next_link pkt)
@@ -781,6 +891,8 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
         f.x_bar.(i) <- ((1.0 -. a) *. f.x_bar.(i)) +. (a *. f.x.(i))
       done;
       Alpha.observe f.alpha (total_rate f);
+      if trace_on then
+        emit (Obs.Trace.Rate_update { t = !now; flow = f.id; rates = Array.copy f.x });
       (match inv with
       | Some t -> Invariants.on_rate t ~flow:f.id ~rate:(total_rate f)
       | None -> ());
@@ -807,6 +919,13 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
           Float.max 0.0
             (gamma.(l) +. (config.gamma_alpha *. (y -. (1.0 -. config.delta)))))
       priced_links;
+    if trace_on then
+      List.iter
+        (fun l ->
+          emit
+            (Obs.Trace.Price_update
+               { t = !now; link = l; gamma = gamma.(l); price = link_price l }))
+        priced_links;
     (* 2. Capacity estimation (only carriers are ever priced or
        transmitted on, so only they need tracking). *)
     if config.estimate_capacities then
@@ -823,6 +942,21 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
       (fun f ->
         if f.active then begin
           let ack = Ack.emit f.collector ~now:!now in
+          if trace_on then
+            emit
+              (Obs.Trace.Ack
+                 {
+                   t = !now;
+                   flow = f.id;
+                   qr =
+                     Array.of_list
+                       (List.map (fun (r : Ack.route_report) -> r.Ack.qr) ack.Ack.reports);
+                   bytes =
+                     Array.of_list
+                       (List.map
+                          (fun (r : Ack.route_report) -> r.Ack.bytes)
+                          ack.Ack.reports);
+                 });
           schedule f.reverse_latency (Ack_arrive (f.id, ack));
           f.rates_rev <- (!now, Array.copy f.x) :: f.rates_rev
         end)
@@ -838,6 +972,8 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
     | Tx_end l -> handle_tx_end l
     | Capacity_change (l, c) ->
       caps.(l) <- Float.max 0.0 c;
+      if trace_on then
+        emit (Obs.Trace.Link_event { t = !now; link = l; capacity = caps.(l) });
       (* A dead link drops its backlog; a healthier one may start. *)
       if caps.(l) <= 0.0 then begin
         let st = links.(l) in
@@ -845,7 +981,18 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
            vanish from the accounting when a link dies. *)
         queue_drops := !queue_drops + Queue.length st.queue;
         Queue.iter
-          (fun p -> inv_drop ~link:(Some l) ~reason:Invariants.Backlog_cleared p.flow)
+          (fun p ->
+            inv_drop ~link:(Some l) ~reason:Invariants.Backlog_cleared p.flow;
+            if trace_on then
+              emit
+                (Obs.Trace.Drop
+                   {
+                     t = !now;
+                     link = Some l;
+                     flow = p.flow;
+                     seq = p.header.Header.seq;
+                     reason = Obs.Trace.Backlog_cleared;
+                   }))
           st.queue;
         Queue.clear st.queue
       end
@@ -903,11 +1050,14 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
       Pqueue.push q t (Capacity_change (l, c)))
     link_events;
 
+  let peak_depth = ref 0 in
   let rec loop () =
     match Pqueue.peek q with
     | None -> ()
     | Some (t, _) when t > duration -> ()
     | Some _ ->
+      let d = Pqueue.size q in
+      if d > !peak_depth then peak_depth := d;
       (match Pqueue.pop q with
       | None -> ()
       | Some (t, ev) ->
@@ -919,8 +1069,13 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
         | None -> ());
       loop ()
   in
+  let wall_start = Sys.time () in
   loop ();
+  let wall_s = Sys.time () -. wall_start in
   now := duration;
+  (match recorder with
+  | Some r -> Obs.Recorder.flush r ~now:duration
+  | None -> ());
 
   let results =
     Array.map
@@ -939,12 +1094,22 @@ let run ?(config = default_config) ?invariants ?(link_events = []) rng g dom ~fl
           frames_lost = f.lost;
           frames_dropped = f.src_dropped;
           final_rates = Array.copy f.x;
-          mean_delay = Stats.mean f.delays_rev;
-          p95_delay =
-            (match f.delays_rev with
-            | [] -> 0.0
-            | ds -> Stats.percentile ds 95.0);
+          mean_delay = Obs.Metrics.Histogram.mean f.delay_hist;
+          p95_delay = Obs.Metrics.Histogram.quantile f.delay_hist 0.95;
         })
       flow_states
   in
-  { flows = results; duration; queue_drops = !queue_drops; events_processed = !events_processed }
+  {
+    flows = results;
+    duration;
+    queue_drops = !queue_drops;
+    events_processed = !events_processed;
+    perf =
+      {
+        wall_s;
+        events_per_s =
+          (if wall_s > 0.0 then float_of_int !events_processed /. wall_s else 0.0);
+        wall_per_sim_s = (if duration > 0.0 then wall_s /. duration else 0.0);
+        peak_queue_depth = !peak_depth;
+      };
+  }

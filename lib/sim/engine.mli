@@ -89,21 +89,42 @@ type flow_result = {
   frames_dropped : int;     (** dropped at source token bucket (TCP over CC) *)
   final_rates : float array; (** controller rates at the end *)
   mean_delay : float;
-      (** mean one-way frame delay (s), sampled every 8th delivery —
-          the quantity the δ margin of (3) keeps low *)
-  p95_delay : float;         (** 95th percentile of the same samples *)
+      (** mean one-way frame delay (s) over {e every} delivery (exact,
+          streamed through an {!Obs.Metrics.Histogram}) — the quantity
+          the δ margin of (3) keeps low *)
+  p95_delay : float;
+      (** 95th percentile of every delivery's delay, within the
+          histogram's 0.5% relative error *)
 }
+
+(** Engine self-profiling, measured with [Sys.time] around the event
+    loop. Wall-clock figures are {e not} part of the determinism
+    contract — compare results with {!strip_perf} applied. *)
+type perf = {
+  wall_s : float;            (** CPU seconds spent in the event loop *)
+  events_per_s : float;      (** events_processed / wall_s (0 if instant) *)
+  wall_per_sim_s : float;    (** CPU seconds per simulated second *)
+  peak_queue_depth : int;    (** max event-queue length observed *)
+}
+
+val zero_perf : perf
 
 type result = {
   flows : flow_result array;
   duration : float;
   queue_drops : int;        (** total MAC queue overflows *)
   events_processed : int;
+  perf : perf;
 }
+
+val strip_perf : result -> result
+(** [result] with [perf] zeroed — everything that remains is covered
+    by the determinism contract below. *)
 
 val run :
   ?config:config ->
   ?invariants:Invariants.t ->
+  ?trace:Obs.Trace.sink ->
   ?link_events:(float * int * float) list ->
   Rng.t ->
   Multigraph.t ->
@@ -116,7 +137,8 @@ val run :
 
     {b Determinism / seeding contract.} The run is a pure function of
     ([config], [link_events], the [Rng.t]'s state, [g], [dom], [flows],
-    [duration]): equal inputs produce bit-identical {!result}s. All
+    [duration]): equal inputs produce bit-identical {!result}s modulo
+    the [perf] field (wall-clock; compare via {!strip_perf}). All
     randomness flows through the given generator, which is consumed in
     a fixed order — one {!Rng.split} per link (in link-id order) for
     the capacity estimators, then, per flow in list order, the splits
@@ -136,6 +158,18 @@ val run :
     variable is set, every [run] without an explicit checker creates
     one, so a whole experiment binary can be audited without code
     changes. Expect a 2-4x slowdown with checking on.
+
+    {b Tracing.} Passing [~trace:sink] streams every datapath and
+    control-plane event of the run into the {!Obs.Trace.sink} (frame
+    enqueue/grant/dequeue/collision/drop/delivery, price and rate
+    updates, ACK emissions, link capacity changes). A sink only
+    observes: it consumes no randomness and mutates no engine state,
+    so results are bit-identical with and without one, and with no
+    sink each emission site is a single never-taken branch (no event
+    values are allocated). Without an explicit sink, an installed
+    {!Obs.Runtime} metrics registry (the harness's [--metrics] flag,
+    or the [EMPOWER_METRICS] environment variable) attaches an
+    {!Obs.Recorder} for the duration of the run.
 
     [link_events] schedules capacity changes: [(t, link, capacity)]
     sets the directed link's capacity at time [t] (0 = link failure,

@@ -184,9 +184,12 @@ let prop_engine_deterministic =
       | None -> true
       | Some (_, flow) ->
         let run ?invariants () =
-          Engine.run ?invariants
-            (Rng.create (seed + 3))
-            c.Prop_gen.g c.Prop_gen.dom ~flows:[ flow ] ~duration:4.0
+          (* perf carries wall-clock readings, excluded from the
+             determinism contract (see Engine.strip_perf). *)
+          Engine.strip_perf
+            (Engine.run ?invariants
+               (Rng.create (seed + 3))
+               c.Prop_gen.g c.Prop_gen.dom ~flows:[ flow ] ~duration:4.0)
         in
         let a = run () in
         let b = run () in

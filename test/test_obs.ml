@@ -1,0 +1,392 @@
+(* Tests for the observability layer (lib/obs): the JSON codec, the
+   event round-trip across every variant, the streaming histogram, the
+   metrics registry, the recorder's aggregation against the engine's
+   own accounting, the trace-on/trace-off determinism contract and the
+   strict JSONL file reader. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ---------- Json ---------- *)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let v =
+    Obj
+      [
+        ("int", Int (-42));
+        ("float", Float (0.1 +. 0.2));
+        ("tiny", Float 2.2250738585072014e-308);
+        ("big", Float 1.7976931348623157e308);
+        ("string", String "quote\" slash\\ newline\n tab\t ctrl\x01 caf\xc3\xa9");
+        ("list", List [ Null; Bool true; Bool false; Int 0 ]);
+        ("empty_obj", Obj []);
+        ("empty_list", List []);
+      ]
+  in
+  match parse (to_string v) with
+  | Ok v' ->
+    if v <> v' then Alcotest.failf "JSON does not round-trip: %s" (to_string v)
+  | Error e -> Alcotest.failf "parse of own output failed: %s" e
+
+let test_json_escapes () =
+  match Obs.Json.parse {|"aéA\nb"|} with
+  | Ok (Obs.Json.String s) ->
+    Alcotest.(check string) "unicode escapes" "a\xc3\xa9A\nb" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "parser accepted %S" s
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "[1,]";
+      {|{"a":}|};
+      "tru";
+      {|"unterminated|};
+      "1 2";
+      {|{'a':1}|};
+      "[1 2]";
+      "nan";
+    ]
+
+let test_json_accessors () =
+  let open Obs.Json in
+  let j = Obj [ ("n", Int 3); ("x", Float 2.5); ("s", String "hi") ] in
+  Alcotest.(check (option int)) "int member" (Some 3)
+    (Option.bind (member "n" j) to_int_opt);
+  Alcotest.(check (option int)) "missing member" None
+    (Option.bind (member "zzz" j) to_int_opt);
+  check_float "float member" 2.5
+    (Option.value ~default:Float.nan (Option.bind (member "x" j) to_float_opt));
+  Alcotest.(check (option int)) "int refuses non-integral float" None
+    (to_int_opt (Float 2.5))
+
+(* ---------- Trace codec ---------- *)
+
+(* Awkward times and values on purpose: the codec must round-trip
+   bit-exactly, not just to printf precision. *)
+let all_event_variants =
+  let open Obs.Trace in
+  [
+    Enqueue { t = 0.1 +. 0.2; link = 96; flow = 0; seq = 0; bytes = 12000; qlen = 1 };
+    Mac_grant
+      { t = 1.0 /. 3.0; link = 3; flow = 1; seq = 7; collided = false; airtime = 0.00096 };
+    Mac_grant
+      { t = Float.ldexp 1.0 (-40); link = 3; flow = 1; seq = 8; collided = true;
+        airtime = 1e-9 };
+    Dequeue { t = 2.0; link = 0; flow = 0; seq = 123456789 };
+    Collision { t = 3.5; link = 12; flow = 2; seq = 0 };
+    Drop { t = 4.0; link = Some 5; flow = 0; seq = 1; reason = Queue_overflow };
+    Drop { t = 4.0; link = Some 5; flow = 0; seq = 2; reason = Link_down };
+    Drop { t = 4.0; link = None; flow = 0; seq = 3; reason = Misroute };
+    Drop { t = 4.0; link = Some 9; flow = 0; seq = 4; reason = Backlog_cleared };
+    Delivery { t = 5.0; flow = 0; seq = 42; bytes = 12000; delay = 0.19483726451 };
+    Price_update { t = 6.0; link = 7; gamma = 1.1201133; price = 0.07 /. 0.9 };
+    Rate_update { t = 6.0; flow = 0; rates = [| 10.25; 0.0; 3.3333333333333335 |] };
+    Rate_update { t = 6.1; flow = 1; rates = [||] };
+    Ack { t = 7.0; flow = 0; qr = [| 0.125; 0.5 |]; bytes = [| 48000; 0 |] };
+    Link_event { t = 8.0; link = 11; capacity = 0.0 };
+    Link_event { t = 9.0; link = 11; capacity = 97.53 };
+  ]
+
+let test_event_roundtrip () =
+  List.iter
+    (fun e ->
+      match Obs.Trace.decode (Obs.Trace.encode e) with
+      | Ok e' ->
+        if e <> e' then
+          Alcotest.failf "event %S does not round-trip: %s" (Obs.Trace.kind e)
+            (Obs.Trace.encode e)
+      | Error m ->
+        Alcotest.failf "decode of own encoding (%s) failed: %s"
+          (Obs.Trace.kind e) m)
+    all_event_variants;
+  (* Every kind of the schema's closed set appears above. *)
+  let covered =
+    List.sort_uniq compare (List.map Obs.Trace.kind all_event_variants)
+  in
+  Alcotest.(check (list string))
+    "all kinds covered" (List.sort compare Obs.Trace.kinds) covered
+
+let test_decode_rejects () =
+  List.iter
+    (fun line ->
+      match Obs.Trace.decode line with
+      | Ok _ -> Alcotest.failf "decoder accepted %S" line
+      | Error _ -> ())
+    [
+      {|{"ev":"warp","t":0}|};                                 (* unknown kind *)
+      {|{"t":0,"link":1,"flow":0,"seq":0}|};                   (* no kind *)
+      {|{"ev":"dequeue","t":0,"link":1,"flow":0}|};            (* missing seq *)
+      {|{"ev":"dequeue","t":0,"link":"one","flow":0,"seq":0}|};(* mistyped *)
+      {|{"ev":"drop","t":0,"link":1,"flow":0,"seq":0,"reason":"gremlins"}|};
+      "not json at all";
+      "";
+    ]
+
+(* ---------- Histogram ---------- *)
+
+let test_histogram () =
+  let open Obs.Metrics in
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  check_float ~eps:1e-6 "sum exact" 500500.0 (Histogram.sum h);
+  check_float ~eps:1e-9 "mean exact" 500.5 (Histogram.mean h);
+  check_float "min exact" 1.0 (Histogram.minimum h);
+  check_float "max exact" 1000.0 (Histogram.maximum h);
+  let rel q expected =
+    let v = Histogram.quantile h q in
+    if Float.abs (v -. expected) /. expected > 0.01 then
+      Alcotest.failf "quantile %.2f: got %.3f, want %.3f within 1%%" q v expected
+  in
+  rel 0.5 500.0;
+  rel 0.95 950.0;
+  rel 0.99 990.0;
+  check_float "q0 is min" 1.0 (Histogram.quantile h 0.0);
+  check_float "q1 is max" 1000.0 (Histogram.quantile h 1.0)
+
+let test_histogram_zero_bucket () =
+  let open Obs.Metrics in
+  let h = Histogram.create () in
+  Histogram.observe h 0.0;
+  Histogram.observe h (-3.0);
+  Histogram.observe h 10.0;
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  check_float "negative clamped into zero bucket" 0.0 (Histogram.quantile h 0.3);
+  check_float "max" 10.0 (Histogram.maximum h)
+
+let test_registry () =
+  let open Obs.Metrics in
+  let reg = create () in
+  let c = counter reg "a.count" in
+  Counter.incr c;
+  Counter.add c 4;
+  Alcotest.(check int) "same name, same counter" 5
+    (Counter.value (counter reg "a.count"));
+  Gauge.set (gauge reg "b.gauge") 2.5;
+  Series.add (series reg "c.series") 1.0 10.0;
+  ignore (histogram reg "d.hist");
+  Alcotest.(check (list string))
+    "names sorted"
+    [ "a.count"; "b.gauge"; "c.series"; "d.hist" ]
+    (names reg);
+  (match try Some (gauge reg "a.count") with Invalid_argument _ -> None with
+  | None -> ()
+  | Some _ -> Alcotest.fail "kind mismatch must raise Invalid_argument");
+  match Obs.Json.member "a.count" (to_json reg) with
+  | Some (Obs.Json.Int 5) -> ()
+  | _ -> Alcotest.fail "to_json must carry the counter value"
+
+(* ---------- engine integration ---------- *)
+
+let small_net () =
+  let g =
+    Multigraph.create ~n_nodes:3 ~n_techs:2
+      ~edges:[ (0, 1, 0, 15.0); (1, 2, 0, 30.0); (0, 1, 1, 10.0) ]
+  in
+  (g, Domain.single_domain_per_tech g)
+
+let saturated_flow g dom ~src ~dst =
+  let comb = Multipath.find g dom ~src ~dst in
+  {
+    Engine.src;
+    dst;
+    routes = Multipath.routes comb;
+    init_rates = List.map snd comb.Multipath.paths;
+    workload = Workload.Saturated;
+    transport = Engine.Udp;
+    start_time = 0.0;
+    stop_time = None;
+  }
+
+let test_trace_determinism () =
+  (* A sink only observes: same seed, bit-identical results with and
+     without one (modulo the wall-clock perf block). *)
+  let g, dom = small_net () in
+  let flows = [ saturated_flow g dom ~src:0 ~dst:2 ] in
+  let base =
+    Engine.strip_perf (Engine.run (Rng.create 7) g dom ~flows ~duration:3.0)
+  in
+  let sink, got = Obs.Trace.collector () in
+  let traced =
+    Engine.strip_perf
+      (Engine.run ~trace:sink (Rng.create 7) g dom ~flows ~duration:3.0)
+  in
+  if base <> traced then Alcotest.fail "tracing perturbed the simulation";
+  Alcotest.(check bool) "trace saw events" true (got () <> [])
+
+let test_perf_populated () =
+  let g, dom = small_net () in
+  let flows = [ saturated_flow g dom ~src:0 ~dst:2 ] in
+  let res = Engine.run (Rng.create 7) g dom ~flows ~duration:1.0 in
+  Alcotest.(check bool)
+    "events/s positive" true
+    (res.Engine.perf.Engine.events_per_s > 0.0);
+  Alcotest.(check bool)
+    "peak queue depth positive" true
+    (res.Engine.perf.Engine.peak_queue_depth > 0)
+
+let fig4_scenario () =
+  match Tracing.find "fig4" with
+  | Some sc -> sc
+  | None -> Alcotest.fail "fig4 trace scenario missing"
+
+let test_summary_cross_check () =
+  (* The acceptance bar of this layer: replaying the fig4-scale trace
+     through Obs.Summary reproduces the engine's goodput to 1e-9 and
+     its delay statistics; Tracing.cross_check holds every tolerance. *)
+  let sc = fig4_scenario () in
+  let sink, got = Obs.Trace.collector () in
+  let o = sc.Tracing.exec ~trace:sink () in
+  let s = Obs.Summary.of_events ~duration:o.Tracing.duration (got ()) in
+  (match Tracing.cross_check o s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "cross-check failed:\n%s" m);
+  Alcotest.(check int) "summary event count" (List.length (got ())) s.Obs.Summary.events
+
+let test_recorder_aggregation () =
+  (* Feed the fig4-scale trace into a Recorder and compare the
+     registry against the engine's flow_result: the delay histogram
+     sees the identical stream (bit-identical mean and p95), and the
+     per-reason drop counters sum to the engine's queue_drops. *)
+  let sc = fig4_scenario () in
+  let reg = Obs.Metrics.create () in
+  let rcd = Obs.Recorder.create reg in
+  let o = sc.Tracing.exec ~trace:(Obs.Recorder.sink rcd) () in
+  Obs.Recorder.flush rcd ~now:o.Tracing.duration;
+  let fr = o.Tracing.result.Engine.flows.(0) in
+  let h = Obs.Metrics.histogram reg "flow.0.delay" in
+  check_float ~eps:0.0 "delay histogram mean == engine mean"
+    fr.Engine.mean_delay
+    (Obs.Metrics.Histogram.mean h);
+  check_float ~eps:0.0 "delay histogram p95 == engine p95"
+    fr.Engine.p95_delay
+    (Obs.Metrics.Histogram.quantile h 0.95);
+  let drop r = Obs.Metrics.Counter.value (Obs.Metrics.counter reg ("drops." ^ r)) in
+  Alcotest.(check int) "drop counters sum to engine queue_drops"
+    o.Tracing.result.Engine.queue_drops
+    (drop "queue_overflow" + drop "link_down" + drop "backlog_cleared");
+  Alcotest.(check bool) "event counter ran" true
+    (Obs.Metrics.Counter.value (Obs.Metrics.counter reg "trace.events") > 0);
+  Alcotest.(check bool) "per-link utilisation recorded" true
+    (List.exists
+       (fun n ->
+         String.length n > 5
+         && String.sub n 0 5 = "link."
+         && Obs.Metrics.Series.length (Obs.Metrics.series reg n) > 0)
+       (List.filter
+          (fun n ->
+            String.length n > 5
+            && String.sub n 0 5 = "link."
+            && String.length n > 5
+            && String.sub n (String.length n - 5) 5 = ".util")
+          (Obs.Metrics.names reg)))
+
+let test_runtime_autoattach () =
+  (* With the global registry installed and no explicit sink, the
+     engine attaches a recorder by itself. *)
+  Obs.Runtime.clear ();
+  let reg = Obs.Runtime.install_metrics () in
+  Fun.protect ~finally:Obs.Runtime.clear (fun () ->
+      let g, dom = small_net () in
+      let flows = [ saturated_flow g dom ~src:0 ~dst:2 ] in
+      ignore (Engine.run (Rng.create 7) g dom ~flows ~duration:1.0);
+      Alcotest.(check bool) "registry populated" true
+        (Obs.Metrics.Counter.value (Obs.Metrics.counter reg "trace.events") > 0))
+
+(* ---------- Summary.of_file strictness ---------- *)
+
+let with_temp_trace lines body =
+  let path = Filename.temp_file "empower_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      body path)
+
+let valid_line =
+  {|{"ev":"delivery","t":0.5,"flow":0,"seq":0,"bytes":12000,"delay":0.01}|}
+
+let test_of_file_ok () =
+  with_temp_trace [ valid_line; valid_line ] (fun path ->
+      match Obs.Summary.of_file ~duration:1.0 path with
+      | Ok s ->
+        Alcotest.(check int) "events" 2 s.Obs.Summary.events;
+        (match Obs.Summary.flow_stats s 0 with
+        | Some st ->
+          Alcotest.(check int) "bytes" 24000 st.Obs.Summary.delivered_bytes;
+          check_float "goodput" 0.192 st.Obs.Summary.goodput_mbps
+        | None -> Alcotest.fail "flow 0 missing from summary")
+      | Error m -> Alcotest.failf "valid trace rejected: %s" m)
+
+let test_of_file_strict () =
+  let expect_error ~needle lines =
+    with_temp_trace lines (fun path ->
+        match Obs.Summary.of_file ~duration:1.0 path with
+        | Ok _ -> Alcotest.failf "accepted a trace with %s" needle
+        | Error m ->
+          (* The error names the offending line number. *)
+          let has sub s =
+            let n = String.length sub and m = String.length s in
+            let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+            go 0
+          in
+          if not (has needle m) then
+            Alcotest.failf "error %S does not mention %S" m needle)
+  in
+  expect_error ~needle:":2:" [ valid_line; "this is not json" ];
+  expect_error ~needle:":1:" [ {|{"ev":"warp","t":0}|} ];
+  expect_error ~needle:":2:" [ valid_line; "" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_json_escapes;
+          Alcotest.test_case "rejects malformed input" `Quick test_json_rejects;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "trace codec",
+        [
+          Alcotest.test_case "every variant round-trips" `Quick test_event_roundtrip;
+          Alcotest.test_case "rejects bad lines" `Quick test_decode_rejects;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram;
+          Alcotest.test_case "histogram zero bucket" `Quick test_histogram_zero_bucket;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sink does not perturb the run" `Quick
+            test_trace_determinism;
+          Alcotest.test_case "perf block populated" `Quick test_perf_populated;
+          Alcotest.test_case "summary replay == engine accounting" `Slow
+            test_summary_cross_check;
+          Alcotest.test_case "recorder aggregation == engine accounting" `Slow
+            test_recorder_aggregation;
+          Alcotest.test_case "global registry auto-attach" `Quick
+            test_runtime_autoattach;
+        ] );
+      ( "jsonl file",
+        [
+          Alcotest.test_case "valid trace accepted" `Quick test_of_file_ok;
+          Alcotest.test_case "strict rejection with line numbers" `Quick
+            test_of_file_strict;
+        ] );
+    ]
