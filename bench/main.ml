@@ -178,6 +178,17 @@ let write_sim_bench () =
     let events_s_traced = float_of_int !events /. elapsed_traced in
     let frames_s = float_of_int frames /. elapsed in
     let overhead_pct = (elapsed_traced /. elapsed -. 1.0) *. 100.0 in
+    (* Chaos runs stress the fault schedules on top of the engine: the
+       testbed scenario with a generated moderate plan per seed. *)
+    let chaos_events = ref 0 and chaos_faults = ref 0 in
+    let t2 = Sys.time () in
+    for i = 1 to reps do
+      let rep = Chaos.run ~seed:i ~duration:4.0 () in
+      chaos_events := !chaos_events + rep.Chaos.result.Engine.events_processed;
+      chaos_faults := !chaos_faults + rep.Chaos.fault_events
+    done;
+    let elapsed_chaos = Float.max 1e-9 (Sys.time () -. t2) in
+    let chaos_events_s = float_of_int !chaos_events /. elapsed_chaos in
     let oc = open_out "BENCH_sim.json" in
     Printf.fprintf oc
       "{\n\
@@ -190,16 +201,19 @@ let write_sim_bench () =
       \  \"peak_event_queue\": %d,\n\
       \  \"events_per_s_traced\": %.0f,\n\
       \  \"trace_events_per_run\": %d,\n\
-      \  \"trace_overhead_pct\": %.1f\n\
+      \  \"trace_overhead_pct\": %.1f,\n\
+      \  \"chaos_events_per_s\": %.0f,\n\
+      \  \"chaos_fault_events_per_run\": %d\n\
        }\n"
       duration reps elapsed runs_s events_s frames_s !peak_q events_s_traced
-      (!trace_events / reps) overhead_pct;
+      (!trace_events / reps) overhead_pct chaos_events_s
+      (!chaos_faults / reps);
     close_out oc;
     Printf.printf
       "BENCH_sim.json: %.2f runs/s, %.0f events/s, %.0f frames/s, trace \
-       overhead %.1f%%\n\
+       overhead %.1f%%, chaos %.0f events/s\n\
        %!"
-      runs_s events_s frames_s overhead_pct
+      runs_s events_s frames_s overhead_pct chaos_events_s
 
 (* ---------- part 2: table/figure regeneration ---------- *)
 

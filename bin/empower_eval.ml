@@ -272,6 +272,82 @@ let trace_cmd =
           it (strict schema decode + replay cross-check against the engine).")
     Term.(const run $ scenario_arg $ out_arg)
 
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let intensity_arg =
+    let doc = "Fault intensity: light, moderate or heavy." in
+    Arg.(
+      value & opt string "moderate" & info [ "intensity"; "i" ] ~docv:"LEVEL" ~doc)
+  in
+  let duration_arg =
+    let doc = "Simulated seconds (faults all clear by half-time)." in
+    Arg.(value & opt float 20.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Also record the run's JSONL event trace to $(docv) and self-validate \
+       it (strict decode + replay cross-check)."
+    in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run seed intensity duration out json metrics =
+    match Fault.Gen.intensity_of_name intensity with
+    | None ->
+      Printf.eprintf "unknown intensity %S; expected light, moderate or heavy\n"
+        intensity;
+      exit 2
+    | Some intensity ->
+      with_obs ~json ~metrics (fun e ->
+          let report =
+            match out with
+            | None -> Chaos.run ~intensity ~duration ~seed ()
+            | Some path ->
+              let oc = open_out path in
+              let report =
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () ->
+                    Chaos.run ~trace:(Obs.Trace.to_channel oc) ~intensity
+                      ~duration ~seed ())
+              in
+              (* Same self-validation as `trace`: the file must
+                 strict-decode and its replay must reproduce the
+                 engine's accounting. *)
+              (match Obs.Summary.of_file ~duration path with
+              | Error err ->
+                Printf.eprintf "chaos trace validation failed: %s\n" err;
+                exit 1
+              | Ok summary -> (
+                let outcome =
+                  {
+                    Tracing.scenario = "chaos";
+                    result = report.Chaos.result;
+                    duration;
+                  }
+                in
+                match Tracing.cross_check outcome summary with
+                | Error err ->
+                  Printf.eprintf "chaos trace cross-check failed:\n%s\n" err;
+                  exit 1
+                | Ok () ->
+                  if not json then
+                    Printf.printf "chaos: %d events -> %s (cross-check OK)\n"
+                      summary.Obs.Summary.events path));
+              report
+          in
+          e.emit report Chaos.print Chaos.to_json)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded, reproducible fault-injection scenario (random fault \
+          plan against the testbed flow) and report goodput dip and recovery \
+          metrics.")
+    Term.(
+      const run $ seed_arg 7 $ intensity_arg $ duration_arg $ out_arg $ json_arg
+      $ metrics_arg)
+
 let all_cmd =
   let run runs seed json metrics =
     with_obs ~json ~metrics (fun e ->
@@ -338,7 +414,7 @@ let main =
     [
       fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; convergence_cmd; fig9_cmd;
       fig10_cmd; fig11_cmd; table1_cmd; fig12_cmd; fig13_cmd; ablations_cmd;
-      metrics_cmd; mptcp_cmd; mac_cmd; trace_cmd; all_cmd;
+      metrics_cmd; mptcp_cmd; mac_cmd; trace_cmd; chaos_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,5 +1,5 @@
 let solve_tracked ?alpha ?(gain = 50.0) ?(slots = 2000) ?stop_tol ?x_init ?sink
-    ~on_slot (problem : Problem.t) =
+    ?ack_loss ~on_slot (problem : Problem.t) =
   let alpha = match alpha with Some a -> a | None -> Alpha.fixed 0.02 in
   let n_routes = Problem.n_routes problem in
   let x =
@@ -65,13 +65,35 @@ let solve_tracked ?alpha ?(gain = 50.0) ?(slots = 2000) ?stop_tol ?x_init ?sink
     Price.step_gamma price ~y ~alpha:a;
     let q = Price.route_costs price in
     let flow_rate = Problem.flow_rates problem x in
+    (* Control-message loss: a flow whose price/rate report for this
+       slot is lost simply keeps its current rates (both x and the
+       proximal anchor x_bar hold still), while the duals keep
+       evolving from the observed airtimes — the source reacts again
+       on the next delivered report. *)
+    let lost =
+      match ack_loss with
+      | None -> fun _ -> false
+      | Some p ->
+        let slot = !t in
+        let memo =
+          Array.init
+            (Array.length problem.Problem.flow_routes)
+            (fun f -> p ~slot ~flow:f)
+        in
+        fun f -> memo.(f)
+    in
     for r = 0 to n_routes - 1 do
       let f = problem.Problem.flow_of.(r) in
-      let inner = Float.max 0.0 (x_bar.(r) +. (gain *. (u' flow_rate.(f) -. q.(r)))) in
-      x.(r) <- ((1.0 -. a) *. x.(r)) +. (a *. inner)
+      if not (lost f) then begin
+        let inner =
+          Float.max 0.0 (x_bar.(r) +. (gain *. (u' flow_rate.(f) -. q.(r))))
+        in
+        x.(r) <- ((1.0 -. a) *. x.(r)) +. (a *. inner)
+      end
     done;
     for r = 0 to n_routes - 1 do
-      x_bar.(r) <- ((1.0 -. a) *. x_bar.(r)) +. (a *. x.(r))
+      if not (lost problem.Problem.flow_of.(r)) then
+        x_bar.(r) <- ((1.0 -. a) *. x_bar.(r)) +. (a *. x.(r))
     done;
     let flow_rates = Problem.flow_rates problem x in
     trace.(!t) <- flow_rates;
@@ -107,7 +129,7 @@ let solve_tracked ?alpha ?(gain = 50.0) ?(slots = 2000) ?stop_tol ?x_init ?sink
     trace;
   }
 
-let solve ?alpha ?gain ?slots ?stop_tol ?x_init ?sink problem =
-  solve_tracked ?alpha ?gain ?slots ?stop_tol ?x_init ?sink
+let solve ?alpha ?gain ?slots ?stop_tol ?x_init ?sink ?ack_loss problem =
+  solve_tracked ?alpha ?gain ?slots ?stop_tol ?x_init ?sink ?ack_loss
     ~on_slot:(fun _ _ -> ())
     problem

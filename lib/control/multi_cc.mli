@@ -23,6 +23,7 @@ val solve :
   ?stop_tol:float ->
   ?x_init:float array ->
   ?sink:Obs.Trace.sink ->
+  ?ack_loss:(slot:int -> flow:int -> bool) ->
   Problem.t ->
   Cc_result.t
 (** Run for [slots] iterations (default 2000) from [x_init] (default
@@ -51,7 +52,16 @@ val solve :
     {!Obs.Trace.sink}: one [Price_update] per slot for every link some
     route traverses (γ_l plus the full congestion price
     [d_l Σ_{i∈I_l} γ_i]) and one [Rate_update] per flow (its per-route
-    rates), with the slot index as the event timestamp. *)
+    rates), with the slot index as the event timestamp.
+
+    [ack_loss] models control-plane message loss: when
+    [ack_loss ~slot ~flow] is true, flow [flow]'s report for that slot
+    is treated as lost — its rates and proximal anchors hold still
+    while the link duals keep evolving — instead of assuming lossless
+    delivery. The update resumes on the next delivered report; with
+    any loss pattern of density < 1 the iteration still converges to
+    the same fixed point (the fixed-point equations are unchanged),
+    only slower. *)
 
 val solve_tracked :
   ?alpha:Alpha.t ->
@@ -60,6 +70,7 @@ val solve_tracked :
   ?stop_tol:float ->
   ?x_init:float array ->
   ?sink:Obs.Trace.sink ->
+  ?ack_loss:(slot:int -> flow:int -> bool) ->
   on_slot:(int -> float array -> unit) ->
   Problem.t ->
   Cc_result.t

@@ -53,9 +53,17 @@ let allocate ?n ?(delta = 0.0) ?(slots = 3000) ?utility net ~flows =
     plans;
   { plans; flow_rates = cc.Cc_result.flow_rates; route_rates; cc }
 
-let simulate ?config ?invariants ?trace ?(seed = 0) net ~flows ~duration =
-  Engine.run ?config ?invariants ?trace (Rng.create seed) net.g net.dom ~flows
-    ~duration
+let simulate ?config ?invariants ?trace ?faults ?(seed = 0) net ~flows ~duration
+    =
+  let link_events, loss_events, ctrl_events =
+    match faults with
+    | None -> ([], [], [])
+    | Some plan ->
+      let c = Fault.compile net.g plan in
+      (c.Fault.link_events, c.Fault.loss_events, c.Fault.ctrl_events)
+  in
+  Engine.run ?config ?invariants ?trace ~link_events ~loss_events ~ctrl_events
+    (Rng.create seed) net.g net.dom ~flows ~duration
 
 let flow_specs_of_allocation ?(workload = Workload.Saturated)
     ?(transport = Engine.Udp) alloc =

@@ -71,6 +71,7 @@ val simulate :
   ?config:Engine.config ->
   ?invariants:Invariants.t ->
   ?trace:Obs.Trace.sink ->
+  ?faults:Fault.plan ->
   ?seed:int ->
   network ->
   flows:Engine.flow_spec list ->
@@ -81,7 +82,10 @@ val simulate :
     (see {!Invariants}); the [EMPOWER_CHECK] environment variable
     enables one implicitly. [?trace] streams every datapath and
     control-plane event into an {!Obs.Trace.sink} (see the tracing
-    notes on {!Engine.run}). *)
+    notes on {!Engine.run}). [?faults] compiles a {!Fault.plan}
+    against the network's graph and schedules it into the run
+    (capacity changes, frame-loss windows, control-plane faults);
+    raises [Invalid_argument] if the plan fails {!Fault.validate}. *)
 
 val flow_specs_of_allocation :
   ?workload:Workload.t ->

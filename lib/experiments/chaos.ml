@@ -1,0 +1,157 @@
+(* Seeded chaos runs: a Fault.Gen plan against the testbed scenario,
+   with recovery metrics extracted from a private Recorder. *)
+
+type flow_report = {
+  flow : int;
+  received_bytes : int;
+  goodput_mbps : float;
+  recovery_s : float;
+  dip_depth : float;
+  dip_area : float;
+  reroutes : int;
+}
+
+type report = {
+  seed : int;
+  intensity : Fault.Gen.intensity;
+  duration : float;
+  plan : Fault.plan;
+  result : Engine.result;
+  fault_events : int;
+  flows : flow_report list;
+}
+
+(* Recovery needs reclaimable routes: a fully failed route must keep
+   probing after it heals or the goodput would never come back. *)
+let config = { Engine.default_config with Engine.route_reclaim = true }
+
+let network () = Runner.network (Testbed.generate (Rng.create 4242)) Schemes.Empower
+
+let plan ?intensity ?clear_by (net : Empower.network) ~seed ~duration =
+  Fault.Gen.plan ?intensity ?clear_by
+    (Rng.split (Rng.create seed))
+    net.Empower.g ~duration
+
+let run ?trace ?intensity ?(duration = 20.0) ~seed () =
+  let net = network () in
+  let flow =
+    let routes, rates = Runner.routes_and_rates net Schemes.Empower ~src:0 ~dst:12 in
+    if routes = [] then invalid_arg "Chaos.run: no route 0 -> 12";
+    Runner.flow_spec ~src:0 ~dst:12 (routes, rates)
+  in
+  (* One seed pins the whole run: the plan draws from a split of the
+     master stream, the engine consumes the rest of it. *)
+  let master = Rng.create seed in
+  let plan_rng = Rng.split master in
+  let intensity =
+    match intensity with Some i -> i | None -> Fault.Gen.Moderate
+  in
+  let plan = Fault.Gen.plan ~intensity plan_rng net.Empower.g ~duration in
+  let compiled = Fault.compile net.Empower.g plan in
+  let reg = Obs.Metrics.create () in
+  let recorder =
+    Obs.Recorder.create ~domain_of:(Domain.domain net.Empower.dom) reg
+  in
+  (* The private recorder computes the recovery metrics; a caller's
+     sink and the process-global registry (--metrics) still see every
+     event. *)
+  let global =
+    match Obs.Runtime.metrics () with
+    | Some greg ->
+      Some (Obs.Recorder.create ~domain_of:(Domain.domain net.Empower.dom) greg)
+    | None -> None
+  in
+  let sink =
+    let s = Obs.Recorder.sink recorder in
+    let s =
+      match global with
+      | Some r -> Obs.Trace.tee s (Obs.Recorder.sink r)
+      | None -> s
+    in
+    match trace with Some user -> Obs.Trace.tee s user | None -> s
+  in
+  let result =
+    Engine.run ~config ~trace:sink ~link_events:compiled.Fault.link_events
+      ~loss_events:compiled.Fault.loss_events
+      ~ctrl_events:compiled.Fault.ctrl_events master net.Empower.g
+      net.Empower.dom ~flows:[ flow ] ~duration
+  in
+  Obs.Recorder.flush recorder ~now:duration;
+  (match global with
+  | Some r -> Obs.Recorder.flush r ~now:duration
+  | None -> ());
+  let gauge name = Obs.Metrics.Gauge.value (Obs.Metrics.gauge reg name) in
+  let counter name = Obs.Metrics.Counter.value (Obs.Metrics.counter reg name) in
+  let flows =
+    Array.to_list
+      (Array.mapi
+         (fun fid (fr : Engine.flow_result) ->
+           let m name = Printf.sprintf "flow.%d.%s" fid name in
+           {
+             flow = fid;
+             received_bytes = fr.Engine.received_bytes;
+             goodput_mbps =
+               float_of_int fr.Engine.received_bytes *. 8e-6 /. duration;
+             recovery_s = gauge (m "fault.recovery_s");
+             dip_depth = gauge (m "fault.dip_depth");
+             dip_area = gauge (m "fault.dip_area");
+             reroutes = counter (m "reroutes");
+           })
+         result.Engine.flows)
+  in
+  {
+    seed;
+    intensity;
+    duration;
+    plan;
+    result;
+    fault_events = counter "fault.events";
+    flows;
+  }
+
+let to_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("scenario", String "chaos");
+      ("seed", Int r.seed);
+      ("intensity", String (Fault.Gen.intensity_name r.intensity));
+      ("duration", Float r.duration);
+      ("fault_events", Int r.fault_events);
+      ("queue_drops", Int r.result.Engine.queue_drops);
+      ("events_processed", Int r.result.Engine.events_processed);
+      ("plan", Fault.to_json r.plan);
+      ( "flows",
+        List
+          (List.map
+             (fun f ->
+               Obj
+                 [
+                   ("flow", Int f.flow);
+                   ("received_bytes", Int f.received_bytes);
+                   ("goodput_mbps", Float f.goodput_mbps);
+                   ("recovery_s", Float f.recovery_s);
+                   ("dip_depth", Float f.dip_depth);
+                   ("dip_area", Float f.dip_area);
+                   ("reroutes", Int f.reroutes);
+                 ])
+             r.flows) );
+    ]
+
+let print ?(out = stdout) r =
+  let p fmt = Printf.fprintf out fmt in
+  p "--- chaos: seed %d, intensity %s, %.1f s, %d plan actions ---\n" r.seed
+    (Fault.Gen.intensity_name r.intensity)
+    r.duration (List.length r.plan);
+  p "fault boundary events: %d; queue drops: %d; engine events: %d\n"
+    r.fault_events r.result.Engine.queue_drops r.result.Engine.events_processed;
+  List.iter
+    (fun f ->
+      p
+        "flow %d: %.3f Mbit/s (%d bytes), dip %.3f Mbit/s deep / %.3f Mbit·s, \
+         recovery %s, %d reroutes\n"
+        f.flow f.goodput_mbps f.received_bytes f.dip_depth f.dip_area
+        (if f.recovery_s < 0.0 then "never"
+         else Printf.sprintf "%.3f s" f.recovery_s)
+        f.reroutes)
+    r.flows

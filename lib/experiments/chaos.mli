@@ -1,0 +1,72 @@
+(** Seeded chaos scenario: a random-but-reproducible {!Fault} plan
+    against the testbed network, with recovery metrics.
+
+    A chaos run draws a fault plan from a seed ({!Fault.Gen}),
+    compiles it into the engine's fault schedules and simulates the
+    saturated testbed flow 0->12 under it, with {!Engine.config}'s
+    [route_reclaim] enabled so full failures are recoverable. A
+    private {!Obs.Recorder} folds the run's trace into the
+    degradation metrics (goodput dip depth/area, time-to-recover,
+    reroute count) that the {!report} carries.
+
+    Determinism: one seed pins the whole run — the plan generator
+    draws from an {!Rng.split} of the master stream and the engine
+    consumes the rest, so equal seeds give bit-identical results
+    (modulo [perf]; see the {!Engine.run} contract). *)
+
+type flow_report = {
+  flow : int;
+  received_bytes : int;
+  goodput_mbps : float;      (** over the full run *)
+  recovery_s : float;
+      (** time from the last fault boundary until windowed goodput is
+          back within 90% of the pre-fault baseline; -1 = never, 0 =
+          no dip at the boundary (see {!Obs.Recorder}) *)
+  dip_depth : float;         (** Mbit/s below baseline, worst window *)
+  dip_area : float;          (** Mbit/s·s lost to the dip *)
+  reroutes : int;            (** preferred-route changes *)
+}
+
+type report = {
+  seed : int;
+  intensity : Fault.Gen.intensity;
+  duration : float;
+  plan : Fault.plan;         (** the generated plan, for replay *)
+  result : Engine.result;
+  fault_events : int;        (** fault boundary events seen in the trace *)
+  flows : flow_report list;
+}
+
+val config : Engine.config
+(** The chaos engine config: {!Engine.default_config} with
+    [route_reclaim = true]. *)
+
+val network : unit -> Empower.network
+(** The scenario's network (testbed draw, seed 4242 — the same one
+    the [failure] trace scenario uses). *)
+
+val plan :
+  ?intensity:Fault.Gen.intensity ->
+  ?clear_by:float ->
+  Empower.network ->
+  seed:int ->
+  duration:float ->
+  Fault.plan
+(** The plan a given seed yields for this scenario (the same split
+    stream {!run} uses) — for inspection and tests. *)
+
+val run :
+  ?trace:Obs.Trace.sink ->
+  ?intensity:Fault.Gen.intensity ->
+  ?duration:float ->
+  seed:int ->
+  unit ->
+  report
+(** Run the chaos scenario ([intensity] defaults to [Moderate],
+    [duration] to 20 s). [trace] additionally streams every event to
+    the caller's sink; an installed {!Obs.Runtime} registry
+    ([--metrics] / [EMPOWER_METRICS]) is also populated, including
+    the degradation metrics. *)
+
+val to_json : report -> Obs.Json.t
+val print : ?out:out_channel -> report -> unit

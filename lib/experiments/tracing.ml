@@ -62,12 +62,22 @@ let scenarios =
           let flow = saturated_flow net ~src:0 ~dst:12 in
           (* Fail the first link of the flow's first route at 3 s and
              bring it back at 4.5 s: exercises Link_event,
-             Backlog_cleared and the controller's failure reaction. *)
+             Backlog_cleared and the controller's failure reaction.
+             Expressed as a Fault plan — it compiles to exactly the
+             [(3.0, l, 0.0); (4.5, l, cap)] schedule this scenario
+             was born with, so the numbers are unchanged. *)
           let l = List.hd (List.hd flow.Engine.routes).Paths.links in
           let cap = Multigraph.capacity net.Empower.g l in
+          let plan =
+            [
+              Fault.Link_down { at = 3.0; link = l };
+              Fault.Link_up { at = 4.5; link = l; capacity = cap };
+            ]
+          in
+          let compiled = Fault.compile net.Empower.g plan in
           run_engine ?trace net ~flows:[ flow ]
-            ~link_events:[ (3.0, l, 0.0); (4.5, l, cap) ]
-            ~duration:6.0 ~seed:2 "failure");
+            ~link_events:compiled.Fault.link_events ~duration:6.0 ~seed:2
+            "failure");
     };
     {
       name = "tcp";

@@ -1,0 +1,446 @@
+(* Deterministic fault-plan DSL, codec, compiler and generator. See
+   fault.mli for the semantics, tie-break and seeding contracts. *)
+
+type action =
+  | Link_down of { at : float; link : int }
+  | Link_up of { at : float; link : int; capacity : float }
+  | Capacity_set of { at : float; link : int; capacity : float }
+  | Capacity_ramp of {
+      at : float;
+      link : int;
+      from_cap : float;
+      to_cap : float;
+      over : float;
+      steps : int;
+    }
+  | Loss_window of { at : float; until : float; link : int; prob : float }
+  | Ctrl_drop of { at : float; until : float; prob : float }
+  | Ctrl_delay of { at : float; until : float; delay : float }
+  | Node_crash of { at : float; node : int }
+  | Node_restart of { at : float; node : int }
+
+type plan = action list
+
+let empty : plan = []
+
+let start_time = function
+  | Link_down { at; _ }
+  | Link_up { at; _ }
+  | Capacity_set { at; _ }
+  | Capacity_ramp { at; _ }
+  | Loss_window { at; _ }
+  | Ctrl_drop { at; _ }
+  | Ctrl_delay { at; _ }
+  | Node_crash { at; _ }
+  | Node_restart { at; _ } ->
+      at
+
+let op_name = function
+  | Link_down _ -> "link_down"
+  | Link_up _ -> "link_up"
+  | Capacity_set _ -> "capacity_set"
+  | Capacity_ramp _ -> "capacity_ramp"
+  | Loss_window _ -> "loss_window"
+  | Ctrl_drop _ -> "ctrl_drop"
+  | Ctrl_delay _ -> "ctrl_delay"
+  | Node_crash _ -> "node_crash"
+  | Node_restart _ -> "node_restart"
+
+(* Stable by construction: equal-time actions keep plan order, which
+   is what makes the last-wins tie-break well defined. *)
+let normalize plan =
+  List.stable_sort
+    (fun a b -> Float.compare (start_time a) (start_time b))
+    plan
+
+let validate g plan =
+  let n_links = Multigraph.num_links g in
+  let n_nodes = Multigraph.n_nodes g in
+  let err a msg = Error (Printf.sprintf "%s: %s" (op_name a) msg) in
+  let time_ok t = Float.is_finite t && t >= 0.0 in
+  let prob_ok p = Float.is_finite p && p >= 0.0 && p <= 1.0 in
+  let cap_ok c = Float.is_finite c && c >= 0.0 in
+  let link_ok l = l >= 0 && l < n_links in
+  let node_ok n = n >= 0 && n < n_nodes in
+  let check a =
+    match a with
+    | Link_down { at; link } ->
+        if not (time_ok at) then err a "bad time"
+        else if not (link_ok link) then err a "link out of range"
+        else Ok ()
+    | Link_up { at; link; capacity } | Capacity_set { at; link; capacity } ->
+        if not (time_ok at) then err a "bad time"
+        else if not (link_ok link) then err a "link out of range"
+        else if not (cap_ok capacity) then err a "bad capacity"
+        else Ok ()
+    | Capacity_ramp { at; link; from_cap; to_cap; over; steps } ->
+        if not (time_ok at) then err a "bad time"
+        else if not (link_ok link) then err a "link out of range"
+        else if not (cap_ok from_cap && cap_ok to_cap) then
+          err a "bad capacity"
+        else if not (Float.is_finite over && over > 0.0) then
+          err a "over must be > 0"
+        else if steps < 1 then err a "steps must be >= 1"
+        else Ok ()
+    | Loss_window { at; until; link; prob } ->
+        if not (time_ok at && time_ok until) then err a "bad time"
+        else if until <= at then err a "until must be > at"
+        else if not (link_ok link) then err a "link out of range"
+        else if not (prob_ok prob) then err a "prob must be in [0,1]"
+        else Ok ()
+    | Ctrl_drop { at; until; prob } ->
+        if not (time_ok at && time_ok until) then err a "bad time"
+        else if until <= at then err a "until must be > at"
+        else if not (prob_ok prob) then err a "prob must be in [0,1]"
+        else Ok ()
+    | Ctrl_delay { at; until; delay } ->
+        if not (time_ok at && time_ok until) then err a "bad time"
+        else if until <= at then err a "until must be > at"
+        else if not (Float.is_finite delay && delay >= 0.0) then
+          err a "bad delay"
+        else Ok ()
+    | Node_crash { at; node } | Node_restart { at; node } ->
+        if not (time_ok at) then err a "bad time"
+        else if not (node_ok node) then err a "node out of range"
+        else Ok ()
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | a :: rest -> ( match check a with Ok () -> go rest | Error _ as e -> e)
+  in
+  go plan
+
+type compiled = {
+  link_events : (float * int * float) list;
+  loss_events : (float * int * float) list;
+  ctrl_events : (float * float * float) list;
+}
+
+(* Directed links incident to a node, ascending id (out and in links
+   are disjoint because self-loops are impossible). *)
+let incident g node =
+  List.sort compare (Multigraph.out_links g node @ Multigraph.in_links g node)
+
+let compile g plan =
+  (match validate g plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Fault.compile: " ^ msg));
+  let plan = normalize plan in
+  let link_ev = ref [] (* reversed *) in
+  let loss_ev = ref [] in
+  (* Control windows become boundary events first, then are replayed
+     into atomic (t, drop, delay) states below. *)
+  let ctrl_bounds = ref [] in
+  let push r e = r := e :: !r in
+  let emit = function
+    | Link_down { at; link } -> push link_ev (at, link, 0.0)
+    | Link_up { at; link; capacity } | Capacity_set { at; link; capacity } ->
+        push link_ev (at, link, capacity)
+    | Capacity_ramp { at; link; from_cap; to_cap; over; steps } ->
+        push link_ev (at, link, from_cap);
+        for k = 1 to steps do
+          let t = at +. (over *. float_of_int k /. float_of_int steps) in
+          let c =
+            if k = steps then to_cap
+            else
+              from_cap
+              +. ((to_cap -. from_cap) *. float_of_int k /. float_of_int steps)
+          in
+          push link_ev (t, link, c)
+        done
+    | Loss_window { at; until; link; prob } ->
+        push loss_ev (at, link, prob);
+        push loss_ev (until, link, 0.0)
+    | Ctrl_drop { at; until; prob } ->
+        push ctrl_bounds (at, `Drop prob);
+        push ctrl_bounds (until, `Drop 0.0)
+    | Ctrl_delay { at; until; delay } ->
+        push ctrl_bounds (at, `Delay delay);
+        push ctrl_bounds (until, `Delay 0.0)
+    | Node_crash { at; node } ->
+        List.iter (fun l -> push link_ev (at, l, 0.0)) (incident g node)
+    | Node_restart { at; node } ->
+        List.iter
+          (fun l -> push link_ev (at, l, Multigraph.capacity g l))
+          (incident g node)
+  in
+  List.iter emit plan;
+  (* Stable sort by time keeps generation (= plan) order for ties. *)
+  let by_time f l = List.stable_sort (fun a b -> Float.compare (f a) (f b)) l in
+  let link_events = by_time (fun (t, _, _) -> t) (List.rev !link_ev) in
+  let loss_events = by_time (fun (t, _, _) -> t) (List.rev !loss_ev) in
+  let bounds = by_time fst (List.rev !ctrl_bounds) in
+  (* Replay boundaries into one (drop, delay) state per distinct
+     time; at equal times the last boundary wins. *)
+  let drop = ref 0.0 and delay = ref 0.0 in
+  let states = ref [] in
+  List.iter
+    (fun (t, b) ->
+      (match b with `Drop p -> drop := p | `Delay d -> delay := d);
+      match !states with
+      | (t', _, _) :: rest when t' = t ->
+          states := (t, !drop, !delay) :: rest
+      | _ -> states := (t, !drop, !delay) :: !states)
+    bounds;
+  { link_events; loss_events; ctrl_events = List.rev !states }
+
+(* ---------------------------------------------------------------- *)
+(* JSON codec                                                        *)
+
+module J = Obs.Json
+
+let action_to_json a =
+  let base = [ ("op", J.String (op_name a)) ] in
+  let fields =
+    match a with
+    | Link_down { at; link } -> [ ("at", J.Float at); ("link", J.Int link) ]
+    | Link_up { at; link; capacity } | Capacity_set { at; link; capacity } ->
+        [ ("at", J.Float at); ("link", J.Int link); ("capacity", J.Float capacity) ]
+    | Capacity_ramp { at; link; from_cap; to_cap; over; steps } ->
+        [
+          ("at", J.Float at);
+          ("link", J.Int link);
+          ("from", J.Float from_cap);
+          ("to", J.Float to_cap);
+          ("over", J.Float over);
+          ("steps", J.Int steps);
+        ]
+    | Loss_window { at; until; link; prob } ->
+        [
+          ("at", J.Float at);
+          ("until", J.Float until);
+          ("link", J.Int link);
+          ("prob", J.Float prob);
+        ]
+    | Ctrl_drop { at; until; prob } ->
+        [ ("at", J.Float at); ("until", J.Float until); ("prob", J.Float prob) ]
+    | Ctrl_delay { at; until; delay } ->
+        [ ("at", J.Float at); ("until", J.Float until); ("delay", J.Float delay) ]
+    | Node_crash { at; node } | Node_restart { at; node } ->
+        [ ("at", J.Float at); ("node", J.Int node) ]
+  in
+  J.Obj (base @ fields)
+
+let to_json plan =
+  J.Obj
+    [ ("version", J.Int 1); ("actions", J.List (List.map action_to_json plan)) ]
+
+let float_field name j =
+  match J.member name j with
+  | Some v -> (
+      match J.to_float_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S: expected number" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j =
+  match J.member name j with
+  | Some v -> (
+      match J.to_int_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S: expected integer" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let action_of_json j =
+  match j with
+  | J.Obj _ -> (
+      let* op =
+        match J.member "op" j with
+        | Some (J.String s) -> Ok s
+        | Some _ -> Error "field \"op\": expected string"
+        | None -> Error "missing field \"op\""
+      in
+      match op with
+      | "link_down" ->
+          let* at = float_field "at" j in
+          let* link = int_field "link" j in
+          Ok (Link_down { at; link })
+      | "link_up" ->
+          let* at = float_field "at" j in
+          let* link = int_field "link" j in
+          let* capacity = float_field "capacity" j in
+          Ok (Link_up { at; link; capacity })
+      | "capacity_set" ->
+          let* at = float_field "at" j in
+          let* link = int_field "link" j in
+          let* capacity = float_field "capacity" j in
+          Ok (Capacity_set { at; link; capacity })
+      | "capacity_ramp" ->
+          let* at = float_field "at" j in
+          let* link = int_field "link" j in
+          let* from_cap = float_field "from" j in
+          let* to_cap = float_field "to" j in
+          let* over = float_field "over" j in
+          let* steps = int_field "steps" j in
+          Ok (Capacity_ramp { at; link; from_cap; to_cap; over; steps })
+      | "loss_window" ->
+          let* at = float_field "at" j in
+          let* until = float_field "until" j in
+          let* link = int_field "link" j in
+          let* prob = float_field "prob" j in
+          Ok (Loss_window { at; until; link; prob })
+      | "ctrl_drop" ->
+          let* at = float_field "at" j in
+          let* until = float_field "until" j in
+          let* prob = float_field "prob" j in
+          Ok (Ctrl_drop { at; until; prob })
+      | "ctrl_delay" ->
+          let* at = float_field "at" j in
+          let* until = float_field "until" j in
+          let* delay = float_field "delay" j in
+          Ok (Ctrl_delay { at; until; delay })
+      | "node_crash" ->
+          let* at = float_field "at" j in
+          let* node = int_field "node" j in
+          Ok (Node_crash { at; node })
+      | "node_restart" ->
+          let* at = float_field "at" j in
+          let* node = int_field "node" j in
+          Ok (Node_restart { at; node })
+      | other -> Error (Printf.sprintf "unknown op %S" other))
+  | _ -> Error "action: expected object"
+
+let of_json j =
+  match j with
+  | J.Obj _ -> (
+      let* () =
+        match J.member "version" j with
+        | Some (J.Int 1) -> Ok ()
+        | Some _ -> Error "unsupported plan version"
+        | None -> Error "missing field \"version\""
+      in
+      match J.member "actions" j with
+      | Some (J.List actions) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | a :: rest ->
+                let* act = action_of_json a in
+                go (act :: acc) rest
+          in
+          go [] actions
+      | Some _ -> Error "field \"actions\": expected list"
+      | None -> Error "missing field \"actions\"")
+  | _ -> Error "plan: expected object"
+
+let encode plan = J.to_string (to_json plan)
+
+let decode s =
+  match J.parse s with Ok j -> of_json j | Error msg -> Error msg
+
+let to_file path plan =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (encode plan);
+      output_char oc '\n')
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | s -> decode (String.trim s)
+
+(* ---------------------------------------------------------------- *)
+(* Seeded generator                                                  *)
+
+module Gen = struct
+  type intensity = Light | Moderate | Heavy
+
+  let intensity_name = function
+    | Light -> "light"
+    | Moderate -> "moderate"
+    | Heavy -> "heavy"
+
+  let intensity_of_name = function
+    | "light" -> Some Light
+    | "moderate" -> Some Moderate
+    | "heavy" -> Some Heavy
+    | _ -> None
+
+  (* Draw order per fault (fixed — part of the seeding contract):
+     kind, then the [t0 < t1] window, then kind-specific params. *)
+  let plan ?(intensity = Moderate) ?clear_by rng g ~duration =
+    if not (Float.is_finite duration && duration > 0.0) then
+      invalid_arg "Fault.Gen.plan: bad duration";
+    let clear_by =
+      match clear_by with Some c -> c | None -> duration /. 2.0
+    in
+    if not (Float.is_finite clear_by) || clear_by < 1.0 || clear_by > duration
+    then invalid_arg "Fault.Gen.plan: clear_by must be in [1, duration]";
+    let n_links = Multigraph.num_links g in
+    let n_nodes = Multigraph.n_nodes g in
+    if n_links = 0 then invalid_arg "Fault.Gen.plan: graph has no links";
+    let n_faults =
+      match intensity with
+      | Light -> 1 + Rng.int rng 2
+      | Moderate -> 3 + Rng.int rng 3
+      | Heavy -> 6 + Rng.int rng 5
+    in
+    let window () =
+      let t0 = Rng.uniform rng 0.2 (clear_by -. 0.3) in
+      let t1 = Rng.uniform rng (t0 +. 0.1) (clear_by -. 0.05) in
+      (t0, t1)
+    in
+    let fault () =
+      let kind = Rng.int rng 7 in
+      let t0, t1 = window () in
+      match kind with
+      | 0 ->
+          (* Link flap: both directions of a physical edge. *)
+          let l = Rng.int rng n_links in
+          let peer = (Multigraph.link g l).Multigraph.peer in
+          [
+            Link_down { at = t0; link = l };
+            Link_down { at = t0; link = peer };
+            Link_up { at = t1; link = l; capacity = Multigraph.capacity g l };
+            Link_up
+              { at = t1; link = peer; capacity = Multigraph.capacity g peer };
+          ]
+      | 1 ->
+          let l = Rng.int rng n_links in
+          let cap = Multigraph.capacity g l in
+          let frac = Rng.uniform rng 0.2 0.8 in
+          [
+            Capacity_set { at = t0; link = l; capacity = frac *. cap };
+            Capacity_set { at = t1; link = l; capacity = cap };
+          ]
+      | 2 ->
+          let l = Rng.int rng n_links in
+          let cap = Multigraph.capacity g l in
+          let frac = Rng.uniform rng 0.2 0.8 in
+          [
+            Capacity_ramp
+              {
+                at = t0;
+                link = l;
+                from_cap = cap;
+                to_cap = frac *. cap;
+                over = (t1 -. t0) *. 0.5;
+                steps = 3;
+              };
+            Capacity_set { at = t1; link = l; capacity = cap };
+          ]
+      | 3 ->
+          let l = Rng.int rng n_links in
+          let prob = Rng.uniform rng 0.05 0.4 in
+          [ Loss_window { at = t0; until = t1; link = l; prob } ]
+      | 4 ->
+          let prob = Rng.uniform rng 0.1 0.5 in
+          [ Ctrl_drop { at = t0; until = t1; prob } ]
+      | 5 ->
+          let delay = Rng.uniform rng 0.02 0.15 in
+          [ Ctrl_delay { at = t0; until = t1; delay } ]
+      | _ ->
+          let node = Rng.int rng n_nodes in
+          [ Node_crash { at = t0; node }; Node_restart { at = t1; node } ]
+    in
+    let rec go n acc = if n = 0 then acc else go (n - 1) (acc @ fault ()) in
+    go n_faults []
+end

@@ -1,0 +1,166 @@
+(** Deterministic fault injection: a typed DSL of timed fault
+    actions, compiled into the event streams that {!Engine.run}
+    already understands.
+
+    A {e fault plan} is a list of {!action}s. Plans are plain data:
+    they can be written by hand, decoded from JSON ({!decode} /
+    {!of_file}) or drawn reproducibly from a seed ({!Gen.plan}).
+    {!compile} lowers a plan against a concrete {!Multigraph.t} into
+    three sorted event schedules — capacity changes, frame-loss
+    probability changes and control-plane fault changes — that are
+    passed to the engine as [~link_events], [~loss_events] and
+    [~ctrl_events]. The compiler never talks to the engine, so this
+    library depends only on the graph layer and plans stay valid
+    across engine versions.
+
+    {2 Semantics}
+
+    - Capacity actions ({!action.Link_down}, {!action.Link_up},
+      {!action.Capacity_set}, {!action.Capacity_ramp}) drive the
+      engine's capacity hook. Capacity 0 is a failure: the engine
+      flushes the link's queue (frames drop with reason
+      [backlog_cleared]) and MAC holders finish their slot into a
+      dead link.
+    - {!action.Node_crash} fails {e every} directed link incident to
+      the node (out-links and in-links), flushing their queues;
+      {!action.Node_restart} restores those links to the capacities
+      recorded in the graph the plan was compiled against.
+    - {!action.Loss_window} sets a per-link frame-loss probability
+      for an interval. A lossy frame still wins the MAC and occupies
+      the medium for its full airtime — like a collision — and is
+      then dropped with reason [fault_injected].
+    - {!action.Ctrl_drop} / {!action.Ctrl_delay} set the control
+      plane's ACK-drop probability / extra ACK latency for an
+      interval (EMPoWER's 100 ms reports; TCP's in-band cumulative
+      ACKs are transport payload and are not affected).
+
+    {2 Tie-break contract}
+
+    {!normalize} sorts actions by start time with a {e stable} sort,
+    so actions scheduled at the same instant keep their plan order,
+    and {!compile} preserves that order in its output schedules. The
+    engine pops equal-time events FIFO, therefore: {b equal-time
+    actions apply in plan order, and the last one wins}. Concretely,
+    [Link_down] at [t] followed by [Capacity_set] at [t] first
+    flushes the queue (the down is applied, dropping queued frames)
+    and then restores the capacity — the link ends up alive but
+    empty. The reverse order leaves the link dead. Overlapping
+    windows do not stack: each window boundary sets the current
+    value, so the boundary most recently applied wins.
+
+    {2 Seeding contract}
+
+    {!Gen.plan} consumes randomness only from the {!Rng.t} it is
+    given, in a fixed documented order, so equal seeds yield equal
+    plans byte-for-byte; combined with the engine's own determinism
+    contract, a [(plan seed, engine seed)] pair pins down an entire
+    chaos run bit-exactly. *)
+
+type action =
+  | Link_down of { at : float; link : int }
+      (** Capacity of directed link [link] becomes 0 at [at]. *)
+  | Link_up of { at : float; link : int; capacity : float }
+      (** Link [link] comes back at [capacity] Mbit/s. *)
+  | Capacity_set of { at : float; link : int; capacity : float }
+      (** Degrade (or improve) a link without killing it. *)
+  | Capacity_ramp of {
+      at : float;
+      link : int;
+      from_cap : float;
+      to_cap : float;
+      over : float;  (** ramp duration, > 0 *)
+      steps : int;  (** >= 1 capacity steps after the initial set *)
+    }
+      (** Piecewise-linear capacity ramp: capacity is set to
+          [from_cap] at [at], then stepped linearly to reach
+          [to_cap] at [at +. over] in [steps] equal steps. *)
+  | Loss_window of { at : float; until : float; link : int; prob : float }
+      (** Frames granted the MAC on [link] are lost with probability
+          [prob] for [at <= t < until]. *)
+  | Ctrl_drop of { at : float; until : float; prob : float }
+      (** EMPoWER 100 ms ACK reports are dropped with probability
+          [prob] for [at <= t < until]. *)
+  | Ctrl_delay of { at : float; until : float; delay : float }
+      (** ACK reports take an extra [delay] seconds for
+          [at <= t < until]. *)
+  | Node_crash of { at : float; node : int }
+      (** All directed links incident to [node] fail at [at]. *)
+  | Node_restart of { at : float; node : int }
+      (** All links incident to [node] return to the capacities of
+          the graph the plan is compiled against. *)
+
+type plan = action list
+
+val empty : plan
+
+val start_time : action -> float
+(** The instant the action first takes effect ([at]). *)
+
+val normalize : plan -> plan
+(** Stable sort by {!start_time}; equal-time actions keep plan
+    order (the tie-break contract above). *)
+
+val validate : Multigraph.t -> plan -> (unit, string) result
+(** Checks every action against the graph: times finite and [>= 0],
+    windows with [until > at], probabilities in [[0,1]], capacities
+    finite and [>= 0], delays finite and [>= 0], [steps >= 1],
+    [over > 0], link ids in [[0, num_links)], node ids in
+    [[0, num_nodes)]. The [Error] names the offending action. *)
+
+(** The engine-ready schedules a plan lowers to. Each list is sorted
+    by time (equal times in plan order) and uses the exact tuple
+    shapes [Engine.run] takes. *)
+type compiled = {
+  link_events : (float * int * float) list;  (** (t, link, capacity) *)
+  loss_events : (float * int * float) list;  (** (t, link, loss probability) *)
+  ctrl_events : (float * float * float) list;
+      (** (t, ack drop probability, extra ack delay) — both values
+          are set atomically at [t]. *)
+}
+
+val compile : Multigraph.t -> plan -> compiled
+(** Normalizes, validates (raising [Invalid_argument] on a bad
+    plan) and lowers the plan. [compile g []] is three empty lists,
+    so an empty plan reproduces the unfaulted run exactly. *)
+
+val to_json : plan -> Obs.Json.t
+val of_json : Obs.Json.t -> (plan, string) result
+(** Strict: unknown ["op"], missing / mistyped fields and bad
+    ["version"] are [Error]s. [of_json (to_json p) = Ok p]. *)
+
+val encode : plan -> string
+(** Compact JSON, no trailing newline. *)
+
+val decode : string -> (plan, string) result
+
+val to_file : string -> plan -> unit
+val of_file : string -> (plan, string) result
+
+(** Random-but-reproducible plans from a seed and an intensity
+    profile. *)
+module Gen : sig
+  type intensity = Light | Moderate | Heavy
+
+  val intensity_name : intensity -> string
+  (** ["light"] | ["moderate"] | ["heavy"]. *)
+
+  val intensity_of_name : string -> intensity option
+
+  val plan :
+    ?intensity:intensity ->
+    ?clear_by:float ->
+    Rng.t ->
+    Multigraph.t ->
+    duration:float ->
+    plan
+  (** Draw a plan for a run of [duration] seconds. Every injected
+      fault both starts and clears strictly before [clear_by]
+      (default [duration /. 2.]), leaving the tail of the run for
+      recovery measurement. Fault counts: [Light] 1–2, [Moderate]
+      3–5 (default), [Heavy] 6–10. Kinds drawn per fault: link
+      flaps (both directions of an edge), capacity degradations,
+      capacity ramps, loss windows, control drop/delay windows and
+      node crash/restart pairs. Raises [Invalid_argument] if
+      [clear_by < 1.0], [clear_by > duration] or the graph has no
+      links. *)
+end

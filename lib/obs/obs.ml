@@ -266,19 +266,26 @@ module Json = struct
 end
 
 module Trace = struct
-  type drop_reason = Queue_overflow | Link_down | Misroute | Backlog_cleared
+  type drop_reason =
+    | Queue_overflow
+    | Link_down
+    | Misroute
+    | Backlog_cleared
+    | Fault_injected
 
   let drop_reason_name = function
     | Queue_overflow -> "queue_overflow"
     | Link_down -> "link_down"
     | Misroute -> "misroute"
     | Backlog_cleared -> "backlog_cleared"
+    | Fault_injected -> "fault_injected"
 
   let drop_reason_of_name = function
     | "queue_overflow" -> Some Queue_overflow
     | "link_down" -> Some Link_down
     | "misroute" -> Some Misroute
     | "backlog_cleared" -> Some Backlog_cleared
+    | "fault_injected" -> Some Fault_injected
     | _ -> None
 
   type event =
@@ -293,6 +300,8 @@ module Trace = struct
     | Rate_update of { t : float; flow : int; rates : float array }
     | Ack of { t : float; flow : int; qr : float array; bytes : int array }
     | Link_event of { t : float; link : int; capacity : float }
+    | Loss_event of { t : float; link : int; prob : float }
+    | Ctrl_event of { t : float; drop : float; delay : float }
 
   let time = function
     | Enqueue { t; _ }
@@ -304,7 +313,9 @@ module Trace = struct
     | Price_update { t; _ }
     | Rate_update { t; _ }
     | Ack { t; _ }
-    | Link_event { t; _ } -> t
+    | Link_event { t; _ }
+    | Loss_event { t; _ }
+    | Ctrl_event { t; _ } -> t
 
   let kind = function
     | Enqueue _ -> "enqueue"
@@ -317,10 +328,12 @@ module Trace = struct
     | Rate_update _ -> "rate"
     | Ack _ -> "ack"
     | Link_event _ -> "link"
+    | Loss_event _ -> "loss"
+    | Ctrl_event _ -> "ctrl"
 
   let kinds =
     [ "enqueue"; "grant"; "dequeue"; "collision"; "drop"; "delivery"; "price";
-      "rate"; "ack"; "link" ]
+      "rate"; "ack"; "link"; "loss"; "ctrl" ]
 
   let to_json ev =
     let base fields = Json.Obj (("ev", Json.String (kind ev)) :: fields) in
@@ -361,6 +374,10 @@ module Trace = struct
           ("bytes", Json.List (Array.to_list (Array.map (fun x -> i x) bytes))) ]
     | Link_event { t; link; capacity } ->
       base [ ("t", f t); ("link", i link); ("capacity", f capacity) ]
+    | Loss_event { t; link; prob } ->
+      base [ ("t", f t); ("link", i link); ("prob", f prob) ]
+    | Ctrl_event { t; drop; delay } ->
+      base [ ("t", f t); ("drop", f drop); ("delay", f delay) ]
 
   let encode ev = Json.to_string (to_json ev)
 
@@ -476,6 +493,14 @@ module Trace = struct
         let* link = field "link" Json.to_int_opt j in
         let* capacity = field "capacity" Json.to_float_opt j in
         Ok (Link_event { t; link; capacity })
+      | "loss" ->
+        let* link = field "link" Json.to_int_opt j in
+        let* prob = field "prob" Json.to_float_opt j in
+        Ok (Loss_event { t; link; prob })
+      | "ctrl" ->
+        let* drop = field "drop" Json.to_float_opt j in
+        let* delay = field "delay" Json.to_float_opt j in
+        Ok (Ctrl_event { t; drop; delay })
       | k -> Error (Printf.sprintf "unknown event kind %S" k))
 
   type sink = event -> unit
@@ -735,6 +760,13 @@ module Recorder = struct
     mutable tick_t : float;                   (* time of current price tick *)
     mutable tick_delta : float;               (* max |Δγ| within that tick *)
     events : Metrics.Counter.t;
+    (* Degradation tracking: the span of fault boundary events
+       (link/loss/ctrl changes) and each flow's last preferred route,
+       so chaos runs can quantify graceful degradation. *)
+    mutable fault_first : float;              (* +inf until a fault event *)
+    mutable fault_last : float;
+    flow_argmax : (int, int) Hashtbl.t;
+    flows_seen : (int, unit) Hashtbl.t;
   }
 
   let create ?(window = 1.0) ?domain_of reg =
@@ -752,6 +784,10 @@ module Recorder = struct
       tick_t = -1.0;
       tick_delta = 0.0;
       events = Metrics.counter reg "trace.events";
+      fault_first = infinity;
+      fault_last = neg_infinity;
+      flow_argmax = Hashtbl.create 8;
+      flows_seen = Hashtbl.create 8;
     }
 
   let sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
@@ -817,6 +853,11 @@ module Recorder = struct
     | Some r -> r := !r +. v
     | None -> Hashtbl.add tbl k (ref v)
 
+  let on_fault_boundary r t =
+    Metrics.Counter.incr (Metrics.counter r.reg "fault.events");
+    if t < r.fault_first then r.fault_first <- t;
+    if t > r.fault_last then r.fault_last <- t
+
   let on_event r ev =
     Metrics.Counter.incr r.events;
     advance r (Trace.time ev);
@@ -844,6 +885,7 @@ module Recorder = struct
       Metrics.Histogram.observe
         (Metrics.histogram r.reg (Printf.sprintf "flow.%d.delay" flow))
         delay;
+      Hashtbl.replace r.flows_seen flow ();
       acc_float r.flow_bits flow (8.0 *. float_of_int bytes)
     | Trace.Price_update { t; link; gamma; _ } ->
       if t <> r.tick_t then begin
@@ -871,17 +913,104 @@ module Recorder = struct
           (Metrics.series r.reg (Printf.sprintf "flow.%d.rate_delta" flow))
           t !delta
       | Some _ | None -> ());
-      Hashtbl.replace r.flow_rates flow (Array.copy rates)
+      Hashtbl.replace r.flow_rates flow (Array.copy rates);
+      Hashtbl.replace r.flows_seen flow ();
+      (* A change of the flow's preferred (highest-rate) route is a
+         reroute — the controller moved the bulk of the traffic. *)
+      if Array.length rates > 0 then begin
+        let best = ref 0 in
+        Array.iteri (fun i x -> if x > rates.(!best) then best := i) rates;
+        (match Hashtbl.find_opt r.flow_argmax flow with
+        | Some prev when prev <> !best ->
+          Metrics.Counter.incr
+            (Metrics.counter r.reg (Printf.sprintf "flow.%d.reroutes" flow))
+        | Some _ | None -> ());
+        Hashtbl.replace r.flow_argmax flow !best
+      end
     | Trace.Ack { flow; _ } ->
       Metrics.Counter.incr
         (Metrics.counter r.reg (Printf.sprintf "flow.%d.acks" flow))
-    | Trace.Link_event { link; capacity; _ } ->
+    | Trace.Link_event { t; link; capacity } ->
       Metrics.Counter.incr (Metrics.counter r.reg "link.events");
+      on_fault_boundary r t;
       Metrics.Gauge.set
         (Metrics.gauge r.reg (Printf.sprintf "link.%d.capacity" link))
         capacity
+    | Trace.Loss_event { t; link; prob } ->
+      on_fault_boundary r t;
+      Metrics.Gauge.set
+        (Metrics.gauge r.reg (Printf.sprintf "link.%d.loss" link))
+        prob
+    | Trace.Ctrl_event { t; drop; delay } ->
+      on_fault_boundary r t;
+      Metrics.Gauge.set (Metrics.gauge r.reg "ctrl.fault.drop") drop;
+      Metrics.Gauge.set (Metrics.gauge r.reg "ctrl.fault.delay") delay
 
   let sink r = Trace.of_fn (on_event r)
+
+  (* Recovery metrics, computed once the goodput series are complete:
+     per flow, the depth and area of the goodput dip relative to a
+     baseline (mean of pre-fault windows, or of the last three
+     windows when the first fault hits before the first window
+     closes), and the time after the last fault boundary until
+     goodput is back within 90% of that baseline (-1 = never). *)
+  let degradation r =
+    if r.fault_last > neg_infinity then begin
+      Metrics.Gauge.set (Metrics.gauge r.reg "fault.first_s") r.fault_first;
+      Metrics.Gauge.set (Metrics.gauge r.reg "fault.last_s") r.fault_last;
+      List.iter
+        (fun f ->
+          let pts =
+            Metrics.Series.points
+              (Metrics.series r.reg (Printf.sprintf "flow.%d.goodput" f))
+          in
+          let pre = List.filter (fun (t, _) -> t <= r.fault_first) pts in
+          let mean = function
+            | [] -> 0.0
+            | l ->
+              List.fold_left (fun a (_, v) -> a +. v) 0.0 l
+              /. float_of_int (List.length l)
+          in
+          let baseline =
+            match pre with
+            | _ :: _ -> mean pre
+            | [] ->
+              let n = List.length pts in
+              mean (List.filteri (fun i _ -> i >= n - 3) pts)
+          in
+          if baseline > 0.0 then begin
+            let post = List.filter (fun (t, _) -> t > r.fault_first) pts in
+            let dip_depth =
+              List.fold_left
+                (fun a (_, v) -> Float.max a (baseline -. v))
+                0.0 post
+            in
+            let dip_area =
+              List.fold_left
+                (fun a (_, v) -> a +. (Float.max 0.0 (baseline -. v) *. r.window))
+                0.0 post
+            in
+            let recovery =
+              let rec find = function
+                | [] -> -1.0
+                | (t, v) :: rest ->
+                  if t >= r.fault_last && v >= 0.9 *. baseline then
+                    Float.max 0.0 (t -. r.fault_last)
+                  else find rest
+              in
+              find post
+            in
+            let set name v =
+              Metrics.Gauge.set
+                (Metrics.gauge r.reg (Printf.sprintf "flow.%d.fault.%s" f name))
+                v
+            in
+            set "dip_depth" (Float.max 0.0 dip_depth);
+            set "dip_area" dip_area;
+            set "recovery_s" recovery
+          end)
+        (sorted_keys r.flows_seen)
+    end
 
   let flush r ~now =
     advance r now;
@@ -911,7 +1040,8 @@ module Recorder = struct
         Hashtbl.reset r.flow_bits
       end
     end;
-    flush_tick r
+    flush_tick r;
+    degradation r
 end
 
 module Summary = struct
@@ -991,7 +1121,8 @@ module Summary = struct
           | Some r -> r := !r +. a
           | None -> Hashtbl.add airtime link (ref a))
         | Trace.Enqueue _ | Trace.Dequeue _ | Trace.Price_update _
-        | Trace.Ack _ | Trace.Link_event _ -> ())
+        | Trace.Ack _ | Trace.Link_event _ | Trace.Loss_event _
+        | Trace.Ctrl_event _ -> ())
       events;
     let flow_ids =
       Hashtbl.fold (fun k _ acc -> k :: acc) flows [] |> List.sort compare

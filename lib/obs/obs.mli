@@ -51,7 +51,8 @@
     drop       link? flow seq reason      frame left the network
                                           undelivered; reason is one of
                                           queue_overflow | link_down |
-                                          misroute | backlog_cleared
+                                          misroute | backlog_cleared |
+                                          fault_injected
     delivery   flow seq bytes delay       frame released to the
                                           application at the
                                           destination (delay = one-way
@@ -68,6 +69,11 @@
                                           and byte counts)
     link       link capacity              link capacity changed
                                           (0 = failure)
+    loss       link prob                  a fault plan set the link's
+                                          frame-loss probability
+    ctrl       drop delay                 a fault plan set the control
+                                          plane's ACK drop probability
+                                          and extra ACK latency
     v}
 
     Numbers are encoded with enough digits to round-trip
@@ -116,6 +122,7 @@ module Trace : sig
     | Link_down        (** head-of-line frame on a dead link *)
     | Misroute         (** no next hop matched the source route *)
     | Backlog_cleared  (** link failure flushed its queue *)
+    | Fault_injected   (** a fault plan's loss window consumed the frame *)
 
   val drop_reason_name : drop_reason -> string
   val drop_reason_of_name : string -> drop_reason option
@@ -132,12 +139,14 @@ module Trace : sig
     | Rate_update of { t : float; flow : int; rates : float array }
     | Ack of { t : float; flow : int; qr : float array; bytes : int array }
     | Link_event of { t : float; link : int; capacity : float }
+    | Loss_event of { t : float; link : int; prob : float }
+    | Ctrl_event of { t : float; drop : float; delay : float }
 
   val time : event -> float
   val kind : event -> string
   (** The ["ev"] tag: ["enqueue"], ["grant"], ["dequeue"],
       ["collision"], ["drop"], ["delivery"], ["price"], ["rate"],
-      ["ack"], ["link"]. *)
+      ["ack"], ["link"], ["loss"], ["ctrl"]. *)
 
   val kinds : string list
   (** Every valid ["ev"] tag (the schema's closed set). *)
@@ -277,7 +286,19 @@ end
       each update (series); ["flow.<f>.rate_delta"] — absolute rate
       movement per update (series);
     - ["ctrl.price_delta"] — max |Δγ| per control tick (series);
-      ["ctrl.gamma_max"] — running max γ (gauge). *)
+      ["ctrl.gamma_max"] — running max γ (gauge);
+    - fault / degradation metrics (populated when the trace carries
+      fault boundary events, i.e. [link] / [loss] / [ctrl] kinds):
+      ["fault.events"] — boundary-event counter; ["fault.first_s"] /
+      ["fault.last_s"] — span of the fault schedule (gauges);
+      ["flow.<f>.reroutes"] — how often the flow's highest-rate route
+      changed (counter); and, computed at {!Recorder.flush} per flow
+      against a pre-fault goodput baseline:
+      ["flow.<f>.fault.dip_depth"] (Mbit/s below baseline at the
+      worst window), ["flow.<f>.fault.dip_area"] (Mbit/s·s of goodput
+      lost to the dip) and ["flow.<f>.fault.recovery_s"] (time after
+      the last fault boundary until goodput is back within 90% of the
+      baseline; -1 = never recovered). *)
 module Recorder : sig
   type t
 

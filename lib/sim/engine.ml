@@ -23,6 +23,7 @@ type config = {
   estimate_capacities : bool;
   control_period : float;
   collision_prob : float;
+  route_reclaim : bool;
 }
 
 let default_config =
@@ -38,6 +39,7 @@ let default_config =
     estimate_capacities = true;
     control_period = 0.1;
     collision_prob = 0.12;
+    route_reclaim = false;
   }
 
 type flow_result = {
@@ -95,6 +97,7 @@ type link_state = {
   queue : packet Queue.t;
   mutable on_air : packet option;
   mutable air_collided : bool;
+  mutable air_faulted : bool;  (* frame-loss fault hit this transmission *)
   mutable last_service : float;
   mutable window_bits : float;  (* bits that arrived at this queue in the window *)
   mutable had_traffic : bool;
@@ -144,6 +147,8 @@ type flow_state = {
 type event =
   | Tx_end of int
   | Capacity_change of int * float  (* link id, new capacity (Mbps) *)
+  | Loss_change of int * float      (* link id, frame-loss probability *)
+  | Ctrl_change of float * float    (* ack drop probability, extra ack delay *)
   | Inject of int
   | Control_tick
   | Ack_arrive of int * Ack.t
@@ -155,8 +160,8 @@ type event =
 
 let mbps_of_bits bits seconds = bits /. 1e6 /. seconds
 
-let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g dom
-    ~flows ~duration =
+let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
+    ?(loss_events = []) ?(ctrl_events = []) rng g dom ~flows ~duration =
   let n_links = Multigraph.num_links g in
   let inv =
     match invariants with
@@ -190,6 +195,15 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g 
      scheduled capacity-change / failure events. *)
   let caps = Multigraph.capacities g in
   let cap l = caps.(l) in
+  (* Fault state driven by the scheduled loss / control-fault events:
+     per-link frame-loss probability and the control plane's current
+     (ack drop probability, extra ack latency) pair. All zero unless a
+     fault plan says otherwise, and the random draws they guard happen
+     only while a fault is active — so a run with no fault events
+     consumes exactly the same randomness as before. *)
+  let loss = Array.make n_links 0.0 in
+  let ctrl_drop = ref 0.0 in
+  let ctrl_delay = ref 0.0 in
   let queue_drops = ref 0 in
   let events_processed = ref 0 in
   let now = ref 0.0 in
@@ -211,6 +225,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g 
           queue = Queue.create ();
           on_air = None;
           air_collided = false;
+          air_faulted = false;
           last_service = -1.0;
           window_bits = 0.0;
           had_traffic = false;
@@ -456,6 +471,12 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g 
          if st.air_collided then incr collisions
        end
        else st.air_collided <- false);
+      (* Injected frame loss (fault plans): drawn after the collision
+         draw, and only while a loss window is active on this link, so
+         fault-free runs consume no extra randomness. Like a
+         collision, a lossy frame still burns its airtime. *)
+      st.air_faulted <-
+        (not st.air_collided) && loss.(l) > 0.0 && Rng.float rng < loss.(l);
       let cap_l = cap l in
       if cap_l <= 0.0 then begin
         (* Link died under us: drop the frame. *)
@@ -805,6 +826,23 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g 
           (Obs.Trace.Collision
              { t = !now; link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
       try_start_domain l
+    | Some pkt when st.air_faulted ->
+      (* Fault-injected loss: airtime spent, frame lost. Not a queue
+         drop — the frame made it onto the medium. *)
+      st.on_air <- None;
+      st.air_faulted <- false;
+      inv_drop ~link:(Some l) ~reason:Invariants.Fault_injected pkt.flow;
+      if trace_on then
+        emit
+          (Obs.Trace.Drop
+             {
+               t = !now;
+               link = Some l;
+               flow = pkt.flow;
+               seq = pkt.header.Header.seq;
+               reason = Obs.Trace.Fault_injected;
+             });
+      try_start_domain l
     | Some pkt ->
       st.on_air <- None;
       if trace_on then
@@ -870,8 +908,14 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g 
           else if r.Ack.bytes > 0 then f.dead_acks.(i) <- 0;
           f.injected_window.(i) <- 0.0;
           if f.dead_acks.(i) >= 3 then begin
-            f.x.(i) <- f.x.(i) *. 0.5;
-            f.x_bar.(i) <- f.x_bar.(i) *. 0.5
+            (* With [route_reclaim] the back-off floors at the probe
+               rate, so a dead route keeps carrying the occasional
+               frame and is reclaimed once it heals; the historical
+               behaviour (no floor) starves a recovered route forever
+               because its q_r never refreshes. *)
+            let floor_r = if config.route_reclaim then probe_rate else 0.0 in
+            f.x.(i) <- Float.max floor_r (f.x.(i) *. 0.5);
+            f.x_bar.(i) <- Float.max floor_r (f.x_bar.(i) *. 0.5)
           end
           else begin
             let inner =
@@ -957,7 +1001,14 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g 
                           (fun (r : Ack.route_report) -> r.Ack.bytes)
                           ack.Ack.reports);
                  });
-          schedule f.reverse_latency (Ack_arrive (f.id, ack));
+          (* Control-plane faults: the report may be dropped (that
+             window's q_r observations are simply gone, as on a real
+             lossy reverse path) or delayed. The draw happens only
+             while a drop window is active — see the determinism
+             note at the fault-state declarations. *)
+          let ack_lost = !ctrl_drop > 0.0 && Rng.float rng < !ctrl_drop in
+          if not ack_lost then
+            schedule (f.reverse_latency +. !ctrl_delay) (Ack_arrive (f.id, ack));
           f.rates_rev <- (!now, Array.copy f.x) :: f.rates_rev
         end)
       flow_states;
@@ -997,6 +1048,15 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g 
         Queue.clear st.queue
       end
       else try_start l
+    | Loss_change (l, p) ->
+      loss.(l) <- p;
+      if trace_on then
+        emit (Obs.Trace.Loss_event { t = !now; link = l; prob = p })
+    | Ctrl_change (p, d) ->
+      ctrl_drop := p;
+      ctrl_delay := d;
+      if trace_on then
+        emit (Obs.Trace.Ctrl_event { t = !now; drop = p; delay = d })
     | Inject fid -> (
       let f = flow_states.(fid) in
       match f.spec.transport with
@@ -1049,6 +1109,23 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = []) rng g 
         invalid_arg "Engine.run: bad link event";
       Pqueue.push q t (Capacity_change (l, c)))
     link_events;
+  List.iter
+    (fun (t, l, p) ->
+      if t < 0.0 || l < 0 || l >= n_links || not (Float.is_finite p) || p < 0.0
+         || p > 1.0
+      then invalid_arg "Engine.run: bad loss event";
+      Pqueue.push q t (Loss_change (l, p)))
+    loss_events;
+  List.iter
+    (fun (t, p, d) ->
+      if t < 0.0
+         || (not (Float.is_finite p))
+         || p < 0.0 || p > 1.0
+         || (not (Float.is_finite d))
+         || d < 0.0
+      then invalid_arg "Engine.run: bad ctrl event";
+      Pqueue.push q t (Ctrl_change (p, d)))
+    ctrl_events;
 
   let peak_depth = ref 0 in
   let rec loop () =

@@ -73,6 +73,15 @@ type config = {
           [1 - (1-p)^m]. Default 0.12; 0 disables (the idealized
           Section 5 MAC). This is what makes over-driving the network
           expensive and the δ margin worthwhile. *)
+  route_reclaim : bool;
+      (** When a route returns no bytes for 3 consecutive ACK periods
+          it is treated as dead and backed off multiplicatively. With
+          [route_reclaim] the back-off floors at the 0.2 Mbit/s probe
+          rate, so the route keeps carrying occasional frames and is
+          reclaimed once it heals — required for recovery from full
+          link/node failures, and what the chaos harness uses. Default
+          [false]: the historical behaviour (back-off to zero; a fully
+          failed route stays abandoned even after repair). *)
 }
 
 val default_config : config
@@ -126,6 +135,8 @@ val run :
   ?invariants:Invariants.t ->
   ?trace:Obs.Trace.sink ->
   ?link_events:(float * int * float) list ->
+  ?loss_events:(float * int * float) list ->
+  ?ctrl_events:(float * float * float) list ->
   Rng.t ->
   Multigraph.t ->
   Domain.t ->
@@ -136,18 +147,24 @@ val run :
     flows that should carry traffic; a flow with no routes idles.
 
     {b Determinism / seeding contract.} The run is a pure function of
-    ([config], [link_events], the [Rng.t]'s state, [g], [dom], [flows],
-    [duration]): equal inputs produce bit-identical {!result}s modulo
-    the [perf] field (wall-clock; compare via {!strip_perf}). All
-    randomness flows through the given generator, which is consumed in
-    a fixed order — one {!Rng.split} per link (in link-id order) for
-    the capacity estimators, then, per flow in list order, the splits
-    its workload needs (Poisson arrival draws), then the per-frame
-    draws as events execute. MAC ties (equal last-service times when a
-    domain frees up) break by link id; event-queue ties pop FIFO.
-    Adding a link or flow therefore shifts the streams of everything
-    created after it, but no ordering decision is left to hashing or
-    unspecified evaluation order.
+    ([config], [link_events], [loss_events], [ctrl_events], the
+    [Rng.t]'s state, [g], [dom], [flows], [duration]): equal inputs
+    produce bit-identical {!result}s modulo the [perf] field
+    (wall-clock; compare via {!strip_perf}). All randomness flows
+    through the given generator, which is consumed in a fixed order —
+    one {!Rng.split} per link (in link-id order) for the capacity
+    estimators, then, per flow in list order, the splits its workload
+    needs (Poisson arrival draws), then the per-frame draws as events
+    execute. Fault draws (frame loss after the collision draw; ACK
+    drop at ACK emission) are taken {e only while the corresponding
+    fault probability is positive}, so a run with empty fault
+    schedules consumes exactly the same stream as one without them.
+    MAC ties (equal last-service times when a domain frees up) break
+    by link id; event-queue ties pop FIFO — so equal-time schedule
+    entries apply in list order, last one wins. Adding a link or flow
+    therefore shifts the streams of everything created after it, but
+    no ordering decision is left to hashing or unspecified evaluation
+    order.
 
     {b Invariant checking.} Passing [~invariants:t] runs the
     {!Invariants} checker over every event of the simulation (frame
@@ -179,6 +196,20 @@ val run :
     Note that entries affect one direction; schedule the peer link
     too for a physical-edge failure.
 
+    [loss_events] schedules frame-loss injection: [(t, link, p)] sets
+    the link's per-frame loss probability at time [t] (0 ends the
+    window). A lossy frame is drawn when the MAC grants it the
+    medium, occupies its full airtime like a collision, and is
+    dropped with reason [fault_injected] — it does {e not} count as a
+    queue drop. [ctrl_events] schedules control-plane faults:
+    [(t, drop_p, extra_delay)] atomically sets the probability that a
+    destination's 100 ms ACK report is lost and the extra latency
+    added to delivered reports (TCP's in-band cumulative ACKs are
+    data-plane payload and are unaffected). These are the compile
+    targets of {!Fault.compile} — build plans there rather than by
+    hand.
+
     Raises [Invalid_argument] on malformed specs (negative times,
     route/rate length mismatch, routes longer than the 6-hop header
-    limit, out-of-range link events). *)
+    limit, out-of-range link/loss events, probabilities outside
+    [0,1], negative delays). *)

@@ -4,6 +4,7 @@ type reason =
   | Collision
   | Misroute
   | Backlog_cleared
+  | Fault_injected
 
 let reason_name = function
   | Queue_overflow -> "queue-overflow"
@@ -11,6 +12,7 @@ let reason_name = function
   | Collision -> "collision"
   | Misroute -> "misroute"
   | Backlog_cleared -> "backlog-cleared"
+  | Fault_injected -> "fault-injected"
 
 type violation = {
   time : float;

@@ -30,6 +30,7 @@ type reason =
   | Collision        (** CSMA collision consumed the frame *)
   | Misroute         (** no next hop matched the source route *)
   | Backlog_cleared  (** link failure flushed its queue *)
+  | Fault_injected   (** a fault plan's loss window consumed the frame *)
 
 val reason_name : reason -> string
 

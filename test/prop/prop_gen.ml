@@ -151,3 +151,79 @@ let lemma1_flows c =
 
 let goodput res i duration =
   float_of_int res.Engine.flows.(i).Engine.received_bytes *. 8e-6 /. duration
+
+(* Chaos cases: a random fault plan for the case's graph, drawn from
+   the same printed integer seed (replay with
+   [chaos_plan_of_case (case_of_seed <seed>)]). *)
+let chaos_plan_of_case ?intensity ?clear_by c ~duration =
+  Fault.Gen.plan ?intensity ?clear_by
+    (Rng.create (0x1F123BB5 + c.seed))
+    c.g ~duration
+
+(* Non-severing plans for the recovery property: shallow capacity
+   degradations, loss windows and control faults, but never capacity
+   0 and never a deep dip. The congestion controller has a measured
+   price hysteresis: while offered load exceeds a link's (estimated)
+   capacity the price gamma grows with the overload, and after the
+   fault clears it drains at a fixed slow rate (~0.03/s), after which
+   the rate itself climbs back only gradually. A severed route takes
+   tens of seconds to recover this way, and even a sub-second dip to
+   30% of capacity leaves a price overhang that outlives a 12 s run
+   (see the chaos scenario's recovery metrics, which cover full
+   failures). "Back within 10% shortly after clearing" is therefore
+   only a theorem for faults whose overload x duration is small:
+   degradations here stay above 70% of capacity and last at most
+   ~1.2 s, so the overhang drains well inside the tail window. *)
+let degrading_plan_of_case c ~clear_by =
+  let rng = Rng.create (0x2E7F9A11 + c.seed) in
+  let n_links = Multigraph.num_links c.g in
+  let window ?(max_len = infinity) () =
+    let t0 = Rng.uniform rng 0.2 (clear_by -. 0.3) in
+    let t1 =
+      Float.min
+        (Rng.uniform rng (t0 +. 0.1) (clear_by -. 0.05))
+        (t0 +. max_len)
+    in
+    (t0, t1)
+  in
+  List.concat
+    (List.init
+       (2 + Rng.int rng 3)
+       (fun _ ->
+         let kind = Rng.int rng 4 in
+         match kind with
+         | 0 ->
+           let t0, t1 = window ~max_len:1.2 () in
+           let l = Rng.int rng n_links in
+           let cap = Multigraph.capacity c.g l in
+           let frac = Rng.uniform rng 0.7 0.95 in
+           [
+             Fault.Capacity_set { at = t0; link = l; capacity = frac *. cap };
+             Fault.Capacity_set { at = t1; link = l; capacity = cap };
+           ]
+         | 1 ->
+           let t0, t1 = window () in
+           let l = Rng.int rng n_links in
+           [
+             Fault.Loss_window
+               { at = t0; until = t1; link = l; prob = Rng.uniform rng 0.05 0.3 };
+           ]
+         | 2 ->
+           let t0, t1 = window () in
+           [ Fault.Ctrl_drop { at = t0; until = t1; prob = Rng.uniform rng 0.1 0.5 } ]
+         | _ ->
+           let t0, t1 = window () in
+           [
+             Fault.Ctrl_delay
+               { at = t0; until = t1; delay = Rng.uniform rng 0.02 0.15 };
+           ]))
+
+let mean_goodput_window res i lo hi =
+  let pts =
+    List.filter_map
+      (fun (t, gp) -> if t > lo && t <= hi then Some gp else None)
+      res.Engine.flows.(i).Engine.goodput_series
+  in
+  match pts with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 pts /. float_of_int (List.length pts)

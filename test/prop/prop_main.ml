@@ -218,6 +218,133 @@ let prop_allocation_deterministic =
         QCheck.Test.fail_reportf "seed %d: cc_result not reproducible" seed;
       true)
 
+(* ---------- oracle 6: fault injection (chaos) ---------- *)
+
+let chaos_config = { Engine.default_config with Engine.route_reclaim = true }
+
+let run_with_plan ?invariants ~config ~engine_seed c flow plan ~duration =
+  let compiled = Fault.compile c.Prop_gen.g plan in
+  Engine.run ?invariants ~config ~link_events:compiled.Fault.link_events
+    ~loss_events:compiled.Fault.loss_events
+    ~ctrl_events:compiled.Fault.ctrl_events
+    (Rng.create engine_seed)
+    c.Prop_gen.g c.Prop_gen.dom ~flows:[ flow ] ~duration
+
+let prop_invariants_hold_under_chaos =
+  QCheck.Test.make ~count:100
+    ~name:"engine invariants hold under any fault plan" seed_gen (fun seed ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        let duration = 8.0 in
+        let plan = Prop_gen.chaos_plan_of_case c ~duration in
+        let inv = Invariants.create ~mode:`Collect () in
+        ignore
+          (run_with_plan ~invariants:inv ~config:chaos_config
+             ~engine_seed:(seed + 5) c flow plan ~duration);
+        if Invariants.events_checked inv = 0 then
+          QCheck.Test.fail_reportf "seed %d: invariant checker never ran" seed;
+        (match Invariants.violations inv with
+        | [] -> ()
+        | v :: _ as all ->
+          QCheck.Test.fail_reportf "seed %d: %d violation(s), first: %s" seed
+            (List.length all) (Invariants.describe v));
+        true)
+
+let prop_chaos_deterministic =
+  QCheck.Test.make ~count:40
+    ~name:"same seed => bit-identical chaos runs" seed_gen (fun seed ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        let duration = 6.0 in
+        let run () =
+          let plan = Prop_gen.chaos_plan_of_case c ~duration in
+          Engine.strip_perf
+            (run_with_plan ~config:chaos_config ~engine_seed:(seed + 9) c flow
+               plan ~duration)
+        in
+        if run () <> run () then
+          QCheck.Test.fail_reportf "seed %d: two identical chaos runs diverged"
+            seed;
+        true)
+
+let prop_goodput_recovers_after_faults =
+  (* Quantified over non-severing plans (degradations, loss windows,
+     control faults): a severed route's stale congestion prices drain
+     over tens of seconds, a hysteresis the chaos scenario's recovery
+     metrics measure rather than bound (see Prop_gen
+     [degrading_plan_of_case]). *)
+  QCheck.Test.make ~count:40
+    ~name:"goodput recovers to ~baseline after a non-severing plan clears"
+    seed_gen (fun seed ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        (* Every generated fault starts and clears before clear_by;
+           the tail window [8, 12] then starts 4 s after the last
+           possible fault boundary. *)
+        let duration = 12.0 and clear_by = 4.0 in
+        let plan = Prop_gen.degrading_plan_of_case c ~clear_by in
+        let baseline =
+          let res =
+            run_with_plan ~config:chaos_config ~engine_seed:(seed + 13) c flow
+              [] ~duration
+          in
+          Prop_gen.mean_goodput_window res 0 8.0 duration
+        in
+        if baseline < 1.0 then true (* too little traffic to measure *)
+        else begin
+          let res =
+            run_with_plan ~config:chaos_config ~engine_seed:(seed + 13) c flow
+              plan ~duration
+          in
+          let tail = Prop_gen.mean_goodput_window res 0 8.0 duration in
+          if tail < (0.9 *. baseline) -. 0.8 then
+            QCheck.Test.fail_reportf
+              "seed %d: tail goodput %.3f Mbit/s never recovered to the \
+               fault-free %.3f"
+              seed tail baseline;
+          true
+        end)
+
+let prop_empty_plan_is_identity =
+  QCheck.Test.make ~count:40
+    ~name:"zero-action plan reproduces the unfaulted run exactly" seed_gen
+    (fun seed ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        let duration = 5.0 in
+        let compiled = Fault.compile c.Prop_gen.g [] in
+        if
+          compiled.Fault.link_events <> []
+          || compiled.Fault.loss_events <> []
+          || compiled.Fault.ctrl_events <> []
+        then QCheck.Test.fail_reportf "empty plan compiled non-empty";
+        let faulted =
+          Engine.strip_perf
+            (Engine.run ~link_events:compiled.Fault.link_events
+               ~loss_events:compiled.Fault.loss_events
+               ~ctrl_events:compiled.Fault.ctrl_events
+               (Rng.create (seed + 17))
+               c.Prop_gen.g c.Prop_gen.dom ~flows:[ flow ] ~duration)
+        in
+        let clean =
+          Engine.strip_perf
+            (Engine.run
+               (Rng.create (seed + 17))
+               c.Prop_gen.g c.Prop_gen.dom ~flows:[ flow ] ~duration)
+        in
+        if faulted <> clean then
+          QCheck.Test.fail_reportf
+            "seed %d: empty fault schedules changed the run" seed;
+        true)
+
 let () =
   let tests =
     [
@@ -227,6 +354,10 @@ let () =
       prop_lemma1_closed_form;
       prop_engine_deterministic;
       prop_allocation_deterministic;
+      prop_invariants_hold_under_chaos;
+      prop_chaos_deterministic;
+      prop_goodput_recovers_after_faults;
+      prop_empty_plan_is_identity;
     ]
   in
   (* Fixed generation seed: CI failures reproduce exactly; individual

@@ -1,0 +1,155 @@
+(* Golden-seed regression and reproducibility tests for the chaos
+   scenario (lib/experiments/chaos.ml). Each file in test/golden/ is
+   the `empower_eval chaos --json` report of a fixed seed; replaying
+   the seed must reproduce it — byte counts and event totals exactly,
+   recovery metrics to 1e-9. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let jget name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "golden report: missing field %S" name
+
+let jint name j =
+  match Obs.Json.to_int_opt (jget name j) with
+  | Some i -> i
+  | None -> Alcotest.failf "golden field %S: expected integer" name
+
+let jfloat name j =
+  match Obs.Json.to_float_opt (jget name j) with
+  | Some f -> f
+  | None -> Alcotest.failf "golden field %S: expected number" name
+
+let jstring name j =
+  match jget name j with
+  | Obs.Json.String s -> s
+  | _ -> Alcotest.failf "golden field %S: expected string" name
+
+(* ---------- golden replay ---------- *)
+
+let golden_dir = "golden"
+
+let golden_files =
+  (* The dune rule declares golden/*.json as test deps, so the files
+     sit next to the executable in the build sandbox. *)
+  if Sys.file_exists golden_dir && Sys.is_directory golden_dir then
+    Sys.readdir golden_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.map (fun f -> Filename.concat golden_dir f)
+  else []
+
+let test_goldens_present () =
+  Alcotest.(check int) "three golden scenarios checked in" 3
+    (List.length golden_files)
+
+let replay_golden path () =
+  let j =
+    match Obs.Json.parse (read_file path) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "%s: %s" path m
+  in
+  let seed = jint "seed" j in
+  let duration = jfloat "duration" j in
+  let intensity =
+    let name = jstring "intensity" j in
+    match Fault.Gen.intensity_of_name name with
+    | Some i -> i
+    | None -> Alcotest.failf "%s: unknown intensity %S" path name
+  in
+  Alcotest.(check string) "scenario tag" "chaos" (jstring "scenario" j);
+  let r = Chaos.run ~intensity ~duration ~seed () in
+  (* The plan itself must replay byte-for-byte... *)
+  (match Fault.of_json (jget "plan" j) with
+  | Ok p ->
+    if p <> r.Chaos.plan then
+      Alcotest.failf "%s: replayed plan differs from the golden plan" path
+  | Error m -> Alcotest.failf "%s: golden plan does not decode: %s" path m);
+  (* ...and so must the run it drives. *)
+  Alcotest.(check int) "fault_events" (jint "fault_events" j) r.Chaos.fault_events;
+  Alcotest.(check int) "queue_drops" (jint "queue_drops" j)
+    r.Chaos.result.Engine.queue_drops;
+  Alcotest.(check int) "events_processed" (jint "events_processed" j)
+    r.Chaos.result.Engine.events_processed;
+  let flows =
+    match jget "flows" j with
+    | Obs.Json.List l -> l
+    | _ -> Alcotest.failf "%s: field \"flows\": expected list" path
+  in
+  Alcotest.(check int) "flow count" (List.length flows)
+    (List.length r.Chaos.flows);
+  List.iter2
+    (fun fj (f : Chaos.flow_report) ->
+      let m name = Printf.sprintf "flow %d %s" f.Chaos.flow name in
+      Alcotest.(check int) (m "id") (jint "flow" fj) f.Chaos.flow;
+      Alcotest.(check int)
+        (m "received_bytes")
+        (jint "received_bytes" fj) f.Chaos.received_bytes;
+      check_float (m "goodput_mbps") (jfloat "goodput_mbps" fj) f.Chaos.goodput_mbps;
+      check_float (m "recovery_s") (jfloat "recovery_s" fj) f.Chaos.recovery_s;
+      check_float (m "dip_depth") (jfloat "dip_depth" fj) f.Chaos.dip_depth;
+      check_float (m "dip_area") (jfloat "dip_area" fj) f.Chaos.dip_area;
+      Alcotest.(check int) (m "reroutes") (jint "reroutes" fj) f.Chaos.reroutes)
+    flows r.Chaos.flows
+
+(* ---------- reproducibility ---------- *)
+
+let test_bit_reproducible () =
+  let a = Chaos.run ~seed:5 ~duration:6.0 () in
+  let b = Chaos.run ~seed:5 ~duration:6.0 () in
+  Alcotest.(check bool) "plans identical" true (a.Chaos.plan = b.Chaos.plan);
+  Alcotest.(check bool) "engine results bit-identical (modulo perf)" true
+    (Engine.strip_perf a.Chaos.result = Engine.strip_perf b.Chaos.result);
+  Alcotest.(check bool) "recovery metrics identical" true
+    (a.Chaos.flows = b.Chaos.flows);
+  Alcotest.(check int) "fault boundary count identical" a.Chaos.fault_events
+    b.Chaos.fault_events
+
+let test_plan_helper_matches_run () =
+  (* Chaos.plan exposes the exact plan a seed yields for the
+     scenario: it must agree with what Chaos.run draws. *)
+  let net = Chaos.network () in
+  let r = Chaos.run ~seed:9 ~duration:6.0 () in
+  let p =
+    Chaos.plan ~intensity:Fault.Gen.Moderate net ~seed:9 ~duration:6.0
+  in
+  Alcotest.(check bool) "plan helper agrees with run" true (p = r.Chaos.plan)
+
+let test_report_json_parses () =
+  let r = Chaos.run ~seed:5 ~duration:6.0 () in
+  match Obs.Json.parse (Obs.Json.to_string (Chaos.to_json r)) with
+  | Ok j ->
+    Alcotest.(check int) "seed survives" 5 (jint "seed" j);
+    (match Fault.of_json (jget "plan" j) with
+    | Ok p ->
+      Alcotest.(check bool) "embedded plan round-trips" true (p = r.Chaos.plan)
+    | Error m -> Alcotest.failf "embedded plan: %s" m)
+  | Error m -> Alcotest.failf "report JSON does not parse: %s" m
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "golden",
+        Alcotest.test_case "goldens present" `Quick test_goldens_present
+        :: List.map
+             (fun path ->
+               Alcotest.test_case (Filename.basename path) `Slow
+                 (replay_golden path))
+             golden_files );
+      ( "reproducibility",
+        [
+          Alcotest.test_case "bit-identical runs" `Slow test_bit_reproducible;
+          Alcotest.test_case "plan helper matches run" `Slow
+            test_plan_helper_matches_run;
+          Alcotest.test_case "report JSON parses" `Slow test_report_json_parses;
+        ] );
+    ]

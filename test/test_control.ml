@@ -307,6 +307,39 @@ let test_multi_cc_on_slot_callback () =
   let _ = Multi_cc.solve_tracked ~slots:50 ~on_slot:(fun _ _ -> incr calls) p in
   Alcotest.(check int) "one call per slot" 50 !calls
 
+let test_multi_cc_total_ack_loss_freezes_rates () =
+  (* Every report lost: the flow's rates and anchors must hold at
+     x_init for the whole run (only the duals move). *)
+  let g, dom = fig1 () in
+  let flows = [ fig1_routes g ] in
+  let p = Problem.make g dom ~flows in
+  let x_init = routing_init g dom flows in
+  let res =
+    Multi_cc.solve ~x_init ~slots:500 ~ack_loss:(fun ~slot:_ ~flow:_ -> true) p
+  in
+  Array.iteri
+    (fun i x0 -> check_float (Printf.sprintf "route %d frozen" i) x0
+        res.Cc_result.rates.(i))
+    x_init
+
+let test_multi_cc_intermittent_ack_loss_converges () =
+  (* Dropping every third report slows the iteration but must not
+     move its fixed point: compare against the lossless solve. *)
+  let g, dom = fig1 () in
+  let flows = [ fig1_routes g ] in
+  let p = Problem.make g dom ~flows in
+  let x_init = routing_init g dom flows in
+  let clean = Multi_cc.solve ~x_init ~slots:8000 p in
+  let lossy =
+    Multi_cc.solve ~x_init ~slots:12000
+      ~ack_loss:(fun ~slot ~flow:_ -> slot mod 3 = 0)
+      p
+  in
+  check_float ~eps:0.5 "same total rate"
+    clean.Cc_result.flow_rates.(0) lossy.Cc_result.flow_rates.(0);
+  Alcotest.(check bool) "still feasible" true
+    (Problem.feasible ~slack:0.05 p lossy.Cc_result.rates)
+
 let test_cc_result_utility () =
   let g, dom = fig1 () in
   let p = Problem.make g dom ~flows:[ fig1_routes g ] in
@@ -378,6 +411,10 @@ let () =
             test_multi_cc_convergence_detection;
           Alcotest.test_case "external airtime" `Quick test_multi_cc_external_airtime;
           Alcotest.test_case "on_slot callback" `Quick test_multi_cc_on_slot_callback;
+          Alcotest.test_case "total ack loss freezes rates" `Quick
+            test_multi_cc_total_ack_loss_freezes_rates;
+          Alcotest.test_case "intermittent ack loss converges" `Quick
+            test_multi_cc_intermittent_ack_loss_converges;
           Alcotest.test_case "result utility" `Quick test_cc_result_utility;
           QCheck_alcotest.to_alcotest prop_multi_cc_feasible_on_random_networks;
         ] );

@@ -1,0 +1,427 @@
+(* Tests for the fault-plan DSL (lib/fault): the JSON codec across
+   every action variant, the strict decoder's rejections, the
+   normalize/validate contracts, the compiler's lowering (including
+   the tie-break ordering, node-crash incident coverage, ramp
+   endpoints and control-window merging) and the seeded generator's
+   determinism. Mirrors the Obs.Trace codec tests in test_obs.ml. *)
+
+let fig1 () =
+  Multigraph.create ~n_nodes:3 ~n_techs:2
+    ~edges:[ (0, 1, 0, 15.0); (1, 2, 0, 30.0); (0, 1, 1, 10.0) ]
+
+(* ---------- codec ---------- *)
+
+(* Awkward times and values on purpose: the codec must round-trip
+   bit-exactly, not just to printf precision. *)
+let all_action_variants =
+  let open Fault in
+  [
+    Link_down { at = 0.1 +. 0.2; link = 5 };
+    Link_up { at = 1.0 /. 3.0; link = 0; capacity = 97.53 };
+    Capacity_set { at = Float.ldexp 1.0 (-40); link = 3; capacity = 0.0 };
+    Capacity_ramp
+      {
+        at = 2.0;
+        link = 1;
+        from_cap = 30.0;
+        to_cap = 10.0 /. 3.0;
+        over = 0.75;
+        steps = 4;
+      };
+    Loss_window { at = 3.0; until = 4.5; link = 2; prob = 0.19483726451 };
+    Ctrl_drop { at = 0.0; until = 1e-3; prob = 1.0 };
+    Ctrl_delay { at = 5.0; until = 6.0; delay = 0.07 /. 0.9 };
+    Node_crash { at = 7.0; node = 0 };
+    Node_restart { at = 8.25; node = 2 };
+  ]
+
+let test_plan_roundtrip () =
+  let plan = all_action_variants in
+  (match Fault.of_json (Fault.to_json plan) with
+  | Ok p' ->
+    if plan <> p' then
+      Alcotest.failf "plan does not round-trip via of_json: %s"
+        (Fault.encode plan)
+  | Error m -> Alcotest.failf "of_json of own to_json failed: %s" m);
+  match Fault.decode (Fault.encode plan) with
+  | Ok p' ->
+    if plan <> p' then
+      Alcotest.failf "plan does not round-trip via decode: %s"
+        (Fault.encode plan)
+  | Error m -> Alcotest.failf "decode of own encoding failed: %s" m
+
+let test_singleton_roundtrip () =
+  (* Each variant alone, so one bad arm cannot hide behind the rest. *)
+  List.iter
+    (fun a ->
+      match Fault.decode (Fault.encode [ a ]) with
+      | Ok [ a' ] when a = a' -> ()
+      | Ok _ -> Alcotest.failf "variant does not round-trip: %s" (Fault.encode [ a ])
+      | Error m -> Alcotest.failf "decode failed on %s: %s" (Fault.encode [ a ]) m)
+    all_action_variants;
+  (* The empty plan round-trips too. *)
+  match Fault.decode (Fault.encode Fault.empty) with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty plan decoded non-empty"
+  | Error m -> Alcotest.failf "empty plan decode failed: %s" m
+
+let test_decode_rejects () =
+  List.iter
+    (fun s ->
+      match Fault.decode s with
+      | Ok _ -> Alcotest.failf "decoder accepted %S" s
+      | Error _ -> ())
+    [
+      (* unknown op *)
+      {|{"version":1,"actions":[{"op":"gremlins","at":0}]}|};
+      (* missing op *)
+      {|{"version":1,"actions":[{"at":0,"link":1}]}|};
+      (* missing field *)
+      {|{"version":1,"actions":[{"op":"link_down","at":0}]}|};
+      {|{"version":1,"actions":[{"op":"loss_window","at":0,"until":1,"link":0}]}|};
+      {|{"version":1,"actions":[{"op":"capacity_ramp","at":0,"link":0,"from":1,"to":2,"over":1}]}|};
+      (* mistyped field *)
+      {|{"version":1,"actions":[{"op":"link_down","at":"zero","link":1}]}|};
+      {|{"version":1,"actions":[{"op":"link_down","at":0,"link":1.5}]}|};
+      (* action not an object *)
+      {|{"version":1,"actions":[42]}|};
+      (* actions not a list *)
+      {|{"version":1,"actions":{}}|};
+      (* missing / bad version *)
+      {|{"actions":[]}|};
+      {|{"version":2,"actions":[]}|};
+      {|{"version":"1","actions":[]}|};
+      (* plan not an object *)
+      "[]";
+      "not json at all";
+      "";
+    ]
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "fault_plan" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Fault.to_file path all_action_variants;
+      match Fault.of_file path with
+      | Ok p ->
+        if p <> all_action_variants then
+          Alcotest.fail "plan does not round-trip through a file"
+      | Error m -> Alcotest.failf "of_file: %s" m);
+  match Fault.of_file "/nonexistent/fault_plan.json" with
+  | Ok _ -> Alcotest.fail "of_file accepted a missing file"
+  | Error _ -> ()
+
+(* ---------- normalize ---------- *)
+
+let test_normalize_stable () =
+  let open Fault in
+  let a = Link_down { at = 2.0; link = 0 } in
+  let b = Capacity_set { at = 2.0; link = 0; capacity = 15.0 } in
+  let c = Link_up { at = 1.0; link = 1; capacity = 5.0 } in
+  (* c sorts first; the equal-time pair keeps plan order. *)
+  Alcotest.(check bool) "sorted, ties in plan order" true
+    (normalize [ a; b; c ] = [ c; a; b ]);
+  Alcotest.(check bool) "reversed ties keep their order" true
+    (normalize [ b; a; c ] = [ c; b; a ]);
+  Alcotest.(check bool) "already sorted is unchanged" true
+    (normalize [ c; a; b ] = [ c; a; b ])
+
+(* ---------- validate ---------- *)
+
+(* A valid-under-fig1 twin of the codec list (the codec list uses
+   out-of-range ids on purpose — fig1 has 6 links / 3 nodes). *)
+let all_action_variants_valid =
+  let open Fault in
+  [
+    Link_down { at = 0.3; link = 5 };
+    Link_up { at = 1.0 /. 3.0; link = 0; capacity = 97.53 };
+    Capacity_set { at = 0.5; link = 3; capacity = 0.0 };
+    Capacity_ramp
+      { at = 2.0; link = 1; from_cap = 30.0; to_cap = 3.0; over = 0.75; steps = 4 };
+    Loss_window { at = 3.0; until = 4.5; link = 2; prob = 0.2 };
+    Ctrl_drop { at = 0.0; until = 1e-3; prob = 1.0 };
+    Ctrl_delay { at = 5.0; until = 6.0; delay = 0.08 };
+    Node_crash { at = 7.0; node = 0 };
+    Node_restart { at = 8.25; node = 2 };
+  ]
+
+let test_validate () =
+  let g = fig1 () in
+  let ok plan =
+    match Fault.validate g plan with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "valid plan rejected: %s" m
+  in
+  let bad name plan =
+    match Fault.validate g plan with
+    | Ok () -> Alcotest.failf "%s: invalid plan accepted" name
+    | Error _ -> ()
+  in
+  let open Fault in
+  ok all_action_variants_valid;
+  bad "negative time" [ Link_down { at = -1.0; link = 0 } ];
+  bad "nan time" [ Link_down { at = Float.nan; link = 0 } ];
+  bad "link out of range" [ Link_down { at = 0.0; link = 6 } ];
+  bad "negative link" [ Link_down { at = 0.0; link = -1 } ];
+  bad "negative capacity" [ Link_up { at = 0.0; link = 0; capacity = -2.0 } ];
+  bad "infinite capacity"
+    [ Capacity_set { at = 0.0; link = 0; capacity = Float.infinity } ];
+  bad "until <= at" [ Loss_window { at = 2.0; until = 2.0; link = 0; prob = 0.5 } ];
+  bad "prob > 1" [ Loss_window { at = 0.0; until = 1.0; link = 0; prob = 1.5 } ];
+  bad "ctrl prob < 0" [ Ctrl_drop { at = 0.0; until = 1.0; prob = -0.1 } ];
+  bad "negative delay" [ Ctrl_delay { at = 0.0; until = 1.0; delay = -0.01 } ];
+  bad "over = 0"
+    [
+      Capacity_ramp
+        { at = 0.0; link = 0; from_cap = 15.0; to_cap = 5.0; over = 0.0; steps = 2 };
+    ];
+  bad "steps = 0"
+    [
+      Capacity_ramp
+        { at = 0.0; link = 0; from_cap = 15.0; to_cap = 5.0; over = 1.0; steps = 0 };
+    ];
+  bad "node out of range" [ Node_crash { at = 0.0; node = 3 } ];
+  (* The first offending action is the one named. *)
+  match
+    Fault.validate g
+      [ Link_down { at = 0.0; link = 0 }; Node_restart { at = 0.0; node = 99 } ]
+  with
+  | Error m ->
+    Alcotest.(check bool) "error names the op" true
+      (String.length m >= 12 && String.sub m 0 12 = "node_restart")
+  | Ok () -> Alcotest.fail "bad tail action accepted"
+
+(* ---------- compile ---------- *)
+
+let test_compile_empty () =
+  let g = fig1 () in
+  let c = Fault.compile g [] in
+  Alcotest.(check bool) "no link events" true (c.Fault.link_events = []);
+  Alcotest.(check bool) "no loss events" true (c.Fault.loss_events = []);
+  Alcotest.(check bool) "no ctrl events" true (c.Fault.ctrl_events = [])
+
+let test_compile_failure_plan () =
+  (* The legacy Section 6.1 failure scenario as a plan must lower to
+     exactly the schedule the trace experiment always used. *)
+  let g = fig1 () in
+  let l = 2 in
+  let cap = Multigraph.capacity g l in
+  let c =
+    Fault.compile g
+      [
+        Fault.Link_down { at = 3.0; link = l };
+        Fault.Link_up { at = 4.5; link = l; capacity = cap };
+      ]
+  in
+  Alcotest.(check bool) "exact legacy schedule" true
+    (c.Fault.link_events = [ (3.0, l, 0.0); (4.5, l, cap) ]);
+  Alcotest.(check bool) "no loss schedule" true (c.Fault.loss_events = []);
+  Alcotest.(check bool) "no ctrl schedule" true (c.Fault.ctrl_events = [])
+
+let test_compile_tie_break_order () =
+  (* Equal-time actions keep plan order in the output, so the engine
+     (FIFO on equal times) applies the last one last. *)
+  let g = fig1 () in
+  let down = Fault.Link_down { at = 2.0; link = 0 } in
+  let set = Fault.Capacity_set { at = 2.0; link = 0; capacity = 15.0 } in
+  let c1 = Fault.compile g [ down; set ] in
+  Alcotest.(check bool) "down then set" true
+    (c1.Fault.link_events = [ (2.0, 0, 0.0); (2.0, 0, 15.0) ]);
+  let c2 = Fault.compile g [ set; down ] in
+  Alcotest.(check bool) "set then down" true
+    (c2.Fault.link_events = [ (2.0, 0, 15.0); (2.0, 0, 0.0) ])
+
+let test_compile_node_crash_incident () =
+  (* A crash fails every directed link touching the node, in
+     ascending id; a restart restores the graph capacities. *)
+  let g = fig1 () in
+  let node = 1 in
+  let incident =
+    List.sort compare (Multigraph.out_links g node @ Multigraph.in_links g node)
+  in
+  Alcotest.(check bool) "node 1 touches every link" true
+    (List.length incident = Multigraph.num_links g);
+  let c =
+    Fault.compile g
+      [ Fault.Node_crash { at = 1.0; node }; Fault.Node_restart { at = 2.0; node } ]
+  in
+  let expected =
+    List.map (fun l -> (1.0, l, 0.0)) incident
+    @ List.map (fun l -> (2.0, l, Multigraph.capacity g l)) incident
+  in
+  Alcotest.(check bool) "crash+restart cover incident links" true
+    (c.Fault.link_events = expected)
+
+let test_compile_ramp_endpoints () =
+  let g = fig1 () in
+  let c =
+    Fault.compile g
+      [
+        Fault.Capacity_ramp
+          { at = 1.0; link = 0; from_cap = 15.0; to_cap = 6.0; over = 1.0; steps = 3 };
+      ]
+  in
+  (match c.Fault.link_events with
+  | (t0, l0, c0) :: _ ->
+    Alcotest.(check bool) "initial set exact" true
+      (t0 = 1.0 && l0 = 0 && c0 = 15.0)
+  | [] -> Alcotest.fail "ramp produced no events");
+  (match List.rev c.Fault.link_events with
+  | (t_last, _, c_last) :: _ ->
+    Alcotest.(check bool) "final step lands exactly on to_cap" true
+      (t_last = 2.0 && c_last = 6.0)
+  | [] -> assert false);
+  Alcotest.(check int) "initial set + steps" 4 (List.length c.Fault.link_events);
+  (* Capacities step monotonically for a monotone ramp. *)
+  let caps = List.map (fun (_, _, cap) -> cap) c.Fault.link_events in
+  Alcotest.(check bool) "monotone ramp" true
+    (caps = List.sort (fun a b -> compare b a) caps)
+
+let test_compile_ctrl_merge () =
+  (* Overlapping drop and delay windows merge into atomic (t, drop,
+     delay) states; each boundary re-asserts the full pair. *)
+  let g = fig1 () in
+  let c =
+    Fault.compile g
+      [
+        Fault.Ctrl_drop { at = 1.0; until = 3.0; prob = 0.5 };
+        Fault.Ctrl_delay { at = 2.0; until = 4.0; delay = 0.1 };
+      ]
+  in
+  Alcotest.(check bool) "boundary replay states" true
+    (c.Fault.ctrl_events
+    = [ (1.0, 0.5, 0.0); (2.0, 0.5, 0.1); (3.0, 0.0, 0.1); (4.0, 0.0, 0.0) ])
+
+let test_compile_ctrl_equal_time_coalesce () =
+  (* Back-to-back windows sharing a boundary collapse to one state at
+     that instant, and the later window's value wins. *)
+  let g = fig1 () in
+  let c =
+    Fault.compile g
+      [
+        Fault.Ctrl_drop { at = 1.0; until = 2.0; prob = 0.3 };
+        Fault.Ctrl_drop { at = 2.0; until = 3.0; prob = 0.6 };
+      ]
+  in
+  Alcotest.(check bool) "shared boundary coalesces, last wins" true
+    (c.Fault.ctrl_events = [ (1.0, 0.3, 0.0); (2.0, 0.6, 0.0); (3.0, 0.0, 0.0) ])
+
+let test_compile_invalid_raises () =
+  let g = fig1 () in
+  let raises plan =
+    try
+      ignore (Fault.compile g plan);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad link raises" true
+    (raises [ Fault.Link_down { at = 0.0; link = 99 } ]);
+  Alcotest.(check bool) "bad window raises" true
+    (raises [ Fault.Ctrl_drop { at = 3.0; until = 1.0; prob = 0.2 } ])
+
+(* ---------- generator ---------- *)
+
+let test_gen_deterministic () =
+  let g = fig1 () in
+  let draw seed intensity =
+    Fault.Gen.plan ~intensity (Rng.create seed) g ~duration:20.0
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "equal seeds, equal plans (%s)" (Fault.Gen.intensity_name i))
+        true
+        (draw 7 i = draw 7 i))
+    [ Fault.Gen.Light; Fault.Gen.Moderate; Fault.Gen.Heavy ];
+  Alcotest.(check bool) "different seeds diverge somewhere" true
+    (List.exists (fun s -> draw s Fault.Gen.Heavy <> draw 7 Fault.Gen.Heavy)
+       [ 8; 9; 10; 11 ])
+
+let action_clear_time a =
+  let open Fault in
+  match a with
+  | Link_down { at; _ }
+  | Link_up { at; _ }
+  | Capacity_set { at; _ }
+  | Node_crash { at; _ }
+  | Node_restart { at; _ } ->
+    at
+  | Capacity_ramp { at; over; _ } -> at +. over
+  | Loss_window { until; _ } | Ctrl_drop { until; _ } | Ctrl_delay { until; _ } ->
+    until
+
+let test_gen_valid_and_clears () =
+  let g = fig1 () in
+  let duration = 16.0 and clear_by = 6.0 in
+  for seed = 0 to 24 do
+    let plan =
+      Fault.Gen.plan ~intensity:Fault.Gen.Heavy ~clear_by (Rng.create seed) g
+        ~duration
+    in
+    Alcotest.(check bool) "plan non-empty" true (plan <> []);
+    (match Fault.validate g plan with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "seed %d: generated invalid plan: %s" seed m);
+    List.iter
+      (fun a ->
+        let t0 = Fault.start_time a and t1 = action_clear_time a in
+        if not (t0 >= 0.0 && t1 <= clear_by) then
+          Alcotest.failf "seed %d: action [%.3f, %.3f] escapes clear_by %.1f" seed
+            t0 t1 clear_by)
+      plan
+  done
+
+let test_gen_bad_args () =
+  let g = fig1 () in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "clear_by < 1 raises" true
+    (raises (fun () ->
+         Fault.Gen.plan ~clear_by:0.5 (Rng.create 1) g ~duration:10.0));
+  Alcotest.(check bool) "clear_by > duration raises" true
+    (raises (fun () ->
+         Fault.Gen.plan ~clear_by:11.0 (Rng.create 1) g ~duration:10.0));
+  Alcotest.(check bool) "bad duration raises" true
+    (raises (fun () -> Fault.Gen.plan (Rng.create 1) g ~duration:0.0));
+  let empty_g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[] in
+  Alcotest.(check bool) "no links raises" true
+    (raises (fun () -> Fault.Gen.plan (Rng.create 1) empty_g ~duration:10.0))
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "plan round-trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "every variant round-trips" `Quick
+            test_singleton_roundtrip;
+          Alcotest.test_case "strict decoder rejects" `Quick test_decode_rejects;
+          Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "normalize is stable" `Quick test_normalize_stable;
+          Alcotest.test_case "validate" `Quick test_validate;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "empty plan" `Quick test_compile_empty;
+          Alcotest.test_case "legacy failure plan" `Quick test_compile_failure_plan;
+          Alcotest.test_case "equal-time tie-break" `Quick
+            test_compile_tie_break_order;
+          Alcotest.test_case "node crash incident links" `Quick
+            test_compile_node_crash_incident;
+          Alcotest.test_case "ramp endpoints" `Quick test_compile_ramp_endpoints;
+          Alcotest.test_case "ctrl window merge" `Quick test_compile_ctrl_merge;
+          Alcotest.test_case "ctrl equal-time coalesce" `Quick
+            test_compile_ctrl_equal_time_coalesce;
+          Alcotest.test_case "invalid plan raises" `Quick test_compile_invalid_raises;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "valid and clears in time" `Quick
+            test_gen_valid_and_clears;
+          Alcotest.test_case "bad arguments" `Quick test_gen_bad_args;
+        ] );
+    ]

@@ -87,6 +87,7 @@ let all_event_variants =
     Drop { t = 4.0; link = Some 5; flow = 0; seq = 2; reason = Link_down };
     Drop { t = 4.0; link = None; flow = 0; seq = 3; reason = Misroute };
     Drop { t = 4.0; link = Some 9; flow = 0; seq = 4; reason = Backlog_cleared };
+    Drop { t = 4.0; link = Some 2; flow = 1; seq = 5; reason = Fault_injected };
     Delivery { t = 5.0; flow = 0; seq = 42; bytes = 12000; delay = 0.19483726451 };
     Price_update { t = 6.0; link = 7; gamma = 1.1201133; price = 0.07 /. 0.9 };
     Rate_update { t = 6.0; flow = 0; rates = [| 10.25; 0.0; 3.3333333333333335 |] };
@@ -94,6 +95,9 @@ let all_event_variants =
     Ack { t = 7.0; flow = 0; qr = [| 0.125; 0.5 |]; bytes = [| 48000; 0 |] };
     Link_event { t = 8.0; link = 11; capacity = 0.0 };
     Link_event { t = 9.0; link = 11; capacity = 97.53 };
+    Loss_event { t = 10.0; link = 4; prob = 0.19483726451 };
+    Loss_event { t = 10.5; link = 4; prob = 0.0 };
+    Ctrl_event { t = 11.0; drop = 1.0 /. 3.0; delay = 0.07 /. 0.9 };
   ]
 
 let test_event_roundtrip () =

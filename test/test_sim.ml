@@ -405,6 +405,110 @@ let prop_engine_goodput_below_optimal =
         let opt = Opt_solver.max_throughput Rate_region.Exact g dom ~src:0 ~dst:9 in
         gp <= (opt *. 1.05) +. 1.0)
 
+(* ---------- fault injection ---------- *)
+
+let one_link_flow g ~rate =
+  {
+    Engine.src = 0;
+    dst = 1;
+    routes = [ Paths.of_links g [ 0 ] ];
+    init_rates = [ rate ];
+    workload = Workload.Saturated;
+    transport = Engine.Udp;
+    start_time = 0.0;
+    stop_time = None;
+  }
+
+let mean_window series lo hi =
+  Stats.mean
+    (List.filter_map (fun (t, gp) -> if t > lo && t <= hi then Some gp else None) series)
+
+let test_fault_tie_break () =
+  (* Contradictory same-link, same-time actions: the documented
+     tie-break is plan order, last wins. Down-then-set leaves the
+     link alive (but flushed); set-then-down leaves it dead. Neither
+     may crash or corrupt the accounting. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let config = { Engine.default_config with enable_cc = false } in
+  let run plan =
+    let compiled = Fault.compile g plan in
+    let inv = Invariants.create ~mode:`Collect () in
+    let res =
+      Engine.run ~config ~invariants:inv
+        ~link_events:compiled.Fault.link_events (Rng.create 31) g dom
+        ~flows:[ one_link_flow g ~rate:8.0 ]
+        ~duration:10.0
+    in
+    Alcotest.(check (list string)) "no invariant violations" []
+      (List.map Invariants.describe (Invariants.violations inv));
+    mean_window res.Engine.flows.(0).Engine.goodput_series 6.0 10.0
+  in
+  let down = Fault.Link_down { at = 5.0; link = 0 } in
+  let set = Fault.Capacity_set { at = 5.0; link = 0; capacity = 20.0 } in
+  Alcotest.(check bool) "down then set: link survives" true (run [ down; set ] > 6.0);
+  Alcotest.(check bool) "set then down: link dead" true (run [ set; down ] < 0.5)
+
+let test_full_loss_window () =
+  (* prob = 1.0 loses every granted frame inside the window; the
+     accounting must stay clean and delivery must resume after. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let config = { Engine.default_config with enable_cc = false } in
+  let inv = Invariants.create ~mode:`Collect () in
+  let res =
+    Engine.run ~config ~invariants:inv
+      ~loss_events:[ (2.0, 0, 1.0); (4.0, 0, 0.0) ]
+      (Rng.create 32) g dom
+      ~flows:[ one_link_flow g ~rate:8.0 ]
+      ~duration:8.0
+  in
+  Alcotest.(check (list string)) "no invariant violations" []
+    (List.map Invariants.describe (Invariants.violations inv));
+  let series = res.Engine.flows.(0).Engine.goodput_series in
+  Alcotest.(check bool) "flows before the window" true (mean_window series 0.0 2.0 > 6.0);
+  check_float ~eps:0.5 "starved inside the window" 0.0 (mean_window series 2.5 4.0);
+  Alcotest.(check bool) "resumes after the window" true (mean_window series 5.0 8.0 > 6.0)
+
+let test_ctrl_faults_survivable () =
+  (* A total ACK blackout early in the run: the controller stalls but
+     the datapath keeps forwarding, and rates resume adapting after. *)
+  let g, dom = fig1 () in
+  let flow = saturated_flow g dom ~src:0 ~dst:2 in
+  let res =
+    Engine.run
+      ~ctrl_events:[ (1.0, 1.0, 0.0); (3.0, 0.0, 0.05); (5.0, 0.0, 0.0) ]
+      (Rng.create 33) g dom ~flows:[ flow ] ~duration:20.0
+  in
+  Alcotest.(check bool) "flow survives control faults" true (goodput_of res 0 > 8.0)
+
+let test_bad_fault_schedules_rejected () =
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let flow = one_link_flow g ~rate:5.0 in
+  let bad f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  let run ?loss_events ?ctrl_events () =
+    Engine.run ?loss_events ?ctrl_events (Rng.create 1) g dom ~flows:[ flow ]
+      ~duration:1.0
+  in
+  Alcotest.(check bool) "negative loss time" true
+    (bad (fun () -> run ~loss_events:[ (-1.0, 0, 0.5) ] ()));
+  Alcotest.(check bool) "loss link out of range" true
+    (bad (fun () -> run ~loss_events:[ (0.5, 9, 0.5) ] ()));
+  Alcotest.(check bool) "loss prob > 1" true
+    (bad (fun () -> run ~loss_events:[ (0.5, 0, 1.5) ] ()));
+  Alcotest.(check bool) "nan loss prob" true
+    (bad (fun () -> run ~loss_events:[ (0.5, 0, Float.nan) ] ()));
+  Alcotest.(check bool) "ctrl prob out of range" true
+    (bad (fun () -> run ~ctrl_events:[ (0.5, 1.5, 0.0) ] ()));
+  Alcotest.(check bool) "negative ctrl delay" true
+    (bad (fun () -> run ~ctrl_events:[ (0.5, 0.0, -0.1) ] ()))
+
 (* ---------- runtime invariant checker ---------- *)
 
 let assert_clean name inv =
@@ -575,6 +679,15 @@ let () =
             test_link_failure_reroutes_traffic;
           Alcotest.test_case "capacity drop adapts" `Quick test_capacity_drop_adapts;
           Alcotest.test_case "margin cuts delay" `Quick test_delay_grows_without_margin;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "same-time tie-break" `Quick test_fault_tie_break;
+          Alcotest.test_case "full loss window" `Quick test_full_loss_window;
+          Alcotest.test_case "control faults survivable" `Quick
+            test_ctrl_faults_survivable;
+          Alcotest.test_case "bad schedules rejected" `Quick
+            test_bad_fault_schedules_rejected;
         ] );
       ( "invariants",
         [
