@@ -189,6 +189,23 @@ let write_sim_bench () =
     done;
     let elapsed_chaos = Float.max 1e-9 (Sys.time () -. t2) in
     let chaos_events_s = float_of_int !chaos_events /. elapsed_chaos in
+    (* The self-healing headline numbers: a pinned full-severance run
+       (every route of the flow down at once) with recovery on. The
+       detection latency and the bounded recovery time land in the
+       JSON so regressions in the recovery path show up per-commit. *)
+    let sever = Chaos.run ~intensity:Fault.Gen.Severing ~recovery:true ~seed:13 ~duration:12.0 () in
+    let sever_flow = List.hd sever.Chaos.flows in
+    let t3 = Sys.time () in
+    let sever_events = ref 0 in
+    for i = 1 to reps do
+      let rep =
+        Chaos.run ~intensity:Fault.Gen.Severing ~recovery:true ~seed:i
+          ~duration:4.0 ()
+      in
+      sever_events := !sever_events + rep.Chaos.result.Engine.events_processed
+    done;
+    let elapsed_sever = Float.max 1e-9 (Sys.time () -. t3) in
+    let sever_events_s = float_of_int !sever_events /. elapsed_sever in
     let oc = open_out "BENCH_sim.json" in
     Printf.fprintf oc
       "{\n\
@@ -203,17 +220,24 @@ let write_sim_bench () =
       \  \"trace_events_per_run\": %d,\n\
       \  \"trace_overhead_pct\": %.1f,\n\
       \  \"chaos_events_per_s\": %.0f,\n\
-      \  \"chaos_fault_events_per_run\": %d\n\
+      \  \"chaos_fault_events_per_run\": %d,\n\
+      \  \"sever_events_per_s\": %.0f,\n\
+      \  \"sever_detect_s\": %.3f,\n\
+      \  \"sever_recovery_s\": %.3f,\n\
+      \  \"sever_goodput_mbps\": %.3f\n\
        }\n"
       duration reps elapsed runs_s events_s frames_s !peak_q events_s_traced
       (!trace_events / reps) overhead_pct chaos_events_s
-      (!chaos_faults / reps);
+      (!chaos_faults / reps) sever_events_s sever_flow.Chaos.detect_s
+      sever_flow.Chaos.recovery_s sever_flow.Chaos.goodput_mbps;
     close_out oc;
     Printf.printf
       "BENCH_sim.json: %.2f runs/s, %.0f events/s, %.0f frames/s, trace \
-       overhead %.1f%%, chaos %.0f events/s\n\
+       overhead %.1f%%, chaos %.0f events/s, severance detect %.3f s / \
+       recovery %.3f s\n\
        %!"
       runs_s events_s frames_s overhead_pct chaos_events_s
+      sever_flow.Chaos.detect_s sever_flow.Chaos.recovery_s
 
 (* ---------- part 2: table/figure regeneration ---------- *)
 

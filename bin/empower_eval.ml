@@ -276,9 +276,25 @@ let trace_cmd =
 
 let chaos_cmd =
   let intensity_arg =
-    let doc = "Fault intensity: light, moderate or heavy." in
+    let doc = "Fault intensity: light, moderate, heavy or severing." in
     Arg.(
       value & opt string "moderate" & info [ "intensity"; "i" ] ~docv:"LEVEL" ~doc)
+  in
+  let sever_arg =
+    let doc =
+      "Full-severance profile: shorthand for --intensity severing (one node \
+       crash guaranteed to take down every route of the flow) with the \
+       self-healing recovery subsystem enabled."
+    in
+    Arg.(value & flag & info [ "sever" ] ~doc)
+  in
+  let no_recovery_arg =
+    let doc =
+      "Disable the self-healing recovery subsystem (with --sever this \
+       reproduces the historical behaviour: detection by ack-silence only, \
+       fixed-interval reclaim, stale prices left to drain)."
+    in
+    Arg.(value & flag & info [ "no-recovery" ] ~doc)
   in
   let duration_arg =
     let doc = "Simulated seconds (faults all clear by half-time)." in
@@ -291,17 +307,23 @@ let chaos_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run seed intensity duration out json metrics =
+  let run seed intensity sever no_recovery duration out json metrics =
     match Fault.Gen.intensity_of_name intensity with
     | None ->
-      Printf.eprintf "unknown intensity %S; expected light, moderate or heavy\n"
+      Printf.eprintf
+        "unknown intensity %S; expected light, moderate, heavy or severing\n"
         intensity;
       exit 2
     | Some intensity ->
+      let intensity = if sever then Fault.Gen.Severing else intensity in
+      (* Recovery defaults on for severance runs (that is what --sever
+         demonstrates) and off otherwise; --no-recovery forces it off
+         in either case for before/after comparisons. *)
+      let recovery = intensity = Fault.Gen.Severing && not no_recovery in
       with_obs ~json ~metrics (fun e ->
           let report =
             match out with
-            | None -> Chaos.run ~intensity ~duration ~seed ()
+            | None -> Chaos.run ~intensity ~recovery ~duration ~seed ()
             | Some path ->
               let oc = open_out path in
               let report =
@@ -309,7 +331,7 @@ let chaos_cmd =
                   ~finally:(fun () -> close_out_noerr oc)
                   (fun () ->
                     Chaos.run ~trace:(Obs.Trace.to_channel oc) ~intensity
-                      ~duration ~seed ())
+                      ~recovery ~duration ~seed ())
               in
               (* Same self-validation as `trace`: the file must
                  strict-decode and its replay must reproduce the
@@ -343,10 +365,11 @@ let chaos_cmd =
        ~doc:
          "Run a seeded, reproducible fault-injection scenario (random fault \
           plan against the testbed flow) and report goodput dip and recovery \
-          metrics.")
+          metrics. --sever runs the full-severance profile with the \
+          self-healing recovery subsystem; --no-recovery turns it back off.")
     Term.(
-      const run $ seed_arg 7 $ intensity_arg $ duration_arg $ out_arg $ json_arg
-      $ metrics_arg)
+      const run $ seed_arg 7 $ intensity_arg $ sever_arg $ no_recovery_arg
+      $ duration_arg $ out_arg $ json_arg $ metrics_arg)
 
 let all_cmd =
   let run runs seed json metrics =

@@ -9,12 +9,14 @@ type flow_report = {
   dip_depth : float;
   dip_area : float;
   reroutes : int;
+  detect_s : float;
 }
 
 type report = {
   seed : int;
   intensity : Fault.Gen.intensity;
   duration : float;
+  recovery : bool;
   plan : Fault.plan;
   result : Engine.result;
   fault_events : int;
@@ -25,19 +27,30 @@ type report = {
    probing after it heals or the goodput would never come back. *)
 let config = { Engine.default_config with Engine.route_reclaim = true }
 
+(* The scenario flow runs 0 -> 12 on the testbed; severing plans pin
+   the victim to the destination so a node crash is guaranteed to take
+   down every route of the flow at once. *)
+let flow_src = 0
+let flow_dst = 12
+
 let network () = Runner.network (Testbed.generate (Rng.create 4242)) Schemes.Empower
 
 let plan ?intensity ?clear_by (net : Empower.network) ~seed ~duration =
-  Fault.Gen.plan ?intensity ?clear_by
+  let victim =
+    match intensity with Some Fault.Gen.Severing -> Some flow_dst | _ -> None
+  in
+  Fault.Gen.plan ?intensity ?clear_by ?victim
     (Rng.split (Rng.create seed))
     net.Empower.g ~duration
 
-let run ?trace ?intensity ?(duration = 20.0) ~seed () =
+let run ?trace ?intensity ?(recovery = false) ?(duration = 20.0) ~seed () =
   let net = network () in
   let flow =
-    let routes, rates = Runner.routes_and_rates net Schemes.Empower ~src:0 ~dst:12 in
+    let routes, rates =
+      Runner.routes_and_rates net Schemes.Empower ~src:flow_src ~dst:flow_dst
+    in
     if routes = [] then invalid_arg "Chaos.run: no route 0 -> 12";
-    Runner.flow_spec ~src:0 ~dst:12 (routes, rates)
+    Runner.flow_spec ~src:flow_src ~dst:flow_dst (routes, rates)
   in
   (* One seed pins the whole run: the plan draws from a split of the
      master stream, the engine consumes the rest of it. *)
@@ -46,8 +59,15 @@ let run ?trace ?intensity ?(duration = 20.0) ~seed () =
   let intensity =
     match intensity with Some i -> i | None -> Fault.Gen.Moderate
   in
-  let plan = Fault.Gen.plan ~intensity plan_rng net.Empower.g ~duration in
+  let victim =
+    match intensity with Fault.Gen.Severing -> Some flow_dst | _ -> None
+  in
+  let plan = Fault.Gen.plan ~intensity ?victim plan_rng net.Empower.g ~duration in
   let compiled = Fault.compile net.Empower.g plan in
+  let config =
+    if recovery then { config with Engine.recovery = Some Recovery.default }
+    else config
+  in
   let reg = Obs.Metrics.create () in
   let recorder =
     Obs.Recorder.create ~domain_of:(Domain.domain net.Empower.dom) reg
@@ -96,6 +116,7 @@ let run ?trace ?intensity ?(duration = 20.0) ~seed () =
              dip_depth = gauge (m "fault.dip_depth");
              dip_area = gauge (m "fault.dip_area");
              reroutes = counter (m "reroutes");
+             detect_s = gauge (m "fault.detect_s");
            })
          result.Engine.flows)
   in
@@ -103,6 +124,7 @@ let run ?trace ?intensity ?(duration = 20.0) ~seed () =
     seed;
     intensity;
     duration;
+    recovery;
     plan;
     result;
     fault_events = counter "fault.events";
@@ -117,6 +139,7 @@ let to_json r =
       ("seed", Int r.seed);
       ("intensity", String (Fault.Gen.intensity_name r.intensity));
       ("duration", Float r.duration);
+      ("recovery", Bool r.recovery);
       ("fault_events", Int r.fault_events);
       ("queue_drops", Int r.result.Engine.queue_drops);
       ("events_processed", Int r.result.Engine.events_processed);
@@ -134,14 +157,16 @@ let to_json r =
                    ("dip_depth", Float f.dip_depth);
                    ("dip_area", Float f.dip_area);
                    ("reroutes", Int f.reroutes);
+                   ("detect_s", Float f.detect_s);
                  ])
              r.flows) );
     ]
 
 let print ?(out = stdout) r =
   let p fmt = Printf.fprintf out fmt in
-  p "--- chaos: seed %d, intensity %s, %.1f s, %d plan actions ---\n" r.seed
+  p "--- chaos: seed %d, intensity %s%s, %.1f s, %d plan actions ---\n" r.seed
     (Fault.Gen.intensity_name r.intensity)
+    (if r.recovery then " (recovery on)" else "")
     r.duration (List.length r.plan);
   p "fault boundary events: %d; queue drops: %d; engine events: %d\n"
     r.fault_events r.result.Engine.queue_drops r.result.Engine.events_processed;
@@ -149,9 +174,11 @@ let print ?(out = stdout) r =
     (fun f ->
       p
         "flow %d: %.3f Mbit/s (%d bytes), dip %.3f Mbit/s deep / %.3f Mbit·s, \
-         recovery %s, %d reroutes\n"
+         recovery %s, %d reroutes%s\n"
         f.flow f.goodput_mbps f.received_bytes f.dip_depth f.dip_area
         (if f.recovery_s < 0.0 then "never"
          else Printf.sprintf "%.3f s" f.recovery_s)
-        f.reroutes)
+        f.reroutes
+        (if f.detect_s > 0.0 then Printf.sprintf ", detected in %.3f s" f.detect_s
+         else ""))
     r.flows

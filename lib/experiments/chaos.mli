@@ -9,6 +9,15 @@
     degradation metrics (goodput dip depth/area, time-to-recover,
     reroute count) that the {!report} carries.
 
+    Two refinements target full severance. The [Severing] intensity
+    pins the {!Fault.Gen} victim to the flow destination (node 12),
+    so the single crash window is guaranteed to take down {e every}
+    route of the scenario flow. And [~recovery:true] switches the
+    engine config to [recovery = Some Recovery.default], enabling the
+    self-healing control plane (failure detection, stale-price reset,
+    backoff-driven reclaim probes) whose detection latency surfaces
+    as {!flow_report.detect_s}.
+
     Determinism: one seed pins the whole run — the plan generator
     draws from an {!Rng.split} of the master stream and the engine
     consumes the rest, so equal seeds give bit-identical results
@@ -25,12 +34,17 @@ type flow_report = {
   dip_depth : float;         (** Mbit/s below baseline, worst window *)
   dip_area : float;          (** Mbit/s·s lost to the dip *)
   reroutes : int;            (** preferred-route changes *)
+  detect_s : float;
+      (** worst failure-detection latency (route death declared by
+          {!Recovery.Detector} minus last successful ack) — 0 when
+          recovery is off or no route died *)
 }
 
 type report = {
   seed : int;
   intensity : Fault.Gen.intensity;
   duration : float;
+  recovery : bool;           (** self-healing control plane enabled *)
   plan : Fault.plan;         (** the generated plan, for replay *)
   result : Engine.result;
   fault_events : int;        (** fault boundary events seen in the trace *)
@@ -39,7 +53,8 @@ type report = {
 
 val config : Engine.config
 (** The chaos engine config: {!Engine.default_config} with
-    [route_reclaim = true]. *)
+    [route_reclaim = true] (and [recovery = Some Recovery.default]
+    when {!run} is given [~recovery:true]). *)
 
 val network : unit -> Empower.network
 (** The scenario's network (testbed draw, seed 4242 — the same one
@@ -53,20 +68,22 @@ val plan :
   duration:float ->
   Fault.plan
 (** The plan a given seed yields for this scenario (the same split
-    stream {!run} uses) — for inspection and tests. *)
+    stream {!run} uses, including the pinned victim for [Severing])
+    — for inspection and tests. *)
 
 val run :
   ?trace:Obs.Trace.sink ->
   ?intensity:Fault.Gen.intensity ->
+  ?recovery:bool ->
   ?duration:float ->
   seed:int ->
   unit ->
   report
 (** Run the chaos scenario ([intensity] defaults to [Moderate],
-    [duration] to 20 s). [trace] additionally streams every event to
-    the caller's sink; an installed {!Obs.Runtime} registry
-    ([--metrics] / [EMPOWER_METRICS]) is also populated, including
-    the degradation metrics. *)
+    [recovery] to [false], [duration] to 20 s). [trace] additionally
+    streams every event to the caller's sink; an installed
+    {!Obs.Runtime} registry ([--metrics] / [EMPOWER_METRICS]) is also
+    populated, including the degradation metrics. *)
 
 val to_json : report -> Obs.Json.t
 val print : ?out:out_channel -> report -> unit

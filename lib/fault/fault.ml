@@ -351,22 +351,26 @@ let of_file path =
 (* Seeded generator                                                  *)
 
 module Gen = struct
-  type intensity = Light | Moderate | Heavy
+  type intensity = Light | Moderate | Heavy | Severing
 
   let intensity_name = function
     | Light -> "light"
     | Moderate -> "moderate"
     | Heavy -> "heavy"
+    | Severing -> "severing"
 
   let intensity_of_name = function
     | "light" -> Some Light
     | "moderate" -> Some Moderate
     | "heavy" -> Some Heavy
+    | "severing" -> Some Severing
     | _ -> None
 
   (* Draw order per fault (fixed — part of the seeding contract):
-     kind, then the [t0 < t1] window, then kind-specific params. *)
-  let plan ?(intensity = Moderate) ?clear_by rng g ~duration =
+     kind, then the [t0 < t1] window, then kind-specific params.
+     Severing plans draw the victim (when not pinned) and then one
+     window; non-severing intensities consume no victim draw. *)
+  let plan ?(intensity = Moderate) ?clear_by ?victim rng g ~duration =
     if not (Float.is_finite duration && duration > 0.0) then
       invalid_arg "Fault.Gen.plan: bad duration";
     let clear_by =
@@ -377,16 +381,31 @@ module Gen = struct
     let n_links = Multigraph.num_links g in
     let n_nodes = Multigraph.n_nodes g in
     if n_links = 0 then invalid_arg "Fault.Gen.plan: graph has no links";
-    let n_faults =
-      match intensity with
-      | Light -> 1 + Rng.int rng 2
-      | Moderate -> 3 + Rng.int rng 3
-      | Heavy -> 6 + Rng.int rng 5
-    in
+    (match victim with
+    | Some v when v < 0 || v >= n_nodes ->
+      invalid_arg "Fault.Gen.plan: victim out of range"
+    | _ -> ());
     let window () =
       let t0 = Rng.uniform rng 0.2 (clear_by -. 0.3) in
       let t1 = Rng.uniform rng (t0 +. 0.1) (clear_by -. 0.05) in
       (t0, t1)
+    in
+    match intensity with
+    | Severing ->
+      (* Full severance: crash one node outright, killing every link
+         it terminates — every route of any flow sourced at or
+         destined to it (pin the flow's endpoint with [victim]) is
+         down for the whole [t0, t1] window, then the node restarts
+         with its original capacities. *)
+      let v = match victim with Some v -> v | None -> Rng.int rng n_nodes in
+      let t0, t1 = window () in
+      [ Node_crash { at = t0; node = v }; Node_restart { at = t1; node = v } ]
+    | Light | Moderate | Heavy ->
+    let n_faults =
+      match intensity with
+      | Light -> 1 + Rng.int rng 2
+      | Moderate -> 3 + Rng.int rng 3
+      | Heavy | Severing -> 6 + Rng.int rng 5
     in
     let fault () =
       let kind = Rng.int rng 7 in

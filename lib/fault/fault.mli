@@ -139,16 +139,17 @@ val of_file : string -> (plan, string) result
 (** Random-but-reproducible plans from a seed and an intensity
     profile. *)
 module Gen : sig
-  type intensity = Light | Moderate | Heavy
+  type intensity = Light | Moderate | Heavy | Severing
 
   val intensity_name : intensity -> string
-  (** ["light"] | ["moderate"] | ["heavy"]. *)
+  (** ["light"] | ["moderate"] | ["heavy"] | ["severing"]. *)
 
   val intensity_of_name : string -> intensity option
 
   val plan :
     ?intensity:intensity ->
     ?clear_by:float ->
+    ?victim:int ->
     Rng.t ->
     Multigraph.t ->
     duration:float ->
@@ -160,7 +161,21 @@ module Gen : sig
       3–5 (default), [Heavy] 6–10. Kinds drawn per fault: link
       flaps (both directions of an edge), capacity degradations,
       capacity ramps, loss windows, control drop/delay windows and
-      node crash/restart pairs. Raises [Invalid_argument] if
-      [clear_by < 1.0], [clear_by > duration] or the graph has no
-      links. *)
+      node crash/restart pairs.
+
+      [Severing] is the full-severance profile: it crashes exactly
+      one node — [victim] when given, else drawn uniformly — for one
+      bounded window inside [0.2, clear_by], then restarts it. A
+      crash kills {e every} link the node terminates, so every route
+      of any flow with the victim as an endpoint is guaranteed down
+      for the whole window; pin [victim] to a flow endpoint to sever
+      that flow. Draw order (part of the seeding contract): victim
+      (only when not pinned), then the window; non-severing
+      intensities never consume the victim draw, so pre-existing
+      plans are byte-stable. [victim] is ignored by non-severing
+      intensities.
+
+      Raises [Invalid_argument] if [clear_by < 1.0],
+      [clear_by > duration], the victim is out of range or the graph
+      has no links. *)
 end

@@ -302,6 +302,10 @@ module Trace = struct
     | Link_event of { t : float; link : int; capacity : float }
     | Loss_event of { t : float; link : int; prob : float }
     | Ctrl_event of { t : float; drop : float; delay : float }
+    | Route_dead of { t : float; flow : int; route : int; detect_s : float }
+    | Route_probe of { t : float; flow : int; route : int; attempt : int }
+    | Route_restored of { t : float; flow : int; route : int; down_s : float }
+    | Price_reset of { t : float; link : int }
 
   let time = function
     | Enqueue { t; _ }
@@ -315,7 +319,11 @@ module Trace = struct
     | Ack { t; _ }
     | Link_event { t; _ }
     | Loss_event { t; _ }
-    | Ctrl_event { t; _ } -> t
+    | Ctrl_event { t; _ }
+    | Route_dead { t; _ }
+    | Route_probe { t; _ }
+    | Route_restored { t; _ }
+    | Price_reset { t; _ } -> t
 
   let kind = function
     | Enqueue _ -> "enqueue"
@@ -330,10 +338,15 @@ module Trace = struct
     | Link_event _ -> "link"
     | Loss_event _ -> "loss"
     | Ctrl_event _ -> "ctrl"
+    | Route_dead _ -> "route_dead"
+    | Route_probe _ -> "route_probe"
+    | Route_restored _ -> "route_restored"
+    | Price_reset _ -> "price_reset"
 
   let kinds =
     [ "enqueue"; "grant"; "dequeue"; "collision"; "drop"; "delivery"; "price";
-      "rate"; "ack"; "link"; "loss"; "ctrl" ]
+      "rate"; "ack"; "link"; "loss"; "ctrl"; "route_dead"; "route_probe";
+      "route_restored"; "price_reset" ]
 
   let to_json ev =
     let base fields = Json.Obj (("ev", Json.String (kind ev)) :: fields) in
@@ -378,6 +391,19 @@ module Trace = struct
       base [ ("t", f t); ("link", i link); ("prob", f prob) ]
     | Ctrl_event { t; drop; delay } ->
       base [ ("t", f t); ("drop", f drop); ("delay", f delay) ]
+    | Route_dead { t; flow; route; detect_s } ->
+      base
+        [ ("t", f t); ("flow", i flow); ("route", i route);
+          ("detect_s", f detect_s) ]
+    | Route_probe { t; flow; route; attempt } ->
+      base
+        [ ("t", f t); ("flow", i flow); ("route", i route);
+          ("attempt", i attempt) ]
+    | Route_restored { t; flow; route; down_s } ->
+      base
+        [ ("t", f t); ("flow", i flow); ("route", i route);
+          ("down_s", f down_s) ]
+    | Price_reset { t; link } -> base [ ("t", f t); ("link", i link) ]
 
   let encode ev = Json.to_string (to_json ev)
 
@@ -501,6 +527,24 @@ module Trace = struct
         let* drop = field "drop" Json.to_float_opt j in
         let* delay = field "delay" Json.to_float_opt j in
         Ok (Ctrl_event { t; drop; delay })
+      | "route_dead" ->
+        let* flow = field "flow" Json.to_int_opt j in
+        let* route = field "route" Json.to_int_opt j in
+        let* detect_s = field "detect_s" Json.to_float_opt j in
+        Ok (Route_dead { t; flow; route; detect_s })
+      | "route_probe" ->
+        let* flow = field "flow" Json.to_int_opt j in
+        let* route = field "route" Json.to_int_opt j in
+        let* attempt = field "attempt" Json.to_int_opt j in
+        Ok (Route_probe { t; flow; route; attempt })
+      | "route_restored" ->
+        let* flow = field "flow" Json.to_int_opt j in
+        let* route = field "route" Json.to_int_opt j in
+        let* down_s = field "down_s" Json.to_float_opt j in
+        Ok (Route_restored { t; flow; route; down_s })
+      | "price_reset" ->
+        let* link = field "link" Json.to_int_opt j in
+        Ok (Price_reset { t; link })
       | k -> Error (Printf.sprintf "unknown event kind %S" k))
 
   type sink = event -> unit
@@ -945,6 +989,23 @@ module Recorder = struct
       on_fault_boundary r t;
       Metrics.Gauge.set (Metrics.gauge r.reg "ctrl.fault.drop") drop;
       Metrics.Gauge.set (Metrics.gauge r.reg "ctrl.fault.delay") delay
+    | Trace.Route_dead { flow; detect_s; _ } ->
+      Metrics.Counter.incr (Metrics.counter r.reg "recovery.route_deaths");
+      (* Worst-case detection latency of the run, per flow. *)
+      let g =
+        Metrics.gauge r.reg (Printf.sprintf "flow.%d.fault.detect_s" flow)
+      in
+      if detect_s > Metrics.Gauge.value g then Metrics.Gauge.set g detect_s
+    | Trace.Route_probe _ ->
+      Metrics.Counter.incr (Metrics.counter r.reg "recovery.probes")
+    | Trace.Route_restored { flow; down_s; _ } ->
+      Metrics.Counter.incr (Metrics.counter r.reg "recovery.route_restores");
+      let g =
+        Metrics.gauge r.reg (Printf.sprintf "flow.%d.fault.down_s" flow)
+      in
+      if down_s > Metrics.Gauge.value g then Metrics.Gauge.set g down_s
+    | Trace.Price_reset _ ->
+      Metrics.Counter.incr (Metrics.counter r.reg "recovery.price_resets")
 
   let sink r = Trace.of_fn (on_event r)
 
@@ -1122,7 +1183,8 @@ module Summary = struct
           | None -> Hashtbl.add airtime link (ref a))
         | Trace.Enqueue _ | Trace.Dequeue _ | Trace.Price_update _
         | Trace.Ack _ | Trace.Link_event _ | Trace.Loss_event _
-        | Trace.Ctrl_event _ -> ())
+        | Trace.Ctrl_event _ | Trace.Route_dead _ | Trace.Route_probe _
+        | Trace.Route_restored _ | Trace.Price_reset _ -> ())
       events;
     let flow_ids =
       Hashtbl.fold (fun k _ acc -> k :: acc) flows [] |> List.sort compare

@@ -74,6 +74,17 @@
     ctrl       drop delay                 a fault plan set the control
                                           plane's ACK drop probability
                                           and extra ACK latency
+    route_dead flow route detect_s        the recovery detector declared
+                                          a route dead (detect_s =
+                                          latency since last known good)
+    route_probe flow route attempt        a backoff-scheduled reclaim
+                                          probe was injected on a dead
+                                          route
+    route_restored flow route down_s      an ACK came back on a dead
+                                          route; rates restored after
+                                          down_s seconds of outage
+    price_reset link                      recovery expired a stale
+                                          congestion price (γ_l := 0)
     v}
 
     Numbers are encoded with enough digits to round-trip
@@ -141,12 +152,17 @@ module Trace : sig
     | Link_event of { t : float; link : int; capacity : float }
     | Loss_event of { t : float; link : int; prob : float }
     | Ctrl_event of { t : float; drop : float; delay : float }
+    | Route_dead of { t : float; flow : int; route : int; detect_s : float }
+    | Route_probe of { t : float; flow : int; route : int; attempt : int }
+    | Route_restored of { t : float; flow : int; route : int; down_s : float }
+    | Price_reset of { t : float; link : int }
 
   val time : event -> float
   val kind : event -> string
   (** The ["ev"] tag: ["enqueue"], ["grant"], ["dequeue"],
       ["collision"], ["drop"], ["delivery"], ["price"], ["rate"],
-      ["ack"], ["link"], ["loss"], ["ctrl"]. *)
+      ["ack"], ["link"], ["loss"], ["ctrl"], ["route_dead"],
+      ["route_probe"], ["route_restored"], ["price_reset"]. *)
 
   val kinds : string list
   (** Every valid ["ev"] tag (the schema's closed set). *)
@@ -298,7 +314,14 @@ end
       worst window), ["flow.<f>.fault.dip_area"] (Mbit/s·s of goodput
       lost to the dip) and ["flow.<f>.fault.recovery_s"] (time after
       the last fault boundary until goodput is back within 90% of the
-      baseline; -1 = never recovered). *)
+      baseline; -1 = never recovered);
+    - recovery metrics (populated when the engine runs with
+      [recovery] enabled): ["recovery.route_deaths"] /
+      ["recovery.probes"] / ["recovery.route_restores"] /
+      ["recovery.price_resets"] — event counters;
+      ["flow.<f>.fault.detect_s"] — worst detection latency of the
+      run (gauge); ["flow.<f>.fault.down_s"] — longest detected
+      outage that was subsequently restored (gauge). *)
 module Recorder : sig
   type t
 

@@ -34,6 +34,10 @@ let observe t ~now ~true_capacity =
   let w = 1.0 -. exp (-.dt /. tau) in
   if t.est <= 0.0 then t.est <- obs else t.est <- t.est +. (w *. (obs -. t.est))
 
+let reset t ~now ~capacity =
+  t.est <- noisy t.rng t.current_mode capacity;
+  t.last_obs <- now
+
 let estimate t = t.est
 
 let mcs_index_of_capacity cap =

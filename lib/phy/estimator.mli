@@ -33,6 +33,13 @@ val observe : t -> now:float -> true_capacity:float -> unit
 (** Feed the current ground truth at time [now] (seconds). The
     estimate tracks changes with the mode's reaction time constant. *)
 
+val reset : t -> now:float -> capacity:float -> unit
+(** Discard the tracked state and restart from a fresh (noisy)
+    observation of [capacity] at time [now]. Used by the recovery
+    subsystem when a link revives: the estimate tracked toward zero
+    while the link was dead, and letting it re-converge exponentially
+    would misprice the healed link for several control periods. *)
+
 val estimate : t -> float
 (** Current capacity estimate (Mbit/s, >= 0). *)
 

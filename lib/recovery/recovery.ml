@@ -1,0 +1,209 @@
+type config = {
+  dead_ack_threshold : int;
+  hello_timeout : float;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_cap : float;
+  backoff_jitter : float;
+}
+
+let default =
+  {
+    dead_ack_threshold = 3;
+    hello_timeout = 1.0;
+    backoff_base = 0.2;
+    backoff_factor = 2.0;
+    backoff_cap = 2.0;
+    backoff_jitter = 0.1;
+  }
+
+let validate c =
+  if c.dead_ack_threshold < 1 then
+    invalid_arg "Recovery.validate: dead_ack_threshold must be >= 1";
+  if (not (Float.is_finite c.hello_timeout)) || c.hello_timeout <= 0.0 then
+    invalid_arg "Recovery.validate: hello_timeout must be positive";
+  if (not (Float.is_finite c.backoff_base)) || c.backoff_base <= 0.0 then
+    invalid_arg "Recovery.validate: backoff_base must be positive";
+  if (not (Float.is_finite c.backoff_factor)) || c.backoff_factor < 1.0 then
+    invalid_arg "Recovery.validate: backoff_factor must be >= 1";
+  if (not (Float.is_finite c.backoff_cap)) || c.backoff_cap < c.backoff_base
+  then invalid_arg "Recovery.validate: backoff_cap must be >= backoff_base";
+  if
+    (not (Float.is_finite c.backoff_jitter))
+    || c.backoff_jitter < 0.0 || c.backoff_jitter >= 1.0
+  then invalid_arg "Recovery.validate: backoff_jitter must be in [0, 1)"
+
+module Backoff = struct
+  let delay config rng ~attempt =
+    if attempt < 0 then
+      invalid_arg "Recovery.Backoff.delay: attempt must be >= 0";
+    let raw =
+      config.backoff_base *. (config.backoff_factor ** float_of_int attempt)
+    in
+    let capped = Float.min config.backoff_cap raw in
+    if config.backoff_jitter > 0.0 then
+      let u = Rng.float rng in
+      capped *. (1.0 +. (config.backoff_jitter *. ((2.0 *. u) -. 1.0)))
+    else capped
+end
+
+module Detector = struct
+  type verdict =
+    | Alive
+    | Suspect of int
+    | Down of { since : float }
+    | Still_down
+    | Recovered of { down_for : float }
+
+  type route = {
+    mutable misses : int;
+    mutable last_ok : float;
+    mutable pending : float;
+    mutable down : bool;
+    mutable down_since : float;
+  }
+
+  type t = { config : config; routes : route array }
+
+  let create config ~n_routes ~now =
+    validate config;
+    if n_routes < 0 then
+      invalid_arg "Recovery.Detector.create: n_routes must be >= 0";
+    {
+      config;
+      routes =
+        Array.init n_routes (fun _ ->
+            {
+              misses = 0;
+              last_ok = now;
+              pending = 0.0;
+              down = false;
+              down_since = 0.0;
+            });
+    }
+
+  let n_routes t = Array.length t.routes
+
+  let check t route =
+    if route < 0 || route >= Array.length t.routes then
+      invalid_arg "Recovery.Detector: route out of range"
+
+  let dead t route =
+    check t route;
+    t.routes.(route).down
+
+  let down_since t route =
+    check t route;
+    let r = t.routes.(route) in
+    if r.down then Some r.down_since else None
+
+  let observe t ~route ~now ~injected ~acked ~frame_bytes =
+    check t route;
+    if (not (Float.is_finite injected)) || injected < 0.0 then
+      invalid_arg "Recovery.Detector.observe: injected must be >= 0";
+    let r = t.routes.(route) in
+    if acked > 0.0 then (
+      r.misses <- 0;
+      r.pending <- 0.0;
+      r.last_ok <- now;
+      if r.down then (
+        let down_for = now -. r.down_since in
+        r.down <- false;
+        Recovered { down_for })
+      else Alive)
+    else (
+      r.pending <- r.pending +. injected;
+      if injected > 2.0 *. frame_bytes then r.misses <- r.misses + 1;
+      if r.down then Still_down
+      else
+        let hello_expired =
+          r.pending > 0.0 && now -. r.last_ok > t.config.hello_timeout
+        in
+        if r.misses >= t.config.dead_ack_threshold || hello_expired then (
+          let since = r.last_ok in
+          r.down <- true;
+          r.down_since <- now;
+          Down { since })
+        else if r.misses > 0 then Suspect r.misses
+        else Alive)
+end
+
+let stale_seq = 1
+let fresh_seq = 2
+
+type reflood_result = { view : Multigraph.t; flood : Lsdb.Flood.stats }
+
+let reflood g ~caps ~viewer =
+  let n = Multigraph.n_nodes g in
+  if Array.length caps <> Multigraph.num_links g then
+    invalid_arg "Recovery.reflood: capacity vector length mismatch";
+  if viewer < 0 || viewer >= n then invalid_arg "Recovery.reflood: bad viewer";
+  (* [advertise] draws nothing at noise 0, so this rng never advances:
+     re-discovery is deterministic and consumes no caller randomness. *)
+  let rng = Rng.create 0 in
+  let dbs = Array.init n (fun v -> Lsdb.create ~node:v) in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun lsa -> Array.iter (fun db -> ignore (Lsdb.insert db ~now:0.0 lsa)) dbs)
+      (Control_plane.advertise ~seq:stale_seq rng g ~node:v)
+  done;
+  let live = Multigraph.with_capacities g caps in
+  let neighbors v =
+    Multigraph.out_links live v
+    |> List.filter_map (fun l ->
+           if Multigraph.usable live l then
+             Some (Multigraph.link live l).Multigraph.dst
+           else None)
+    |> List.sort_uniq compare
+  in
+  let rounds = ref 0 and messages = ref 0 in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun lsa ->
+        let s = Lsdb.Flood.propagate ~neighbors ~dbs ~from:v lsa in
+        rounds := max !rounds s.Lsdb.Flood.rounds;
+        messages := !messages + s.Lsdb.Flood.messages)
+      (Control_plane.advertise ~seq:fresh_seq rng live ~node:v)
+  done;
+  (* Dead or partitioned nodes never re-advertised, so the viewer's
+     database still holds their pre-seeded stale LSAs; [Lsdb.graph]
+     would resurrect those links (either endpoint's claim suffices).
+     Keep only the freshly flooded generation. *)
+  let fresh = Lsdb.create ~node:viewer in
+  List.iter
+    (fun lsa ->
+      if lsa.Lsa.seq >= fresh_seq then
+        ignore (Lsdb.insert fresh ~now:0.0 lsa))
+    (Lsdb.entries dbs.(viewer));
+  let view = Lsdb.graph fresh ~n_nodes:n ~n_techs:(Multigraph.n_techs g) in
+  { view; flood = { Lsdb.Flood.rounds = !rounds; messages = !messages } }
+
+let mask_caps g ~caps ~view =
+  Array.init (Multigraph.num_links g) (fun l ->
+      if caps.(l) <= 0.0 then 0.0
+      else
+        let lk = Multigraph.link g l in
+        let present =
+          Multigraph.find_links view ~src:lk.Multigraph.src
+            ~dst:lk.Multigraph.dst
+          |> List.exists (fun vl ->
+                 (Multigraph.link view vl).Multigraph.tech = lk.Multigraph.tech)
+        in
+        if present then caps.(l) else 0.0)
+
+let survivors g ~caps ~src ~routes =
+  let { view; flood } = reflood g ~caps ~viewer:src in
+  let masked = mask_caps g ~caps ~view in
+  let ok =
+    List.map
+      (fun (p : Paths.t) ->
+        List.for_all (fun l -> masked.(l) > 0.0) p.Paths.links)
+      routes
+  in
+  (Array.of_list ok, flood)
+
+let replan g dom ~caps ~src ~dst =
+  let { view; flood } = reflood g ~caps ~viewer:src in
+  let masked = mask_caps g ~caps ~view in
+  let comb = Multipath.find (Multigraph.with_capacities g masked) dom ~src ~dst in
+  (comb, flood)

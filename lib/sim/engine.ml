@@ -24,6 +24,8 @@ type config = {
   control_period : float;
   collision_prob : float;
   route_reclaim : bool;
+  price_drain : float;
+  recovery : Recovery.config option;
 }
 
 let default_config =
@@ -40,6 +42,8 @@ let default_config =
     control_period = 0.1;
     collision_prob = 0.12;
     route_reclaim = false;
+    price_drain = 0.0;
+    recovery = None;
   }
 
 type flow_result = {
@@ -131,6 +135,12 @@ type flow_state = {
      and how many consecutive ACKs reported nothing back *)
   injected_window : float array;
   dead_acks : int array;
+  (* self-healing (config.recovery, UDP only): the route-death
+     detector, the reclaim-probe attempt counters, and the
+     routing-estimated rates restored when a dead route heals *)
+  detector : Recovery.Detector.t option;
+  reclaim_attempt : int array;
+  init_x : float array;
   (* tcp *)
   tcp : Tcp.t option;
   mutable tokens : float;
@@ -157,6 +167,7 @@ type event =
   | Tcp_rto of int * float  (* flow, the deadline this event was armed for *)
   | Flow_start of int
   | Flow_stop of int
+  | Reclaim_probe of int * int  (* flow, route: backoff-scheduled probe *)
 
 let mbps_of_bits bits seconds = bits /. 1e6 /. seconds
 
@@ -231,6 +242,12 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           had_traffic = false;
           estimator = Estimator.create est_rngs.(l) ~initial_capacity:(cap l);
         })
+  in
+  (* Recovery randomness (backoff jitter) lives on its own stream,
+     split off only when recovery is enabled — a run with recovery off
+     consumes exactly the historical draw sequence. *)
+  let rec_rng =
+    match config.recovery with Some _ -> Some (Rng.split rng) | None -> None
   in
   let d_est l =
     if config.estimate_capacities then begin
@@ -357,6 +374,18 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       src_dropped = 0;
       injected_window = Array.make n_routes 0.0;
       dead_acks = Array.make n_routes 0;
+      detector =
+        (* The reclaim probes recovery injects would corrupt TCP's
+           reordering and ack machinery, so TCP flows keep the legacy
+           probe-floor path (route_reclaim). *)
+        (match (config.recovery, spec.transport) with
+        | Some rc, Udp when Array.length routes > 0 ->
+          Some
+            (Recovery.Detector.create rc ~n_routes:(Array.length routes)
+               ~now:spec.start_time)
+        | _ -> None);
+      reclaim_attempt = Array.make n_routes 0;
+      init_x = Array.of_list spec.init_rates;
       tcp =
         (match spec.transport with
         | Udp -> None
@@ -590,8 +619,11 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       !chosen
     end
   in
-  let inject_frame f ~bytes ~seq =
-    let ri = pick_route f in
+  (* [route] pins the frame to one route (recovery reclaim probes);
+     without it the route is drawn from the rate split, consuming one
+     rng draw — probes must not perturb that stream. *)
+  let inject_frame ?route f ~bytes ~seq =
+    let ri = match route with Some r -> r | None -> pick_route f in
     let pkt =
       {
         flow = f.id;
@@ -604,7 +636,12 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       }
     in
     f.injected_window.(ri) <- f.injected_window.(ri) +. float_of_int bytes;
-    inv_inject f.id;
+    (match route with
+    | Some _ -> (
+      match inv with
+      | Some t -> Invariants.on_probe t ~now:!now ~flow:f.id
+      | None -> ())
+    | None -> inv_inject f.id);
     enqueue_on_link pkt.links.(0) pkt
   in
   let sendable_bytes f =
@@ -888,6 +925,85 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
 
   (* --- controller --- *)
   let probe_rate = 0.2 in
+  (* Self-healing (config.recovery, UDP flows): a route the detector
+     declares dead has its rate state expired on the spot — the §4
+     duals of its unusable links are reset instead of draining, its
+     mass is redistributed onto the routes that survive the LSDB
+     re-discovery, and reclaim probes are armed on the backoff
+     schedule. A later ack on the route restores its initial rate. *)
+  let on_route_dead f i ~since det rc rrng =
+    let detect_s = !now -. since in
+    if trace_on then
+      emit (Obs.Trace.Route_dead { t = !now; flow = f.id; route = i; detect_s });
+    let dead_mass = f.x.(i) in
+    f.x.(i) <- 0.0;
+    f.x_bar.(i) <- 0.0;
+    Array.iter
+      (fun l ->
+        if caps.(l) <= 0.0 && gamma.(l) > 0.0 then begin
+          gamma.(l) <- 0.0;
+          if trace_on then emit (Obs.Trace.Price_reset { t = !now; link = l })
+        end)
+      f.route_links.(i);
+    let surv, _flood =
+      Recovery.survivors g ~caps ~src:f.spec.src
+        ~routes:(Array.to_list f.routes)
+    in
+    let live = ref [] and live_sum = ref 0.0 in
+    Array.iteri
+      (fun j _ ->
+        if j <> i && surv.(j) && not (Recovery.Detector.dead det j) then begin
+          live := j :: !live;
+          live_sum := !live_sum +. f.x.(j)
+        end)
+      f.routes;
+    (match !live with
+    | [] -> () (* full severance: reclaim probes must bring a route back *)
+    | ls ->
+      let k = float_of_int (List.length ls) in
+      List.iter
+        (fun j ->
+          let share =
+            if !live_sum > 0.0 then dead_mass *. (f.x.(j) /. !live_sum)
+            else dead_mass /. k
+          in
+          f.x.(j) <- f.x.(j) +. share;
+          f.x_bar.(j) <- f.x_bar.(j) +. share)
+        ls);
+    f.reclaim_attempt.(i) <- 0;
+    schedule (Recovery.Backoff.delay rc rrng ~attempt:0) (Reclaim_probe (f.id, i))
+  in
+  let on_route_restored f i ~down_for =
+    if trace_on then
+      emit
+        (Obs.Trace.Route_restored
+           { t = !now; flow = f.id; route = i; down_s = down_for });
+    (* The γ accumulated around the route while it was down is stale:
+       idle estimators under-report capacity, so the reclaim probes
+       themselves register as huge airtime demand and spike the duals
+       of perfectly healthy links. The route's price is
+       d_l Σ_{i∈I_l} γ_i — a sum over each link's {e interference
+       domain} — so the stale mass must be cleared domain-wide, or the
+       restored route keeps paying a phantom congestion price that
+       post-restore traffic sustains indefinitely. Pricing restarts
+       from live measurements (it re-learns within a few 100 ms
+       ticks if the congestion is real). *)
+    Array.iter
+      (fun l ->
+        List.iter
+          (fun l' ->
+            if gamma.(l') > 0.0 then begin
+              gamma.(l') <- 0.0;
+              if trace_on then
+                emit (Obs.Trace.Price_reset { t = !now; link = l' })
+            end)
+          (Domain.domain dom l))
+      f.route_links.(i);
+    let restore = Float.max probe_rate f.init_x.(i) in
+    f.x.(i) <- restore;
+    f.x_bar.(i) <- restore;
+    f.reclaim_attempt.(i) <- 0
+  in
   let cc_update f (ack : Ack.t) =
     if config.enable_cc && Array.length f.routes > 0 then begin
       let a = Alpha.current f.alpha in
@@ -896,40 +1012,62 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       List.iter
         (fun (r : Ack.route_report) ->
           let i = r.Ack.route in
-          (* Failure detection (Section 6.1: link failures are caught
-             within hundreds of ms): a route we keep feeding that
-             returns no bytes for several ACK periods is treated as
-             broken and backed off multiplicatively; the stale q_r it
-             last reported would otherwise keep it attractive. *)
-          if
-            f.injected_window.(i) > 2.0 *. float_of_int config.frame_bytes
-            && r.Ack.bytes = 0
-          then f.dead_acks.(i) <- f.dead_acks.(i) + 1
-          else if r.Ack.bytes > 0 then f.dead_acks.(i) <- 0;
-          f.injected_window.(i) <- 0.0;
-          if f.dead_acks.(i) >= 3 then begin
-            (* With [route_reclaim] the back-off floors at the probe
-               rate, so a dead route keeps carrying the occasional
-               frame and is reclaimed once it heals; the historical
-               behaviour (no floor) starves a recovered route forever
-               because its q_r never refreshes. *)
-            let floor_r = if config.route_reclaim then probe_rate else 0.0 in
-            f.x.(i) <- Float.max floor_r (f.x.(i) *. 0.5);
-            f.x_bar.(i) <- Float.max floor_r (f.x_bar.(i) *. 0.5)
-          end
-          else begin
-            let inner =
-              Float.max 0.0
-                (f.x_bar.(i) +. (config.cc_gain *. (u' -. r.Ack.qr)))
-            in
-            (* Keep a small probe rate on every configured route: a
-               route priced out of use must still carry occasional
-               packets, or its q_r would never refresh and the route
-               could never be reclaimed when conditions improve
-               (e.g. the Figure 9 contender leaving). *)
-            f.x.(i) <-
-              Float.max probe_rate (((1.0 -. a) *. f.x.(i)) +. (a *. inner))
-          end)
+          match (f.detector, config.recovery, rec_rng) with
+          | Some det, Some rc, Some rrng -> (
+            let injected = f.injected_window.(i) in
+            f.injected_window.(i) <- 0.0;
+            match
+              Recovery.Detector.observe det ~route:i ~now:!now ~injected
+                ~acked:(float_of_int r.Ack.bytes)
+                ~frame_bytes:(float_of_int config.frame_bytes)
+            with
+            | Recovery.Detector.Down { since } ->
+              on_route_dead f i ~since det rc rrng
+            | Recovery.Detector.Recovered { down_for } ->
+              on_route_restored f i ~down_for
+            | Recovery.Detector.Still_down -> () (* rate held at zero *)
+            | Recovery.Detector.Alive | Recovery.Detector.Suspect _ ->
+              let inner =
+                Float.max 0.0
+                  (f.x_bar.(i) +. (config.cc_gain *. (u' -. r.Ack.qr)))
+              in
+              f.x.(i) <-
+                Float.max probe_rate (((1.0 -. a) *. f.x.(i)) +. (a *. inner)))
+          | _ ->
+            (* Failure detection (Section 6.1: link failures are caught
+               within hundreds of ms): a route we keep feeding that
+               returns no bytes for several ACK periods is treated as
+               broken and backed off multiplicatively; the stale q_r it
+               last reported would otherwise keep it attractive. *)
+            if
+              f.injected_window.(i) > 2.0 *. float_of_int config.frame_bytes
+              && r.Ack.bytes = 0
+            then f.dead_acks.(i) <- f.dead_acks.(i) + 1
+            else if r.Ack.bytes > 0 then f.dead_acks.(i) <- 0;
+            f.injected_window.(i) <- 0.0;
+            if f.dead_acks.(i) >= 3 then begin
+              (* With [route_reclaim] the back-off floors at the probe
+                 rate, so a dead route keeps carrying the occasional
+                 frame and is reclaimed once it heals; the historical
+                 behaviour (no floor) starves a recovered route forever
+                 because its q_r never refreshes. *)
+              let floor_r = if config.route_reclaim then probe_rate else 0.0 in
+              f.x.(i) <- Float.max floor_r (f.x.(i) *. 0.5);
+              f.x_bar.(i) <- Float.max floor_r (f.x_bar.(i) *. 0.5)
+            end
+            else begin
+              let inner =
+                Float.max 0.0
+                  (f.x_bar.(i) +. (config.cc_gain *. (u' -. r.Ack.qr)))
+              in
+              (* Keep a small probe rate on every configured route: a
+                 route priced out of use must still carry occasional
+                 packets, or its q_r would never refresh and the route
+                 could never be reclaimed when conditions improve
+                 (e.g. the Figure 9 contender leaving). *)
+              f.x.(i) <-
+                Float.max probe_rate (((1.0 -. a) *. f.x.(i)) +. (a *. inner))
+            end)
         ack.Ack.reports;
       for i = 0 to Array.length f.x - 1 do
         f.x_bar.(i) <- ((1.0 -. a) *. f.x_bar.(i)) +. (a *. f.x.(i))
@@ -959,9 +1097,16 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         let y =
           List.fold_left (fun acc l' -> acc +. demand.(l')) 0.0 (Domain.domain dom l)
         in
-        gamma.(l) <-
-          Float.max 0.0
-            (gamma.(l) +. (config.gamma_alpha *. (y -. (1.0 -. config.delta)))))
+        let upd = gamma.(l) +. (config.gamma_alpha *. (y -. (1.0 -. config.delta))) in
+        (* Optional dual leak (per second of simulated time): bounds
+           how long a stale price outlives its load. Off by default —
+           the guard keeps the historical update bit-identical. *)
+        let upd =
+          if config.price_drain > 0.0 then
+            upd -. (config.price_drain *. config.control_period)
+          else upd
+        in
+        gamma.(l) <- Float.max 0.0 upd)
       priced_links;
     if trace_on then
       List.iter
@@ -1022,6 +1167,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
   let handle = function
     | Tx_end l -> handle_tx_end l
     | Capacity_change (l, c) ->
+      let was_dead = caps.(l) <= 0.0 in
       caps.(l) <- Float.max 0.0 c;
       if trace_on then
         emit (Obs.Trace.Link_event { t = !now; link = l; capacity = caps.(l) });
@@ -1047,7 +1193,39 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           st.queue;
         Queue.clear st.queue
       end
-      else try_start l
+      else begin
+        (* Self-healing: a link coming back from the dead restarts
+           with a clean price. The stale γ is not confined to the link
+           itself — any route through l is priced d_l Σ_{i∈I_l} γ_i
+           over l's interference domain, and the overload measured
+           during the outage (traffic aimed at a dead link against
+           decayed idle estimators) spiked γ on the domain peers too.
+           Reset the whole domain so prices re-learn from live
+           measurements; this also covers outages too short for the
+           failure detector to fire. Ramp steps on a live link keep
+           their γ (was_dead is false). *)
+        (match config.recovery with
+        | Some _ when was_dead ->
+          List.iter
+            (fun l' ->
+              if gamma.(l') > 0.0 then begin
+                gamma.(l') <- 0.0;
+                if trace_on then
+                  emit (Obs.Trace.Price_reset { t = !now; link = l' })
+              end)
+            (Domain.domain dom l);
+          (* The capacity estimate is just as stale as the price: it
+             tracked toward zero while the link was dead (offered
+             traffic keeps the fast Active_traffic time constant), so
+             1/estimate would misprice the healed link for several
+             control periods. Restart it from a fresh observation —
+             the draw comes from the estimator's own per-link rng
+             stream, so no other link's sequence shifts. *)
+          if config.estimate_capacities then
+            Estimator.reset links.(l).estimator ~now:!now ~capacity:caps.(l)
+        | _ -> ());
+        try_start l
+      end
     | Loss_change (l, p) ->
       loss.(l) <- p;
       if trace_on then
@@ -1092,6 +1270,27 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       | Udp -> schedule_inject f
       | Tcp_transport -> tcp_try_send f)
     | Flow_stop fid -> flow_states.(fid).active <- false
+    | Reclaim_probe (fid, i) -> (
+      let f = flow_states.(fid) in
+      match (f.detector, config.recovery, rec_rng) with
+      | Some det, Some rc, Some rrng
+        when f.active && Recovery.Detector.dead det i ->
+        (* One frame down the dead route; its delivery (and the ack
+           that reports it) is what flips the detector back to alive.
+           The next probe backs off exponentially up to the cap. *)
+        inject_frame ~route:i f ~bytes:config.frame_bytes
+          ~seq:(f.next_seq land 0xFFFFFFFF);
+        f.next_seq <- f.next_seq + 1;
+        f.sent_bytes <- f.sent_bytes + config.frame_bytes;
+        if trace_on then
+          emit
+            (Obs.Trace.Route_probe
+               { t = !now; flow = fid; route = i; attempt = f.reclaim_attempt.(i) });
+        f.reclaim_attempt.(i) <- f.reclaim_attempt.(i) + 1;
+        schedule
+          (Recovery.Backoff.delay rc rrng ~attempt:f.reclaim_attempt.(i))
+          (Reclaim_probe (fid, i))
+      | _ -> ())
   in
 
   (* --- bootstrap --- *)

@@ -81,7 +81,38 @@ type config = {
           reclaimed once it heals — required for recovery from full
           link/node failures, and what the chaos harness uses. Default
           [false]: the historical behaviour (back-off to zero; a fully
-          failed route stays abandoned even after repair). *)
+          failed route stays abandoned even after repair). Ignored on
+          UDP flows when [recovery] is set (the detector-driven probes
+          replace the fixed floor). *)
+  price_drain : float;
+      (** Per-second dual leak applied at every control tick before
+          the positive projection:
+          [γ_l ← [γ_l + α (y_l - (1-δ)) - price_drain·T]+]. Without
+          it a stale price decays only at α·(1-δ) per tick — about
+          0.03/s with the defaults, the hysteresis that dominated
+          full-severance recovery before the recovery subsystem.
+          Default 0 (the paper's exact update, bit-identical to the
+          historical behaviour); {!Multi_cc.solve} exposes the same
+          knob per slot as [price_drain]. *)
+  recovery : Recovery.config option;
+      (** Self-healing control plane (default [None] — no behaviour
+          or randomness change whatsoever). When set, each UDP flow
+          runs a {!Recovery.Detector} over its ack stream: a route
+          with [dead_ack_threshold] consecutive loaded-but-silent ack
+          windows, or outstanding frames older than [hello_timeout],
+          is declared dead on the spot — its rate state is zeroed,
+          the stale γ of its unusable links is reset (instead of
+          draining), the lost rate mass moves to the routes that
+          survive an LSDB re-discovery ({!Recovery.survivors}), and
+          reclaim probes are scheduled with exponential backoff, cap
+          and seeded jitter ({!Recovery.Backoff}) — replacing the
+          fixed-interval [route_reclaim] floor. An ack returning on a
+          dead route restores its routing-estimated initial rate.
+          TCP flows keep the legacy paths (probes would corrupt the
+          TCP reorder/ack machinery). Recovery draws randomness only
+          from a dedicated stream split off once at startup, so runs
+          with [recovery = None] consume exactly the historical
+          sequence, and equal seeds stay bit-identical with it on. *)
 }
 
 val default_config : config
@@ -153,9 +184,10 @@ val run :
     (wall-clock; compare via {!strip_perf}). All randomness flows
     through the given generator, which is consumed in a fixed order —
     one {!Rng.split} per link (in link-id order) for the capacity
-    estimators, then, per flow in list order, the splits its workload
-    needs (Poisson arrival draws), then the per-frame draws as events
-    execute. Fault draws (frame loss after the collision draw; ACK
+    estimators, then one split for the recovery subsystem's backoff
+    jitter {e only when [config.recovery] is set}, then, per flow in
+    list order, the splits its workload needs (Poisson arrival
+    draws), then the per-frame draws as events execute. Fault draws (frame loss after the collision draw; ACK
     drop at ACK emission) are taken {e only while the corresponding
     fault probability is positive}, so a run with empty fault
     schedules consumes exactly the same stream as one without them.

@@ -57,6 +57,7 @@ type flow_acct = {
   mutable delivered : int;
   mutable dropped : int;
   mutable injected_window : int;
+  mutable probes_window : int;
   mutable delivered_window : int;
   mutable inflight_at_window_start : int;
   mutable next_release : int;        (* next seq the reorder may release *)
@@ -105,6 +106,7 @@ let register_flow t ~flow ~pacing ~rate =
       delivered = 0;
       dropped = 0;
       injected_window = 0;
+      probes_window = 0;
       delivered_window = 0;
       inflight_at_window_start = 0;
       next_release = 0;
@@ -127,6 +129,14 @@ let on_inject t ~now:_ ~flow =
   let a = t.flows.(flow) in
   a.injected <- a.injected + 1;
   a.injected_window <- a.injected_window + 1
+
+(* Reclaim probes are scheduled by the recovery backoff, not by the
+   pacing loop, so they count toward frame conservation but are exempt
+   from the paced-injection window. *)
+let on_probe t ~now:_ ~flow =
+  let a = t.flows.(flow) in
+  a.injected <- a.injected + 1;
+  a.probes_window <- a.probes_window + 1
 
 let on_deliver t ~now ~flow =
   let a = t.flows.(flow) in
@@ -263,12 +273,18 @@ let on_tick t ~now view =
       (* Goodput bound: a flow cannot deliver more than it injected
          this window plus the backlog it had at the window start —
          hence, transitively, never more than Σ_r x_r allows. *)
-      if a.delivered_window > a.injected_window + a.inflight_at_window_start then
+      let injectable =
+        a.injected_window + a.probes_window + a.inflight_at_window_start
+      in
+      if a.delivered_window > injectable then
         report t ~time:now ~rule:"goodput-bound" ~flow:fid
           (Printf.sprintf
-             "delivered %d frames in one period with %d injected + %d backlogged"
-             a.delivered_window a.injected_window a.inflight_at_window_start);
+             "delivered %d frames in one period with %d injected + %d probed + \
+              %d backlogged"
+             a.delivered_window a.injected_window a.probes_window
+             a.inflight_at_window_start);
       a.injected_window <- 0;
+      a.probes_window <- 0;
       a.delivered_window <- 0;
       a.inflight_at_window_start <- inflight a;
       a.max_rate_window <- a.cur_rate)

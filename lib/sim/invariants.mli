@@ -92,6 +92,11 @@ val register_flow : t -> flow:int -> pacing:pacing -> rate:float -> unit
 val on_inject : t -> now:float -> flow:int -> unit
 (** A frame entered the network at its source. *)
 
+val on_probe : t -> now:float -> flow:int -> unit
+(** A recovery reclaim probe entered the network. Probes are armed by
+    the backoff schedule, not the pacing loop, so they count for frame
+    conservation but not against the paced-injection window. *)
+
 val on_deliver : t -> now:float -> flow:int -> unit
 (** A frame reached its destination node. *)
 

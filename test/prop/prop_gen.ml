@@ -160,20 +160,23 @@ let chaos_plan_of_case ?intensity ?clear_by c ~duration =
     (Rng.create (0x1F123BB5 + c.seed))
     c.g ~duration
 
-(* Non-severing plans for the recovery property: shallow capacity
-   degradations, loss windows and control faults, but never capacity
-   0 and never a deep dip. The congestion controller has a measured
-   price hysteresis: while offered load exceeds a link's (estimated)
-   capacity the price gamma grows with the overload, and after the
-   fault clears it drains at a fixed slow rate (~0.03/s), after which
-   the rate itself climbs back only gradually. A severed route takes
+(* Non-severing plans for the legacy recovery property: shallow
+   capacity degradations, loss windows and control faults, but never
+   capacity 0 and never a deep dip. The plain congestion controller
+   has a measured price hysteresis: while offered load exceeds a
+   link's (estimated) capacity the price gamma grows with the
+   overload, and after the fault clears it drains at a fixed slow
+   rate (~0.03/s), after which the rate itself climbs back only
+   gradually. Without the recovery subsystem a severed route takes
    tens of seconds to recover this way, and even a sub-second dip to
-   30% of capacity leaves a price overhang that outlives a 12 s run
-   (see the chaos scenario's recovery metrics, which cover full
-   failures). "Back within 10% shortly after clearing" is therefore
-   only a theorem for faults whose overload x duration is small:
-   degradations here stay above 70% of capacity and last at most
-   ~1.2 s, so the overhang drains well inside the tail window. *)
+   30% of capacity leaves a price overhang that outlives a 12 s run.
+   "Back within 10% shortly after clearing" is therefore a theorem in
+   two regimes: for faults whose overload x duration is small
+   (degradations here stay above 70% of capacity and last at most
+   ~1.2 s, so the overhang drains well inside the tail window), and —
+   with [Engine.config.recovery] set — for full severances, whose
+   stale prices are reset rather than drained (see
+   [severing_plan_of_case] and the severing properties). *)
 let degrading_plan_of_case c ~clear_by =
   let rng = Rng.create (0x2E7F9A11 + c.seed) in
   let n_links = Multigraph.num_links c.g in
@@ -217,6 +220,16 @@ let degrading_plan_of_case c ~clear_by =
              Fault.Ctrl_delay
                { at = t0; until = t1; delay = Rng.uniform rng 0.02 0.15 };
            ]))
+
+(* Severing plans for the self-healing recovery property: one node
+   crash pinned to the flow's destination, so every route of the flow
+   is down for the whole window — the worst case the recovery
+   subsystem must bound. Distinct seed constant: the severing stream
+   never collides with the other per-case plan streams. *)
+let severing_plan_of_case ?clear_by c ~duration =
+  Fault.Gen.plan ~intensity:Fault.Gen.Severing ?clear_by ~victim:c.dst
+    (Rng.create (0x53F7A3C1 + c.seed))
+    c.g ~duration
 
 let mean_goodput_window res i lo hi =
   let pts =

@@ -273,9 +273,11 @@ let prop_chaos_deterministic =
 
 let prop_goodput_recovers_after_faults =
   (* Quantified over non-severing plans (degradations, loss windows,
-     control faults): a severed route's stale congestion prices drain
-     over tens of seconds, a hysteresis the chaos scenario's recovery
-     metrics measure rather than bound (see Prop_gen
+     control faults) with the plain controller: a severed route's
+     stale congestion prices would drain over tens of seconds, a
+     hysteresis the recovery subsystem exists to bound — the severing
+     case is covered by [prop_severed_goodput_recovers] below with
+     [Engine.config.recovery] set (see Prop_gen
      [degrading_plan_of_case]). *)
   QCheck.Test.make ~count:40
     ~name:"goodput recovers to ~baseline after a non-severing plan clears"
@@ -310,6 +312,81 @@ let prop_goodput_recovers_after_faults =
               seed tail baseline;
           true
         end)
+
+(* ---------- oracle 7: self-healing recovery (lib/recovery) ---------- *)
+
+let recovery_config =
+  { chaos_config with Engine.recovery = Some Recovery.default }
+
+let prop_severed_goodput_recovers =
+  (* The tentpole acceptance bar: a severing plan takes down every
+     route of the flow at once (the crash victim is pinned to the
+     flow's destination), yet with the recovery subsystem on the tail
+     goodput is back within ~10% of the fault-free baseline. Timing
+     margin: the plan clears by 4 s, detection takes at most ~1.1 s
+     of the outage, the capped backoff leaves at most ~2.2 s between
+     reclaim probes after the restart, and the domain-wide stale-price
+     reset makes post-restore convergence ~1 s — all well before the
+     [8, 12] tail window opens. *)
+  QCheck.Test.make ~count:30
+    ~name:"severing plan + recovery => goodput back near baseline" seed_gen
+    (fun seed ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        let duration = 12.0 and clear_by = 4.0 in
+        let plan = Prop_gen.severing_plan_of_case c ~clear_by ~duration in
+        let baseline =
+          let res =
+            run_with_plan ~config:recovery_config ~engine_seed:(seed + 21) c
+              flow [] ~duration
+          in
+          Prop_gen.mean_goodput_window res 0 8.0 duration
+        in
+        if baseline < 1.0 then true (* too little traffic to measure *)
+        else begin
+          let inv = Invariants.create ~mode:`Collect () in
+          let res =
+            run_with_plan ~invariants:inv ~config:recovery_config
+              ~engine_seed:(seed + 21) c flow plan ~duration
+          in
+          (match Invariants.violations inv with
+          | [] -> ()
+          | v :: _ as all ->
+            QCheck.Test.fail_reportf
+              "seed %d: %d invariant violation(s) under severance, first: %s"
+              seed (List.length all) (Invariants.describe v));
+          let tail = Prop_gen.mean_goodput_window res 0 8.0 duration in
+          if tail < (0.9 *. baseline) -. 0.8 then
+            QCheck.Test.fail_reportf
+              "seed %d: tail goodput %.3f Mbit/s never recovered to the \
+               fault-free %.3f after full severance"
+              seed tail baseline;
+          true
+        end)
+
+let prop_sever_recovery_deterministic =
+  (* Recovery adds its own rng split (detector jitter, backoff
+     jitter); equal seeds must still be bit-identical. *)
+  QCheck.Test.make ~count:25
+    ~name:"same seed => bit-identical severing runs with recovery on" seed_gen
+    (fun seed ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        let duration = 6.0 in
+        let run () =
+          let plan = Prop_gen.severing_plan_of_case c ~duration in
+          Engine.strip_perf
+            (run_with_plan ~config:recovery_config ~engine_seed:(seed + 23) c
+               flow plan ~duration)
+        in
+        if run () <> run () then
+          QCheck.Test.fail_reportf
+            "seed %d: two identical severing+recovery runs diverged" seed;
+        true)
 
 let prop_empty_plan_is_identity =
   QCheck.Test.make ~count:40
@@ -357,6 +434,8 @@ let () =
       prop_invariants_hold_under_chaos;
       prop_chaos_deterministic;
       prop_goodput_recovers_after_faults;
+      prop_severed_goodput_recovers;
+      prop_sever_recovery_deterministic;
       prop_empty_plan_is_identity;
     ]
   in

@@ -49,7 +49,7 @@ let golden_files =
   else []
 
 let test_goldens_present () =
-  Alcotest.(check int) "three golden scenarios checked in" 3
+  Alcotest.(check int) "four golden scenarios checked in" 4
     (List.length golden_files)
 
 let replay_golden path () =
@@ -67,7 +67,15 @@ let replay_golden path () =
     | None -> Alcotest.failf "%s: unknown intensity %S" path name
   in
   Alcotest.(check string) "scenario tag" "chaos" (jstring "scenario" j);
-  let r = Chaos.run ~intensity ~duration ~seed () in
+  (* Goldens recorded before the recovery subsystem carry no
+     "recovery" field; they replay with it off. *)
+  let recovery =
+    match Obs.Json.member "recovery" j with
+    | Some (Obs.Json.Bool b) -> b
+    | Some _ -> Alcotest.failf "%s: field \"recovery\": expected bool" path
+    | None -> false
+  in
+  let r = Chaos.run ~intensity ~recovery ~duration ~seed () in
   (* The plan itself must replay byte-for-byte... *)
   (match Fault.of_json (jget "plan" j) with
   | Ok p ->
@@ -98,7 +106,14 @@ let replay_golden path () =
       check_float (m "recovery_s") (jfloat "recovery_s" fj) f.Chaos.recovery_s;
       check_float (m "dip_depth") (jfloat "dip_depth" fj) f.Chaos.dip_depth;
       check_float (m "dip_area") (jfloat "dip_area" fj) f.Chaos.dip_area;
-      Alcotest.(check int) (m "reroutes") (jint "reroutes" fj) f.Chaos.reroutes)
+      Alcotest.(check int) (m "reroutes") (jint "reroutes" fj) f.Chaos.reroutes;
+      (* detect_s is absent from pre-recovery goldens. *)
+      match Obs.Json.member "detect_s" fj with
+      | Some v -> (
+        match Obs.Json.to_float_opt v with
+        | Some d -> check_float (m "detect_s") d f.Chaos.detect_s
+        | None -> Alcotest.failf "%s: field \"detect_s\": expected number" path)
+      | None -> ())
     flows r.Chaos.flows
 
 (* ---------- reproducibility ---------- *)
@@ -123,6 +138,32 @@ let test_plan_helper_matches_run () =
     Chaos.plan ~intensity:Fault.Gen.Moderate net ~seed:9 ~duration:6.0
   in
   Alcotest.(check bool) "plan helper agrees with run" true (p = r.Chaos.plan)
+
+let test_sever_recovery_reproducible () =
+  (* The acceptance bar for the recovery subsystem's determinism:
+     equal seeds are bit-identical with recovery on, severing plan
+     included (backoff jitter comes from the engine's dedicated
+     split). *)
+  let go () =
+    Chaos.run ~intensity:Fault.Gen.Severing ~recovery:true ~seed:13
+      ~duration:8.0 ()
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool) "severing plans identical" true
+    (a.Chaos.plan = b.Chaos.plan);
+  Alcotest.(check bool) "results bit-identical (modulo perf)" true
+    (Engine.strip_perf a.Chaos.result = Engine.strip_perf b.Chaos.result);
+  Alcotest.(check bool) "recovery metrics identical" true
+    (a.Chaos.flows = b.Chaos.flows)
+
+let test_recovery_off_is_legacy () =
+  (* ~recovery:false must be the exact historical run: same result as
+     not mentioning recovery at all. *)
+  let a = Chaos.run ~seed:5 ~duration:6.0 () in
+  let b = Chaos.run ~recovery:false ~seed:5 ~duration:6.0 () in
+  Alcotest.(check bool) "recovery:false = legacy" true
+    (Engine.strip_perf a.Chaos.result = Engine.strip_perf b.Chaos.result
+    && a.Chaos.flows = b.Chaos.flows)
 
 let test_report_json_parses () =
   let r = Chaos.run ~seed:5 ~duration:6.0 () in
@@ -150,6 +191,10 @@ let () =
           Alcotest.test_case "bit-identical runs" `Slow test_bit_reproducible;
           Alcotest.test_case "plan helper matches run" `Slow
             test_plan_helper_matches_run;
+          Alcotest.test_case "sever + recovery bit-identical" `Slow
+            test_sever_recovery_reproducible;
+          Alcotest.test_case "recovery off is the legacy run" `Slow
+            test_recovery_off_is_legacy;
           Alcotest.test_case "report JSON parses" `Slow test_report_json_parses;
         ] );
     ]

@@ -372,6 +372,127 @@ let test_gen_valid_and_clears () =
       plan
   done
 
+(* ---------- severing profile ---------- *)
+
+let test_severing_shape () =
+  let g = fig1 () in
+  let duration = 16.0 and clear_by = 6.0 in
+  for seed = 0 to 24 do
+    let plan =
+      Fault.Gen.plan ~intensity:Fault.Gen.Severing ~clear_by (Rng.create seed) g
+        ~duration
+    in
+    (match Fault.validate g plan with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "seed %d: invalid severing plan: %s" seed m);
+    match plan with
+    | [ Fault.Node_crash { at = t0; node = v };
+        Fault.Node_restart { at = t1; node = v' } ] ->
+      if v <> v' then Alcotest.failf "seed %d: restart of a different node" seed;
+      if not (t0 >= 0.2 && t0 < t1 && t1 <= clear_by) then
+        Alcotest.failf "seed %d: window [%.3f, %.3f] escapes [0.2, %.1f]" seed t0
+          t1 clear_by
+    | _ ->
+      Alcotest.failf "seed %d: severing plan is not one crash/restart pair: %s"
+        seed (Fault.encode plan)
+  done
+
+let test_severing_victim_pinned () =
+  let g = fig1 () in
+  for seed = 0 to 9 do
+    match
+      Fault.Gen.plan ~intensity:Fault.Gen.Severing ~victim:2 (Rng.create seed) g
+        ~duration:12.0
+    with
+    | [ Fault.Node_crash { node = 2; _ }; Fault.Node_restart { node = 2; _ } ] ->
+      ()
+    | p -> Alcotest.failf "seed %d: pinned victim not honored: %s" seed
+             (Fault.encode p)
+  done
+
+let test_severing_roundtrip () =
+  (* Generated severing plans survive the JSON codec. *)
+  let g = fig1 () in
+  let plan =
+    Fault.Gen.plan ~intensity:Fault.Gen.Severing ~victim:1 (Rng.create 3) g
+      ~duration:10.0
+  in
+  match Fault.decode (Fault.encode plan) with
+  | Ok p when p = plan -> ()
+  | Ok _ -> Alcotest.fail "severing plan does not round-trip"
+  | Error m -> Alcotest.failf "severing plan decode failed: %s" m
+
+let test_severing_severs_all_routes () =
+  (* Compiling the severing plan must zero the capacity of every
+     directed link incident to the victim — every route through or
+     ending at the victim is down for the whole window. *)
+  let g = fig1 () in
+  let victim = 1 in
+  let plan =
+    Fault.Gen.plan ~intensity:Fault.Gen.Severing ~victim (Rng.create 11) g
+      ~duration:12.0
+  in
+  let c = Fault.compile g plan in
+  let incident =
+    List.sort compare
+      (Multigraph.out_links g victim @ Multigraph.in_links g victim)
+  in
+  let crash_t =
+    match plan with Fault.Node_crash { at; _ } :: _ -> at | _ -> assert false
+  in
+  List.iter
+    (fun l ->
+      if not (List.exists (fun (t, l', cap) -> t = crash_t && l' = l && cap = 0.0)
+                c.Fault.link_events)
+      then Alcotest.failf "incident link %d not brought down at the crash" l)
+    incident;
+  List.iter
+    (fun l ->
+      if not
+           (List.exists
+              (fun (t, l', cap) ->
+                t > crash_t && l' = l && cap = Multigraph.capacity g l)
+              c.Fault.link_events)
+      then Alcotest.failf "incident link %d not restored after the window" l)
+    incident
+
+let test_severing_name_and_determinism () =
+  Alcotest.(check bool) "name round-trips" true
+    (Fault.Gen.intensity_of_name "severing" = Some Fault.Gen.Severing
+    && Fault.Gen.intensity_name Fault.Gen.Severing = "severing");
+  let g = fig1 () in
+  let draw seed =
+    Fault.Gen.plan ~intensity:Fault.Gen.Severing (Rng.create seed) g
+      ~duration:20.0
+  in
+  Alcotest.(check bool) "equal seeds, equal severing plans" true
+    (draw 7 = draw 7);
+  (* Pinning the victim must not consume the victim draw: the window
+     of a pinned plan with the drawn victim matches the free plan. *)
+  let free = draw 7 in
+  let v = match free with Fault.Node_crash { node; _ } :: _ -> node | _ -> 0 in
+  Alcotest.(check bool) "pin of the drawn victim changes the window only" true
+    (match
+       ( free,
+         Fault.Gen.plan ~intensity:Fault.Gen.Severing ~victim:v (Rng.create 7) g
+           ~duration:20.0 )
+     with
+    | ( [ Fault.Node_crash { node = a; _ }; _ ],
+        [ Fault.Node_crash { node = b; _ }; _ ] ) -> a = v && b = v
+    | _ -> false)
+
+let test_severing_victim_ignored_elsewhere () =
+  (* Non-severing intensities ignore [victim] and stay byte-stable. *)
+  let g = fig1 () in
+  let with_v =
+    Fault.Gen.plan ~intensity:Fault.Gen.Heavy ~victim:2 (Rng.create 5) g
+      ~duration:20.0
+  in
+  let without =
+    Fault.Gen.plan ~intensity:Fault.Gen.Heavy (Rng.create 5) g ~duration:20.0
+  in
+  Alcotest.(check bool) "victim is ignored by heavy" true (with_v = without)
+
 let test_gen_bad_args () =
   let g = fig1 () in
   let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
@@ -385,7 +506,15 @@ let test_gen_bad_args () =
     (raises (fun () -> Fault.Gen.plan (Rng.create 1) g ~duration:0.0));
   let empty_g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[] in
   Alcotest.(check bool) "no links raises" true
-    (raises (fun () -> Fault.Gen.plan (Rng.create 1) empty_g ~duration:10.0))
+    (raises (fun () -> Fault.Gen.plan (Rng.create 1) empty_g ~duration:10.0));
+  Alcotest.(check bool) "victim out of range raises" true
+    (raises (fun () ->
+         Fault.Gen.plan ~intensity:Fault.Gen.Severing ~victim:3 (Rng.create 1)
+           (fig1 ()) ~duration:10.0));
+  Alcotest.(check bool) "negative victim raises" true
+    (raises (fun () ->
+         Fault.Gen.plan ~intensity:Fault.Gen.Severing ~victim:(-1) (Rng.create 1)
+           (fig1 ()) ~duration:10.0))
 
 let () =
   Alcotest.run "fault"
@@ -423,5 +552,18 @@ let () =
           Alcotest.test_case "valid and clears in time" `Quick
             test_gen_valid_and_clears;
           Alcotest.test_case "bad arguments" `Quick test_gen_bad_args;
+        ] );
+      ( "severing",
+        [
+          Alcotest.test_case "one bounded crash window" `Quick
+            test_severing_shape;
+          Alcotest.test_case "victim pinned" `Quick test_severing_victim_pinned;
+          Alcotest.test_case "codec round-trip" `Quick test_severing_roundtrip;
+          Alcotest.test_case "all incident links down" `Quick
+            test_severing_severs_all_routes;
+          Alcotest.test_case "name + determinism" `Quick
+            test_severing_name_and_determinism;
+          Alcotest.test_case "victim ignored by other intensities" `Quick
+            test_severing_victim_ignored_elsewhere;
         ] );
     ]

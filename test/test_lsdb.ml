@@ -145,6 +145,130 @@ let test_flood_does_not_cross_partition () =
   Alcotest.(check int) "not the other side" 0
     (List.length (Lsdb.lookup dbs.(4) ~origin:0))
 
+(* --- Re-flood edge cases (the races the recovery subsystem's
+   route re-discovery leans on) --- *)
+
+let test_insert_out_of_order_race () =
+  let db = Lsdb.create ~node:0 in
+  let v k c = Lsa.make ~origin:4 ~seq:k [ entry 1 0 c ] in
+  Alcotest.(check bool) "seq 3 installs" true
+    (Lsdb.insert db ~now:0.0 (v 3 30.0) = `Installed);
+  (* A delayed older advertisement loses the race outright — dropped,
+     not merged, so a dead node's pre-crash state cannot reappear
+     behind a fresher generation. *)
+  Alcotest.(check bool) "late seq 2 is stale" true
+    (Lsdb.insert db ~now:0.1 (v 2 20.0) = `Stale);
+  (* The same generation arriving again (e.g. over a second
+     interface) is suppressed... *)
+  Alcotest.(check bool) "seq 3 again is duplicate" true
+    (Lsdb.insert db ~now:0.2 (v 3 30.0) = `Duplicate);
+  (* ...and suppression is by sequence number, not content: an
+     equal-seq LSA with a different payload is still a duplicate
+     (OSPF-style; content changes require a new sequence). *)
+  Alcotest.(check bool) "equal-seq different payload suppressed" true
+    (Lsdb.insert db ~now:0.3 (v 3 99.0) = `Duplicate);
+  Alcotest.(check bool) "newer still wins afterwards" true
+    (Lsdb.insert db ~now:0.4 (v 4 40.0) = `Installed);
+  match Lsdb.lookup db ~origin:4 with
+  | [ l ] ->
+    Alcotest.(check int) "kept seq 4" 4 l.Lsa.seq;
+    (match l.Lsa.links with
+    | [ e ] -> check_float "winner's payload kept" 40.0 e.Lsa.capacity_mbps
+    | _ -> Alcotest.fail "one entry")
+  | _ -> Alcotest.fail "one fragment"
+
+let test_flood_duplicate_suppression_across_interfaces () =
+  (* A hybrid node hears the same LSA once per medium. Model two
+     parallel interfaces by listing every neighbor twice: each node
+     receives every flooded LSA twice, installs it once, and forwards
+     it once — so the double-interface flood converges in the same
+     rounds with exactly double the transmissions, not exponentially
+     more. *)
+  let n = 8 in
+  let doubled u = line_neighbors n u @ line_neighbors n u in
+  let flood neighbors =
+    let dbs = Array.init n (fun node -> Lsdb.create ~node) in
+    let lsa = Lsa.make ~origin:0 ~seq:1 [ entry 1 0 10.0 ] in
+    let stats = Lsdb.Flood.propagate ~neighbors ~dbs ~from:0 lsa in
+    (dbs, stats)
+  in
+  let dbs2, stats2 = flood doubled in
+  let _, stats1 = flood (line_neighbors n) in
+  Array.iter
+    (fun db ->
+      Alcotest.(check int) "installed exactly once" 1
+        (List.length (Lsdb.lookup db ~origin:0)))
+    dbs2;
+  Alcotest.(check int) "same rounds as single-interface" stats1.Lsdb.Flood.rounds
+    stats2.Lsdb.Flood.rounds;
+  Alcotest.(check int) "exactly 2x transmissions" (2 * stats1.Lsdb.Flood.messages)
+    stats2.Lsdb.Flood.messages
+
+(* --- Recovery re-discovery over the LSDB --- *)
+
+(* A 4-node diamond: 0-1-3 and 0-2-3, one tech. *)
+let diamond () =
+  Multigraph.create ~n_nodes:4 ~n_techs:1
+    ~edges:[ (0, 1, 0, 10.0); (1, 3, 0, 10.0); (0, 2, 0, 10.0); (2, 3, 0, 10.0) ]
+
+let caps_of g = Array.init (Multigraph.num_links g) (Multigraph.capacity g)
+
+let kill_node g caps v =
+  List.iter
+    (fun l -> caps.(l) <- 0.0)
+    (Multigraph.out_links g v @ Multigraph.in_links g v)
+
+let test_reflood_drops_dead_branch () =
+  let g = diamond () in
+  let dom = Domain.single_domain_per_tech g in
+  let caps = caps_of g in
+  kill_node g caps 1;
+  let comb, stats = Recovery.replan g dom ~caps ~src:0 ~dst:3 in
+  Alcotest.(check bool) "re-discovery found a combination" true
+    (comb.Multipath.paths <> []);
+  Alcotest.(check bool) "flooding did work" true (stats.Lsdb.Flood.messages > 0);
+  (* No surviving route may touch the dead node, even though its
+     stale seq-1 advertisement is still in every database. *)
+  List.iter
+    (fun (p, _) ->
+      List.iter
+        (fun l ->
+          let lk = Multigraph.link g l in
+          if lk.Multigraph.src = 1 || lk.Multigraph.dst = 1 then
+            Alcotest.failf "stale advertisement resurrected link %d" l)
+        p.Paths.links)
+    comb.Multipath.paths
+
+let test_reflood_full_partition_is_empty () =
+  let g = diamond () in
+  let dom = Domain.single_domain_per_tech g in
+  let caps = caps_of g in
+  kill_node g caps 3;
+  let comb, _ = Recovery.replan g dom ~caps ~src:0 ~dst:3 in
+  Alcotest.(check bool) "severed destination yields no routes" true
+    (comb.Multipath.paths = [] && comb.Multipath.total_rate = 0.0)
+
+let test_survivors_per_route () =
+  let g = diamond () in
+  let caps = caps_of g in
+  (* The two disjoint routes of the diamond. *)
+  let route_via mid =
+    let l1 = List.hd (Multigraph.find_links g ~src:0 ~dst:mid) in
+    let l2 = List.hd (Multigraph.find_links g ~src:mid ~dst:3) in
+    Paths.of_links g [ l1; l2 ]
+  in
+  let routes = [ route_via 1; route_via 2 ] in
+  let surv, _ = Recovery.survivors g ~caps ~src:0 ~routes in
+  Alcotest.(check bool) "both alive initially" true (surv.(0) && surv.(1));
+  kill_node g caps 1;
+  let surv, _ = Recovery.survivors g ~caps ~src:0 ~routes in
+  Alcotest.(check bool) "only the untouched branch survives" true
+    ((not surv.(0)) && surv.(1));
+  kill_node g caps 3;
+  let surv, _ = Recovery.survivors g ~caps ~src:0 ~routes in
+  Alcotest.(check bool) "full severance: none survive" true
+    ((not surv.(0)) && not surv.(1))
+
 (* --- Control plane end-to-end --- *)
 
 let test_converged_view_matches_truth () =
@@ -225,6 +349,18 @@ let () =
         [
           Alcotest.test_case "line convergence" `Quick test_flood_line_convergence;
           Alcotest.test_case "partition" `Quick test_flood_does_not_cross_partition;
+        ] );
+      ( "re-flood",
+        [
+          Alcotest.test_case "out-of-order seq races" `Quick
+            test_insert_out_of_order_race;
+          Alcotest.test_case "duplicate suppression across interfaces" `Quick
+            test_flood_duplicate_suppression_across_interfaces;
+          Alcotest.test_case "dead branch dropped" `Quick
+            test_reflood_drops_dead_branch;
+          Alcotest.test_case "full partition empty" `Quick
+            test_reflood_full_partition_is_empty;
+          Alcotest.test_case "per-route survivors" `Quick test_survivors_per_route;
         ] );
       ( "control-plane",
         [

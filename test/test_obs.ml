@@ -98,6 +98,10 @@ let all_event_variants =
     Loss_event { t = 10.0; link = 4; prob = 0.19483726451 };
     Loss_event { t = 10.5; link = 4; prob = 0.0 };
     Ctrl_event { t = 11.0; drop = 1.0 /. 3.0; delay = 0.07 /. 0.9 };
+    Route_dead { t = 12.0; flow = 0; route = 1; detect_s = 0.29999999999999893 };
+    Route_probe { t = 12.5; flow = 0; route = 1; attempt = 3 };
+    Route_restored { t = 13.0; flow = 0; route = 1; down_s = 2.0 /. 0.7 };
+    Price_reset { t = 14.0; link = 17 };
   ]
 
 let test_event_roundtrip () =
