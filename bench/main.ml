@@ -1,15 +1,25 @@
-(* The benchmark harness: `dune exec bench/main.exe`.
+(* The benchmark harness: `dune exec bench/main.exe [SECTION...]`.
 
-   Part 1 — Bechamel micro-benchmarks of the kernels every experiment
-   leans on (one Test.make per kernel): the multipath exploration
-   tree, CSC Dijkstra, Yen, the congestion controller, the LP-based
-   optimal baseline, the fluid MAC, the packet engine and the 20-byte
-   header codec.
+   Sections (default: all three, in this order):
 
-   Part 2 — regeneration of every table and figure of the paper's
-   evaluation at bench scale (the same printers the CLI uses, smaller
-   run counts). Set EMPOWER_BENCH_RUNS to scale part 2 up; the paper
-   itself uses 1000 simulation runs per figure. *)
+   - kernels      Bechamel micro-benchmarks of the kernels every
+                  experiment leans on (one Test.make per kernel): the
+                  multipath exploration tree, CSC Dijkstra, Yen, the
+                  congestion controller, the LP-based optimal baseline,
+                  the fluid MAC, the packet engine and the 20-byte
+                  header codec.
+   - sim          wall-clock engine throughput on a pinned scenario,
+                  written to BENCH_sim.json: events/s and allocation
+                  per event, trace overhead, chaos/severance runs, and
+                  the parallel-executor mini suite (per-figure wall
+                  seconds at --jobs 1 vs 4 plus the speedup, with a
+                  bit-identity check on the results).
+   - experiments  regeneration of every table and figure of the
+                  paper's evaluation at bench scale (the same printers
+                  the CLI uses, smaller run counts; replications fan
+                  out over EMPOWER_JOBS worker domains if set). Set
+                  EMPOWER_BENCH_RUNS to scale this section up; the
+                  paper itself uses 1000 simulation runs per figure. *)
 
 open Bechamel
 open Toolkit
@@ -154,6 +164,10 @@ let write_sim_bench () =
     ignore (one 0) (* warm-up *);
     let reps = 5 in
     let events = ref 0 and bytes = ref 0 and peak_q = ref 0 in
+    (* Allocation probe: minor words drawn across the timed reps give
+       the engine's per-event allocation pressure (the hot-path diet's
+       regression metric), alongside ns per event. *)
+    let minor0 = Gc.minor_words () in
     let t0 = Sys.time () in
     for i = 1 to reps do
       let res = one i in
@@ -162,6 +176,7 @@ let write_sim_bench () =
       peak_q := max !peak_q res.Engine.perf.Engine.peak_queue_depth
     done;
     let elapsed = Float.max 1e-9 (Sys.time () -. t0) in
+    let minor_words = Gc.minor_words () -. minor0 in
     (* Same reps again with a counting trace sink attached: the delta
        is the cost of the instrumentation hooks plus event records. *)
     let trace_events = ref 0 in
@@ -179,14 +194,16 @@ let write_sim_bench () =
     let frames_s = float_of_int frames /. elapsed in
     let overhead_pct = (elapsed_traced /. elapsed -. 1.0) *. 100.0 in
     (* Chaos runs stress the fault schedules on top of the engine: the
-       testbed scenario with a generated moderate plan per seed. *)
+       testbed scenario with a generated moderate plan per seed,
+       dispatched through Chaos.sweep (sequential unless EMPOWER_JOBS
+       is set — CPU time keeps the timing honest either way). *)
     let chaos_events = ref 0 and chaos_faults = ref 0 in
     let t2 = Sys.time () in
-    for i = 1 to reps do
-      let rep = Chaos.run ~seed:i ~duration:4.0 () in
-      chaos_events := !chaos_events + rep.Chaos.result.Engine.events_processed;
-      chaos_faults := !chaos_faults + rep.Chaos.fault_events
-    done;
+    List.iter
+      (fun rep ->
+        chaos_events := !chaos_events + rep.Chaos.result.Engine.events_processed;
+        chaos_faults := !chaos_faults + rep.Chaos.fault_events)
+      (Chaos.sweep ~duration:4.0 (List.init reps (fun i -> i + 1)));
     let elapsed_chaos = Float.max 1e-9 (Sys.time () -. t2) in
     let chaos_events_s = float_of_int !chaos_events /. elapsed_chaos in
     (* The self-healing headline numbers: a pinned full-severance run
@@ -197,15 +214,41 @@ let write_sim_bench () =
     let sever_flow = List.hd sever.Chaos.flows in
     let t3 = Sys.time () in
     let sever_events = ref 0 in
-    for i = 1 to reps do
-      let rep =
-        Chaos.run ~intensity:Fault.Gen.Severing ~recovery:true ~seed:i
-          ~duration:4.0 ()
-      in
-      sever_events := !sever_events + rep.Chaos.result.Engine.events_processed
-    done;
+    List.iter
+      (fun rep ->
+        sever_events := !sever_events + rep.Chaos.result.Engine.events_processed)
+      (Chaos.sweep ~intensity:Fault.Gen.Severing ~recovery:true ~duration:4.0
+         (List.init reps (fun i -> i + 1)));
     let elapsed_sever = Float.max 1e-9 (Sys.time () -. t3) in
     let sever_events_s = float_of_int !sever_events /. elapsed_sever in
+    (* Parallel-executor mini suite: three figures timed wall-clock at
+       --jobs 1 and --jobs 4 (speedup needs wall time, not CPU time —
+       worker domains burn CPU concurrently). The results must be
+       bit-identical; the check lands in the JSON. On a single-core
+       host the speedup hovers around 1. *)
+    let wall = Unix.gettimeofday in
+    let timed f =
+      let t = wall () in
+      let r = f () in
+      (r, Float.max 1e-9 (wall () -. t))
+    in
+    let par_case name run =
+      let r1, t1 = timed (fun () -> run 1) in
+      let r4, t4 = timed (fun () -> run 4) in
+      (name, t1, t4, r1 = r4)
+    in
+    let par_rows =
+      [
+        par_case "fig4" (fun jobs -> Fig4.run ~runs:24 ~jobs Common.Residential);
+        par_case "fig6" (fun jobs -> Fig6.run ~runs:10 ~jobs Common.Residential);
+        par_case "convergence" (fun jobs ->
+            Convergence.run ~runs:6 ~jobs Common.Residential);
+      ]
+    in
+    let par_t1 = List.fold_left (fun a (_, t, _, _) -> a +. t) 0.0 par_rows in
+    let par_t4 = List.fold_left (fun a (_, _, t, _) -> a +. t) 0.0 par_rows in
+    let par_identical = List.for_all (fun (_, _, _, ok) -> ok) par_rows in
+    let parallel_speedup_4j = par_t1 /. Float.max 1e-9 par_t4 in
     let oc = open_out "BENCH_sim.json" in
     Printf.fprintf oc
       "{\n\
@@ -214,6 +257,8 @@ let write_sim_bench () =
       \  \"elapsed_s\": %.3f,\n\
       \  \"runs_per_s\": %.2f,\n\
       \  \"events_per_s\": %.0f,\n\
+      \  \"ns_per_event\": %.1f,\n\
+      \  \"minor_words_per_event\": %.2f,\n\
       \  \"delivered_frames_per_s\": %.0f,\n\
       \  \"peak_event_queue\": %d,\n\
       \  \"events_per_s_traced\": %.0f,\n\
@@ -224,20 +269,36 @@ let write_sim_bench () =
       \  \"sever_events_per_s\": %.0f,\n\
       \  \"sever_detect_s\": %.3f,\n\
       \  \"sever_recovery_s\": %.3f,\n\
-      \  \"sever_goodput_mbps\": %.3f\n\
+      \  \"sever_goodput_mbps\": %.3f,\n\
+      \  \"parallel_figure_wall_s\": {%s},\n\
+      \  \"parallel_identical\": %b,\n\
+      \  \"parallel_speedup_4j\": %.2f\n\
        }\n"
-      duration reps elapsed runs_s events_s frames_s !peak_q events_s_traced
+      duration reps elapsed runs_s events_s
+      (elapsed *. 1e9 /. float_of_int (max 1 !events))
+      (minor_words /. float_of_int (max 1 !events))
+      frames_s !peak_q events_s_traced
       (!trace_events / reps) overhead_pct chaos_events_s
       (!chaos_faults / reps) sever_events_s sever_flow.Chaos.detect_s
-      sever_flow.Chaos.recovery_s sever_flow.Chaos.goodput_mbps;
+      sever_flow.Chaos.recovery_s sever_flow.Chaos.goodput_mbps
+      (String.concat ", "
+         (List.map
+            (fun (nm, t1, t4, _) ->
+              Printf.sprintf "\"%s_j1_s\": %.3f, \"%s_j4_s\": %.3f" nm t1 nm t4)
+            par_rows))
+      par_identical parallel_speedup_4j;
     close_out oc;
     Printf.printf
-      "BENCH_sim.json: %.2f runs/s, %.0f events/s, %.0f frames/s, trace \
-       overhead %.1f%%, chaos %.0f events/s, severance detect %.3f s / \
-       recovery %.3f s\n\
+      "BENCH_sim.json: %.2f runs/s, %.0f events/s (%.1f ns, %.2f minor words \
+       per event), %.0f frames/s, trace overhead %.1f%%, chaos %.0f events/s, \
+       severance detect %.3f s / recovery %.3f s, 4-job speedup %.2fx \
+       (identical: %b)\n\
        %!"
-      runs_s events_s frames_s overhead_pct chaos_events_s
-      sever_flow.Chaos.detect_s sever_flow.Chaos.recovery_s
+      runs_s events_s
+      (elapsed *. 1e9 /. float_of_int (max 1 !events))
+      (minor_words /. float_of_int (max 1 !events))
+      frames_s overhead_pct chaos_events_s sever_flow.Chaos.detect_s
+      sever_flow.Chaos.recovery_s parallel_speedup_4j par_identical
 
 (* ---------- part 2: table/figure regeneration ---------- *)
 
@@ -294,7 +355,19 @@ let run_experiments () =
   Ablations.print (Ablations.delta_delay ())
 
 let () =
-  run_kernels ();
-  write_sim_bench ();
-  run_experiments ();
+  let sections =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "kernels"; "sim"; "experiments" ]
+    | args -> args
+  in
+  List.iter
+    (function
+      | "kernels" -> run_kernels ()
+      | "sim" -> write_sim_bench ()
+      | "experiments" -> run_experiments ()
+      | s ->
+        Printf.eprintf
+          "unknown bench section %S (expected kernels, sim or experiments)\n" s;
+        exit 2)
+    sections;
   print_endline "\nbench: done"

@@ -21,6 +21,14 @@ let seed_arg default =
   let doc = "Random seed (experiments are deterministic given the seed)." in
   Arg.(value & opt int default & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel replication executor (default: \
+     $(b,EMPOWER_JOBS), else 1). Results are bit-identical for any value; \
+     1 runs fully sequentially in the calling domain."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let json_arg =
   let doc =
     "Emit the figure as machine-readable JSON on stdout (one object per \
@@ -41,7 +49,8 @@ let metrics_arg =
    polymorphic field: one emitter serves every figure type.) *)
 type emitter = { emit : 'a. 'a -> ('a -> unit) -> ('a -> Obs.Json.t) -> unit }
 
-let with_obs ~json ~metrics body =
+let with_obs ?jobs ~json ~metrics body =
+  Option.iter Exec.set_default_jobs jobs;
   if metrics then ignore (Obs.Runtime.install_metrics ());
   body
     {
@@ -60,48 +69,48 @@ let both_topologies f =
   f Common.Enterprise
 
 let fig4_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         both_topologies (fun topo ->
             e.emit (Fig4.run ~runs ~seed topo) Fig4.print Figure_json.fig4))
   in
   Cmd.v
     (Cmd.info "fig4" ~doc:"CDF of flow throughput per scheme (Figure 4).")
-    Term.(const run $ runs_arg 100 $ seed_arg 1 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 100 $ seed_arg 1 $ json_arg $ metrics_arg $ jobs_arg)
 
 let fig5_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         both_topologies (fun topo ->
             e.emit (Fig5.run ~runs ~seed topo) Fig5.print Figure_json.fig5))
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"MP-mWiFi vs EMPoWER on the worst flows (Figure 5).")
-    Term.(const run $ runs_arg 100 $ seed_arg 2 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 100 $ seed_arg 2 $ json_arg $ metrics_arg $ jobs_arg)
 
 let fig6_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         both_topologies (fun topo ->
             e.emit (Fig6.run ~runs ~seed topo) Fig6.print Figure_json.fig6))
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Throughput against optimal schemes (Figure 6).")
-    Term.(const run $ runs_arg 60 $ seed_arg 3 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 60 $ seed_arg 3 $ json_arg $ metrics_arg $ jobs_arg)
 
 let fig7_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         both_topologies (fun topo ->
             e.emit (Fig7.run ~runs ~seed topo) Fig7.print Figure_json.fig7))
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Utility with 3 contending flows (Figure 7).")
-    Term.(const run $ runs_arg 40 $ seed_arg 4 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 40 $ seed_arg 4 $ json_arg $ metrics_arg $ jobs_arg)
 
 let convergence_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         both_topologies (fun topo ->
             e.emit
               (Convergence.run ~runs ~seed topo)
@@ -110,65 +119,65 @@ let convergence_cmd =
   Cmd.v
     (Cmd.info "convergence"
        ~doc:"Convergence of EMPoWER vs backpressure (Section 5.2.2).")
-    Term.(const run $ runs_arg 30 $ seed_arg 5 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 30 $ seed_arg 5 $ json_arg $ metrics_arg $ jobs_arg)
 
 let fig9_cmd =
-  let run seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         e.emit (Fig9.run ~seed ()) Fig9.print Figure_json.fig9)
   in
   Cmd.v
     (Cmd.info "fig9" ~doc:"Two-flow adaptation example, packet-level (Figure 9).")
-    Term.(const run $ seed_arg 9 $ json_arg $ metrics_arg)
+    Term.(const run $ seed_arg 9 $ json_arg $ metrics_arg $ jobs_arg)
 
 let fig10_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         e.emit (Fig10.run ~pairs:runs ~seed ()) Fig10.print Figure_json.fig10)
   in
   Cmd.v
     (Cmd.info "fig10" ~doc:"50 random testbed pairs (Figure 10).")
-    Term.(const run $ runs_arg 50 $ seed_arg 10 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 50 $ seed_arg 10 $ json_arg $ metrics_arg $ jobs_arg)
 
 let fig11_cmd =
-  let run seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         e.emit (Fig11.run ~seed ()) Fig11.print Figure_json.fig11)
   in
   Cmd.v
     (Cmd.info "fig11" ~doc:"Per-flow mean/std throughput, packet-level (Figure 11).")
-    Term.(const run $ seed_arg 11 $ json_arg $ metrics_arg)
+    Term.(const run $ seed_arg 11 $ json_arg $ metrics_arg $ jobs_arg)
 
 let table1_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         e.emit (Table1.run ~seed ~repeats:runs ()) Table1.print Figure_json.table1)
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Download times with and without CC (Table 1).")
-    Term.(const run $ runs_arg 5 $ seed_arg 12 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 5 $ seed_arg 12 $ json_arg $ metrics_arg $ jobs_arg)
 
 let fig12_cmd =
-  let run seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         e.emit (Fig12.run ~seed ()) Fig12.print Figure_json.fig12)
   in
   Cmd.v
     (Cmd.info "fig12" ~doc:"TCP over EMPoWER time series (Figure 12).")
-    Term.(const run $ seed_arg 13 $ json_arg $ metrics_arg)
+    Term.(const run $ seed_arg 13 $ json_arg $ metrics_arg $ jobs_arg)
 
 let fig13_cmd =
-  let run seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         e.emit (Fig13.run ~seed ()) Fig13.print Figure_json.fig13)
   in
   Cmd.v
     (Cmd.info "fig13" ~doc:"TCP rate over ten flows (Figure 13).")
-    Term.(const run $ seed_arg 14 $ json_arg $ metrics_arg)
+    Term.(const run $ seed_arg 14 $ json_arg $ metrics_arg $ jobs_arg)
 
 let ablations_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         let show d =
           e.emit d Ablations.print Figure_json.ablation;
           if not json then print_newline ()
@@ -182,11 +191,11 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md section 4).")
-    Term.(const run $ runs_arg 30 $ seed_arg 21 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 30 $ seed_arg 21 $ json_arg $ metrics_arg $ jobs_arg)
 
 let metrics_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         both_topologies (fun topo ->
             e.emit
               (Metric_comparison.run ~runs ~seed topo)
@@ -194,27 +203,27 @@ let metrics_cmd =
   in
   Cmd.v
     (Cmd.info "metrics" ~doc:"Single-path metric comparison (footnote 7).")
-    Term.(const run $ runs_arg 40 $ seed_arg 31 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 40 $ seed_arg 31 $ json_arg $ metrics_arg $ jobs_arg)
 
 let mptcp_cmd =
-  let run seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         e.emit
           (Mptcp_applicability.run ~seed ())
           Mptcp_applicability.print Figure_json.mptcp)
   in
   Cmd.v
     (Cmd.info "mptcp" ~doc:"MPTCP applicability census (Section 7).")
-    Term.(const run $ seed_arg 4242 $ json_arg $ metrics_arg)
+    Term.(const run $ seed_arg 4242 $ json_arg $ metrics_arg $ jobs_arg)
 
 let mac_cmd =
-  let run seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         e.emit (Mac_fairness.run ~seed ()) Mac_fairness.print Figure_json.mac_fairness)
   in
   Cmd.v
     (Cmd.info "mac" ~doc:"802.11 vs IEEE 1901 CSMA/CA comparison ([40]).")
-    Term.(const run $ seed_arg 40 $ json_arg $ metrics_arg)
+    Term.(const run $ seed_arg 40 $ json_arg $ metrics_arg $ jobs_arg)
 
 (* ---------- trace ---------- *)
 
@@ -307,7 +316,7 @@ let chaos_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run seed intensity sever no_recovery duration out json metrics =
+  let run seed intensity sever no_recovery duration out json metrics jobs =
     match Fault.Gen.intensity_of_name intensity with
     | None ->
       Printf.eprintf
@@ -320,7 +329,7 @@ let chaos_cmd =
          demonstrates) and off otherwise; --no-recovery forces it off
          in either case for before/after comparisons. *)
       let recovery = intensity = Fault.Gen.Severing && not no_recovery in
-      with_obs ~json ~metrics (fun e ->
+      with_obs ?jobs ~json ~metrics (fun e ->
           let report =
             match out with
             | None -> Chaos.run ~intensity ~recovery ~duration ~seed ()
@@ -369,11 +378,11 @@ let chaos_cmd =
           self-healing recovery subsystem; --no-recovery turns it back off.")
     Term.(
       const run $ seed_arg 7 $ intensity_arg $ sever_arg $ no_recovery_arg
-      $ duration_arg $ out_arg $ json_arg $ metrics_arg)
+      $ duration_arg $ out_arg $ json_arg $ metrics_arg $ jobs_arg)
 
 let all_cmd =
-  let run runs seed json metrics =
-    with_obs ~json ~metrics (fun e ->
+  let run runs seed json metrics jobs =
+    with_obs ?jobs ~json ~metrics (fun e ->
         let header title =
           if not json then
             Printf.printf "\n================ %s ================\n" title
@@ -428,7 +437,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run the full evaluation suite.")
-    Term.(const run $ runs_arg 60 $ seed_arg 1 $ json_arg $ metrics_arg)
+    Term.(const run $ runs_arg 60 $ seed_arg 1 $ json_arg $ metrics_arg $ jobs_arg)
 
 let main =
   let doc = "Reproduce the EMPoWER (CoNEXT'16) evaluation." in

@@ -1,0 +1,160 @@
+(* Domain-pool executor. See exec.mli for the determinism contract.
+
+   Layout: tasks live in an array; a mutex/condition work queue hands
+   out task indices; each of [jobs] worker domains loops taking indices
+   until the queue is closed and drained. Results (or exceptions) are
+   written into per-index slots, so distinct workers never write the
+   same cell, and the submitter reassembles everything in submission
+   order after joining. *)
+
+let configured_jobs : int option ref = ref None
+
+let set_default_jobs n = configured_jobs := Some (if n < 1 then 1 else n)
+
+let default_jobs () =
+  match !configured_jobs with
+  | Some n -> n
+  | None -> (
+    match Sys.getenv_opt "EMPOWER_JOBS" with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1))
+
+module Work_queue = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    mutable head : int; (* next index to hand out *)
+    mutable limit : int; (* indices < limit are published *)
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      head = 0;
+      limit = 0;
+      closed = false;
+    }
+
+  let publish t upto =
+    Mutex.lock t.mutex;
+    t.limit <- upto;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex
+
+  (* Next task index; blocks while the queue is open but empty, returns
+     [None] once it is closed and drained. *)
+  let take t =
+    Mutex.lock t.mutex;
+    let rec await () =
+      if t.head < t.limit then begin
+        let i = t.head in
+        t.head <- i + 1;
+        Mutex.unlock t.mutex;
+        Some i
+      end
+      else if t.closed then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else begin
+        Condition.wait t.nonempty t.mutex;
+        await ()
+      end
+    in
+    await ()
+end
+
+(* Explicit left-to-right sequential map: the reference semantics that
+   the parallel path must reproduce bit for bit. *)
+let seq_map f xs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+      let y = f x in
+      go (y :: acc) rest
+  in
+  go [] xs
+
+let run_parallel jobs f xs =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  (* Captures the submitter's ambient registry (auto-installing it when
+     EMPOWER_METRICS is set) so per-job registries can be folded back
+     into it in submission order. *)
+  let main_reg = Obs.Runtime.metrics () in
+  let job_regs = Array.make n None in
+  let run_one i =
+    let x = tasks.(i) in
+    let res =
+      match main_reg with
+      | None -> (
+        try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()))
+      | Some _ ->
+        (* Fresh registry per job, even when the same worker domain runs
+           several jobs back to back. *)
+        Obs.Runtime.clear ();
+        let reg = Obs.Runtime.install_metrics () in
+        let res =
+          try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Obs.Runtime.clear ();
+        job_regs.(i) <- Some reg;
+        res
+    in
+    results.(i) <- Some res
+  in
+  let q = Work_queue.create () in
+  Work_queue.publish q n;
+  Work_queue.close q;
+  let worker () =
+    let rec loop () =
+      match Work_queue.take q with
+      | None -> ()
+      | Some i ->
+        run_one i;
+        loop ()
+    in
+    loop ()
+  in
+  let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  (match main_reg with
+  | None -> ()
+  | Some into ->
+    Array.iter
+      (function None -> () | Some reg -> Obs.Metrics.merge ~into reg)
+      job_regs);
+  (* Earliest submitted failure wins, matching the sequential fold. *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    results;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok y) -> y
+       | Some (Error _) | None -> assert false)
+
+let map ?jobs f xs =
+  let jobs =
+    match jobs with Some j -> (if j < 1 then 1 else j) | None -> default_jobs ()
+  in
+  let n = List.length xs in
+  let jobs = if jobs > n then n else jobs in
+  if jobs <= 1 then seq_map f xs else run_parallel jobs f xs
+
+let mapi ?jobs f xs =
+  let indexed = List.mapi (fun i x -> (i, x)) xs in
+  map ?jobs (fun (i, x) -> f i x) indexed

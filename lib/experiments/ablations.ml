@@ -11,16 +11,20 @@ type data = {
   runs : int;
 }
 
-(* One random single-flow residential case. *)
-let cases ~runs ~seed =
+(* One random single-flow residential case. Streams are pre-split in
+   submission order ([List.init]'s application order is not a
+   documented guarantee) and the topologies built in parallel; the
+   cases are then shared read-only by every sweep setting. *)
+let cases ?jobs ~runs ~seed () =
   let master = Rng.create seed in
-  List.init runs (fun _ ->
-      let rng = Rng.split master in
+  Exec.map ?jobs
+    (fun rng ->
       let inst = Residential.generate rng in
       let flow = Common.random_flow rng inst in
       let g = Builder.graph inst Builder.Hybrid in
       let dom = Domain.of_instance inst Builder.Hybrid g in
       (g, dom, flow))
+    (Common.split_rngs master runs)
 
 let allocate_on ?(delta = 0.0) ?gain g dom routes =
   match routes with
@@ -31,14 +35,14 @@ let allocate_on ?(delta = 0.0) ?gain g dom routes =
     let res = Multi_cc.solve ?gain ~x_init ~slots:2000 p in
     res.Cc_result.flow_rates.(0)
 
-let n_shortest ?(runs = Common.runs_scaled 30) ?(seed = 21) () =
-  let cs = cases ~runs ~seed in
+let n_shortest ?(runs = Common.runs_scaled 30) ?(seed = 21) ?jobs () =
+  let cs = cases ?jobs ~runs ~seed () in
   let points =
     List.map
       (fun n ->
         let rates, vertices =
           List.split
-            (List.map
+            (Exec.map ?jobs
                (fun (g, dom, (s, d)) ->
                  let comb = Multipath.find ~n g dom ~src:s ~dst:d in
                  ( allocate_on g dom (Multipath.routes comb),
@@ -54,14 +58,14 @@ let n_shortest ?(runs = Common.runs_scaled 30) ?(seed = 21) () =
   in
   { name = "n-shortest"; aux_label = "tree vertices"; points; runs }
 
-let csc ?(runs = Common.runs_scaled 30) ?(seed = 22) () =
-  let cs = cases ~runs ~seed in
+let csc ?(runs = Common.runs_scaled 30) ?(seed = 22) ?jobs () =
+  let cs = cases ?jobs ~runs ~seed () in
   let points =
     List.map
       (fun (label, use_csc) ->
         let rates, hops =
           List.split
-            (List.map
+            (Exec.map ?jobs
                (fun (g, dom, (s, d)) ->
                  let comb = Multipath.find ~csc:use_csc g dom ~src:s ~dst:d in
                  let routes = Multipath.routes comb in
@@ -79,16 +83,18 @@ let csc ?(runs = Common.runs_scaled 30) ?(seed = 22) () =
   in
   { name = "channel-switching cost"; aux_label = "mean hops"; points; runs }
 
-let delta ?(runs = Common.runs_scaled 30) ?(seed = 23) () =
-  let cs = cases ~runs ~seed in
+let delta ?(runs = Common.runs_scaled 30) ?(seed = 23) ?jobs () =
+  let cs = cases ?jobs ~runs ~seed () in
   let base =
-    List.map
+    Exec.map ?jobs
       (fun (g, dom, (s, d)) ->
         Multipath.routes (Multipath.find g dom ~src:s ~dst:d))
       cs
   in
   let rate_at delta =
-    List.map2 (fun (g, dom, _) routes -> allocate_on ~delta g dom routes) cs base
+    Exec.map ?jobs
+      (fun ((g, dom, _), routes) -> allocate_on ~delta g dom routes)
+      (List.combine cs base)
   in
   let rates0 = rate_at 0.0 in
   let points =
@@ -108,14 +114,14 @@ let delta ?(runs = Common.runs_scaled 30) ?(seed = 23) () =
   in
   { name = "constraint margin delta"; aux_label = "fraction of delta=0 rate"; points; runs }
 
-let tree_depth ?(runs = Common.runs_scaled 30) ?(seed = 24) () =
-  let cs = cases ~runs ~seed in
+let tree_depth ?(runs = Common.runs_scaled 30) ?(seed = 24) ?jobs () =
+  let cs = cases ?jobs ~runs ~seed () in
   let points =
     List.map
       (fun (label, cap) ->
         let rates, nroutes =
           List.split
-            (List.map
+            (Exec.map ?jobs
                (fun (g, dom, (s, d)) ->
                  let comb =
                    match cap with
@@ -132,14 +138,14 @@ let tree_depth ?(runs = Common.runs_scaled 30) ?(seed = 24) () =
   in
   { name = "exploration-tree depth cap"; aux_label = "routes used"; points; runs }
 
-let gain ?(runs = Common.runs_scaled 20) ?(seed = 25) () =
-  let cs = cases ~runs ~seed in
+let gain ?(runs = Common.runs_scaled 20) ?(seed = 25) ?jobs () =
+  let cs = cases ?jobs ~runs ~seed () in
   let points =
     List.map
       (fun gn ->
         let rates, convs =
           List.split
-            (List.map
+            (Exec.map ?jobs
                (fun (g, dom, (s, d)) ->
                  let routes = Multipath.routes (Multipath.find g dom ~src:s ~dst:d) in
                  match routes with
@@ -164,13 +170,15 @@ let gain ?(runs = Common.runs_scaled 20) ?(seed = 25) () =
   in
   { name = "proximal gain (cold start)"; aux_label = "convergence slot"; points; runs }
 
-let delta_delay ?(seed = 26) ?(duration = 60.0) () =
+let delta_delay ?(seed = 26) ?(duration = 60.0) ?jobs () =
   let inst = Testbed.generate (Rng.create 4242) in
   let net = Runner.network inst Schemes.Empower in
   let src = Testbed.node 6 and dst = Testbed.node 13 in
   let rr = Runner.routes_and_rates net Schemes.Empower ~src ~dst in
+  (* The five settings are independent packet-level runs with the
+     same fixed seed; fan them out. *)
   let points =
-    List.map
+    Exec.map ?jobs
       (fun dl ->
         let config = { Engine.default_config with delta = dl } in
         let spec = Runner.flow_spec ~src ~dst rr in

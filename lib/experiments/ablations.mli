@@ -28,23 +28,25 @@ type data = {
   runs : int;
 }
 
-val n_shortest : ?runs:int -> ?seed:int -> unit -> data
-(** Sweep n over 1, 2, 3, 5, 8; aux = explored tree vertices. *)
+val n_shortest : ?runs:int -> ?seed:int -> ?jobs:int -> unit -> data
+(** Sweep n over 1, 2, 3, 5, 8; aux = explored tree vertices. [jobs]
+    fans the per-case work out over a domain pool (see {!Fig4.run});
+    bit-identical for any job count — same for the other sweeps. *)
 
-val csc : ?runs:int -> ?seed:int -> unit -> data
+val csc : ?runs:int -> ?seed:int -> ?jobs:int -> unit -> data
 (** CSC on vs off; aux = mean hop count of selected routes. *)
 
-val delta : ?runs:int -> ?seed:int -> unit -> data
+val delta : ?runs:int -> ?seed:int -> ?jobs:int -> unit -> data
 (** Sweep δ over 0, 0.05, 0.1, 0.2, 0.3; aux = fraction of the δ=0
     rate retained. *)
 
-val tree_depth : ?runs:int -> ?seed:int -> unit -> data
+val tree_depth : ?runs:int -> ?seed:int -> ?jobs:int -> unit -> data
 (** Depth cap 1, 2, 3, unlimited; aux = number of routes used. *)
 
-val gain : ?runs:int -> ?seed:int -> unit -> data
+val gain : ?runs:int -> ?seed:int -> ?jobs:int -> unit -> data
 (** Proximal gain 5-200; aux = convergence slot (cold start). *)
 
-val delta_delay : ?seed:int -> ?duration:float -> unit -> data
+val delta_delay : ?seed:int -> ?duration:float -> ?jobs:int -> unit -> data
 (** Packet-level sweep of δ on a saturated testbed flow: mean rate vs
     mean one-way frame delay (ms). Section 4.1's motivation for the
     margin: pushing airtime toward 1 buys little rate and costs a lot

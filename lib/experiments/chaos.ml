@@ -131,6 +131,14 @@ let run ?trace ?intensity ?(recovery = false) ?(duration = 20.0) ~seed () =
     flows;
   }
 
+let sweep ?intensity ?recovery ?duration ?jobs seeds =
+  (* Each seed is an independent pure run (the network is rebuilt
+     inside the job); reports come back in the seeds' order, so a
+     sweep is bit-identical for any job count. *)
+  Exec.map ?jobs
+    (fun seed -> run ?intensity ?recovery ?duration ~seed ())
+    seeds
+
 let to_json r =
   let open Obs.Json in
   Obj
@@ -160,6 +168,15 @@ let to_json r =
                    ("detect_s", Float f.detect_s);
                  ])
              r.flows) );
+    ]
+
+let sweep_json reports =
+  let open Obs.Json in
+  Obj
+    [
+      ("scenario", String "chaos-sweep");
+      ("runs", Int (List.length reports));
+      ("reports", List (List.map to_json reports));
     ]
 
 let print ?(out = stdout) r =

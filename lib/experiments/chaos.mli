@@ -85,5 +85,20 @@ val run :
     {!Obs.Runtime} registry ([--metrics] / [EMPOWER_METRICS]) is also
     populated, including the degradation metrics. *)
 
+val sweep :
+  ?intensity:Fault.Gen.intensity ->
+  ?recovery:bool ->
+  ?duration:float ->
+  ?jobs:int ->
+  int list ->
+  report list
+(** Run the scenario once per seed, fanned out over a domain pool
+    ([jobs] as in {!Fig4.run}); reports come back in the seeds'
+    order and are bit-identical for any job count. *)
+
 val to_json : report -> Obs.Json.t
+
+val sweep_json : report list -> Obs.Json.t
+(** A [chaos-sweep] object wrapping each report's {!to_json}. *)
+
 val print : ?out:out_channel -> report -> unit

@@ -30,6 +30,14 @@ let random_flows rng inst ~n =
   in
   go [] n 1000
 
+let split_rngs master n =
+  (* Explicit in-order loop: List.init's evaluation order is
+     unspecified, and the split order IS the seeding contract — stream
+     [i] must be the [i]-th split whether the replications then run
+     sequentially or on a domain pool. *)
+  let rec go acc k = if k = 0 then List.rev acc else go (Rng.split master :: acc) (k - 1) in
+  go [] n
+
 let runs_scaled default =
   match Sys.getenv_opt "EMPOWER_RUNS" with
   | None -> default

@@ -21,6 +21,13 @@ val random_flow : Rng.t -> Builder.instance -> int * int
 val random_flows : Rng.t -> Builder.instance -> n:int -> (int * int) list
 (** [n] distinct such pairs (distinct sources). *)
 
+val split_rngs : Rng.t -> int -> Rng.t list
+(** [split_rngs master n] is the list of [n] independent streams split
+    off [master] in order — stream [i] is the [i]-th split, exactly
+    what the historical [for]-loop drew at the top of replication [i].
+    Pre-splitting in submission order is what lets [Exec.map] fan the
+    replications out over domains with bit-identical results. *)
+
 val runs_scaled : int -> int
 (** Scale a default run count by the [EMPOWER_RUNS] environment
     variable when set ([EMPOWER_RUNS] is the target for experiments

@@ -19,36 +19,40 @@ let empower_convergence g dom ~src ~dst ~warm =
     let res = Multi_cc.solve ?x_init ~slots:6000 p in
     Option.map float_of_int (Cc_result.convergence_slot res)
 
-let run ?(runs = Common.runs_scaled 30) ?(seed = 5) ?(bp_slots = 20000) topology =
+let run ?(runs = Common.runs_scaled 30) ?(seed = 5) ?(bp_slots = 20000) ?jobs topology =
+  (* Each replication is a pure job returning the (cold, warm, bp)
+     triple, or [None] when the cold start never converges (the
+     historical loop skipped the whole run then). Streams are
+     pre-split in submission order, so any job count is bit-identical
+     to the sequential loop. *)
   let master = Rng.create seed in
-  let cold = ref [] and warm = ref [] and bp = ref [] in
-  for _ = 1 to runs do
-    let rng = Rng.split master in
-    let inst = Common.generate topology rng in
-    let src, dst = Common.random_flow rng inst in
-    let g = Builder.graph inst Builder.Hybrid in
-    let dom = Domain.of_instance inst Builder.Hybrid g in
-    match empower_convergence g dom ~src ~dst ~warm:false with
-    | None -> ()
-    | Some c ->
-      cold := c :: !cold;
-      (match empower_convergence g dom ~src ~dst ~warm:true with
-      | Some w -> warm := w :: !warm
-      | None -> ());
-      let r = Backpressure.run ~slots:bp_slots g dom ~flows:[ (src, dst) ] in
-      let b =
-        match r.Backpressure.convergence_slot with
-        | Some s -> float_of_int s
-        | None -> float_of_int bp_slots
-      in
-      bp := b :: !bp
-  done;
+  let per_run =
+    Exec.map ?jobs
+      (fun rng ->
+        let inst = Common.generate topology rng in
+        let src, dst = Common.random_flow rng inst in
+        let g = Builder.graph inst Builder.Hybrid in
+        let dom = Domain.of_instance inst Builder.Hybrid g in
+        match empower_convergence g dom ~src ~dst ~warm:false with
+        | None -> None
+        | Some c ->
+          let w = empower_convergence g dom ~src ~dst ~warm:true in
+          let r = Backpressure.run ~slots:bp_slots g dom ~flows:[ (src, dst) ] in
+          let b =
+            match r.Backpressure.convergence_slot with
+            | Some s -> float_of_int s
+            | None -> float_of_int bp_slots
+          in
+          Some (c, w, b))
+      (Common.split_rngs master runs)
+  in
+  let kept = List.filter_map Fun.id per_run in
   {
     topology;
     runs;
-    empower_cold = List.rev !cold;
-    empower_warm = List.rev !warm;
-    backpressure = List.rev !bp;
+    empower_cold = List.map (fun (c, _, _) -> c) kept;
+    empower_warm = List.filter_map (fun (_, w, _) -> w) kept;
+    backpressure = List.map (fun (_, _, b) -> b) kept;
   }
 
 let print data =

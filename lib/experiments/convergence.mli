@@ -20,9 +20,10 @@ type data = {
   backpressure : float list;  (** slots to converge *)
 }
 
-val run : ?runs:int -> ?seed:int -> ?bp_slots:int -> Common.topology -> data
+val run : ?runs:int -> ?seed:int -> ?bp_slots:int -> ?jobs:int -> Common.topology -> data
 (** Default 30 runs, seed 5, backpressure horizon 20000 slots (runs
     that have not settled by the horizon are recorded at the
-    horizon). *)
+    horizon). [jobs] as in {!Fig4.run}: parallel and bit-identical
+    for any job count. *)
 
 val print : data -> unit

@@ -17,79 +17,87 @@ let scheme_list =
     ("MP-mWiFi", Schemes.Mp_mwifi);
   ]
 
-let run ?(pairs = 50) ?(seed = 10) () =
+let run ?(pairs = 50) ?(seed = 10) ?jobs () =
   let master = Rng.create seed in
+  (* The testbed instance and its graphs/domains are built once and
+     shared read-only across the jobs; each pair is a pure job over
+     its pre-split stream, merged in submission order. *)
   let inst = Testbed.generate (Rng.create 4242) in
   let g = Builder.graph inst Builder.Hybrid in
   let dom = Domain.of_instance inst Builder.Hybrid g in
   let gw = Builder.graph inst Builder.Single_wifi in
   let domw = Domain.of_instance inst Builder.Single_wifi gw in
-  let acc =
-    List.map (fun (nm, _) -> (nm, ref []))
-      (scheme_list @ [ ("SP-bf", Schemes.Sp); ("SP-WiFi-bf", Schemes.Sp) ])
+  let names =
+    List.map fst scheme_list @ [ "SP-bf"; "SP-WiFi-bf" ]
   in
-  let early = ref [] and late = ref [] and spbf_ratio = ref [] in
   let n = Multigraph.n_nodes g in
-  for _ = 1 to pairs do
-    let rng = Rng.split master in
-    let src = Rng.int rng n in
-    let dst =
-      let rec go () =
-        let d = Rng.int rng n in
-        if d = src then go () else d
-      in
-      go ()
-    in
-    let flow = (src, dst) in
-    let t_emp =
-      (Schemes.evaluate ~opts:testbed_opts (Rng.copy rng) inst Schemes.Empower
-         ~flows:[ flow ]).(0)
-    in
-    if t_emp > 0.1 then begin
-      let record nm v =
-        let cell = List.assoc nm acc in
-        cell := (v /. t_emp) :: !cell
-      in
-      List.iter
-        (fun (nm, s) ->
-          record nm
-            (Schemes.evaluate ~opts:testbed_opts (Rng.copy rng) inst s
-               ~flows:[ flow ]).(0))
-        scheme_list;
-      let spbf = Brute_force.sp_bf g dom ~src ~dst in
-      record "SP-bf" spbf;
-      spbf_ratio := (spbf /. t_emp) :: !spbf_ratio;
-      record "SP-WiFi-bf" (Brute_force.sp_bf ~csc:false gw domw ~src ~dst);
-      (* Convergence trace: controller on EMPoWER's routes, warm
-         start, 1 slot = 100 ms. *)
-      let comb = Multipath.find g dom ~src ~dst in
-      (match Multipath.routes comb with
-      | [] -> ()
-      | routes ->
-        let p = Problem.make ~delta:0.05 g dom ~flows:[ routes ] in
-        let x_init = Array.of_list (List.map snd comb.Multipath.paths) in
-        let res = Multi_cc.solve ~x_init ~slots:2200 p in
-        let final = res.Cc_result.flow_rates.(0) in
-        if final > 0.1 then begin
-          let window lo hi =
-            let acc = ref 0.0 and n = ref 0 in
-            for t = lo to hi - 1 do
-              acc := !acc +. res.Cc_result.trace.(t).(0);
-              incr n
-            done;
-            !acc /. float_of_int !n
+  let per_pair =
+    Exec.map ?jobs
+      (fun rng ->
+        let src = Rng.int rng n in
+        let dst =
+          let rec go () =
+            let d = Rng.int rng n in
+            if d = src then go () else d
           in
-          early := (window 100 200 /. final) :: !early;
-          late := (window 1900 2000 /. final) :: !late
+          go ()
+        in
+        let flow = (src, dst) in
+        let t_emp =
+          (Schemes.evaluate ~opts:testbed_opts (Rng.copy rng) inst Schemes.Empower
+             ~flows:[ flow ]).(0)
+        in
+        if t_emp <= 0.1 then None
+        else begin
+          let scheme_ratios =
+            List.map
+              (fun (_, s) ->
+                (Schemes.evaluate ~opts:testbed_opts (Rng.copy rng) inst s
+                   ~flows:[ flow ]).(0)
+                /. t_emp)
+              scheme_list
+          in
+          let spbf = Brute_force.sp_bf g dom ~src ~dst in
+          let spwifi_bf = Brute_force.sp_bf ~csc:false gw domw ~src ~dst in
+          (* Convergence trace: controller on EMPoWER's routes, warm
+             start, 1 slot = 100 ms. *)
+          let conv =
+            let comb = Multipath.find g dom ~src ~dst in
+            match Multipath.routes comb with
+            | [] -> None
+            | routes ->
+              let p = Problem.make ~delta:0.05 g dom ~flows:[ routes ] in
+              let x_init = Array.of_list (List.map snd comb.Multipath.paths) in
+              let res = Multi_cc.solve ~x_init ~slots:2200 p in
+              let final = res.Cc_result.flow_rates.(0) in
+              if final <= 0.1 then None
+              else begin
+                let window lo hi =
+                  let acc = ref 0.0 and n = ref 0 in
+                  for t = lo to hi - 1 do
+                    acc := !acc +. res.Cc_result.trace.(t).(0);
+                    incr n
+                  done;
+                  !acc /. float_of_int !n
+                in
+                Some (window 100 200 /. final, window 1900 2000 /. final)
+              end
+          in
+          Some
+            (scheme_ratios @ [ spbf /. t_emp; spwifi_bf /. t_emp ], spbf /. t_emp, conv)
         end)
-    end
-  done;
+      (Common.split_rngs master pairs)
+  in
+  let kept = List.filter_map Fun.id per_pair in
   {
     pairs;
-    ratios = List.map (fun (nm, cell) -> (nm, List.rev !cell)) acc;
-    early = List.rev !early;
-    late = List.rev !late;
-    spbf_ratio = List.rev !spbf_ratio;
+    ratios =
+      List.mapi
+        (fun i nm -> (nm, List.map (fun (rs, _, _) -> List.nth rs i) kept))
+        names;
+    early = List.filter_map (fun (_, _, c) -> Option.map fst c) kept;
+    late = List.filter_map (fun (_, _, c) -> Option.map snd c) kept;
+    spbf_ratio = List.map (fun (_, r, _) -> r) kept;
   }
 
 let print data =

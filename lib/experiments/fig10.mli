@@ -21,7 +21,9 @@ type data = {
   spbf_ratio : float list;
 }
 
-val run : ?pairs:int -> ?seed:int -> unit -> data
-(** Default 50 pairs (as the paper), seed 10. *)
+val run : ?pairs:int -> ?seed:int -> ?jobs:int -> unit -> data
+(** Default 50 pairs (as the paper), seed 10. [jobs] as in
+    {!Fig4.run}: the pairs fan out over a domain pool, sharing the
+    read-only testbed instance; bit-identical for any job count. *)
 
 val print : data -> unit

@@ -23,10 +23,12 @@ let measure inst scheme ~src ~dst ~seed ~duration =
     let res = Empower.simulate ~config ~seed net ~flows:[ spec ] ~duration in
     Runner.goodput_stats res.Engine.flows.(0) ~last_seconds:100 ~duration
 
-let run ?(seed = 11) ?(duration = 200.0) () =
+let run ?(seed = 11) ?(duration = 200.0) ?jobs () =
   let inst = Testbed.generate (Rng.create 4242) in
+  (* Each row's seeds are derived from its index alone, so the rows
+     are independent pure jobs over the shared read-only instance. *)
   let rows =
-    List.mapi
+    Exec.mapi ?jobs
       (fun i (a, b) ->
         let src = Testbed.node a and dst = Testbed.node b in
         let seed = seed + (100 * i) in

@@ -19,7 +19,9 @@ type data = { rows : row list; seconds : int }
 val paper_flows : (int * int) list
 (** The ten pairs, 1-based. *)
 
-val run : ?seed:int -> ?duration:float -> unit -> data
-(** Default 200 s per run (statistics over the last 100 s), seed 11. *)
+val run : ?seed:int -> ?duration:float -> ?jobs:int -> unit -> data
+(** Default 200 s per run (statistics over the last 100 s), seed 11.
+    [jobs] as in {!Fig4.run}: the ten rows fan out over a domain
+    pool; bit-identical for any job count. *)
 
 val print : data -> unit

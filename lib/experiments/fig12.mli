@@ -7,7 +7,10 @@
     the received TCP throughput matches the rate the controller
     injects — TCP adapts to the controller's drops/backpressure — and
     multipath raises the throughput despite routes of different
-    lengths and contending mediums. *)
+    lengths and contending mediums.
+
+    This figure is a single continuous timeline (one seeded run), so
+    it takes no [?jobs] — there is nothing to fan out. *)
 
 type sample = {
   time : float;

@@ -39,10 +39,12 @@ let measure inst scheme ~cc ~delta ~src ~dst ~seed ~duration =
       ~last_seconds:(int_of_float (duration -. 30.0))
       ~duration
 
-let run ?(seed = 14) ?(duration = 150.0) ?(delta = 0.3) () =
+let run ?(seed = 14) ?(duration = 150.0) ?(delta = 0.3) ?jobs () =
   let inst = Testbed.generate (Rng.create 4242) in
+  (* Each row's seeds are derived from its index alone, so the rows
+     are independent pure jobs over the shared read-only instance. *)
   let rows =
-    List.mapi
+    Exec.mapi ?jobs
       (fun i (a, b) ->
         let src = Testbed.node a and dst = Testbed.node b in
         let s = seed + (100 * i) in

@@ -16,8 +16,9 @@ type data = { rows : row list; delta : float }
 
 val paper_flows : (int * int) list
 
-val run : ?seed:int -> ?duration:float -> ?delta:float -> unit -> data
+val run : ?seed:int -> ?duration:float -> ?delta:float -> ?jobs:int -> unit -> data
 (** Default 150 s per run (statistics skip the first 30 s), δ = 0.3,
-    seed 14. *)
+    seed 14. [jobs] as in {!Fig4.run}: the ten rows fan out over a
+    domain pool; bit-identical for any job count. *)
 
 val print : data -> unit

@@ -7,20 +7,25 @@ type data = {
 let schemes =
   [ Schemes.Empower; Schemes.Sp; Schemes.Sp_wifi; Schemes.Mp_wifi; Schemes.Mp_mwifi ]
 
-let run ?(runs = Common.runs_scaled 100) ?(seed = 1) topology =
+let run ?(runs = Common.runs_scaled 100) ?(seed = 1) ?jobs topology =
+  (* One pure job per seeded replication: the per-run stream is split
+     off the master in submission order before the fan-out, so the
+     parallel map is bit-identical to the historical sequential loop. *)
   let master = Rng.create seed in
-  let acc = List.map (fun s -> (s, ref [])) schemes in
-  for _ = 1 to runs do
-    let rng = Rng.split master in
-    let inst = Common.generate topology rng in
-    let flow = Common.random_flow rng inst in
-    List.iter
-      (fun (s, cell) ->
-        let rates = Schemes.evaluate (Rng.copy rng) inst s ~flows:[ flow ] in
-        cell := rates.(0) :: !cell)
-      acc
-  done;
-  { topology; runs; samples = List.map (fun (s, cell) -> (s, List.rev !cell)) acc }
+  let per_run =
+    Exec.map ?jobs
+      (fun rng ->
+        let inst = Common.generate topology rng in
+        let flow = Common.random_flow rng inst in
+        List.map
+          (fun s -> (Schemes.evaluate (Rng.copy rng) inst s ~flows:[ flow ]).(0))
+          schemes)
+      (Common.split_rngs master runs)
+  in
+  let samples =
+    List.mapi (fun i s -> (s, List.map (fun rates -> List.nth rates i) per_run)) schemes
+  in
+  { topology; runs; samples }
 
 let mean_of data s =
   match List.assoc_opt s data.samples with

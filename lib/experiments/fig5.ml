@@ -7,22 +7,30 @@ type data = {
   worst_count : int;
 }
 
-let run ?(runs = Common.runs_scaled 100) ?(seed = 2) topology =
+let run ?(runs = Common.runs_scaled 100) ?(seed = 2) ?jobs topology =
+  (* Replications fan out over a domain pool; streams are pre-split in
+     submission order so the output matches the sequential loop
+     bit for bit (the connectivity filter runs on the merged list). *)
   let master = Rng.create seed in
-  let pairs = ref [] in
-  for _ = 1 to runs do
-    let rng = Rng.split master in
-    let inst = Common.generate topology rng in
-    let flow = Common.random_flow rng inst in
-    let e = (Schemes.evaluate (Rng.copy rng) inst Schemes.Empower ~flows:[ flow ]).(0) in
-    let m = (Schemes.evaluate (Rng.copy rng) inst Schemes.Mp_mwifi ~flows:[ flow ]).(0) in
-    if e > 0.0 || m > 0.0 then pairs := (m, e) :: !pairs
-  done;
+  let per_run =
+    Exec.map ?jobs
+      (fun rng ->
+        let inst = Common.generate topology rng in
+        let flow = Common.random_flow rng inst in
+        let e = (Schemes.evaluate (Rng.copy rng) inst Schemes.Empower ~flows:[ flow ]).(0) in
+        let m = (Schemes.evaluate (Rng.copy rng) inst Schemes.Mp_mwifi ~flows:[ flow ]).(0) in
+        (m, e))
+      (Common.split_rngs master runs)
+  in
+  (* The historical loop consed each kept pair, so the sort below saw
+     them in reverse run order; reproduce that exactly — the comparator
+     has ties and the sort makes no stability promise. *)
+  let pairs = List.rev (List.filter (fun (m, e) -> e > 0.0 || m > 0.0) per_run) in
   (* Worst flows: bottom 20% w.r.t. min of the two throughputs. *)
   let sorted =
     List.sort
       (fun (m1, e1) (m2, e2) -> compare (Float.min m1 e1) (Float.min m2 e2))
-      !pairs
+      pairs
   in
   let k = max 1 (List.length sorted / 5) in
   let worst = List.filteri (fun i _ -> i < k) sorted in

@@ -16,7 +16,8 @@ type data = {
   worst_count : int;
 }
 
-val run : ?runs:int -> ?seed:int -> Common.topology -> data
-(** Default 100 runs, seed 2. *)
+val run : ?runs:int -> ?seed:int -> ?jobs:int -> Common.topology -> data
+(** Default 100 runs, seed 2. [jobs] as in {!Fig4.run}: parallel and
+    bit-identical for any job count. *)
 
 val print : data -> unit

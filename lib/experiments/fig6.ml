@@ -13,34 +13,42 @@ let scheme_list =
     ("SP", Some Schemes.Sp);
   ]
 
-let run ?(runs = Common.runs_scaled 60) ?(seed = 3) topology =
+let run ?(runs = Common.runs_scaled 60) ?(seed = 3) ?jobs topology =
+  (* Pure per-replication jobs over pre-split streams (see fig4); a
+     run whose exact optimum is degenerate yields [None] and is
+     filtered out after the in-order merge, like the historical
+     [if t_opt > 0.1] guard. *)
   let master = Rng.create seed in
-  let acc = List.map (fun (nm, _) -> (nm, ref [])) scheme_list in
-  for _ = 1 to runs do
-    let rng = Rng.split master in
-    let inst = Common.generate topology rng in
-    let src, dst = Common.random_flow rng inst in
-    let g = Builder.graph inst Builder.Hybrid in
-    let dom = Domain.of_instance inst Builder.Hybrid g in
-    let t_opt = Opt_solver.max_throughput Rate_region.Exact g dom ~src ~dst in
-    if t_opt > 0.1 then begin
-      let record name v =
-        let cell = List.assoc name acc in
-        cell := (v /. t_opt) :: !cell
-      in
-      record "conservative opt"
-        (Opt_solver.max_throughput Rate_region.Conservative g dom ~src ~dst);
-      List.iter
-        (fun (nm, scheme) ->
-          match scheme with
-          | None -> ()
-          | Some s ->
-            let rates = Schemes.evaluate (Rng.copy rng) inst s ~flows:[ (src, dst) ] in
-            record nm rates.(0))
-        scheme_list
-    end
-  done;
-  { topology; runs; ratios = List.map (fun (nm, cell) -> (nm, List.rev !cell)) acc }
+  let per_run =
+    Exec.map ?jobs
+      (fun rng ->
+        let inst = Common.generate topology rng in
+        let src, dst = Common.random_flow rng inst in
+        let g = Builder.graph inst Builder.Hybrid in
+        let dom = Domain.of_instance inst Builder.Hybrid g in
+        let t_opt = Opt_solver.max_throughput Rate_region.Exact g dom ~src ~dst in
+        if t_opt <= 0.1 then None
+        else
+          Some
+            (List.map
+               (fun (_, scheme) ->
+                 match scheme with
+                 | None ->
+                   Opt_solver.max_throughput Rate_region.Conservative g dom ~src ~dst
+                   /. t_opt
+                 | Some s ->
+                   (Schemes.evaluate (Rng.copy rng) inst s ~flows:[ (src, dst) ]).(0)
+                   /. t_opt)
+               scheme_list))
+      (Common.split_rngs master runs)
+  in
+  let kept = List.filter_map Fun.id per_run in
+  let ratios =
+    List.mapi
+      (fun i (nm, _) -> (nm, List.map (fun vs -> List.nth vs i) kept))
+      scheme_list
+  in
+  { topology; runs; ratios }
 
 let fraction_within data ~scheme ~loss =
   match List.assoc_opt scheme data.ratios with

@@ -15,8 +15,9 @@ type data = {
   ratios : (string * float list) list;  (** T_X / T_optimal per scheme *)
 }
 
-val run : ?runs:int -> ?seed:int -> Common.topology -> data
-(** Default 60 runs (each run solves 2+ LPs), seed 3. *)
+val run : ?runs:int -> ?seed:int -> ?jobs:int -> Common.topology -> data
+(** Default 60 runs (each run solves 2+ LPs), seed 3. [jobs] as in
+    {!Fig4.run}: parallel and bit-identical for any job count. *)
 
 val fraction_within : data -> scheme:string -> loss:float -> float
 (** Fraction of runs where the scheme's ratio is at least

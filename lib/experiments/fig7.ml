@@ -16,32 +16,39 @@ let scheme_list =
     ("SP", Some Schemes.Sp);
   ]
 
-let run ?(runs = Common.runs_scaled 40) ?(seed = 4) topology =
+let run ?(runs = Common.runs_scaled 40) ?(seed = 4) ?jobs topology =
+  (* Pure per-replication jobs over pre-split streams (see fig4), with
+     the degenerate-optimum filter applied after the in-order merge. *)
   let master = Rng.create seed in
-  let acc = List.map (fun (nm, _) -> (nm, ref [])) scheme_list in
-  for _ = 1 to runs do
-    let rng = Rng.split master in
-    let inst = Common.generate topology rng in
-    let flows = Common.random_flows rng inst ~n:3 in
-    let g = Builder.graph inst Builder.Hybrid in
-    let dom = Domain.of_instance inst Builder.Hybrid g in
-    let u_opt = utility (Opt_solver.max_utility Rate_region.Exact g dom ~flows) in
-    if u_opt > 0.1 then begin
-      let record name u =
-        let cell = List.assoc name acc in
-        cell := (u /. u_opt) :: !cell
-      in
-      record "conservative opt"
-        (utility (Opt_solver.max_utility Rate_region.Conservative g dom ~flows));
-      List.iter
-        (fun (nm, scheme) ->
-          match scheme with
-          | None -> ()
-          | Some s -> record nm (utility (Schemes.evaluate (Rng.copy rng) inst s ~flows)))
-        scheme_list
-    end
-  done;
-  { topology; runs; ratios = List.map (fun (nm, cell) -> (nm, List.rev !cell)) acc }
+  let per_run =
+    Exec.map ?jobs
+      (fun rng ->
+        let inst = Common.generate topology rng in
+        let flows = Common.random_flows rng inst ~n:3 in
+        let g = Builder.graph inst Builder.Hybrid in
+        let dom = Domain.of_instance inst Builder.Hybrid g in
+        let u_opt = utility (Opt_solver.max_utility Rate_region.Exact g dom ~flows) in
+        if u_opt <= 0.1 then None
+        else
+          Some
+            (List.map
+               (fun (_, scheme) ->
+                 match scheme with
+                 | None ->
+                   utility (Opt_solver.max_utility Rate_region.Conservative g dom ~flows)
+                   /. u_opt
+                 | Some s ->
+                   utility (Schemes.evaluate (Rng.copy rng) inst s ~flows) /. u_opt)
+               scheme_list))
+      (Common.split_rngs master runs)
+  in
+  let kept = List.filter_map Fun.id per_run in
+  let ratios =
+    List.mapi
+      (fun i (nm, _) -> (nm, List.map (fun vs -> List.nth vs i) kept))
+      scheme_list
+  in
+  { topology; runs; ratios }
 
 let print data =
   let series =

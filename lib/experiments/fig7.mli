@@ -11,7 +11,9 @@ type data = {
   ratios : (string * float list) list;  (** U_X / U_optimal *)
 }
 
-val run : ?runs:int -> ?seed:int -> Common.topology -> data
-(** Default 40 runs (each run solves Frank–Wolfe programs), seed 4. *)
+val run : ?runs:int -> ?seed:int -> ?jobs:int -> Common.topology -> data
+(** Default 40 runs (each run solves Frank–Wolfe programs), seed 4.
+    [jobs] as in {!Fig4.run}: parallel and bit-identical for any job
+    count. *)
 
 val print : data -> unit

@@ -13,7 +13,10 @@
     paper's figure (~20 Mbps WiFi hops, 45/23 Mbps PLC hops). The
     timeline is the paper's scaled by [time_scale]: with the default
     0.1, the contender runs from 195 s to 395 s of a 500 s
-    experiment. *)
+    experiment.
+
+    This figure is a single continuous timeline (one seeded run), so
+    it takes no [?jobs] — there is nothing to fan out. *)
 
 type sample = {
   time : float;

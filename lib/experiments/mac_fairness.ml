@@ -6,9 +6,11 @@ type row = {
 
 type data = { rows : row list; slots : int }
 
-let run ?(seed = 40) ?(slots = 200_000) ?(stations = [ 1; 2; 4; 8; 16; 32 ]) () =
+let run ?(seed = 40) ?(slots = 200_000) ?(stations = [ 1; 2; 4; 8; 16; 32 ]) ?jobs () =
+  (* Each station count seeds its own fresh streams — independent
+     pure jobs, merged in the [stations] order. *)
   let rows =
-    List.map
+    Exec.map ?jobs
       (fun n ->
         {
           n_stations = n;

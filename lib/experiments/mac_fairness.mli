@@ -18,7 +18,7 @@ type row = {
 
 type data = { rows : row list; slots : int }
 
-val run : ?seed:int -> ?slots:int -> ?stations:int list -> unit -> data
+val run : ?seed:int -> ?slots:int -> ?stations:int list -> ?jobs:int -> unit -> data
 (** Defaults: 200000 slots, N in 1, 2, 4, 8, 16, 32. *)
 
 val print : data -> unit

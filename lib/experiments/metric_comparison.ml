@@ -11,26 +11,29 @@ let achieved_rate g dom route =
   let res = Multi_cc.solve ~x_init ~slots:1500 ~stop_tol:0.05 p in
   res.Cc_result.flow_rates.(0)
 
-let run ?(runs = Common.runs_scaled 40) ?(seed = 31) topology =
+let run ?(runs = Common.runs_scaled 40) ?(seed = 31) ?jobs topology =
+  (* One pure job per replication over pre-split streams (see fig4),
+     returning the per-metric rates; transposed after the in-order
+     merge. *)
   let master = Rng.create seed in
-  let acc = List.map (fun m -> (m, ref [])) Metrics.all in
-  for _ = 1 to runs do
-    let rng = Rng.split master in
-    let inst = Common.generate topology rng in
-    let src, dst = Common.random_flow rng inst in
-    let g = Builder.graph inst Builder.Hybrid in
-    let dom = Domain.of_instance inst Builder.Hybrid g in
-    List.iter
-      (fun (m, cell) ->
-        let rate =
-          match Metrics.route m g dom ~src ~dst with
-          | None -> 0.0
-          | Some (p, _) -> achieved_rate g dom p
-        in
-        cell := rate :: !cell)
-      acc
-  done;
-  let samples = List.map (fun (m, cell) -> (m, List.rev !cell)) acc in
+  let per_run =
+    Exec.map ?jobs
+      (fun rng ->
+        let inst = Common.generate topology rng in
+        let src, dst = Common.random_flow rng inst in
+        let g = Builder.graph inst Builder.Hybrid in
+        let dom = Domain.of_instance inst Builder.Hybrid g in
+        List.map
+          (fun m ->
+            match Metrics.route m g dom ~src ~dst with
+            | None -> 0.0
+            | Some (p, _) -> achieved_rate g dom p)
+          Metrics.all)
+      (Common.split_rngs master runs)
+  in
+  let samples =
+    List.mapi (fun i m -> (m, List.map (fun rs -> List.nth rs i) per_run)) Metrics.all
+  in
   let empower_samples = List.assoc Metrics.Empower_csc samples in
   let wins other =
     let total = List.length other in

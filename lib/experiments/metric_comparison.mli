@@ -17,6 +17,8 @@ type data = {
           as the alternative *)
 }
 
-val run : ?runs:int -> ?seed:int -> Common.topology -> data
+val run : ?runs:int -> ?seed:int -> ?jobs:int -> Common.topology -> data
+(** [jobs] as in {!Fig4.run}: replications fan out over a domain
+    pool; bit-identical for any job count. *)
 
 val print : data -> unit

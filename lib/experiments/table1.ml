@@ -66,38 +66,40 @@ let one_run inst ~cc ~seed ~main_bytes ~side ~side_gap =
   in
   (main_time, side_time)
 
-let experiment inst ~seed ~repeats ~main_bytes ~side ~side_gap =
+let experiment ?jobs inst ~seed ~repeats ~main_bytes ~side ~side_gap =
+  (* Repeats are pure jobs keyed by their derived seed; the merged
+     lists are reversed to reproduce the historical consing order the
+     mean/std summation saw. *)
   let run_scheme ~cc base =
-    let mains = ref [] and sides = ref [] in
-    for i = 0 to repeats - 1 do
-      let m, s = one_run inst ~cc ~seed:(base + i) ~main_bytes ~side ~side_gap in
-      Option.iter (fun v -> mains := v :: !mains) m;
-      Option.iter (fun v -> sides := v :: !sides) s
-    done;
-    (!mains, !sides)
+    let per =
+      Exec.mapi ?jobs
+        (fun i () -> one_run inst ~cc ~seed:(base + i) ~main_bytes ~side ~side_gap)
+        (List.init repeats (fun _ -> ()))
+    in
+    (List.rev (List.filter_map fst per), List.rev (List.filter_map snd per))
   in
   let cc_m, cc_s = run_scheme ~cc:true (seed * 17) in
   let no_m, no_s = run_scheme ~cc:false ((seed * 17) + 7000) in
   ((cell_of cc_m, cell_of no_m), (cell_of cc_s, cell_of no_s))
 
-let run ?(seed = 12) ?(repeats = 5) ?(long_scale = 0.05) () =
+let run ?(seed = 12) ?(repeats = 5) ?(long_scale = 0.05) ?jobs () =
   let inst = Testbed.generate (Rng.create 4242) in
   let long_bytes = int_of_float (2e9 *. long_scale) in
   let long_repeats = max 2 (repeats * 3 / 5) in
   let tiny, _ =
-    experiment inst ~seed:(seed + 1) ~repeats ~main_bytes:100_000 ~side:false
+    experiment ?jobs inst ~seed:(seed + 1) ~repeats ~main_bytes:100_000 ~side:false
       ~side_gap:0.0
   in
   let short, _ =
-    experiment inst ~seed:(seed + 2) ~repeats ~main_bytes:5_000_000 ~side:false
+    experiment ?jobs inst ~seed:(seed + 2) ~repeats ~main_bytes:5_000_000 ~side:false
       ~side_gap:0.0
   in
   let long_, _ =
-    experiment inst ~seed:(seed + 3) ~repeats:long_repeats ~main_bytes:long_bytes
+    experiment ?jobs inst ~seed:(seed + 3) ~repeats:long_repeats ~main_bytes:long_bytes
       ~side:false ~side_gap:0.0
   in
   let conc_main, conc_side =
-    experiment inst ~seed:(seed + 4) ~repeats:long_repeats ~main_bytes:long_bytes
+    experiment ?jobs inst ~seed:(seed + 4) ~repeats:long_repeats ~main_bytes:long_bytes
       ~side:true ~side_gap:(60.0 *. long_scale /. 0.05)
   in
   { tiny; short; long_; conc_main; conc_side; long_bytes }

@@ -26,8 +26,10 @@ type data = {
   long_bytes : int;
 }
 
-val run : ?seed:int -> ?repeats:int -> ?long_scale:float -> unit -> data
+val run : ?seed:int -> ?repeats:int -> ?long_scale:float -> ?jobs:int -> unit -> data
 (** Default: 5 repeats of Tiny/Short, 3 of Long/Conc (the paper uses
-    40/10), [long_scale = 0.05] (2 GB -> 100 MB). Seed 12. *)
+    40/10), [long_scale = 0.05] (2 GB -> 100 MB). Seed 12. [jobs] as
+    in {!Fig4.run}: repeats fan out over a domain pool; bit-identical
+    for any job count. *)
 
 val print : data -> unit

@@ -580,10 +580,16 @@ module Metrics = struct
   end
 
   module Gauge = struct
-    type t = float ref
+    (* [written] distinguishes "never set" from "set to 0" so that
+       merging registries can apply last-writer-wins without clobbering
+       a real value with an untouched gauge. *)
+    type t = { mutable v : float; mutable written : bool }
 
-    let set t v = t := v
-    let value t = !t
+    let set t v =
+      t.v <- v;
+      t.written <- true
+
+    let value t = t.v
   end
 
   module Histogram = struct
@@ -725,7 +731,7 @@ module Metrics = struct
   let gauge t name =
     get_or_create t name
       (fun () ->
-        let g = ref 0.0 in
+        let g = Gauge.{ v = 0.0; written = false } in
         (G g, g))
       (function G g -> Some g | _ -> None)
 
@@ -788,6 +794,46 @@ module Metrics = struct
           p "%-32s series  n=%d last=%.6g mean=%.6g\n" name (Series.length s)
             last (Series.mean s))
       (names t)
+
+  (* Fold [other] into [into], instrument by instrument, in sorted name
+     order so merging is deterministic. Counters and histogram buckets
+     sum; series points append after [into]'s existing points (callers
+     merge job registries in submission order, which reproduces the
+     sequential append order); gauges are last-writer-wins, where an
+     untouched gauge in [other] does not clobber a written one. *)
+  let merge ~into other =
+    List.iter
+      (fun name ->
+        match Hashtbl.find other name with
+        | C c -> Counter.add (counter into name) (Counter.value c)
+        | G g -> if g.Gauge.written then Gauge.set (gauge into name) g.Gauge.v
+        | H h ->
+          let relative_error = (h.Histogram.gamma -. 1.0) /. (h.Histogram.gamma +. 1.0) in
+          let dst = histogram into ~relative_error name in
+          if dst.Histogram.gamma <> h.Histogram.gamma then
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics.merge: histogram %S has mismatched relative error"
+                 name);
+          Hashtbl.iter
+            (fun key c ->
+              match Hashtbl.find_opt dst.Histogram.buckets key with
+              | Some r -> r := !r + !c
+              | None -> Hashtbl.add dst.Histogram.buckets key (ref !c))
+            h.Histogram.buckets;
+          dst.Histogram.zero <- dst.Histogram.zero + h.Histogram.zero;
+          dst.Histogram.count <- dst.Histogram.count + h.Histogram.count;
+          dst.Histogram.sum <- dst.Histogram.sum +. h.Histogram.sum;
+          if h.Histogram.min_v < dst.Histogram.min_v then
+            dst.Histogram.min_v <- h.Histogram.min_v;
+          if h.Histogram.max_v > dst.Histogram.max_v then
+            dst.Histogram.max_v <- h.Histogram.max_v
+        | S s ->
+          let dst = series into name in
+          dst.Series.rev <- s.Series.rev @ dst.Series.rev;
+          dst.Series.n <- dst.Series.n + s.Series.n;
+          dst.Series.sum <- dst.Series.sum +. s.Series.sum)
+      (names other)
 end
 
 module Recorder = struct
@@ -1270,22 +1316,30 @@ module Summary = struct
 end
 
 module Runtime = struct
-  let registry : Metrics.t option ref = ref None
+  (* Domain-local rather than process-global: each worker domain spun up
+     by [Exec.map] sees its own slot, installs a private registry for the
+     job it is running, and the executor merges the per-job registries
+     into the submitter's registry in submission order. A plain global
+     [ref] here would be a data race under parallel engine runs. *)
+  let registry : Metrics.t option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
 
   let install_metrics () =
-    match !registry with
+    let slot = Domain.DLS.get registry in
+    match !slot with
     | Some reg -> reg
     | None ->
       let reg = Metrics.create () in
-      registry := Some reg;
+      slot := Some reg;
       reg
 
   let metrics () =
-    match !registry with
+    let slot = Domain.DLS.get registry in
+    match !slot with
     | Some _ as r -> r
     | None ->
       if Sys.getenv_opt "EMPOWER_METRICS" <> None then Some (install_metrics ())
       else None
 
-  let clear () = registry := None
+  let clear () = Domain.DLS.get registry := None
 end

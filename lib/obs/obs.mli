@@ -283,6 +283,18 @@ module Metrics : sig
 
   val print_summary : ?out:out_channel -> t -> unit
   (** Human-readable dump, sorted by name. *)
+
+  val merge : into:t -> t -> unit
+  (** [merge ~into other] folds every instrument of [other] into
+      [into], matching by name: counters and histograms sum (bucket by
+      bucket — both sides must use the same relative error), series
+      points append after [into]'s existing points, and gauges take
+      [other]'s value if it was ever set. [Exec.map] uses this to fold
+      per-job registries back into the submitter's registry in
+      submission order, so a parallel run's merged registry reports the
+      same values as the sequential run's single registry (series point
+      order included). Raises [Invalid_argument] on an instrument-kind
+      or histogram-precision mismatch. [other] is unchanged. *)
 end
 
 (** Populates a {!Metrics.t} registry from trace events. Metric
@@ -373,19 +385,28 @@ module Summary : sig
   val print : ?out:out_channel -> t -> unit
 end
 
-(** Process-global metrics registry, for instrumenting code that is
-    too deep to thread a sink through (the [--metrics] flag of the
-    experiment commands; the [EMPOWER_METRICS] environment variable).
-    When installed, every [Engine.run] without an explicit [?trace]
-    attaches a {!Recorder} over this registry. *)
+(** Ambient metrics registry, for instrumenting code that is too deep
+    to thread a sink through (the [--metrics] flag of the experiment
+    commands; the [EMPOWER_METRICS] environment variable). When
+    installed, every [Engine.run] without an explicit [?trace] attaches
+    a {!Recorder} over this registry.
+
+    The registry slot is {e domain-local} ([Domain.DLS]), not
+    process-global: each worker domain spawned by [Exec.map] has its
+    own slot, jobs run against a private per-job registry, and the
+    executor merges those registries into the submitter's registry in
+    submission order (see {!Metrics.merge}) — so parallel runs report
+    the same merged metrics as sequential ones. *)
 module Runtime : sig
   val install_metrics : unit -> Metrics.t
-  (** Install (or return the already-installed) global registry. *)
+  (** Install (or return the already-installed) registry for the
+      calling domain. *)
 
   val metrics : unit -> Metrics.t option
-  (** The global registry, if installed (or if [EMPOWER_METRICS] is
-      set, in which case the first call installs it). *)
+  (** The calling domain's registry, if installed (or if
+      [EMPOWER_METRICS] is set, in which case the first call
+      installs it). *)
 
   val clear : unit -> unit
-  (** Uninstall. *)
+  (** Uninstall the calling domain's registry. *)
 end

@@ -97,13 +97,15 @@ type file_rec = {
   mutable done_at : float;  (* < 0 while pending *)
 }
 
+(* Per-link hot floats (service timestamps, windowed arrival bits) live
+   in dedicated float arrays rather than record fields: a mutable float
+   field of a mixed record is boxed and every write allocates, while a
+   float-array store does not. *)
 type link_state = {
   queue : packet Queue.t;
   mutable on_air : packet option;
   mutable air_collided : bool;
   mutable air_faulted : bool;  (* frame-loss fault hit this transmission *)
-  mutable last_service : float;
-  mutable window_bits : float;  (* bits that arrived at this queue in the window *)
   mutable had_traffic : bool;
   estimator : Estimator.t;
 }
@@ -141,13 +143,9 @@ type flow_state = {
   detector : Recovery.Detector.t option;
   reclaim_attempt : int array;
   init_x : float array;
-  (* tcp *)
+  (* tcp — the token bucket's floats live in per-flow arrays in [run] *)
   tcp : Tcp.t option;
-  mutable tokens : float;
-  mutable tokens_at : float;
-  (* traces *)
-  mutable bin_start : float;
-  mutable bin_bits : float;
+  (* traces — goodput-bin floats likewise *)
   mutable goodput_rev : (float * float) list;
   mutable rates_rev : (float * float array) list;
   delay_hist : Obs.Metrics.Histogram.t;  (* every one-way frame delay *)
@@ -213,13 +211,52 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
      only while a fault is active — so a run with no fault events
      consumes exactly the same randomness as before. *)
   let loss = Array.make n_links 0.0 in
-  let ctrl_drop = ref 0.0 in
-  let ctrl_delay = ref 0.0 in
+  (* Hot mutable floats live in one-slot (or per-link / per-flow)
+     [float array]s: a float array stores its elements unboxed, so
+     updating one is a plain store, where assigning a [float ref]
+     allocates a fresh boxed float on every write. *)
+  let ctrl_drop = Array.make 1 0.0 in
+  let ctrl_delay = Array.make 1 0.0 in
   let queue_drops = ref 0 in
   let events_processed = ref 0 in
-  let now = ref 0.0 in
-  let q = Pqueue.create () in
-  let schedule dt ev = Pqueue.push q (!now +. dt) ev in
+  let now = Array.make 1 0.0 in
+  let n_flows = List.length flows in
+  (* Pre-size the event queue from the topology: steady state holds at
+     most one Tx_end per link plus a handful of pacing/ack/timer events
+     per flow, and the bootstrap enqueues every fault event up front. *)
+  let q =
+    Pqueue.create
+      ~capacity:
+        (64 + (2 * n_links) + (8 * n_flows)
+        + List.length link_events + List.length loss_events
+        + List.length ctrl_events)
+      ()
+  in
+  (* Deferred-pop fusion: the event being handled stays at the heap root
+     while its handler runs ([pending_drop] is set); the first event the
+     handler schedules replaces the root in a single sift-down
+     ([Pqueue.drop_push] — the ubiquitous pop-then-push cycle costs one
+     sift instead of two), later ones are plain pushes, and a handler
+     that schedules nothing has its root dropped afterwards. This is
+     sound because every scheduled event lands at [now + dt] with
+     [dt >= 0] and [now >=] the root's timestamp, so no push can sift
+     above the in-flight root (FIFO tie-break: equal priority loses to
+     the older sequence number). *)
+  let pending_drop = ref false in
+  let schedule_abs t ev =
+    if !pending_drop then begin
+      pending_drop := false;
+      Pqueue.drop_push q t ev
+    end
+    else Pqueue.push q t ev
+  in
+  let schedule dt ev = schedule_abs (now.(0) +. dt) ev in
+  (* Per-flow hot floats (see the float-array note above): TCP token
+     bucket and goodput-bin accumulators, indexed by flow id. *)
+  let tokens = Array.make (max 1 n_flows) (float_of_int config.frame_bytes) in
+  let tokens_at = Array.make (max 1 n_flows) 0.0 in
+  let bin_start = Array.make (max 1 n_flows) 0.0 in
+  let bin_bits = Array.make (max 1 n_flows) 0.0 in
 
   (* --- links --- *)
   let links =
@@ -237,12 +274,17 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           on_air = None;
           air_collided = false;
           air_faulted = false;
-          last_service = -1.0;
-          window_bits = 0.0;
           had_traffic = false;
           estimator = Estimator.create est_rngs.(l) ~initial_capacity:(cap l);
         })
   in
+  let last_service = Array.make (max 1 n_links) (-1.0) in
+  let window_bits = Array.make (max 1 n_links) 0.0 in
+  (* Preallocated per-link / per-flow event values: the two events
+     scheduled on every frame would otherwise allocate a fresh
+     constructor block each time. *)
+  let tx_end_ev = Array.init n_links (fun l -> Tx_end l) in
+  let inject_ev = Array.init n_flows (fun i -> Inject i) in
   (* Recovery randomness (backoff jitter) lives on its own stream,
      split off only when recovery is enabled — a run with recovery off
      consumes exactly the historical draw sequence. *)
@@ -279,12 +321,15 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
   let priced_links =
     List.filter (fun l -> is_priced.(l)) (List.init n_links Fun.id)
   in
-  (* Congestion price of link l: d_l * sum of gamma over I_l. *)
+  (* Congestion price of link l: d_l * sum of gamma over I_l. Runs on
+     every enqueue, so iterate the domain list directly instead of
+     allocating a fold closure. *)
   let link_price l =
-    let s =
-      List.fold_left (fun acc i -> acc +. gamma.(i)) 0.0 (Domain.domain dom l)
+    let rec sum acc = function
+      | [] -> acc
+      | i :: rest -> sum (acc +. gamma.(i)) rest
     in
-    d_est l *. s
+    d_est l *. sum 0.0 (Domain.domain dom l)
   in
 
   (* Per-node egress map: interface hash -> outgoing link id toward
@@ -392,10 +437,6 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         | Tcp_transport ->
           let params = { Tcp.default_params with segment_bytes = config.frame_bytes } in
           Some (Tcp.create ~params ~total_bytes:(Workload.total_bytes spec.workload) ()));
-      tokens = float_of_int config.frame_bytes;
-      tokens_at = 0.0;
-      bin_start = 0.0;
-      bin_bits = 0.0;
       goodput_rev = [];
       rates_rev = [];
       delay_hist = Obs.Metrics.Histogram.create ();
@@ -448,32 +489,44 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       }
   in
   let inv_inject f =
-    match inv with Some t -> Invariants.on_inject t ~now:!now ~flow:f | None -> ()
+    match inv with Some t -> Invariants.on_inject t ~now:now.(0) ~flow:f | None -> ()
   in
   let inv_deliver f =
-    match inv with Some t -> Invariants.on_deliver t ~now:!now ~flow:f | None -> ()
+    match inv with Some t -> Invariants.on_deliver t ~now:now.(0) ~flow:f | None -> ()
   in
   let inv_drop ~link ~reason f =
     match inv with
-    | Some t -> Invariants.on_drop t ~now:!now ~flow:f ~link ~reason
+    | Some t -> Invariants.on_drop t ~now:now.(0) ~flow:f ~link ~reason
     | None -> ()
   in
   let inv_release f ev =
-    match inv with Some t -> Invariants.on_release t ~now:!now ~flow:f ev | None -> ()
+    match inv with Some t -> Invariants.on_release t ~now:now.(0) ~flow:f ev | None -> ()
   in
 
   (* --- goodput bins --- *)
   let flush_bins_upto f t =
-    while f.bin_start +. 1.0 <= t do
-      f.goodput_rev <- (f.bin_start +. 1.0, mbps_of_bits f.bin_bits 1.0) :: f.goodput_rev;
-      f.bin_bits <- 0.0;
-      f.bin_start <- f.bin_start +. 1.0
+    while bin_start.(f.id) +. 1.0 <= t do
+      f.goodput_rev <-
+        (bin_start.(f.id) +. 1.0, mbps_of_bits bin_bits.(f.id) 1.0) :: f.goodput_rev;
+      bin_bits.(f.id) <- 0.0;
+      bin_start.(f.id) <- bin_start.(f.id) +. 1.0
     done
   in
 
   (* --- MAC --- *)
+  (* Interference domains as arrays, iterated by plain recursion: the
+     list-combinator versions allocated a closure per call and compared
+     [on_air] against [None] with polymorphic equality, all on the
+     per-grant path. *)
+  let dom_arr = Array.init n_links (fun l -> Array.of_list (Domain.domain dom l)) in
   let domain_free l =
-    List.for_all (fun l' -> links.(l').on_air = None) (Domain.domain dom l)
+    let d = dom_arr.(l) in
+    let n = Array.length d in
+    let rec go i =
+      i >= n
+      || (match links.(d.(i)).on_air with None -> go (i + 1) | Some _ -> false)
+    in
+    go 0
   in
   let collisions = ref 0 in
   let rec try_start l =
@@ -481,7 +534,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     if st.on_air = None && (not (Queue.is_empty st.queue)) && domain_free l then begin
       let pkt = Queue.pop st.queue in
       st.on_air <- Some pkt;
-      st.last_service <- !now;
+      last_service.(l) <- now.(0);
       (* CSMA/CA contention: the more backlogged stations share the
          collision domain, the likelier two of them pick the same
          slot. A collided frame still occupies the medium (the waste
@@ -490,12 +543,17 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
          stay short and collisions stay rare; blasting without CC
          keeps every contender backlogged and pays the full price. *)
       (if config.collision_prob > 0.0 then begin
-         let contenders = ref 0 in
-         List.iter
-           (fun l' ->
-             if l' <> l && not (Queue.is_empty links.(l').queue) then incr contenders)
-           (Domain.domain dom l);
-         let p_ok = (1.0 -. config.collision_prob) ** float_of_int !contenders in
+         let d = dom_arr.(l) in
+         let rec count i acc =
+           if i >= Array.length d then acc
+           else
+             let l' = d.(i) in
+             if l' <> l && not (Queue.is_empty links.(l').queue) then
+               count (i + 1) (acc + 1)
+             else count (i + 1) acc
+         in
+         let contenders = count 0 0 in
+         let p_ok = (1.0 -. config.collision_prob) ** float_of_int contenders in
          st.air_collided <- Rng.float rng > p_ok;
          if st.air_collided then incr collisions
        end
@@ -516,7 +574,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           emit
             (Obs.Trace.Drop
                {
-                 t = !now;
+                 t = now.(0);
                  link = Some l;
                  flow = pkt.flow;
                  seq = pkt.header.Header.seq;
@@ -530,14 +588,14 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           emit
             (Obs.Trace.Mac_grant
                {
-                 t = !now;
+                 t = now.(0);
                  link = l;
                  flow = pkt.flow;
                  seq = pkt.header.Header.seq;
                  collided = st.air_collided;
                  airtime;
                });
-        schedule airtime (Tx_end l)
+        schedule airtime tx_end_ev.(l)
       end
     end
   in
@@ -546,8 +604,10 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
        least-recently-served first (CSMA fairness). *)
     let candidates =
       List.filter
-        (fun l' -> links.(l').on_air = None && not (Queue.is_empty links.(l').queue))
-        (Domain.domain dom l)
+        (fun l' ->
+          (match links.(l').on_air with None -> true | Some _ -> false)
+          && not (Queue.is_empty links.(l').queue))
+        (Array.to_list dom_arr.(l))
     in
     let sorted =
       (* Tie-break equal service times by link id: List.sort makes no
@@ -555,7 +615,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
          into which link wins the medium. *)
       List.sort
         (fun a b ->
-          let c = compare links.(a).last_service links.(b).last_service in
+          let c = Float.compare last_service.(a) last_service.(b) in
           if c <> 0 then c else compare a b)
         candidates
     in
@@ -563,7 +623,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
   in
   let enqueue_on_link l pkt =
     let st = links.(l) in
-    st.window_bits <- st.window_bits +. (8.0 *. float_of_int pkt.bytes);
+    window_bits.(l) <- window_bits.(l) +. (8.0 *. float_of_int pkt.bytes);
     st.had_traffic <- true;
     if Queue.length st.queue >= config.queue_limit then begin
       incr queue_drops;
@@ -572,7 +632,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         emit
           (Obs.Trace.Drop
              {
-               t = !now;
+               t = now.(0);
                link = Some l;
                flow = pkt.flow;
                seq = pkt.header.Header.seq;
@@ -587,7 +647,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         emit
           (Obs.Trace.Enqueue
              {
-               t = !now;
+               t = now.(0);
                link = l;
                flow = pkt.flow;
                seq = pkt.header.Header.seq;
@@ -599,24 +659,27 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
   in
 
   (* --- source-side sending --- *)
-  let total_rate f = Array.fold_left ( +. ) 0.0 f.x in
+  let total_rate f =
+    let x = f.x in
+    let n = Array.length x in
+    let rec go i acc = if i >= n then acc else go (i + 1) (acc +. x.(i)) in
+    go 0 0.0
+  in
+  (* Weighted route draw by plain recursion — the iterator version
+     allocated two refs and an exception frame per injected frame. *)
   let pick_route f =
     let tot = total_rate f in
     if tot <= 0.0 || Array.length f.routes = 0 then 0
     else begin
       let r = Rng.float rng *. tot in
-      let acc = ref 0.0 and chosen = ref (Array.length f.routes - 1) in
-      (try
-         Array.iteri
-           (fun i xi ->
-             acc := !acc +. xi;
-             if r < !acc then begin
-               chosen := i;
-               raise Exit
-             end)
-           f.x
-       with Exit -> ());
-      !chosen
+      let n = Array.length f.x in
+      let rec go i acc =
+        if i >= n then n - 1
+        else
+          let acc = acc +. f.x.(i) in
+          if r < acc then i else go (i + 1) acc
+      in
+      go 0 0.0
     end
   in
   (* [route] pins the frame to one route (recovery reclaim probes);
@@ -630,7 +693,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         route_idx = ri;
         header = Header.make ~seq ~qr:0.0 ~route:f.route_codes.(ri);
         bytes;
-        sent_at = !now;
+        sent_at = now.(0);
         links = f.route_links.(ri);
         hop = 0;
       }
@@ -639,7 +702,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     (match route with
     | Some _ -> (
       match inv with
-      | Some t -> Invariants.on_probe t ~now:!now ~flow:f.id
+      | Some t -> Invariants.on_probe t ~now:now.(0) ~flow:f.id
       | None -> ())
     | None -> inv_inject f.id);
     enqueue_on_link pkt.links.(0) pkt
@@ -649,7 +712,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     | Workload.Saturated -> max_int
     | Workload.File _ | Workload.Poisson_files _ ->
       Array.fold_left
-        (fun acc file -> if file.arrival <= !now then acc + file.fbytes else acc)
+        (fun acc file -> if file.arrival <= now.(0) then acc + file.fbytes else acc)
         0 f.files
   in
   (* UDP pacing: one frame per Inject event, next scheduled from the
@@ -659,12 +722,12 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       let rate = total_rate f in
       if rate < 0.05 then begin
         f.inject_scheduled <- true;
-        schedule 0.2 (Inject f.id)
+        schedule 0.2 inject_ev.(f.id)
       end
       else begin
         let dt = 8.0 *. float_of_int config.frame_bytes /. (rate *. 1e6) in
         f.inject_scheduled <- true;
-        schedule dt (Inject f.id)
+        schedule dt inject_ev.(f.id)
       end
     end
   and handle_inject f =
@@ -693,8 +756,10 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         (8.0 *. float_of_int config.frame_bytes)
         (rate *. 1e6 /. 8.0 *. 0.25)
     in
-    f.tokens <- Float.min depth (f.tokens +. (rate *. 1e6 /. 8.0 *. (!now -. f.tokens_at)));
-    f.tokens_at <- !now
+    tokens.(f.id) <-
+      Float.min depth
+        (tokens.(f.id) +. (rate *. 1e6 /. 8.0 *. (now.(0) -. tokens_at.(f.id))));
+    tokens_at.(f.id) <- now.(0)
   in
   let debug = Sys.getenv_opt "ENGINE_DEBUG" <> None in
   let arm_rto f =
@@ -702,7 +767,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     | None -> ()
     | Some tcp -> (
       match Tcp.rto_deadline tcp with
-      | Some dl -> Pqueue.push q (Float.max dl !now) (Tcp_rto (f.id, dl))
+      | Some dl -> schedule_abs (Float.max dl now.(0)) (Tcp_rto (f.id, dl))
       | None -> ())
   in
   (* The controller gates TCP by backpressure: when the flow's token
@@ -719,7 +784,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           if not config.enable_cc then true
           else begin
             refill_tokens f;
-            f.tokens >= float_of_int config.frame_bytes
+            tokens.(f.id) >= float_of_int config.frame_bytes
           end
         in
         if not tokens_ok then begin
@@ -728,11 +793,11 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
             let wait =
               if rate < 0.05 then 0.2
               else
-                (float_of_int config.frame_bytes -. f.tokens)
+                (float_of_int config.frame_bytes -. tokens.(f.id))
                 *. 8.0 /. (rate *. 1e6)
             in
             f.inject_scheduled <- true;
-            schedule (Float.max wait 1e-4) (Inject f.id)
+            schedule (Float.max wait 1e-4) inject_ev.(f.id)
           end
         end
         else begin
@@ -744,16 +809,16 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
               Some
                 ((sendable_bytes f + config.frame_bytes - 1) / config.frame_bytes)
           in
-          match Tcp.take_segment ?new_data_limit tcp ~now:!now with
+          match Tcp.take_segment ?new_data_limit tcp ~now:now.(0) with
           | None -> ()
           | Some seq ->
             if config.enable_cc then
-              f.tokens <- f.tokens -. float_of_int config.frame_bytes;
+              tokens.(f.id) <- tokens.(f.id) -. float_of_int config.frame_bytes;
             inject_frame f ~bytes:config.frame_bytes ~seq;
             if debug then
               Printf.eprintf "%.3f tcp send seq=%d cwnd=%.1f una=%d inflight=%d rate=%.2f tokens=%.0f\n"
-                !now seq (Tcp.cwnd tcp) (Tcp.snd_una tcp) (Tcp.in_flight tcp)
-                (total_rate f) f.tokens;
+                now.(0) seq (Tcp.cwnd tcp) (Tcp.snd_una tcp) (Tcp.in_flight tcp)
+                (total_rate f) tokens.(f.id);
             tcp_try_send f
         end
       end);
@@ -767,7 +832,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
            && Workload.total_bytes f.spec.workload <> None
            && not f.inject_scheduled ->
       f.inject_scheduled <- true;
-      schedule 0.2 (Inject f.id)
+      schedule 0.2 inject_ev.(f.id)
     | Some _ | None -> ());
     arm_rto f
   in
@@ -788,23 +853,23 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     Array.iteri
       (fun i file ->
         let prev_done = if i = 0 then 0.0 else f.files.(i - 1).done_at in
-        if file.started_at < 0.0 && file.arrival <= !now && (i = 0 || prev_done >= 0.0)
+        if file.started_at < 0.0 && file.arrival <= now.(0) && (i = 0 || prev_done >= 0.0)
         then file.started_at <- Float.max file.arrival prev_done;
         cum := !cum + file.fbytes;
-        if file.done_at < 0.0 && progress >= !cum then file.done_at <- !now)
+        if file.done_at < 0.0 && progress >= !cum then file.done_at <- now.(0))
       f.files
   in
   let release_packet f (pkt : packet) =
     (* Every frame's one-way delay (queueing + transmission along the
        route) lands in a streaming histogram: exact count/mean,
        quantiles within 0.5% relative error, bounded memory. *)
-    let delay = !now -. pkt.sent_at in
+    let delay = now.(0) -. pkt.sent_at in
     Obs.Metrics.Histogram.observe f.delay_hist delay;
     if trace_on then
       emit
         (Obs.Trace.Delivery
            {
-             t = !now;
+             t = now.(0);
              flow = f.id;
              seq = pkt.header.Header.seq;
              bytes = pkt.bytes;
@@ -812,9 +877,9 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
            });
     Ack.on_packet f.collector ~route:pkt.route_idx ~qr:pkt.header.Header.qr
       ~seq:pkt.header.Header.seq ~bytes:pkt.bytes;
-    flush_bins_upto f !now;
+    flush_bins_upto f now.(0);
     f.received_bytes <- f.received_bytes + pkt.bytes;
-    f.bin_bits <- f.bin_bits +. (8.0 *. float_of_int pkt.bytes);
+    bin_bits.(f.id) <- bin_bits.(f.id) +. (8.0 *. float_of_int pkt.bytes);
     let events =
       Reorder.push f.reorder ~route:pkt.route_idx ~seq:pkt.header.Header.seq pkt
     in
@@ -839,7 +904,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
   let deliver_to_destination f pkt =
     inv_deliver f.id;
     if config.delay_equalize then begin
-      let delay = !now -. pkt.sent_at in
+      let delay = now.(0) -. pkt.sent_at in
       Reorder.Equalizer.observe f.equalizer ~route:pkt.route_idx ~delay;
       let hold = Reorder.Equalizer.release_delay f.equalizer ~route:pkt.route_idx in
       if hold > 1e-6 then schedule hold (Reorder_release (f.id, pkt))
@@ -861,7 +926,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       if trace_on then
         emit
           (Obs.Trace.Collision
-             { t = !now; link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
+             { t = now.(0); link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
       try_start_domain l
     | Some pkt when st.air_faulted ->
       (* Fault-injected loss: airtime spent, frame lost. Not a queue
@@ -873,7 +938,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         emit
           (Obs.Trace.Drop
              {
-               t = !now;
+               t = now.(0);
                link = Some l;
                flow = pkt.flow;
                seq = pkt.header.Header.seq;
@@ -885,7 +950,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       if trace_on then
         emit
           (Obs.Trace.Dequeue
-             { t = !now; link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
+             { t = now.(0); link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
       let arrived_at = (Multigraph.link g l).Multigraph.dst in
       let f = flow_states.(pkt.flow) in
       let drop_misroute () =
@@ -894,7 +959,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           emit
             (Obs.Trace.Drop
                {
-                 t = !now;
+                 t = now.(0);
                  link = Some l;
                  flow = pkt.flow;
                  seq = pkt.header.Header.seq;
@@ -932,9 +997,9 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
      re-discovery, and reclaim probes are armed on the backoff
      schedule. A later ack on the route restores its initial rate. *)
   let on_route_dead f i ~since det rc rrng =
-    let detect_s = !now -. since in
+    let detect_s = now.(0) -. since in
     if trace_on then
-      emit (Obs.Trace.Route_dead { t = !now; flow = f.id; route = i; detect_s });
+      emit (Obs.Trace.Route_dead { t = now.(0); flow = f.id; route = i; detect_s });
     let dead_mass = f.x.(i) in
     f.x.(i) <- 0.0;
     f.x_bar.(i) <- 0.0;
@@ -942,7 +1007,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       (fun l ->
         if caps.(l) <= 0.0 && gamma.(l) > 0.0 then begin
           gamma.(l) <- 0.0;
-          if trace_on then emit (Obs.Trace.Price_reset { t = !now; link = l })
+          if trace_on then emit (Obs.Trace.Price_reset { t = now.(0); link = l })
         end)
       f.route_links.(i);
     let surv, _flood =
@@ -977,7 +1042,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     if trace_on then
       emit
         (Obs.Trace.Route_restored
-           { t = !now; flow = f.id; route = i; down_s = down_for });
+           { t = now.(0); flow = f.id; route = i; down_s = down_for });
     (* The γ accumulated around the route while it was down is stale:
        idle estimators under-report capacity, so the reclaim probes
        themselves register as huge airtime demand and spike the duals
@@ -995,7 +1060,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
             if gamma.(l') > 0.0 then begin
               gamma.(l') <- 0.0;
               if trace_on then
-                emit (Obs.Trace.Price_reset { t = !now; link = l' })
+                emit (Obs.Trace.Price_reset { t = now.(0); link = l' })
             end)
           (Domain.domain dom l))
       f.route_links.(i);
@@ -1017,7 +1082,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
             let injected = f.injected_window.(i) in
             f.injected_window.(i) <- 0.0;
             match
-              Recovery.Detector.observe det ~route:i ~now:!now ~injected
+              Recovery.Detector.observe det ~route:i ~now:now.(0) ~injected
                 ~acked:(float_of_int r.Ack.bytes)
                 ~frame_bytes:(float_of_int config.frame_bytes)
             with
@@ -1074,7 +1139,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       done;
       Alpha.observe f.alpha (total_rate f);
       if trace_on then
-        emit (Obs.Trace.Rate_update { t = !now; flow = f.id; rates = Array.copy f.x });
+        emit (Obs.Trace.Rate_update { t = now.(0); flow = f.id; rates = Array.copy f.x });
       (match inv with
       | Some t -> Invariants.on_rate t ~flow:f.id ~rate:(total_rate f)
       | None -> ());
@@ -1088,8 +1153,8 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     let demand = Array.make n_links 0.0 in
     List.iter
       (fun l ->
-        let bits = links.(l).window_bits in
-        links.(l).window_bits <- 0.0;
+        let bits = window_bits.(l) in
+        window_bits.(l) <- 0.0;
         demand.(l) <- bits /. 1e6 *. d_est l /. config.control_period)
       carrier_links;
     List.iter
@@ -1113,7 +1178,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         (fun l ->
           emit
             (Obs.Trace.Price_update
-               { t = !now; link = l; gamma = gamma.(l); price = link_price l }))
+               { t = now.(0); link = l; gamma = gamma.(l); price = link_price l }))
         priced_links;
     (* 2. Capacity estimation (only carriers are ever priced or
        transmitted on, so only they need tracking). *)
@@ -1124,18 +1189,18 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           Estimator.set_mode st.estimator
             (if st.had_traffic then Estimator.Active_traffic else Estimator.Probing);
           st.had_traffic <- false;
-          Estimator.observe st.estimator ~now:!now ~true_capacity:(cap l))
+          Estimator.observe st.estimator ~now:now.(0) ~true_capacity:(cap l))
         carrier_links;
     (* 3. Destination ACK emission + trace recording. *)
     Array.iter
       (fun f ->
         if f.active then begin
-          let ack = Ack.emit f.collector ~now:!now in
+          let ack = Ack.emit f.collector ~now:now.(0) in
           if trace_on then
             emit
               (Obs.Trace.Ack
                  {
-                   t = !now;
+                   t = now.(0);
                    flow = f.id;
                    qr =
                      Array.of_list
@@ -1151,14 +1216,14 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
              lossy reverse path) or delayed. The draw happens only
              while a drop window is active — see the determinism
              note at the fault-state declarations. *)
-          let ack_lost = !ctrl_drop > 0.0 && Rng.float rng < !ctrl_drop in
+          let ack_lost = ctrl_drop.(0) > 0.0 && Rng.float rng < ctrl_drop.(0) in
           if not ack_lost then
-            schedule (f.reverse_latency +. !ctrl_delay) (Ack_arrive (f.id, ack));
-          f.rates_rev <- (!now, Array.copy f.x) :: f.rates_rev
+            schedule (f.reverse_latency +. ctrl_delay.(0)) (Ack_arrive (f.id, ack));
+          f.rates_rev <- (now.(0), Array.copy f.x) :: f.rates_rev
         end)
       flow_states;
     (match inv with
-    | Some t -> Invariants.on_tick t ~now:!now (Lazy.force inv_view)
+    | Some t -> Invariants.on_tick t ~now:now.(0) (Lazy.force inv_view)
     | None -> ());
     schedule config.control_period Control_tick
   in
@@ -1170,7 +1235,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       let was_dead = caps.(l) <= 0.0 in
       caps.(l) <- Float.max 0.0 c;
       if trace_on then
-        emit (Obs.Trace.Link_event { t = !now; link = l; capacity = caps.(l) });
+        emit (Obs.Trace.Link_event { t = now.(0); link = l; capacity = caps.(l) });
       (* A dead link drops its backlog; a healthier one may start. *)
       if caps.(l) <= 0.0 then begin
         let st = links.(l) in
@@ -1184,7 +1249,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
               emit
                 (Obs.Trace.Drop
                    {
-                     t = !now;
+                     t = now.(0);
                      link = Some l;
                      flow = p.flow;
                      seq = p.header.Header.seq;
@@ -1211,7 +1276,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
               if gamma.(l') > 0.0 then begin
                 gamma.(l') <- 0.0;
                 if trace_on then
-                  emit (Obs.Trace.Price_reset { t = !now; link = l' })
+                  emit (Obs.Trace.Price_reset { t = now.(0); link = l' })
               end)
             (Domain.domain dom l);
           (* The capacity estimate is just as stale as the price: it
@@ -1222,19 +1287,19 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
              the draw comes from the estimator's own per-link rng
              stream, so no other link's sequence shifts. *)
           if config.estimate_capacities then
-            Estimator.reset links.(l).estimator ~now:!now ~capacity:caps.(l)
+            Estimator.reset links.(l).estimator ~now:now.(0) ~capacity:caps.(l)
         | _ -> ());
         try_start l
       end
     | Loss_change (l, p) ->
       loss.(l) <- p;
       if trace_on then
-        emit (Obs.Trace.Loss_event { t = !now; link = l; prob = p })
+        emit (Obs.Trace.Loss_event { t = now.(0); link = l; prob = p })
     | Ctrl_change (p, d) ->
-      ctrl_drop := p;
-      ctrl_delay := d;
+      ctrl_drop.(0) <- p;
+      ctrl_delay.(0) <- d;
       if trace_on then
-        emit (Obs.Trace.Ctrl_event { t = !now; drop = p; delay = d })
+        emit (Obs.Trace.Ctrl_event { t = now.(0); drop = p; delay = d })
     | Inject fid -> (
       let f = flow_states.(fid) in
       match f.spec.transport with
@@ -1249,7 +1314,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       match f.tcp with
       | None -> ()
       | Some tcp ->
-        Tcp.on_ack tcp ~now:!now ~cum_ack:cum;
+        Tcp.on_ack tcp ~now:now.(0) ~cum_ack:cum;
         tcp_try_send f;
         arm_rto f)
     | Reorder_release (fid, pkt) -> release_packet flow_states.(fid) pkt
@@ -1259,8 +1324,8 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       | None -> ()
       | Some tcp -> (
         match Tcp.rto_deadline tcp with
-        | Some dl when Float.abs (dl -. armed_for) < 1e-9 && dl <= !now +. 1e-9 ->
-          Tcp.on_rto tcp ~now:!now;
+        | Some dl when Float.abs (dl -. armed_for) < 1e-9 && dl <= now.(0) +. 1e-9 ->
+          Tcp.on_rto tcp ~now:now.(0);
           tcp_try_send f
         | _ -> () (* stale timer *)))
     | Flow_start fid ->
@@ -1285,7 +1350,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         if trace_on then
           emit
             (Obs.Trace.Route_probe
-               { t = !now; flow = fid; route = i; attempt = f.reclaim_attempt.(i) });
+               { t = now.(0); flow = fid; route = i; attempt = f.reclaim_attempt.(i) });
         f.reclaim_attempt.(i) <- f.reclaim_attempt.(i) + 1;
         schedule
           (Recovery.Backoff.delay rc rrng ~attempt:f.reclaim_attempt.(i))
@@ -1327,28 +1392,40 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     ctrl_events;
 
   let peak_depth = ref 0 in
+  (* Allocation-free dispatch: read the root in place ([top_prio]/[top]
+     instead of [peek]/[pop]'s option-tuple pairs) and leave it in the
+     heap while the handler runs — the handler's first [schedule]
+     replaces it in one sift via the [pending_drop] flag (see its
+     declaration for the soundness argument), and an event that
+     scheduled nothing is dropped afterwards. The queue depth is
+     sampled before the logical pop, exactly as the historical loop
+     measured it. *)
   let rec loop () =
-    match Pqueue.peek q with
-    | None -> ()
-    | Some (t, _) when t > duration -> ()
-    | Some _ ->
-      let d = Pqueue.size q in
-      if d > !peak_depth then peak_depth := d;
-      (match Pqueue.pop q with
-      | None -> ()
-      | Some (t, ev) ->
-        now := Float.max !now t;
+    if not (Pqueue.is_empty q) then begin
+      let t = Pqueue.top_prio q in
+      if t <= duration then begin
+        let d = Pqueue.size q in
+        if d > !peak_depth then peak_depth := d;
+        let ev = Pqueue.top q in
+        pending_drop := true;
+        now.(0) <- Float.max now.(0) t;
         incr events_processed;
         handle ev;
-        match inv with
-        | Some chk -> Invariants.check_step chk ~now:!now (Lazy.force inv_view)
+        if !pending_drop then begin
+          pending_drop := false;
+          Pqueue.drop q
+        end;
+        (match inv with
+        | Some chk -> Invariants.check_step chk ~now:now.(0) (Lazy.force inv_view)
         | None -> ());
-      loop ()
+        loop ()
+      end
+    end
   in
   let wall_start = Sys.time () in
   loop ();
   let wall_s = Sys.time () -. wall_start in
-  now := duration;
+  now.(0) <- duration;
   (match recorder with
   | Some r -> Obs.Recorder.flush r ~now:duration
   | None -> ());

@@ -271,6 +271,72 @@ let test_pqueue_interleaved_ties () =
     [ "t1"; "t2"; "t3" ] order;
   Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
 
+let test_pqueue_capacity () =
+  let q : int Pqueue.t = Pqueue.create ~capacity:4 () in
+  Alcotest.(check int) "requested capacity" 4 (Pqueue.capacity q);
+  for i = 1 to 10 do
+    Pqueue.push q (float_of_int i) i
+  done;
+  Alcotest.(check bool) "grows past capacity" true (Pqueue.capacity q >= 10);
+  let cap = Pqueue.capacity q in
+  Pqueue.clear q;
+  Alcotest.(check bool) "clear empties" true (Pqueue.is_empty q);
+  Alcotest.(check int) "clear keeps the backing arrays" cap (Pqueue.capacity q);
+  Pqueue.push q 1.0 1;
+  Alcotest.(check (option (pair (float 0.0) int))) "usable after clear"
+    (Some (1.0, 1)) (Pqueue.pop q)
+
+let test_pqueue_pop_push () =
+  (* pop_push must behave exactly like pop-then-push, including FIFO
+     tie-breaking: the pushed entry gets a fresh (larger) sequence
+     number, so it drains after existing entries of equal priority. *)
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 2.0 "b1";
+  Pqueue.push q 2.0 "b2";
+  Alcotest.(check (option (pair (float 0.0) string))) "returns the root"
+    (Some (1.0, "a"))
+    (Pqueue.pop_push q 2.0 "b3");
+  let order =
+    List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "replacement ties FIFO after existing"
+    [ "b1"; "b2"; "b3" ] order;
+  (* Empty queue: nothing to pop, the push still lands. *)
+  Alcotest.(check (option (pair (float 0.0) string))) "empty returns None" None
+    (Pqueue.pop_push q 5.0 "x");
+  Alcotest.(check (option (pair (float 0.0) string))) "push landed"
+    (Some (5.0, "x")) (Pqueue.pop q)
+
+let prop_pqueue_pop_push_equiv =
+  (* Against the model: pop_push == (pop; push) over arbitrary
+     interleavings of plain pushes and fused pop-pushes. *)
+  QCheck.Test.make ~name:"pop_push equals pop-then-push" ~count:300
+    QCheck.(
+      list (pair bool (float_range 0. 100.)))
+    (fun ops ->
+      let a = Pqueue.create () and b = Pqueue.create () in
+      let same = ref true in
+      List.iteri
+        (fun i (fused, prio) ->
+          if fused then begin
+            let ra = Pqueue.pop_push a prio i in
+            let rb = Pqueue.pop b in
+            Pqueue.push b prio i;
+            if ra <> rb then same := false
+          end
+          else begin
+            Pqueue.push a prio i;
+            Pqueue.push b prio i
+          end)
+        ops;
+      let rec drain q acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some pv -> drain q (pv :: acc)
+      in
+      !same && drain a [] = drain b [])
+
 (* --- Units --- *)
 
 let test_units () =
@@ -334,7 +400,10 @@ let () =
           Alcotest.test_case "empty ops" `Quick test_pqueue_empty_ops;
           Alcotest.test_case "interleaved ties" `Quick test_pqueue_interleaved_ties;
           Alcotest.test_case "size/clear" `Quick test_pqueue_size_clear;
+          Alcotest.test_case "capacity" `Quick test_pqueue_capacity;
+          Alcotest.test_case "pop_push" `Quick test_pqueue_pop_push;
           QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+          QCheck_alcotest.to_alcotest prop_pqueue_pop_push_equiv;
         ] );
       ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
       ( "table",
