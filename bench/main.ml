@@ -249,6 +249,34 @@ let write_sim_bench () =
     let par_t4 = List.fold_left (fun a (_, _, t, _) -> a +. t) 0.0 par_rows in
     let par_identical = List.for_all (fun (_, _, _, ok) -> ok) par_rows in
     let parallel_speedup_4j = par_t1 /. Float.max 1e-9 par_t4 in
+    (* Empirical load-sweep probe: a pinned small sweep (the golden's
+       parameters, seed 17) at a moderate and a heavy load factor.
+       Achieved load and per-bucket tail FCT land in the JSON so
+       regressions in the open-loop workload path or the FCT
+       accounting show up per-commit next to the throughput numbers. *)
+    let t4 = wall () in
+    let ls =
+      Loadsweep.sweep ~pairs:3 ~conns:2 ~duration:10.0 ~seed:17 [ 0.5; 0.8 ]
+    in
+    let loadsweep_wall_s = Float.max 1e-9 (wall () -. t4) in
+    let bucket_p99 p label =
+      match
+        List.find_opt (fun b -> b.Loadsweep.label = label) p.Loadsweep.buckets
+      with
+      | Some b -> b.Loadsweep.p99
+      | None -> 0.0
+    in
+    let loadsweep_rows =
+      List.map
+        (fun p ->
+          Printf.sprintf
+            "{\"load\": %.2f, \"achieved_load\": %.4f, \"completed\": %d, \
+             \"p99_fct_tiny_s\": %.4f, \"p99_fct_short_s\": %.4f, \
+             \"p99_fct_long_s\": %.4f}"
+            p.Loadsweep.load p.Loadsweep.achieved_load p.Loadsweep.completed
+            (bucket_p99 p "tiny") (bucket_p99 p "short") (bucket_p99 p "long"))
+        ls.Loadsweep.points
+    in
     let oc = open_out "BENCH_sim.json" in
     Printf.fprintf oc
       "{\n\
@@ -272,7 +300,10 @@ let write_sim_bench () =
       \  \"sever_goodput_mbps\": %.3f,\n\
       \  \"parallel_figure_wall_s\": {%s},\n\
       \  \"parallel_identical\": %b,\n\
-      \  \"parallel_speedup_4j\": %.2f\n\
+      \  \"parallel_speedup_4j\": %.2f,\n\
+      \  \"loadsweep_wall_s\": %.3f,\n\
+      \  \"loadsweep_capacity_mbps\": %.3f,\n\
+      \  \"loadsweep_points\": [%s]\n\
        }\n"
       duration reps elapsed runs_s events_s
       (elapsed *. 1e9 /. float_of_int (max 1 !events))
@@ -286,19 +317,26 @@ let write_sim_bench () =
             (fun (nm, t1, t4, _) ->
               Printf.sprintf "\"%s_j1_s\": %.3f, \"%s_j4_s\": %.3f" nm t1 nm t4)
             par_rows))
-      par_identical parallel_speedup_4j;
+      par_identical parallel_speedup_4j loadsweep_wall_s
+      ls.Loadsweep.capacity_mbps
+      (String.concat ", " loadsweep_rows);
     close_out oc;
     Printf.printf
       "BENCH_sim.json: %.2f runs/s, %.0f events/s (%.1f ns, %.2f minor words \
        per event), %.0f frames/s, trace overhead %.1f%%, chaos %.0f events/s, \
        severance detect %.3f s / recovery %.3f s, 4-job speedup %.2fx \
-       (identical: %b)\n\
+       (identical: %b), loadsweep achieved %s in %.1f s\n\
        %!"
       runs_s events_s
       (elapsed *. 1e9 /. float_of_int (max 1 !events))
       (minor_words /. float_of_int (max 1 !events))
       frames_s overhead_pct chaos_events_s sever_flow.Chaos.detect_s
       sever_flow.Chaos.recovery_s parallel_speedup_4j par_identical
+      (String.concat "/"
+         (List.map
+            (fun p -> Printf.sprintf "%.2f" p.Loadsweep.achieved_load)
+            ls.Loadsweep.points))
+      loadsweep_wall_s
 
 (* ---------- part 2: table/figure regeneration ---------- *)
 

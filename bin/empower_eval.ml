@@ -380,6 +380,77 @@ let chaos_cmd =
       const run $ seed_arg 7 $ intensity_arg $ sever_arg $ no_recovery_arg
       $ duration_arg $ out_arg $ json_arg $ metrics_arg $ jobs_arg)
 
+(* ---------- loadsweep ---------- *)
+
+let loadsweep_cmd =
+  let loads_arg =
+    let doc =
+      "Target load factor in (0, 1] — a fraction of the aggregate capacity \
+       EMPoWER allocates to the pairs. Repeatable: each occurrence adds a \
+       sweep point (default: 0.1 to 0.9 in steps of 0.2)."
+    in
+    Arg.(value & opt_all float [] & info [ "load"; "l" ] ~docv:"FACTOR" ~doc)
+  in
+  let cdf_arg =
+    let doc =
+      "Flow-size CDF file ($(b,size_bytes cum_prob) per line, # comments; \
+       see test/websearch.cdf). Default: the built-in web-search-style \
+       distribution."
+    in
+    Arg.(value & opt (some string) None & info [ "cdf" ] ~docv:"FILE" ~doc)
+  in
+  let pairs_arg =
+    let doc = "Sender/receiver pairs on the testbed (fan-in)." in
+    Arg.(value & opt int 4 & info [ "pairs" ] ~docv:"N" ~doc)
+  in
+  let conns_arg =
+    let doc = "Parallel connections per pair." in
+    Arg.(value & opt int 2 & info [ "conns" ] ~docv:"N" ~doc)
+  in
+  let duration_arg =
+    let doc = "Arrival window in simulated seconds (plus a 10 s drain)." in
+    Arg.(value & opt float 30.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+  in
+  let pacing_arg =
+    let doc = "Frame pacing of each connection: cbr or poisson." in
+    Arg.(value & opt string "cbr" & info [ "pacing" ] ~docv:"MODE" ~doc)
+  in
+  let run seed loads cdf pairs conns duration pacing json metrics jobs =
+    let cdf =
+      match cdf with
+      | None -> Cdf.websearch
+      | Some path -> (
+        match Cdf.of_file path with
+        | Ok c -> c
+        | Error e ->
+          Printf.eprintf "bad CDF file: %s\n" e;
+          exit 2)
+    in
+    let pacing =
+      match Workload.pacing_of_name pacing with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown pacing %S; expected cbr or poisson\n" pacing;
+        exit 2
+    in
+    let loads =
+      match loads with [] -> [ 0.1; 0.3; 0.5; 0.7; 0.9 ] | ls -> ls
+    in
+    with_obs ?jobs ~json ~metrics (fun e ->
+        e.emit
+          (Loadsweep.sweep ~cdf ~pairs ~conns ~duration ~pacing ~seed loads)
+          Loadsweep.print Figure_json.loadsweep)
+  in
+  Cmd.v
+    (Cmd.info "loadsweep"
+       ~doc:
+         "Empirical heavy-traffic load sweep: CDF-sampled open-loop arrivals \
+          at target load factors over the testbed, reporting per-size-bucket \
+          flow-completion-time p50/p95/p99 and achieved load.")
+    Term.(
+      const run $ seed_arg 17 $ loads_arg $ cdf_arg $ pairs_arg $ conns_arg
+      $ duration_arg $ pacing_arg $ json_arg $ metrics_arg $ jobs_arg)
+
 let all_cmd =
   let run runs seed json metrics jobs =
     with_obs ?jobs ~json ~metrics (fun e ->
@@ -446,7 +517,8 @@ let main =
     [
       fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; convergence_cmd; fig9_cmd;
       fig10_cmd; fig11_cmd; table1_cmd; fig12_cmd; fig13_cmd; ablations_cmd;
-      metrics_cmd; mptcp_cmd; mac_cmd; trace_cmd; chaos_cmd; all_cmd;
+      metrics_cmd; mptcp_cmd; mac_cmd; trace_cmd; chaos_cmd; loadsweep_cmd;
+      all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

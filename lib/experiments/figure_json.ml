@@ -250,4 +250,43 @@ let ablation (d : Ablations.data) =
              d.Ablations.points) );
     ]
 
+let loadsweep (d : Loadsweep.data) =
+  let bucket (b : Loadsweep.bucket) =
+    Json.Obj
+      [
+        ("label", s b.Loadsweep.label);
+        ("count", i b.Loadsweep.count);
+        ("p50", f b.Loadsweep.p50);
+        ("p95", f b.Loadsweep.p95);
+        ("p99", f b.Loadsweep.p99);
+      ]
+  in
+  Json.Obj
+    [
+      ("figure", s "loadsweep");
+      ("seed", i d.Loadsweep.seed);
+      ("pairs", i d.Loadsweep.pairs);
+      ("conns", i d.Loadsweep.conns);
+      ("duration", f d.Loadsweep.duration);
+      ("drain", f d.Loadsweep.drain);
+      ("capacity_mbps", f d.Loadsweep.capacity_mbps);
+      ("pacing", s (Workload.pacing_name d.Loadsweep.pacing));
+      ("cdf", s d.Loadsweep.cdf);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Loadsweep.point) ->
+               Json.Obj
+                 [
+                   ("load", f p.Loadsweep.load);
+                   ("offered_load", f p.Loadsweep.offered_load);
+                   ("achieved_load", f p.Loadsweep.achieved_load);
+                   ("arrivals", i p.Loadsweep.arrivals);
+                   ("completed", i p.Loadsweep.completed);
+                   ("queue_drops", i p.Loadsweep.queue_drops);
+                   ("buckets", Json.List (List.map bucket p.Loadsweep.buckets));
+                 ])
+             d.Loadsweep.points) );
+    ]
+
 let print_json j = print_endline (Json.to_string j)

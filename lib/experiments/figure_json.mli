@@ -18,6 +18,7 @@ val metric_comparison : Metric_comparison.data -> Obs.Json.t
 val mptcp : Mptcp_applicability.data -> Obs.Json.t
 val mac_fairness : Mac_fairness.data -> Obs.Json.t
 val ablation : Ablations.data -> Obs.Json.t
+val loadsweep : Loadsweep.data -> Obs.Json.t
 
 val print_json : Obs.Json.t -> unit
 (** One compact line on stdout. *)

@@ -1,0 +1,264 @@
+(* Empirical heavy-traffic load sweep: CDF-sampled open-loop arrivals
+   at a target fraction of the allocated testbed capacity, with
+   per-size-bucket FCT percentiles. See the .mli for the recipe. *)
+
+type bucket = {
+  label : string;
+  count : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type point = {
+  load : float;
+  offered_load : float;
+  achieved_load : float;
+  arrivals : int;
+  completed : int;
+  queue_drops : int;
+  buckets : bucket list;
+  fcts : (int * float option) list;
+}
+
+type data = {
+  seed : int;
+  pairs : int;
+  conns : int;
+  duration : float;
+  drain : float;
+  capacity_mbps : float;
+  pacing : Workload.pacing;
+  cdf : string;
+  points : point list;
+}
+
+let tiny_max_bytes = 100_000
+let short_max_bytes = 5_000_000
+
+(* The same testbed scenario the chaos harness drives. *)
+let network () = Runner.network (Testbed.generate (Rng.create 4242)) Schemes.Empower
+
+(* The seed-pinned pair set: random distinct connected pairs with
+   distinct sources (one persistent sender per pair), drawn from a
+   dedicated stream so the load factor never shifts it. *)
+let draw_pairs rng (net : Empower.network) ~pairs =
+  let n = Multigraph.n_nodes net.Empower.g in
+  let rec go acc k attempts =
+    if k = 0 then List.rev acc
+    else if attempts > 200 * pairs then
+      invalid_arg "Loadsweep: could not find enough connected pairs"
+    else begin
+      let src = Rng.int rng n in
+      let dst = Rng.int rng n in
+      if
+        src = dst
+        || List.exists (fun (s, d) -> s = src || (s, d) = (src, dst)) acc
+      then go acc k (attempts + 1)
+      else
+        let p = Empower.plan net ~src ~dst in
+        if Multipath.routes p.Empower.combination = [] then
+          go acc k (attempts + 1)
+        else go ((src, dst) :: acc) (k - 1) (attempts + 1)
+    end
+  in
+  go [] pairs 0
+
+let point_of_run ~load ~capacity_mbps ~duration ~arrivals ~offered_load
+    ~(schedules : (float * int) list list) (result : Engine.result) =
+  (* Completed files form a prefix of each flow's schedule, and
+     [completions] reports (start, service) in file order, so zipping
+     recovers each transfer's FCT = start + service - arrival. *)
+  let h_tiny = Obs.Metrics.Histogram.create ()
+  and h_short = Obs.Metrics.Histogram.create ()
+  and h_long = Obs.Metrics.Histogram.create ()
+  and h_all = Obs.Metrics.Histogram.create () in
+  let delivered = ref 0 in
+  let per_flow =
+    List.mapi
+      (fun i schedule ->
+        let fr = result.Engine.flows.(i) in
+        delivered := !delivered + fr.Engine.received_bytes;
+        let rec zip files completions acc =
+          match (files, completions) with
+          | (arrival, bytes) :: files, (start, service) :: completions ->
+            zip files completions
+              ((arrival, bytes, Some (start +. service -. arrival)) :: acc)
+          | files, [] ->
+            List.rev_append acc
+              (List.map (fun (a, b) -> (a, b, None)) files)
+          | [], _ :: _ ->
+            invalid_arg "Loadsweep: more completions than scheduled transfers"
+        in
+        zip schedule fr.Engine.completions [])
+      schedules
+  in
+  (* Global arrival order, flow order breaking (measure-zero) ties:
+     every pair's rate — hence every arrival time — scales by the same
+     load factor, so this order is load-invariant at a fixed seed and
+     index i is the same transfer (size, connection) at every load:
+     the common-random-numbers alignment the monotonicity property
+     leans on. *)
+  let fcts =
+    List.concat per_flow
+    |> List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b)
+    |> List.map (fun (_, bytes, fct) -> (bytes, fct))
+  in
+  let completed = ref 0 in
+  List.iter
+    (fun (bytes, fct) ->
+      match fct with
+      | None -> ()
+      | Some fct ->
+        incr completed;
+        Obs.Metrics.Histogram.observe h_all fct;
+        Obs.Metrics.Histogram.observe
+          (if bytes < tiny_max_bytes then h_tiny
+           else if bytes < short_max_bytes then h_short
+           else h_long)
+          fct)
+    fcts;
+  let bucket label h =
+    {
+      label;
+      count = Obs.Metrics.Histogram.count h;
+      p50 = Obs.Metrics.Histogram.quantile h 0.50;
+      p95 = Obs.Metrics.Histogram.quantile h 0.95;
+      p99 = Obs.Metrics.Histogram.quantile h 0.99;
+    }
+  in
+  {
+    load;
+    offered_load;
+    achieved_load =
+      float_of_int !delivered *. 8.0 /. (capacity_mbps *. 1e6 *. duration);
+    arrivals;
+    completed = !completed;
+    queue_drops = result.Engine.queue_drops;
+    fcts;
+    buckets =
+      [
+        bucket "tiny" h_tiny;
+        bucket "short" h_short;
+        bucket "long" h_long;
+        bucket "all" h_all;
+      ];
+  }
+
+let run ?(cdf = Cdf.websearch) ?(pairs = 4) ?(conns = 2) ?(duration = 30.0)
+    ?(drain = 10.0) ?(pacing = Workload.Cbr) ?(seed = 17) ~load () =
+  if not (Float.is_finite load) || load <= 0.0 || load > 1.0 then
+    invalid_arg (Printf.sprintf "Loadsweep.run: load %g outside (0, 1]" load);
+  if pairs <= 0 || conns <= 0 then
+    invalid_arg "Loadsweep.run: pairs and conns must be positive";
+  let net = network () in
+  (* One seed pins everything: a split for the pair draw, a split for
+     the generator, the engine consumes the rest of the master. *)
+  let master = Rng.create seed in
+  let pair_rng = Rng.split master in
+  let gen_rng = Rng.split master in
+  let pair_list = draw_pairs pair_rng net ~pairs in
+  let alloc = Empower.allocate net ~flows:pair_list in
+  let capacity_mbps = Array.fold_left ( +. ) 0.0 alloc.Empower.flow_rates in
+  if capacity_mbps <= 0.0 then invalid_arg "Loadsweep.run: zero capacity";
+  (* Per pair: offer [load] times its own allocated rate, dealt over
+     [conns] connections; each connection is one engine flow at a
+     1/conns share of the pair's per-route rates. Flow list length is
+     pairs * conns whatever the load, so engine streams line up
+     point to point across a sweep. *)
+  let arrivals = ref 0 and offered_bytes = ref 0 in
+  let specs_and_schedules =
+    List.concat
+      (List.mapi
+         (fun i (src, dst) ->
+           let routes = Multipath.routes alloc.Empower.plans.(i).Empower.combination in
+           let rates =
+             Array.to_list alloc.Empower.route_rates.(i)
+             |> List.map (fun r -> r /. float_of_int conns)
+           in
+           let gen =
+             Loadgen.generate (Rng.split gen_rng) ~cdf ~load
+               ~capacity_mbps:alloc.Empower.flow_rates.(i) ~conns ~duration
+           in
+           arrivals := !arrivals + gen.Loadgen.arrivals;
+           offered_bytes := !offered_bytes + gen.Loadgen.offered_bytes;
+           List.init conns (fun c ->
+               let schedule = gen.Loadgen.per_conn.(c) in
+               ( Runner.flow_spec
+                   ~workload:(Workload.Empirical { files = schedule; pacing })
+                   ~src ~dst (routes, rates),
+                 schedule )))
+         pair_list)
+  in
+  let result =
+    Engine.run master net.Empower.g net.Empower.dom
+      ~flows:(List.map fst specs_and_schedules)
+      ~duration:(duration +. drain)
+  in
+  let point =
+    point_of_run ~load ~capacity_mbps ~duration ~arrivals:!arrivals
+      ~offered_load:
+        (float_of_int !offered_bytes *. 8.0 /. (capacity_mbps *. 1e6 *. duration))
+      ~schedules:(List.map snd specs_and_schedules)
+      result
+  in
+  (* FCT histograms also land in the ambient registry (--metrics),
+     merged deterministically across jobs. *)
+  (match Obs.Runtime.metrics () with
+  | None -> ()
+  | Some reg ->
+    List.iter
+      (fun b ->
+        let name what =
+          Printf.sprintf "loadsweep.load_%.2f.fct.%s.%s" load b.label what
+        in
+        if b.count > 0 then begin
+          Obs.Metrics.Counter.add (Obs.Metrics.counter reg (name "count")) b.count;
+          Obs.Metrics.Gauge.set (Obs.Metrics.gauge reg (name "p99")) b.p99
+        end)
+      point.buckets);
+  {
+    seed;
+    pairs;
+    conns;
+    duration;
+    drain;
+    capacity_mbps;
+    pacing;
+    cdf = Cdf.describe cdf;
+    points = [ point ];
+  }
+
+let sweep ?cdf ?pairs ?conns ?duration ?drain ?pacing ?seed ?jobs loads =
+  if loads = [] then invalid_arg "Loadsweep.sweep: no load factors";
+  let datas =
+    Exec.map ?jobs
+      (fun load -> run ?cdf ?pairs ?conns ?duration ?drain ?pacing ?seed ~load ())
+      loads
+  in
+  let first = List.hd datas in
+  { first with points = List.concat_map (fun d -> d.points) datas }
+
+let print ?(out = stdout) d =
+  let p fmt = Printf.fprintf out fmt in
+  p
+    "--- loadsweep: seed %d, %d pairs x %d conns, %.0f s + %.0f s drain, C = \
+     %.1f Mbit/s, %s pacing ---\n"
+    d.seed d.pairs d.conns d.duration d.drain d.capacity_mbps
+    (Workload.pacing_name d.pacing);
+  p "flow sizes: %s (tiny < %d kB <= short < %d MB <= long)\n" d.cdf
+    (tiny_max_bytes / 1000) (short_max_bytes / 1_000_000);
+  List.iter
+    (fun pt ->
+      p
+        "load %.2f: offered %.3f, delivered %.3f, %d/%d transfers done, %d \
+         queue drops\n"
+        pt.load pt.offered_load pt.achieved_load pt.completed pt.arrivals
+        pt.queue_drops;
+      List.iter
+        (fun b ->
+          if b.count > 0 then
+            p "  %-5s n=%-4d FCT p50 %7.3f s  p95 %7.3f s  p99 %7.3f s\n"
+              b.label b.count b.p50 b.p95 b.p99)
+        pt.buckets)
+    d.points

@@ -387,6 +387,22 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           (List.map
              (fun t -> { arrival = t; fbytes = bytes; started_at = -1.0; done_at = -1.0 })
              times)
+      | Workload.Empirical { files; _ } ->
+        (* A pre-sampled schedule (Loadgen): no rng split consumed, so
+           Empirical flows leave every other flow's stream untouched. *)
+        let prev = ref 0.0 in
+        Array.of_list
+          (List.map
+             (fun (t, b) ->
+               if not (Float.is_finite t) || t < 0.0 || t < !prev then
+                 invalid_arg
+                   "Engine.run: Empirical arrivals must be nonnegative and \
+                    nondecreasing";
+               if b <= 0 then
+                 invalid_arg "Engine.run: Empirical transfer bytes must be positive";
+               prev := t;
+               { arrival = t; fbytes = b; started_at = -1.0; done_at = -1.0 })
+             files)
     in
     {
       id;
@@ -464,9 +480,15 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     Array.iter
       (fun f ->
         let pacing =
-          match f.spec.transport with
-          | Udp -> Invariants.Paced
-          | Tcp_transport ->
+          match (f.spec.transport, f.spec.workload) with
+          | Udp, Workload.Empirical { pacing = Workload.Poisson_paced; _ } ->
+            (* Poisson frame gaps fluctuate around the CBR budget; the
+               token-bucket class grants the burst slack that keeps the
+               checker's paced-injection bound sound (overflow odds at
+               the extra 8-frame + quarter-second depth are ~1e-9). *)
+            Invariants.Token_bucket
+          | Udp, _ -> Invariants.Paced
+          | Tcp_transport, _ ->
             if config.enable_cc then Invariants.Token_bucket
             else Invariants.Unpoliced
         in
@@ -711,12 +733,41 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     match f.spec.workload with
     | Workload.Saturated -> max_int
     | Workload.File _ | Workload.Poisson_files _ ->
+      (* Closed-loop serialization (the Workload.Poisson_files
+         contract): a file's bytes only become sendable once it has
+         arrived AND the previous file finished at the receiver, so
+         an offered arrival landing mid-transfer waits instead of
+         pre-queueing behind the one in flight. Completions form a
+         prefix (progress is cumulative), so gating each file on its
+         predecessor's [done_at] is exact. *)
+      let acc = ref 0 in
+      Array.iteri
+        (fun i file ->
+          if
+            file.arrival <= now.(0)
+            && (i = 0 || f.files.(i - 1).done_at >= 0.0)
+          then acc := !acc + file.fbytes)
+        f.files;
+      !acc
+    | Workload.Empirical _ ->
+      (* Open-loop: every arrived transfer queues on the persistent
+         connection immediately — completion times of backlogged
+         transfers include their queueing wait. *)
       Array.fold_left
         (fun acc file -> if file.arrival <= now.(0) then acc + file.fbytes else acc)
         0 f.files
   in
   (* UDP pacing: one frame per Inject event, next scheduled from the
-     controller's total rate. *)
+     controller's total rate — deterministic gaps (CBR, the historical
+     behaviour) or, for Poisson-paced empirical workloads, exponential
+     gaps with the same mean. The exponential draw comes from the
+     run's master stream as events execute; CBR flows draw nothing, so
+     legacy runs consume exactly the historical sequence. *)
+  let poisson_paced f =
+    match f.spec.workload with
+    | Workload.Empirical { pacing = Workload.Poisson_paced; _ } -> true
+    | _ -> false
+  in
   let rec schedule_inject f =
     if f.active && not f.inject_scheduled then begin
       let rate = total_rate f in
@@ -726,6 +777,9 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       end
       else begin
         let dt = 8.0 *. float_of_int config.frame_bytes /. (rate *. 1e6) in
+        let dt =
+          if poisson_paced f then Rng.exponential rng ~rate:(1.0 /. dt) else dt
+        in
         f.inject_scheduled <- true;
         schedule dt inject_ev.(f.id)
       end

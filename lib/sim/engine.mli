@@ -124,7 +124,14 @@ type flow_result = {
   rate_series : (float * float array) list;
       (** (time, per-route injection rates) per control period *)
   completions : (float * float) list;
-      (** per workload file: (start time, duration) *)
+      (** per workload file, in file order: (start time, duration).
+          Start is [max (arrival, previous completion)] — for the
+          closed-loop file workloads because the engine serializes
+          starts behind the previous completion, for [Empirical]
+          because the persistent connection serves transfers FIFO.
+          Completed files always form a prefix of the schedule, so
+          zipping with the workload's arrivals recovers per-transfer
+          flow-completion times (completion − arrival). *)
   frames_lost : int;        (** declared lost by the reorder buffer *)
   frames_dropped : int;     (** dropped at source token bucket (TCP over CC) *)
   final_rates : float array; (** controller rates at the end *)
@@ -186,8 +193,22 @@ val run :
     one {!Rng.split} per link (in link-id order) for the capacity
     estimators, then one split for the recovery subsystem's backoff
     jitter {e only when [config.recovery] is set}, then, per flow in
-    list order, the splits its workload needs (Poisson arrival
-    draws), then the per-frame draws as events execute. Fault draws (frame loss after the collision draw; ACK
+    list order, the splits its workload needs (one per
+    [Poisson_files] workload for its arrival draws; [Empirical]
+    schedules are pre-sampled and consume none), then the per-frame
+    draws as events execute (collision/fault draws, and one
+    exponential gap per injected frame of a Poisson-paced
+    [Empirical] flow — CBR flows draw nothing).
+
+    File workloads are {e closed-loop}: a file's bytes only become
+    sendable once it has arrived and the previous file's transfer
+    completed at the receiver, so offered Poisson arrivals landing
+    mid-transfer are serialized ([Workload.Poisson_files]'s
+    contract). [Empirical] schedules are {e open-loop}: every arrived
+    transfer queues on the connection immediately and its completion
+    time includes the queueing wait. [Empirical] arrivals must be
+    nonnegative and nondecreasing with positive sizes
+    ([Invalid_argument] otherwise). Fault draws (frame loss after the collision draw; ACK
     drop at ACK emission) are taken {e only while the corresponding
     fault probability is positive}, so a run with empty fault
     schedules consumes exactly the same stream as one without them.

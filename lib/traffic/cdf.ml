@@ -1,0 +1,166 @@
+(* Empirical flow-size CDFs: strict parser, closed-form moments and
+   an inverse-transform sampler. See the .mli for the distribution
+   semantics (point mass at the first size, uniform between points). *)
+
+type t = {
+  sizes : float array;
+  probs : float array;  (* cumulative, nondecreasing, last = 1.0 *)
+}
+
+let of_points pts =
+  match pts with
+  | [] -> Error "empty CDF: no data points"
+  | _ ->
+    let n = List.length pts in
+    let sizes = Array.make n 0.0 and probs = Array.make n 0.0 in
+    let rec fill i = function
+      | [] -> Ok ()
+      | (s, p) :: rest ->
+        if not (Float.is_finite s) || s <= 0.0 then
+          Error (Printf.sprintf "point %d: size %g is not a positive number" (i + 1) s)
+        else if not (Float.is_finite p) || p < 0.0 || p > 1.0 +. 1e-9 then
+          Error
+            (Printf.sprintf "point %d: cumulative probability %g outside [0, 1]"
+               (i + 1) p)
+        else if i > 0 && s <= sizes.(i - 1) then
+          Error
+            (Printf.sprintf
+               "point %d: size %g does not increase over %g (sizes must be \
+                strictly increasing)"
+               (i + 1) s
+               sizes.(i - 1))
+        else if i > 0 && p < probs.(i - 1) then
+          Error
+            (Printf.sprintf
+               "point %d: cumulative probability %g decreases below %g \
+                (non-monotone CDF)"
+               (i + 1) p
+               probs.(i - 1))
+        else begin
+          sizes.(i) <- s;
+          probs.(i) <- Float.min p 1.0;
+          fill (i + 1) rest
+        end
+    in
+    (match fill 0 pts with
+    | Error _ as e -> e
+    | Ok () ->
+      if Float.abs (probs.(n - 1) -. 1.0) > 1e-9 then
+        Error
+          (Printf.sprintf
+             "unnormalized CDF: final cumulative probability is %g, not 1"
+             probs.(n - 1))
+      else begin
+        probs.(n - 1) <- 1.0;
+        Ok { sizes; probs }
+      end)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec scan lineno acc = function
+    | [] -> (
+      match of_points (List.rev acc) with
+      | Ok _ as ok -> ok
+      | Error e -> Error e)
+    | line :: rest -> (
+      let data =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let fields =
+        String.split_on_char '\t' data
+        |> List.concat_map (String.split_on_char ' ')
+        |> List.concat_map (String.split_on_char '\r')
+        |> List.filter (fun s -> s <> "")
+      in
+      match fields with
+      | [] -> scan (lineno + 1) acc rest
+      | [ s; p ] -> (
+        match (float_of_string_opt s, float_of_string_opt p) with
+        | Some s, Some p -> scan (lineno + 1) ((s, p) :: acc) rest
+        | _ ->
+          Error
+            (Printf.sprintf "line %d: expected two numbers, got %S %S" lineno s p))
+      | _ ->
+        Error
+          (Printf.sprintf
+             "line %d: expected `size_bytes cum_prob`, got %d fields" lineno
+             (List.length fields)))
+  in
+  scan 1 [] lines
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+    match parse text with
+    | Ok _ as ok -> ok
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+let points t = Array.to_list (Array.map2 (fun s p -> (s, p)) t.sizes t.probs)
+
+let mean t =
+  let acc = ref (t.probs.(0) *. t.sizes.(0)) in
+  for i = 1 to Array.length t.sizes - 1 do
+    acc :=
+      !acc
+      +. (t.probs.(i) -. t.probs.(i - 1))
+         *. (t.sizes.(i - 1) +. t.sizes.(i))
+         /. 2.0
+  done;
+  !acc
+
+let quantile t q =
+  let q = Float.max 0.0 (Float.min 1.0 q) in
+  if q <= t.probs.(0) then t.sizes.(0)
+  else begin
+    (* First index with probs.(i) >= q; the segment (i-1, i] has mass
+       (q lies strictly above probs.(i-1), so the mass is positive). *)
+    let n = Array.length t.probs in
+    let i = ref 1 in
+    while !i < n - 1 && t.probs.(!i) < q do
+      incr i
+    done;
+    let i = !i in
+    let p0 = t.probs.(i - 1) and p1 = t.probs.(i) in
+    let s0 = t.sizes.(i - 1) and s1 = t.sizes.(i) in
+    s0 +. ((s1 -. s0) *. (q -. p0) /. (p1 -. p0))
+  end
+
+let sample t rng = quantile t (Rng.float rng)
+
+let sample_bytes t rng = max 1 (int_of_float (Float.round (sample t rng)))
+
+let describe t =
+  let n = Array.length t.sizes in
+  Printf.sprintf "%d-point CDF, mean %.1f MB, max %.1f MB" n (mean t /. 1e6)
+    (t.sizes.(n - 1) /. 1e6)
+
+let websearch =
+  (* Web-search-style heavy-tailed mix (DCTCP-like): half the flows
+     are tiny (< 100 kB), a tenth are 5 MB and above. Kept in sync
+     with test/websearch.cdf, which ships the same points on disk. *)
+  match
+    of_points
+      [
+        (10_000.0, 0.15);
+        (20_000.0, 0.20);
+        (30_000.0, 0.30);
+        (50_000.0, 0.40);
+        (80_000.0, 0.53);
+        (200_000.0, 0.60);
+        (1_000_000.0, 0.70);
+        (2_000_000.0, 0.80);
+        (5_000_000.0, 0.90);
+        (10_000_000.0, 0.97);
+        (30_000_000.0, 1.00);
+      ]
+  with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Cdf.websearch: " ^ e)

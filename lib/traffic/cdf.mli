@@ -1,0 +1,78 @@
+(** Empirical flow-size distributions, loaded from the on-disk CDF
+    format the ns-2 heavy-traffic harnesses use (one
+    [size_bytes cum_prob] pair per line) and sampled by inverse
+    transform.
+
+    {2 Distribution semantics}
+
+    A CDF is a list of points [(s_1, p_1); ...; (s_n, p_n)] with
+    strictly increasing sizes and nondecreasing cumulative
+    probabilities ending exactly at 1. It denotes the distribution
+    with a point mass of [p_1] at [s_1] and, between consecutive
+    points, probability [p_i - p_(i-1)] spread uniformly over
+    [(s_(i-1), s_i]] — i.e. piecewise-linear interpolation of the
+    cumulative function, the convention of ns-2's
+    [EmpiricalRandomVariable] with INTER_INTERP. {!mean} and
+    {!quantile} are closed forms of exactly that distribution, and
+    {!sample} inverts it, so the sampled mean converges on {!mean}
+    (the property suite pins this).
+
+    {2 File format}
+
+    {v
+    # comment lines and blank lines are ignored
+    # size_bytes   cumulative_probability
+    10000   0.15
+    80000   0.53
+    30000000 1.0
+    v}
+
+    Parsing is strict: a malformed line, a non-monotone probability
+    column, a non-increasing size column, a final probability other
+    than 1, or an empty file is an [Error] naming the offending line
+    or point. *)
+
+type t
+
+val of_points : (float * float) list -> (t, string) result
+(** Validate and build from [(size_bytes, cum_prob)] pairs. Rules:
+    at least one point; sizes finite, positive and strictly
+    increasing; probabilities finite, within [0, 1] and nondecreasing
+    (the first may be 0); the final probability equal to 1 (within
+    1e-9 — anything else is an unnormalized tail and is rejected). *)
+
+val parse : string -> (t, string) result
+(** Parse the text of a CDF file ([#] comments and blank lines
+    allowed; each data line is [size_bytes cum_prob], whitespace
+    separated). Errors name the 1-based line. *)
+
+val of_file : string -> (t, string) result
+(** [parse] over the file's contents; [Error] also covers an
+    unreadable path. *)
+
+val points : t -> (float * float) list
+(** The validated points back, in order. *)
+
+val mean : t -> float
+(** Exact mean flow size in bytes of the interpolated distribution:
+    [p_1 s_1 + sum_i (p_i - p_(i-1)) (s_(i-1) + s_i) / 2]. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]: the inverse of the interpolated
+    cumulative function ([q <= p_1] gives [s_1], [q = 1] the largest
+    size). *)
+
+val sample : t -> Rng.t -> float
+(** Inverse-transform draw (one [Rng.float] consumed per call). *)
+
+val sample_bytes : t -> Rng.t -> int
+(** {!sample} rounded to whole bytes, at least 1. *)
+
+val describe : t -> string
+(** e.g. ["11-point CDF, mean 1.7 MB, max 30.0 MB"]. *)
+
+val websearch : t
+(** The built-in web-search-style distribution (DCTCP-like mix:
+    ~53% of flows under 100 kB, a 10% tail of 5-30 MB transfers,
+    mean ~1.7 MB) — the default of the [loadsweep] harness, shipped
+    on disk as [test/websearch.cdf]. *)

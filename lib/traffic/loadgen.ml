@@ -1,0 +1,42 @@
+type t = {
+  per_conn : (float * int) list array;
+  arrivals : int;
+  offered_bytes : int;
+  offered_load : float;
+}
+
+let generate rng ~cdf ~load ~capacity_mbps ~conns ~duration =
+  if not (Float.is_finite load) || load <= 0.0 || load > 1.0 then
+    invalid_arg (Printf.sprintf "Loadgen.generate: load %g outside (0, 1]" load);
+  if not (Float.is_finite capacity_mbps) || capacity_mbps <= 0.0 then
+    invalid_arg "Loadgen.generate: capacity must be positive";
+  if conns <= 0 then invalid_arg "Loadgen.generate: conns must be positive";
+  if not (Float.is_finite duration) || duration <= 0.0 then
+    invalid_arg "Loadgen.generate: duration must be positive";
+  let mean = Cdf.mean cdf in
+  let lambda = load *. capacity_mbps *. 1e6 /. 8.0 /. mean in
+  let per_conn = Array.make conns [] in
+  let arrivals = ref 0 and offered_bytes = ref 0 in
+  (* Fixed draw order per arrival — gap, size, connection — so the
+     size sequence is load-independent for a given seed (the sweep's
+     common-random-numbers property). *)
+  let rec go t =
+    let t = t +. Rng.exponential rng ~rate:lambda in
+    if t < duration then begin
+      let bytes = Cdf.sample_bytes cdf rng in
+      let c = Rng.int rng conns in
+      per_conn.(c) <- (t, bytes) :: per_conn.(c);
+      incr arrivals;
+      offered_bytes := !offered_bytes + bytes;
+      go t
+    end
+  in
+  go 0.0;
+  let per_conn = Array.map List.rev per_conn in
+  {
+    per_conn;
+    arrivals = !arrivals;
+    offered_bytes = !offered_bytes;
+    offered_load =
+      float_of_int !offered_bytes *. 8.0 /. (capacity_mbps *. 1e6 *. duration);
+  }

@@ -1,0 +1,45 @@
+(** Open-loop arrival generation at a target load factor.
+
+    Given a flow-size distribution ({!Cdf}) and a capacity in Mbit/s,
+    the generator emits a Poisson arrival process whose rate makes the
+    {e offered} byte rate equal [load] times the capacity:
+
+    {v lambda = load * capacity_mbps * 1e6 / 8 / Cdf.mean  [flows/s] v}
+
+    Each arrival draws a size from the CDF and is dealt onto one of
+    [conns] parallel connections chosen uniformly — the ns-2
+    [spine_empirical] recipe. The result is a fully materialized
+    schedule (the engine replays it without consuming randomness),
+    one [(arrival_s, bytes)] list per connection, each in
+    nondecreasing arrival order and directly usable as a
+    [Workload.Empirical] schedule.
+
+    Determinism: exactly three draws per arrival, in the fixed order
+    gap, size, connection. Because the gap and size streams do not
+    depend on [load], two generators with the same [rng] seed and
+    different loads see the same arrival sequence — one is a time
+    prefix of the other — which is what makes fixed-seed load sweeps
+    comparable point to point. *)
+
+type t = {
+  per_conn : (float * int) list array;
+      (** length [conns]; each list time-sorted [(arrival_s, bytes)] *)
+  arrivals : int;  (** total arrivals across connections *)
+  offered_bytes : int;  (** sum of all sampled sizes *)
+  offered_load : float;
+      (** achieved offered fraction of capacity:
+          [offered_bytes * 8 / (capacity_mbps * 1e6 * duration)] *)
+}
+
+val generate :
+  Rng.t ->
+  cdf:Cdf.t ->
+  load:float ->
+  capacity_mbps:float ->
+  conns:int ->
+  duration:float ->
+  t
+(** Sample arrivals over [0, duration). Raises [Invalid_argument] if
+    [load] is outside (0, 1], or [capacity_mbps], [conns] or
+    [duration] is not positive. A short [duration] at a low [load]
+    can legitimately produce zero arrivals. *)

@@ -1,7 +1,17 @@
+type pacing = Cbr | Poisson_paced
+
+let pacing_name = function Cbr -> "cbr" | Poisson_paced -> "poisson"
+
+let pacing_of_name = function
+  | "cbr" -> Some Cbr
+  | "poisson" -> Some Poisson_paced
+  | _ -> None
+
 type t =
   | Saturated
   | File of { bytes : int }
   | Poisson_files of { bytes : int; mean_gap_s : float; count : int }
+  | Empirical of { files : (float * int) list; pacing : pacing }
 
 let describe = function
   | Saturated -> "saturated UDP"
@@ -10,11 +20,19 @@ let describe = function
     Printf.sprintf "%d x %.1f MB files (Poisson, mean gap %.0f s)" count
       (float_of_int bytes /. 1e6)
       mean_gap_s
+  | Empirical { files; pacing } ->
+    let total = List.fold_left (fun acc (_, b) -> acc + b) 0 files in
+    Printf.sprintf "%d empirical transfers, %.1f MB total (%s paced)"
+      (List.length files)
+      (float_of_int total /. 1e6)
+      (pacing_name pacing)
 
 let total_bytes = function
   | Saturated -> None
   | File { bytes } -> Some bytes
   | Poisson_files { bytes; count; _ } -> Some (bytes * count)
+  | Empirical { files; _ } ->
+    Some (List.fold_left (fun acc (_, b) -> acc + b) 0 files)
 
 let arrival_times rng = function
   | Saturated | File _ -> [ 0.0 ]
@@ -28,3 +46,4 @@ let arrival_times rng = function
       end
     in
     go 0.0 count []
+  | Empirical { files; _ } -> List.map fst files

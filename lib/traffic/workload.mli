@@ -1,4 +1,5 @@
-(** Traffic workloads offered to a flow (Sections 6.2 and 6.3).
+(** Traffic workloads offered to a flow (Sections 6.2 and 6.3, plus
+    the empirical heavy-traffic engine).
 
     - [Saturated] — iperf-style saturated UDP: the source always has
       data and injects at whatever rate the congestion controller (or
@@ -6,15 +7,46 @@
     - [File] — a single transfer of the given size; the experiment
       records its completion time (Table 1's Tiny/Short/Long are
       100 kB, 5 MB and 2 GB files).
-    - [Poisson_files] — a sequence of equal-size files whose start
-      times follow a Poisson process (Table 1's Conc experiment:
-      five 5 MB files, 60 s mean inter-arrival); a file also cannot
-      start before the previous one finished. *)
+    - [Poisson_files] — a sequence of equal-size files whose
+      {e offered} start times follow a Poisson process (Table 1's
+      Conc experiment: five 5 MB files, 60 s mean inter-arrival).
+      The sequence is {e closed-loop}: a file cannot start before the
+      previous one finished, and the engine enforces it on the data
+      path — a file's bytes only become sendable once its
+      predecessor's transfer completed at the receiver (see
+      [Engine.run]). {!arrival_times} returns the offered Poisson
+      times only; actual starts are
+      [max (arrival, previous completion)].
+    - [Empirical] — an {e open-loop} schedule of transfers on one
+      persistent connection: an explicit [(arrival_s, bytes)] list
+      (typically produced by {!Loadgen} from a {!Cdf} at a target
+      load factor). Arrivals never wait for completions — a transfer
+      arriving while an earlier one is still in flight queues behind
+      it on the connection and its completion time includes that
+      wait, exactly the flow-completion-time convention of the
+      empirical load-sweep harnesses. [pacing] picks the frame
+      spacing: {!Cbr} (evenly spaced at the controller's rate, the
+      historical behaviour of every other workload) or
+      {!Poisson_paced} (exponential inter-frame gaps with the same
+      mean). *)
+
+(** Frame spacing of a UDP source at a given injection rate. *)
+type pacing =
+  | Cbr           (** deterministic gaps: [frame_bits / rate] *)
+  | Poisson_paced (** exponential gaps with mean [frame_bits / rate] *)
+
+val pacing_name : pacing -> string
+(** ["cbr"] | ["poisson"]. *)
+
+val pacing_of_name : string -> pacing option
 
 type t =
   | Saturated
   | File of { bytes : int }
   | Poisson_files of { bytes : int; mean_gap_s : float; count : int }
+  | Empirical of { files : (float * int) list; pacing : pacing }
+      (** [(arrival_s, bytes)] in nondecreasing arrival order, every
+          size positive — [Engine.run] rejects anything else. *)
 
 val describe : t -> string
 (** Human-readable summary, e.g. ["file 5.0 MB"]. *)
@@ -23,5 +55,9 @@ val total_bytes : t -> int option
 (** Total volume, [None] for [Saturated]. *)
 
 val arrival_times : Rng.t -> t -> float list
-(** Workload start times: [0.] for [Saturated] and [File];
-    Poisson draws (cumulative, starting at 0) for [Poisson_files]. *)
+(** Workload {e offered} start times: [0.] for [Saturated] and
+    [File]; Poisson draws (cumulative, starting at 0) for
+    [Poisson_files]; the schedule's own times for [Empirical] (no
+    randomness consumed). These are offers, not starts — for the
+    closed-loop file workloads the engine serializes actual starts
+    behind the previous file's completion. *)

@@ -422,6 +422,85 @@ let prop_empty_plan_is_identity =
             "seed %d: empty fault schedules changed the run" seed;
         true)
 
+(* ---------- oracle: the empirical load generator ---------- *)
+
+let prop_offered_load_tracks_target =
+  (* The open-loop generator's achieved offer must sit within +-10% of
+     the target load factor whenever the window holds enough arrivals
+     for the heavy-tailed size distribution to average out (websearch
+     CDF: E[S^2]/E[S]^2 ~ 6.4, so ~10^4 arrivals put 3 sigma of the
+     offered-bytes sum well under 10%). *)
+  QCheck.Test.make ~count:30
+    ~name:"offered load within 10% of the target factor (loads <= 0.7)"
+    seed_gen (fun seed ->
+      let rng = Rng.create (seed + 71) in
+      let load = 0.1 +. (0.6 *. Rng.float rng) in
+      let conns = 1 + Rng.int rng 4 in
+      let gen =
+        Loadgen.generate (Rng.split rng) ~cdf:Cdf.websearch ~load
+          ~capacity_mbps:100.0 ~conns ~duration:20_000.0
+      in
+      let err = Float.abs (gen.Loadgen.offered_load -. load) /. load in
+      if err > 0.10 then
+        QCheck.Test.fail_reportf
+          "seed %d: load %.3f offered %.3f (%.1f%% off, %d arrivals)" seed load
+          gen.Loadgen.offered_load (100.0 *. err) gen.Loadgen.arrivals;
+      true)
+
+let prop_p99_fct_monotone_in_load =
+  (* Heavier offered load never makes tail FCT better. At a fixed
+     seed every sweep point offers the same transfer sequence with
+     arrival times scaled by the load (common random numbers), so the
+     Lindley recursion makes each transfer's wait pointwise
+     nondecreasing in load; comparing the p99 over transfers completed
+     at both of two consecutive loads removes the censoring of
+     unfinished tails. The 5% slack absorbs MAC service-time jitter
+     (per-frame collision draws differ between the two runs). *)
+  QCheck.Test.make ~count:3
+    ~name:"p99 FCT monotone nondecreasing in load (fixed-seed sweep)"
+    seed_gen (fun seed ->
+      let data =
+        Loadsweep.sweep ~pairs:3 ~conns:2 ~duration:30.0 ~drain:30.0
+          ~seed:(seed mod 1000)
+          [ 0.2; 0.45; 0.7 ]
+      in
+      let p99 fcts =
+        let xs = List.filter_map snd fcts |> List.sort Float.compare in
+        let n = List.length xs in
+        if n = 0 then None
+        else Some (List.nth xs (max 0 (int_of_float (ceil (0.99 *. float_of_int n)) - 1)))
+      in
+      let rec pairs = function
+        | (a : Loadsweep.point) :: (b :: _ as rest) ->
+          (* Align transfer-by-transfer, keep those completed at both
+             loads. *)
+          let rec common xs ys acc =
+            match (xs, ys) with
+            | (_, Some fa) :: xs, (_, Some fb) :: ys ->
+              common xs ys ((fa, fb) :: acc)
+            | _ :: xs, _ :: ys -> common xs ys acc
+            | _, [] | [], _ -> List.rev acc
+          in
+          let c = common a.Loadsweep.fcts b.Loadsweep.fcts [] in
+          if List.length c >= 20 then begin
+            match
+              ( p99 (List.map (fun (fa, _) -> (0, Some fa)) c),
+                p99 (List.map (fun (_, fb) -> (0, Some fb)) c) )
+            with
+            | Some lo, Some hi ->
+              if hi < lo *. 0.95 then
+                QCheck.Test.fail_reportf
+                  "seed %d: p99 FCT fell from %.3f s (load %.2f) to %.3f s \
+                   (load %.2f) over %d common transfers"
+                  seed lo a.Loadsweep.load hi b.Loadsweep.load (List.length c)
+            | _ -> ()
+          end;
+          pairs rest
+        | _ -> ()
+      in
+      pairs data.Loadsweep.points;
+      true)
+
 let () =
   let tests =
     [
@@ -437,6 +516,8 @@ let () =
       prop_severed_goodput_recovers;
       prop_sever_recovery_deterministic;
       prop_empty_plan_is_identity;
+      prop_offered_load_tracks_target;
+      prop_p99_fct_monotone_in_load;
     ]
   in
   (* Fixed generation seed: CI failures reproduce exactly; individual

@@ -174,6 +174,139 @@ let test_poisson_files_sequential () =
     (fun (_, d) -> Alcotest.(check bool) "duration sane" true (d > 0.0 && d < 20.0))
     cs
 
+let test_poisson_files_serialized () =
+  (* Offered arrivals far faster than transfers: the engine must
+     serialize actual starts behind completions (the Workload
+     closed-loop contract — a file cannot start before the previous
+     one finished), so completions never overlap and every file gets
+     a full service time. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 15.0 ];
+      workload =
+        Workload.Poisson_files { bytes = 2_000_000; mean_gap_s = 0.01; count = 3 };
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let config = { Engine.default_config with enable_cc = false } in
+  let res = Engine.run ~config (Rng.create 77) g dom ~flows:[ flow ] ~duration:60.0 in
+  let cs = res.Engine.flows.(0).Engine.completions in
+  Alcotest.(check int) "all three complete" 3 (List.length cs);
+  let ideal = 2_000_000.0 *. 8.0 /. 15e6 in
+  ignore
+    (List.fold_left
+       (fun prev_done (start, d) ->
+         Alcotest.(check bool) "start not before previous completion" true
+           (start >= prev_done -. 1e-9);
+         Alcotest.(check bool) "full service time" true (d >= 0.8 *. ideal);
+         Alcotest.(check bool) "duration sane" true (d < 10.0);
+         start +. d)
+       0.0 cs)
+
+let test_empirical_open_loop () =
+  (* Open-loop schedule on one connection: transfers arriving while an
+     earlier one is in flight queue behind it (FIFO), and their
+     completion times include the wait. 2 MB at 10 Mbit/s takes
+     ~1.6 s, so the 0.5 s and 1.0 s arrivals both wait. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let files = [ (0.0, 2_000_000); (0.5, 500_000); (1.0, 100_000) ] in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 10.0 ];
+      workload = Workload.Empirical { files; pacing = Workload.Cbr };
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let config = { Engine.default_config with enable_cc = false } in
+  let res = Engine.run ~config (Rng.create 78) g dom ~flows:[ flow ] ~duration:30.0 in
+  match res.Engine.flows.(0).Engine.completions with
+  | [ (s1, d1); (s2, d2); (s3, d3) ] ->
+    check_float ~eps:1e-6 "first starts at its arrival" 0.0 s1;
+    check_float ~eps:0.4 "first takes ~1.6 s" 1.6 d1;
+    (* Service starts at the previous completion, not the arrival. *)
+    check_float ~eps:1e-6 "second queues behind first" (s1 +. d1) s2;
+    check_float ~eps:1e-6 "third queues behind second" (s2 +. d2) s3;
+    Alcotest.(check bool) "third's FCT includes its wait" true
+      (s3 +. d3 -. 1.0 > d3);
+    Alcotest.(check bool) "everything delivered" true
+      (res.Engine.flows.(0).Engine.received_bytes >= 2_600_000)
+  | other -> Alcotest.failf "expected three completions, got %d" (List.length other)
+
+let test_empirical_poisson_pacing () =
+  (* Poisson pacing keeps the same mean injection rate (goodput within
+     a few percent of CBR) while staying inside the checker's
+     token-bucket budget; the run stays deterministic. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let mk pacing =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 10.0 ];
+      workload = Workload.Empirical { files = [ (0.0, 8_000_000) ]; pacing };
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let config = { Engine.default_config with enable_cc = false } in
+  let run pacing =
+    Engine.strip_perf
+      (Engine.run ~config ~invariants:(Invariants.create ()) (Rng.create 79) g dom
+         ~flows:[ mk pacing ] ~duration:10.0)
+  in
+  let cbr = run Workload.Cbr and poisson = run Workload.Poisson_paced in
+  let gp r = float_of_int r.Engine.flows.(0).Engine.received_bytes in
+  Alcotest.(check bool) "same mean rate" true
+    (Float.abs (gp cbr -. gp poisson) /. gp cbr < 0.05);
+  Alcotest.(check bool) "poisson run deterministic" true
+    (poisson = run Workload.Poisson_paced)
+
+let test_empirical_validation () =
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let mk files =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ] ];
+      init_rates = [ 10.0 ];
+      workload = Workload.Empirical { files; pacing = Workload.Cbr };
+      transport = Engine.Udp;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let rejected files =
+    match
+      Engine.run (Rng.create 80) g dom ~flows:[ mk files ] ~duration:1.0
+    with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "decreasing arrivals rejected" true
+    (rejected [ (1.0, 1000); (0.5, 1000) ]);
+  Alcotest.(check bool) "negative arrival rejected" true
+    (rejected [ (-1.0, 1000) ]);
+  Alcotest.(check bool) "non-positive size rejected" true
+    (rejected [ (0.0, 0) ]);
+  Alcotest.(check bool) "empty schedule fine" true
+    (not (rejected []))
+
 let test_queue_drops_under_overload () =
   let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 5.0) ] in
   let dom = Domain.single_domain_per_tech g in
@@ -670,6 +803,13 @@ let () =
         [
           Alcotest.test_case "file completion" `Quick test_file_completion;
           Alcotest.test_case "poisson files" `Quick test_poisson_files_sequential;
+          Alcotest.test_case "poisson files serialized" `Quick
+            test_poisson_files_serialized;
+          Alcotest.test_case "empirical open loop" `Quick test_empirical_open_loop;
+          Alcotest.test_case "empirical poisson pacing" `Quick
+            test_empirical_poisson_pacing;
+          Alcotest.test_case "empirical validation" `Quick
+            test_empirical_validation;
         ] );
       ( "tcp",
         [ Alcotest.test_case "transfer completes" `Quick test_tcp_transfer_over_engine ] );

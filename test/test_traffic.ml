@@ -1,0 +1,208 @@
+(* The empirical-traffic layer: strict CDF parsing (reject anything
+   non-monotone, unnormalized or malformed), inverse-transform
+   sampling against the closed-form moments, and the open-loop load
+   generator's offered-load accounting. *)
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let err msg = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" msg
+  | Error e -> e
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let check_err msg fragment r =
+  let e = err msg r in
+  if not (contains e fragment) then
+    Alcotest.failf "%s: error %S does not mention %S" msg e fragment
+
+(* ---------- parser ---------- *)
+
+let test_parse_accepts_comments_and_blanks () =
+  let c =
+    ok
+      (Cdf.parse
+         "# heavy-tailed mix\n\n  1000 0.5   # half tiny\n\t2000\t1.0\r\n\n")
+  in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "points survive comments, tabs and CRLF"
+    [ (1000.0, 0.5); (2000.0, 1.0) ]
+    (Cdf.points c)
+
+let test_parse_rejects_non_monotone_probs () =
+  check_err "decreasing probability" "non-monotone"
+    (Cdf.parse "1000 0.6\n2000 0.5\n3000 1.0");
+  check_err "probability above 1" "outside [0, 1]" (Cdf.parse "1000 1.4")
+
+let test_parse_rejects_unnormalized_tail () =
+  check_err "tail below 1" "unnormalized" (Cdf.parse "1000 0.4\n2000 0.9");
+  (* Within 1e-9 of 1.0 is accepted and clamped to exactly 1. *)
+  let c = ok (Cdf.parse "1000 0.5\n2000 0.9999999999") in
+  Alcotest.(check (float 0.0)) "tail clamped to 1" 1.0
+    (snd (List.nth (Cdf.points c) 1))
+
+let test_parse_rejects_bad_sizes () =
+  check_err "non-increasing sizes" "strictly increasing"
+    (Cdf.parse "1000 0.4\n1000 1.0");
+  check_err "negative size" "not a positive number" (Cdf.parse "-5 1.0");
+  check_err "nan prob" "outside [0, 1]" (Cdf.parse "1000 nan")
+
+let test_parse_rejects_empty_and_garbage () =
+  check_err "empty file" "empty CDF" (Cdf.parse "");
+  check_err "comments only" "empty CDF" (Cdf.parse "# nothing\n\n# here\n");
+  check_err "garbage tokens" "line 2" (Cdf.parse "1000 0.5\nhello world\n");
+  check_err "wrong arity" "line 1" (Cdf.parse "1000 0.5 7\n");
+  check_err "missing file" "" (Cdf.of_file "/nonexistent/x.cdf")
+
+let test_websearch_file_matches_builtin () =
+  (* The shipped example CDF is byte-for-byte the built-in websearch
+     distribution (the loadsweep docs point users at either). *)
+  let c = ok (Cdf.of_file "websearch.cdf") in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "test/websearch.cdf == Cdf.websearch" (Cdf.points Cdf.websearch)
+    (Cdf.points c)
+
+(* ---------- sampler vs closed forms ---------- *)
+
+let test_quantile_inverts_cdf () =
+  let c = ok (Cdf.parse "1000 0.25\n2000 0.5\n4000 1.0") in
+  let q = Cdf.quantile c in
+  Alcotest.(check (float 1e-9)) "point mass at the first size" 1000.0 (q 0.1);
+  Alcotest.(check (float 1e-9)) "boundary" 1000.0 (q 0.25);
+  Alcotest.(check (float 1e-9)) "interpolated" 1500.0 (q 0.375);
+  Alcotest.(check (float 1e-9)) "q=1 is the largest size" 4000.0 (q 1.0);
+  Alcotest.(check (float 1e-9))
+    "mean = p1 s1 + sum (dp)(midpoint)"
+    ((0.25 *. 1000.0) +. (0.25 *. 1500.0) +. (0.5 *. 3000.0))
+    (Cdf.mean c)
+
+let prop_sample_mean_matches_cdf_mean =
+  (* Inverse-transform sampling must reproduce the distribution the
+     closed forms describe: the sample mean of n draws converges on
+     Cdf.mean within a few relative standard errors. *)
+  QCheck.Test.make ~count:60 ~name:"inverse-transform sampling reproduces the mean"
+    (QCheck.int_bound 999_999) (fun seed ->
+      let rng = Rng.create (seed + 11) in
+      (* A random small CDF: 2-5 points, sizes growing, last prob 1. *)
+      let n = 2 + Rng.int rng 4 in
+      let sizes =
+        let s = ref 0.0 in
+        List.init n (fun _ ->
+            s := !s +. 100.0 +. (Rng.float rng *. 10_000.0);
+            !s)
+      in
+      let probs =
+        let raw = List.init n (fun _ -> 0.05 +. Rng.float rng) in
+        let total = List.fold_left ( +. ) 0.0 raw in
+        let acc = ref 0.0 in
+        List.map
+          (fun p ->
+            acc := !acc +. (p /. total);
+            Float.min 1.0 !acc)
+          raw
+      in
+      let probs = List.mapi (fun i p -> if i = n - 1 then 1.0 else p) probs in
+      let c =
+        match Cdf.of_points (List.combine sizes probs) with
+        | Ok c -> c
+        | Error e -> QCheck.Test.fail_reportf "seed %d: generated bad CDF: %s" seed e
+      in
+      let draws = 60_000 in
+      let sum = ref 0.0 and sumsq = ref 0.0 in
+      for _ = 1 to draws do
+        let x = Cdf.sample c rng in
+        sum := !sum +. x;
+        sumsq := !sumsq +. (x *. x)
+      done;
+      let m = !sum /. float_of_int draws in
+      let var = (!sumsq /. float_of_int draws) -. (m *. m) in
+      let se = sqrt (Float.max var 0.0 /. float_of_int draws) in
+      let expected = Cdf.mean c in
+      if Float.abs (m -. expected) > (5.0 *. se) +. (1e-9 *. expected) then
+        QCheck.Test.fail_reportf
+          "seed %d: sample mean %.2f vs closed-form %.2f (se %.3f)" seed m
+          expected se;
+      true)
+
+(* ---------- load generator ---------- *)
+
+let test_loadgen_deals_and_accounts () =
+  let rng = Rng.create 5 in
+  let gen =
+    Loadgen.generate rng ~cdf:Cdf.websearch ~load:0.5 ~capacity_mbps:100.0
+      ~conns:3 ~duration:500.0
+  in
+  let listed =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 gen.Loadgen.per_conn
+  in
+  Alcotest.(check int) "every arrival dealt to a connection"
+    gen.Loadgen.arrivals listed;
+  let bytes =
+    Array.fold_left
+      (fun acc l -> List.fold_left (fun a (_, b) -> a + b) acc l)
+      0 gen.Loadgen.per_conn
+  in
+  Alcotest.(check int) "offered bytes add up" gen.Loadgen.offered_bytes bytes;
+  Array.iter
+    (fun l ->
+      ignore
+        (List.fold_left
+           (fun prev (t, b) ->
+             Alcotest.(check bool) "schedule time-sorted" true (t >= prev);
+             Alcotest.(check bool) "within window" true (t < 500.0);
+             Alcotest.(check bool) "positive size" true (b > 0);
+             t)
+           0.0 l))
+    gen.Loadgen.per_conn;
+  Alcotest.(check (float 0.0)) "offered_load consistent"
+    (float_of_int bytes *. 8.0 /. (100e6 *. 500.0))
+    gen.Loadgen.offered_load
+
+let test_loadgen_rejects_bad_inputs () =
+  let gen ?(load = 0.5) ?(capacity = 100.0) ?(conns = 1) ?(duration = 10.0) () =
+    Loadgen.generate (Rng.create 1) ~cdf:Cdf.websearch ~load
+      ~capacity_mbps:capacity ~conns ~duration
+  in
+  let rejected f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "load 0" true (rejected (fun () -> gen ~load:0.0 ()));
+  Alcotest.(check bool) "load > 1" true (rejected (fun () -> gen ~load:1.5 ()));
+  Alcotest.(check bool) "no capacity" true (rejected (fun () -> gen ~capacity:0.0 ()));
+  Alcotest.(check bool) "no conns" true (rejected (fun () -> gen ~conns:0 ()));
+  Alcotest.(check bool) "no duration" true
+    (rejected (fun () -> gen ~duration:0.0 ()))
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "cdf-parse",
+        [
+          Alcotest.test_case "comments and blanks" `Quick
+            test_parse_accepts_comments_and_blanks;
+          Alcotest.test_case "non-monotone rejected" `Quick
+            test_parse_rejects_non_monotone_probs;
+          Alcotest.test_case "unnormalized tail rejected" `Quick
+            test_parse_rejects_unnormalized_tail;
+          Alcotest.test_case "bad sizes rejected" `Quick
+            test_parse_rejects_bad_sizes;
+          Alcotest.test_case "empty and garbage rejected" `Quick
+            test_parse_rejects_empty_and_garbage;
+          Alcotest.test_case "shipped file matches builtin" `Quick
+            test_websearch_file_matches_builtin;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "quantile closed forms" `Quick
+            test_quantile_inverts_cdf;
+          QCheck_alcotest.to_alcotest prop_sample_mean_matches_cdf_mean;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "dealing and accounting" `Quick
+            test_loadgen_deals_and_accounts;
+          Alcotest.test_case "bad inputs rejected" `Quick
+            test_loadgen_rejects_bad_inputs;
+        ] );
+    ]

@@ -1,0 +1,17 @@
+# Web-search-style flow-size distribution (DCTCP-like mix):
+# ~53% of flows under 100 kB, a 10% tail of 5-30 MB transfers,
+# mean ~1.7 MB. Kept in sync with the built-in Cdf.websearch
+# (test_traffic pins the equality).
+#
+# size_bytes   cumulative_probability
+10000     0.15
+20000     0.20
+30000     0.30
+50000     0.40
+80000     0.53
+200000    0.60
+1000000   0.70
+2000000   0.80
+5000000   0.90
+10000000  0.97
+30000000  1.00
