@@ -158,41 +158,112 @@ let write_sim_bench () =
       }
     in
     let duration = 4.0 in
-    let one ?trace seed =
-      Engine.run ?trace (Rng.create seed) g dom ~flows:[ spec ] ~duration
+    let one ?trace ?flight ?prof seed =
+      Engine.run ?trace ?flight ?prof (Rng.create seed) g dom ~flows:[ spec ]
+        ~duration
     in
     ignore (one 0) (* warm-up *);
     let reps = 5 in
     let events = ref 0 and bytes = ref 0 and peak_q = ref 0 in
-    (* Allocation probe: minor words drawn across the timed reps give
-       the engine's per-event allocation pressure (the hot-path diet's
-       regression metric), alongside ns per event. *)
-    let minor0 = Gc.minor_words () in
-    let t0 = Sys.time () in
-    for i = 1 to reps do
-      let res = one i in
-      events := !events + res.Engine.events_processed;
-      bytes := !bytes + res.Engine.flows.(0).Engine.received_bytes;
-      peak_q := max !peak_q res.Engine.perf.Engine.peak_queue_depth
+    let trace_events = ref 0 and sampled_events = ref 0 in
+    let ring = Obs.Flight.create () in
+    (* Each configuration (untraced / full trace / 1-in-16 sampled
+       trace / flight ring) is timed as a block of [reps] runs,
+       repeated for [rounds] rounds; the per-configuration minimum is
+       the basis for the overhead percentages. Single-block timing is
+       too noisy on a loaded 1-core container to resolve a <2% delta.
+       Runs are deterministic, so re-accumulating the counters each
+       round just rewrites the same values. *)
+    let rounds = 3 in
+    let best_plain = ref infinity and best_traced = ref infinity in
+    let best_sampled = ref infinity and best_flight = ref infinity in
+    let minor_words = ref 0.0 in
+    for _round = 1 to rounds do
+      events := 0;
+      bytes := 0;
+      trace_events := 0;
+      sampled_events := 0;
+      (* Allocation probe: minor words drawn across the untraced reps
+         give the engine's per-event allocation pressure (the hot-path
+         diet's regression metric), alongside ns per event. *)
+      let minor0 = Gc.minor_words () in
+      let t0 = Sys.time () in
+      for i = 1 to reps do
+        let res = one i in
+        events := !events + res.Engine.events_processed;
+        bytes := !bytes + res.Engine.flows.(0).Engine.received_bytes;
+        peak_q := max !peak_q res.Engine.perf.Engine.peak_queue_depth
+      done;
+      let e = Float.max 1e-9 (Sys.time () -. t0) in
+      minor_words := Gc.minor_words () -. minor0;
+      if e < !best_plain then best_plain := e;
+      (* Same reps with a counting trace sink attached: the delta is
+         the cost of the instrumentation hooks plus event records. *)
+      let t1 = Sys.time () in
+      for i = 1 to reps do
+        let sink, count = Obs.Trace.counter () in
+        ignore (one ~trace:sink i);
+        trace_events := !trace_events + count ()
+      done;
+      let e = Float.max 1e-9 (Sys.time () -. t1) in
+      if e < !best_traced then best_traced := e;
+      (* Sampled tracing at the load-sweep setting (1 in 16): the
+         acceptance bar is <2% over the untraced run, which requires
+         the engine to skip event construction for sampled-out
+         offers. *)
+      let t1s = Sys.time () in
+      for i = 1 to reps do
+        let sink, count = Obs.Trace.counter () in
+        ignore (one ~trace:(Obs.Trace.sampled ~every:16 sink) i);
+        sampled_events := !sampled_events + count ()
+      done;
+      let e = Float.max 1e-9 (Sys.time () -. t1s) in
+      if e < !best_sampled then best_sampled := e;
+      (* The always-on flight recorder's cost: scalar ring stores on
+         every event. *)
+      let t1f = Sys.time () in
+      for i = 1 to reps do
+        ignore (one ~flight:ring i)
+      done;
+      let e = Float.max 1e-9 (Sys.time () -. t1f) in
+      if e < !best_flight then best_flight := e
     done;
-    let elapsed = Float.max 1e-9 (Sys.time () -. t0) in
-    let minor_words = Gc.minor_words () -. minor0 in
-    (* Same reps again with a counting trace sink attached: the delta
-       is the cost of the instrumentation hooks plus event records. *)
-    let trace_events = ref 0 in
-    let t1 = Sys.time () in
+    let elapsed = !best_plain in
+    let minor_words = !minor_words in
+    let elapsed_traced = !best_traced in
+    let elapsed_sampled = !best_sampled in
+    let elapsed_flight = !best_flight in
+    (* Per-subsystem attribution of the same scenario, merged across
+       the reps (feeds the sub-300 ns/event roadmap item). *)
+    let prof = Obs.Prof.create () in
     for i = 1 to reps do
-      let sink, count = Obs.Trace.counter () in
-      ignore (one ~trace:sink i);
-      trace_events := !trace_events + count ()
+      ignore (one ~prof i)
     done;
-    let elapsed_traced = Float.max 1e-9 (Sys.time () -. t1) in
     let frames = !bytes / Engine.default_config.Engine.frame_bytes in
     let runs_s = float_of_int reps /. elapsed in
     let events_s = float_of_int !events /. elapsed in
     let events_s_traced = float_of_int !events /. elapsed_traced in
     let frames_s = float_of_int frames /. elapsed in
     let overhead_pct = (elapsed_traced /. elapsed -. 1.0) *. 100.0 in
+    let overhead_sampled_pct = (elapsed_sampled /. elapsed -. 1.0) *. 100.0 in
+    let flight_overhead_pct = (elapsed_flight /. elapsed -. 1.0) *. 100.0 in
+    let prof_events_n = Obs.Prof.events prof in
+    let prof_ns =
+      Obs.Prof.total_wall prof *. 1e9 /. float_of_int (max 1 prof_events_n)
+    in
+    let prof_entries = Obs.Prof.report prof in
+    let prof_words =
+      List.fold_left (fun a e -> a +. e.Obs.Prof.minor_words) 0.0 prof_entries
+      /. float_of_int (max 1 prof_events_n)
+    in
+    let prof_shares =
+      String.concat ", "
+        (List.map
+           (fun e -> Printf.sprintf "\"%s\": %.1f" e.Obs.Prof.name e.Obs.Prof.share_pct)
+           prof_entries)
+    in
+    (* Stdlib's, not the interference-domain module that shadows it. *)
+    let cores = Stdlib.Domain.recommended_domain_count () in
     (* Chaos runs stress the fault schedules on top of the engine: the
        testbed scenario with a generated moderate plan per seed,
        dispatched through Chaos.sweep (sequential unless EMPOWER_JOBS
@@ -292,6 +363,13 @@ let write_sim_bench () =
       \  \"events_per_s_traced\": %.0f,\n\
       \  \"trace_events_per_run\": %d,\n\
       \  \"trace_overhead_pct\": %.1f,\n\
+      \  \"trace_overhead_sampled_pct\": %.1f,\n\
+      \  \"trace_events_sampled_per_run\": %d,\n\
+      \  \"flight_overhead_pct\": %.1f,\n\
+      \  \"prof_events\": %d,\n\
+      \  \"prof_ns_per_event\": %.1f,\n\
+      \  \"prof_minor_words_per_event\": %.2f,\n\
+      \  \"prof_shares_pct\": {%s},\n\
       \  \"chaos_events_per_s\": %.0f,\n\
       \  \"chaos_fault_events_per_run\": %d,\n\
       \  \"sever_events_per_s\": %.0f,\n\
@@ -300,6 +378,7 @@ let write_sim_bench () =
       \  \"sever_goodput_mbps\": %.3f,\n\
       \  \"parallel_figure_wall_s\": {%s},\n\
       \  \"parallel_identical\": %b,\n\
+      \  \"cores\": %d,\n\
       \  \"parallel_speedup_4j\": %.2f,\n\
       \  \"loadsweep_wall_s\": %.3f,\n\
       \  \"loadsweep_capacity_mbps\": %.3f,\n\
@@ -309,7 +388,9 @@ let write_sim_bench () =
       (elapsed *. 1e9 /. float_of_int (max 1 !events))
       (minor_words /. float_of_int (max 1 !events))
       frames_s !peak_q events_s_traced
-      (!trace_events / reps) overhead_pct chaos_events_s
+      (!trace_events / reps) overhead_pct overhead_sampled_pct
+      (!sampled_events / reps) flight_overhead_pct prof_events_n prof_ns
+      prof_words prof_shares chaos_events_s
       (!chaos_faults / reps) sever_events_s sever_flow.Chaos.detect_s
       sever_flow.Chaos.recovery_s sever_flow.Chaos.goodput_mbps
       (String.concat ", "
@@ -317,21 +398,23 @@ let write_sim_bench () =
             (fun (nm, t1, t4, _) ->
               Printf.sprintf "\"%s_j1_s\": %.3f, \"%s_j4_s\": %.3f" nm t1 nm t4)
             par_rows))
-      par_identical parallel_speedup_4j loadsweep_wall_s
+      par_identical cores parallel_speedup_4j loadsweep_wall_s
       ls.Loadsweep.capacity_mbps
       (String.concat ", " loadsweep_rows);
     close_out oc;
     Printf.printf
       "BENCH_sim.json: %.2f runs/s, %.0f events/s (%.1f ns, %.2f minor words \
-       per event), %.0f frames/s, trace overhead %.1f%%, chaos %.0f events/s, \
-       severance detect %.3f s / recovery %.3f s, 4-job speedup %.2fx \
-       (identical: %b), loadsweep achieved %s in %.1f s\n\
+       per event), %.0f frames/s, trace overhead %.1f%% (sampled 1/16 \
+       %.1f%%, flight %.1f%%), chaos %.0f events/s, severance detect %.3f s \
+       / recovery %.3f s, %d-core 4-job speedup %.2fx (identical: %b), \
+       loadsweep achieved %s in %.1f s\n\
        %!"
       runs_s events_s
       (elapsed *. 1e9 /. float_of_int (max 1 !events))
       (minor_words /. float_of_int (max 1 !events))
-      frames_s overhead_pct chaos_events_s sever_flow.Chaos.detect_s
-      sever_flow.Chaos.recovery_s parallel_speedup_4j par_identical
+      frames_s overhead_pct overhead_sampled_pct flight_overhead_pct
+      chaos_events_s sever_flow.Chaos.detect_s sever_flow.Chaos.recovery_s
+      cores parallel_speedup_4j par_identical
       (String.concat "/"
          (List.map
             (fun p -> Printf.sprintf "%.2f" p.Loadsweep.achieved_load)

@@ -36,6 +36,15 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let progress_arg =
+  let doc =
+    "Report live per-task progress of the parallel executor to stderr \
+     (starts, completions, straggler elapsed times). Pure observation: \
+     results are bit-identical with and without it. $(b,EMPOWER_PROGRESS) \
+     enables the same reporter ambiently."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 let metrics_arg =
   let doc =
     "Install the process-global metrics registry for the duration of the \
@@ -49,8 +58,10 @@ let metrics_arg =
    polymorphic field: one emitter serves every figure type.) *)
 type emitter = { emit : 'a. 'a -> ('a -> unit) -> ('a -> Obs.Json.t) -> unit }
 
-let with_obs ?jobs ~json ~metrics body =
+let with_obs ?jobs ~json ~metrics ~progress body =
   Option.iter Exec.set_default_jobs jobs;
+  if progress then
+    Exec.Progress.set_reporter (Some Exec.Progress.stderr_reporter);
   if metrics then ignore (Obs.Runtime.install_metrics ());
   body
     {
@@ -69,48 +80,48 @@ let both_topologies f =
   f Common.Enterprise
 
 let fig4_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         both_topologies (fun topo ->
             e.emit (Fig4.run ~runs ~seed topo) Fig4.print Figure_json.fig4))
   in
   Cmd.v
     (Cmd.info "fig4" ~doc:"CDF of flow throughput per scheme (Figure 4).")
-    Term.(const run $ runs_arg 100 $ seed_arg 1 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 100 $ seed_arg 1 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let fig5_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         both_topologies (fun topo ->
             e.emit (Fig5.run ~runs ~seed topo) Fig5.print Figure_json.fig5))
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"MP-mWiFi vs EMPoWER on the worst flows (Figure 5).")
-    Term.(const run $ runs_arg 100 $ seed_arg 2 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 100 $ seed_arg 2 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let fig6_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         both_topologies (fun topo ->
             e.emit (Fig6.run ~runs ~seed topo) Fig6.print Figure_json.fig6))
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Throughput against optimal schemes (Figure 6).")
-    Term.(const run $ runs_arg 60 $ seed_arg 3 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 60 $ seed_arg 3 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let fig7_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         both_topologies (fun topo ->
             e.emit (Fig7.run ~runs ~seed topo) Fig7.print Figure_json.fig7))
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Utility with 3 contending flows (Figure 7).")
-    Term.(const run $ runs_arg 40 $ seed_arg 4 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 40 $ seed_arg 4 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let convergence_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         both_topologies (fun topo ->
             e.emit
               (Convergence.run ~runs ~seed topo)
@@ -119,65 +130,65 @@ let convergence_cmd =
   Cmd.v
     (Cmd.info "convergence"
        ~doc:"Convergence of EMPoWER vs backpressure (Section 5.2.2).")
-    Term.(const run $ runs_arg 30 $ seed_arg 5 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 30 $ seed_arg 5 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let fig9_cmd =
-  let run seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         e.emit (Fig9.run ~seed ()) Fig9.print Figure_json.fig9)
   in
   Cmd.v
     (Cmd.info "fig9" ~doc:"Two-flow adaptation example, packet-level (Figure 9).")
-    Term.(const run $ seed_arg 9 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ seed_arg 9 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let fig10_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         e.emit (Fig10.run ~pairs:runs ~seed ()) Fig10.print Figure_json.fig10)
   in
   Cmd.v
     (Cmd.info "fig10" ~doc:"50 random testbed pairs (Figure 10).")
-    Term.(const run $ runs_arg 50 $ seed_arg 10 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 50 $ seed_arg 10 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let fig11_cmd =
-  let run seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         e.emit (Fig11.run ~seed ()) Fig11.print Figure_json.fig11)
   in
   Cmd.v
     (Cmd.info "fig11" ~doc:"Per-flow mean/std throughput, packet-level (Figure 11).")
-    Term.(const run $ seed_arg 11 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ seed_arg 11 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let table1_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         e.emit (Table1.run ~seed ~repeats:runs ()) Table1.print Figure_json.table1)
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Download times with and without CC (Table 1).")
-    Term.(const run $ runs_arg 5 $ seed_arg 12 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 5 $ seed_arg 12 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let fig12_cmd =
-  let run seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         e.emit (Fig12.run ~seed ()) Fig12.print Figure_json.fig12)
   in
   Cmd.v
     (Cmd.info "fig12" ~doc:"TCP over EMPoWER time series (Figure 12).")
-    Term.(const run $ seed_arg 13 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ seed_arg 13 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let fig13_cmd =
-  let run seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         e.emit (Fig13.run ~seed ()) Fig13.print Figure_json.fig13)
   in
   Cmd.v
     (Cmd.info "fig13" ~doc:"TCP rate over ten flows (Figure 13).")
-    Term.(const run $ seed_arg 14 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ seed_arg 14 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let ablations_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         let show d =
           e.emit d Ablations.print Figure_json.ablation;
           if not json then print_newline ()
@@ -191,11 +202,11 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md section 4).")
-    Term.(const run $ runs_arg 30 $ seed_arg 21 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 30 $ seed_arg 21 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let metrics_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         both_topologies (fun topo ->
             e.emit
               (Metric_comparison.run ~runs ~seed topo)
@@ -203,27 +214,27 @@ let metrics_cmd =
   in
   Cmd.v
     (Cmd.info "metrics" ~doc:"Single-path metric comparison (footnote 7).")
-    Term.(const run $ runs_arg 40 $ seed_arg 31 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 40 $ seed_arg 31 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let mptcp_cmd =
-  let run seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         e.emit
           (Mptcp_applicability.run ~seed ())
           Mptcp_applicability.print Figure_json.mptcp)
   in
   Cmd.v
     (Cmd.info "mptcp" ~doc:"MPTCP applicability census (Section 7).")
-    Term.(const run $ seed_arg 4242 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ seed_arg 4242 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let mac_cmd =
-  let run seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         e.emit (Mac_fairness.run ~seed ()) Mac_fairness.print Figure_json.mac_fairness)
   in
   Cmd.v
     (Cmd.info "mac" ~doc:"802.11 vs IEEE 1901 CSMA/CA comparison ([40]).")
-    Term.(const run $ seed_arg 40 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ seed_arg 40 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 (* ---------- trace ---------- *)
 
@@ -281,6 +292,82 @@ let trace_cmd =
           it (strict schema decode + replay cross-check against the engine).")
     Term.(const run $ scenario_arg $ out_arg)
 
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let scenario_arg =
+    let doc =
+      Printf.sprintf "Scenario to profile; one of %s."
+        (String.concat ", " (Tracing.names ()))
+    in
+    Arg.(value & pos 0 string "mini" & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let run scenario json =
+    match Tracing.find scenario with
+    | None ->
+      Printf.eprintf "unknown scenario %S; available: %s\n" scenario
+        (String.concat ", " (Tracing.names ()));
+      exit 2
+    | Some sc ->
+      let prof = Obs.Prof.create () in
+      let outcome = sc.Tracing.exec ~prof () in
+      if json then Figure_json.print_json (Obs.Prof.to_json prof)
+      else begin
+        Obs.Prof.print prof;
+        let p = outcome.Tracing.result.Engine.perf in
+        Printf.printf "engine: %d events (%.0f events/s, %.3f s wall)\n"
+          outcome.Tracing.result.Engine.events_processed p.Engine.events_per_s
+          p.Engine.wall_s
+      end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a reference scenario: wall time and GC minor words \
+          attributed to the subsystem that handled each engine event \
+          (mac_phy, traffic, controller, tcp, recovery, fault). The \
+          profiler only reads the clock — simulation results are \
+          unchanged. --json emits the 'profile' figure consumed by \
+          $(b,empower_eval report).")
+    Term.(const run $ scenario_arg $ json_arg)
+
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let file_arg =
+    let doc =
+      "Artifact to report on: a JSONL trace (trace/chaos --out, or a \
+       flight-recorder dump), a loadsweep figure (loadsweep --json) or a \
+       profile (profile --json). The shape is auto-detected."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let duration_arg =
+    let doc =
+      "Simulated horizon of a trace in seconds (default: the last event's \
+       timestamp). Needed to reproduce exact goodput when the run outlives \
+       its last event; ignored for figure documents."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+  in
+  let run file duration json =
+    match Report.of_file ?duration file with
+    | Error e ->
+      Printf.eprintf "report: %s\n" e;
+      exit 1
+    | Ok r ->
+      if json then Figure_json.print_json (Report.to_json r) else Report.print r
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render any run artifact into one health report: SLOs (p99 FCT per \
+          bucket, goodput vs LP bound, severance detect/recovery times), \
+          drop/collision counters and profiler hotspots, as text or (with \
+          --json) as a 'report' figure.")
+    Term.(const run $ file_arg $ duration_arg $ json_arg)
+
 (* ---------- chaos ---------- *)
 
 let chaos_cmd =
@@ -316,7 +403,17 @@ let chaos_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run seed intensity sever no_recovery duration out json metrics jobs =
+  let flight_arg =
+    let doc =
+      "Attach a flight recorder and, if the run shows a regression (a flow \
+       that never recovers), dump the last events to $(docv) as JSONL — \
+       strict-validated, replayable with $(b,empower_eval report). Without a \
+       regression the ring is discarded."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
+  let run seed intensity sever no_recovery duration out flight json metrics
+      progress jobs =
     match Fault.Gen.intensity_of_name intensity with
     | None ->
       Printf.eprintf
@@ -329,18 +426,21 @@ let chaos_cmd =
          demonstrates) and off otherwise; --no-recovery forces it off
          in either case for before/after comparisons. *)
       let recovery = intensity = Fault.Gen.Severing && not no_recovery in
-      with_obs ?jobs ~json ~metrics (fun e ->
+      let ring =
+        Option.map (fun path -> Obs.Flight.create ~dump_path:path ()) flight
+      in
+      with_obs ?jobs ~json ~metrics ~progress (fun e ->
           let report =
             match out with
-            | None -> Chaos.run ~intensity ~recovery ~duration ~seed ()
+            | None -> Chaos.run ?flight:ring ~intensity ~recovery ~duration ~seed ()
             | Some path ->
               let oc = open_out path in
               let report =
                 Fun.protect
                   ~finally:(fun () -> close_out_noerr oc)
                   (fun () ->
-                    Chaos.run ~trace:(Obs.Trace.to_channel oc) ~intensity
-                      ~recovery ~duration ~seed ())
+                    Chaos.run ~trace:(Obs.Trace.to_channel oc) ?flight:ring
+                      ~intensity ~recovery ~duration ~seed ())
               in
               (* Same self-validation as `trace`: the file must
                  strict-decode and its replay must reproduce the
@@ -367,6 +467,38 @@ let chaos_cmd =
                       summary.Obs.Summary.events path));
               report
           in
+          (match ring with
+          | None -> ()
+          | Some ring ->
+            (* Regression: a flow whose goodput never returned to its
+               pre-fault baseline. Only then is the ring worth keeping. *)
+            let regression =
+              List.exists
+                (fun (f : Chaos.flow_report) -> f.Chaos.recovery_s < 0.0)
+                report.Chaos.flows
+            in
+            if regression then (
+              match Obs.Flight.dump ring with
+              | Error msg ->
+                Printf.eprintf "[flight] dump failed: %s\n" msg;
+                exit 1
+              | Ok (path, n) -> (
+                (* The dump must strict-decode: a recorder artifact
+                   that Obs.Summary cannot replay is a bug. *)
+                match Obs.Summary.read_file path with
+                | Error err ->
+                  Printf.eprintf
+                    "[flight] dump %s failed strict validation: %s\n" path err;
+                  exit 1
+                | Ok _ ->
+                  Printf.eprintf
+                    "[flight] regression (flow never recovered): last %d \
+                     events -> %s\n"
+                    n path))
+            else
+              Printf.eprintf
+                "[flight] no regression; ring discarded (%d events recorded)\n"
+                (Obs.Flight.recorded ring));
           e.emit report Chaos.print Chaos.to_json)
   in
   Cmd.v
@@ -378,7 +510,7 @@ let chaos_cmd =
           self-healing recovery subsystem; --no-recovery turns it back off.")
     Term.(
       const run $ seed_arg 7 $ intensity_arg $ sever_arg $ no_recovery_arg
-      $ duration_arg $ out_arg $ json_arg $ metrics_arg $ jobs_arg)
+      $ duration_arg $ out_arg $ flight_arg $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 (* ---------- loadsweep ---------- *)
 
@@ -415,7 +547,7 @@ let loadsweep_cmd =
     let doc = "Frame pacing of each connection: cbr or poisson." in
     Arg.(value & opt string "cbr" & info [ "pacing" ] ~docv:"MODE" ~doc)
   in
-  let run seed loads cdf pairs conns duration pacing json metrics jobs =
+  let run seed loads cdf pairs conns duration pacing json metrics progress jobs =
     let cdf =
       match cdf with
       | None -> Cdf.websearch
@@ -436,7 +568,7 @@ let loadsweep_cmd =
     let loads =
       match loads with [] -> [ 0.1; 0.3; 0.5; 0.7; 0.9 ] | ls -> ls
     in
-    with_obs ?jobs ~json ~metrics (fun e ->
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         e.emit
           (Loadsweep.sweep ~cdf ~pairs ~conns ~duration ~pacing ~seed loads)
           Loadsweep.print Figure_json.loadsweep)
@@ -449,11 +581,11 @@ let loadsweep_cmd =
           flow-completion-time p50/p95/p99 and achieved load.")
     Term.(
       const run $ seed_arg 17 $ loads_arg $ cdf_arg $ pairs_arg $ conns_arg
-      $ duration_arg $ pacing_arg $ json_arg $ metrics_arg $ jobs_arg)
+      $ duration_arg $ pacing_arg $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let all_cmd =
-  let run runs seed json metrics jobs =
-    with_obs ?jobs ~json ~metrics (fun e ->
+  let run runs seed json metrics progress jobs =
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
         let header title =
           if not json then
             Printf.printf "\n================ %s ================\n" title
@@ -508,7 +640,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run the full evaluation suite.")
-    Term.(const run $ runs_arg 60 $ seed_arg 1 $ json_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ runs_arg 60 $ seed_arg 1 $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 let main =
   let doc = "Reproduce the EMPoWER (CoNEXT'16) evaluation." in
@@ -517,7 +649,8 @@ let main =
     [
       fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; convergence_cmd; fig9_cmd;
       fig10_cmd; fig11_cmd; table1_cmd; fig12_cmd; fig13_cmd; ablations_cmd;
-      metrics_cmd; mptcp_cmd; mac_cmd; trace_cmd; chaos_cmd; loadsweep_cmd;
+      metrics_cmd; mptcp_cmd; mac_cmd; trace_cmd; profile_cmd; report_cmd;
+      chaos_cmd; loadsweep_cmd;
       all_cmd;
     ]
 

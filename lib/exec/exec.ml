@@ -22,6 +22,88 @@ let default_jobs () =
       | Some n when n >= 1 -> n
       | _ -> 1))
 
+module Progress = struct
+  type snapshot = {
+    total : int;
+    completed : int;
+    running : (int * float) list;
+  }
+
+  type reporter = snapshot -> unit
+
+  let current : reporter option ref = ref None
+
+  let set_reporter r = current := r
+
+  let env_enabled () =
+    match Sys.getenv_opt "EMPOWER_PROGRESS" with
+    | Some s when s <> "" && s <> "0" -> true
+    | _ -> false
+
+  (* One line per event, newest state wins; elapsed times expose the
+     stragglers directly (longest-running first). *)
+  let stderr_reporter snap =
+    let running =
+      List.sort (fun (_, a) (_, b) -> compare b a) snap.running
+    in
+    let frag (i, el) = Printf.sprintf "#%d (%.1fs)" i el in
+    Printf.eprintf "[exec] %d/%d done%s\n%!" snap.completed snap.total
+      (match running with
+      | [] -> ""
+      | rs -> ", running: " ^ String.concat " " (List.map frag rs))
+
+  let resolve () =
+    match !current with
+    | Some _ as r -> r
+    | None -> if env_enabled () then Some stderr_reporter else None
+end
+
+(* Progress bookkeeping shared by the sequential and parallel paths.
+   Pure observation: start/finish marks and the reporter callback never
+   touch task results, so output stays bit-identical with a reporter
+   installed. Callbacks run in whichever domain finished the task,
+   under the tracker's mutex (so a reporter needs no locking of its
+   own, but must be quick). *)
+let with_progress n run =
+  match Progress.resolve () with
+  | None -> run (fun _ f -> f ())
+  | Some report ->
+    let mutex = Mutex.create () in
+    let started = Array.make n Float.nan in
+    let finished = Array.make n false in
+    let completed = ref 0 in
+    let snapshot () =
+      let now = Unix.gettimeofday () in
+      let running = ref [] in
+      for i = n - 1 downto 0 do
+        if (not finished.(i)) && not (Float.is_nan started.(i)) then
+          running := (i, now -. started.(i)) :: !running
+      done;
+      { Progress.total = n; completed = !completed; running = !running }
+    in
+    let locked f =
+      Mutex.lock mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+    in
+    run (fun i f ->
+        locked (fun () ->
+            started.(i) <- Unix.gettimeofday ();
+            report (snapshot ()));
+        let finish () =
+          locked (fun () ->
+              finished.(i) <- true;
+              incr completed;
+              report (snapshot ()))
+        in
+        match f () with
+        | y ->
+          finish ();
+          y
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          finish ();
+          Printexc.raise_with_backtrace e bt)
+
 module Work_queue = struct
   type t = {
     mutex : Mutex.t;
@@ -77,16 +159,16 @@ end
 
 (* Explicit left-to-right sequential map: the reference semantics that
    the parallel path must reproduce bit for bit. *)
-let seq_map f xs =
-  let rec go acc = function
+let seq_map mark f xs =
+  let rec go i acc = function
     | [] -> List.rev acc
     | x :: rest ->
-      let y = f x in
-      go (y :: acc) rest
+      let y = mark i (fun () -> f x) in
+      go (i + 1) (y :: acc) rest
   in
-  go [] xs
+  go 0 [] xs
 
-let run_parallel jobs f xs =
+let run_parallel mark jobs f xs =
   let tasks = Array.of_list xs in
   let n = Array.length tasks in
   let results = Array.make n None in
@@ -97,17 +179,18 @@ let run_parallel jobs f xs =
   let job_regs = Array.make n None in
   let run_one i =
     let x = tasks.(i) in
+    let task () = mark i (fun () -> f x) in
     let res =
       match main_reg with
       | None -> (
-        try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()))
+        try Ok (task ()) with e -> Error (e, Printexc.get_raw_backtrace ()))
       | Some _ ->
         (* Fresh registry per job, even when the same worker domain runs
            several jobs back to back. *)
         Obs.Runtime.clear ();
         let reg = Obs.Runtime.install_metrics () in
         let res =
-          try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+          try Ok (task ()) with e -> Error (e, Printexc.get_raw_backtrace ())
         in
         Obs.Runtime.clear ();
         job_regs.(i) <- Some reg;
@@ -153,7 +236,8 @@ let map ?jobs f xs =
   in
   let n = List.length xs in
   let jobs = if jobs > n then n else jobs in
-  if jobs <= 1 then seq_map f xs else run_parallel jobs f xs
+  with_progress n (fun mark ->
+      if jobs <= 1 then seq_map mark f xs else run_parallel mark jobs f xs)
 
 let mapi ?jobs f xs =
   let indexed = List.mapi (fun i x -> (i, x)) xs in

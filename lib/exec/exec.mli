@@ -25,6 +25,39 @@
       its backtrace) after all workers have drained; when several jobs
       fail, the earliest submitted failure wins. *)
 
+(** Live progress for {!map} fans (the per-domain heartbeat counters
+    behind the parallelized experiment commands). Observation only:
+    reporters never see or touch task results, so installing one keeps
+    output bit-identical — only start/finish instants (wall clock)
+    differ between runs. *)
+module Progress : sig
+  type snapshot = {
+    total : int;  (** submitted tasks *)
+    completed : int;  (** tasks finished (ok or failed) *)
+    running : (int * float) list;
+        (** in-flight tasks as [(submission index, elapsed seconds)],
+            index order — the elapsed column is the straggler report *)
+  }
+
+  type reporter = snapshot -> unit
+  (** Called under the tracker's mutex on every task start and finish,
+      from whichever domain ran the task: no reporter-side locking is
+      needed, but the callback must be quick and must not call back
+      into {!map}. *)
+
+  val set_reporter : reporter option -> unit
+  (** Install (or clear) the process-wide reporter used by subsequent
+      {!map}/{!mapi} calls (the CLI's [--progress] flag). *)
+
+  val env_enabled : unit -> bool
+  (** [true] iff [EMPOWER_PROGRESS] is set to anything but [""]/["0"];
+      when no reporter is installed this enables {!stderr_reporter}. *)
+
+  val stderr_reporter : reporter
+  (** One [\[exec\] done/total, running: #i (elapsed)] line to stderr
+      per event, longest-running tasks first. *)
+end
+
 val default_jobs : unit -> int
 (** The worker count used when [Exec.map] is called without [?jobs]:
     the last value given to {!set_default_jobs} if any, else the

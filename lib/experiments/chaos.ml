@@ -43,7 +43,8 @@ let plan ?intensity ?clear_by (net : Empower.network) ~seed ~duration =
     (Rng.split (Rng.create seed))
     net.Empower.g ~duration
 
-let run ?trace ?intensity ?(recovery = false) ?(duration = 20.0) ~seed () =
+let run ?trace ?flight ?intensity ?(recovery = false) ?(duration = 20.0) ~seed
+    () =
   let net = network () in
   let flow =
     let routes, rates =
@@ -91,7 +92,8 @@ let run ?trace ?intensity ?(recovery = false) ?(duration = 20.0) ~seed () =
     match trace with Some user -> Obs.Trace.tee s user | None -> s
   in
   let result =
-    Engine.run ~config ~trace:sink ~link_events:compiled.Fault.link_events
+    Engine.run ~config ~trace:sink ?flight
+      ~link_events:compiled.Fault.link_events
       ~loss_events:compiled.Fault.loss_events
       ~ctrl_events:compiled.Fault.ctrl_events master net.Empower.g
       net.Empower.dom ~flows:[ flow ] ~duration

@@ -73,6 +73,7 @@ val plan :
 
 val run :
   ?trace:Obs.Trace.sink ->
+  ?flight:Obs.Flight.t ->
   ?intensity:Fault.Gen.intensity ->
   ?recovery:bool ->
   ?duration:float ->
@@ -83,7 +84,10 @@ val run :
     [recovery] to [false], [duration] to 20 s). [trace] additionally
     streams every event to the caller's sink; an installed
     {!Obs.Runtime} registry ([--metrics] / [EMPOWER_METRICS]) is also
-    populated, including the degradation metrics. *)
+    populated, including the degradation metrics. [flight] records
+    the run into a flight-recorder ring (see {!Engine.run}); the
+    harness's [chaos --flight FILE] dumps it whenever the run shows a
+    regression (a flow that never recovers: [recovery_s < 0]). *)
 
 val sweep :
   ?intensity:Fault.Gen.intensity ->

@@ -7,7 +7,7 @@ type outcome = {
 type scenario = {
   name : string;
   about : string;
-  exec : ?trace:Obs.Trace.sink -> unit -> outcome;
+  exec : ?trace:Obs.Trace.sink -> ?prof:Obs.Prof.t -> unit -> outcome;
 }
 
 let saturated_flow net ~src ~dst =
@@ -24,10 +24,10 @@ let testbed_net seed =
   let inst = Testbed.generate (Rng.create seed) in
   Runner.network inst Schemes.Empower
 
-let run_engine ?trace net ~flows ~link_events ~duration ~seed name =
+let run_engine ?trace ?prof net ~flows ~link_events ~duration ~seed name =
   let result =
-    Engine.run ?trace ~link_events (Rng.create seed) net.Empower.g net.Empower.dom
-      ~flows ~duration
+    Engine.run ?trace ?prof ~link_events (Rng.create seed) net.Empower.g
+      net.Empower.dom ~flows ~duration
   in
   { scenario = name; result; duration }
 
@@ -37,9 +37,9 @@ let scenarios =
       name = "mini";
       about = "1 s saturated flow on the fig4 residential draw (CI-sized)";
       exec =
-        (fun ?trace () ->
+        (fun ?trace ?prof () ->
           let net = residential_net 77 in
-          run_engine ?trace net
+          run_engine ?trace ?prof net
             ~flows:[ saturated_flow net ~src:0 ~dst:9 ]
             ~link_events:[] ~duration:1.0 ~seed:1 "mini");
     };
@@ -47,9 +47,9 @@ let scenarios =
       name = "fig4";
       about = "the figure-4 scenario: saturated EMPoWER flow 0->9, residential seed 77";
       exec =
-        (fun ?trace () ->
+        (fun ?trace ?prof () ->
           let net = residential_net 77 in
-          run_engine ?trace net
+          run_engine ?trace ?prof net
             ~flows:[ saturated_flow net ~src:0 ~dst:9 ]
             ~link_events:[] ~duration:8.0 ~seed:1 "fig4");
     };
@@ -57,7 +57,7 @@ let scenarios =
       name = "failure";
       about = "testbed flow 0->12 with a mid-run link failure and recovery";
       exec =
-        (fun ?trace () ->
+        (fun ?trace ?prof () ->
           let net = testbed_net 4242 in
           let flow = saturated_flow net ~src:0 ~dst:12 in
           (* Fail the first link of the flow's first route at 3 s and
@@ -75,7 +75,7 @@ let scenarios =
             ]
           in
           let compiled = Fault.compile net.Empower.g plan in
-          run_engine ?trace net ~flows:[ flow ]
+          run_engine ?trace ?prof net ~flows:[ flow ]
             ~link_events:compiled.Fault.link_events ~duration:6.0 ~seed:2
             "failure");
     };
@@ -83,7 +83,7 @@ let scenarios =
       name = "tcp";
       about = "testbed TCP download 0->12 (token-bucket policing, reordering)";
       exec =
-        (fun ?trace () ->
+        (fun ?trace ?prof () ->
           let net = testbed_net 4242 in
           let routes, rates =
             Runner.routes_and_rates net Schemes.Empower ~src:0 ~dst:12
@@ -94,7 +94,7 @@ let scenarios =
               ~workload:(Workload.File { bytes = 20_000_000 })
               ~transport:Engine.Tcp_transport ~src:0 ~dst:12 (routes, rates)
           in
-          run_engine ?trace net ~flows:[ flow ] ~link_events:[] ~duration:8.0
+          run_engine ?trace ?prof net ~flows:[ flow ] ~link_events:[] ~duration:8.0
             ~seed:3 "tcp");
     };
   ]
@@ -126,7 +126,9 @@ let cross_check (o : outcome) (s : Obs.Summary.t) =
             delivered_bytes = 0;
             goodput_mbps = 0.0;
             mean_delay = 0.0;
+            p50_delay = 0.0;
             p95_delay = 0.0;
+            p99_delay = 0.0;
             max_delay = 0.0;
             rate_updates = 0;
             final_rates = [||];

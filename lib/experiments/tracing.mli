@@ -12,7 +12,7 @@ type outcome = {
 type scenario = {
   name : string;
   about : string;
-  exec : ?trace:Obs.Trace.sink -> unit -> outcome;
+  exec : ?trace:Obs.Trace.sink -> ?prof:Obs.Prof.t -> unit -> outcome;
 }
 
 val scenarios : scenario list

@@ -160,22 +160,58 @@ module Json = struct
         advance ()
       done;
       let tok = String.sub s start (!pos - start) in
-      let is_int =
-        (not (String.contains tok '.'))
-        && (not (String.contains tok 'e'))
-        && not (String.contains tok 'E')
+      (* A malformed token is reported at its own start, not at the
+         scan position past it. *)
+      let bad () =
+        raise (Parse_error (start, Printf.sprintf "bad number %S" tok))
       in
-      if is_int then
+      (* Strict JSON number grammar — an optional minus, then "0" or a
+         nonzero-led digit run, then an optional dot-led fraction and
+         an optional exponent, each requiring at least one digit.
+         OCaml's own converters are laxer —
+         they accept "+5", "01", "1.", ".5", hex and '_' separators —
+         so the token is validated before conversion; garbage glued to
+         a valid prefix is rejected even when [int_of_string] would
+         swallow the whole token. *)
+      let l = String.length tok in
+      let p = ref 0 in
+      let digits () =
+        let d0 = !p in
+        while
+          !p < l && (match tok.[!p] with '0' .. '9' -> true | _ -> false)
+        do
+          incr p
+        done;
+        if !p = d0 then bad ()
+      in
+      if l = 0 then bad ();
+      if tok.[0] = '-' then incr p;
+      if !p < l && tok.[!p] = '0' then incr p else digits ();
+      let is_int = ref true in
+      if !p < l && tok.[!p] = '.' then begin
+        is_int := false;
+        incr p;
+        digits ()
+      end;
+      if !p < l && (tok.[!p] = 'e' || tok.[!p] = 'E') then begin
+        is_int := false;
+        incr p;
+        if !p < l && (tok.[!p] = '+' || tok.[!p] = '-') then incr p;
+        digits ()
+      end;
+      if !p <> l then bad ();
+      if !is_int then
         match int_of_string_opt tok with
         | Some i -> Int i
         | None -> (
+          (* magnitude beyond an OCaml int: keep the value as a float *)
           match float_of_string_opt tok with
           | Some f -> Float f
-          | None -> fail (Printf.sprintf "bad number %S" tok))
+          | None -> bad ())
       else
         match float_of_string_opt tok with
         | Some f -> Float f
-        | None -> fail (Printf.sprintf "bad number %S" tok)
+        | None -> bad ()
     in
     let rec parse_value () =
       skip_ws ();
@@ -547,27 +583,539 @@ module Trace = struct
         Ok (Price_reset { t; link })
       | k -> Error (Printf.sprintf "unknown event kind %S" k))
 
-  type sink = event -> unit
+  (* A sink carries its own deterministic sampling state: [every] = 1
+     delivers everything, [sampled] multiplies periods. The
+     [accept]/[push] split exists so hot emitters can skip even
+     constructing the event record for offers the sink will discard;
+     [emit] is the fused convenience for cold paths. *)
+  type sink = {
+    every : int;
+    mutable countdown : int;  (* 0 => the next offer is delivered *)
+    push_fn : event -> unit;
+  }
 
-  let emit (s : sink) ev = s ev
-  let of_fn f : sink = f
-  let tee a b : sink = fun ev -> a ev; b ev
+  let of_fn f = { every = 1; countdown = 0; push_fn = f }
 
-  let to_channel oc : sink =
+  let accept s =
+    s.every = 1
+    ||
+    if s.countdown = 0 then begin
+      s.countdown <- s.every - 1;
+      true
+    end
+    else begin
+      s.countdown <- s.countdown - 1;
+      false
+    end
+
+  let push s ev = s.push_fn ev
+  let emit s ev = if accept s then s.push_fn ev
+
+  let sampled ~every s =
+    if every < 1 then invalid_arg "Obs.Trace.sampled: every must be >= 1";
+    { every = every * s.every; countdown = 0; push_fn = s.push_fn }
+
+  let sample_period s = s.every
+
+  let tee a b =
+    { every = 1; countdown = 0; push_fn = (fun ev -> emit a ev; emit b ev) }
+
+  let to_channel oc =
     let buf = Buffer.create 256 in
-    fun ev ->
-      Buffer.clear buf;
-      Json.to_buffer buf (to_json ev);
-      Buffer.add_char buf '\n';
-      Buffer.output_buffer oc buf
+    of_fn (fun ev ->
+        Buffer.clear buf;
+        Json.to_buffer buf (to_json ev);
+        Buffer.add_char buf '\n';
+        Buffer.output_buffer oc buf)
 
   let collector () =
     let acc = ref [] in
-    ((fun ev -> acc := ev :: !acc), fun () -> List.rev !acc)
+    (of_fn (fun ev -> acc := ev :: !acc), fun () -> List.rev !acc)
 
   let counter () =
     let n = ref 0 in
-    ((fun _ -> incr n), fun () -> !n)
+    (of_fn (fun _ -> incr n), fun () -> !n)
+end
+
+(* Always-on crash recorder: the last [capacity] events in a
+   pre-allocated struct-of-arrays ring. Recording a datapath event is
+   a tag/time/scalar store into fixed [int array]/[float array]
+   columns — no event record is built and nothing grows — so the ring
+   can stay attached to every run. Only the two array-carrying
+   control-plane kinds ([Rate_update], [Ack], a few per control
+   period) box an event into the [boxed] column. *)
+module Flight = struct
+  let default_capacity = 65536
+  let default_dump_path = "empower-flight-dump.jsonl"
+
+  type t = {
+    cap : int;
+    tag : int array;  (* -1 = slot never written *)
+    time : float array;
+    i1 : int array;
+    i2 : int array;
+    i3 : int array;
+    i4 : int array;
+    i5 : int array;
+    f1 : float array;
+    f2 : float array;
+    boxed : Trace.event option array;
+    mutable next : int;   (* next write slot *)
+    mutable total : int;  (* events ever offered *)
+    dump_path : string;
+  }
+
+  let create ?(capacity = default_capacity) ?(dump_path = default_dump_path) ()
+      =
+    if capacity < 1 then invalid_arg "Obs.Flight.create: capacity must be >= 1";
+    {
+      cap = capacity;
+      tag = Array.make capacity (-1);
+      time = Array.make capacity 0.0;
+      i1 = Array.make capacity 0;
+      i2 = Array.make capacity 0;
+      i3 = Array.make capacity 0;
+      i4 = Array.make capacity 0;
+      i5 = Array.make capacity 0;
+      f1 = Array.make capacity 0.0;
+      f2 = Array.make capacity 0.0;
+      boxed = Array.make capacity None;
+      next = 0;
+      total = 0;
+      dump_path;
+    }
+
+  let capacity t = t.cap
+  let recorded t = t.total
+  let dump_path t = t.dump_path
+
+  let clear t =
+    t.next <- 0;
+    t.total <- 0;
+    Array.fill t.tag 0 t.cap (-1);
+    Array.fill t.boxed 0 t.cap None
+
+  (* Tags follow the order of [Trace.kinds]. *)
+  let k_enqueue = 0
+  let k_grant = 1
+  let k_dequeue = 2
+  let k_collision = 3
+  let k_drop = 4
+  let k_delivery = 5
+  let k_price = 6
+  let k_rate = 7
+  let k_ack = 8
+  let k_link = 9
+  let k_loss = 10
+  let k_ctrl = 11
+  let k_route_dead = 12
+  let k_route_probe = 13
+  let k_route_restored = 14
+  let k_price_reset = 15
+
+  let reason_code = function
+    | Trace.Queue_overflow -> 0
+    | Trace.Link_down -> 1
+    | Trace.Misroute -> 2
+    | Trace.Backlog_cleared -> 3
+    | Trace.Fault_injected -> 4
+
+  let reason_of_code = function
+    | 0 -> Trace.Queue_overflow
+    | 1 -> Trace.Link_down
+    | 2 -> Trace.Misroute
+    | 3 -> Trace.Backlog_cleared
+    | _ -> Trace.Fault_injected
+
+  let slot t tag time =
+    let i = t.next in
+    t.next <- (if i + 1 = t.cap then 0 else i + 1);
+    t.total <- t.total + 1;
+    t.tag.(i) <- tag;
+    t.time.(i) <- time;
+    if t.boxed.(i) != None then t.boxed.(i) <- None;
+    i
+
+  let enqueue t ~t_s ~link ~flow ~seq ~bytes ~qlen =
+    let i = slot t k_enqueue t_s in
+    t.i1.(i) <- link;
+    t.i2.(i) <- flow;
+    t.i3.(i) <- seq;
+    t.i4.(i) <- bytes;
+    t.i5.(i) <- qlen
+
+  let grant t ~t_s ~link ~flow ~seq ~collided ~airtime =
+    let i = slot t k_grant t_s in
+    t.i1.(i) <- link;
+    t.i2.(i) <- flow;
+    t.i3.(i) <- seq;
+    t.i4.(i) <- (if collided then 1 else 0);
+    t.f1.(i) <- airtime
+
+  let dequeue t ~t_s ~link ~flow ~seq =
+    let i = slot t k_dequeue t_s in
+    t.i1.(i) <- link;
+    t.i2.(i) <- flow;
+    t.i3.(i) <- seq
+
+  let collision t ~t_s ~link ~flow ~seq =
+    let i = slot t k_collision t_s in
+    t.i1.(i) <- link;
+    t.i2.(i) <- flow;
+    t.i3.(i) <- seq
+
+  let drop t ~t_s ~link ~flow ~seq ~reason =
+    let i = slot t k_drop t_s in
+    t.i1.(i) <- (match link with Some l -> l | None -> -1);
+    t.i2.(i) <- flow;
+    t.i3.(i) <- seq;
+    t.i4.(i) <- reason_code reason
+
+  let delivery t ~t_s ~flow ~seq ~bytes ~delay =
+    let i = slot t k_delivery t_s in
+    t.i1.(i) <- flow;
+    t.i2.(i) <- seq;
+    t.i3.(i) <- bytes;
+    t.f1.(i) <- delay
+
+  let price t ~t_s ~link ~gamma ~price =
+    let i = slot t k_price t_s in
+    t.i1.(i) <- link;
+    t.f1.(i) <- gamma;
+    t.f2.(i) <- price
+
+  let link_event t ~t_s ~link ~capacity =
+    let i = slot t k_link t_s in
+    t.i1.(i) <- link;
+    t.f1.(i) <- capacity
+
+  let loss_event t ~t_s ~link ~prob =
+    let i = slot t k_loss t_s in
+    t.i1.(i) <- link;
+    t.f1.(i) <- prob
+
+  let ctrl_event t ~t_s ~drop ~delay =
+    let i = slot t k_ctrl t_s in
+    t.f1.(i) <- drop;
+    t.f2.(i) <- delay
+
+  let route_dead t ~t_s ~flow ~route ~detect_s =
+    let i = slot t k_route_dead t_s in
+    t.i1.(i) <- flow;
+    t.i2.(i) <- route;
+    t.f1.(i) <- detect_s
+
+  let route_probe t ~t_s ~flow ~route ~attempt =
+    let i = slot t k_route_probe t_s in
+    t.i1.(i) <- flow;
+    t.i2.(i) <- route;
+    t.i3.(i) <- attempt
+
+  let route_restored t ~t_s ~flow ~route ~down_s =
+    let i = slot t k_route_restored t_s in
+    t.i1.(i) <- flow;
+    t.i2.(i) <- route;
+    t.f1.(i) <- down_s
+
+  let price_reset t ~t_s ~link =
+    let i = slot t k_price_reset t_s in
+    t.i1.(i) <- link
+
+  let boxed_event t tag ev =
+    let i = slot t tag (Trace.time ev) in
+    t.boxed.(i) <- Some ev
+
+  let event t ev =
+    match ev with
+    | Trace.Enqueue { t = t_s; link; flow; seq; bytes; qlen } ->
+      enqueue t ~t_s ~link ~flow ~seq ~bytes ~qlen
+    | Trace.Mac_grant { t = t_s; link; flow; seq; collided; airtime } ->
+      grant t ~t_s ~link ~flow ~seq ~collided ~airtime
+    | Trace.Dequeue { t = t_s; link; flow; seq } -> dequeue t ~t_s ~link ~flow ~seq
+    | Trace.Collision { t = t_s; link; flow; seq } ->
+      collision t ~t_s ~link ~flow ~seq
+    | Trace.Drop { t = t_s; link; flow; seq; reason } ->
+      drop t ~t_s ~link ~flow ~seq ~reason
+    | Trace.Delivery { t = t_s; flow; seq; bytes; delay } ->
+      delivery t ~t_s ~flow ~seq ~bytes ~delay
+    | Trace.Price_update { t = t_s; link; gamma; price = pr } ->
+      price t ~t_s ~link ~gamma ~price:pr
+    | Trace.Rate_update _ -> boxed_event t k_rate ev
+    | Trace.Ack _ -> boxed_event t k_ack ev
+    | Trace.Link_event { t = t_s; link; capacity } ->
+      link_event t ~t_s ~link ~capacity
+    | Trace.Loss_event { t = t_s; link; prob } -> loss_event t ~t_s ~link ~prob
+    | Trace.Ctrl_event { t = t_s; drop; delay } -> ctrl_event t ~t_s ~drop ~delay
+    | Trace.Route_dead { t = t_s; flow; route; detect_s } ->
+      route_dead t ~t_s ~flow ~route ~detect_s
+    | Trace.Route_probe { t = t_s; flow; route; attempt } ->
+      route_probe t ~t_s ~flow ~route ~attempt
+    | Trace.Route_restored { t = t_s; flow; route; down_s } ->
+      route_restored t ~t_s ~flow ~route ~down_s
+    | Trace.Price_reset { t = t_s; link } -> price_reset t ~t_s ~link
+
+  let sink t = Trace.of_fn (event t)
+
+  let event_of_row t i =
+    let t_s = t.time.(i) in
+    match t.tag.(i) with
+    | 0 ->
+      Some
+        (Trace.Enqueue
+           {
+             t = t_s;
+             link = t.i1.(i);
+             flow = t.i2.(i);
+             seq = t.i3.(i);
+             bytes = t.i4.(i);
+             qlen = t.i5.(i);
+           })
+    | 1 ->
+      Some
+        (Trace.Mac_grant
+           {
+             t = t_s;
+             link = t.i1.(i);
+             flow = t.i2.(i);
+             seq = t.i3.(i);
+             collided = t.i4.(i) <> 0;
+             airtime = t.f1.(i);
+           })
+    | 2 ->
+      Some
+        (Trace.Dequeue
+           { t = t_s; link = t.i1.(i); flow = t.i2.(i); seq = t.i3.(i) })
+    | 3 ->
+      Some
+        (Trace.Collision
+           { t = t_s; link = t.i1.(i); flow = t.i2.(i); seq = t.i3.(i) })
+    | 4 ->
+      Some
+        (Trace.Drop
+           {
+             t = t_s;
+             link = (if t.i1.(i) < 0 then None else Some t.i1.(i));
+             flow = t.i2.(i);
+             seq = t.i3.(i);
+             reason = reason_of_code t.i4.(i);
+           })
+    | 5 ->
+      Some
+        (Trace.Delivery
+           {
+             t = t_s;
+             flow = t.i1.(i);
+             seq = t.i2.(i);
+             bytes = t.i3.(i);
+             delay = t.f1.(i);
+           })
+    | 6 ->
+      Some
+        (Trace.Price_update
+           { t = t_s; link = t.i1.(i); gamma = t.f1.(i); price = t.f2.(i) })
+    | 7 | 8 -> t.boxed.(i)
+    | 9 ->
+      Some (Trace.Link_event { t = t_s; link = t.i1.(i); capacity = t.f1.(i) })
+    | 10 -> Some (Trace.Loss_event { t = t_s; link = t.i1.(i); prob = t.f1.(i) })
+    | 11 -> Some (Trace.Ctrl_event { t = t_s; drop = t.f1.(i); delay = t.f2.(i) })
+    | 12 ->
+      Some
+        (Trace.Route_dead
+           { t = t_s; flow = t.i1.(i); route = t.i2.(i); detect_s = t.f1.(i) })
+    | 13 ->
+      Some
+        (Trace.Route_probe
+           { t = t_s; flow = t.i1.(i); route = t.i2.(i); attempt = t.i3.(i) })
+    | 14 ->
+      Some
+        (Trace.Route_restored
+           { t = t_s; flow = t.i1.(i); route = t.i2.(i); down_s = t.f1.(i) })
+    | 15 -> Some (Trace.Price_reset { t = t_s; link = t.i1.(i) })
+    | _ -> None
+
+  let fold_oldest_first t f acc =
+    let len = if t.total < t.cap then t.total else t.cap in
+    let first = if t.total < t.cap then 0 else t.next in
+    let acc = ref acc in
+    for k = 0 to len - 1 do
+      let i = first + k in
+      let i = if i >= t.cap then i - t.cap else i in
+      match event_of_row t i with
+      | Some ev -> acc := f !acc ev
+      | None -> ()
+    done;
+    !acc
+
+  let events t = List.rev (fold_oldest_first t (fun acc ev -> ev :: acc) [])
+
+  let dump_channel t oc =
+    let buf = Buffer.create 256 in
+    fold_oldest_first t
+      (fun n ev ->
+        Buffer.clear buf;
+        Json.to_buffer buf (Trace.to_json ev);
+        Buffer.add_char buf '\n';
+        Buffer.output_buffer oc buf;
+        n + 1)
+      0
+
+  let dump ?path t =
+    let path = match path with Some p -> p | None -> t.dump_path in
+    match open_out path with
+    | exception Sys_error e -> Error e
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Ok (path, dump_channel t oc))
+
+  let env_enabled () =
+    match Sys.getenv_opt "EMPOWER_FLIGHT" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+
+  let of_env () =
+    let capacity =
+      match Sys.getenv_opt "EMPOWER_FLIGHT" with
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 1 -> n
+        | _ -> default_capacity)
+      | None -> default_capacity
+    in
+    let dump_path =
+      match Sys.getenv_opt "EMPOWER_FLIGHT_DUMP" with
+      | Some p when p <> "" -> p
+      | _ -> default_dump_path
+    in
+    create ~capacity ~dump_path ()
+end
+
+(* Hot-path profiler: wall clock + GC minor words attributed to the
+   engine subsystem that handled each event. State is a handful of
+   fixed float/int arrays indexed by category, so [enter]/[leave] cost
+   two clock reads, two counter reads and three array stores. *)
+module Prof = struct
+  let categories = [| "mac_phy"; "traffic"; "controller"; "tcp"; "recovery"; "fault" |]
+  let n_categories = Array.length categories
+  let cat_mac_phy = 0
+  let cat_traffic = 1
+  let cat_controller = 2
+  let cat_tcp = 3
+  let cat_recovery = 4
+  let cat_fault = 5
+
+  let category_name c =
+    if c < 0 || c >= n_categories then invalid_arg "Obs.Prof.category_name"
+    else categories.(c)
+
+  type t = {
+    wall : float array;   (* seconds attributed per category *)
+    words : float array;  (* Gc minor words per category *)
+    count : int array;
+    (* one-slot scratch: unboxed stores, no per-event allocation *)
+    t0 : float array;
+    w0 : float array;
+  }
+
+  let create () =
+    {
+      wall = Array.make n_categories 0.0;
+      words = Array.make n_categories 0.0;
+      count = Array.make n_categories 0;
+      t0 = Array.make 1 0.0;
+      w0 = Array.make 1 0.0;
+    }
+
+  (* Read order brackets the handler so the profiler's own float boxes
+     stay out of the allocation window: [enter] stamps the clock first
+     and the word counter last, [leave] reads the word counter first
+     and the clock last. The residual self-cost inside the window is
+     the [Gc.minor_words] calls themselves (a few words per event). *)
+  let enter p =
+    p.t0.(0) <- Unix.gettimeofday ();
+    p.w0.(0) <- Gc.minor_words ()
+
+  let leave p cat =
+    let w1 = Gc.minor_words () in
+    let t1 = Unix.gettimeofday () in
+    p.wall.(cat) <- p.wall.(cat) +. (t1 -. p.t0.(0));
+    p.words.(cat) <- p.words.(cat) +. (w1 -. p.w0.(0));
+    p.count.(cat) <- p.count.(cat) + 1
+
+  let events p = Array.fold_left ( + ) 0 p.count
+  let total_wall p = Array.fold_left ( +. ) 0.0 p.wall
+
+  type entry = {
+    name : string;
+    events : int;
+    wall_s : float;
+    ns_per_event : float;
+    share_pct : float;
+    minor_words : float;
+    words_per_event : float;
+  }
+
+  let report p =
+    let tot = total_wall p in
+    let entries = ref [] in
+    for c = n_categories - 1 downto 0 do
+      if p.count.(c) > 0 then
+        entries :=
+          {
+            name = categories.(c);
+            events = p.count.(c);
+            wall_s = p.wall.(c);
+            ns_per_event = p.wall.(c) *. 1e9 /. float_of_int p.count.(c);
+            share_pct =
+              (if tot > 0.0 then 100.0 *. p.wall.(c) /. tot else 0.0);
+            minor_words = p.words.(c);
+            words_per_event = p.words.(c) /. float_of_int p.count.(c);
+          }
+          :: !entries
+    done;
+    List.sort (fun a b -> compare b.wall_s a.wall_s) !entries
+
+  let merge ~into p =
+    for c = 0 to n_categories - 1 do
+      into.wall.(c) <- into.wall.(c) +. p.wall.(c);
+      into.words.(c) <- into.words.(c) +. p.words.(c);
+      into.count.(c) <- into.count.(c) + p.count.(c)
+    done
+
+  let to_json p =
+    Json.Obj
+      [
+        ("figure", Json.String "profile");
+        ("events", Json.Int (events p));
+        ("wall_s", Json.Float (total_wall p));
+        ( "categories",
+          Json.List
+            (List.map
+               (fun e ->
+                 Json.Obj
+                   [
+                     ("name", Json.String e.name);
+                     ("events", Json.Int e.events);
+                     ("wall_s", Json.Float e.wall_s);
+                     ("ns_per_event", Json.Float e.ns_per_event);
+                     ("share_pct", Json.Float e.share_pct);
+                     ("minor_words", Json.Float e.minor_words);
+                     ("words_per_event", Json.Float e.words_per_event);
+                   ])
+               (report p)) );
+      ]
+
+  let print ?(out = stdout) p =
+    let pr fmt = Printf.fprintf out fmt in
+    pr "--- profile: %d events, %.4f s attributed ---\n" (events p)
+      (total_wall p);
+    pr "%-12s %10s %10s %9s %8s %12s %9s\n" "subsystem" "events" "wall_s"
+      "ns/event" "share" "minor_words" "words/ev";
+    List.iter
+      (fun e ->
+        pr "%-12s %10d %10.4f %9.0f %7.1f%% %12.0f %9.1f\n" e.name e.events
+          e.wall_s e.ns_per_event e.share_pct e.minor_words e.words_per_event)
+      (report p)
 end
 
 module Metrics = struct
@@ -1158,10 +1706,21 @@ module Summary = struct
     delivered_bytes : int;
     goodput_mbps : float;
     mean_delay : float;
+    p50_delay : float;
     p95_delay : float;
+    p99_delay : float;
     max_delay : float;
     rate_updates : int;
     final_rates : float array;
+  }
+
+  type recovery_stats = {
+    route_deaths : int;
+    route_restores : int;
+    route_probes : int;
+    price_resets : int;
+    max_detect_s : float;  (** worst detection latency; 0 when none *)
+    max_down_s : float;    (** worst outage span; 0 when none *)
   }
 
   type t = {
@@ -1172,6 +1731,7 @@ module Summary = struct
     collisions : int;
     grants : int;
     link_airtime : (int * float) list;
+    recovery : recovery_stats;
   }
 
   type flow_acc = {
@@ -1198,6 +1758,12 @@ module Summary = struct
     let drops = Hashtbl.create 4 in
     let collisions = ref 0 and grants = ref 0 and n_events = ref 0 in
     let airtime = Hashtbl.create 32 in
+    let route_deaths = ref 0
+    and route_restores = ref 0
+    and route_probes = ref 0
+    and price_resets = ref 0
+    and max_detect = ref 0.0
+    and max_down = ref 0.0 in
     List.iter
       (fun ev ->
         incr n_events;
@@ -1227,10 +1793,17 @@ module Summary = struct
           (match Hashtbl.find_opt airtime link with
           | Some r -> r := !r +. a
           | None -> Hashtbl.add airtime link (ref a))
+        | Trace.Route_dead { detect_s; _ } ->
+          incr route_deaths;
+          if detect_s > !max_detect then max_detect := detect_s
+        | Trace.Route_restored { down_s; _ } ->
+          incr route_restores;
+          if down_s > !max_down then max_down := down_s
+        | Trace.Route_probe _ -> incr route_probes
+        | Trace.Price_reset _ -> incr price_resets
         | Trace.Enqueue _ | Trace.Dequeue _ | Trace.Price_update _
         | Trace.Ack _ | Trace.Link_event _ | Trace.Loss_event _
-        | Trace.Ctrl_event _ | Trace.Route_dead _ | Trace.Route_probe _
-        | Trace.Route_restored _ | Trace.Price_reset _ -> ())
+        | Trace.Ctrl_event _ -> ())
       events;
     let flow_ids =
       Hashtbl.fold (fun k _ acc -> k :: acc) flows [] |> List.sort compare
@@ -1249,8 +1822,12 @@ module Summary = struct
               delivered_bytes = a.bytes;
               goodput_mbps = float_of_int a.bytes *. 8e-6 /. duration;
               mean_delay = Stats.mean delays;
+              p50_delay =
+                (match delays with [] -> 0.0 | ds -> Stats.percentile ds 50.0);
               p95_delay =
                 (match delays with [] -> 0.0 | ds -> Stats.percentile ds 95.0);
+              p99_delay =
+                (match delays with [] -> 0.0 | ds -> Stats.percentile ds 99.0);
               max_delay = (match delays with [] -> 0.0 | ds -> Stats.maximum ds);
               rate_updates = a.rate_updates;
               final_rates = a.final_rates;
@@ -1264,29 +1841,45 @@ module Summary = struct
       link_airtime =
         Hashtbl.fold (fun l a acc -> (l, !a) :: acc) airtime []
         |> List.sort (fun (a, _) (b, _) -> compare a b);
+      recovery =
+        {
+          route_deaths = !route_deaths;
+          route_restores = !route_restores;
+          route_probes = !route_probes;
+          price_resets = !price_resets;
+          max_detect_s = !max_detect;
+          max_down_s = !max_down;
+        };
     }
 
+  let read_file path =
+    match open_in path with
+    | exception Sys_error e -> Error e
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let events = ref [] in
+          let line_no = ref 0 in
+          let error = ref None in
+          (try
+             while !error = None do
+               let line = input_line ic in
+               incr line_no;
+               match Trace.decode line with
+               | Ok ev -> events := ev :: !events
+               | Error msg ->
+                 error := Some (Printf.sprintf "%s:%d: %s" path !line_no msg)
+             done
+           with End_of_file -> ());
+          match !error with
+          | Some e -> Error e
+          | None -> Ok (List.rev !events))
+
   let of_file ~duration path =
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let events = ref [] in
-        let line_no = ref 0 in
-        let error = ref None in
-        (try
-           while !error = None do
-             let line = input_line ic in
-             incr line_no;
-             match Trace.decode line with
-             | Ok ev -> events := ev :: !events
-             | Error msg ->
-               error := Some (Printf.sprintf "%s:%d: %s" path !line_no msg)
-           done
-         with End_of_file -> ());
-        match !error with
-        | Some e -> Error e
-        | None -> Ok (of_events ~duration (List.rev !events)))
+    match read_file path with
+    | Error e -> Error e
+    | Ok events -> Ok (of_events ~duration events)
 
   let flow_stats t f = List.find_opt (fun s -> s.flow = f) t.flows
 
@@ -1312,7 +1905,14 @@ module Summary = struct
       (fun (l, a) ->
         p "link %d: %.3f s on air (%.1f%% of the run)\n" l a
           (100.0 *. a /. t.duration))
-      t.link_airtime
+      t.link_airtime;
+    let r = t.recovery in
+    if r.route_deaths > 0 || r.route_restores > 0 || r.price_resets > 0 then
+      p
+        "recovery: %d route deaths (worst detect %.3f s), %d restores (worst \
+         outage %.3f s), %d probes, %d price resets\n"
+        r.route_deaths r.max_detect_s r.route_restores r.max_down_s
+        r.route_probes r.price_resets
 end
 
 module Runtime = struct

@@ -111,7 +111,12 @@ module Json : sig
 
   val parse : string -> (t, string) result
   (** Strict parser for the subset this module emits (full JSON minus
-      [\uXXXX] surrogate pairs). [Error msg] pinpoints the offset. *)
+      [\uXXXX] surrogate pairs). Exactly one top-level value is
+      accepted: anything but whitespace after it is rejected as
+      trailing garbage, and number tokens follow the strict JSON
+      grammar (no leading [+], no leading zeros, no bare [.]) rather
+      than OCaml's laxer conversions. [Error msg] pinpoints the byte
+      offset of the offending token. *)
 
   val member : string -> t -> t option
   (** Field lookup in an [Obj]; [None] otherwise. *)
@@ -177,15 +182,55 @@ module Trace : sig
       mistyped field is an [Error]. [decode (encode e) = Ok e]. *)
 
   (** A consumer of events. Emission never fails upward: sinks are
-      observation only. *)
+      observation only. Every sink carries a deterministic sampling
+      period (1 unless built by {!sampled}). *)
   type sink
 
   val emit : sink -> event -> unit
+  (** Offer one event: delivered iff the sink's sampling accepts it
+      (always, for an unsampled sink). *)
+
+  val accept : sink -> bool
+  (** Advance the sink's sampling decision by one offer and return
+      whether that offer would be delivered. Hot emitters use
+      [if accept s then push s ev] so the event record itself is never
+      built for discarded offers; [emit s ev] is equivalent to
+      [if accept s then push s ev]. Each offer must use exactly one
+      [accept] (or one [emit]) — mixing both for the same event
+      double-advances the sampler. *)
+
+  val push : sink -> event -> unit
+  (** Deliver unconditionally — only after [accept] returned [true]. *)
+
+  val sampled : every:int -> sink -> sink
+  (** [sampled ~every s] delivers offers [1, every+1, 2*every+1, ...]
+      to [s] and discards the rest — systematic 1-in-[every] sampling
+      driven by a plain counter, so it is deterministic, consumes no
+      randomness, and composes multiplicatively
+      ([sampled ~every:a (sampled ~every:b s)] keeps 1 in [a*b]).
+
+      {b Accuracy contract.} Counts scale by the period: a counter fed
+      through the sink sees [ceil (offered / every)] events exactly.
+      Distribution statistics (delay / FCT quantiles replayed by
+      {!Summary}) are the exact order statistics of the 1-in-[every]
+      systematic subsample; because the engine interleaves event kinds
+      on a fine time scale, the subsample behaves like a uniform
+      sample of each kind. The repo pins the resulting error at p99
+      within 10% relative of the full-trace value on the reference
+      scenarios whenever the subsample retains at least 1000
+      deliveries (verified by [test/test_obs.ml] and surfaced as
+      [trace_overhead_sampled_pct] in BENCH_sim.json); below that,
+      widen the sample before trusting tail quantiles.
+      Raises [Invalid_argument] if [every < 1]. *)
+
+  val sample_period : sink -> int
+  (** The effective period ([1] for unsampled sinks). *)
 
   val of_fn : (event -> unit) -> sink
 
   val tee : sink -> sink -> sink
-  (** Both sinks see every event, left first. *)
+  (** Both sinks see every offer, left first, each applying its own
+      sampling. *)
 
   val to_channel : out_channel -> sink
   (** Writes one JSONL line per event. The caller owns the channel
@@ -196,6 +241,165 @@ module Trace : sig
 
   val counter : unit -> sink * (unit -> int)
   (** Cheapest possible sink — used to measure tracing overhead. *)
+end
+
+(** Always-on flight recorder: the last [capacity] trace events in a
+    pre-allocated struct-of-arrays ring.
+
+    Recording a datapath event stores its tag, time and scalar fields
+    into fixed [int array] / [float array] columns — no event record
+    is constructed, nothing grows, so the ring is cheap enough to
+    leave attached to every run (see [flight_overhead_pct] in
+    BENCH_sim.json; the only boxed writes are the two array-carrying
+    control-plane kinds, {!Trace.Rate_update} and {!Trace.Ack}, a few
+    per control period). {!Engine.run} accepts a recorder via
+    [?flight] or creates one itself when the [EMPOWER_FLIGHT]
+    environment variable is set, and dumps the ring to JSONL
+    automatically when an invariant trips or any exception escapes
+    the event loop; [empower_eval chaos --flight] does the same when a
+    chaos run regresses. Dumps decode strictly with {!Trace.decode}
+    and replay with {!Summary.of_file}. *)
+module Flight : sig
+  type t
+
+  val default_capacity : int
+  (** 65536 events. *)
+
+  val default_dump_path : string
+  (** ["empower-flight-dump.jsonl"]. *)
+
+  val create : ?capacity:int -> ?dump_path:string -> unit -> t
+  (** Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val capacity : t -> int
+
+  val recorded : t -> int
+  (** Events ever offered; the ring retains the last
+      [min recorded capacity]. *)
+
+  val dump_path : t -> string
+
+  val clear : t -> unit
+
+  val event : t -> Trace.event -> unit
+  (** Record one already-built event (generic path). *)
+
+  (** Flat per-kind recorders — scalar stores only, used by the engine
+      so the skipped event record is never allocated. *)
+
+  val enqueue :
+    t -> t_s:float -> link:int -> flow:int -> seq:int -> bytes:int -> qlen:int -> unit
+
+  val grant :
+    t ->
+    t_s:float -> link:int -> flow:int -> seq:int -> collided:bool -> airtime:float -> unit
+
+  val dequeue : t -> t_s:float -> link:int -> flow:int -> seq:int -> unit
+  val collision : t -> t_s:float -> link:int -> flow:int -> seq:int -> unit
+
+  val drop :
+    t ->
+    t_s:float ->
+    link:int option -> flow:int -> seq:int -> reason:Trace.drop_reason -> unit
+
+  val delivery :
+    t -> t_s:float -> flow:int -> seq:int -> bytes:int -> delay:float -> unit
+
+  val price : t -> t_s:float -> link:int -> gamma:float -> price:float -> unit
+  val link_event : t -> t_s:float -> link:int -> capacity:float -> unit
+  val loss_event : t -> t_s:float -> link:int -> prob:float -> unit
+  val ctrl_event : t -> t_s:float -> drop:float -> delay:float -> unit
+
+  val route_dead :
+    t -> t_s:float -> flow:int -> route:int -> detect_s:float -> unit
+
+  val route_probe :
+    t -> t_s:float -> flow:int -> route:int -> attempt:int -> unit
+
+  val route_restored :
+    t -> t_s:float -> flow:int -> route:int -> down_s:float -> unit
+
+  val price_reset : t -> t_s:float -> link:int -> unit
+
+  val sink : t -> Trace.sink
+  (** The recorder as an ordinary (unsampled) sink, for harnesses that
+      already hold constructed events. *)
+
+  val events : t -> Trace.event list
+  (** Ring contents, oldest first (decoded back into event records —
+      allocates; meant for dump/inspection time). *)
+
+  val dump_channel : t -> out_channel -> int
+  (** Write the ring as JSONL, oldest first; returns lines written. *)
+
+  val dump : ?path:string -> t -> (string * int, string) result
+  (** Write the ring to [path] (default [dump_path t]); [(path, n)] on
+      success, the [Sys_error] text otherwise. *)
+
+  val env_enabled : unit -> bool
+  (** [true] iff [EMPOWER_FLIGHT] is set to anything but [""]/["0"]. *)
+
+  val of_env : unit -> t
+  (** A recorder configured from the environment: capacity from
+      [EMPOWER_FLIGHT] when it parses as an int > 1 (default
+      {!default_capacity}), dump path from [EMPOWER_FLIGHT_DUMP]. *)
+end
+
+(** Hot-path profiler: wall clock and GC minor words attributed to
+    the engine subsystem that handled each event, feeding the
+    sub-300 ns/event roadmap item with per-subsystem data. Pass
+    [~prof:(create ())] to {!Engine.run} (zero cost when absent), or
+    run [empower_eval profile <scenario>]; aggregate numbers land in
+    BENCH_sim.json as [prof_*] fields. Attribution includes a small
+    constant self-cost per event (the [Gc.minor_words] reads inside
+    the measured window — a few words and tens of nanoseconds). *)
+module Prof : sig
+  type t
+
+  val categories : string array
+  (** [[| "mac_phy"; "traffic"; "controller"; "tcp"; "recovery";
+      "fault" |]] — the closed category set, in id order. *)
+
+  val n_categories : int
+  val cat_mac_phy : int
+  val cat_traffic : int
+  val cat_controller : int
+  val cat_tcp : int
+  val cat_recovery : int
+  val cat_fault : int
+  val category_name : int -> string
+
+  val create : unit -> t
+
+  val enter : t -> unit
+  (** Stamp the clock and allocation counter before a handler runs. *)
+
+  val leave : t -> int -> unit
+  (** Attribute the elapsed wall time and minor words since {!enter}
+      to the given category. *)
+
+  val events : t -> int
+  val total_wall : t -> float
+
+  type entry = {
+    name : string;
+    events : int;
+    wall_s : float;
+    ns_per_event : float;
+    share_pct : float;        (** of the total attributed wall time *)
+    minor_words : float;
+    words_per_event : float;
+  }
+
+  val report : t -> entry list
+  (** Non-empty categories, most expensive (wall) first. *)
+
+  val merge : into:t -> t -> unit
+
+  val to_json : t -> Json.t
+  (** The ["profile"] figure consumed by [empower_eval report]. *)
+
+  val print : ?out:out_channel -> t -> unit
 end
 
 (** Name-keyed registry of counters, gauges, time series and
@@ -357,10 +561,23 @@ module Summary : sig
     delivered_bytes : int;
     goodput_mbps : float;      (** delivered_bytes·8e-6 / duration *)
     mean_delay : float;        (** exact, over every delivery *)
+    p50_delay : float;         (** exact order statistic *)
     p95_delay : float;         (** exact order statistic *)
+    p99_delay : float;         (** exact order statistic *)
     max_delay : float;
     rate_updates : int;
     final_rates : float array; (** last Rate_update seen; [||] if none *)
+  }
+
+  (** Self-healing activity replayed from the trace's recovery
+      events. *)
+  type recovery_stats = {
+    route_deaths : int;
+    route_restores : int;
+    route_probes : int;
+    price_resets : int;
+    max_detect_s : float;  (** worst detection latency; 0 when none *)
+    max_down_s : float;    (** worst outage span; 0 when none *)
   }
 
   type t = {
@@ -371,14 +588,18 @@ module Summary : sig
     collisions : int;
     grants : int;
     link_airtime : (int * float) list;     (** seconds on air per link, sorted *)
+    recovery : recovery_stats;
   }
 
   val of_events : duration:float -> Trace.event list -> t
 
+  val read_file : string -> (Trace.event list, string) result
+  (** Read a JSONL trace with the strict decoder; the first malformed
+      line or unknown event kind is an [Error] naming the line number.
+      Blank lines are rejected too. *)
+
   val of_file : duration:float -> string -> (t, string) result
-  (** Reads a JSONL trace with the strict decoder; the first
-      malformed line or unknown event kind is an [Error] naming the
-      line number. Blank lines are rejected too. *)
+  (** [read_file] folded by [of_events]. *)
 
   val flow_stats : t -> int -> flow_stats option
 

@@ -169,8 +169,9 @@ type event =
 
 let mbps_of_bits bits seconds = bits /. 1e6 /. seconds
 
-let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
-    ?(loss_events = []) ?(ctrl_events = []) rng g dom ~flows ~duration =
+let run ?(config = default_config) ?invariants ?trace ?flight ?prof
+    ?(link_events = []) ?(loss_events = []) ?(ctrl_events = []) rng g dom
+    ~flows ~duration =
   let n_links = Multigraph.num_links g in
   let inv =
     match invariants with
@@ -197,8 +198,25 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     | None, None -> None
   in
   let trace_on = Option.is_some trace in
-  let emit ev =
-    match trace with Some s -> Obs.Trace.emit s ev | None -> ()
+  (* Hot emission sites use the two-step [accept]/[push] protocol on
+     this sink so a sampled sink ([Trace.sampled]) skips even the
+     construction of the event record for discarded offers; [emit]
+     stays for cold (per-control-tick or rarer) sites. *)
+  let sink = match trace with Some s -> s | None -> Obs.Trace.of_fn ignore in
+  let emit ev = if trace_on then Obs.Trace.emit sink ev in
+  (* Flight recorder: explicit argument, or ambient via EMPOWER_FLIGHT
+     (the always-on crash recorder). Like a sink it only observes —
+     no randomness, no engine state — so results are bit-identical
+     with or without it. On an invariant trip or any other exception
+     escaping the event loop the ring is dumped to JSONL. *)
+  let flight =
+    match flight with
+    | Some _ -> flight
+    | None -> if Obs.Flight.env_enabled () then Some (Obs.Flight.of_env ()) else None
+  in
+  let fl_on = Option.is_some flight in
+  let fl =
+    match flight with Some f -> f | None -> Obs.Flight.create ~capacity:1 ()
   in
   (* Live link capacities: start from the graph's and follow the
      scheduled capacity-change / failure events. *)
@@ -592,8 +610,11 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         st.on_air <- None;
         incr queue_drops;
         inv_drop ~link:(Some l) ~reason:Invariants.Link_down pkt.flow;
-        if trace_on then
-          emit
+        if fl_on then
+          Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:pkt.flow
+            ~seq:pkt.header.Header.seq ~reason:Obs.Trace.Link_down;
+        if trace_on && Obs.Trace.accept sink then
+          Obs.Trace.push sink
             (Obs.Trace.Drop
                {
                  t = now.(0);
@@ -606,8 +627,11 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       end
       else begin
         let airtime = Units.tx_time ~capacity_mbps:cap_l ~bytes:pkt.bytes in
-        if trace_on then
-          emit
+        if fl_on then
+          Obs.Flight.grant fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
+            ~seq:pkt.header.Header.seq ~collided:st.air_collided ~airtime;
+        if trace_on && Obs.Trace.accept sink then
+          Obs.Trace.push sink
             (Obs.Trace.Mac_grant
                {
                  t = now.(0);
@@ -650,8 +674,11 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     if Queue.length st.queue >= config.queue_limit then begin
       incr queue_drops;
       inv_drop ~link:(Some l) ~reason:Invariants.Queue_overflow pkt.flow;
-      if trace_on then
-        emit
+      if fl_on then
+        Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:pkt.flow
+          ~seq:pkt.header.Header.seq ~reason:Obs.Trace.Queue_overflow;
+      if trace_on && Obs.Trace.accept sink then
+        Obs.Trace.push sink
           (Obs.Trace.Drop
              {
                t = now.(0);
@@ -665,8 +692,12 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       (* Stamp the congestion price for this hop into the header. *)
       pkt.header <- Header.add_price pkt.header (link_price l);
       Queue.push pkt st.queue;
-      if trace_on then
-        emit
+      if fl_on then
+        Obs.Flight.enqueue fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
+          ~seq:pkt.header.Header.seq ~bytes:pkt.bytes
+          ~qlen:(Queue.length st.queue);
+      if trace_on && Obs.Trace.accept sink then
+        Obs.Trace.push sink
           (Obs.Trace.Enqueue
              {
                t = now.(0);
@@ -919,8 +950,11 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
        quantiles within 0.5% relative error, bounded memory. *)
     let delay = now.(0) -. pkt.sent_at in
     Obs.Metrics.Histogram.observe f.delay_hist delay;
-    if trace_on then
-      emit
+    if fl_on then
+      Obs.Flight.delivery fl ~t_s:now.(0) ~flow:f.id
+        ~seq:pkt.header.Header.seq ~bytes:pkt.bytes ~delay;
+    if trace_on && Obs.Trace.accept sink then
+      Obs.Trace.push sink
         (Obs.Trace.Delivery
            {
              t = now.(0);
@@ -977,8 +1011,11 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       st.on_air <- None;
       st.air_collided <- false;
       inv_drop ~link:(Some l) ~reason:Invariants.Collision pkt.flow;
-      if trace_on then
-        emit
+      if fl_on then
+        Obs.Flight.collision fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
+          ~seq:pkt.header.Header.seq;
+      if trace_on && Obs.Trace.accept sink then
+        Obs.Trace.push sink
           (Obs.Trace.Collision
              { t = now.(0); link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
       try_start_domain l
@@ -988,8 +1025,11 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       st.on_air <- None;
       st.air_faulted <- false;
       inv_drop ~link:(Some l) ~reason:Invariants.Fault_injected pkt.flow;
-      if trace_on then
-        emit
+      if fl_on then
+        Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:pkt.flow
+          ~seq:pkt.header.Header.seq ~reason:Obs.Trace.Fault_injected;
+      if trace_on && Obs.Trace.accept sink then
+        Obs.Trace.push sink
           (Obs.Trace.Drop
              {
                t = now.(0);
@@ -1001,16 +1041,22 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       try_start_domain l
     | Some pkt ->
       st.on_air <- None;
-      if trace_on then
-        emit
+      if fl_on then
+        Obs.Flight.dequeue fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
+          ~seq:pkt.header.Header.seq;
+      if trace_on && Obs.Trace.accept sink then
+        Obs.Trace.push sink
           (Obs.Trace.Dequeue
              { t = now.(0); link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
       let arrived_at = (Multigraph.link g l).Multigraph.dst in
       let f = flow_states.(pkt.flow) in
       let drop_misroute () =
         inv_drop ~link:(Some l) ~reason:Invariants.Misroute pkt.flow;
-        if trace_on then
-          emit
+        if fl_on then
+          Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:pkt.flow
+            ~seq:pkt.header.Header.seq ~reason:Obs.Trace.Misroute;
+        if trace_on && Obs.Trace.accept sink then
+          Obs.Trace.push sink
             (Obs.Trace.Drop
                {
                  t = now.(0);
@@ -1052,6 +1098,8 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
      schedule. A later ack on the route restores its initial rate. *)
   let on_route_dead f i ~since det rc rrng =
     let detect_s = now.(0) -. since in
+    if fl_on then
+      Obs.Flight.route_dead fl ~t_s:now.(0) ~flow:f.id ~route:i ~detect_s;
     if trace_on then
       emit (Obs.Trace.Route_dead { t = now.(0); flow = f.id; route = i; detect_s });
     let dead_mass = f.x.(i) in
@@ -1061,6 +1109,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       (fun l ->
         if caps.(l) <= 0.0 && gamma.(l) > 0.0 then begin
           gamma.(l) <- 0.0;
+          if fl_on then Obs.Flight.price_reset fl ~t_s:now.(0) ~link:l;
           if trace_on then emit (Obs.Trace.Price_reset { t = now.(0); link = l })
         end)
       f.route_links.(i);
@@ -1093,6 +1142,9 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     schedule (Recovery.Backoff.delay rc rrng ~attempt:0) (Reclaim_probe (f.id, i))
   in
   let on_route_restored f i ~down_for =
+    if fl_on then
+      Obs.Flight.route_restored fl ~t_s:now.(0) ~flow:f.id ~route:i
+        ~down_s:down_for;
     if trace_on then
       emit
         (Obs.Trace.Route_restored
@@ -1113,6 +1165,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           (fun l' ->
             if gamma.(l') > 0.0 then begin
               gamma.(l') <- 0.0;
+              if fl_on then Obs.Flight.price_reset fl ~t_s:now.(0) ~link:l';
               if trace_on then
                 emit (Obs.Trace.Price_reset { t = now.(0); link = l' })
             end)
@@ -1192,8 +1245,19 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         f.x_bar.(i) <- ((1.0 -. a) *. f.x_bar.(i)) +. (a *. f.x.(i))
       done;
       Alpha.observe f.alpha (total_rate f);
-      if trace_on then
-        emit (Obs.Trace.Rate_update { t = now.(0); flow = f.id; rates = Array.copy f.x });
+      (* Boxed kind: construct the event once and share it between the
+         flight ring and the sink; run [accept] exactly once per offer. *)
+      if fl_on || trace_on then begin
+        let keep = trace_on && Obs.Trace.accept sink in
+        if fl_on || keep then begin
+          let ev =
+            Obs.Trace.Rate_update
+              { t = now.(0); flow = f.id; rates = Array.copy f.x }
+          in
+          if fl_on then Obs.Flight.event fl ev;
+          if keep then Obs.Trace.push sink ev
+        end
+      end;
       (match inv with
       | Some t -> Invariants.on_rate t ~flow:f.id ~rate:(total_rate f)
       | None -> ());
@@ -1227,12 +1291,16 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         in
         gamma.(l) <- Float.max 0.0 upd)
       priced_links;
-    if trace_on then
+    if fl_on || trace_on then
       List.iter
         (fun l ->
-          emit
-            (Obs.Trace.Price_update
-               { t = now.(0); link = l; gamma = gamma.(l); price = link_price l }))
+          if fl_on then
+            Obs.Flight.price fl ~t_s:now.(0) ~link:l ~gamma:gamma.(l)
+              ~price:(link_price l);
+          if trace_on && Obs.Trace.accept sink then
+            Obs.Trace.push sink
+              (Obs.Trace.Price_update
+                 { t = now.(0); link = l; gamma = gamma.(l); price = link_price l }))
         priced_links;
     (* 2. Capacity estimation (only carriers are ever priced or
        transmitted on, so only they need tracking). *)
@@ -1250,21 +1318,32 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       (fun f ->
         if f.active then begin
           let ack = Ack.emit f.collector ~now:now.(0) in
-          if trace_on then
-            emit
-              (Obs.Trace.Ack
-                 {
-                   t = now.(0);
-                   flow = f.id;
-                   qr =
-                     Array.of_list
-                       (List.map (fun (r : Ack.route_report) -> r.Ack.qr) ack.Ack.reports);
-                   bytes =
-                     Array.of_list
-                       (List.map
-                          (fun (r : Ack.route_report) -> r.Ack.bytes)
-                          ack.Ack.reports);
-                 });
+          (* Boxed kind: construct once, share between flight ring and
+             sink; run [accept] exactly once per offer. *)
+          if fl_on || trace_on then begin
+            let keep = trace_on && Obs.Trace.accept sink in
+            if fl_on || keep then begin
+              let ev =
+                Obs.Trace.Ack
+                  {
+                    t = now.(0);
+                    flow = f.id;
+                    qr =
+                      Array.of_list
+                        (List.map
+                           (fun (r : Ack.route_report) -> r.Ack.qr)
+                           ack.Ack.reports);
+                    bytes =
+                      Array.of_list
+                        (List.map
+                           (fun (r : Ack.route_report) -> r.Ack.bytes)
+                           ack.Ack.reports);
+                  }
+              in
+              if fl_on then Obs.Flight.event fl ev;
+              if keep then Obs.Trace.push sink ev
+            end
+          end;
           (* Control-plane faults: the report may be dropped (that
              window's q_r observations are simply gone, as on a real
              lossy reverse path) or delayed. The draw happens only
@@ -1288,6 +1367,8 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     | Capacity_change (l, c) ->
       let was_dead = caps.(l) <= 0.0 in
       caps.(l) <- Float.max 0.0 c;
+      if fl_on then
+        Obs.Flight.link_event fl ~t_s:now.(0) ~link:l ~capacity:caps.(l);
       if trace_on then
         emit (Obs.Trace.Link_event { t = now.(0); link = l; capacity = caps.(l) });
       (* A dead link drops its backlog; a healthier one may start. *)
@@ -1299,8 +1380,11 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         Queue.iter
           (fun p ->
             inv_drop ~link:(Some l) ~reason:Invariants.Backlog_cleared p.flow;
-            if trace_on then
-              emit
+            if fl_on then
+              Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:p.flow
+                ~seq:p.header.Header.seq ~reason:Obs.Trace.Backlog_cleared;
+            if trace_on && Obs.Trace.accept sink then
+              Obs.Trace.push sink
                 (Obs.Trace.Drop
                    {
                      t = now.(0);
@@ -1329,6 +1413,7 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
             (fun l' ->
               if gamma.(l') > 0.0 then begin
                 gamma.(l') <- 0.0;
+                if fl_on then Obs.Flight.price_reset fl ~t_s:now.(0) ~link:l';
                 if trace_on then
                   emit (Obs.Trace.Price_reset { t = now.(0); link = l' })
               end)
@@ -1347,11 +1432,13 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
       end
     | Loss_change (l, p) ->
       loss.(l) <- p;
+      if fl_on then Obs.Flight.loss_event fl ~t_s:now.(0) ~link:l ~prob:p;
       if trace_on then
         emit (Obs.Trace.Loss_event { t = now.(0); link = l; prob = p })
     | Ctrl_change (p, d) ->
       ctrl_drop.(0) <- p;
       ctrl_delay.(0) <- d;
+      if fl_on then Obs.Flight.ctrl_event fl ~t_s:now.(0) ~drop:p ~delay:d;
       if trace_on then
         emit (Obs.Trace.Ctrl_event { t = now.(0); drop = p; delay = d })
     | Inject fid -> (
@@ -1401,6 +1488,9 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           ~seq:(f.next_seq land 0xFFFFFFFF);
         f.next_seq <- f.next_seq + 1;
         f.sent_bytes <- f.sent_bytes + config.frame_bytes;
+        if fl_on then
+          Obs.Flight.route_probe fl ~t_s:now.(0) ~flow:fid ~route:i
+            ~attempt:f.reclaim_attempt.(i);
         if trace_on then
           emit
             (Obs.Trace.Route_probe
@@ -1410,6 +1500,17 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
           (Recovery.Backoff.delay rc rrng ~attempt:f.reclaim_attempt.(i))
           (Reclaim_probe (fid, i))
       | _ -> ())
+  in
+  (* Profiler attribution: the subsystem whose handler ran the event.
+     Closed mapping over the event constructors, so new event kinds
+     fail to compile until they are attributed. *)
+  let prof_cat = function
+    | Tx_end _ | Reorder_release _ -> Obs.Prof.cat_mac_phy
+    | Inject _ | Flow_start _ | Flow_stop _ -> Obs.Prof.cat_traffic
+    | Control_tick | Ack_arrive _ -> Obs.Prof.cat_controller
+    | Tcp_ack_arrive _ | Tcp_rto _ -> Obs.Prof.cat_tcp
+    | Reclaim_probe _ -> Obs.Prof.cat_recovery
+    | Capacity_change _ | Loss_change _ | Ctrl_change _ -> Obs.Prof.cat_fault
   in
 
   (* --- bootstrap --- *)
@@ -1464,7 +1565,12 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
         pending_drop := true;
         now.(0) <- Float.max now.(0) t;
         incr events_processed;
-        handle ev;
+        (match prof with
+        | None -> handle ev
+        | Some p ->
+          Obs.Prof.enter p;
+          handle ev;
+          Obs.Prof.leave p (prof_cat ev));
         if !pending_drop then begin
           pending_drop := false;
           Pqueue.drop q
@@ -1477,7 +1583,18 @@ let run ?(config = default_config) ?invariants ?trace ?(link_events = [])
     end
   in
   let wall_start = Sys.time () in
-  loop ();
+  (* A flight-enabled run that dies dumps the ring before re-raising:
+     every escaped exception — invariant violations included — becomes
+     a replayable JSONL artifact. *)
+  (try loop ()
+   with e when fl_on ->
+     let bt = Printexc.get_raw_backtrace () in
+     (match Obs.Flight.dump fl with
+     | Ok (path, n) ->
+       Printf.eprintf "[flight] %s: dumped last %d events to %s\n%!"
+         (Printexc.to_string e) n path
+     | Error msg -> Printf.eprintf "[flight] dump failed: %s\n%!" msg);
+     Printexc.raise_with_backtrace e bt);
   let wall_s = Sys.time () -. wall_start in
   now.(0) <- duration;
   (match recorder with

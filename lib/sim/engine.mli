@@ -172,6 +172,8 @@ val run :
   ?config:config ->
   ?invariants:Invariants.t ->
   ?trace:Obs.Trace.sink ->
+  ?flight:Obs.Flight.t ->
+  ?prof:Obs.Prof.t ->
   ?link_events:(float * int * float) list ->
   ?loss_events:(float * int * float) list ->
   ?ctrl_events:(float * float * float) list ->
@@ -239,7 +241,26 @@ val run :
     values are allocated). Without an explicit sink, an installed
     {!Obs.Runtime} metrics registry (the harness's [--metrics] flag,
     or the [EMPOWER_METRICS] environment variable) attaches an
-    {!Obs.Recorder} for the duration of the run.
+    {!Obs.Recorder} for the duration of the run. A sampled sink
+    ({!Obs.Trace.sampled}) is honoured cheaply: the engine asks
+    {!Obs.Trace.accept} before constructing an event record, so
+    sampled-out offers cost one branch and one counter decrement.
+
+    {b Flight recorder.} Passing [~flight:ring] (or setting the
+    [EMPOWER_FLIGHT] environment variable — see {!Obs.Flight.of_env})
+    records every trace event into a pre-allocated fixed-capacity
+    ring with no per-event allocation. Like a sink it only observes,
+    so results stay bit-identical. If any exception escapes the event
+    loop — an {!Invariants.Violation} included — the ring is dumped
+    to JSONL ({!Obs.Flight.dump}) before the exception is re-raised
+    with its original backtrace, making every mid-run failure a
+    replayable artifact.
+
+    {b Profiling.} Passing [~prof:p] brackets every handled event
+    with {!Obs.Prof.enter}/{!Obs.Prof.leave}, attributing wall time
+    and GC minor words to the subsystem that handled it (mac_phy,
+    traffic, controller, tcp, recovery, fault). The profiler observes
+    the clock only — simulation results are unchanged.
 
     [link_events] schedules capacity changes: [(t, link, capacity)]
     sets the directed link's capacity at time [t] (0 = link failure,

@@ -100,6 +100,40 @@ let test_metrics_merge_equivalence () =
   Alcotest.(check string) "jobs:4 registry == sequential" seq (work 4);
   Alcotest.(check string) "jobs:3 registry == sequential" seq (work 3)
 
+let test_progress_observes_only () =
+  (* A progress reporter is pure observation: installed, it sees every
+     start and finish without changing results or ordering; the final
+     snapshot reports the whole batch complete with nothing running. *)
+  let xs = List.init 30 Fun.id in
+  let f x = (x * 7) + 1 in
+  let plain = Exec.map ~jobs:3 f xs in
+  let snaps = ref [] in
+  Exec.Progress.set_reporter (Some (fun s -> snaps := s :: !snaps));
+  Fun.protect
+    ~finally:(fun () -> Exec.Progress.set_reporter None)
+    (fun () ->
+      Alcotest.(check (list int))
+        "reporter does not perturb jobs:3" plain (Exec.map ~jobs:3 f xs);
+      (match !snaps with
+      | last :: _ ->
+        Alcotest.(check int) "final snapshot complete" 30
+          last.Exec.Progress.completed;
+        Alcotest.(check int) "total" 30 last.Exec.Progress.total;
+        Alcotest.(check (list (pair int (float 1e9)))) "nothing running" []
+          last.Exec.Progress.running
+      | [] -> Alcotest.fail "reporter never called");
+      (* Every task reports a start and a finish: 2N snapshots. *)
+      Alcotest.(check int) "2N snapshots" 60 (List.length !snaps);
+      snaps := [];
+      Alcotest.(check (list int))
+        "reporter does not perturb jobs:1" plain (Exec.map ~jobs:1 f xs);
+      Alcotest.(check int) "sequential path reports too" 60
+        (List.length !snaps));
+  (* Reporter removed: maps still run and report nothing. *)
+  snaps := [];
+  Alcotest.(check (list int)) "uninstalled" plain (Exec.map ~jobs:3 f xs);
+  Alcotest.(check int) "no snapshots" 0 (List.length !snaps)
+
 (* --- end-to-end determinism across job counts --- *)
 
 let fig4_json jobs =
@@ -149,6 +183,8 @@ let () =
             test_split_rngs_matches_loop;
           Alcotest.test_case "metrics merge equivalence" `Quick
             test_metrics_merge_equivalence;
+          Alcotest.test_case "progress reporter observes only" `Quick
+            test_progress_observes_only;
         ] );
       ( "determinism",
         [

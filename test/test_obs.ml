@@ -8,6 +8,11 @@ let check_float ?(eps = 1e-9) msg expected actual =
   if Float.abs (expected -. actual) > eps then
     Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
 
+let has_sub sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
 (* ---------- Json ---------- *)
 
 let test_json_roundtrip () =
@@ -55,6 +60,47 @@ let test_json_rejects () =
       "[1 2]";
       "nan";
     ]
+
+let test_json_strict_numbers () =
+  (* JSON's number grammar, not OCaml's laxer converters. *)
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "parser accepted %S" s
+      | Error _ -> ())
+    [ "+5"; "01"; "1."; ".5"; "-"; "-."; "1e"; "1e+"; "00"; "0x10"; "1_000" ];
+  List.iter
+    (fun (s, want) ->
+      match Obs.Json.parse s with
+      | Ok v when v = want -> ()
+      | Ok v -> Alcotest.failf "%S parsed to %s" s (Obs.Json.to_string v)
+      | Error e -> Alcotest.failf "%S rejected: %s" s e)
+    [
+      ("0", Obs.Json.Int 0);
+      ("-0", Obs.Json.Int 0);
+      ("0.25", Obs.Json.Float 0.25);
+      ("-0.5e+2", Obs.Json.Float (-50.0));
+      ("1e9", Obs.Json.Float 1e9);
+      ("9007199254740993", Obs.Json.Int 9007199254740993);
+    ]
+
+let test_json_error_offsets () =
+  (* Errors pinpoint the offending token's start, and anything after
+     one top-level value is trailing garbage. *)
+  let expect_offset s off =
+    match Obs.Json.parse s with
+    | Ok _ -> Alcotest.failf "parser accepted %S" s
+    | Error m ->
+      let want = Printf.sprintf "offset %d" off in
+      if not (has_sub want m) then
+        Alcotest.failf "parse %S: error %S does not carry %S" s m want
+  in
+  expect_offset "[1, 7.5.2]" 4;
+  expect_offset {|{"a": 01}|} 6;
+  expect_offset {|{"a": +5}|} 6;
+  expect_offset "[1] garbage" 4;
+  expect_offset "1 2" 2;
+  expect_offset "{} {}" 3
 
 let test_json_accessors () =
   let open Obs.Json in
@@ -358,6 +404,218 @@ let test_of_file_strict () =
   expect_error ~needle:":1:" [ {|{"ev":"warp","t":0}|} ];
   expect_error ~needle:":2:" [ valid_line; "" ]
 
+(* ---------- sampled tracing ---------- *)
+
+let test_sampled_systematic () =
+  let ev i = Obs.Trace.Price_reset { t = float_of_int i; link = i } in
+  (* 1-in-every systematic: offers 1, every+1, 2*every+1, ... kept. *)
+  let sink, got = Obs.Trace.collector () in
+  let s = Obs.Trace.sampled ~every:3 sink in
+  Alcotest.(check int) "period" 3 (Obs.Trace.sample_period s);
+  for i = 1 to 10 do
+    Obs.Trace.emit s (ev i)
+  done;
+  let kept =
+    List.map
+      (function Obs.Trace.Price_reset { link; _ } -> link | _ -> -1)
+      (got ())
+  in
+  Alcotest.(check (list int)) "offers 1,4,7,10 kept" [ 1; 4; 7; 10 ] kept;
+  (* Count contract: ceil(offered / every), here ceil(10/3) = 4. *)
+  Alcotest.(check int) "ceil(10/3)" 4 (List.length kept);
+  (* Stacking composes multiplicatively and stays systematic. *)
+  let sink2, got2 = Obs.Trace.collector () in
+  let s2 = Obs.Trace.sampled ~every:2 (Obs.Trace.sampled ~every:3 sink2) in
+  Alcotest.(check int) "periods multiply" 6 (Obs.Trace.sample_period s2);
+  for i = 1 to 12 do
+    (* The accept/push split the engine's hot sites use. *)
+    if Obs.Trace.accept s2 then Obs.Trace.push s2 (ev i)
+  done;
+  let kept2 =
+    List.map
+      (function Obs.Trace.Price_reset { link; _ } -> link | _ -> -1)
+      (got2 ())
+  in
+  Alcotest.(check (list int)) "offers 1,7 kept" [ 1; 7 ] kept2;
+  match Obs.Trace.sampled ~every:0 sink with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "every:0 must be rejected"
+
+let test_sampled_accuracy () =
+  (* The documented accuracy contract at the BENCH setting (every:16):
+     the sampled replay's delivery count scales by the period and its
+     p99 delay stays within 10% relative of the full trace's exact
+     order statistic. Also: sampling must not perturb the run. *)
+  let sc = fig4_scenario () in
+  let full_sink, full_got = Obs.Trace.collector () in
+  let o = sc.Tracing.exec ~trace:full_sink () in
+  let full = Obs.Summary.of_events ~duration:o.Tracing.duration (full_got ()) in
+  let samp_sink, samp_got = Obs.Trace.collector () in
+  let o2 = sc.Tracing.exec ~trace:(Obs.Trace.sampled ~every:16 samp_sink) () in
+  if Engine.strip_perf o.Tracing.result <> Engine.strip_perf o2.Tracing.result
+  then Alcotest.fail "sampled sink perturbed the simulation";
+  let sampled =
+    Obs.Summary.of_events ~duration:o2.Tracing.duration (samp_got ())
+  in
+  let n_full = List.length (full_got ()) and n_samp = List.length (samp_got ()) in
+  Alcotest.(check int) "event count = ceil(offered/16)"
+    ((n_full + 15) / 16) n_samp;
+  (match (Obs.Summary.flow_stats full 0, Obs.Summary.flow_stats sampled 0) with
+  | Some ff, Some fs ->
+    Alcotest.(check bool) "subsample is non-trivial" true
+      (fs.Obs.Summary.delivered_frames >= 100);
+    let rel =
+      Float.abs (fs.Obs.Summary.p99_delay -. ff.Obs.Summary.p99_delay)
+      /. ff.Obs.Summary.p99_delay
+    in
+    if rel > 0.10 then
+      Alcotest.failf "sampled p99 off by %.2f%% (full %.6g, sampled %.6g)"
+        (100.0 *. rel) ff.Obs.Summary.p99_delay fs.Obs.Summary.p99_delay
+  | _ -> Alcotest.fail "flow 0 missing from a summary");
+  (* The contract's nominal regime — >= 1000 retained deliveries — on
+     a deterministic stream with a long delay tail. The subsample's
+     p99 is an exact order statistic of a systematic 1-in-16 pick, so
+     it must land within 10% relative of the full stream's p99. *)
+  let delay_of i =
+    let u = float_of_int ((i * 2654435761) land 0xFFFF) /. 65536.0 in
+    0.01 /. (1.0 -. (0.999 *. u))
+  in
+  let offered = 32_000 in
+  let synth every =
+    let sink, got = Obs.Trace.collector () in
+    let s = if every = 1 then sink else Obs.Trace.sampled ~every sink in
+    for i = 1 to offered do
+      Obs.Trace.emit s
+        (Obs.Trace.Delivery
+           { t = float_of_int i *. 1e-3; flow = 0; seq = i; bytes = 1500;
+             delay = delay_of i })
+    done;
+    Obs.Summary.of_events ~duration:40.0 (got ())
+  in
+  let all = synth 1 and sub = synth 16 in
+  match (Obs.Summary.flow_stats all 0, Obs.Summary.flow_stats sub 0) with
+  | Some fa, Some fs ->
+    Alcotest.(check int) "retained = offered/16" (offered / 16)
+      fs.Obs.Summary.delivered_frames;
+    Alcotest.(check bool) "contract regime reached" true
+      (fs.Obs.Summary.delivered_frames >= 1000);
+    let rel =
+      Float.abs (fs.Obs.Summary.p99_delay -. fa.Obs.Summary.p99_delay)
+      /. fa.Obs.Summary.p99_delay
+    in
+    if rel > 0.10 then
+      Alcotest.failf "synthetic sampled p99 off by %.2f%% (full %.6g, sampled %.6g)"
+        (100.0 *. rel) fa.Obs.Summary.p99_delay fs.Obs.Summary.p99_delay
+  | _ -> Alcotest.fail "flow 0 missing from a synthetic summary"
+
+(* ---------- flight recorder ---------- *)
+
+let rec last_n n xs =
+  let len = List.length xs in
+  if len <= n then xs else last_n n (List.tl xs)
+
+let test_flight_fidelity () =
+  (* The struct-of-arrays ring reproduces every kind bit-exactly. *)
+  let n = List.length all_event_variants in
+  let fl = Obs.Flight.create ~capacity:n () in
+  List.iter (Obs.Flight.event fl) all_event_variants;
+  if Obs.Flight.events fl <> all_event_variants then
+    Alcotest.fail "ring does not reproduce the recorded events";
+  Alcotest.(check int) "recorded" n (Obs.Flight.recorded fl);
+  Obs.Flight.clear fl;
+  Alcotest.(check int) "clear resets" 0 (Obs.Flight.recorded fl);
+  Alcotest.(check bool) "clear empties" true (Obs.Flight.events fl = [])
+
+let test_flight_wraparound () =
+  let n = List.length all_event_variants in
+  let cap = 8 in
+  let fl = Obs.Flight.create ~capacity:cap () in
+  List.iter (Obs.Flight.event fl) all_event_variants;
+  Alcotest.(check int) "recorded counts every offer" n (Obs.Flight.recorded fl);
+  let expect = last_n cap all_event_variants in
+  if Obs.Flight.events fl <> expect then
+    Alcotest.fail "ring must hold the last [capacity] events, oldest first";
+  (* A dump decodes strictly, line for line, to the ring contents. *)
+  let path = Filename.temp_file "empower_flight" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Obs.Flight.dump ~path fl with
+      | Error m -> Alcotest.failf "dump: %s" m
+      | Ok (path', written) ->
+        Alcotest.(check string) "dump reports its path" path path';
+        Alcotest.(check int) "dump writes capacity lines" cap written;
+        (match Obs.Summary.read_file path with
+        | Ok evs ->
+          if evs <> expect then
+            Alcotest.fail "dump does not decode back to the ring contents"
+        | Error m -> Alcotest.failf "dump not strictly replayable: %s" m))
+
+let test_flight_invariant_dump () =
+  (* The acceptance scenario: an invariant violation escaping the
+     event loop must leave a strictly replayable flight dump behind.
+     The violation is forced through the documented harness hook —
+     a phantom drop breaks frame conservation at the next audit. *)
+  let g, dom = small_net () in
+  let flows = [ saturated_flow g dom ~src:0 ~dst:2 ] in
+  let path = Filename.temp_file "empower_flight" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let fl = Obs.Flight.create ~capacity:512 ~dump_path:path () in
+      let inv = Invariants.create () in
+      let seen = ref 0 in
+      let sabotage =
+        Obs.Trace.of_fn (fun ev ->
+            incr seen;
+            if !seen = 200 then
+              Invariants.on_drop inv ~now:(Obs.Trace.time ev) ~flow:0
+                ~link:None ~reason:Invariants.Misroute)
+      in
+      (match
+         Engine.run ~invariants:inv ~trace:sabotage ~flight:fl (Rng.create 7)
+           g dom ~flows ~duration:3.0
+       with
+      | _ -> Alcotest.fail "sabotaged run must raise Violation"
+      | exception Invariants.Violation _ -> ());
+      match Obs.Summary.read_file path with
+      | Error m -> Alcotest.failf "flight dump not strictly replayable: %s" m
+      | Ok evs ->
+        Alcotest.(check bool) "dump holds events" true (evs <> []);
+        let s = Obs.Summary.of_events ~duration:3.0 evs in
+        Alcotest.(check int) "replay folds every dumped line"
+          (List.length evs) s.Obs.Summary.events)
+
+(* ---------- Metrics.merge histogram accuracy ---------- *)
+
+let test_merge_histogram_accuracy () =
+  (* Two halves of 1..20000 sketched separately, merged bucket by
+     bucket: quantiles must stay within the sketch's documented 0.5%
+     relative error, exactly as if one histogram had seen the full
+     stream. *)
+  let open Obs.Metrics in
+  let a = create () and b = create () in
+  let ha = histogram a "delay" and hb = histogram b "delay" in
+  for i = 1 to 20000 do
+    let v = float_of_int i in
+    if i mod 2 = 0 then Histogram.observe ha v else Histogram.observe hb v
+  done;
+  merge ~into:a b;
+  let h = histogram a "delay" in
+  Alcotest.(check int) "merged count" 20000 (Histogram.count h);
+  check_float ~eps:1e-6 "merged sum exact" 200010000.0 (Histogram.sum h);
+  check_float "merged min" 1.0 (Histogram.minimum h);
+  check_float "merged max" 20000.0 (Histogram.maximum h);
+  let rel q expected =
+    let v = Histogram.quantile h q in
+    if Float.abs (v -. expected) /. expected > 0.005 then
+      Alcotest.failf "merged q%.2f: got %.2f, want %.2f within 0.5%%" q v
+        expected
+  in
+  rel 0.50 10000.0;
+  rel 0.95 19000.0;
+  rel 0.99 19800.0
+
 let () =
   Alcotest.run "obs"
     [
@@ -366,7 +624,26 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "unicode escapes" `Quick test_json_escapes;
           Alcotest.test_case "rejects malformed input" `Quick test_json_rejects;
+          Alcotest.test_case "strict number grammar" `Quick
+            test_json_strict_numbers;
+          Alcotest.test_case "errors pinpoint offsets" `Quick
+            test_json_error_offsets;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "systematic 1-in-N" `Quick test_sampled_systematic;
+          Alcotest.test_case "p99 within contract at every:16" `Slow
+            test_sampled_accuracy;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring fidelity across all kinds" `Quick
+            test_flight_fidelity;
+          Alcotest.test_case "wraparound keeps the last N" `Quick
+            test_flight_wraparound;
+          Alcotest.test_case "invariant violation dumps the ring" `Quick
+            test_flight_invariant_dump;
         ] );
       ( "trace codec",
         [
@@ -378,6 +655,8 @@ let () =
           Alcotest.test_case "histogram quantiles" `Quick test_histogram;
           Alcotest.test_case "histogram zero bucket" `Quick test_histogram_zero_bucket;
           Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "merge keeps histogram accuracy" `Quick
+            test_merge_histogram_accuracy;
         ] );
       ( "engine",
         [
