@@ -83,6 +83,7 @@ let bench_engine () =
         init_rates = List.map snd comb.Multipath.paths;
         workload = Workload.Saturated;
         transport = Engine.Udp;
+        tcp_params = None;
         start_time = 0.0;
         stop_time = None;
       }
@@ -153,6 +154,7 @@ let write_sim_bench () =
         init_rates = List.map snd comb.Multipath.paths;
         workload = Workload.Saturated;
         transport = Engine.Udp;
+        tcp_params = None;
         start_time = 0.0;
         stop_time = None;
       }
@@ -161,6 +163,23 @@ let write_sim_bench () =
     let one ?trace ?flight ?prof seed =
       Engine.run ?trace ?flight ?prof (Rng.create seed) g dom ~flows:[ spec ]
         ~duration
+    in
+    let buffers_config =
+      let fb = Engine.default_config.Engine.frame_bytes in
+      {
+        Engine.default_config with
+        buffers =
+          Some
+            {
+              Engine.policy = Engine.Dynamic_threshold 1.0;
+              pool_bytes = 32 * fb;
+              ecn_threshold_bytes = Some (8 * fb);
+            };
+      }
+    in
+    let one_buffered seed =
+      Engine.run ~config:buffers_config (Rng.create seed) g dom
+        ~flows:[ spec ] ~duration
     in
     ignore (one 0) (* warm-up *);
     let reps = 5 in
@@ -177,6 +196,8 @@ let write_sim_bench () =
     let rounds = 3 in
     let best_plain = ref infinity and best_traced = ref infinity in
     let best_sampled = ref infinity and best_flight = ref infinity in
+    let best_buffered = ref infinity in
+    let buffered_events = ref 0 in
     let minor_words = ref 0.0 in
     for _round = 1 to rounds do
       events := 0;
@@ -226,7 +247,18 @@ let write_sim_bench () =
         ignore (one ~flight:ring i)
       done;
       let e = Float.max 1e-9 (Sys.time () -. t1f) in
-      if e < !best_flight then best_flight := e
+      if e < !best_flight then best_flight := e;
+      (* Finite shared buffers (DT alpha=1, 32-frame pool, ECN at 8):
+         per-frame admission arithmetic on the enqueue path is the
+         regression to watch. *)
+      buffered_events := 0;
+      let t1b = Sys.time () in
+      for i = 1 to reps do
+        let res = one_buffered i in
+        buffered_events := !buffered_events + res.Engine.events_processed
+      done;
+      let e = Float.max 1e-9 (Sys.time () -. t1b) in
+      if e < !best_buffered then best_buffered := e
     done;
     let elapsed = !best_plain in
     let minor_words = !minor_words in
@@ -243,6 +275,7 @@ let write_sim_bench () =
     let runs_s = float_of_int reps /. elapsed in
     let events_s = float_of_int !events /. elapsed in
     let events_s_traced = float_of_int !events /. elapsed_traced in
+    let buffered_events_s = float_of_int !buffered_events /. !best_buffered in
     let frames_s = float_of_int frames /. elapsed in
     let overhead_pct = (elapsed_traced /. elapsed -. 1.0) *. 100.0 in
     let overhead_sampled_pct = (elapsed_sampled /. elapsed -. 1.0) *. 100.0 in
@@ -366,6 +399,7 @@ let write_sim_bench () =
       \  \"trace_overhead_sampled_pct\": %.1f,\n\
       \  \"trace_events_sampled_per_run\": %d,\n\
       \  \"flight_overhead_pct\": %.1f,\n\
+      \  \"buffered_events_per_s\": %.0f,\n\
       \  \"prof_events\": %d,\n\
       \  \"prof_ns_per_event\": %.1f,\n\
       \  \"prof_minor_words_per_event\": %.2f,\n\
@@ -389,7 +423,8 @@ let write_sim_bench () =
       (minor_words /. float_of_int (max 1 !events))
       frames_s !peak_q events_s_traced
       (!trace_events / reps) overhead_pct overhead_sampled_pct
-      (!sampled_events / reps) flight_overhead_pct prof_events_n prof_ns
+      (!sampled_events / reps) flight_overhead_pct buffered_events_s
+      prof_events_n prof_ns
       prof_words prof_shares chaos_events_s
       (!chaos_faults / reps) sever_events_s sever_flow.Chaos.detect_s
       sever_flow.Chaos.recovery_s sever_flow.Chaos.goodput_mbps

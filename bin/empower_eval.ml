@@ -583,6 +583,54 @@ let loadsweep_cmd =
       const run $ seed_arg 17 $ loads_arg $ cdf_arg $ pairs_arg $ conns_arg
       $ duration_arg $ pacing_arg $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
+(* ---------- buffers ---------- *)
+
+let buffers_cmd =
+  let pools_arg =
+    let doc =
+      "Shared pool size in frames. Repeatable: each occurrence adds a sweep \
+       point (default: 16 and 64)."
+    in
+    Arg.(value & opt_all int [] & info [ "pool" ] ~docv:"FRAMES" ~doc)
+  in
+  let alphas_arg =
+    let doc =
+      "Dynamic-Threshold alpha; a non-positive value selects the static \
+       per-port partition. Repeatable (default: 0.5 and 1.0)."
+    in
+    Arg.(value & opt_all float [] & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+  in
+  let ecns_arg =
+    let doc =
+      "ECN marking threshold in frames of port occupancy; 0 disables \
+       marking. Repeatable (default: 0 and 8)."
+    in
+    Arg.(value & opt_all int [] & info [ "ecn" ] ~docv:"FRAMES" ~doc)
+  in
+  let duration_arg =
+    let doc = "Simulated seconds per run." in
+    Arg.(value & opt float 20.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+  in
+  let run seed pools alphas ecns duration json metrics progress jobs =
+    let pools = match pools with [] -> Buffers.default_pools | ps -> ps in
+    let alphas = match alphas with [] -> Buffers.default_alphas | al -> al in
+    let ecns = match ecns with [] -> Buffers.default_ecns | es -> es in
+    with_obs ?jobs ~json ~metrics ~progress (fun e ->
+        e.emit
+          (Buffers.sweep ~seed ~duration ~pools ~alphas ~ecns ())
+          Buffers.print Figure_json.buffers)
+  in
+  Cmd.v
+    (Cmd.info "buffers"
+       ~doc:
+         "TCP friendliness under finite shared buffers: sweep pool size, \
+          Dynamic-Threshold alpha and ECN marking threshold, comparing Reno, \
+          a DCTCP-style TCP and EMPoWER's UDP multipath on the congested \
+          testbed flow.")
+    Term.(
+      const run $ seed_arg 23 $ pools_arg $ alphas_arg $ ecns_arg
+      $ duration_arg $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
+
 let all_cmd =
   let run runs seed json metrics progress jobs =
     with_obs ?jobs ~json ~metrics ~progress (fun e ->
@@ -650,7 +698,7 @@ let main =
       fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; convergence_cmd; fig9_cmd;
       fig10_cmd; fig11_cmd; table1_cmd; fig12_cmd; fig13_cmd; ablations_cmd;
       metrics_cmd; mptcp_cmd; mac_cmd; trace_cmd; profile_cmd; report_cmd;
-      chaos_cmd; loadsweep_cmd;
+      chaos_cmd; loadsweep_cmd; buffers_cmd;
       all_cmd;
     ]
 

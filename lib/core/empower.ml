@@ -81,6 +81,7 @@ let flow_specs_of_allocation ?(workload = Workload.Saturated)
                init_rates = List.map snd p.combination.Multipath.paths;
                workload;
                transport;
+               tcp_params = None;
                start_time = 0.0;
                stop_time = None;
              })

@@ -1,0 +1,80 @@
+(** Section 6.4 TCP-friendliness under finite shared buffers.
+
+    The original Section 6.4 comparison asked how a window-driven TCP
+    coexists with EMPoWER's rate-driven multipath; this study reruns
+    it in the congestive-loss regime the finite shared buffers of
+    [Engine.config.buffers] introduce. Over the chaos harness's
+    testbed flow (seed-4242 instance, node 0 to node 12), every grid
+    point of {e pool size x DT alpha x ECN threshold} runs three
+    variants:
+
+    - {e reno} — a plain Reno TCP, unpoliced (no EMPoWER CC): it fills
+      the shared pool until the Dynamic-Threshold admission tail-drops
+      and recovers by loss, ignoring any CE marks;
+    - {e dctcp} — the same sender with {!Tcp.dctcp_params}: the ECN
+      echo drives the EWMA window cut, keeping the standing queue near
+      the marking threshold with no drops;
+    - {e empower} — the paper's UDP path (controller + reorder buffer
+      + delay equalization), whose 100 ms rate control keeps queues
+      short without either signal.
+
+    Per variant the point reports steady-state goodput (warmup
+    excluded), queue drops (= buffer-admission rejections), CE marks,
+    peak shared-pool occupancy and reorder-declared losses — the
+    numbers behind the Reno-vs-DCTCP-under-pressure table in
+    EXPERIMENTS.md.
+
+    Determinism: a sweep is a pure function of (seed, duration, axes);
+    per-variant engine seeds derive from the grid-point index alone
+    and points fan out over domains with {!Exec.mapi}, so the output
+    is byte-identical at any [jobs] count. Buffer admission and
+    marking consume no randomness (see {!Engine}). *)
+
+type variant_result = {
+  variant : string;         (** ["reno"] | ["dctcp"] | ["empower"] *)
+  goodput_mbps : float;     (** mean goodput after a 2 s warmup *)
+  queue_drops : int;        (** buffer-admission rejections *)
+  ecn_marks : int;          (** frames CE-marked on admission *)
+  buffer_peak_bytes : int;  (** peak shared-pool occupancy *)
+  frames_lost : int;        (** reorder-declared losses (UDP only) *)
+}
+
+type point = {
+  pool_frames : int;   (** shared pool, in [frame_bytes] units *)
+  dt_alpha : float;    (** DT alpha; [<= 0] selects [Static] *)
+  ecn_frames : int;    (** marking threshold, frames; [<= 0] = no ECN *)
+  variants : variant_result list;  (** reno, dctcp, empower — in order *)
+}
+
+type data = {
+  seed : int;
+  duration : float;    (** seconds per run *)
+  frame_bytes : int;   (** frame size the frame-unit axes scale by *)
+  pools : int list;    (** swept pool sizes (frames) *)
+  alphas : float list; (** swept DT alphas *)
+  ecns : int list;     (** swept ECN thresholds (frames) *)
+  points : point list; (** pools x alphas x ecns, in that nesting order *)
+}
+
+val default_pools : int list
+(** [16; 64] frames. *)
+
+val default_alphas : float list
+(** [0.5; 1.0]. *)
+
+val default_ecns : int list
+(** [0; 8] frames (0 = marking off). *)
+
+val sweep :
+  ?seed:int ->
+  ?duration:float ->
+  ?pools:int list ->
+  ?alphas:float list ->
+  ?ecns:int list ->
+  ?jobs:int ->
+  unit ->
+  data
+(** Run the grid (defaults: seed 23, 20 s per run, the default axes).
+    Raises [Invalid_argument] on an empty axis or non-positive pool. *)
+
+val print : ?out:out_channel -> data -> unit

@@ -46,6 +46,7 @@ let run ?(seed = 9) ?(time_scale = 0.1) () =
       init_rates = rates;
       workload = Workload.Saturated;
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -59,6 +60,7 @@ let run ?(seed = 9) ?(time_scale = 0.1) () =
       init_rates = [ Update.path_rate g dom wifi_route ];
       workload = Workload.Saturated;
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = t_on;
       stop_time = Some t_off;
     }

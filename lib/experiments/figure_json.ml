@@ -289,4 +289,40 @@ let loadsweep (d : Loadsweep.data) =
              d.Loadsweep.points) );
     ]
 
+let buffers (d : Buffers.data) =
+  let variant (v : Buffers.variant_result) =
+    Json.Obj
+      [
+        ("variant", s v.Buffers.variant);
+        ("goodput_mbps", f v.Buffers.goodput_mbps);
+        ("queue_drops", i v.Buffers.queue_drops);
+        ("ecn_marks", i v.Buffers.ecn_marks);
+        ("buffer_peak_bytes", i v.Buffers.buffer_peak_bytes);
+        ("frames_lost", i v.Buffers.frames_lost);
+      ]
+  in
+  Json.Obj
+    [
+      ("figure", s "buffers");
+      ("seed", i d.Buffers.seed);
+      ("duration", f d.Buffers.duration);
+      ("frame_bytes", i d.Buffers.frame_bytes);
+      ("pools", Json.List (List.map i d.Buffers.pools));
+      ("alphas", Json.List (List.map f d.Buffers.alphas));
+      ("ecns", Json.List (List.map i d.Buffers.ecns));
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Buffers.point) ->
+               Json.Obj
+                 [
+                   ("pool_frames", i p.Buffers.pool_frames);
+                   ("dt_alpha", f p.Buffers.dt_alpha);
+                   ("ecn_frames", i p.Buffers.ecn_frames);
+                   ( "variants",
+                     Json.List (List.map variant p.Buffers.variants) );
+                 ])
+             d.Buffers.points) );
+    ]
+
 let print_json j = print_endline (Json.to_string j)

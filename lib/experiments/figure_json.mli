@@ -19,6 +19,7 @@ val mptcp : Mptcp_applicability.data -> Obs.Json.t
 val mac_fairness : Mac_fairness.data -> Obs.Json.t
 val ablation : Ablations.data -> Obs.Json.t
 val loadsweep : Loadsweep.data -> Obs.Json.t
+val buffers : Buffers.data -> Obs.Json.t
 
 val print_json : Obs.Json.t -> unit
 (** One compact line on stdout. *)

@@ -8,7 +8,7 @@ let routes_and_rates ?opts (net : Empower.network) scheme ~src ~dst =
   (routes, rates)
 
 let flow_spec ?(workload = Workload.Saturated) ?(transport = Engine.Udp)
-    ?(start_time = 0.0) ?stop_time ~src ~dst (routes, init_rates) =
+    ?tcp_params ?(start_time = 0.0) ?stop_time ~src ~dst (routes, init_rates) =
   {
     Engine.src;
     dst;
@@ -16,6 +16,7 @@ let flow_spec ?(workload = Workload.Saturated) ?(transport = Engine.Udp)
     init_rates;
     workload;
     transport;
+    tcp_params;
     start_time;
     stop_time;
   }

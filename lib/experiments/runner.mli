@@ -16,13 +16,15 @@ val routes_and_rates :
 val flow_spec :
   ?workload:Workload.t ->
   ?transport:Engine.transport ->
+  ?tcp_params:Tcp.params ->
   ?start_time:float ->
   ?stop_time:float ->
   src:int ->
   dst:int ->
   Paths.t list * float list ->
   Engine.flow_spec
-(** Assemble an engine flow spec. *)
+(** Assemble an engine flow spec. [tcp_params] selects the TCP sender
+    variant for [Tcp_transport] flows (default Reno). *)
 
 val goodput_stats :
   Engine.flow_result -> last_seconds:int -> duration:float -> float * float

@@ -342,6 +342,7 @@ module Trace = struct
     | Route_probe of { t : float; flow : int; route : int; attempt : int }
     | Route_restored of { t : float; flow : int; route : int; down_s : float }
     | Price_reset of { t : float; link : int }
+    | Ecn_mark of { t : float; link : int; flow : int; seq : int; occ : int }
 
   let time = function
     | Enqueue { t; _ }
@@ -359,7 +360,8 @@ module Trace = struct
     | Route_dead { t; _ }
     | Route_probe { t; _ }
     | Route_restored { t; _ }
-    | Price_reset { t; _ } -> t
+    | Price_reset { t; _ }
+    | Ecn_mark { t; _ } -> t
 
   let kind = function
     | Enqueue _ -> "enqueue"
@@ -378,11 +380,12 @@ module Trace = struct
     | Route_probe _ -> "route_probe"
     | Route_restored _ -> "route_restored"
     | Price_reset _ -> "price_reset"
+    | Ecn_mark _ -> "mark"
 
   let kinds =
     [ "enqueue"; "grant"; "dequeue"; "collision"; "drop"; "delivery"; "price";
       "rate"; "ack"; "link"; "loss"; "ctrl"; "route_dead"; "route_probe";
-      "route_restored"; "price_reset" ]
+      "route_restored"; "price_reset"; "mark" ]
 
   let to_json ev =
     let base fields = Json.Obj (("ev", Json.String (kind ev)) :: fields) in
@@ -440,6 +443,10 @@ module Trace = struct
         [ ("t", f t); ("flow", i flow); ("route", i route);
           ("down_s", f down_s) ]
     | Price_reset { t; link } -> base [ ("t", f t); ("link", i link) ]
+    | Ecn_mark { t; link; flow; seq; occ } ->
+      base
+        [ ("t", f t); ("link", i link); ("flow", i flow); ("seq", i seq);
+          ("occ", i occ) ]
 
   let encode ev = Json.to_string (to_json ev)
 
@@ -581,6 +588,12 @@ module Trace = struct
       | "price_reset" ->
         let* link = field "link" Json.to_int_opt j in
         Ok (Price_reset { t; link })
+      | "mark" ->
+        let* link = field "link" Json.to_int_opt j in
+        let* flow = field "flow" Json.to_int_opt j in
+        let* seq = field "seq" Json.to_int_opt j in
+        let* occ = field "occ" Json.to_int_opt j in
+        Ok (Ecn_mark { t; link; flow; seq; occ })
       | k -> Error (Printf.sprintf "unknown event kind %S" k))
 
   (* A sink carries its own deterministic sampling state: [every] = 1
@@ -712,6 +725,7 @@ module Flight = struct
   let k_route_probe = 13
   let k_route_restored = 14
   let k_price_reset = 15
+  let k_ecn_mark = 16
 
   let reason_code = function
     | Trace.Queue_overflow -> 0
@@ -821,6 +835,13 @@ module Flight = struct
     let i = slot t k_price_reset t_s in
     t.i1.(i) <- link
 
+  let ecn_mark t ~t_s ~link ~flow ~seq ~occ =
+    let i = slot t k_ecn_mark t_s in
+    t.i1.(i) <- link;
+    t.i2.(i) <- flow;
+    t.i3.(i) <- seq;
+    t.i4.(i) <- occ
+
   let boxed_event t tag ev =
     let i = slot t tag (Trace.time ev) in
     t.boxed.(i) <- Some ev
@@ -853,6 +874,8 @@ module Flight = struct
     | Trace.Route_restored { t = t_s; flow; route; down_s } ->
       route_restored t ~t_s ~flow ~route ~down_s
     | Trace.Price_reset { t = t_s; link } -> price_reset t ~t_s ~link
+    | Trace.Ecn_mark { t = t_s; link; flow; seq; occ } ->
+      ecn_mark t ~t_s ~link ~flow ~seq ~occ
 
   let sink t = Trace.of_fn (event t)
 
@@ -931,6 +954,16 @@ module Flight = struct
         (Trace.Route_restored
            { t = t_s; flow = t.i1.(i); route = t.i2.(i); down_s = t.f1.(i) })
     | 15 -> Some (Trace.Price_reset { t = t_s; link = t.i1.(i) })
+    | 16 ->
+      Some
+        (Trace.Ecn_mark
+           {
+             t = t_s;
+             link = t.i1.(i);
+             flow = t.i2.(i);
+             seq = t.i3.(i);
+             occ = t.i4.(i);
+           })
     | _ -> None
 
   let fold_oldest_first t f acc =
@@ -1600,6 +1633,10 @@ module Recorder = struct
       if down_s > Metrics.Gauge.value g then Metrics.Gauge.set g down_s
     | Trace.Price_reset _ ->
       Metrics.Counter.incr (Metrics.counter r.reg "recovery.price_resets")
+    | Trace.Ecn_mark { link; _ } ->
+      Metrics.Counter.incr (Metrics.counter r.reg "ecn.marks");
+      Metrics.Counter.incr
+        (Metrics.counter r.reg (Printf.sprintf "link.%d.marks" link))
 
   let sink r = Trace.of_fn (on_event r)
 
@@ -1730,6 +1767,7 @@ module Summary = struct
     drops : (Trace.drop_reason * int) list;
     collisions : int;
     grants : int;
+    marks : int;
     link_airtime : (int * float) list;
     recovery : recovery_stats;
   }
@@ -1757,6 +1795,7 @@ module Summary = struct
     in
     let drops = Hashtbl.create 4 in
     let collisions = ref 0 and grants = ref 0 and n_events = ref 0 in
+    let marks = ref 0 in
     let airtime = Hashtbl.create 32 in
     let route_deaths = ref 0
     and route_restores = ref 0
@@ -1801,6 +1840,7 @@ module Summary = struct
           if down_s > !max_down then max_down := down_s
         | Trace.Route_probe _ -> incr route_probes
         | Trace.Price_reset _ -> incr price_resets
+        | Trace.Ecn_mark _ -> incr marks
         | Trace.Enqueue _ | Trace.Dequeue _ | Trace.Price_update _
         | Trace.Ack _ | Trace.Link_event _ | Trace.Loss_event _
         | Trace.Ctrl_event _ -> ())
@@ -1838,6 +1878,7 @@ module Summary = struct
         |> List.sort (fun (a, _) (b, _) -> compare a b);
       collisions = !collisions;
       grants = !grants;
+      marks = !marks;
       link_airtime =
         Hashtbl.fold (fun l a acc -> (l, !a) :: acc) airtime []
         |> List.sort (fun (a, _) (b, _) -> compare a b);
@@ -1893,6 +1934,7 @@ module Summary = struct
       p "; drops:";
       List.iter (fun (r, c) -> p " %s=%d" (Trace.drop_reason_name r) c) ds;
       p "\n");
+    if t.marks > 0 then p "ECN: %d frames marked\n" t.marks;
     List.iter
       (fun s ->
         p

@@ -161,13 +161,16 @@ module Trace : sig
     | Route_probe of { t : float; flow : int; route : int; attempt : int }
     | Route_restored of { t : float; flow : int; route : int; down_s : float }
     | Price_reset of { t : float; link : int }
+    | Ecn_mark of { t : float; link : int; flow : int; seq : int; occ : int }
+        (** frame admitted with the CE bit set; [occ] = the port's byte
+            occupancy that crossed the ECN threshold *)
 
   val time : event -> float
   val kind : event -> string
   (** The ["ev"] tag: ["enqueue"], ["grant"], ["dequeue"],
       ["collision"], ["drop"], ["delivery"], ["price"], ["rate"],
       ["ack"], ["link"], ["loss"], ["ctrl"], ["route_dead"],
-      ["route_probe"], ["route_restored"], ["price_reset"]. *)
+      ["route_probe"], ["route_restored"], ["price_reset"], ["mark"]. *)
 
   val kinds : string list
   (** Every valid ["ev"] tag (the schema's closed set). *)
@@ -320,6 +323,9 @@ module Flight : sig
     t -> t_s:float -> flow:int -> route:int -> down_s:float -> unit
 
   val price_reset : t -> t_s:float -> link:int -> unit
+
+  val ecn_mark :
+    t -> t_s:float -> link:int -> flow:int -> seq:int -> occ:int -> unit
 
   val sink : t -> Trace.sink
   (** The recorder as an ordinary (unsampled) sink, for harnesses that
@@ -587,6 +593,7 @@ module Summary : sig
     drops : (Trace.drop_reason * int) list;
     collisions : int;
     grants : int;
+    marks : int;                           (** CE-marked frame admissions *)
     link_airtime : (int * float) list;     (** seconds on air per link, sorted *)
     recovery : recovery_stats;
   }

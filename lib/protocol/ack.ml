@@ -3,6 +3,7 @@ type route_report = {
   qr : float;
   highest_seq : int;
   bytes : int;
+  marked : int;
 }
 
 type t = {
@@ -18,6 +19,7 @@ type collector = {
   qr : float array;
   highest : int array;
   window_bytes : int array;
+  marked_bytes : int array;
 }
 
 let collector ~flow ~n_routes =
@@ -26,12 +28,14 @@ let collector ~flow ~n_routes =
     qr = Array.make n_routes 0.0;
     highest = Array.make n_routes (-1);
     window_bytes = Array.make n_routes 0;
+    marked_bytes = Array.make n_routes 0;
   }
 
-let on_packet c ~route ~qr ~seq ~bytes =
+let on_packet ?(ce = false) c ~route ~qr ~seq ~bytes =
   c.qr.(route) <- qr;
   if seq > c.highest.(route) then c.highest.(route) <- seq;
-  c.window_bytes.(route) <- c.window_bytes.(route) + bytes
+  c.window_bytes.(route) <- c.window_bytes.(route) + bytes;
+  if ce then c.marked_bytes.(route) <- c.marked_bytes.(route) + bytes
 
 let emit c ~now =
   let reports =
@@ -41,7 +45,9 @@ let emit c ~now =
           qr = c.qr.(r);
           highest_seq = c.highest.(r);
           bytes = c.window_bytes.(r);
+          marked = c.marked_bytes.(r);
         })
   in
   Array.fill c.window_bytes 0 (Array.length c.window_bytes) 0;
+  Array.fill c.marked_bytes 0 (Array.length c.marked_bytes) 0;
   { flow = c.flow; sent_at = now; reports }

@@ -13,6 +13,7 @@ type route_report = {
   qr : float;          (** latest q_r seen on this route; 0 if none *)
   highest_seq : int;   (** highest sequence received; -1 if none *)
   bytes : int;         (** bytes received on this route since last ACK *)
+  marked : int;        (** of [bytes], those that arrived CE-marked *)
 }
 
 type t = {
@@ -30,8 +31,12 @@ type collector
 val collector : flow:int -> n_routes:int -> collector
 (** Fresh accumulator. *)
 
-val on_packet : collector -> route:int -> qr:float -> seq:int -> bytes:int -> unit
-(** Record an arriving data packet's header fields. *)
+val on_packet :
+  ?ce:bool -> collector -> route:int -> qr:float -> seq:int -> bytes:int -> unit
+(** Record an arriving data packet's header fields. [ce] (default
+    false) is the frame's ECN congestion-experienced bit; marked bytes
+    are accumulated separately so the source can compute a per-window
+    marked fraction. *)
 
 val emit : collector -> now:float -> t
 (** Build the ACK for the current window and reset the per-window

@@ -7,8 +7,17 @@ type flow_spec = {
   init_rates : float list;
   workload : Workload.t;
   transport : transport;
+  tcp_params : Tcp.params option;
   start_time : float;
   stop_time : float option;
+}
+
+type buffer_policy = Static | Dynamic_threshold of float
+
+type buffers = {
+  policy : buffer_policy;
+  pool_bytes : int;
+  ecn_threshold_bytes : int option;
 }
 
 type config = {
@@ -26,6 +35,7 @@ type config = {
   route_reclaim : bool;
   price_drain : float;
   recovery : Recovery.config option;
+  buffers : buffers option;
 }
 
 let default_config =
@@ -44,6 +54,7 @@ let default_config =
     route_reclaim = false;
     price_drain = 0.0;
     recovery = None;
+    buffers = None;
   }
 
 type flow_result = {
@@ -72,6 +83,8 @@ type result = {
   flows : flow_result array;
   duration : float;
   queue_drops : int;
+  ecn_marks : int;
+  buffer_peak_bytes : int;
   events_processed : int;
   perf : perf;
 }
@@ -88,6 +101,7 @@ type packet = {
   sent_at : float;
   links : int array;
   mutable hop : int;
+  mutable ce : bool;  (* ECN congestion-experienced; sticky across hops *)
 }
 
 type file_rec = {
@@ -160,7 +174,7 @@ type event =
   | Inject of int
   | Control_tick
   | Ack_arrive of int * Ack.t
-  | Tcp_ack_arrive of int * int
+  | Tcp_ack_arrive of int * int * bool  (* flow, cum ack, CE echo *)
   | Reorder_release of int * packet
   | Tcp_rto of int * float  (* flow, the deadline this event was armed for *)
   | Flow_start of int
@@ -364,6 +378,55 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
         List.init (Multigraph.n_techs g) (fun k -> Route_codec.iface_hash ~node:v ~tech:k))
   in
 
+  (* --- finite shared buffers (config.buffers) --- *)
+  (* Byte-pool arbitration of a node's egress (MAC) queues. Admission
+     and marking are pure functions of occupancy — no randomness — so
+     the rng stream is identical with the feature on or off, and with
+     [buffers = None] none of this state is touched (the legacy
+     per-queue frame limit applies unchanged). Occupancy moves at
+     exactly two places: charged on admission in [enqueue_on_link],
+     released when the frame leaves its queue (MAC grant pop in
+     [try_start], or the backlog flush when a link dies). *)
+  let buf_on = config.buffers <> None in
+  let link_src = Array.make (max 1 n_links) 0 in
+  let node_ports = Array.make (Multigraph.n_nodes g) 0 in
+  if buf_on then
+    Array.iter
+      (fun (lk : Multigraph.link) ->
+        link_src.(lk.Multigraph.id) <- lk.Multigraph.src;
+        node_ports.(lk.Multigraph.src) <- node_ports.(lk.Multigraph.src) + 1)
+      (Multigraph.links g);
+  let port_occ = Array.make (max 1 n_links) 0 in
+  let node_occ = Array.make (if buf_on then Multigraph.n_nodes g else 1) 0 in
+  let ecn_marks = ref 0 in
+  let buffer_peak = ref 0 in
+  let buf_admit b l bytes =
+    let node = link_src.(l) in
+    node_occ.(node) + bytes <= b.pool_bytes
+    &&
+    match b.policy with
+    | Static ->
+      (* Equal static partition of the pool across the node's ports. *)
+      port_occ.(l) + bytes <= b.pool_bytes / max 1 node_ports.(node)
+    | Dynamic_threshold alpha ->
+      (* Choudhury–Hahne DT: a port may hold up to alpha times the
+         node's remaining free pool, so thresholds shrink as the pool
+         fills and idle ports cede space to busy ones. *)
+      float_of_int (port_occ.(l) + bytes)
+      <= alpha *. float_of_int (b.pool_bytes - node_occ.(node))
+  in
+  let buf_charge l bytes =
+    let node = link_src.(l) in
+    port_occ.(l) <- port_occ.(l) + bytes;
+    node_occ.(node) <- node_occ.(node) + bytes;
+    if node_occ.(node) > !buffer_peak then buffer_peak := node_occ.(node)
+  in
+  let buf_release l bytes =
+    port_occ.(l) <- port_occ.(l) - bytes;
+    let node = link_src.(l) in
+    node_occ.(node) <- node_occ.(node) - bytes
+  in
+
   (* --- flows --- *)
   let reverse_latency_of spec =
     match Dijkstra.shortest_path g ~src:spec.dst ~dst:spec.src with
@@ -469,7 +532,10 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
         (match spec.transport with
         | Udp -> None
         | Tcp_transport ->
-          let params = { Tcp.default_params with segment_bytes = config.frame_bytes } in
+          let base =
+            match spec.tcp_params with Some p -> p | None -> Tcp.default_params
+          in
+          let params = { base with Tcp.segment_bytes = config.frame_bytes } in
           Some (Tcp.create ~params ~total_bytes:(Workload.total_bytes spec.workload) ()));
       goodput_rev = [];
       rates_rev = [];
@@ -493,7 +559,15 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
   (match inv with
   | None -> ()
   | Some t ->
-    Invariants.configure t ~n_links ~queue_limit:config.queue_limit
+    let inv_queue_limit =
+      (* With a shared byte pool the per-queue frame bound is pool
+         capacity in frames, not the (bypassed) legacy limit. *)
+      match config.buffers with
+      | None -> config.queue_limit
+      | Some b ->
+        max config.queue_limit ((b.pool_bytes / max 1 config.frame_bytes) + 1)
+    in
+    Invariants.configure t ~n_links ~queue_limit:inv_queue_limit
       ~frame_bytes:config.frame_bytes ~control_period:config.control_period;
     Array.iter
       (fun f ->
@@ -573,6 +647,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     let st = links.(l) in
     if st.on_air = None && (not (Queue.is_empty st.queue)) && domain_free l then begin
       let pkt = Queue.pop st.queue in
+      if buf_on then buf_release l pkt.bytes;
       st.on_air <- Some pkt;
       last_service.(l) <- now.(0);
       (* CSMA/CA contention: the more backlogged stations share the
@@ -671,7 +746,12 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     let st = links.(l) in
     window_bits.(l) <- window_bits.(l) +. (8.0 *. float_of_int pkt.bytes);
     st.had_traffic <- true;
-    if Queue.length st.queue >= config.queue_limit then begin
+    let admitted =
+      match config.buffers with
+      | None -> Queue.length st.queue < config.queue_limit
+      | Some b -> buf_admit b l pkt.bytes
+    in
+    if not admitted then begin
       incr queue_drops;
       inv_drop ~link:(Some l) ~reason:Invariants.Queue_overflow pkt.flow;
       if fl_on then
@@ -689,6 +769,33 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
              })
     end
     else begin
+      (if buf_on then begin
+         buf_charge l pkt.bytes;
+         (* ECN: mark-on-enqueue once the port's occupancy (frame
+            included) reaches the threshold; the CE bit is sticky
+            across hops and echoed to the sender by the receiver. *)
+         match config.buffers with
+         | Some { ecn_threshold_bytes = Some th; _ }
+           when port_occ.(l) >= th ->
+           if not pkt.ce then begin
+             pkt.ce <- true;
+             incr ecn_marks;
+             if fl_on then
+               Obs.Flight.ecn_mark fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
+                 ~seq:pkt.header.Header.seq ~occ:port_occ.(l);
+             if trace_on && Obs.Trace.accept sink then
+               Obs.Trace.push sink
+                 (Obs.Trace.Ecn_mark
+                    {
+                      t = now.(0);
+                      link = l;
+                      flow = pkt.flow;
+                      seq = pkt.header.Header.seq;
+                      occ = port_occ.(l);
+                    })
+           end
+         | _ -> ()
+       end);
       (* Stamp the congestion price for this hop into the header. *)
       pkt.header <- Header.add_price pkt.header (link_price l);
       Queue.push pkt st.queue;
@@ -749,6 +856,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
         sent_at = now.(0);
         links = f.route_links.(ri);
         hop = 0;
+        ce = false;
       }
     in
     f.injected_window.(ri) <- f.injected_window.(ri) +. float_of_int bytes;
@@ -963,8 +1071,8 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
              bytes = pkt.bytes;
              delay;
            });
-    Ack.on_packet f.collector ~route:pkt.route_idx ~qr:pkt.header.Header.qr
-      ~seq:pkt.header.Header.seq ~bytes:pkt.bytes;
+    Ack.on_packet ~ce:pkt.ce f.collector ~route:pkt.route_idx
+      ~qr:pkt.header.Header.qr ~seq:pkt.header.Header.seq ~bytes:pkt.bytes;
     flush_bins_upto f now.(0);
     f.received_bytes <- f.received_bytes + pkt.bytes;
     bin_bits.(f.id) <- bin_bits.(f.id) +. (8.0 *. float_of_int pkt.bytes);
@@ -984,9 +1092,11 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     (match f.tcp with
     | None -> ()
     | Some _ ->
-      (* Cumulative TCP ACK on every arrival (dup-acks included). *)
+      (* Cumulative TCP ACK on every arrival (dup-acks included); the
+         ack echoes the arriving frame's CE bit (DCTCP-style immediate
+         per-frame echo). *)
       let cum = Reorder.next_expected f.reorder in
-      schedule f.reverse_latency (Tcp_ack_arrive (f.id, cum)));
+      schedule f.reverse_latency (Tcp_ack_arrive (f.id, cum, pkt.ce)));
     completions_check f
   in
   let deliver_to_destination f pkt =
@@ -1379,6 +1489,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
         queue_drops := !queue_drops + Queue.length st.queue;
         Queue.iter
           (fun p ->
+            if buf_on then buf_release l p.bytes;
             inv_drop ~link:(Some l) ~reason:Invariants.Backlog_cleared p.flow;
             if fl_on then
               Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:p.flow
@@ -1450,12 +1561,12 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
         tcp_try_send f)
     | Control_tick -> handle_control_tick ()
     | Ack_arrive (fid, ack) -> cc_update flow_states.(fid) ack
-    | Tcp_ack_arrive (fid, cum) -> (
+    | Tcp_ack_arrive (fid, cum, ece) -> (
       let f = flow_states.(fid) in
       match f.tcp with
       | None -> ()
       | Some tcp ->
-        Tcp.on_ack tcp ~now:now.(0) ~cum_ack:cum;
+        Tcp.on_ack ~ece tcp ~now:now.(0) ~cum_ack:cum;
         tcp_try_send f;
         arm_rto f)
     | Reorder_release (fid, pkt) -> release_packet flow_states.(fid) pkt
@@ -1627,6 +1738,8 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     flows = results;
     duration;
     queue_drops = !queue_drops;
+    ecn_marks = !ecn_marks;
+    buffer_peak_bytes = !buffer_peak;
     events_processed = !events_processed;
     perf =
       {

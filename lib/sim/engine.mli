@@ -51,8 +51,37 @@ type flow_spec = {
   init_rates : float list;     (** initial injection rate per route (Mbit/s) *)
   workload : Workload.t;
   transport : transport;
+  tcp_params : Tcp.params option;
+      (** TCP sender parameters for [Tcp_transport] flows ([None] =
+          {!Tcp.default_params}, the historical Reno sender; e.g.
+          {!Tcp.dctcp_params} for a DCTCP-style ECN-reacting sender).
+          [segment_bytes] is always overridden by [config.frame_bytes].
+          Ignored for [Udp] flows. *)
   start_time : float;          (** when the flow begins *)
   stop_time : float option;    (** when the flow is switched off *)
+}
+
+(** How a node's shared buffer pool arbitrates its egress ports. *)
+type buffer_policy =
+  | Static
+      (** equal static partition: each of the node's [n] egress ports
+          owns [pool_bytes / n] bytes *)
+  | Dynamic_threshold of float
+      (** Choudhury–Hahne Dynamic Threshold with parameter alpha: a
+          frame is admitted iff its port's occupancy stays within
+          [alpha * (pool_bytes - node occupancy)] — thresholds shrink
+          as the pool fills, so idle ports cede space to busy ones *)
+
+(** Finite per-node shared buffering (see [config.buffers]). *)
+type buffers = {
+  policy : buffer_policy;
+  pool_bytes : int;       (** shared byte pool per node *)
+  ecn_threshold_bytes : int option;
+      (** when set, a frame admitted while its port holds at least
+          this many bytes (frame included) gets the ECN CE bit instead
+          of any additional penalty; the bit is sticky across hops,
+          echoed by the receiver on TCP cumulative acks, and reported
+          per ACK window ({!Ack.route_report.marked}) *)
 }
 
 type config = {
@@ -113,6 +142,16 @@ type config = {
           from a dedicated stream split off once at startup, so runs
           with [recovery = None] consume exactly the historical
           sequence, and equal seeds stay bit-identical with it on. *)
+  buffers : buffers option;
+      (** Finite per-node shared buffers (default [None] — the legacy
+          per-queue [queue_limit] frame check, byte-identical to the
+          historical behaviour). When set, admission to a node's MAC
+          queues is arbitrated in {e bytes} against the node's shared
+          pool under [policy], {e replacing} the [queue_limit] frame
+          check; rejected frames count as queue drops exactly like
+          legacy overflows. Admission and ECN marking are pure
+          functions of buffer occupancy and consume {e no} randomness,
+          so the rng stream is identical with the feature on or off. *)
 }
 
 val default_config : config
@@ -159,7 +198,14 @@ val zero_perf : perf
 type result = {
   flows : flow_result array;
   duration : float;
-  queue_drops : int;        (** total MAC queue overflows *)
+  queue_drops : int;
+      (** total MAC queue overflows — buffer-admission rejections when
+          [config.buffers] is set, [queue_limit] overflows otherwise,
+          plus backlogs flushed by link deaths in both modes *)
+  ecn_marks : int;          (** frames CE-marked on admission (0 without
+                                an [ecn_threshold_bytes]) *)
+  buffer_peak_bytes : int;  (** peak per-node shared-pool occupancy (0
+                                without [config.buffers]) *)
   events_processed : int;
   perf : perf;
 }

@@ -1,9 +1,12 @@
+type variant = Reno | Dctcp of { g : float }
+
 type params = {
   segment_bytes : int;
   init_cwnd : float;
   init_ssthresh : float;
   min_rto : float;
   max_cwnd : float;
+  variant : variant;
 }
 
 let default_params =
@@ -13,7 +16,10 @@ let default_params =
     init_ssthresh = 64.0;
     min_rto = 0.2;
     max_cwnd = 1000.0;
+    variant = Reno;
   }
+
+let dctcp_params = { default_params with variant = Dctcp { g = 1.0 /. 16.0 } }
 
 type t = {
   p : params;
@@ -33,6 +39,15 @@ type t = {
   send_times : (int, float * bool) Hashtbl.t;  (* seq -> sent_at, retransmitted *)
   mutable retx_count : int;
   mutable max_sent : int;  (* one past the highest segment ever sent *)
+  (* DCTCP state (untouched under Reno): the running EWMA of the
+     marked fraction, the ack-accounting of the current observation
+     window, and the window boundary (one past the highest segment
+     outstanding when the window opened — once [una] passes it, a
+     full window of acks has been observed). *)
+  mutable dctcp_alpha : float;
+  mutable win_acked : int;   (* segments cumulatively acked this window *)
+  mutable win_marked : int;  (* of those, acked by a CE-echoing ack *)
+  mutable win_end : int;
 }
 
 let create ?(params = default_params) ~total_bytes () =
@@ -59,11 +74,16 @@ let create ?(params = default_params) ~total_bytes () =
     send_times = Hashtbl.create 64;
     retx_count = 0;
     max_sent = 0;
+    dctcp_alpha = 0.0;
+    win_acked = 0;
+    win_marked = 0;
+    win_end = 0;
   }
 
 let params t = t.p
 let segments_total t = t.total_segments
 let cwnd t = t.cwnd
+let dctcp_alpha t = t.dctcp_alpha
 let ssthresh t = t.ssthresh
 let srtt t = t.srtt_v
 let snd_una t = t.una
@@ -123,7 +143,37 @@ let rtt_sample t rtt =
   end;
   t.rto <- Float.max t.p.min_rto (t.srtt_v +. (4.0 *. t.rttvar))
 
-let on_ack t ~now ~cum_ack =
+(* DCTCP (Alizadeh et al., SIGCOMM'10), scaled to this simulator: the
+   receiver echoes the CE bit of the frame that triggered each
+   cumulative ack ([ece]); the sender counts, per observation window
+   of one cwnd of data, the fraction [F] of acked segments whose ack
+   carried ECE, folds it into [alpha <- (1 - g) alpha + g F] at the
+   window boundary, and — when the window saw any mark — cuts
+   [cwnd <- cwnd (1 - alpha/2)] once per window. With no marks the
+   update leaves alpha at 0 and the trajectory is exactly Reno's. *)
+let dctcp_on_ack t ~newly_acked ~ece =
+  match t.p.variant with
+  | Reno -> ()
+  | Dctcp { g } ->
+    t.win_acked <- t.win_acked + newly_acked;
+    if ece then t.win_marked <- t.win_marked + newly_acked;
+    if t.una > t.win_end then begin
+      let frac =
+        if t.win_acked > 0 then
+          float_of_int t.win_marked /. float_of_int t.win_acked
+        else 0.0
+      in
+      t.dctcp_alpha <- ((1.0 -. g) *. t.dctcp_alpha) +. (g *. frac);
+      if t.win_marked > 0 then begin
+        t.cwnd <- Float.max 1.0 (t.cwnd *. (1.0 -. (t.dctcp_alpha /. 2.0)));
+        t.ssthresh <- Float.max 2.0 t.cwnd
+      end;
+      t.win_acked <- 0;
+      t.win_marked <- 0;
+      t.win_end <- t.next_new
+    end
+
+let on_ack ?(ece = false) t ~now ~cum_ack =
   if cum_ack > t.una then begin
     (* New data acknowledged. Karn's rule: only sample RTT on
        never-retransmitted segments. *)
@@ -149,6 +199,7 @@ let on_ack t ~now ~cum_ack =
     else if t.cwnd < t.ssthresh then
       t.cwnd <- Float.min t.p.max_cwnd (t.cwnd +. float_of_int newly_acked)
     else t.cwnd <- Float.min t.p.max_cwnd (t.cwnd +. (float_of_int newly_acked /. t.cwnd));
+    dctcp_on_ack t ~newly_acked ~ece;
     t.timer <- (if in_flight t > 0 then Some (now +. t.rto) else None)
   end
   else if cum_ack = t.una && in_flight t > 0 then begin
@@ -178,5 +229,11 @@ let on_rto t ~now =
   done;
   t.next_new <- t.una;
   t.retransmit_queue <- [];
+  (* The go-back-N reset invalidates the DCTCP observation window:
+     [win_end] may now lie beyond [next_new], so restart the window at
+     the reset point (alpha itself persists — it is long-run state). *)
+  t.win_acked <- 0;
+  t.win_marked <- 0;
+  t.win_end <- t.una;
   t.rto <- Float.min 5.0 (t.rto *. 2.0);
   t.timer <- Some (now +. t.rto)

@@ -1,4 +1,5 @@
-(** A Reno-style TCP sender state machine (for Section 6.4).
+(** A Reno-style TCP sender state machine (for Section 6.4), with an
+    optional DCTCP-style ECN reaction.
 
     The TCP-friendliness study only needs the dynamics that interact
     with EMPoWER: window growth (slow start / congestion avoidance),
@@ -6,11 +7,26 @@
     recovery) and by retransmission timeout, and RTT estimation
     (Jacobson/Karn). Segments are fixed-size and identified by index;
     the receiver side is the engine's reorder buffer, which produces
-    cumulative ACKs.
+    cumulative ACKs (and, when the network marks, echoes the CE bit of
+    the frame that triggered each ack).
 
     The module is pure state: the simulator asks {!take_segment} when
     it can transmit, feeds {!on_ack} / {!on_rto}, and polls
     {!rto_deadline} to schedule timer events. *)
+
+(** How the sender reacts to ECN marks.
+
+    [Reno] ignores the ECE echo entirely (classic loss-driven Reno —
+    under buffer pressure it fills the queue until it tail-drops).
+    [Dctcp] keeps an EWMA [alpha] of the marked fraction with gain
+    [g]: per observation window of one cwnd of data, the fraction [F]
+    of acked segments whose ack echoed CE is folded in as
+    [alpha <- (1 - g) alpha + g F], and a window that saw any mark
+    cuts [cwnd <- cwnd (1 - alpha/2)] (once per window, never below
+    one segment; ssthresh follows). Starting from [alpha = 0], [k]
+    fully-marked windows give [alpha = 1 - (1 - g)^k]; with no marks
+    the trajectory is exactly Reno's. *)
+type variant = Reno | Dctcp of { g : float }
 
 type params = {
   segment_bytes : int;    (** segment size (one aggregate frame) *)
@@ -18,11 +34,16 @@ type params = {
   init_ssthresh : float;  (** initial slow-start threshold, segments *)
   min_rto : float;        (** RTO floor, seconds *)
   max_cwnd : float;       (** window cap, segments *)
+  variant : variant;      (** ECN reaction; {!Reno} by default *)
 }
 
 val default_params : params
 (** 12000-byte segments, cwnd 2, ssthresh 64, 200 ms RTO floor,
-    cwnd cap 1000. *)
+    cwnd cap 1000, Reno. *)
+
+val dctcp_params : params
+(** {!default_params} with [variant = Dctcp { g = 1/16 }] (the DCTCP
+    paper's recommended gain). *)
 
 type t
 
@@ -43,11 +64,13 @@ val take_segment : ?new_data_limit:int -> t -> now:float -> int option
     been produced yet (e.g. Poisson file arrivals); retransmissions
     are never blocked. *)
 
-val on_ack : t -> now:float -> cum_ack:int -> unit
+val on_ack : ?ece:bool -> t -> now:float -> cum_ack:int -> unit
 (** Process a cumulative ACK ([cum_ack] = number of in-order segments
     the receiver has; i.e. segments [0 .. cum_ack-1] are delivered).
     Handles new-data ACKs (window growth, RTT sample), duplicate ACKs
-    and fast retransmit/recovery. *)
+    and fast retransmit/recovery. [ece] (default false) is the
+    receiver's echo of the CE bit on the frame that produced this ack;
+    it only matters to the {!Dctcp} variant — {!Reno} ignores it. *)
 
 val on_rto : t -> now:float -> unit
 (** Retransmission timeout: collapse cwnd to 1, halve ssthresh,
@@ -64,6 +87,10 @@ val cwnd : t -> float
 (** Current congestion window, segments. *)
 
 val ssthresh : t -> float
+
+val dctcp_alpha : t -> float
+(** Current DCTCP marked-fraction EWMA (0 for {!Reno} senders and for
+    {!Dctcp} senders that have never seen a mark). *)
 
 val srtt : t -> float
 (** Smoothed RTT estimate (0 before the first sample). *)

@@ -108,6 +108,7 @@ let saturated_flow_of_case c =
           init_rates = List.map snd comb.Multipath.paths;
           workload = Workload.Saturated;
           transport = Engine.Udp;
+          tcp_params = None;
           start_time = 0.0;
           stop_time = None;
         } )
@@ -144,6 +145,7 @@ let lemma1_flows c =
            init_rates = [ 100.0 ];
            workload = Workload.Saturated;
            transport = Engine.Udp;
+           tcp_params = None;
            start_time = 0.0;
            stop_time = None;
          })

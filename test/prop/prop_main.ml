@@ -501,6 +501,179 @@ let prop_p99_fct_monotone_in_load =
       pairs data.Loadsweep.points;
       true)
 
+(* ---------- oracle 9: finite shared buffers ---------- *)
+
+(* The buffer sweep of the properties below: index 4 is the static
+   per-port partition, the rest Dynamic-Threshold alphas. *)
+let policy_of_index i =
+  if i >= 4 then Engine.Static
+  else Engine.Dynamic_threshold [| 0.25; 0.5; 1.0; 4.0 |].(i)
+
+let buffered_config ?ecn ~policy ~pool_bytes () =
+  {
+    Engine.default_config with
+    buffers = Some { Engine.policy; pool_bytes; ecn_threshold_bytes = ecn };
+  }
+
+let prop_buffer_pool_bounded =
+  QCheck.Test.make ~count:60
+    ~name:"shared pool: trace-reconstructed occupancy never exceeds the pool"
+    QCheck.(pair seed_gen (pair (int_bound 4) (int_bound 8)))
+    (fun (seed, (pi, pf)) ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        let fb = Engine.default_config.Engine.frame_bytes in
+        let pool_bytes = (2 + pf) * fb in
+        let config =
+          buffered_config ~ecn:(pool_bytes / 2) ~policy:(policy_of_index pi)
+            ~pool_bytes ()
+        in
+        let sink, got = Obs.Trace.collector () in
+        let res =
+          Engine.run ~config ~trace:sink
+            (Rng.create (seed + 9))
+            c.Prop_gen.g c.Prop_gen.dom ~flows:[ flow ] ~duration:4.0
+        in
+        (* Replay the trace into per-port occupancies. This run is
+           fault-free, so a frame leaves its buffer exactly at its MAC
+           grant; admission is the matching [Enqueue]. *)
+        let links = Multigraph.links c.Prop_gen.g in
+        let src = Array.make (Array.length links) 0 in
+        Array.iter
+          (fun (lk : Multigraph.link) -> src.(lk.Multigraph.id) <- lk.Multigraph.src)
+          links;
+        let port = Array.init (Array.length links) (fun _ -> Queue.create ()) in
+        let node_occ = Array.make (Multigraph.n_nodes c.Prop_gen.g) 0 in
+        let peak = ref 0 in
+        List.iter
+          (function
+            | Obs.Trace.Enqueue { link; bytes; _ } ->
+              Queue.push bytes port.(link);
+              let n = src.(link) in
+              node_occ.(n) <- node_occ.(n) + bytes;
+              if node_occ.(n) > pool_bytes then
+                QCheck.Test.fail_reportf
+                  "seed %d: node %d holds %d bytes of a %d-byte pool" seed n
+                  node_occ.(n) pool_bytes;
+              if node_occ.(n) > !peak then peak := node_occ.(n)
+            | Obs.Trace.Mac_grant { link; _ } -> (
+              match Queue.take_opt port.(link) with
+              | Some bytes -> node_occ.(src.(link)) <- node_occ.(src.(link)) - bytes
+              | None ->
+                QCheck.Test.fail_reportf
+                  "seed %d: grant on link %d with an empty port buffer" seed
+                  link)
+            | Obs.Trace.Drop { reason = Obs.Trace.Link_down | Obs.Trace.Backlog_cleared; _ }
+              ->
+              QCheck.Test.fail_reportf
+                "seed %d: fault-free run emitted a link-death drop" seed
+            | _ -> ())
+          (got ());
+        if !peak <> res.Engine.buffer_peak_bytes then
+          QCheck.Test.fail_reportf
+            "seed %d: engine peak %d B disagrees with trace replay %d B" seed
+            res.Engine.buffer_peak_bytes !peak;
+        true)
+
+let prop_no_marks_below_threshold =
+  QCheck.Test.make ~count:60
+    ~name:"ECN threshold above the pool is never reached: zero marks"
+    QCheck.(pair seed_gen (int_bound 4))
+    (fun (seed, pi) ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        let fb = Engine.default_config.Engine.frame_bytes in
+        let pool_bytes = 6 * fb in
+        let config =
+          buffered_config ~ecn:(pool_bytes + fb) ~policy:(policy_of_index pi)
+            ~pool_bytes ()
+        in
+        let sink, got = Obs.Trace.collector () in
+        let res =
+          Engine.run ~config ~trace:sink
+            (Rng.create (seed + 10))
+            c.Prop_gen.g c.Prop_gen.dom ~flows:[ flow ] ~duration:4.0
+        in
+        let traced =
+          List.exists
+            (function Obs.Trace.Ecn_mark _ -> true | _ -> false)
+            (got ())
+        in
+        if res.Engine.ecn_marks <> 0 || traced then
+          QCheck.Test.fail_reportf
+            "seed %d: %d marks below an unreachable threshold" seed
+            res.Engine.ecn_marks;
+        true)
+
+let prop_buffered_deterministic =
+  QCheck.Test.make ~count:40
+    ~name:"buffered runs: same seed => bit-identical (checker on or off)"
+    QCheck.(pair seed_gen (int_bound 4))
+    (fun (seed, pi) ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        let fb = Engine.default_config.Engine.frame_bytes in
+        let config =
+          buffered_config ~ecn:(2 * fb) ~policy:(policy_of_index pi)
+            ~pool_bytes:(4 * fb) ()
+        in
+        let run ?invariants () =
+          Engine.strip_perf
+            (Engine.run ?invariants ~config
+               (Rng.create (seed + 11))
+               c.Prop_gen.g c.Prop_gen.dom ~flows:[ flow ] ~duration:4.0)
+        in
+        if run () <> run () then
+          QCheck.Test.fail_reportf "seed %d: buffered runs diverged" seed;
+        if run () <> run ~invariants:(Invariants.create ()) () then
+          QCheck.Test.fail_reportf
+            "seed %d: invariant checker changed a buffered run" seed;
+        true)
+
+let prop_huge_pool_matches_legacy =
+  QCheck.Test.make ~count:40
+    ~name:"never-rejecting pool reproduces the legacy run bit-exactly"
+    QCheck.(pair seed_gen (int_bound 4))
+    (fun (seed, pi) ->
+      let c = Prop_gen.case_of_seed seed in
+      match Prop_gen.saturated_flow_of_case c with
+      | None -> true
+      | Some (_, flow) ->
+        let fb = Engine.default_config.Engine.frame_bytes in
+        (* A pool big enough that admission never rejects (every link
+           would have to hold a full legacy FIFO to fill it), no ECN.
+           Buffer accounting consumes no randomness, so whenever the
+           legacy run also never drops, the two runs must agree on
+           every field the new counters excepted. *)
+        let n_links = Array.length (Multigraph.links c.Prop_gen.g) in
+        let pool_bytes =
+          (n_links + 1) * Engine.default_config.Engine.queue_limit * fb * 8
+        in
+        let run config =
+          Engine.strip_perf
+            (Engine.run ~config
+               (Rng.create (seed + 12))
+               c.Prop_gen.g c.Prop_gen.dom ~flows:[ flow ] ~duration:4.0)
+        in
+        let legacy = run Engine.default_config in
+        let buffered =
+          run (buffered_config ~policy:(policy_of_index pi) ~pool_bytes ())
+        in
+        if legacy.Engine.queue_drops <> 0 || buffered.Engine.queue_drops <> 0
+        then true (* congested case: drop patterns may legitimately differ *)
+        else begin
+          if { buffered with Engine.buffer_peak_bytes = 0 } <> legacy then
+            QCheck.Test.fail_reportf
+              "seed %d: huge pool diverged from the legacy datapath" seed;
+          true
+        end)
+
 let () =
   let tests =
     [
@@ -518,6 +691,10 @@ let () =
       prop_empty_plan_is_identity;
       prop_offered_load_tracks_target;
       prop_p99_fct_monotone_in_load;
+      prop_buffer_pool_bounded;
+      prop_no_marks_below_threshold;
+      prop_buffered_deterministic;
+      prop_huge_pool_matches_legacy;
     ]
   in
   (* Fixed generation seed: CI failures reproduce exactly; individual

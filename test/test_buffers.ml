@@ -1,0 +1,149 @@
+(* Golden-seed regression and jobs-determinism tests for the finite
+   shared-buffer study (lib/experiments/buffers.ml). test/golden/
+   buffers_seed23.json is the exact `empower_eval buffers --seed 23
+   -d 12 --pool 16 --pool 64 --alpha 1.0 --ecn 0 --ecn 8 --json`
+   output; replaying those parameters must reproduce it byte for
+   byte, at any --jobs count. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let golden_path = Filename.concat "golden" "buffers_seed23.json"
+
+let jget name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "golden report: missing field %S" name
+
+let jint name j =
+  match Obs.Json.to_int_opt (jget name j) with
+  | Some i -> i
+  | None -> Alcotest.failf "golden field %S: expected integer" name
+
+let jfloat name j =
+  match Obs.Json.to_float_opt (jget name j) with
+  | Some f -> f
+  | None -> Alcotest.failf "golden field %S: expected number" name
+
+let jlist name of_json j =
+  match jget name j with
+  | Obs.Json.List xs -> List.map of_json xs
+  | _ -> Alcotest.failf "golden field %S: expected list" name
+
+let golden_text () = String.trim (read_file golden_path)
+
+let golden_params () =
+  let j =
+    match Obs.Json.parse (golden_text ()) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "%s: %s" golden_path m
+  in
+  let int_of j =
+    match Obs.Json.to_int_opt j with
+    | Some i -> i
+    | None -> Alcotest.failf "golden axis: expected integer"
+  in
+  let float_of j =
+    match Obs.Json.to_float_opt j with
+    | Some f -> f
+    | None -> Alcotest.failf "golden axis: expected number"
+  in
+  ( jint "seed" j,
+    jfloat "duration" j,
+    jlist "pools" int_of j,
+    jlist "alphas" float_of j,
+    jlist "ecns" int_of j )
+
+let rerun ?jobs () =
+  let seed, duration, pools, alphas, ecns = golden_params () in
+  Obs.Json.to_string
+    (Figure_json.buffers
+       (Buffers.sweep ~seed ~duration ~pools ~alphas ~ecns ?jobs ()))
+
+let test_golden_replay () =
+  (* The parameters embedded in the golden reproduce it exactly —
+     goodputs, drop counts, CE marks, pool peaks. Regenerate with the
+     command in the header comment if an intentional engine or format
+     change lands. *)
+  Alcotest.(check string) "golden buffers byte-identical" (golden_text ())
+    (rerun ())
+
+let test_congestive_contrast () =
+  (* The study's headline claim, pinned on the golden itself: on the
+     deep-pool ECN point the DCTCP sender absorbs the marks without a
+     single tail-drop while Reno keeps overflowing the pool. *)
+  let j =
+    match Obs.Json.parse (golden_text ()) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "%s: %s" golden_path m
+  in
+  let points =
+    match jget "points" j with
+    | Obs.Json.List pts -> pts
+    | _ -> Alcotest.failf "golden field \"points\": expected list"
+  in
+  let deep_ecn =
+    List.filter
+      (fun p -> jint "pool_frames" p = 64 && jint "ecn_frames" p > 0)
+      points
+  in
+  Alcotest.(check bool) "has a deep-pool ECN point" true (deep_ecn <> []);
+  List.iter
+    (fun p ->
+      let variants =
+        match jget "variants" p with
+        | Obs.Json.List vs -> vs
+        | _ -> Alcotest.failf "golden field \"variants\": expected list"
+      in
+      let find name =
+        List.find
+          (fun v ->
+            match Obs.Json.to_string_opt (jget "variant" v) with
+            | Some s -> s = name
+            | None -> false)
+          variants
+      in
+      let reno = find "reno" and dctcp = find "dctcp" in
+      Alcotest.(check bool) "reno tail-drops" true (jint "queue_drops" reno > 0);
+      Alcotest.(check int) "dctcp has no drops" 0 (jint "queue_drops" dctcp);
+      Alcotest.(check bool) "dctcp sees marks" true (jint "ecn_marks" dctcp > 0);
+      Alcotest.(check bool) "dctcp goodput at least reno's" true
+        (jfloat "goodput_mbps" dctcp >= jfloat "goodput_mbps" reno))
+    deep_ecn
+
+let test_jobs_byte_identity () =
+  (* The --jobs contract (test_exec pattern): any worker count yields
+     byte-identical figure JSON. *)
+  let seq = rerun ~jobs:1 () in
+  Alcotest.(check string) "--jobs 2 byte-identical" seq (rerun ~jobs:2 ());
+  Alcotest.(check string) "--jobs 3 byte-identical" seq (rerun ~jobs:3 ())
+
+let test_seed_changes_output () =
+  (* Guard against the golden accidentally pinning seed-independent
+     output: a different seed must change the figure. *)
+  let _, duration, pools, alphas, ecns = golden_params () in
+  let at seed =
+    Obs.Json.to_string
+      (Figure_json.buffers (Buffers.sweep ~seed ~duration ~pools ~alphas ~ecns ()))
+  in
+  Alcotest.(check bool) "seed matters" false (at 23 = at 24)
+
+let () =
+  Alcotest.run "buffers"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "replay seed 23" `Quick test_golden_replay;
+          Alcotest.test_case "congestive contrast" `Quick
+            test_congestive_contrast;
+          Alcotest.test_case "seed changes output" `Quick
+            test_seed_changes_output;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs byte-identity" `Slow test_jobs_byte_identity;
+        ] );
+    ]

@@ -148,6 +148,7 @@ let all_event_variants =
     Route_probe { t = 12.5; flow = 0; route = 1; attempt = 3 };
     Route_restored { t = 13.0; flow = 0; route = 1; down_s = 2.0 /. 0.7 };
     Price_reset { t = 14.0; link = 17 };
+    Ecn_mark { t = 15.0; link = 3; flow = 1; seq = 99; occ = 60000 };
   ]
 
 let test_event_roundtrip () =
@@ -259,6 +260,7 @@ let saturated_flow g dom ~src ~dst =
     init_rates = List.map snd comb.Multipath.paths;
     workload = Workload.Saturated;
     transport = Engine.Udp;
+    tcp_params = None;
     start_time = 0.0;
     stop_time = None;
   }
@@ -616,6 +618,23 @@ let test_merge_histogram_accuracy () =
   rel 0.95 19000.0;
   rel 0.99 19800.0
 
+let test_summary_counts_marks () =
+  (* Ecn_mark events land in [Summary.marks] (and nowhere else: a
+     mark is an admission, not a drop or a delivery). *)
+  let evs =
+    [
+      Obs.Trace.Ecn_mark { t = 0.5; link = 0; flow = 0; seq = 1; occ = 24000 };
+      Obs.Trace.Ecn_mark { t = 0.6; link = 1; flow = 0; seq = 2; occ = 36000 };
+      Obs.Trace.Delivery { t = 0.7; flow = 0; seq = 1; bytes = 12000; delay = 0.2 };
+    ]
+  in
+  let s = Obs.Summary.of_events ~duration:1.0 evs in
+  Alcotest.(check int) "marks counted" 2 s.Obs.Summary.marks;
+  Alcotest.(check (list (pair string int))) "no drops" []
+    (List.map
+       (fun (r, n) -> (Obs.Trace.drop_reason_name r, n))
+       s.Obs.Summary.drops)
+
 let () =
   Alcotest.run "obs"
     [
@@ -649,6 +668,8 @@ let () =
         [
           Alcotest.test_case "every variant round-trips" `Quick test_event_roundtrip;
           Alcotest.test_case "rejects bad lines" `Quick test_decode_rejects;
+          Alcotest.test_case "summary counts marks" `Quick
+            test_summary_counts_marks;
         ] );
       ( "metrics",
         [

@@ -23,6 +23,7 @@ let saturated_flow g dom ~src ~dst =
     init_rates = List.map snd comb.Multipath.paths;
     workload = Workload.Saturated;
     transport = Engine.Udp;
+    tcp_params = None;
     start_time = 0.0;
     stop_time = None;
   }
@@ -43,6 +44,7 @@ let test_single_link_throughput () =
       init_rates = [ 8.0 ];
       workload = Workload.Saturated;
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -68,6 +70,7 @@ let test_lemma1_mac_sharing () =
       init_rates = [ rate ];
       workload = Workload.Saturated;
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -136,6 +139,7 @@ let test_file_completion () =
       init_rates = [ 10.0 ];
       workload = Workload.File { bytes = 5_000_000 };
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -162,6 +166,7 @@ let test_poisson_files_sequential () =
       init_rates = [ 40.0 ];
       workload = Workload.Poisson_files { bytes = 1_000_000; mean_gap_s = 3.0; count = 4 };
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -191,6 +196,7 @@ let test_poisson_files_serialized () =
       workload =
         Workload.Poisson_files { bytes = 2_000_000; mean_gap_s = 0.01; count = 3 };
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -226,6 +232,7 @@ let test_empirical_open_loop () =
       init_rates = [ 10.0 ];
       workload = Workload.Empirical { files; pacing = Workload.Cbr };
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -259,6 +266,7 @@ let test_empirical_poisson_pacing () =
       init_rates = [ 10.0 ];
       workload = Workload.Empirical { files = [ (0.0, 8_000_000) ]; pacing };
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -287,6 +295,7 @@ let test_empirical_validation () =
       init_rates = [ 10.0 ];
       workload = Workload.Empirical { files; pacing = Workload.Cbr };
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -318,6 +327,7 @@ let test_queue_drops_under_overload () =
       init_rates = [ 50.0 ];
       workload = Workload.Saturated;
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -343,6 +353,7 @@ let test_collisions_under_contention () =
       init_rates = [ 40.0 ];
       workload = Workload.Saturated;
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -378,6 +389,7 @@ let test_link_failure_reroutes_traffic () =
       init_rates = [ 20.0; 20.0 ];
       workload = Workload.Saturated;
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -413,6 +425,7 @@ let test_capacity_drop_adapts () =
       init_rates = [ 40.0 ];
       workload = Workload.Saturated;
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -446,6 +459,7 @@ let test_delay_grows_without_margin () =
       init_rates = [ 20.0 ];
       workload = Workload.Saturated;
       transport = Engine.Udp;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -473,6 +487,7 @@ let test_tcp_transfer_over_engine () =
       init_rates = List.map snd comb.Multipath.paths;
       workload = Workload.File { bytes = 10_000_000 };
       transport = Engine.Tcp_transport;
+      tcp_params = None;
       start_time = 0.0;
       stop_time = None;
     }
@@ -527,6 +542,7 @@ let prop_engine_goodput_below_optimal =
             init_rates = List.map snd comb.Multipath.paths;
             workload = Workload.Saturated;
             transport = Engine.Udp;
+            tcp_params = None;
             start_time = 0.0;
             stop_time = None;
           }
@@ -548,6 +564,7 @@ let one_link_flow g ~rate =
     init_rates = [ rate ];
     workload = Workload.Saturated;
     transport = Engine.Udp;
+    tcp_params = None;
     start_time = 0.0;
     stop_time = None;
   }
@@ -602,6 +619,138 @@ let test_full_loss_window () =
   Alcotest.(check bool) "flows before the window" true (mean_window series 0.0 2.0 > 6.0);
   check_float ~eps:0.5 "starved inside the window" 0.0 (mean_window series 2.5 4.0);
   Alcotest.(check bool) "resumes after the window" true (mean_window series 5.0 8.0 > 6.0)
+
+let count_drops events reason =
+  List.length
+    (List.filter
+       (function
+         | Obs.Trace.Drop { reason = r; _ } -> r = reason
+         | _ -> false)
+       events)
+
+let test_fault_drops_not_queue_drops () =
+  (* Drop-accounting pin: frames consumed by a fault plan's loss
+     window are [Fault_injected] drops and must NOT count toward
+     [result.queue_drops] — that counter means buffer rejections. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let config = { Engine.default_config with enable_cc = false } in
+  let sink, got = Obs.Trace.collector () in
+  let res =
+    Engine.run ~config ~trace:sink
+      ~loss_events:[ (2.0, 0, 1.0); (4.0, 0, 0.0) ]
+      (Rng.create 32) g dom
+      ~flows:[ one_link_flow g ~rate:8.0 ]
+      ~duration:8.0
+  in
+  Alcotest.(check bool) "loss window consumed frames" true
+    (count_drops (got ()) Obs.Trace.Fault_injected > 0);
+  Alcotest.(check int) "no overflow drops traced" 0
+    (count_drops (got ()) Obs.Trace.Queue_overflow);
+  Alcotest.(check int) "fault losses are not queue drops" 0
+    res.Engine.queue_drops
+
+let test_overflow_drops_match_trace () =
+  (* The other side of the pin: under overload every queue drop is a
+     [Queue_overflow] trace event, one for one. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 5.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let config = { Engine.default_config with enable_cc = false } in
+  let sink, got = Obs.Trace.collector () in
+  let res =
+    Engine.run ~config ~trace:sink (Rng.create 8) g dom
+      ~flows:[ one_link_flow g ~rate:50.0 ]
+      ~duration:5.0
+  in
+  Alcotest.(check bool) "overload drops" true (res.Engine.queue_drops > 0);
+  Alcotest.(check int) "queue_drops = traced overflows"
+    res.Engine.queue_drops
+    (count_drops (got ()) Obs.Trace.Queue_overflow)
+
+let test_buffer_pool_admission () =
+  (* Finite shared buffers: an overloaded link behind a small shared
+     pool rejects (tail-drops) once the DT threshold is hit, marks CE
+     past the ECN threshold, and the pool peak never exceeds the
+     configured bytes. result.ecn_marks must equal the number of
+     Ecn_mark trace events. *)
+  let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 5.0) ] in
+  let dom = Domain.single_domain_per_tech g in
+  let fb = Engine.default_config.Engine.frame_bytes in
+  let pool = 4 * fb in
+  let config =
+    {
+      Engine.default_config with
+      enable_cc = false;
+      buffers =
+        Some
+          {
+            Engine.policy = Engine.Dynamic_threshold 1.0;
+            pool_bytes = pool;
+            ecn_threshold_bytes = Some (2 * fb);
+          };
+    }
+  in
+  let sink, got = Obs.Trace.collector () in
+  let res =
+    Engine.run ~config ~trace:sink (Rng.create 8) g dom
+      ~flows:[ one_link_flow g ~rate:50.0 ]
+      ~duration:5.0
+  in
+  Alcotest.(check bool) "pool rejections counted" true
+    (res.Engine.queue_drops > 0);
+  Alcotest.(check int) "rejections traced as overflow"
+    res.Engine.queue_drops
+    (count_drops (got ()) Obs.Trace.Queue_overflow);
+  Alcotest.(check bool) "frames marked" true (res.Engine.ecn_marks > 0);
+  let traced_marks =
+    List.length
+      (List.filter
+         (function Obs.Trace.Ecn_mark _ -> true | _ -> false)
+         (got ()))
+  in
+  Alcotest.(check int) "ecn_marks = traced marks" res.Engine.ecn_marks
+    traced_marks;
+  Alcotest.(check bool) "pool peak positive" true
+    (res.Engine.buffer_peak_bytes > 0);
+  Alcotest.(check bool) "pool peak within bound" true
+    (res.Engine.buffer_peak_bytes <= pool)
+
+let test_static_stricter_than_dt () =
+  (* On a two-port node the static partition caps each port at half
+     the pool. DT with alpha=1 self-limits a lone busy port to the
+     same half (occ <= pool - occ), but a larger alpha lets it claim
+     alpha/(1+alpha) of the pool — strictly more than static. *)
+  let g =
+    Multigraph.create ~n_nodes:3 ~n_techs:1
+      ~edges:[ (0, 1, 0, 5.0); (0, 2, 0, 5.0) ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let fb = Engine.default_config.Engine.frame_bytes in
+  let run policy =
+    let config =
+      {
+        Engine.default_config with
+        enable_cc = false;
+        buffers =
+          Some
+            {
+              Engine.policy;
+              pool_bytes = 8 * fb;
+              ecn_threshold_bytes = None;
+            };
+      }
+    in
+    let res =
+      Engine.run ~config (Rng.create 8) g dom
+        ~flows:[ one_link_flow g ~rate:50.0 ]
+        ~duration:5.0
+    in
+    res.Engine.buffer_peak_bytes
+  in
+  let static = run Engine.Static in
+  let dt = run (Engine.Dynamic_threshold 4.0) in
+  Alcotest.(check bool) "static caps at the partition" true (static <= 4 * fb);
+  Alcotest.(check bool) "DT can exceed the static share" true (dt > static)
 
 let test_ctrl_faults_survivable () =
   (* A total ACK blackout early in the run: the controller stalls but
@@ -828,6 +977,17 @@ let () =
             test_ctrl_faults_survivable;
           Alcotest.test_case "bad schedules rejected" `Quick
             test_bad_fault_schedules_rejected;
+        ] );
+      ( "buffers",
+        [
+          Alcotest.test_case "fault drops not queue drops" `Quick
+            test_fault_drops_not_queue_drops;
+          Alcotest.test_case "overflow drops match trace" `Quick
+            test_overflow_drops_match_trace;
+          Alcotest.test_case "shared pool admission" `Quick
+            test_buffer_pool_admission;
+          Alcotest.test_case "static stricter than DT" `Quick
+            test_static_stricter_than_dt;
         ] );
       ( "invariants",
         [

@@ -166,6 +166,108 @@ let prop_lossless_pipe_completes =
       done;
       Tcp.finished t && !received = segments)
 
+(* ---------- DCTCP variant ---------- *)
+
+let dctcp_g = match Tcp.dctcp_params.Tcp.variant with
+  | Tcp.Dctcp { g } -> g
+  | Tcp.Reno -> assert false
+
+let send_all t ~now =
+  let rec go () = match Tcp.take_segment t ~now with
+    | Some _ -> go ()
+    | None -> ()
+  in
+  go ()
+
+(* One fully-marked observation window: send a whole cwnd, then ack
+   it with a single ECE-carrying cumulative ack (F = 1 at rollover). *)
+let marked_window t ~now =
+  send_all t ~now;
+  Tcp.on_ack ~ece:true t ~now:(now +. 0.05)
+    ~cum_ack:(Tcp.snd_una t + Tcp.in_flight t)
+
+let test_dctcp_alpha_closed_form () =
+  (* k fully-marked windows from alpha = 0: the EWMA
+     alpha <- (1-g) alpha + g has the closed form
+     alpha_k = 1 - (1-g)^k. *)
+  let t = mk ~params:Tcp.dctcp_params () in
+  check_float "alpha starts at 0" 0.0 (Tcp.dctcp_alpha t);
+  for k = 1 to 20 do
+    marked_window t ~now:(0.2 *. float_of_int k);
+    check_float ~eps:1e-12
+      (Printf.sprintf "alpha after %d marked windows" k)
+      (1.0 -. ((1.0 -. dctcp_g) ** float_of_int k))
+      (Tcp.dctcp_alpha t)
+  done
+
+let test_dctcp_first_cut_exact () =
+  (* First marked window: slow-start growth doubles cwnd 2 -> 4, then
+     the rollover folds in alpha = g and cuts by alpha/2 once. *)
+  let t = mk ~params:Tcp.dctcp_params () in
+  marked_window t ~now:0.0;
+  check_float ~eps:1e-12 "cwnd = 4 (1 - g/2)"
+    (4.0 *. (1.0 -. (dctcp_g /. 2.0)))
+    (Tcp.cwnd t);
+  check_float ~eps:1e-12 "ssthresh follows the cut" (Tcp.cwnd t)
+    (Tcp.ssthresh t)
+
+let test_dctcp_cut_bounds () =
+  (* Under sustained full marking alpha -> 1, so each cut approaches
+     a Reno halving but never exceeds it, and cwnd never drops below
+     one segment. *)
+  let t = mk ~params:Tcp.dctcp_params () in
+  for k = 1 to 200 do
+    let before = Tcp.cwnd t in
+    marked_window t ~now:(0.2 *. float_of_int k);
+    let after = Tcp.cwnd t in
+    Alcotest.(check bool) "alpha bounded" true
+      (Tcp.dctcp_alpha t >= 0.0 && Tcp.dctcp_alpha t <= 1.0);
+    Alcotest.(check bool) "cut at most a halving" true
+      (after >= (before /. 2.0) -. 1e-9);
+    Alcotest.(check bool) "cwnd floor" true (after >= 1.0)
+  done;
+  Alcotest.(check bool) "alpha converged to 1" true
+    (Tcp.dctcp_alpha t > 0.999)
+
+let test_dctcp_reno_equivalence_unmarked () =
+  (* With no CE marks the DCTCP machinery is inert: an identical
+     drive (slow start, fast retransmit, recovery, RTO) leaves the
+     two variants in identical states at every step. *)
+  let drive params =
+    let t = mk ~params () in
+    let log = ref [] in
+    let snap () =
+      log := (Tcp.cwnd t, Tcp.ssthresh t, Tcp.snd_una t, Tcp.in_flight t) :: !log
+    in
+    send_all t ~now:0.0;
+    Tcp.on_ack t ~now:0.05 ~cum_ack:2;
+    snap ();
+    send_all t ~now:0.1;
+    Tcp.on_ack t ~now:0.2 ~cum_ack:2;
+    Tcp.on_ack t ~now:0.21 ~cum_ack:2;
+    Tcp.on_ack t ~now:0.22 ~cum_ack:2;
+    snap ();
+    Tcp.on_ack t ~now:0.3 ~cum_ack:6;
+    snap ();
+    Tcp.on_rto t ~now:1.0;
+    snap ();
+    send_all t ~now:1.1;
+    Tcp.on_ack t ~now:1.2 ~cum_ack:7;
+    snap ();
+    (t, List.rev !log)
+  in
+  let dctcp, dctcp_log = drive Tcp.dctcp_params in
+  let _, reno_log = drive Tcp.default_params in
+  List.iteri
+    (fun i ((rc, rs, ru, rf), (dc, ds, du, df)) ->
+      let step = Printf.sprintf "step %d" i in
+      check_float (step ^ " cwnd") rc dc;
+      check_float (step ^ " ssthresh") rs ds;
+      Alcotest.(check int) (step ^ " una") ru du;
+      Alcotest.(check int) (step ^ " in flight") rf df)
+    (List.combine reno_log dctcp_log);
+  check_float "alpha never moved" 0.0 (Tcp.dctcp_alpha dctcp)
+
 let () =
   Alcotest.run "tcp"
     [
@@ -185,5 +287,14 @@ let () =
           Alcotest.test_case "rtt estimation" `Quick test_rtt_estimation;
           Alcotest.test_case "idle dupacks" `Quick test_dupack_ignored_when_idle;
           QCheck_alcotest.to_alcotest prop_lossless_pipe_completes;
+        ] );
+      ( "dctcp",
+        [
+          Alcotest.test_case "alpha EWMA closed form" `Quick
+            test_dctcp_alpha_closed_form;
+          Alcotest.test_case "first cut exact" `Quick test_dctcp_first_cut_exact;
+          Alcotest.test_case "cut bounds" `Quick test_dctcp_cut_bounds;
+          Alcotest.test_case "reno equivalence unmarked" `Quick
+            test_dctcp_reno_equivalence_unmarked;
         ] );
     ]
