@@ -325,6 +325,49 @@ let write_sim_bench () =
          (List.init reps (fun i -> i + 1)));
     let elapsed_sever = Float.max 1e-9 (Sys.time () -. t3) in
     let sever_events_s = float_of_int !sever_events /. elapsed_sever in
+    (* Steady-churn probe: the shipped flapping-churn scenario,
+       inlined so the bench needs no file-system path. Scenario.run
+       executes the fault-free baseline twin plus the churn run, so
+       the events/s figure prices the full scorecard pipeline; the
+       availability and SLO verdict land in the JSON so a regression
+       in the degradation accounting shows up per-commit. *)
+    let churn_spec =
+      {
+        Scenario.name = "flapping-churn";
+        description = "bench probe: seeded relay flapping + ack drops";
+        seed = 11;
+        duration = 30.0;
+        topology = Scenario.Testbed;
+        topology_seed = 4242;
+        devices =
+          [
+            { Device.node = 6; cls = Device.Relay; panel = None };
+            { Device.node = 14; cls = Device.Relay; panel = None };
+          ];
+        flows = [ (0, 12); (18, 5) ];
+        churn =
+          Scenario.Plan
+            [
+              Fault.Node_flap
+                { at = 3.0; until = 24.0; node = 6; period = 2.5; duty = 0.4 };
+              Fault.Node_flap
+                { at = 5.0; until = 22.0; node = 14; period = 3.0; duty = 0.35 };
+              Fault.Ctrl_drop { at = 10.0; until = 14.0; prob = 0.3 };
+            ];
+        recovery = true;
+        slo = { Scenario.availability_frac = 0.6; min_availability = 0.7 };
+      }
+    in
+    let churn_card = Scenario.run churn_spec in
+    let churn_events = ref 0 in
+    let t3c = Sys.time () in
+    let churn_reps = 3 in
+    for _i = 1 to churn_reps do
+      churn_events :=
+        !churn_events + (Scenario.run churn_spec).Scenario.events_processed
+    done;
+    let elapsed_churn = Float.max 1e-9 (Sys.time () -. t3c) in
+    let churn_events_s = float_of_int !churn_events /. elapsed_churn in
     (* Parallel-executor mini suite: three figures timed wall-clock at
        --jobs 1 and --jobs 4 (speedup needs wall time, not CPU time —
        worker domains burn CPU concurrently). The results must be
@@ -410,6 +453,11 @@ let write_sim_bench () =
       \  \"sever_detect_s\": %.3f,\n\
       \  \"sever_recovery_s\": %.3f,\n\
       \  \"sever_goodput_mbps\": %.3f,\n\
+      \  \"churn_scenario\": \"%s (seed %d), %.0f s sim\",\n\
+      \  \"churn_events_per_s\": %.0f,\n\
+      \  \"churn_route_deaths\": %d,\n\
+      \  \"churn_min_availability\": %.3f,\n\
+      \  \"churn_slo_met\": %b,\n\
       \  \"parallel_figure_wall_s\": {%s},\n\
       \  \"parallel_identical\": %b,\n\
       \  \"cores\": %d,\n\
@@ -428,6 +476,11 @@ let write_sim_bench () =
       prof_words prof_shares chaos_events_s
       (!chaos_faults / reps) sever_events_s sever_flow.Chaos.detect_s
       sever_flow.Chaos.recovery_s sever_flow.Chaos.goodput_mbps
+      churn_spec.Scenario.name churn_spec.Scenario.seed
+      churn_spec.Scenario.duration churn_events_s
+      churn_card.Scenario.route_deaths
+      churn_card.Scenario.min_availability_measured
+      churn_card.Scenario.slo_met
       (String.concat ", "
          (List.map
             (fun (nm, t1, t4, _) ->
@@ -441,7 +494,8 @@ let write_sim_bench () =
       "BENCH_sim.json: %.2f runs/s, %.0f events/s (%.1f ns, %.2f minor words \
        per event), %.0f frames/s, trace overhead %.1f%% (sampled 1/16 \
        %.1f%%, flight %.1f%%), chaos %.0f events/s, severance detect %.3f s \
-       / recovery %.3f s, %d-core 4-job speedup %.2fx (identical: %b), \
+       / recovery %.3f s, churn scenario %.0f events/s (min availability \
+       %.3f, SLO met: %b), %d-core 4-job speedup %.2fx (identical: %b), \
        loadsweep achieved %s in %.1f s\n\
        %!"
       runs_s events_s
@@ -449,6 +503,8 @@ let write_sim_bench () =
       (minor_words /. float_of_int (max 1 !events))
       frames_s overhead_pct overhead_sampled_pct flight_overhead_pct
       chaos_events_s sever_flow.Chaos.detect_s sever_flow.Chaos.recovery_s
+      churn_events_s churn_card.Scenario.min_availability_measured
+      churn_card.Scenario.slo_met
       cores parallel_speedup_4j par_identical
       (String.concat "/"
          (List.map

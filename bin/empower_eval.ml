@@ -512,6 +512,164 @@ let chaos_cmd =
       const run $ seed_arg 7 $ intensity_arg $ sever_arg $ no_recovery_arg
       $ duration_arg $ out_arg $ flight_arg $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
+(* ---------- scenario ---------- *)
+
+let scenario_cmd =
+  let name_arg =
+    let doc =
+      "Scenario to run: a catalog name resolved to $(i,DIR)/$(i,NAME).json, \
+       or a path to a scenario JSON file."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let dir_arg =
+    let doc =
+      "Scenario catalog directory (default: $(b,EMPOWER_SCENARIOS) if set, \
+       else 'scenarios')."
+    in
+    let default =
+      Option.value (Sys.getenv_opt "EMPOWER_SCENARIOS") ~default:"scenarios"
+    in
+    Arg.(value & opt string default & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let list_arg =
+    let doc = "List the catalog (name, duration, seed, description) and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let all_arg =
+    let doc = "Run every scenario in the catalog." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let flight_arg =
+    let doc =
+      "Attach a flight recorder to each run and, if the scenario misses its \
+       SLO, dump the last events to $(docv) as JSONL (with --all the scenario \
+       name is appended to the file stem) — strict-validated, replayable with \
+       $(b,empower_eval report). Scenarios that meet their SLO discard the \
+       ring."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
+  let load_or_die path =
+    match Scenario.load path with
+    | Ok spec -> spec
+    | Error e ->
+      Printf.eprintf "scenario: %s\n" e;
+      exit 2
+  in
+  let catalog_or_die dir =
+    match Scenario.catalog dir with
+    | Ok [] ->
+      Printf.eprintf "scenario: no *.json scenarios in %s\n" dir;
+      exit 2
+    | Ok entries -> entries
+    | Error e ->
+      Printf.eprintf "scenario: %s\n" e;
+      exit 2
+  in
+  (* With --all each scenario dumps to its own file: base "f.jsonl"
+     becomes "f-<name>.jsonl". *)
+  let flight_path_for base name =
+    let ext = Filename.extension base in
+    if ext = "" then base ^ "-" ^ name
+    else Filename.remove_extension base ^ "-" ^ name ^ ext
+  in
+  (* Run one spec, arming a flight ring if requested. The ring is kept
+     only on an SLO miss; the dump must strict-decode (same contract as
+     `chaos --flight`). The miss itself is reported by the scorecard,
+     not the exit status. *)
+  let run_one ?flight spec =
+    let ring =
+      Option.map (fun path -> Obs.Flight.create ~dump_path:path ()) flight
+    in
+    let sc = Scenario.run ?flight:ring spec in
+    (match ring with
+    | None -> ()
+    | Some ring ->
+      if not sc.Scenario.slo_met then (
+        match Obs.Flight.dump ring with
+        | Error msg ->
+          Printf.eprintf "[flight] dump failed: %s\n" msg;
+          exit 1
+        | Ok (path, n) -> (
+          match Obs.Summary.read_file path with
+          | Error err ->
+            Printf.eprintf "[flight] dump %s failed strict validation: %s\n"
+              path err;
+            exit 1
+          | Ok _ ->
+            Printf.eprintf
+              "[flight] %s missed its SLO: last %d events -> %s\n"
+              spec.Scenario.name n path))
+      else
+        Printf.eprintf
+          "[flight] %s met its SLO; ring discarded (%d events recorded)\n"
+          spec.Scenario.name
+          (Obs.Flight.recorded ring));
+    sc
+  in
+  let one_line s =
+    let s = String.map (fun c -> if c = '\n' then ' ' else c) s in
+    if String.length s <= 72 then s else String.sub s 0 69 ^ "..."
+  in
+  let run name dir list all flight json metrics progress jobs =
+    if list then
+      List.iter
+        (fun (n, path) ->
+          let spec = load_or_die path in
+          Printf.printf "%-18s %5.1f s  seed %-6d %s\n" n
+            spec.Scenario.duration spec.Scenario.seed
+            (one_line spec.Scenario.description))
+        (catalog_or_die dir)
+    else if all then begin
+      let specs =
+        List.map (fun (_, path) -> load_or_die path) (catalog_or_die dir)
+      in
+      with_obs ?jobs ~json ~metrics ~progress (fun e ->
+          let show sc =
+            e.emit sc Scenario.print Scenario.to_json;
+            if not json then print_newline ()
+          in
+          match flight with
+          | None -> List.iter show (Scenario.run_all specs)
+          | Some base ->
+            (* Each run needs its own live ring and dump decision, so
+               the flight sweep is sequential. *)
+            List.iter
+              (fun spec ->
+                show
+                  (run_one
+                     ~flight:(flight_path_for base spec.Scenario.name)
+                     spec))
+              specs)
+    end
+    else
+      match name with
+      | None ->
+        Printf.eprintf "scenario: expected a scenario name, --list or --all\n";
+        exit 2
+      | Some name ->
+        let path =
+          if Sys.file_exists name && not (Sys.is_directory name) then name
+          else Filename.concat dir (name ^ ".json")
+        in
+        let spec = load_or_die path in
+        with_obs ?jobs ~json ~metrics ~progress (fun e ->
+            e.emit (run_one ?flight spec) Scenario.print Scenario.to_json)
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Run a named scenario from the declarative catalog (topology + \
+          device classes + churn plan + flows + SLO, as validated JSON) and \
+          report its degradation scorecard: per-flow availability against the \
+          fault-free baseline, time below SLO, per-churn-event dip and \
+          recovery, and recovery-subsystem counters. Equal seeds give \
+          byte-identical scorecards.")
+    Term.(
+      const run $ name_arg $ dir_arg $ list_arg $ all_arg $ flight_arg
+      $ json_arg $ metrics_arg $ progress_arg $ jobs_arg)
+
 (* ---------- loadsweep ---------- *)
 
 let loadsweep_cmd =
@@ -698,7 +856,7 @@ let main =
       fig4_cmd; fig5_cmd; fig6_cmd; fig7_cmd; convergence_cmd; fig9_cmd;
       fig10_cmd; fig11_cmd; table1_cmd; fig12_cmd; fig13_cmd; ablations_cmd;
       metrics_cmd; mptcp_cmd; mac_cmd; trace_cmd; profile_cmd; report_cmd;
-      chaos_cmd; loadsweep_cmd; buffers_cmd;
+      chaos_cmd; scenario_cmd; loadsweep_cmd; buffers_cmd;
       all_cmd;
     ]
 

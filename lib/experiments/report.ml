@@ -55,7 +55,49 @@ type profile = {
   entries : prof_entry list;
 }
 
-type source = Trace of trace | Sweep of sweep | Profile of profile
+type scen_flow = {
+  flow : int;
+  src : int;
+  dst : int;
+  baseline_mbps : float;
+  goodput_mbps : float;
+  availability : float;
+  below_slo_s : float;
+  reroutes : int;
+  flow_route_deaths : int;
+  flow_route_restores : int;
+  outage_s : float;
+}
+
+type scen_event = {
+  op : string;
+  at : float;
+  clear : float;
+  dip_mbps : float;
+  recover_s : float;
+}
+
+type scenario = {
+  scen_name : string;
+  scen_seed : int;
+  scen_duration : float;
+  availability_frac : float;
+  min_availability : float;
+  min_availability_measured : float;
+  slo_met : bool;
+  scen_route_deaths : int;
+  scen_probes : int;
+  scen_queue_drops : int;
+  scen_fault_events : int;
+  scen_flows : scen_flow list;
+  scen_events : scen_event list;
+}
+
+type source =
+  | Trace of trace
+  | Sweep of sweep
+  | Profile of profile
+  | Scenario of scenario
 
 type t = { path : string; source : source }
 
@@ -166,6 +208,61 @@ let profile_of_json j =
   let* entries = map_result entry es in
   Ok { prof_events; prof_wall_s; entries }
 
+let scenario_of_json j =
+  let fl = Obs.Json.to_float_opt and it = Obs.Json.to_int_opt in
+  let flow fj =
+    let* flow = field "flow" it fj in
+    let* src = field "src" it fj in
+    let* dst = field "dst" it fj in
+    let* baseline_mbps = field "baseline_mbps" fl fj in
+    let* goodput_mbps = field "goodput_mbps" fl fj in
+    let* availability = field "availability" fl fj in
+    let* below_slo_s = field "below_slo_s" fl fj in
+    let* reroutes = field "reroutes" it fj in
+    let* flow_route_deaths = field "route_deaths" it fj in
+    let* flow_route_restores = field "route_restores" it fj in
+    let* outage_s = field "outage_s" fl fj in
+    Ok
+      {
+        flow; src; dst; baseline_mbps; goodput_mbps; availability; below_slo_s;
+        reroutes; flow_route_deaths; flow_route_restores; outage_s;
+      }
+  in
+  let event ej =
+    let* op = field "op" Obs.Json.to_string_opt ej in
+    let* at = field "at" fl ej in
+    let* clear = field "clear" fl ej in
+    let* dip_mbps = field "dip_mbps" fl ej in
+    let* recover_s = field "recover_s" fl ej in
+    Ok { op; at; clear; dip_mbps; recover_s }
+  in
+  let* scen_name = field "name" Obs.Json.to_string_opt j in
+  let* scen_seed = field "seed" it j in
+  let* scen_duration = field "duration" fl j in
+  let* slo =
+    match Obs.Json.member "slo" j with
+    | Some (Obs.Json.Obj _ as s) -> Ok s
+    | _ -> Error "missing or mistyped field \"slo\""
+  in
+  let* availability_frac = field "availability_frac" fl slo in
+  let* min_availability = field "min_availability" fl slo in
+  let* min_availability_measured = field "min_availability" fl j in
+  let* slo_met = field "slo_met" Obs.Json.to_bool_opt j in
+  let* scen_route_deaths = field "route_deaths" it j in
+  let* scen_probes = field "probes" it j in
+  let* scen_queue_drops = field "queue_drops" it j in
+  let* scen_fault_events = field "fault_events" it j in
+  let* fs = list_field "flows" j in
+  let* scen_flows = map_result flow fs in
+  let* es = list_field "events" j in
+  let* scen_events = map_result event es in
+  Ok
+    {
+      scen_name; scen_seed; scen_duration; availability_frac; min_availability;
+      min_availability_measured; slo_met; scen_route_deaths; scen_probes;
+      scen_queue_drops; scen_fault_events; scen_flows; scen_events;
+    }
+
 let read_all path =
   try
     let ic = open_in_bin path in
@@ -225,6 +322,11 @@ let of_file ?duration path =
           Result.map_error (fun e -> path ^ ": " ^ e) (profile_of_json j)
         in
         Ok { path; source = Profile p }
+      | Some "scenario" ->
+        let* sc =
+          Result.map_error (fun e -> path ^ ": " ^ e) (scenario_of_json j)
+        in
+        Ok { path; source = Scenario sc }
       | Some other ->
         Error (Printf.sprintf "%s: unsupported figure %S" path other)
       | None ->
@@ -330,12 +432,60 @@ let profile_json (p : profile) =
     ("hotspots", Obs.Json.List (List.map entry p.entries));
   ]
 
+let scenario_json (sc : scenario) =
+  let flow fw =
+    Obs.Json.Obj
+      [
+        ("flow", i fw.flow);
+        ("src", i fw.src);
+        ("dst", i fw.dst);
+        ("baseline_mbps", f fw.baseline_mbps);
+        ("goodput_mbps", f fw.goodput_mbps);
+        ("availability", f fw.availability);
+        ("below_slo_s", f fw.below_slo_s);
+        ("reroutes", i fw.reroutes);
+        ("route_deaths", i fw.flow_route_deaths);
+        ("route_restores", i fw.flow_route_restores);
+        ("outage_s", f fw.outage_s);
+      ]
+  in
+  let event e =
+    Obs.Json.Obj
+      [
+        ("op", s e.op);
+        ("at", f e.at);
+        ("clear", f e.clear);
+        ("dip_mbps", f e.dip_mbps);
+        ("recover_s", f e.recover_s);
+      ]
+  in
+  [
+    ("name", s sc.scen_name);
+    ("seed", i sc.scen_seed);
+    ("duration", f sc.scen_duration);
+    ( "slo",
+      Obs.Json.Obj
+        [
+          ("availability_frac", f sc.availability_frac);
+          ("min_availability", f sc.min_availability);
+        ] );
+    ("min_availability", f sc.min_availability_measured);
+    ("slo_met", Obs.Json.Bool sc.slo_met);
+    ("route_deaths", i sc.scen_route_deaths);
+    ("probes", i sc.scen_probes);
+    ("queue_drops", i sc.scen_queue_drops);
+    ("fault_events", i sc.scen_fault_events);
+    ("flows", Obs.Json.List (List.map flow sc.scen_flows));
+    ("events", Obs.Json.List (List.map event sc.scen_events));
+  ]
+
 let to_json t =
   let source_name, payload =
     match t.source with
     | Trace tr -> ("trace", trace_json tr)
     | Sweep sw -> ("loadsweep", sweep_json sw)
     | Profile p -> ("profile", profile_json p)
+    | Scenario sc -> ("scenario", scenario_json sc)
   in
   Obs.Json.Obj
     (("figure", s "report") :: ("source", s source_name) :: ("path", s t.path)
@@ -412,8 +562,43 @@ let print_profile out path (p : profile) =
         e.wall_s e.ns_per_event e.share_pct e.minor_words e.words_per_event)
     p.entries
 
+let print_scenario out path (sc : scenario) =
+  let pr fmt = Printf.fprintf out fmt in
+  pr "=== run report: %s (scenario %S, seed %d, %.1f s) ===\n" path sc.scen_name
+    sc.scen_seed sc.scen_duration;
+  pr "SLO: min availability %.1f%% vs threshold %.1f%% (bins >= %.0f%% of \
+      fault-free baseline) -> %s\n"
+    (100.0 *. sc.min_availability_measured)
+    (100.0 *. sc.min_availability)
+    (100.0 *. sc.availability_frac)
+    (if sc.slo_met then "PASS" else "FAIL");
+  List.iter
+    (fun fw ->
+      pr
+        "  flow %d (%d -> %d): availability %.1f%% (%.0f s below SLO), \
+         goodput %.3f vs baseline %.3f Mbit/s, %d deaths / %d restores, \
+         outage %.1f s, %d reroutes\n"
+        fw.flow fw.src fw.dst
+        (100.0 *. fw.availability)
+        fw.below_slo_s fw.goodput_mbps fw.baseline_mbps fw.flow_route_deaths
+        fw.flow_route_restores fw.outage_s fw.reroutes)
+    sc.scen_flows;
+  if sc.scen_events <> [] then begin
+    pr "churn events:\n";
+    List.iter
+      (fun e ->
+        pr "  %-16s at %6.2f  clear %6.2f  dip %8.3f Mbit/s  recover %s\n" e.op
+          e.at e.clear e.dip_mbps
+          (if e.recover_s < 0.0 then "never"
+           else Printf.sprintf "%.2f s" e.recover_s))
+      sc.scen_events
+  end;
+  pr "counters: %d route deaths, %d probes, %d queue drops, %d fault events\n"
+    sc.scen_route_deaths sc.scen_probes sc.scen_queue_drops sc.scen_fault_events
+
 let print ?(out = stdout) t =
   match t.source with
   | Trace tr -> print_trace out t.path tr
   | Sweep sw -> print_sweep out t.path sw
   | Profile p -> print_profile out t.path p
+  | Scenario sc -> print_scenario out t.path sc

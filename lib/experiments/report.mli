@@ -15,7 +15,13 @@
       load, completion and drop counts, p99 FCT per size bucket, and
       a p99-monotone-in-load sanity flag;
     - a {b profile} ([{"figure":"profile",...}] from
-      [empower_eval profile --json]): the subsystem hotspot table.
+      [empower_eval profile --json]): the subsystem hotspot table;
+    - a {b scenario scorecard} ([{"figure":"scenario",...}] from
+      [empower_eval scenario --json]): the degradation scorecard —
+      per-flow availability against the fault-free baseline, time
+      below SLO, per-churn-event dip and recovery, and the
+      recovery-subsystem counters, with the scenario's own SLO
+      verdict.
 
     Accuracy: a trace report inherits the trace's own accuracy — full
     traces replay the engine's accounting exactly (see
@@ -77,7 +83,52 @@ type profile = {
   entries : prof_entry list;
 }
 
-type source = Trace of trace | Sweep of sweep | Profile of profile
+type scen_flow = {
+  flow : int;
+  src : int;
+  dst : int;
+  baseline_mbps : float;  (** mean binned goodput of the fault-free twin run *)
+  goodput_mbps : float;  (** mean binned goodput under churn *)
+  availability : float;
+      (** fraction of 1 s bins at or above [availability_frac] of baseline *)
+  below_slo_s : float;
+  reroutes : int;
+  flow_route_deaths : int;
+  flow_route_restores : int;
+  outage_s : float;  (** total time any of the flow's routes spent dead *)
+}
+
+type scen_event = {
+  op : string;
+  at : float;
+  clear : float;
+  dip_mbps : float;  (** worst per-flow 1 s goodput bin inside the event window *)
+  recover_s : float;
+      (** time from [clear] until every flow is back at 90% of baseline;
+          negative means never within the run *)
+}
+
+type scenario = {
+  scen_name : string;
+  scen_seed : int;
+  scen_duration : float;
+  availability_frac : float;
+  min_availability : float;
+  min_availability_measured : float;
+  slo_met : bool;
+  scen_route_deaths : int;
+  scen_probes : int;
+  scen_queue_drops : int;
+  scen_fault_events : int;
+  scen_flows : scen_flow list;
+  scen_events : scen_event list;
+}
+
+type source =
+  | Trace of trace
+  | Sweep of sweep
+  | Profile of profile
+  | Scenario of scenario
 
 type t = { path : string; source : source }
 
@@ -94,7 +145,8 @@ val sweep_p99_monotone : sweep -> bool
     load across the sweep's points (buckets with no samples skip). *)
 
 val to_json : t -> Obs.Json.t
-(** The ["report"] figure: [source] is ["trace"], ["loadsweep"] or
-    ["profile"], payload fields follow the shapes above. *)
+(** The ["report"] figure: [source] is ["trace"], ["loadsweep"],
+    ["profile"] or ["scenario"], payload fields follow the shapes
+    above. *)
 
 val print : ?out:out_channel -> t -> unit

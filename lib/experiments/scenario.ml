@@ -1,0 +1,670 @@
+(* Declarative churn scenarios and degradation scorecards. See
+   scenario.mli for the schema, determinism contract and metric
+   definitions. *)
+
+module J = Obs.Json
+
+type topology_kind = Testbed | Residential | Enterprise
+
+let topology_kind_name = function
+  | Testbed -> "testbed"
+  | Residential -> "residential"
+  | Enterprise -> "enterprise"
+
+let topology_kind_of_name = function
+  | "testbed" -> Some Testbed
+  | "residential" -> Some Residential
+  | "enterprise" -> Some Enterprise
+  | _ -> None
+
+type churn =
+  | Generate of { intensity : Fault.Gen.intensity; protect_endpoints : bool }
+  | Plan of Fault.plan
+
+type slo = { availability_frac : float; min_availability : float }
+
+type spec = {
+  name : string;
+  description : string;
+  seed : int;
+  duration : float;
+  topology : topology_kind;
+  topology_seed : int;
+  devices : Device.spec list;
+  flows : (int * int) list;
+  churn : churn;
+  recovery : bool;
+  slo : slo;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Spec codec                                                        *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let str_field name j =
+  match J.member name j with
+  | Some (J.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S: expected string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j =
+  match J.member name j with
+  | Some v -> (
+      match J.to_int_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S: expected integer" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let float_field name j =
+  match J.member name j with
+  | Some v -> (
+      match J.to_float_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S: expected number" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let bool_field name j =
+  match J.member name j with
+  | Some (J.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S: expected bool" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let device_of_json j =
+  match j with
+  | J.Obj _ ->
+      let* node = int_field "node" j in
+      let* cls_s = str_field "class" j in
+      let* cls =
+        match Device.cls_of_name cls_s with
+        | Some c -> Ok c
+        | None -> Error (Printf.sprintf "unknown device class %S" cls_s)
+      in
+      let* panel =
+        match J.member "panel" j with
+        | None -> Ok None
+        | Some v -> (
+            match J.to_int_opt v with
+            | Some p -> Ok (Some p)
+            | None -> Error "field \"panel\": expected integer")
+      in
+      Ok { Device.node; cls; panel }
+  | _ -> Error "device: expected object"
+
+let flow_of_json j =
+  match j with
+  | J.Obj _ ->
+      let* src = int_field "src" j in
+      let* dst = int_field "dst" j in
+      if src < 0 || dst < 0 then Error "flow: negative node id"
+      else if src = dst then
+        Error (Printf.sprintf "flow %d -> %d: src = dst" src dst)
+      else Ok (src, dst)
+  | _ -> Error "flow: expected object"
+
+let churn_of_json j =
+  match j with
+  | J.Obj _ -> (
+      match (J.member "generate" j, J.member "plan" j) with
+      | Some g, None ->
+          let* name = str_field "intensity" g in
+          let* intensity =
+            match Fault.Gen.intensity_of_name name with
+            | Some i -> Ok i
+            | None -> Error (Printf.sprintf "unknown intensity %S" name)
+          in
+          let* protect_endpoints =
+            match J.member "protect_endpoints" g with
+            | None -> Ok true
+            | Some (J.Bool b) -> Ok b
+            | Some _ -> Error "field \"protect_endpoints\": expected bool"
+          in
+          Ok (Generate { intensity; protect_endpoints })
+      | None, Some p ->
+          let* plan = Fault.of_json p in
+          Ok (Plan plan)
+      | Some _, Some _ -> Error "churn: both \"generate\" and \"plan\" given"
+      | None, None -> Error "churn: expected \"generate\" or \"plan\"")
+  | _ -> Error "churn: expected object"
+
+let rec decode_list f acc = function
+  | [] -> Ok (List.rev acc)
+  | x :: rest ->
+      let* v = f x in
+      (decode_list [@tailcall]) f (v :: acc) rest
+
+let list_field ?default name f j =
+  match J.member name j with
+  | Some (J.List xs) -> decode_list f [] xs
+  | Some _ -> Error (Printf.sprintf "field %S: expected list" name)
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "missing field %S" name))
+
+let frac_ok f = Float.is_finite f && f >= 0.0 && f <= 1.0
+
+let spec_of_json j =
+  match j with
+  | J.Obj _ ->
+      let* () =
+        match J.member "version" j with
+        | Some (J.Int 1) -> Ok ()
+        | Some _ -> Error "unsupported scenario version"
+        | None -> Error "missing field \"version\""
+      in
+      let* name = str_field "name" j in
+      let* description = str_field "description" j in
+      let* seed = int_field "seed" j in
+      let* duration = float_field "duration" j in
+      let* () =
+        if Float.is_finite duration && duration > 0.0 then Ok ()
+        else Error "field \"duration\": must be > 0"
+      in
+      let* topo =
+        match J.member "topology" j with
+        | Some (J.Obj _ as t) -> Ok t
+        | Some _ -> Error "field \"topology\": expected object"
+        | None -> Error "missing field \"topology\""
+      in
+      let* kind_s = str_field "kind" topo in
+      let* topology =
+        match topology_kind_of_name kind_s with
+        | Some k -> Ok k
+        | None -> Error (Printf.sprintf "unknown topology kind %S" kind_s)
+      in
+      let* topology_seed = int_field "seed" topo in
+      let* devices = list_field ~default:[] "devices" device_of_json j in
+      let* () =
+        let nodes = List.map (fun d -> d.Device.node) devices in
+        let sorted = List.sort_uniq compare nodes in
+        if List.length sorted = List.length nodes then Ok ()
+        else Error "devices: duplicate node"
+      in
+      let* flows = list_field "flows" flow_of_json j in
+      let* () = if flows = [] then Error "field \"flows\": empty" else Ok () in
+      let* churn =
+        match J.member "churn" j with
+        | Some c -> churn_of_json c
+        | None -> Error "missing field \"churn\""
+      in
+      let* recovery = bool_field "recovery" j in
+      let* slo_j =
+        match J.member "slo" j with
+        | Some (J.Obj _ as s) -> Ok s
+        | Some _ -> Error "field \"slo\": expected object"
+        | None -> Error "missing field \"slo\""
+      in
+      let* availability_frac = float_field "availability_frac" slo_j in
+      let* min_availability = float_field "min_availability" slo_j in
+      let* () =
+        if frac_ok availability_frac && frac_ok min_availability then Ok ()
+        else Error "slo fractions must be in [0,1]"
+      in
+      Ok
+        {
+          name;
+          description;
+          seed;
+          duration;
+          topology;
+          topology_seed;
+          devices;
+          flows;
+          churn;
+          recovery;
+          slo = { availability_frac; min_availability };
+        }
+  | _ -> Error "scenario: expected object"
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | s -> (
+      match J.parse (String.trim s) with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok j -> (
+          match spec_of_json j with
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+          | Ok spec -> Ok spec))
+
+let catalog dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error msg
+  | entries ->
+      Ok
+        (List.sort compare
+           (List.filter_map
+              (fun e ->
+                if Filename.check_suffix e ".json" then
+                  Some (Filename.chop_suffix e ".json", Filename.concat dir e)
+                else None)
+              (Array.to_list entries)))
+
+(* ---------------------------------------------------------------- *)
+(* Runner                                                            *)
+
+type flow_score = {
+  flow : int;
+  src : int;
+  dst : int;
+  baseline_mbps : float;
+  goodput_mbps : float;
+  availability : float;
+  below_slo_s : float;
+  reroutes : int;
+  route_deaths : int;
+  route_restores : int;
+  outage_s : float;
+  detect_s : float;
+  dip_depth : float;
+  dip_area : float;
+  recovery_s : float;
+}
+
+type event_score = {
+  op : string;
+  at : float;
+  clear : float;
+  dip_mbps : float;
+  recover_s : float;
+}
+
+type scorecard = {
+  spec : spec;
+  plan : Fault.plan;
+  fault_events : int;
+  queue_drops : int;
+  events_processed : int;
+  route_deaths : int;
+  probes : int;
+  flows : flow_score list;
+  events : event_score list;
+  min_availability_measured : float;
+  slo_met : bool;
+}
+
+(* Goodput bins stamped inside (warmup, duration] feed the
+   availability metrics; the first bins are excluded because flows
+   start from zero rate regardless of churn. *)
+let warmup = 2.0
+let recover_frac = 0.9
+
+let instance spec =
+  let rng = Rng.create spec.topology_seed in
+  match spec.topology with
+  | Testbed -> Testbed.generate rng
+  | Residential -> Residential.generate rng
+  | Enterprise -> Enterprise.generate rng
+
+let bins_of reg fid =
+  List.filter
+    (fun (t, _) -> t > warmup)
+    (Obs.Metrics.Series.points
+       (Obs.Metrics.series reg (Printf.sprintf "flow.%d.goodput" fid)))
+
+let run ?trace ?flight spec =
+  let inst0 = instance spec in
+  (match Device.validate inst0 spec.devices with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Scenario.run: " ^ msg));
+  let inst = Device.apply inst0 spec.devices in
+  let net = Runner.network inst Schemes.Empower in
+  let n = Builder.node_count inst in
+  List.iter
+    (fun (src, dst) ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg
+          (Printf.sprintf "Scenario.run: flow %d -> %d: node out of range" src
+             dst);
+      if src = dst then
+        invalid_arg (Printf.sprintf "Scenario.run: flow %d -> %d: src = dst" src dst);
+      List.iter
+        (fun e ->
+          if not (Device.originates spec.devices e) then
+            invalid_arg
+              (Printf.sprintf
+                 "Scenario.run: flow %d -> %d: node %d is relay-only" src dst e))
+        [ src; dst ])
+    spec.flows;
+  let flow_specs =
+    List.map
+      (fun (src, dst) ->
+        let routes, rates =
+          Runner.routes_and_rates net Schemes.Empower ~src ~dst
+        in
+        if routes = [] then
+          invalid_arg (Printf.sprintf "Scenario.run: no route %d -> %d" src dst);
+        Runner.flow_spec ~src ~dst (routes, rates))
+      spec.flows
+  in
+  (* One seed pins everything: the plan draws from a split of the
+     master stream and each engine run consumes an identical
+     remainder, so baseline and churn runs differ only in the
+     injected schedules. *)
+  let master () =
+    let m = Rng.create spec.seed in
+    let split = Rng.split m in
+    (m, split)
+  in
+  let m_churn, plan_rng = master () in
+  let m_base, _ = master () in
+  let plan =
+    match spec.churn with
+    | Plan p ->
+        (match Fault.validate net.Empower.g p with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Scenario.run: plan: " ^ msg));
+        Fault.normalize p
+    | Generate { intensity; protect_endpoints } ->
+        let protect =
+          if protect_endpoints then
+            List.sort_uniq compare
+              (List.concat_map (fun (s, d) -> [ s; d ]) spec.flows)
+          else []
+        in
+        Fault.normalize
+          (Fault.Gen.plan ~intensity ~protect plan_rng net.Empower.g
+             ~duration:spec.duration)
+  in
+  let compiled = Fault.compile net.Empower.g plan in
+  let config =
+    {
+      Engine.default_config with
+      Engine.route_reclaim = true;
+      recovery = (if spec.recovery then Some Recovery.default else None);
+    }
+  in
+  let dom = net.Empower.dom in
+  let domain_of = Domain.domain dom in
+  (* Fault-free baseline: internal recorder only, no fault schedules. *)
+  let reg_b = Obs.Metrics.create () in
+  let rec_b = Obs.Recorder.create ~domain_of reg_b in
+  let result_b =
+    Engine.run ~config ~trace:(Obs.Recorder.sink rec_b) m_base net.Empower.g
+      dom ~flows:flow_specs ~duration:spec.duration
+  in
+  ignore (result_b : Engine.result);
+  Obs.Recorder.flush rec_b ~now:spec.duration;
+  (* Churn run: private recorder computes the scorecard; the
+     process-global registry (--metrics) and the caller's sinks still
+     see every event. *)
+  let reg = Obs.Metrics.create () in
+  let recorder = Obs.Recorder.create ~domain_of reg in
+  let global =
+    match Obs.Runtime.metrics () with
+    | Some greg -> Some (Obs.Recorder.create ~domain_of greg)
+    | None -> None
+  in
+  let sink =
+    let s = Obs.Recorder.sink recorder in
+    let s =
+      match global with
+      | Some r -> Obs.Trace.tee s (Obs.Recorder.sink r)
+      | None -> s
+    in
+    match trace with Some user -> Obs.Trace.tee s user | None -> s
+  in
+  let result =
+    Engine.run ~config ~trace:sink ?flight
+      ~link_events:compiled.Fault.link_events
+      ~loss_events:compiled.Fault.loss_events
+      ~ctrl_events:compiled.Fault.ctrl_events m_churn net.Empower.g dom
+      ~flows:flow_specs ~duration:spec.duration
+  in
+  Obs.Recorder.flush recorder ~now:spec.duration;
+  (match global with
+  | Some r -> Obs.Recorder.flush r ~now:spec.duration
+  | None -> ());
+  let gauge name = Obs.Metrics.Gauge.value (Obs.Metrics.gauge reg name) in
+  let counter name = Obs.Metrics.Counter.value (Obs.Metrics.counter reg name) in
+  (* Per-flow baselines and churn-run bins, by flow index. *)
+  let per_flow =
+    Array.of_list
+      (List.mapi
+         (fun fid _ ->
+           let base_bins = bins_of reg_b fid in
+           let baseline =
+             match base_bins with
+             | [] -> 0.0
+             | _ ->
+                 List.fold_left (fun acc (_, v) -> acc +. v) 0.0 base_bins
+                 /. float_of_int (List.length base_bins)
+           in
+           (baseline, bins_of reg fid))
+         spec.flows)
+  in
+  let flows =
+    List.mapi
+      (fun fid (src, dst) ->
+        let baseline, bins = per_flow.(fid) in
+        let n_bins = List.length bins in
+        let thr = spec.slo.availability_frac *. baseline in
+        let n_ok =
+          List.length (List.filter (fun (_, v) -> v >= thr) bins)
+        in
+        let availability =
+          if n_bins = 0 then 1.0
+          else float_of_int n_ok /. float_of_int n_bins
+        in
+        let fr = result.Engine.flows.(fid) in
+        let m name = Printf.sprintf "flow.%d.%s" fid name in
+        {
+          flow = fid;
+          src;
+          dst;
+          baseline_mbps = baseline;
+          goodput_mbps =
+            float_of_int fr.Engine.received_bytes *. 8e-6 /. spec.duration;
+          availability;
+          below_slo_s = float_of_int (n_bins - n_ok);
+          reroutes = counter (m "reroutes");
+          route_deaths = counter (m "route_deaths");
+          route_restores = counter (m "route_restores");
+          outage_s = gauge (m "fault.outage_s");
+          detect_s = gauge (m "fault.detect_s");
+          dip_depth = gauge (m "fault.dip_depth");
+          dip_area = gauge (m "fault.dip_area");
+          recovery_s = gauge (m "fault.recovery_s");
+        })
+      spec.flows
+  in
+  (* Per-churn-event dip / recovery, worst flow: the dip window is the
+     action's [start, end] span plus the following bin (bins are
+     end-stamped), recovery scans forward from the action's end. *)
+  let events =
+    List.map
+      (fun a ->
+        let at = Fault.start_time a and clear = Fault.end_time a in
+        let dip = ref 0.0 and recover = ref 0.0 and never = ref false in
+        Array.iter
+          (fun (baseline, bins) ->
+            let win =
+              List.filter (fun (t, _) -> t >= at && t <= clear +. 1.0) bins
+            in
+            (match win with
+            | [] -> ()
+            | _ ->
+                let mn =
+                  List.fold_left
+                    (fun acc (_, v) -> Float.min acc v)
+                    infinity win
+                in
+                dip := Float.max !dip (Float.max 0.0 (baseline -. mn)));
+            let thr = recover_frac *. baseline in
+            match
+              List.find_opt (fun (t, v) -> t >= clear && v >= thr) bins
+            with
+            | Some (t, _) ->
+                recover := Float.max !recover (Float.max 0.0 (t -. clear))
+            | None -> never := true)
+          per_flow;
+        {
+          op = Fault.op_name a;
+          at;
+          clear;
+          dip_mbps = !dip;
+          recover_s = (if !never then -1.0 else !recover);
+        })
+      plan
+  in
+  let min_availability_measured =
+    List.fold_left (fun acc f -> Float.min acc f.availability) 1.0 flows
+  in
+  {
+    spec;
+    plan;
+    fault_events = counter "fault.events";
+    queue_drops = result.Engine.queue_drops;
+    events_processed = result.Engine.events_processed;
+    route_deaths = counter "recovery.route_deaths";
+    probes = counter "recovery.probes";
+    flows;
+    events;
+    min_availability_measured;
+    slo_met = min_availability_measured >= spec.slo.min_availability;
+  }
+
+let run_all ?jobs specs = Exec.map ?jobs (fun spec -> run spec) specs
+
+(* ---------------------------------------------------------------- *)
+(* Rendering                                                         *)
+
+let to_json sc =
+  let open J in
+  let spec = sc.spec in
+  Obj
+    [
+      ("figure", String "scenario");
+      ("name", String spec.name);
+      ("description", String spec.description);
+      ("seed", Int spec.seed);
+      ("duration", Float spec.duration);
+      ( "topology",
+        Obj
+          [
+            ("kind", String (topology_kind_name spec.topology));
+            ("seed", Int spec.topology_seed);
+          ] );
+      ( "devices",
+        List
+          (List.map
+             (fun (d : Device.spec) ->
+               Obj
+                 ([
+                    ("node", Int d.Device.node);
+                    ("class", String (Device.cls_name d.Device.cls));
+                  ]
+                 @
+                 match d.Device.panel with
+                 | Some p -> [ ("panel", Int p) ]
+                 | None -> []))
+             spec.devices) );
+      ( "churn",
+        match spec.churn with
+        | Generate { intensity; protect_endpoints } ->
+            Obj
+              [
+                ("intensity", String (Fault.Gen.intensity_name intensity));
+                ("protect_endpoints", Bool protect_endpoints);
+              ]
+        | Plan _ -> Obj [ ("explicit", Bool true) ] );
+      ("recovery", Bool spec.recovery);
+      ( "slo",
+        Obj
+          [
+            ("availability_frac", Float spec.slo.availability_frac);
+            ("min_availability", Float spec.slo.min_availability);
+          ] );
+      ("slo_met", Bool sc.slo_met);
+      ("min_availability", Float sc.min_availability_measured);
+      ("plan_actions", Int (List.length sc.plan));
+      ("fault_events", Int sc.fault_events);
+      ("queue_drops", Int sc.queue_drops);
+      ("events_processed", Int sc.events_processed);
+      ("route_deaths", Int sc.route_deaths);
+      ("probes", Int sc.probes);
+      ("plan", Fault.to_json sc.plan);
+      ( "flows",
+        List
+          (List.map
+             (fun f ->
+               Obj
+                 [
+                   ("flow", Int f.flow);
+                   ("src", Int f.src);
+                   ("dst", Int f.dst);
+                   ("baseline_mbps", Float f.baseline_mbps);
+                   ("goodput_mbps", Float f.goodput_mbps);
+                   ("availability", Float f.availability);
+                   ("below_slo_s", Float f.below_slo_s);
+                   ("reroutes", Int f.reroutes);
+                   ("route_deaths", Int f.route_deaths);
+                   ("route_restores", Int f.route_restores);
+                   ("outage_s", Float f.outage_s);
+                   ("detect_s", Float f.detect_s);
+                   ("dip_depth", Float f.dip_depth);
+                   ("dip_area", Float f.dip_area);
+                   ("recovery_s", Float f.recovery_s);
+                 ])
+             sc.flows) );
+      ( "events",
+        List
+          (List.map
+             (fun e ->
+               Obj
+                 [
+                   ("op", String e.op);
+                   ("at", Float e.at);
+                   ("clear", Float e.clear);
+                   ("dip_mbps", Float e.dip_mbps);
+                   ("recover_s", Float e.recover_s);
+                 ])
+             sc.events) );
+    ]
+
+let print ?(out = stdout) sc =
+  let p fmt = Printf.fprintf out fmt in
+  let spec = sc.spec in
+  p "=== scenario: %s (seed %d, %.1f s, %s, recovery %s) ===\n" spec.name
+    spec.seed spec.duration
+    (topology_kind_name spec.topology)
+    (if spec.recovery then "on" else "off");
+  p "%s\n" spec.description;
+  (match spec.churn with
+  | Generate { intensity; protect_endpoints } ->
+      p "churn: generated (%s%s), %d actions\n"
+        (Fault.Gen.intensity_name intensity)
+        (if protect_endpoints then ", endpoints protected" else "")
+        (List.length sc.plan)
+  | Plan _ -> p "churn: explicit plan, %d actions\n" (List.length sc.plan));
+  p "fault boundary events: %d; engine events: %d; queue drops: %d\n"
+    sc.fault_events sc.events_processed sc.queue_drops;
+  p "recovery: %d route deaths, %d probes\n" sc.route_deaths sc.probes;
+  List.iter
+    (fun f ->
+      p
+        "flow %d (%d -> %d): baseline %.3f Mbit/s, run %.3f Mbit/s, \
+         availability %.1f%% (%.0f s below SLO), %d deaths / %d restores, \
+         outage %.3f s, %d reroutes\n"
+        f.flow f.src f.dst f.baseline_mbps f.goodput_mbps
+        (100.0 *. f.availability) f.below_slo_s f.route_deaths
+        f.route_restores f.outage_s f.reroutes)
+    sc.flows;
+  if sc.events <> [] then begin
+    p "%-16s %8s %8s %10s %10s\n" "event" "at" "clear" "dip_mbps" "recover_s";
+    List.iter
+      (fun e ->
+        p "%-16s %8.2f %8.2f %10.3f %10s\n" e.op e.at e.clear e.dip_mbps
+          (if e.recover_s < 0.0 then "never"
+           else Printf.sprintf "%.2f" e.recover_s))
+      sc.events
+  end;
+  p "SLO: min availability %.3f (threshold %.3f) -> %s\n"
+    sc.min_availability_measured spec.slo.min_availability
+    (if sc.slo_met then "PASS" else "FAIL")

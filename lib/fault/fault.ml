@@ -18,6 +18,22 @@ type action =
   | Ctrl_delay of { at : float; until : float; delay : float }
   | Node_crash of { at : float; node : int }
   | Node_restart of { at : float; node : int }
+  | Node_flap of {
+      at : float;
+      until : float;
+      node : int;
+      period : float;
+      duty : float;
+    }
+  | Capacity_drift of {
+      at : float;
+      until : float;
+      link : int;
+      floor_frac : float;
+      period : float;
+      steps : int;
+    }
+  | Node_join of { at : float; node : int }
 
 type plan = action list
 
@@ -32,8 +48,29 @@ let start_time = function
   | Ctrl_drop { at; _ }
   | Ctrl_delay { at; _ }
   | Node_crash { at; _ }
-  | Node_restart { at; _ } ->
+  | Node_restart { at; _ }
+  | Node_flap { at; _ }
+  | Capacity_drift { at; _ } ->
       at
+  (* A join's first effect is holding the node's links down from the
+     start of the run; [at] is when it comes alive. *)
+  | Node_join _ -> 0.0
+
+let end_time = function
+  | Link_down { at; _ }
+  | Link_up { at; _ }
+  | Capacity_set { at; _ }
+  | Node_crash { at; _ }
+  | Node_restart { at; _ }
+  | Node_join { at; _ } ->
+      at
+  | Capacity_ramp { at; over; _ } -> at +. over
+  | Loss_window { until; _ }
+  | Ctrl_drop { until; _ }
+  | Ctrl_delay { until; _ }
+  | Node_flap { until; _ }
+  | Capacity_drift { until; _ } ->
+      until
 
 let op_name = function
   | Link_down _ -> "link_down"
@@ -45,6 +82,15 @@ let op_name = function
   | Ctrl_delay _ -> "ctrl_delay"
   | Node_crash _ -> "node_crash"
   | Node_restart _ -> "node_restart"
+  | Node_flap _ -> "node_flap"
+  | Capacity_drift _ -> "capacity_drift"
+  | Node_join _ -> "node_join"
+
+let action_version = function
+  | Node_flap _ | Capacity_drift _ | Node_join _ -> 2
+  | _ -> 1
+
+let plan_version plan = List.fold_left (fun v a -> max v (action_version a)) 1 plan
 
 (* Stable by construction: equal-time actions keep plan order, which
    is what makes the last-wins tie-break well defined. *)
@@ -101,6 +147,33 @@ let validate g plan =
         else Ok ()
     | Node_crash { at; node } | Node_restart { at; node } ->
         if not (time_ok at) then err a "bad time"
+        else if not (node_ok node) then err a "node out of range"
+        else Ok ()
+    | Node_flap { at; until; node; period; duty } ->
+        if not (time_ok at && time_ok until) then err a "bad time"
+        else if until <= at then err a "until must be > at"
+        else if not (node_ok node) then err a "node out of range"
+        else if not (Float.is_finite period && period > 0.0) then
+          err a "period must be > 0"
+        else if not (Float.is_finite duty && duty > 0.0 && duty < 1.0) then
+          err a "duty must be in (0,1)"
+        else if at +. (duty *. period) > until then
+          err a "window too short for one crash/restart cycle"
+        else Ok ()
+    | Capacity_drift { at; until; link; floor_frac; period; steps } ->
+        if not (time_ok at && time_ok until) then err a "bad time"
+        else if until <= at then err a "until must be > at"
+        else if not (link_ok link) then err a "link out of range"
+        else if not (prob_ok floor_frac) then
+          err a "floor must be in [0,1]"
+        else if not (Float.is_finite period && period > 0.0) then
+          err a "period must be > 0"
+        else if steps < 1 then err a "steps must be >= 1"
+        else if at +. period > until then
+          err a "window too short for one drift cycle"
+        else Ok ()
+    | Node_join { at; node } ->
+        if not (time_ok at && at > 0.0) then err a "bad time"
         else if not (node_ok node) then err a "node out of range"
         else Ok ()
   in
@@ -163,6 +236,75 @@ let compile g plan =
         List.iter
           (fun l -> push link_ev (at, l, Multigraph.capacity g l))
           (incident g node)
+    | Node_flap { at; until; node; period; duty } ->
+        (* Crash/restart cycles: crash k starts at [at + k*period] and
+           the node is down for [duty * period]; only cycles whose
+           restart fits inside the window are emitted, so the node
+           always ends restored. Times are computed from the cycle
+           index (not accumulated) to keep them float-exact. *)
+        let links = incident g node in
+        let k = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let c = at +. (float_of_int !k *. period) in
+          let r = c +. (duty *. period) in
+          if r <= until then begin
+            List.iter (fun l -> push link_ev (c, l, 0.0)) links;
+            List.iter
+              (fun l -> push link_ev (r, l, Multigraph.capacity g l))
+              links;
+            incr k
+          end
+          else continue_ := false
+        done
+    | Capacity_drift { at; until; link; floor_frac; period; steps } ->
+        (* Repeating triangular ramp: each cycle descends from the
+           nominal capacity to [floor_frac * nominal] over half a
+           period in [steps] equal setpoints, then climbs back. Only
+           full cycles inside the window are emitted, so the link
+           always ends at its nominal capacity. *)
+        let cap = Multigraph.capacity g link in
+        let floor_cap = floor_frac *. cap in
+        let half = period /. 2.0 in
+        let k = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let c0 = at +. (float_of_int !k *. period) in
+          if c0 +. period <= until then begin
+            for j = 1 to steps do
+              let t = c0 +. (half *. float_of_int j /. float_of_int steps) in
+              let v =
+                if j = steps then floor_cap
+                else
+                  cap +. ((floor_cap -. cap) *. float_of_int j /. float_of_int steps)
+              in
+              push link_ev (t, link, v)
+            done;
+            for j = 1 to steps do
+              let t =
+                c0 +. half +. (half *. float_of_int j /. float_of_int steps)
+              in
+              let v =
+                if j = steps then cap
+                else
+                  floor_cap
+                  +. ((cap -. floor_cap) *. float_of_int j /. float_of_int steps)
+              in
+              push link_ev (t, link, v)
+            done;
+            incr k
+          end
+          else continue_ := false
+        done
+    | Node_join { at; node } ->
+        (* Deferred activation: the node's links are held down from the
+           start of the run and come alive at [at] with the capacities
+           of the compiled graph. *)
+        let links = incident g node in
+        List.iter (fun l -> push link_ev (0.0, l, 0.0)) links;
+        List.iter
+          (fun l -> push link_ev (at, l, Multigraph.capacity g l))
+          links
   in
   List.iter emit plan;
   (* Stable sort by time keeps generation (= plan) order for ties. *)
@@ -216,14 +358,37 @@ let action_to_json a =
         [ ("at", J.Float at); ("until", J.Float until); ("prob", J.Float prob) ]
     | Ctrl_delay { at; until; delay } ->
         [ ("at", J.Float at); ("until", J.Float until); ("delay", J.Float delay) ]
-    | Node_crash { at; node } | Node_restart { at; node } ->
+    | Node_crash { at; node } | Node_restart { at; node }
+    | Node_join { at; node } ->
         [ ("at", J.Float at); ("node", J.Int node) ]
+    | Node_flap { at; until; node; period; duty } ->
+        [
+          ("at", J.Float at);
+          ("until", J.Float until);
+          ("node", J.Int node);
+          ("period", J.Float period);
+          ("duty", J.Float duty);
+        ]
+    | Capacity_drift { at; until; link; floor_frac; period; steps } ->
+        [
+          ("at", J.Float at);
+          ("until", J.Float until);
+          ("link", J.Int link);
+          ("floor", J.Float floor_frac);
+          ("period", J.Float period);
+          ("steps", J.Int steps);
+        ]
   in
   J.Obj (base @ fields)
 
+(* Legacy-only plans keep emitting ["version": 1] byte-for-byte; the
+   version is raised to 2 only when a churn op is present. *)
 let to_json plan =
   J.Obj
-    [ ("version", J.Int 1); ("actions", J.List (List.map action_to_json plan)) ]
+    [
+      ("version", J.Int (plan_version plan));
+      ("actions", J.List (List.map action_to_json plan));
+    ]
 
 let float_field name j =
   match J.member name j with
@@ -299,15 +464,34 @@ let action_of_json j =
           let* at = float_field "at" j in
           let* node = int_field "node" j in
           Ok (Node_restart { at; node })
+      | "node_flap" ->
+          let* at = float_field "at" j in
+          let* until = float_field "until" j in
+          let* node = int_field "node" j in
+          let* period = float_field "period" j in
+          let* duty = float_field "duty" j in
+          Ok (Node_flap { at; until; node; period; duty })
+      | "capacity_drift" ->
+          let* at = float_field "at" j in
+          let* until = float_field "until" j in
+          let* link = int_field "link" j in
+          let* floor_frac = float_field "floor" j in
+          let* period = float_field "period" j in
+          let* steps = int_field "steps" j in
+          Ok (Capacity_drift { at; until; link; floor_frac; period; steps })
+      | "node_join" ->
+          let* at = float_field "at" j in
+          let* node = int_field "node" j in
+          Ok (Node_join { at; node })
       | other -> Error (Printf.sprintf "unknown op %S" other))
   | _ -> Error "action: expected object"
 
 let of_json j =
   match j with
   | J.Obj _ -> (
-      let* () =
+      let* version =
         match J.member "version" j with
-        | Some (J.Int 1) -> Ok ()
+        | Some (J.Int (1 as v)) | Some (J.Int (2 as v)) -> Ok v
         | Some _ -> Error "unsupported plan version"
         | None -> Error "missing field \"version\""
       in
@@ -317,7 +501,11 @@ let of_json j =
             | [] -> Ok (List.rev acc)
             | a :: rest ->
                 let* act = action_of_json a in
-                go (act :: acc) rest
+                if action_version act > version then
+                  Error
+                    (Printf.sprintf "op %S requires plan version %d"
+                       (op_name act) (action_version act))
+                else go (act :: acc) rest
           in
           go [] actions
       | Some _ -> Error "field \"actions\": expected list"
@@ -351,26 +539,35 @@ let of_file path =
 (* Seeded generator                                                  *)
 
 module Gen = struct
-  type intensity = Light | Moderate | Heavy | Severing
+  type intensity = Light | Moderate | Heavy | Severing | Churn
 
   let intensity_name = function
     | Light -> "light"
     | Moderate -> "moderate"
     | Heavy -> "heavy"
     | Severing -> "severing"
+    | Churn -> "churn"
 
   let intensity_of_name = function
     | "light" -> Some Light
     | "moderate" -> Some Moderate
     | "heavy" -> Some Heavy
     | "severing" -> Some Severing
+    | "churn" -> Some Churn
     | _ -> None
 
   (* Draw order per fault (fixed — part of the seeding contract):
      kind, then the [t0 < t1] window, then kind-specific params.
      Severing plans draw the victim (when not pinned) and then one
-     window; non-severing intensities consume no victim draw. *)
-  let plan ?(intensity = Moderate) ?clear_by ?victim rng g ~duration =
+     window; non-severing intensities consume no victim draw.
+
+     Victims are drawn by indexing the sorted array of eligible
+     (unprotected) nodes / links. With an empty protect set the
+     eligible arrays are the identity, so the consumed draws — and
+     therefore the generated plans — are byte-identical to the
+     pre-[?protect] generator. *)
+  let plan ?(intensity = Moderate) ?clear_by ?victim ?(protect = []) rng g
+      ~duration =
     if not (Float.is_finite duration && duration > 0.0) then
       invalid_arg "Fault.Gen.plan: bad duration";
     let clear_by =
@@ -385,6 +582,28 @@ module Gen = struct
     | Some v when v < 0 || v >= n_nodes ->
       invalid_arg "Fault.Gen.plan: victim out of range"
     | _ -> ());
+    List.iter
+      (fun v ->
+        if v < 0 || v >= n_nodes then
+          invalid_arg "Fault.Gen.plan: protect node out of range")
+      protect;
+    let protected_ v = List.mem v protect in
+    let nodes =
+      Array.of_list
+        (List.filter (fun v -> not (protected_ v)) (List.init n_nodes Fun.id))
+    in
+    let links =
+      Array.of_list
+        (List.filter
+           (fun l ->
+             let lk = Multigraph.link g l in
+             not (protected_ lk.Multigraph.src || protected_ lk.Multigraph.dst))
+           (List.init n_links Fun.id))
+    in
+    if Array.length nodes = 0 || Array.length links = 0 then
+      invalid_arg "Fault.Gen.plan: protect leaves no eligible victims";
+    let pick_node () = nodes.(Rng.int rng (Array.length nodes)) in
+    let pick_link () = links.(Rng.int rng (Array.length links)) in
     let window () =
       let t0 = Rng.uniform rng 0.2 (clear_by -. 0.3) in
       let t1 = Rng.uniform rng (t0 +. 0.1) (clear_by -. 0.05) in
@@ -396,16 +615,56 @@ module Gen = struct
          it terminates — every route of any flow sourced at or
          destined to it (pin the flow's endpoint with [victim]) is
          down for the whole [t0, t1] window, then the node restarts
-         with its original capacities. *)
-      let v = match victim with Some v -> v | None -> Rng.int rng n_nodes in
+         with its original capacities. A pinned victim overrides the
+         protect set: severing a protected node must be explicit. *)
+      let v = match victim with Some v -> v | None -> pick_node () in
       let t0, t1 = window () in
       [ Node_crash { at = t0; node = v }; Node_restart { at = t1; node = v } ]
+    | Churn ->
+      (* Long-horizon churn: sustained flapping, slow capacity drift
+         and a deferred node join, spanning up to ~0.9 x duration
+         (clear_by is ignored). Draw order (seeding contract):
+         n_flaps; per flap node, at, period, duty, until; n_drifts;
+         per drift link, floor, at, until, cycle count; then the
+         join node and join time. *)
+      if duration < 10.0 then
+        invalid_arg "Fault.Gen.plan: churn needs duration >= 10";
+      let n_flaps = 1 + Rng.int rng 2 in
+      let flaps =
+        List.concat
+          (List.init n_flaps (fun _ ->
+               let node = pick_node () in
+               let at = Rng.uniform rng 1.0 (duration *. 0.2) in
+               let period = Rng.uniform rng 1.5 3.5 in
+               let duty = Rng.uniform rng 0.3 0.5 in
+               let until =
+                 Rng.uniform rng (duration *. 0.55) (duration *. 0.85)
+               in
+               [ Node_flap { at; until; node; period; duty } ]))
+      in
+      let n_drifts = 1 + Rng.int rng 2 in
+      let drifts =
+        List.concat
+          (List.init n_drifts (fun _ ->
+               let link = pick_link () in
+               let floor_frac = Rng.uniform rng 0.2 0.5 in
+               let at = Rng.uniform rng 0.5 (duration *. 0.15) in
+               let until =
+                 Rng.uniform rng (duration *. 0.6) (duration *. 0.9)
+               in
+               let cycles = 2 + Rng.int rng 3 in
+               let period = (until -. at) /. float_of_int cycles in
+               [ Capacity_drift { at; until; link; floor_frac; period; steps = 4 } ]))
+      in
+      let join_node = pick_node () in
+      let join_at = Rng.uniform rng (duration *. 0.2) (duration *. 0.5) in
+      flaps @ drifts @ [ Node_join { at = join_at; node = join_node } ]
     | Light | Moderate | Heavy ->
     let n_faults =
       match intensity with
       | Light -> 1 + Rng.int rng 2
       | Moderate -> 3 + Rng.int rng 3
-      | Heavy | Severing -> 6 + Rng.int rng 5
+      | Heavy | Severing | Churn -> 6 + Rng.int rng 5
     in
     let fault () =
       let kind = Rng.int rng 7 in
@@ -413,7 +672,7 @@ module Gen = struct
       match kind with
       | 0 ->
           (* Link flap: both directions of a physical edge. *)
-          let l = Rng.int rng n_links in
+          let l = pick_link () in
           let peer = (Multigraph.link g l).Multigraph.peer in
           [
             Link_down { at = t0; link = l };
@@ -423,7 +682,7 @@ module Gen = struct
               { at = t1; link = peer; capacity = Multigraph.capacity g peer };
           ]
       | 1 ->
-          let l = Rng.int rng n_links in
+          let l = pick_link () in
           let cap = Multigraph.capacity g l in
           let frac = Rng.uniform rng 0.2 0.8 in
           [
@@ -431,7 +690,7 @@ module Gen = struct
             Capacity_set { at = t1; link = l; capacity = cap };
           ]
       | 2 ->
-          let l = Rng.int rng n_links in
+          let l = pick_link () in
           let cap = Multigraph.capacity g l in
           let frac = Rng.uniform rng 0.2 0.8 in
           [
@@ -447,7 +706,7 @@ module Gen = struct
             Capacity_set { at = t1; link = l; capacity = cap };
           ]
       | 3 ->
-          let l = Rng.int rng n_links in
+          let l = pick_link () in
           let prob = Rng.uniform rng 0.05 0.4 in
           [ Loss_window { at = t0; until = t1; link = l; prob } ]
       | 4 ->
@@ -457,7 +716,7 @@ module Gen = struct
           let delay = Rng.uniform rng 0.02 0.15 in
           [ Ctrl_delay { at = t0; until = t1; delay } ]
       | _ ->
-          let node = Rng.int rng n_nodes in
+          let node = pick_node () in
           [ Node_crash { at = t0; node }; Node_restart { at = t1; node } ]
     in
     let rec go n acc = if n = 0 then acc else go (n - 1) (acc @ fault ()) in

@@ -88,13 +88,61 @@ type action =
   | Node_restart of { at : float; node : int }
       (** All links incident to [node] return to the capacities of
           the graph the plan is compiled against. *)
+  | Node_flap of {
+      at : float;
+      until : float;
+      node : int;
+      period : float;
+      duty : float;
+    }
+      (** Long-horizon crash/restart flapping (plan version 2): the
+          node crashes at [at + k *. period] for [k = 0, 1, ...] and
+          restarts [duty *. period] seconds later; only cycles whose
+          restart fits inside [until] run, so the node always ends
+          restored. Requires [period > 0], [duty] in [(0,1)] and a
+          window long enough for one full cycle. *)
+  | Capacity_drift of {
+      at : float;
+      until : float;
+      link : int;
+      floor_frac : float;
+      period : float;
+      steps : int;
+    }
+      (** Slow repeating capacity ramp (plan version 2): each
+          [period]-long cycle steps the link from its compiled
+          nominal capacity down to [floor_frac] of it over half the
+          period in [steps] equal setpoints, then back up. Only full
+          cycles inside [until] run, so the link always ends at its
+          nominal capacity. *)
+  | Node_join of { at : float; node : int }
+      (** Deferred activation (plan version 2): every link incident
+          to [node] is held at capacity 0 from the start of the run
+          and comes alive at [at] with the compiled capacities —
+          i.e. the node "joins" the network mid-run. [at] must be
+          strictly positive. *)
 
 type plan = action list
 
 val empty : plan
 
 val start_time : action -> float
-(** The instant the action first takes effect ([at]). *)
+(** The instant the action first takes effect ([at]; [0.] for
+    {!action.Node_join}, whose links are held down from the start). *)
+
+val end_time : action -> float
+(** The instant the action stops changing the network: [until] for
+    windowed actions, [at +. over] for ramps, [at] for instantaneous
+    actions and joins. *)
+
+val op_name : action -> string
+(** Stable identifier used by the JSON codec (["link_down"], ...). *)
+
+val plan_version : plan -> int
+(** Codec version the plan encodes as: [2] when any churn action
+    ({!action.Node_flap}, {!action.Capacity_drift},
+    {!action.Node_join}) is present, else [1] — so legacy plans keep
+    their byte-exact version-1 encoding. *)
 
 val normalize : plan -> plan
 (** Stable sort by {!start_time}; equal-time actions keep plan
@@ -126,7 +174,9 @@ val compile : Multigraph.t -> plan -> compiled
 val to_json : plan -> Obs.Json.t
 val of_json : Obs.Json.t -> (plan, string) result
 (** Strict: unknown ["op"], missing / mistyped fields and bad
-    ["version"] are [Error]s. [of_json (to_json p) = Ok p]. *)
+    ["version"] are [Error]s, and a version-1 document containing a
+    version-2 op is rejected. Versions 1 and 2 are accepted.
+    [of_json (to_json p) = Ok p]. *)
 
 val encode : plan -> string
 (** Compact JSON, no trailing newline. *)
@@ -139,10 +189,11 @@ val of_file : string -> (plan, string) result
 (** Random-but-reproducible plans from a seed and an intensity
     profile. *)
 module Gen : sig
-  type intensity = Light | Moderate | Heavy | Severing
+  type intensity = Light | Moderate | Heavy | Severing | Churn
 
   val intensity_name : intensity -> string
-  (** ["light"] | ["moderate"] | ["heavy"] | ["severing"]. *)
+  (** ["light"] | ["moderate"] | ["heavy"] | ["severing"] |
+      ["churn"]. *)
 
   val intensity_of_name : string -> intensity option
 
@@ -150,6 +201,7 @@ module Gen : sig
     ?intensity:intensity ->
     ?clear_by:float ->
     ?victim:int ->
+    ?protect:int list ->
     Rng.t ->
     Multigraph.t ->
     duration:float ->
@@ -175,7 +227,32 @@ module Gen : sig
       plans are byte-stable. [victim] is ignored by non-severing
       intensities.
 
+      [Churn] is the long-horizon profile: it ignores [clear_by] and
+      draws sustained {!action.Node_flap} cycles (1–2), slow
+      {!action.Capacity_drift} ramps (1–2) and one deferred
+      {!action.Node_join}, with windows extending to ~0.9 x
+      [duration]. Draw order (seeding contract): flap count, then
+      per flap node / start / period / duty / until; drift count,
+      then per drift link / floor / start / until / cycle count;
+      finally the join node and join time. Requires
+      [duration >= 10].
+
+      [protect] is a node set that generated churn must route
+      around: node victims (crash / restart, flaps, joins, the
+      unpinned severing victim) are drawn only from unprotected
+      nodes, and link victims (flaps, degradations, ramps, loss
+      windows, drifts) only from links with both endpoints
+      unprotected — so passing a flow's endpoints guarantees a
+      generated plan never severs that flow's last route at its
+      source or destination. Victims are drawn by indexing the
+      ascending array of eligible ids, so an empty [protect]
+      consumes exactly the draws of the pre-[protect] generator and
+      existing seeded plans are byte-stable. A pinned Severing
+      [victim] overrides [protect]: severing a protected node must
+      be asked for explicitly.
+
       Raises [Invalid_argument] if [clear_by < 1.0],
-      [clear_by > duration], the victim is out of range or the graph
-      has no links. *)
+      [clear_by > duration], the victim or a protected node is out
+      of range, the graph has no links, [protect] leaves no
+      eligible victim, or [duration < 10] for [Churn]. *)
 end

@@ -1618,6 +1618,8 @@ module Recorder = struct
       Metrics.Gauge.set (Metrics.gauge r.reg "ctrl.fault.delay") delay
     | Trace.Route_dead { flow; detect_s; _ } ->
       Metrics.Counter.incr (Metrics.counter r.reg "recovery.route_deaths");
+      Metrics.Counter.incr
+        (Metrics.counter r.reg (Printf.sprintf "flow.%d.route_deaths" flow));
       (* Worst-case detection latency of the run, per flow. *)
       let g =
         Metrics.gauge r.reg (Printf.sprintf "flow.%d.fault.detect_s" flow)
@@ -1627,6 +1629,13 @@ module Recorder = struct
       Metrics.Counter.incr (Metrics.counter r.reg "recovery.probes")
     | Trace.Route_restored { flow; down_s; _ } ->
       Metrics.Counter.incr (Metrics.counter r.reg "recovery.route_restores");
+      Metrics.Counter.incr
+        (Metrics.counter r.reg (Printf.sprintf "flow.%d.route_restores" flow));
+      (* Accumulated outage time across the run's route deaths. *)
+      let o =
+        Metrics.gauge r.reg (Printf.sprintf "flow.%d.fault.outage_s" flow)
+      in
+      Metrics.Gauge.set o (Metrics.Gauge.value o +. down_s);
       let g =
         Metrics.gauge r.reg (Printf.sprintf "flow.%d.fault.down_s" flow)
       in

@@ -543,7 +543,11 @@ end
       ["recovery.price_resets"] — event counters;
       ["flow.<f>.fault.detect_s"] — worst detection latency of the
       run (gauge); ["flow.<f>.fault.down_s"] — longest detected
-      outage that was subsequently restored (gauge). *)
+      outage that was subsequently restored (gauge);
+      ["flow.<f>.route_deaths"] / ["flow.<f>.route_restores"] —
+      per-flow route death / restore counters;
+      ["flow.<f>.fault.outage_s"] — outage seconds accumulated over
+      every restored route death of the run (gauge). *)
 module Recorder : sig
   type t
 

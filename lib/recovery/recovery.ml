@@ -97,6 +97,10 @@ module Detector = struct
     let r = t.routes.(route) in
     if r.down then Some r.down_since else None
 
+  let suspicion t route =
+    check t route;
+    t.routes.(route).misses
+
   let observe t ~route ~now ~injected ~acked ~frame_bytes =
     check t route;
     if (not (Float.is_finite injected)) || injected < 0.0 then

@@ -95,6 +95,12 @@ module Detector : sig
 
   val down_since : t -> int -> float option
   (** Declaration time of the current outage, if any. *)
+
+  val suspicion : t -> int -> int
+  (** Current consecutive-miss count for the route — [0] when
+      healthy, reset by any acked byte. Exposed so tests can assert
+      that crash/restart flapping faster than [hello_timeout] leaks
+      no Suspect state across recoveries. *)
 end
 
 val survivors :

@@ -156,6 +156,10 @@ type flow_state = {
      routing-estimated rates restored when a dead route heals *)
   detector : Recovery.Detector.t option;
   reclaim_attempt : int array;
+  (* Probe-chain generation per route: bumped on every route death so
+     probes scheduled by an earlier outage become stale no-ops instead
+     of running as a second concurrent chain under fast flapping. *)
+  reclaim_gen : int array;
   init_x : float array;
   (* tcp — the token bucket's floats live in per-flow arrays in [run] *)
   tcp : Tcp.t option;
@@ -179,7 +183,9 @@ type event =
   | Tcp_rto of int * float  (* flow, the deadline this event was armed for *)
   | Flow_start of int
   | Flow_stop of int
-  | Reclaim_probe of int * int  (* flow, route: backoff-scheduled probe *)
+  | Reclaim_probe of int * int * int
+      (* flow, route, generation: backoff-scheduled probe; probes from
+         a superseded outage (stale generation) are no-ops *)
 
 let mbps_of_bits bits seconds = bits /. 1e6 /. seconds
 
@@ -527,6 +533,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                ~now:spec.start_time)
         | _ -> None);
       reclaim_attempt = Array.make n_routes 0;
+      reclaim_gen = Array.make n_routes 0;
       init_x = Array.of_list spec.init_rates;
       tcp =
         (match spec.transport with
@@ -1249,7 +1256,10 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
           f.x_bar.(j) <- f.x_bar.(j) +. share)
         ls);
     f.reclaim_attempt.(i) <- 0;
-    schedule (Recovery.Backoff.delay rc rrng ~attempt:0) (Reclaim_probe (f.id, i))
+    f.reclaim_gen.(i) <- f.reclaim_gen.(i) + 1;
+    schedule
+      (Recovery.Backoff.delay rc rrng ~attempt:0)
+      (Reclaim_probe (f.id, i, f.reclaim_gen.(i)))
   in
   let on_route_restored f i ~down_for =
     if fl_on then
@@ -1587,11 +1597,12 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
       | Udp -> schedule_inject f
       | Tcp_transport -> tcp_try_send f)
     | Flow_stop fid -> flow_states.(fid).active <- false
-    | Reclaim_probe (fid, i) -> (
+    | Reclaim_probe (fid, i, gen) -> (
       let f = flow_states.(fid) in
       match (f.detector, config.recovery, rec_rng) with
       | Some det, Some rc, Some rrng
-        when f.active && Recovery.Detector.dead det i ->
+        when f.active && gen = f.reclaim_gen.(i)
+             && Recovery.Detector.dead det i ->
         (* One frame down the dead route; its delivery (and the ack
            that reports it) is what flips the detector back to alive.
            The next probe backs off exponentially up to the cap. *)
@@ -1609,7 +1620,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
         f.reclaim_attempt.(i) <- f.reclaim_attempt.(i) + 1;
         schedule
           (Recovery.Backoff.delay rc rrng ~attempt:f.reclaim_attempt.(i))
-          (Reclaim_probe (fid, i))
+          (Reclaim_probe (fid, i, gen))
       | _ -> ())
   in
   (* Profiler attribution: the subsystem whose handler ran the event.

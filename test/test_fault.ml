@@ -89,8 +89,12 @@ let test_decode_rejects () =
       {|{"version":1,"actions":{}}|};
       (* missing / bad version *)
       {|{"actions":[]}|};
-      {|{"version":2,"actions":[]}|};
+      {|{"version":3,"actions":[]}|};
       {|{"version":"1","actions":[]}|};
+      (* churn ops demand version 2 *)
+      {|{"version":1,"actions":[{"op":"node_flap","at":1,"until":4,"node":0,"period":1,"duty":0.5}]}|};
+      {|{"version":1,"actions":[{"op":"capacity_drift","at":1,"until":4,"link":0,"floor":0.5,"period":2,"steps":2}]}|};
+      {|{"version":1,"actions":[{"op":"node_join","at":1,"node":0}]}|};
       (* plan not an object *)
       "[]";
       "not json at all";
@@ -338,18 +342,7 @@ let test_gen_deterministic () =
     (List.exists (fun s -> draw s Fault.Gen.Heavy <> draw 7 Fault.Gen.Heavy)
        [ 8; 9; 10; 11 ])
 
-let action_clear_time a =
-  let open Fault in
-  match a with
-  | Link_down { at; _ }
-  | Link_up { at; _ }
-  | Capacity_set { at; _ }
-  | Node_crash { at; _ }
-  | Node_restart { at; _ } ->
-    at
-  | Capacity_ramp { at; over; _ } -> at +. over
-  | Loss_window { until; _ } | Ctrl_drop { until; _ } | Ctrl_delay { until; _ } ->
-    until
+let action_clear_time = Fault.end_time
 
 let test_gen_valid_and_clears () =
   let g = fig1 () in
@@ -516,6 +509,253 @@ let test_gen_bad_args () =
          Fault.Gen.plan ~intensity:Fault.Gen.Severing ~victim:(-1) (Rng.create 1)
            (fig1 ()) ~duration:10.0))
 
+(* ---------- churn ops (plan version 2) ---------- *)
+
+let churn_action_variants =
+  let open Fault in
+  [
+    Node_flap { at = 1.5; until = 9.75; node = 1; period = 2.5; duty = 0.4 };
+    Capacity_drift
+      {
+        at = 0.5;
+        until = 8.5;
+        link = 4;
+        floor_frac = 1.0 /. 3.0;
+        period = 4.0;
+        steps = 3;
+      };
+    Node_join { at = 0.125; node = 2 };
+  ]
+
+let test_v2_roundtrip () =
+  let plan = all_action_variants @ churn_action_variants in
+  (match Fault.decode (Fault.encode plan) with
+  | Ok p' when p' = plan -> ()
+  | Ok _ -> Alcotest.fail "v2 plan does not round-trip"
+  | Error m -> Alcotest.failf "v2 plan decode failed: %s" m);
+  List.iter
+    (fun a ->
+      match Fault.decode (Fault.encode [ a ]) with
+      | Ok [ a' ] when a = a' -> ()
+      | Ok _ ->
+        Alcotest.failf "churn variant does not round-trip: %s" (Fault.encode [ a ])
+      | Error m -> Alcotest.failf "decode failed on %s: %s" (Fault.encode [ a ]) m)
+    churn_action_variants
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_version_pinning () =
+  (* Legacy plans must keep encoding byte-compatible version-1
+     documents; the version rises to 2 exactly when a churn op is
+     present. *)
+  Alcotest.(check int) "legacy plan version" 1
+    (Fault.plan_version all_action_variants);
+  Alcotest.(check bool) "legacy encodes as version 1" true
+    (contains ~needle:{|"version":1|} (Fault.encode all_action_variants));
+  List.iter
+    (fun a ->
+      Alcotest.(check int)
+        (Fault.op_name a ^ " is a version-2 op")
+        2
+        (Fault.plan_version [ a ]))
+    churn_action_variants;
+  Alcotest.(check bool) "churn encodes as version 2" true
+    (contains ~needle:{|"version":2|} (Fault.encode churn_action_variants));
+  (* A version-2 document may still carry only legacy ops. *)
+  match
+    Fault.decode
+      {|{"version":2,"actions":[{"op":"link_down","at":1.0,"link":0}]}|}
+  with
+  | Ok [ Fault.Link_down { at = 1.0; link = 0 } ] -> ()
+  | Ok _ -> Alcotest.fail "legacy op in v2 doc decoded wrongly"
+  | Error m -> Alcotest.failf "legacy op in v2 doc rejected: %s" m
+
+let link_events plan = (Fault.compile (fig1 ()) plan).Fault.link_events
+
+let check_events name expected actual =
+  if expected <> actual then
+    Alcotest.failf "%s: expected %s, got %s" name
+      (String.concat "; "
+         (List.map (fun (t, l, c) -> Printf.sprintf "(%g,%d,%g)" t l c) expected))
+      (String.concat "; "
+         (List.map (fun (t, l, c) -> Printf.sprintf "(%g,%d,%g)" t l c) actual))
+
+let test_compile_flap_cycles () =
+  (* fig1 node 2 is incident to links 2/3 only (capacity 30). A
+     2 s-period, 0.5-duty flap over [2, 10] fits exactly four full
+     cycles; the node must end restored. *)
+  let plan =
+    [ Fault.Node_flap { at = 2.0; until = 10.0; node = 2; period = 2.0; duty = 0.5 } ]
+  in
+  let expected =
+    List.concat_map
+      (fun k ->
+        let c = 2.0 +. (2.0 *. float_of_int k) in
+        [ (c, 2, 0.0); (c, 3, 0.0); (c +. 1.0, 2, 30.0); (c +. 1.0, 3, 30.0) ])
+      [ 0; 1; 2; 3 ]
+  in
+  check_events "flap cycles" expected (link_events plan)
+
+let test_compile_drift_setpoints () =
+  (* Link 0 (capacity 15), floor 0.5, period 4, 2 steps per half:
+     two full cycles fit in [1, 9]; the triangle hits 11.25 / 7.5 on
+     the way down and 11.25 / 15 on the way back up, each cycle. *)
+  let plan =
+    [
+      Fault.Capacity_drift
+        { at = 1.0; until = 9.0; link = 0; floor_frac = 0.5; period = 4.0; steps = 2 };
+    ]
+  in
+  let expected =
+    List.concat_map
+      (fun c0 ->
+        [
+          (c0 +. 1.0, 0, 11.25); (c0 +. 2.0, 0, 7.5);
+          (c0 +. 3.0, 0, 11.25); (c0 +. 4.0, 0, 15.0);
+        ])
+      [ 1.0; 5.0 ]
+  in
+  check_events "drift setpoints" expected (link_events plan)
+
+let test_compile_join_holds_then_activates () =
+  let plan = [ Fault.Node_join { at = 3.5; node = 2 } ] in
+  check_events "join"
+    [ (0.0, 2, 0.0); (0.0, 3, 0.0); (3.5, 2, 30.0); (3.5, 3, 30.0) ]
+    (link_events plan)
+
+let test_churn_validation () =
+  let g = fig1 () in
+  let bad name plan =
+    match Fault.validate g plan with
+    | Ok () -> Alcotest.failf "%s: invalid churn op accepted" name
+    | Error _ -> ()
+  in
+  let open Fault in
+  bad "flap period 0"
+    [ Node_flap { at = 1.0; until = 5.0; node = 0; period = 0.0; duty = 0.5 } ];
+  bad "flap duty 0"
+    [ Node_flap { at = 1.0; until = 5.0; node = 0; period = 1.0; duty = 0.0 } ];
+  bad "flap duty 1"
+    [ Node_flap { at = 1.0; until = 5.0; node = 0; period = 1.0; duty = 1.0 } ];
+  bad "flap window below one cycle"
+    [ Node_flap { at = 1.0; until = 1.4; node = 0; period = 1.0; duty = 0.5 } ];
+  bad "flap node out of range"
+    [ Node_flap { at = 1.0; until = 5.0; node = 9; period = 1.0; duty = 0.5 } ];
+  bad "drift floor > 1"
+    [
+      Capacity_drift
+        { at = 1.0; until = 9.0; link = 0; floor_frac = 1.5; period = 2.0; steps = 2 };
+    ];
+  bad "drift steps 0"
+    [
+      Capacity_drift
+        { at = 1.0; until = 9.0; link = 0; floor_frac = 0.5; period = 2.0; steps = 0 };
+    ];
+  bad "drift window below one cycle"
+    [
+      Capacity_drift
+        { at = 1.0; until = 2.5; link = 0; floor_frac = 0.5; period = 2.0; steps = 2 };
+    ];
+  bad "join at 0" [ Node_join { at = 0.0; node = 0 } ]
+
+let test_gen_churn_shape () =
+  let g = fig1 () in
+  let draw seed =
+    Fault.Gen.plan ~intensity:Fault.Gen.Churn (Rng.create seed) g ~duration:30.0
+  in
+  Alcotest.(check bool) "churn draws are deterministic" true (draw 3 = draw 3);
+  List.iter
+    (fun seed ->
+      let plan = draw seed in
+      (match Fault.validate g plan with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "seed %d: generated churn invalid: %s" seed m);
+      let count p = List.length (List.filter p plan) in
+      let flaps = count (function Fault.Node_flap _ -> true | _ -> false) in
+      let drifts = count (function Fault.Capacity_drift _ -> true | _ -> false) in
+      let joins = count (function Fault.Node_join _ -> true | _ -> false) in
+      Alcotest.(check bool) "1-2 flaps" true (flaps >= 1 && flaps <= 2);
+      Alcotest.(check bool) "1-2 drifts" true (drifts >= 1 && drifts <= 2);
+      Alcotest.(check int) "exactly one join" 1 joins;
+      (* Long-horizon: every windowed action clears within the run. *)
+      List.iter
+        (fun a ->
+          if Fault.end_time a > 30.0 then
+            Alcotest.failf "seed %d: %s runs past the horizon" seed
+              (Fault.op_name a))
+        plan)
+    [ 1; 2; 3; 4; 5 ];
+  (* Churn needs room for its long windows. *)
+  match
+    Fault.Gen.plan ~intensity:Fault.Gen.Churn (Rng.create 1) g ~duration:5.0
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "churn on a 5 s run must be rejected"
+
+let test_gen_protect () =
+  let g = fig1 () in
+  (* Protecting node 0 leaves nodes 1/2 and the 1-2 edge (links 2/3)
+     as the only eligible victims. *)
+  let protected_node = 0 in
+  let touches_protected a =
+    let open Fault in
+    let link_bad l =
+      let lk = Multigraph.link g l in
+      lk.Multigraph.src = protected_node || lk.Multigraph.dst = protected_node
+    in
+    match a with
+    | Link_down { link; _ } | Link_up { link; _ } | Capacity_set { link; _ }
+    | Capacity_ramp { link; _ } | Loss_window { link; _ }
+    | Capacity_drift { link; _ } ->
+      link_bad link
+    | Node_crash { node; _ } | Node_restart { node; _ }
+    | Node_flap { node; _ } | Node_join { node; _ } ->
+      node = protected_node
+    | Ctrl_drop _ | Ctrl_delay _ -> false
+  in
+  List.iter
+    (fun (intensity, duration) ->
+      List.iter
+        (fun seed ->
+          let plan =
+            Fault.Gen.plan ~intensity ~protect:[ protected_node ]
+              (Rng.create seed) g ~duration
+          in
+          List.iter
+            (fun a ->
+              if touches_protected a then
+                Alcotest.failf "seed %d: %s touches the protected node" seed
+                  (Fault.op_name a))
+            plan)
+        [ 1; 2; 3; 4; 5; 6; 7 ])
+    [
+      (Fault.Gen.Light, 20.0); (Fault.Gen.Moderate, 20.0);
+      (Fault.Gen.Heavy, 20.0); (Fault.Gen.Churn, 30.0);
+    ];
+  (* Byte-stability: an empty protect set consumes exactly the draws
+     of the pre-protect generator. *)
+  List.iter
+    (fun seed ->
+      let with_empty =
+        Fault.Gen.plan ~intensity:Fault.Gen.Heavy ~protect:[] (Rng.create seed)
+          g ~duration:20.0
+      and without =
+        Fault.Gen.plan ~intensity:Fault.Gen.Heavy (Rng.create seed) g
+          ~duration:20.0
+      in
+      Alcotest.(check bool) "empty protect is draw-identical" true
+        (with_empty = without))
+    [ 1; 5; 9 ];
+  (* Protecting everything leaves no victims. *)
+  match
+    Fault.Gen.plan ~protect:[ 0; 1; 2 ] (Rng.create 1) g ~duration:20.0
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fully protected graph must be rejected"
+
 let () =
   Alcotest.run "fault"
     [
@@ -565,5 +805,17 @@ let () =
             test_severing_name_and_determinism;
           Alcotest.test_case "victim ignored by other intensities" `Quick
             test_severing_victim_ignored_elsewhere;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "v2 round-trip" `Quick test_v2_roundtrip;
+          Alcotest.test_case "version pinning" `Quick test_version_pinning;
+          Alcotest.test_case "flap cycles" `Quick test_compile_flap_cycles;
+          Alcotest.test_case "drift setpoints" `Quick test_compile_drift_setpoints;
+          Alcotest.test_case "join holds then activates" `Quick
+            test_compile_join_holds_then_activates;
+          Alcotest.test_case "validation" `Quick test_churn_validation;
+          Alcotest.test_case "generated churn shape" `Quick test_gen_churn_shape;
+          Alcotest.test_case "protect honored" `Quick test_gen_protect;
         ] );
     ]

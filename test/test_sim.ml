@@ -764,6 +764,81 @@ let test_ctrl_faults_survivable () =
   in
   Alcotest.(check bool) "flow survives control faults" true (goodput_of res 0 > 8.0)
 
+let test_flapping_probe_chains () =
+  (* Crash/restart flapping of a relay node, faster than the reclaim
+     backoff drains: after every Route_dead the traced reclaim-probe
+     attempts must restart at 0 and increment by exactly one — a probe
+     chain left over from a previous outage may not survive the
+     restore/re-death cycle (it would double-schedule probes and
+     consume backoff jitter draws twice per real attempt). *)
+  let g =
+    Multigraph.create ~n_nodes:3 ~n_techs:2
+      ~edges:
+        [
+          (0, 1, 0, 20.0) (* wifi direct, links 0/1 *);
+          (0, 2, 1, 20.0) (* plc to relay, links 2/3 *);
+          (2, 1, 1, 20.0) (* plc from relay, links 4/5 *);
+        ]
+  in
+  let dom = Domain.single_domain_per_tech g in
+  let flow =
+    {
+      Engine.src = 0;
+      dst = 1;
+      routes = [ Paths.of_links g [ 0 ]; Paths.of_links g [ 2; 4 ] ];
+      init_rates = [ 15.0; 15.0 ];
+      workload = Workload.Saturated;
+      transport = Engine.Udp;
+      tcp_params = None;
+      start_time = 0.0;
+      stop_time = None;
+    }
+  in
+  let plan =
+    [ Fault.Node_flap { at = 2.0; until = 16.0; node = 2; period = 1.5; duty = 0.4 } ]
+  in
+  let compiled = Fault.compile g plan in
+  let config =
+    {
+      Engine.default_config with
+      Engine.route_reclaim = true;
+      recovery = Some Recovery.default;
+    }
+  in
+  let sink, got = Obs.Trace.collector () in
+  ignore
+    (Engine.run ~config ~trace:sink
+       ~link_events:compiled.Fault.link_events (Rng.create 47) g dom
+       ~flows:[ flow ] ~duration:18.0);
+  let deaths = ref 0 and restores = ref 0 and probes = ref 0 in
+  (* expected.(route) = next legal probe attempt; -1 = not dead, no
+     probe may arrive at all. *)
+  let expected = Array.make 2 (-1) in
+  List.iter
+    (function
+      | Obs.Trace.Route_dead { route; _ } ->
+        incr deaths;
+        expected.(route) <- 0
+      | Obs.Trace.Route_restored { route; _ } ->
+        incr restores;
+        expected.(route) <- -1
+      | Obs.Trace.Route_probe { route; attempt; _ } ->
+        incr probes;
+        if expected.(route) < 0 then
+          Alcotest.failf "probe on live route %d (attempt %d)" route attempt;
+        if attempt <> expected.(route) then
+          Alcotest.failf
+            "route %d: probe attempt %d, expected %d — stale probe chain"
+            route attempt expected.(route);
+        expected.(route) <- attempt + 1
+      | _ -> ())
+    (got ());
+  (* The flap must actually cycle the relay route several times for
+     the pin to mean anything. *)
+  Alcotest.(check bool) "several outages" true (!deaths >= 3);
+  Alcotest.(check bool) "several restores" true (!restores >= 3);
+  Alcotest.(check bool) "probes observed" true (!probes >= !deaths)
+
 let test_bad_fault_schedules_rejected () =
   let g = Multigraph.create ~n_nodes:2 ~n_techs:1 ~edges:[ (0, 1, 0, 20.0) ] in
   let dom = Domain.single_domain_per_tech g in
@@ -975,6 +1050,8 @@ let () =
           Alcotest.test_case "full loss window" `Quick test_full_loss_window;
           Alcotest.test_case "control faults survivable" `Quick
             test_ctrl_faults_survivable;
+          Alcotest.test_case "flapping probe chains" `Quick
+            test_flapping_probe_chains;
           Alcotest.test_case "bad schedules rejected" `Quick
             test_bad_fault_schedules_rejected;
         ] );

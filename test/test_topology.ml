@@ -192,9 +192,145 @@ let prop_capacities_within_radius =
       done;
       !ok)
 
+(* ---------- device classes ---------- *)
+
+let device_inst () = Testbed.generate (Rng.create 4242)
+
+let test_device_apply_identity () =
+  let inst = device_inst () in
+  Alcotest.(check bool) "apply [] is the identity" true
+    (Device.apply inst [] = inst)
+
+let test_device_legacy_mask () =
+  let inst = device_inst () in
+  let victim = List.hd (Builder.dual_nodes inst) in
+  let inst' = Device.apply inst [ { Device.node = victim; cls = Device.Legacy; panel = None } ] in
+  let n = Builder.node_count inst' in
+  Alcotest.(check bool) "legacy node loses dual flag" false
+    inst'.Builder.nodes.(victim).Builder.dual;
+  for j = 0 to n - 1 do
+    Alcotest.(check (float 0.0)) "no wifi2" 0.0 inst'.Builder.wifi2.(victim).(j);
+    Alcotest.(check (float 0.0)) "no plc" 0.0 inst'.Builder.plc.(victim).(j);
+    Alcotest.(check (float 0.0)) "no wifi2 inbound" 0.0
+      inst'.Builder.wifi2.(j).(victim);
+    Alcotest.(check (float 0.0)) "no plc inbound" 0.0
+      inst'.Builder.plc.(j).(victim);
+    (* The primary radio is untouched. *)
+    Alcotest.(check (float 0.0)) "wifi1 kept" inst.Builder.wifi1.(victim).(j)
+      inst'.Builder.wifi1.(victim).(j)
+  done
+
+let test_device_panel_override () =
+  let inst = device_inst () in
+  (* Move one PLC-connected node onto its own panel: every PLC pair
+     through it dies, everything else is untouched. *)
+  let n = Builder.node_count inst in
+  let victim =
+    let rec find i =
+      if i >= n then Alcotest.fail "no plc-connected node in the testbed"
+      else if Array.exists (fun c -> c > 0.0) inst.Builder.plc.(i) then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let inst' =
+    Device.apply inst [ { Device.node = victim; cls = Device.Full; panel = Some 7 } ]
+  in
+  Alcotest.(check int) "panel overridden" 7
+    inst'.Builder.nodes.(victim).Builder.panel;
+  for j = 0 to n - 1 do
+    Alcotest.(check (float 0.0)) "plc severed" 0.0 inst'.Builder.plc.(victim).(j)
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> victim && j <> victim then
+        Alcotest.(check (float 0.0)) "other plc pairs untouched"
+          inst.Builder.plc.(i).(j) inst'.Builder.plc.(i).(j)
+    done
+  done
+
+let test_device_relay_originates () =
+  let specs =
+    [
+      { Device.node = 3; cls = Device.Relay; panel = None };
+      { Device.node = 5; cls = Device.Legacy; panel = None };
+    ]
+  in
+  Alcotest.(check bool) "relay does not originate" false (Device.originates specs 3);
+  Alcotest.(check bool) "legacy originates" true (Device.originates specs 5);
+  Alcotest.(check bool) "unlisted originates" true (Device.originates specs 0);
+  Alcotest.(check (list int)) "relay_nodes" [ 3 ] (Device.relay_nodes specs)
+
+let test_device_mask_only_removes () =
+  (* Whatever the spec, no matrix entry may grow: device classes are
+     a mask, never a capability grant. *)
+  let inst = device_inst () in
+  let n = Builder.node_count inst in
+  let specs =
+    [
+      { Device.node = 0; cls = Device.Legacy; panel = None };
+      { Device.node = 1; cls = Device.Relay; panel = Some 3 };
+      { Device.node = 2; cls = Device.Full; panel = Some 1 };
+    ]
+  in
+  let inst' = Device.apply inst specs in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let le what a b =
+        if b > a then
+          Alcotest.failf "%s (%d,%d) grew from %g to %g" what i j a b
+      in
+      le "wifi1" inst.Builder.wifi1.(i).(j) inst'.Builder.wifi1.(i).(j);
+      le "wifi2" inst.Builder.wifi2.(i).(j) inst'.Builder.wifi2.(i).(j);
+      le "plc" inst.Builder.plc.(i).(j) inst'.Builder.plc.(i).(j)
+    done
+  done
+
+let test_device_validate () =
+  let inst = device_inst () in
+  let bad name specs =
+    match Device.validate inst specs with
+    | Ok () -> Alcotest.failf "%s: invalid spec accepted" name
+    | Error _ -> ()
+  in
+  (match Device.validate inst [] with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "empty spec rejected: %s" m);
+  bad "node out of range" [ { Device.node = 99; cls = Device.Full; panel = None } ];
+  bad "negative node" [ { Device.node = -1; cls = Device.Full; panel = None } ];
+  bad "duplicate node"
+    [
+      { Device.node = 1; cls = Device.Relay; panel = None };
+      { Device.node = 1; cls = Device.Legacy; panel = None };
+    ];
+  bad "negative panel" [ { Device.node = 1; cls = Device.Full; panel = Some (-2) } ];
+  (* Round-trip of the class names used by the scenario codec. *)
+  List.iter
+    (fun c ->
+      match Device.cls_of_name (Device.cls_name c) with
+      | Some c' when c = c' -> ()
+      | _ -> Alcotest.failf "class name %s does not round-trip" (Device.cls_name c))
+    [ Device.Full; Device.Legacy; Device.Relay ];
+  Alcotest.(check bool) "unknown class name" true
+    (Device.cls_of_name "quantum" = None)
+
 let () =
   Alcotest.run "topology"
     [
+      ( "devices",
+        [
+          Alcotest.test_case "empty spec is identity" `Quick
+            test_device_apply_identity;
+          Alcotest.test_case "legacy loses second medium" `Quick
+            test_device_legacy_mask;
+          Alcotest.test_case "panel override severs plc" `Quick
+            test_device_panel_override;
+          Alcotest.test_case "relay originates nothing" `Quick
+            test_device_relay_originates;
+          Alcotest.test_case "mask never adds capability" `Quick
+            test_device_mask_only_removes;
+          Alcotest.test_case "validate rejects" `Quick test_device_validate;
+        ] );
       ( "residential",
         [ Alcotest.test_case "shape" `Quick test_residential_shape ] );
       ( "enterprise",
