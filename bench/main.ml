@@ -137,10 +137,70 @@ let run_kernels () =
 
 (* ---------- part 1b: engine throughput on a fixed scenario ---------- *)
 
+(* The pinned throughput scenario (figure-4 residential, seed 77, flow
+   0->9, 4 s of simulated time): shared between the sim section and
+   the [--check] perf gate so both time exactly the same workload. *)
+let sim_duration = 4.0
+
+let sim_runner () =
+  let g, dom = Lazy.force residential_case in
+  let comb = Multipath.find g dom ~src:0 ~dst:9 in
+  match Multipath.routes comb with
+  | [] -> None
+  | routes ->
+    let spec =
+      {
+        Engine.src = 0;
+        dst = 9;
+        routes;
+        init_rates = List.map snd comb.Multipath.paths;
+        workload = Workload.Saturated;
+        transport = Engine.Udp;
+        tcp_params = None;
+        start_time = 0.0;
+        stop_time = None;
+      }
+    in
+    Some
+      (fun ?trace ?flight ?prof seed ->
+        Engine.run ?trace ?flight ?prof (Rng.create seed) g dom
+          ~flows:[ spec ] ~duration:sim_duration)
+
+(* Timing methodology shared by the sim section and the perf gate:
+   every configuration gets a warmup run (pays code paging and sink
+   setup once), then [rounds] timed blocks of [reps] runs each, and is
+   summarized by the MEDIAN block time. The previous min-of-3-rounds
+   scheme let the overhead percentages go negative whenever the
+   baseline block drew the single luckiest slice of a loaded 1-core
+   container; the median of five is robust to those outliers in both
+   directions. CPU time ([Sys.time]), not wall: co-tenant load must
+   not count against the engine. *)
+let bench_reps = 5
+let bench_rounds = 5
+
+let median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  s.(Array.length s / 2)
+
+(* Median block time (seconds) for one configuration: warmup, then
+   [bench_rounds] timed blocks of [bench_reps] runs. [run] takes the
+   rep index (used as the engine seed). *)
+let timed_config run =
+  ignore (run 0);
+  let t = Array.make bench_rounds infinity in
+  for round = 0 to bench_rounds - 1 do
+    let t0 = Sys.time () in
+    for i = 1 to bench_reps do
+      ignore (run i)
+    done;
+    t.(round) <- Float.max 1e-9 (Sys.time () -. t0)
+  done;
+  median t
+
 let write_sim_bench () =
-  (* The figure-4 residential scenario, pinned (seed 77, flow 0->9):
-     wall-clock engine throughput lands in BENCH_sim.json so numbers
-     are comparable across commits. *)
+  (* Wall-clock engine throughput on the pinned scenario lands in
+     BENCH_sim.json so numbers are comparable across commits. *)
   let g, dom = Lazy.force residential_case in
   let comb = Multipath.find g dom ~src:0 ~dst:9 in
   match Multipath.routes comb with
@@ -159,7 +219,7 @@ let write_sim_bench () =
         stop_time = None;
       }
     in
-    let duration = 4.0 in
+    let duration = sim_duration in
     let one ?trace ?flight ?prof seed =
       Engine.run ?trace ?flight ?prof (Rng.create seed) g dom ~flows:[ spec ]
         ~duration
@@ -181,90 +241,63 @@ let write_sim_bench () =
       Engine.run ~config:buffers_config (Rng.create seed) g dom
         ~flows:[ spec ] ~duration
     in
-    ignore (one 0) (* warm-up *);
-    let reps = 5 in
+    let reps = bench_reps in
     let events = ref 0 and bytes = ref 0 and peak_q = ref 0 in
     let trace_events = ref 0 and sampled_events = ref 0 in
     let ring = Obs.Flight.create () in
-    (* Each configuration (untraced / full trace / 1-in-16 sampled
-       trace / flight ring) is timed as a block of [reps] runs,
-       repeated for [rounds] rounds; the per-configuration minimum is
-       the basis for the overhead percentages. Single-block timing is
-       too noisy on a loaded 1-core container to resolve a <2% delta.
-       Runs are deterministic, so re-accumulating the counters each
-       round just rewrites the same values. *)
-    let rounds = 3 in
-    let best_plain = ref infinity and best_traced = ref infinity in
-    let best_sampled = ref infinity and best_flight = ref infinity in
-    let best_buffered = ref infinity in
     let buffered_events = ref 0 in
-    let minor_words = ref 0.0 in
-    for _round = 1 to rounds do
-      events := 0;
-      bytes := 0;
-      trace_events := 0;
-      sampled_events := 0;
-      (* Allocation probe: minor words drawn across the untraced reps
-         give the engine's per-event allocation pressure (the hot-path
-         diet's regression metric), alongside ns per event. *)
-      let minor0 = Gc.minor_words () in
-      let t0 = Sys.time () in
-      for i = 1 to reps do
-        let res = one i in
-        events := !events + res.Engine.events_processed;
-        bytes := !bytes + res.Engine.flows.(0).Engine.received_bytes;
-        peak_q := max !peak_q res.Engine.perf.Engine.peak_queue_depth
-      done;
-      let e = Float.max 1e-9 (Sys.time () -. t0) in
-      minor_words := Gc.minor_words () -. minor0;
-      if e < !best_plain then best_plain := e;
-      (* Same reps with a counting trace sink attached: the delta is
-         the cost of the instrumentation hooks plus event records. *)
-      let t1 = Sys.time () in
-      for i = 1 to reps do
-        let sink, count = Obs.Trace.counter () in
-        ignore (one ~trace:sink i);
-        trace_events := !trace_events + count ()
-      done;
-      let e = Float.max 1e-9 (Sys.time () -. t1) in
-      if e < !best_traced then best_traced := e;
-      (* Sampled tracing at the load-sweep setting (1 in 16): the
-         acceptance bar is <2% over the untraced run, which requires
-         the engine to skip event construction for sampled-out
-         offers. *)
-      let t1s = Sys.time () in
-      for i = 1 to reps do
-        let sink, count = Obs.Trace.counter () in
-        ignore (one ~trace:(Obs.Trace.sampled ~every:16 sink) i);
-        sampled_events := !sampled_events + count ()
-      done;
-      let e = Float.max 1e-9 (Sys.time () -. t1s) in
-      if e < !best_sampled then best_sampled := e;
-      (* The always-on flight recorder's cost: scalar ring stores on
-         every event. *)
-      let t1f = Sys.time () in
-      for i = 1 to reps do
-        ignore (one ~flight:ring i)
-      done;
-      let e = Float.max 1e-9 (Sys.time () -. t1f) in
-      if e < !best_flight then best_flight := e;
-      (* Finite shared buffers (DT alpha=1, 32-frame pool, ECN at 8):
-         per-frame admission arithmetic on the enqueue path is the
-         regression to watch. *)
-      buffered_events := 0;
-      let t1b = Sys.time () in
-      for i = 1 to reps do
-        let res = one_buffered i in
-        buffered_events := !buffered_events + res.Engine.events_processed
-      done;
-      let e = Float.max 1e-9 (Sys.time () -. t1b) in
-      if e < !best_buffered then best_buffered := e
+    (* Counters and the allocation probe come from one dedicated pass:
+       runs are deterministic, so the counter values are the same in
+       every timed block, and drawing [Gc.minor_words] outside the
+       timed blocks keeps the probe itself out of the timings. *)
+    let minor0 = Gc.minor_words () in
+    for i = 1 to reps do
+      let res = one i in
+      events := !events + res.Engine.events_processed;
+      bytes := !bytes + res.Engine.flows.(0).Engine.received_bytes;
+      peak_q := max !peak_q res.Engine.perf.Engine.peak_queue_depth
     done;
-    let elapsed = !best_plain in
-    let minor_words = !minor_words in
-    let elapsed_traced = !best_traced in
-    let elapsed_sampled = !best_sampled in
-    let elapsed_flight = !best_flight in
+    let minor_words = Gc.minor_words () -. minor0 in
+    (* Untraced baseline (the headline events/s). *)
+    let elapsed = timed_config (fun i -> ignore (one i)) in
+    (* Same reps with a counting trace sink attached: the delta is the
+       cost of the instrumentation hooks plus event records. *)
+    let elapsed_traced =
+      timed_config (fun i ->
+          let sink, _ = Obs.Trace.counter () in
+          ignore (one ~trace:sink i))
+    in
+    (* Event counts come from one separate pass per sink
+       configuration, outside the timed blocks. *)
+    for i = 1 to reps do
+      let sink, count = Obs.Trace.counter () in
+      ignore (one ~trace:sink i);
+      trace_events := !trace_events + count ()
+    done;
+    (* Sampled tracing at the load-sweep setting (1 in 16): the
+       acceptance bar is <2% over the untraced run, which requires the
+       engine to skip event construction for sampled-out offers. *)
+    let elapsed_sampled =
+      timed_config (fun i ->
+          let sink, _ = Obs.Trace.counter () in
+          ignore (one ~trace:(Obs.Trace.sampled ~every:16 sink) i))
+    in
+    for i = 1 to reps do
+      let sink, count = Obs.Trace.counter () in
+      ignore (one ~trace:(Obs.Trace.sampled ~every:16 sink) i);
+      sampled_events := !sampled_events + count ()
+    done;
+    (* The always-on flight recorder's cost: scalar ring stores on
+       every event. *)
+    let elapsed_flight = timed_config (fun i -> ignore (one ~flight:ring i)) in
+    (* Finite shared buffers (DT alpha=1, 32-frame pool, ECN at 8):
+       per-frame admission arithmetic on the enqueue path is the
+       regression to watch. *)
+    let elapsed_buffered = timed_config (fun i -> ignore (one_buffered i)) in
+    for i = 1 to reps do
+      let res = one_buffered i in
+      buffered_events := !buffered_events + res.Engine.events_processed
+    done;
     (* Per-subsystem attribution of the same scenario, merged across
        the reps (feeds the sub-300 ns/event roadmap item). *)
     let prof = Obs.Prof.create () in
@@ -275,11 +308,15 @@ let write_sim_bench () =
     let runs_s = float_of_int reps /. elapsed in
     let events_s = float_of_int !events /. elapsed in
     let events_s_traced = float_of_int !events /. elapsed_traced in
-    let buffered_events_s = float_of_int !buffered_events /. !best_buffered in
+    let buffered_events_s = float_of_int !buffered_events /. elapsed_buffered in
     let frames_s = float_of_int frames /. elapsed in
-    let overhead_pct = (elapsed_traced /. elapsed -. 1.0) *. 100.0 in
-    let overhead_sampled_pct = (elapsed_sampled /. elapsed -. 1.0) *. 100.0 in
-    let flight_overhead_pct = (elapsed_flight /. elapsed -. 1.0) *. 100.0 in
+    (* Overheads are non-negative by construction (the instrumented
+       run does strictly more work); a negative measurement is timing
+       noise, so clamp at zero rather than publish an impossibility. *)
+    let overhead_of inst = Float.max 0.0 ((inst /. elapsed -. 1.0) *. 100.0) in
+    let overhead_pct = overhead_of elapsed_traced in
+    let overhead_sampled_pct = overhead_of elapsed_sampled in
+    let flight_overhead_pct = overhead_of elapsed_flight in
     let prof_events_n = Obs.Prof.events prof in
     let prof_ns =
       Obs.Prof.total_wall prof *. 1e9 /. float_of_int (max 1 prof_events_n)
@@ -395,7 +432,23 @@ let write_sim_bench () =
     let par_t1 = List.fold_left (fun a (_, t, _, _) -> a +. t) 0.0 par_rows in
     let par_t4 = List.fold_left (fun a (_, _, t, _) -> a +. t) 0.0 par_rows in
     let par_identical = List.for_all (fun (_, _, _, ok) -> ok) par_rows in
-    let parallel_speedup_4j = par_t1 /. Float.max 1e-9 par_t4 in
+    (* On a 1-core container the 4-job "speedup" only measures domain
+       spawn overhead and reads as a regression; keep the bit-identity
+       check (it needs no second core to be meaningful) but publish
+       the speedup only when there is real parallel hardware. *)
+    let parallel_speedup_4j =
+      if cores > 1 then Some (par_t1 /. Float.max 1e-9 par_t4) else None
+    in
+    let speedup_json =
+      match parallel_speedup_4j with
+      | Some v -> Printf.sprintf "%.2f" v
+      | None -> "null"
+    in
+    let speedup_note =
+      match parallel_speedup_4j with
+      | Some _ -> "measured"
+      | None -> "skipped_single_core"
+    in
     (* Empirical load-sweep probe: a pinned small sweep (the golden's
        parameters, seed 17) at a moderate and a heavy load factor.
        Achieved load and per-bucket tail FCT land in the JSON so
@@ -461,7 +514,8 @@ let write_sim_bench () =
       \  \"parallel_figure_wall_s\": {%s},\n\
       \  \"parallel_identical\": %b,\n\
       \  \"cores\": %d,\n\
-      \  \"parallel_speedup_4j\": %.2f,\n\
+      \  \"parallel_speedup_4j\": %s,\n\
+      \  \"parallel_speedup_note\": \"%s\",\n\
       \  \"loadsweep_wall_s\": %.3f,\n\
       \  \"loadsweep_capacity_mbps\": %.3f,\n\
       \  \"loadsweep_points\": [%s]\n\
@@ -486,7 +540,7 @@ let write_sim_bench () =
             (fun (nm, t1, t4, _) ->
               Printf.sprintf "\"%s_j1_s\": %.3f, \"%s_j4_s\": %.3f" nm t1 nm t4)
             par_rows))
-      par_identical cores parallel_speedup_4j loadsweep_wall_s
+      par_identical cores speedup_json speedup_note loadsweep_wall_s
       ls.Loadsweep.capacity_mbps
       (String.concat ", " loadsweep_rows);
     close_out oc;
@@ -495,7 +549,7 @@ let write_sim_bench () =
        per event), %.0f frames/s, trace overhead %.1f%% (sampled 1/16 \
        %.1f%%, flight %.1f%%), chaos %.0f events/s, severance detect %.3f s \
        / recovery %.3f s, churn scenario %.0f events/s (min availability \
-       %.3f, SLO met: %b), %d-core 4-job speedup %.2fx (identical: %b), \
+       %.3f, SLO met: %b), %d-core 4-job speedup %s (identical: %b), \
        loadsweep achieved %s in %.1f s\n\
        %!"
       runs_s events_s
@@ -505,12 +559,102 @@ let write_sim_bench () =
       chaos_events_s sever_flow.Chaos.detect_s sever_flow.Chaos.recovery_s
       churn_events_s churn_card.Scenario.min_availability_measured
       churn_card.Scenario.slo_met
-      cores parallel_speedup_4j par_identical
+      cores
+      (match parallel_speedup_4j with
+      | Some v -> Printf.sprintf "%.2fx" v
+      | None -> "skipped (single core)")
+      par_identical
       (String.concat "/"
          (List.map
             (fun p -> Printf.sprintf "%.2f" p.Loadsweep.achieved_load)
             ls.Loadsweep.points))
       loadsweep_wall_s
+
+(* ---------- part 1c: CI perf regression gate ---------- *)
+
+(* [bench check] (the `--check` gate): re-times the pinned scenario
+   with the same warmup + median-of-rounds methodology as the sim
+   section and exits non-zero if events/s lands more than
+   [check_tolerance_pct] below the committed BENCH_baseline.json
+   snapshot. The gate reads only the baseline's [events_per_s] field;
+   refresh the snapshot by copying a representative BENCH_sim.json
+   over it when a deliberate engine change moves the number.
+
+   The tolerance is sized to the CI container's co-tenant jitter, not
+   to the regressions we care about: identical code measures anywhere
+   in a roughly +-25% band around the baseline on a shared 1-core
+   box, while the failure modes worth catching (a reintroduced
+   per-event allocation, an accidental O(n) scan on the hot path)
+   cost 2x or more. *)
+let baseline_file = "BENCH_baseline.json"
+let check_tolerance_pct = 35.0
+
+(* Minimal scan for  "key": <number>  — the snapshot is written by
+   this same file's printf, so no general JSON parser is needed. *)
+let scan_number s key =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let nlen = String.length needle and slen = String.length s in
+  let is_num c =
+    match c with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false
+  in
+  let rec scan i =
+    if i + nlen > slen then None
+    else if String.sub s i nlen = needle then begin
+      let j = ref (i + nlen) in
+      while !j < slen && (s.[!j] = ' ' || s.[!j] = '\t') do
+        incr j
+      done;
+      let k = ref !j in
+      while !k < slen && is_num s.[!k] do
+        incr k
+      done;
+      float_of_string_opt (String.sub s !j (!k - !j))
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let run_sim_check () =
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let baseline =
+    match read_file baseline_file with
+    | exception Sys_error _ ->
+      Printf.eprintf "bench check: %s not found — commit a baseline snapshot\n"
+        baseline_file;
+      exit 2
+    | s -> (
+      match scan_number s "events_per_s" with
+      | Some v when v > 0.0 -> v
+      | Some _ | None ->
+        Printf.eprintf "bench check: no events_per_s in %s\n" baseline_file;
+        exit 2)
+  in
+  match sim_runner () with
+  | None ->
+    Printf.eprintf "bench check: skipped (no route 0 -> 9)\n";
+    exit 2
+  | Some one ->
+    let events = ref 0 in
+    for i = 1 to bench_reps do
+      events := !events + (one i).Engine.events_processed
+    done;
+    let elapsed = timed_config (fun i -> ignore (one i)) in
+    let events_s = float_of_int !events /. elapsed in
+    let floor_events_s = baseline *. (1.0 -. (check_tolerance_pct /. 100.0)) in
+    let verdict = events_s >= floor_events_s in
+    Printf.printf
+      "bench check: %.0f events/s measured vs %.0f baseline (floor %.0f, \
+       -%.0f%%): %s\n\
+       %!"
+      events_s baseline floor_events_s check_tolerance_pct
+      (if verdict then "OK" else "REGRESSION");
+    if not verdict then exit 1
 
 (* ---------- part 2: table/figure regeneration ---------- *)
 
@@ -576,10 +720,13 @@ let () =
     (function
       | "kernels" -> run_kernels ()
       | "sim" -> write_sim_bench ()
+      | "check" | "--check" -> run_sim_check ()
       | "experiments" -> run_experiments ()
       | s ->
         Printf.eprintf
-          "unknown bench section %S (expected kernels, sim or experiments)\n" s;
+          "unknown bench section %S (expected kernels, sim, check or \
+           experiments)\n"
+          s;
         exit 2)
     sections;
   print_endline "\nbench: done"

@@ -1028,7 +1028,8 @@ end
    fixed float/int arrays indexed by category, so [enter]/[leave] cost
    two clock reads, two counter reads and three array stores. *)
 module Prof = struct
-  let categories = [| "mac_phy"; "traffic"; "controller"; "tcp"; "recovery"; "fault" |]
+  let categories =
+    [| "mac_phy"; "traffic"; "controller"; "tcp"; "recovery"; "fault"; "scheduler" |]
   let n_categories = Array.length categories
   let cat_mac_phy = 0
   let cat_traffic = 1
@@ -1036,6 +1037,7 @@ module Prof = struct
   let cat_tcp = 3
   let cat_recovery = 4
   let cat_fault = 5
+  let cat_scheduler = 6
 
   let category_name c =
     if c < 0 || c >= n_categories then invalid_arg "Obs.Prof.category_name"
@@ -1075,6 +1077,16 @@ module Prof = struct
     p.words.(cat) <- p.words.(cat) +. (w1 -. p.w0.(0));
     p.count.(cat) <- p.count.(cat) + 1
 
+  (* Attribute wall/words without tallying an event: for bracketing
+     auxiliary work (the engine's scheduler pop path) that should show
+     in the category shares but must not inflate the event count that
+     [events] reports and benchmarks divide by. *)
+  let leave_silent p cat =
+    let w1 = Gc.minor_words () in
+    let t1 = Unix.gettimeofday () in
+    p.wall.(cat) <- p.wall.(cat) +. (t1 -. p.t0.(0));
+    p.words.(cat) <- p.words.(cat) +. (w1 -. p.w0.(0))
+
   let events p = Array.fold_left ( + ) 0 p.count
   let total_wall p = Array.fold_left ( +. ) 0.0 p.wall
 
@@ -1092,17 +1104,20 @@ module Prof = struct
     let tot = total_wall p in
     let entries = ref [] in
     for c = n_categories - 1 downto 0 do
-      if p.count.(c) > 0 then
+      (* Silent-only categories (count 0, nonzero wall) still report:
+         their share matters even though they tally no events. *)
+      if p.count.(c) > 0 || p.wall.(c) > 0.0 then
         entries :=
           {
             name = categories.(c);
             events = p.count.(c);
             wall_s = p.wall.(c);
-            ns_per_event = p.wall.(c) *. 1e9 /. float_of_int p.count.(c);
+            ns_per_event =
+              p.wall.(c) *. 1e9 /. float_of_int (max 1 p.count.(c));
             share_pct =
               (if tot > 0.0 then 100.0 *. p.wall.(c) /. tot else 0.0);
             minor_words = p.words.(c);
-            words_per_event = p.words.(c) /. float_of_int p.count.(c);
+            words_per_event = p.words.(c) /. float_of_int (max 1 p.count.(c));
           }
           :: !entries
     done;
@@ -1174,15 +1189,20 @@ module Metrics = struct
   end
 
   module Histogram = struct
+    (* sum/min/max live in a float array: as mutable boxed fields of
+       this mixed record, every [observe] would allocate a fresh box
+       for the sum — and [observe] runs once per delivered frame. *)
+    let s_sum = 0
+    let s_min = 1
+    let s_max = 2
+
     type t = {
       gamma : float;
       log_gamma : float;
       buckets : (int, int ref) Hashtbl.t;
       mutable zero : int;  (* observations <= zero_floor *)
       mutable count : int;
-      mutable sum : float;
-      mutable min_v : float;
-      mutable max_v : float;
+      scalars : float array;  (* s_sum, s_min, s_max — unboxed *)
     }
 
     let zero_floor = 1e-12
@@ -1197,47 +1217,48 @@ module Metrics = struct
         buckets = Hashtbl.create 64;
         zero = 0;
         count = 0;
-        sum = 0.0;
-        min_v = infinity;
-        max_v = neg_infinity;
+        scalars = [| 0.0; infinity; neg_infinity |];
       }
 
     let observe t v =
       t.count <- t.count + 1;
-      t.sum <- t.sum +. v;
-      if v < t.min_v then t.min_v <- v;
-      if v > t.max_v then t.max_v <- v;
+      let sc = t.scalars in
+      sc.(s_sum) <- sc.(s_sum) +. v;
+      if v < sc.(s_min) then sc.(s_min) <- v;
+      if v > sc.(s_max) then sc.(s_max) <- v;
       if v <= zero_floor then t.zero <- t.zero + 1
       else begin
         let key = int_of_float (Float.ceil (log v /. t.log_gamma)) in
-        match Hashtbl.find_opt t.buckets key with
-        | Some r -> incr r
-        | None -> Hashtbl.add t.buckets key (ref 1)
+        (* find + Not_found rather than find_opt: the hit path (all
+           but the first observation per bucket) allocates no option. *)
+        match Hashtbl.find t.buckets key with
+        | r -> incr r
+        | exception Not_found -> Hashtbl.add t.buckets key (ref 1)
       end
 
     let count t = t.count
-    let sum t = t.sum
-    let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
-    let minimum t = if t.count = 0 then 0.0 else t.min_v
-    let maximum t = if t.count = 0 then 0.0 else t.max_v
+    let sum t = t.scalars.(s_sum)
+    let mean t = if t.count = 0 then 0.0 else sum t /. float_of_int t.count
+    let minimum t = if t.count = 0 then 0.0 else t.scalars.(s_min)
+    let maximum t = if t.count = 0 then 0.0 else t.scalars.(s_max)
 
     let quantile t q =
       if t.count = 0 then 0.0
-      else if q <= 0.0 then t.min_v
-      else if q >= 1.0 then t.max_v
+      else if q <= 0.0 then t.scalars.(s_min)
+      else if q >= 1.0 then t.scalars.(s_max)
       else begin
         let rank =
           let r = int_of_float (Float.ceil (q *. float_of_int t.count)) in
           if r < 1 then 1 else if r > t.count then t.count else r
         in
-        if rank <= t.zero then Float.max 0.0 t.min_v
+        if rank <= t.zero then Float.max 0.0 t.scalars.(s_min)
         else begin
           let keys =
             Hashtbl.fold (fun k _ acc -> k :: acc) t.buckets []
             |> List.sort compare
           in
           let rec walk acc = function
-            | [] -> t.max_v
+            | [] -> t.scalars.(s_max)
             | k :: rest ->
               let c = !(Hashtbl.find t.buckets k) in
               let acc = acc + c in
@@ -1247,7 +1268,7 @@ module Metrics = struct
                 let v =
                   2.0 *. (t.gamma ** float_of_int k) /. (t.gamma +. 1.0)
                 in
-                Float.max t.min_v (Float.min t.max_v v)
+                Float.max t.scalars.(s_min) (Float.min t.scalars.(s_max) v)
               end
               else walk acc rest
           in
@@ -1404,11 +1425,12 @@ module Metrics = struct
             h.Histogram.buckets;
           dst.Histogram.zero <- dst.Histogram.zero + h.Histogram.zero;
           dst.Histogram.count <- dst.Histogram.count + h.Histogram.count;
-          dst.Histogram.sum <- dst.Histogram.sum +. h.Histogram.sum;
-          if h.Histogram.min_v < dst.Histogram.min_v then
-            dst.Histogram.min_v <- h.Histogram.min_v;
-          if h.Histogram.max_v > dst.Histogram.max_v then
-            dst.Histogram.max_v <- h.Histogram.max_v
+          let ds = dst.Histogram.scalars and hs = h.Histogram.scalars in
+          ds.(Histogram.s_sum) <- ds.(Histogram.s_sum) +. hs.(Histogram.s_sum);
+          if hs.(Histogram.s_min) < ds.(Histogram.s_min) then
+            ds.(Histogram.s_min) <- hs.(Histogram.s_min);
+          if hs.(Histogram.s_max) > ds.(Histogram.s_max) then
+            ds.(Histogram.s_max) <- hs.(Histogram.s_max)
         | S s ->
           let dst = series into name in
           dst.Series.rev <- s.Series.rev @ dst.Series.rev;

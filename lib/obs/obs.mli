@@ -364,7 +364,8 @@ module Prof : sig
 
   val categories : string array
   (** [[| "mac_phy"; "traffic"; "controller"; "tcp"; "recovery";
-      "fault" |]] — the closed category set, in id order. *)
+      "fault"; "scheduler" |]] — the closed category set, in id
+      order. *)
 
   val n_categories : int
   val cat_mac_phy : int
@@ -373,6 +374,11 @@ module Prof : sig
   val cat_tcp : int
   val cat_recovery : int
   val cat_fault : int
+
+  (** Event-queue pop/migrate work bracketed by the engine loop; only
+      ever attributed via {!leave_silent}, so it contributes wall time
+      and share but no events. *)
+  val cat_scheduler : int
   val category_name : int -> string
 
   val create : unit -> t
@@ -383,6 +389,11 @@ module Prof : sig
   val leave : t -> int -> unit
   (** Attribute the elapsed wall time and minor words since {!enter}
       to the given category. *)
+
+  val leave_silent : t -> int -> unit
+  (** Like {!leave} but without tallying an event, for auxiliary work
+      (scheduler pops) that must not inflate {!events} — the
+      per-handler-event denominator benchmarks divide by. *)
 
   val events : t -> int
   val total_wall : t -> float

@@ -48,6 +48,47 @@ let drain t =
   done;
   List.rev !events
 
+(* Callback variant of [push]: the exact event sequence of [push],
+   delivered through [deliver]/[lost] instead of an allocated list.
+   The steady-state case — the arriving seq is the expected one and
+   the buffer is empty — touches neither the map nor the list
+   allocator. *)
+let rec past_all h i s =
+  i >= Array.length h || (h.(i) > s && past_all h (i + 1) s)
+
+let drain_cb t ~deliver ~lost =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    match Int_map.find_opt t.next_seq t.buffer with
+    | Some payload ->
+      deliver t.next_seq payload;
+      t.buffer <- Int_map.remove t.next_seq t.buffer;
+      t.next_seq <- t.next_seq + 1;
+      progress := true
+    | None ->
+      if t.declare_losses && past_all t.highest 0 t.next_seq then begin
+        lost t.next_seq;
+        t.next_seq <- t.next_seq + 1;
+        progress := true
+      end
+  done
+
+let push_cb t ~route ~seq payload ~deliver ~lost =
+  if route < 0 || route >= Array.length t.highest then
+    invalid_arg "Reorder.push: bad route";
+  if seq < 0 then invalid_arg "Reorder.push: negative seq";
+  if seq > t.highest.(route) then t.highest.(route) <- seq;
+  if seq = t.next_seq && Int_map.is_empty t.buffer then begin
+    deliver seq payload;
+    t.next_seq <- seq + 1
+    (* The drain below covers gaps the new highest may have just made
+       undeliverable. *)
+  end
+  else if not (seq < t.next_seq || Int_map.mem seq t.buffer) then
+    t.buffer <- Int_map.add seq payload t.buffer;
+  drain_cb t ~deliver ~lost
+
 let push t ~route ~seq payload =
   if route < 0 || route >= Array.length t.highest then
     invalid_arg "Reorder.push: bad route";

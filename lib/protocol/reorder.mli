@@ -30,6 +30,19 @@ val push : 'a t -> route:int -> seq:int -> 'a -> 'a event list
     sequence numbers are ignored (empty list). Raises
     [Invalid_argument] on a bad route index or negative seq. *)
 
+val push_cb :
+  'a t ->
+  route:int ->
+  seq:int ->
+  'a ->
+  deliver:(int -> 'a -> unit) ->
+  lost:(int -> unit) ->
+  unit
+(** Exactly {!push}, but the events fire through the callbacks in
+    release order instead of materialising a list — the engine's
+    zero-allocation delivery path. The in-order common case bypasses
+    the buffer map entirely. *)
+
 val pending : 'a t -> int
 (** Number of buffered, not-yet-releasable packets. *)
 

@@ -93,10 +93,17 @@ let strip_perf r = { r with perf = zero_perf }
 
 (* ---------- internal state ---------- *)
 
+(* The layer-2.5 header travels de-structured: [seq] and the running
+   q_r accumulator live directly in the packet record instead of a
+   nested [Header.t], so the per-hop price stamp mutates one field
+   rather than allocating a fresh header. The source-route itself
+   never rides in the packet at all — forwarding is pre-resolved into
+   per-(flow, route) plan arrays at bootstrap (see [plans] in [run]). *)
 type packet = {
   flow : int;
   route_idx : int;
-  mutable header : Header.t;
+  seq : int;
+  mutable qr : float;  (* accumulated route cost; saturates at Header.qr_max *)
   bytes : int;
   sent_at : float;
   links : int array;
@@ -116,7 +123,7 @@ type file_rec = {
    field of a mixed record is boxed and every write allocates, while a
    float-array store does not. *)
 type link_state = {
-  queue : packet Queue.t;
+  queue : packet Fifo.t;
   mutable on_air : packet option;
   mutable air_collided : bool;
   mutable air_faulted : bool;  (* frame-loss fault hit this transmission *)
@@ -170,22 +177,10 @@ type flow_state = {
   reverse_latency : float;
 }
 
-type event =
-  | Tx_end of int
-  | Capacity_change of int * float  (* link id, new capacity (Mbps) *)
-  | Loss_change of int * float      (* link id, frame-loss probability *)
-  | Ctrl_change of float * float    (* ack drop probability, extra ack delay *)
-  | Inject of int
-  | Control_tick
-  | Ack_arrive of int * Ack.t
-  | Tcp_ack_arrive of int * int * bool  (* flow, cum ack, CE echo *)
-  | Reorder_release of int * packet
-  | Tcp_rto of int * float  (* flow, the deadline this event was armed for *)
-  | Flow_start of int
-  | Flow_stop of int
-  | Reclaim_probe of int * int * int
-      (* flow, route, generation: backoff-scheduled probe; probes from
-         a superseded outage (stale generation) are no-ops *)
+(* Events travel through the wheel as flat ints — a 4-bit tag plus
+   packed operands (see [Arena] for the layout table). Payloads that
+   cannot pack (ACK reports, equalizer-held packets, fault boundary
+   values) ride in typed slot stores and are released on dispatch. *)
 
 let mbps_of_bits bits seconds = bits /. 1e6 /. seconds
 
@@ -259,34 +254,43 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
   let events_processed = ref 0 in
   let now = Array.make 1 0.0 in
   let n_flows = List.length flows in
+  if n_flows > Arena.max_flow then
+    invalid_arg "Engine.run: too many flows for the event encoding";
+  if n_links > Arena.max_link then
+    invalid_arg "Engine.run: too many links for the event encoding";
+  (* Payload stores for the events whose operands don't pack into the
+     int encoding; slots are released as the events dispatch. *)
+  let ack_slots : Ack.t Arena.Slots.t = Arena.Slots.create () in
+  let pkt_slots : packet Arena.Slots.t = Arena.Slots.create () in
+  let pair_slots : (float * float) Arena.Slots.t = Arena.Slots.create () in
+  let f_slots = Arena.Fslots.create () in
   (* Pre-size the event queue from the topology: steady state holds at
      most one Tx_end per link plus a handful of pacing/ack/timer events
      per flow, and the bootstrap enqueues every fault event up front. *)
   let q =
-    Pqueue.create
+    Wheel.create
       ~capacity:
         (64 + (2 * n_links) + (8 * n_flows)
         + List.length link_events + List.length loss_events
         + List.length ctrl_events)
       ()
   in
-  (* Deferred-pop fusion: the event being handled stays at the heap root
-     while its handler runs ([pending_drop] is set); the first event the
-     handler schedules replaces the root in a single sift-down
-     ([Pqueue.drop_push] — the ubiquitous pop-then-push cycle costs one
-     sift instead of two), later ones are plain pushes, and a handler
-     that schedules nothing has its root dropped afterwards. This is
-     sound because every scheduled event lands at [now + dt] with
-     [dt >= 0] and [now >=] the root's timestamp, so no push can sift
-     above the in-flight root (FIFO tie-break: equal priority loses to
-     the older sequence number). *)
+  (* Deferred-pop fusion: the event being handled stays at the wheel
+     minimum while its handler runs ([pending_drop] is set); the first
+     event the handler schedules replaces it via [Wheel.drop_push],
+     later ones are plain pushes, and a handler that schedules nothing
+     has its minimum dropped afterwards. This is sound because every
+     scheduled event lands at [now + dt] with [dt >= 0] and [now >=]
+     the minimum's timestamp, so no push can overtake the in-flight
+     minimum (FIFO tie-break: equal priority loses to the older
+     sequence number). *)
   let pending_drop = ref false in
   let schedule_abs t ev =
     if !pending_drop then begin
       pending_drop := false;
-      Pqueue.drop_push q t ev
+      Wheel.drop_push q t ev
     end
-    else Pqueue.push q t ev
+    else Wheel.push q t ev
   in
   let schedule dt ev = schedule_abs (now.(0) +. dt) ev in
   (* Per-flow hot floats (see the float-array note above): TCP token
@@ -308,7 +312,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     done;
     Array.init n_links (fun l ->
         {
-          queue = Queue.create ();
+          queue = Fifo.create ();
           on_air = None;
           air_collided = false;
           air_faulted = false;
@@ -318,11 +322,6 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
   in
   let last_service = Array.make (max 1 n_links) (-1.0) in
   let window_bits = Array.make (max 1 n_links) 0.0 in
-  (* Preallocated per-link / per-flow event values: the two events
-     scheduled on every frame would otherwise allocate a fresh
-     constructor block each time. *)
-  let tx_end_ev = Array.init n_links (fun l -> Tx_end l) in
-  let inject_ev = Array.init n_flows (fun i -> Inject i) in
   (* Recovery randomness (backoff jitter) lives on its own stream,
      split off only when recovery is enabled — a run with recovery off
      consumes exactly the historical draw sequence. *)
@@ -359,15 +358,25 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
   let priced_links =
     List.filter (fun l -> is_priced.(l)) (List.init n_links Fun.id)
   in
+  (* Interference domains as arrays: the list versions forced either a
+     fold closure or a boxed float accumulator on every walk. *)
+  let dom_arr = Array.init n_links (fun l -> Array.of_list (Domain.domain dom l)) in
+  (* Scratch cells for float accumulation on the per-frame paths. A
+     float accumulator threaded through a local recursive function is
+     boxed on every iteration (the generic calling convention applies
+     to local functions too); accumulating into a flat float array
+     keeps the loop allocation-free. Slot 0: domain sums; slot 1: the
+     route-pick walk. *)
+  let facc = [| 0.0; 0.0 |] in
   (* Congestion price of link l: d_l * sum of gamma over I_l. Runs on
-     every enqueue, so iterate the domain list directly instead of
-     allocating a fold closure. *)
+     every enqueue. *)
   let link_price l =
-    let rec sum acc = function
-      | [] -> acc
-      | i :: rest -> sum (acc +. gamma.(i)) rest
-    in
-    d_est l *. sum 0.0 (Domain.domain dom l)
+    let d = dom_arr.(l) in
+    facc.(0) <- 0.0;
+    for i = 0 to Array.length d - 1 do
+      facc.(0) <- facc.(0) +. gamma.(d.(i))
+    done;
+    d_est l *. facc.(0)
   in
 
   (* Per-node egress map: interface hash -> outgoing link id toward
@@ -562,6 +571,51 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     Array.of_list (List.rev rev)
   in
 
+  (* --- pre-resolved forwarding plans --- *)
+  (* The per-hop forwarding decision (destination test, next-hop hash
+     lookup, egress resolution) is a pure function of the static route
+     code and the arrival node, so it is resolved once per (flow,
+     route) here instead of per frame in [handle_tx_end].
+     [plans.(flow).(route).(hop)] is the action after the packet's
+     hop-th transmission: the next link id, [plan_deliver], or
+     [plan_misroute]. The chain follows the codec walk itself — under
+     an interface-hash collision it can diverge from [route_links],
+     and the plan must reproduce exactly where the frame really
+     goes. *)
+  let plan_deliver = -1 and plan_misroute = -2 in
+  let resolve_plan first_link code =
+    let steps = ref [] in
+    let rec go l n =
+      (* A codec walk revisiting a node repeats its decision forever;
+         bounding the chain by the node count turns that hang into an
+         error at bootstrap. *)
+      if n > Multigraph.n_nodes g then
+        invalid_arg "Engine.run: source route does not terminate";
+      let arrived = (Multigraph.link g l).Multigraph.dst in
+      if Route_codec.is_destination code ~my_ifaces:my_ifaces.(arrived) then
+        steps := plan_deliver :: !steps
+      else
+        match Route_codec.next_hop code ~my_ifaces:my_ifaces.(arrived) with
+        | None -> steps := plan_misroute :: !steps
+        | Some next_hash -> (
+          match List.assoc_opt next_hash egress_by_hash.(arrived) with
+          | None -> steps := plan_misroute :: !steps
+          | Some next_link ->
+            steps := next_link :: !steps;
+            go next_link (n + 1))
+    in
+    go first_link 0;
+    Array.of_list (List.rev !steps)
+  in
+  let plans =
+    Array.map
+      (fun f ->
+        Array.mapi
+          (fun ri code -> resolve_plan f.route_links.(ri).(0) code)
+          f.route_codes)
+      flow_states
+  in
+
   (* --- invariant checker wiring --- *)
   (match inv with
   | None -> ()
@@ -598,12 +652,12 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     lazy
       {
         Invariants.n_links;
-        queue_len = (fun l -> Queue.length links.(l).queue);
+        queue_len = (fun l -> Fifo.length links.(l).queue);
         on_air_flow =
           (fun l ->
             match links.(l).on_air with Some p -> Some p.flow | None -> None);
         iter_queued =
-          (fun l k -> Queue.iter (fun (p : packet) -> k p.flow) links.(l).queue);
+          (fun l k -> Fifo.iter (fun (p : packet) -> k p.flow) links.(l).queue);
         domain = (fun l -> Domain.domain dom l);
         gamma = (fun l -> gamma.(l));
         link_src = (fun l -> (Multigraph.link g l).Multigraph.src);
@@ -620,8 +674,17 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     | Some t -> Invariants.on_drop t ~now:now.(0) ~flow:f ~link ~reason
     | None -> ()
   in
-  let inv_release f ev =
-    match inv with Some t -> Invariants.on_release t ~now:now.(0) ~flow:f ev | None -> ()
+  (* Split per event kind so the polymorphic-variant payload is only
+     constructed when a checker is attached. *)
+  let inv_release_deliver f seq =
+    match inv with
+    | Some t -> Invariants.on_release t ~now:now.(0) ~flow:f (`Deliver seq)
+    | None -> ()
+  in
+  let inv_release_lost f seq =
+    match inv with
+    | Some t -> Invariants.on_release t ~now:now.(0) ~flow:f (`Lost seq)
+    | None -> ()
   in
 
   (* --- goodput bins --- *)
@@ -635,27 +698,35 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
   in
 
   (* --- MAC --- *)
-  (* Interference domains as arrays, iterated by plain recursion: the
-     list-combinator versions allocated a closure per call and compared
-     [on_air] against [None] with polymorphic equality, all on the
-     per-grant path. *)
-  let dom_arr = Array.init n_links (fun l -> Array.of_list (Domain.domain dom l)) in
-  let domain_free l =
+  (* O(1) domain-idle test: [air_busy.(l)] counts how many links of
+     I_l are on the air right now, maintained at the four on_air
+     transitions. Sound because the interference matrix is symmetric
+     by construction (Domain.create): a grant on [g] bumps exactly the
+     links whose domains contain [g]. Replaces an O(|I_l|) scan per
+     [try_start] — which made the grant fan-out after a Tx_end
+     quadratic in the domain size. *)
+  let air_busy = Array.make (max 1 n_links) 0 in
+  let air_set l =
     let d = dom_arr.(l) in
-    let n = Array.length d in
-    let rec go i =
-      i >= n
-      || (match links.(d.(i)).on_air with None -> go (i + 1) | Some _ -> false)
-    in
-    go 0
+    for i = 0 to Array.length d - 1 do
+      air_busy.(d.(i)) <- air_busy.(d.(i)) + 1
+    done
   in
+  let air_clear l =
+    let d = dom_arr.(l) in
+    for i = 0 to Array.length d - 1 do
+      air_busy.(d.(i)) <- air_busy.(d.(i)) - 1
+    done
+  in
+  let domain_free l = air_busy.(l) = 0 in
   let collisions = ref 0 in
   let rec try_start l =
     let st = links.(l) in
-    if st.on_air = None && (not (Queue.is_empty st.queue)) && domain_free l then begin
-      let pkt = Queue.pop st.queue in
+    if st.on_air = None && (not (Fifo.is_empty st.queue)) && domain_free l then begin
+      let pkt = Fifo.pop st.queue in
       if buf_on then buf_release l pkt.bytes;
       st.on_air <- Some pkt;
+      air_set l;
       last_service.(l) <- now.(0);
       (* CSMA/CA contention: the more backlogged stations share the
          collision domain, the likelier two of them pick the same
@@ -666,15 +737,13 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
          keeps every contender backlogged and pays the full price. *)
       (if config.collision_prob > 0.0 then begin
          let d = dom_arr.(l) in
-         let rec count i acc =
-           if i >= Array.length d then acc
-           else
-             let l' = d.(i) in
-             if l' <> l && not (Queue.is_empty links.(l').queue) then
-               count (i + 1) (acc + 1)
-             else count (i + 1) acc
-         in
-         let contenders = count 0 0 in
+         let contenders = ref 0 in
+         for i = 0 to Array.length d - 1 do
+           let l' = d.(i) in
+           if l' <> l && not (Fifo.is_empty links.(l').queue) then
+             incr contenders
+         done;
+         let contenders = !contenders in
          let p_ok = (1.0 -. config.collision_prob) ** float_of_int contenders in
          st.air_collided <- Rng.float rng > p_ok;
          if st.air_collided then incr collisions
@@ -690,11 +759,12 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
       if cap_l <= 0.0 then begin
         (* Link died under us: drop the frame. *)
         st.on_air <- None;
+        air_clear l;
         incr queue_drops;
         inv_drop ~link:(Some l) ~reason:Invariants.Link_down pkt.flow;
         if fl_on then
           Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:pkt.flow
-            ~seq:pkt.header.Header.seq ~reason:Obs.Trace.Link_down;
+            ~seq:pkt.seq ~reason:Obs.Trace.Link_down;
         if trace_on && Obs.Trace.accept sink then
           Obs.Trace.push sink
             (Obs.Trace.Drop
@@ -702,16 +772,19 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                  t = now.(0);
                  link = Some l;
                  flow = pkt.flow;
-                 seq = pkt.header.Header.seq;
+                 seq = pkt.seq;
                  reason = Obs.Trace.Link_down;
                });
         try_start l
       end
       else begin
-        let airtime = Units.tx_time ~capacity_mbps:cap_l ~bytes:pkt.bytes in
+        (* [Units.tx_time] inlined (same expression, so bit-identical):
+           a cross-module call with a float argument boxes the
+           argument and the result on every grant. *)
+        let airtime = float_of_int pkt.bytes /. (cap_l *. 1e6 /. 8.0) in
         if fl_on then
           Obs.Flight.grant fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
-            ~seq:pkt.header.Header.seq ~collided:st.air_collided ~airtime;
+            ~seq:pkt.seq ~collided:st.air_collided ~airtime;
         if trace_on && Obs.Trace.accept sink then
           Obs.Trace.push sink
             (Obs.Trace.Mac_grant
@@ -719,35 +792,62 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                  t = now.(0);
                  link = l;
                  flow = pkt.flow;
-                 seq = pkt.header.Header.seq;
+                 seq = pkt.seq;
                  collided = st.air_collided;
                  airtime;
                });
-        schedule airtime tx_end_ev.(l)
+        schedule airtime (Arena.tx_end l)
       end
     end
   in
+  (* Candidate scratch for [try_start_domain], sized to the largest
+     interference domain: the filter/sort used to allocate two lists
+     and a comparator closure per Tx_end — the single biggest
+     steady-state allocation site. [try_start] never re-enters
+     [try_start_domain], so one buffer suffices. *)
+  let tsd_scratch =
+    Array.make
+      (max 1 (Array.fold_left (fun m d -> max m (Array.length d)) 0 dom_arr))
+      0
+  in
   let try_start_domain l =
     (* Serve backlogged links of the freed domain,
-       least-recently-served first (CSMA fairness). *)
-    let candidates =
-      List.filter
-        (fun l' ->
-          (match links.(l').on_air with None -> true | Some _ -> false)
-          && not (Queue.is_empty links.(l').queue))
-        (Array.to_list dom_arr.(l))
-    in
-    let sorted =
-      (* Tie-break equal service times by link id: List.sort makes no
-         stability promise, and an unspecified order here would leak
-         into which link wins the medium. *)
-      List.sort
-        (fun a b ->
-          let c = Float.compare last_service.(a) last_service.(b) in
-          if c <> 0 then c else compare a b)
-        candidates
-    in
-    List.iter try_start sorted
+       least-recently-served first (CSMA fairness). Insertion sort on
+       (last_service, id) — a total order, so the result is exactly
+       what the old List.sort produced; domains are small (a handful
+       of links), where insertion sort is also the fastest choice. *)
+    let d = dom_arr.(l) in
+    let n = Array.length d in
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      let l' = d.(i) in
+      if
+        (match links.(l').on_air with None -> true | Some _ -> false)
+        && not (Fifo.is_empty links.(l').queue)
+      then begin
+        tsd_scratch.(!m) <- l';
+        incr m
+      end
+    done;
+    let m = !m in
+    for i = 1 to m - 1 do
+      let v = tsd_scratch.(i) in
+      let j = ref (i - 1) in
+      while
+        !j >= 0
+        &&
+        let u = tsd_scratch.(!j) in
+        let c = Float.compare last_service.(u) last_service.(v) in
+        c > 0 || (c = 0 && u > v)
+      do
+        tsd_scratch.(!j + 1) <- tsd_scratch.(!j);
+        decr j
+      done;
+      tsd_scratch.(!j + 1) <- v
+    done;
+    for i = 0 to m - 1 do
+      try_start tsd_scratch.(i)
+    done
   in
   let enqueue_on_link l pkt =
     let st = links.(l) in
@@ -755,7 +855,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     st.had_traffic <- true;
     let admitted =
       match config.buffers with
-      | None -> Queue.length st.queue < config.queue_limit
+      | None -> Fifo.length st.queue < config.queue_limit
       | Some b -> buf_admit b l pkt.bytes
     in
     if not admitted then begin
@@ -763,7 +863,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
       inv_drop ~link:(Some l) ~reason:Invariants.Queue_overflow pkt.flow;
       if fl_on then
         Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:pkt.flow
-          ~seq:pkt.header.Header.seq ~reason:Obs.Trace.Queue_overflow;
+          ~seq:pkt.seq ~reason:Obs.Trace.Queue_overflow;
       if trace_on && Obs.Trace.accept sink then
         Obs.Trace.push sink
           (Obs.Trace.Drop
@@ -771,7 +871,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                t = now.(0);
                link = Some l;
                flow = pkt.flow;
-               seq = pkt.header.Header.seq;
+               seq = pkt.seq;
                reason = Obs.Trace.Queue_overflow;
              })
     end
@@ -789,7 +889,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
              incr ecn_marks;
              if fl_on then
                Obs.Flight.ecn_mark fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
-                 ~seq:pkt.header.Header.seq ~occ:port_occ.(l);
+                 ~seq:pkt.seq ~occ:port_occ.(l);
              if trace_on && Obs.Trace.accept sink then
                Obs.Trace.push sink
                  (Obs.Trace.Ecn_mark
@@ -797,19 +897,21 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                       t = now.(0);
                       link = l;
                       flow = pkt.flow;
-                      seq = pkt.header.Header.seq;
+                      seq = pkt.seq;
                       occ = port_occ.(l);
                     })
            end
          | _ -> ()
        end);
-      (* Stamp the congestion price for this hop into the header. *)
-      pkt.header <- Header.add_price pkt.header (link_price l);
-      Queue.push pkt st.queue;
+      (* Stamp the congestion price for this hop into the running
+         accumulator ([Header.add_price] semantics: saturate at the
+         wire format's q_r ceiling). *)
+      pkt.qr <- Float.min Header.qr_max (pkt.qr +. link_price l);
+      Fifo.push st.queue pkt;
       if fl_on then
         Obs.Flight.enqueue fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
-          ~seq:pkt.header.Header.seq ~bytes:pkt.bytes
-          ~qlen:(Queue.length st.queue);
+          ~seq:pkt.seq ~bytes:pkt.bytes
+          ~qlen:(Fifo.length st.queue);
       if trace_on && Obs.Trace.accept sink then
         Obs.Trace.push sink
           (Obs.Trace.Enqueue
@@ -817,9 +919,9 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                t = now.(0);
                link = l;
                flow = pkt.flow;
-               seq = pkt.header.Header.seq;
+               seq = pkt.seq;
                bytes = pkt.bytes;
-               qlen = Queue.length st.queue;
+               qlen = Fifo.length st.queue;
              });
       try_start l
     end
@@ -828,25 +930,34 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
   (* --- source-side sending --- *)
   let total_rate f =
     let x = f.x in
-    let n = Array.length x in
-    let rec go i acc = if i >= n then acc else go (i + 1) (acc +. x.(i)) in
-    go 0 0.0
+    facc.(0) <- 0.0;
+    for i = 0 to Array.length x - 1 do
+      facc.(0) <- facc.(0) +. x.(i)
+    done;
+    facc.(0)
   in
-  (* Weighted route draw by plain recursion — the iterator version
-     allocated two refs and an exception frame per injected frame. *)
+  (* Weighted route draw over the rate split, accumulating in a
+     scratch cell (see [facc]) so the per-frame walk allocates
+     nothing. *)
   let pick_route f =
     let tot = total_rate f in
     if tot <= 0.0 || Array.length f.routes = 0 then 0
     else begin
       let r = Rng.float rng *. tot in
-      let n = Array.length f.x in
-      let rec go i acc =
-        if i >= n then n - 1
-        else
-          let acc = acc +. f.x.(i) in
-          if r < acc then i else go (i + 1) acc
-      in
-      go 0 0.0
+      let x = f.x in
+      let n = Array.length x in
+      facc.(1) <- 0.0;
+      let i = ref 0 in
+      let hit = ref (n - 1) in
+      while !i < n do
+        facc.(1) <- facc.(1) +. x.(!i);
+        if r < facc.(1) then begin
+          hit := !i;
+          i := n
+        end
+        else incr i
+      done;
+      !hit
     end
   in
   (* [route] pins the frame to one route (recovery reclaim probes);
@@ -858,7 +969,8 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
       {
         flow = f.id;
         route_idx = ri;
-        header = Header.make ~seq ~qr:0.0 ~route:f.route_codes.(ri);
+        seq;
+        qr = 0.0;
         bytes;
         sent_at = now.(0);
         links = f.route_links.(ri);
@@ -919,7 +1031,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
       let rate = total_rate f in
       if rate < 0.05 then begin
         f.inject_scheduled <- true;
-        schedule 0.2 inject_ev.(f.id)
+        schedule 0.2 (Arena.inject f.id)
       end
       else begin
         let dt = 8.0 *. float_of_int config.frame_bytes /. (rate *. 1e6) in
@@ -927,7 +1039,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
           if poisson_paced f then Rng.exponential rng ~rate:(1.0 /. dt) else dt
         in
         f.inject_scheduled <- true;
-        schedule dt inject_ev.(f.id)
+        schedule dt (Arena.inject f.id)
       end
     end
   and handle_inject f =
@@ -967,7 +1079,8 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     | None -> ()
     | Some tcp -> (
       match Tcp.rto_deadline tcp with
-      | Some dl -> schedule_abs (Float.max dl now.(0)) (Tcp_rto (f.id, dl))
+      | Some dl -> schedule_abs (Float.max dl now.(0))
+        (Arena.tcp_rto ~flow:f.id ~slot:(Arena.Fslots.put f_slots dl))
       | None -> ())
   in
   (* The controller gates TCP by backpressure: when the flow's token
@@ -997,7 +1110,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                 *. 8.0 /. (rate *. 1e6)
             in
             f.inject_scheduled <- true;
-            schedule (Float.max wait 1e-4) inject_ev.(f.id)
+            schedule (Float.max wait 1e-4) (Arena.inject f.id)
           end
         end
         else begin
@@ -1032,32 +1145,79 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
            && Workload.total_bytes f.spec.workload <> None
            && not f.inject_scheduled ->
       f.inject_scheduled <- true;
-      schedule 0.2 inject_ev.(f.id)
+      schedule 0.2 (Arena.inject f.id)
     | Some _ | None -> ());
     arm_rto f
   in
 
   (* --- receiver --- *)
+  (* Files start and complete in index order (a start needs the
+     predecessor done; a completion needs cumulative progress past
+     every earlier boundary), so [completions_check] resumes from the
+     first file that is not yet fully stamped instead of rescanning
+     the whole schedule on every delivered frame. [files_head] is that
+     resume index per flow; [files_cum] the byte boundary before it. *)
+  let files_head = Array.make (max 1 n_flows) 0 in
+  let files_cum = Array.make (max 1 n_flows) 0 in
   let completions_check f =
     (* A file completes when the receiver's cumulative progress passes
        its boundary; it starts when the previous finished (or at its
        arrival). Under TCP, progress means in-order delivered bytes
        (retransmitted duplicates must not count); UDP frames are never
        duplicated, so raw arrivals are the right measure there. *)
-    let progress =
-      match f.tcp with
-      | Some _ -> f.delivered_in_order_bytes
-      | None -> f.received_bytes
-    in
-    let cum = ref 0 in
-    Array.iteri
-      (fun i file ->
-        let prev_done = if i = 0 then 0.0 else f.files.(i - 1).done_at in
-        if file.started_at < 0.0 && file.arrival <= now.(0) && (i = 0 || prev_done >= 0.0)
+    let nf = Array.length f.files in
+    if files_head.(f.id) < nf then begin
+      let progress =
+        match f.tcp with
+        | Some _ -> f.delivered_in_order_bytes
+        | None -> f.received_bytes
+      in
+      let i = ref files_head.(f.id) in
+      let cum = ref files_cum.(f.id) in
+      let scan = ref true in
+      while !scan && !i < nf do
+        let file = f.files.(!i) in
+        let prev_done = if !i = 0 then 0.0 else f.files.(!i - 1).done_at in
+        if
+          file.started_at < 0.0
+          && file.arrival <= now.(0)
+          && (!i = 0 || prev_done >= 0.0)
         then file.started_at <- Float.max file.arrival prev_done;
         cum := !cum + file.fbytes;
-        if file.done_at < 0.0 && progress >= !cum then file.done_at <- now.(0))
-      f.files
+        if file.done_at < 0.0 && progress >= !cum then file.done_at <- now.(0);
+        if file.done_at >= 0.0 then begin
+          if file.started_at >= 0.0 && !i = files_head.(f.id) then begin
+            files_head.(f.id) <- !i + 1;
+            files_cum.(f.id) <- !cum
+          end;
+          incr i
+        end
+        else
+          (* Nothing past an unfinished file can change state: a later
+             start needs this one done, a later boundary is farther
+             than the one progress just missed. *)
+          scan := false
+      done
+    end
+  in
+  (* Reorder-release callbacks, one closure pair per flow built once:
+     [Reorder.push_cb] fires these for every in-order release and
+     declared loss without allocating an event list. *)
+  let deliver_cbs =
+    Array.map
+      (fun f ->
+        fun seq (p : packet) ->
+          inv_release_deliver f.id seq;
+          f.delivered_in_order_bytes <- f.delivered_in_order_bytes + p.bytes)
+      flow_states
+  in
+  let lost_cbs =
+    Array.map
+      (fun f ->
+        fun seq ->
+          inv_release_lost f.id seq;
+          f.lost <- f.lost + 1)
+      flow_states
   in
   let release_packet f (pkt : packet) =
     (* Every frame's one-way delay (queueing + transmission along the
@@ -1067,35 +1227,24 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     Obs.Metrics.Histogram.observe f.delay_hist delay;
     if fl_on then
       Obs.Flight.delivery fl ~t_s:now.(0) ~flow:f.id
-        ~seq:pkt.header.Header.seq ~bytes:pkt.bytes ~delay;
+        ~seq:pkt.seq ~bytes:pkt.bytes ~delay;
     if trace_on && Obs.Trace.accept sink then
       Obs.Trace.push sink
         (Obs.Trace.Delivery
            {
              t = now.(0);
              flow = f.id;
-             seq = pkt.header.Header.seq;
+             seq = pkt.seq;
              bytes = pkt.bytes;
              delay;
            });
     Ack.on_packet ~ce:pkt.ce f.collector ~route:pkt.route_idx
-      ~qr:pkt.header.Header.qr ~seq:pkt.header.Header.seq ~bytes:pkt.bytes;
+      ~qr:pkt.qr ~seq:pkt.seq ~bytes:pkt.bytes;
     flush_bins_upto f now.(0);
     f.received_bytes <- f.received_bytes + pkt.bytes;
     bin_bits.(f.id) <- bin_bits.(f.id) +. (8.0 *. float_of_int pkt.bytes);
-    let events =
-      Reorder.push f.reorder ~route:pkt.route_idx ~seq:pkt.header.Header.seq pkt
-    in
-    List.iter
-      (fun ev ->
-        match ev with
-        | Reorder.Deliver (seq, p) ->
-          inv_release f.id (`Deliver seq);
-          f.delivered_in_order_bytes <- f.delivered_in_order_bytes + p.bytes
-        | Reorder.Lost seq ->
-          inv_release f.id (`Lost seq);
-          f.lost <- f.lost + 1)
-      events;
+    Reorder.push_cb f.reorder ~route:pkt.route_idx ~seq:pkt.seq pkt
+      ~deliver:deliver_cbs.(f.id) ~lost:lost_cbs.(f.id);
     (match f.tcp with
     | None -> ()
     | Some _ ->
@@ -1103,7 +1252,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
          ack echoes the arriving frame's CE bit (DCTCP-style immediate
          per-frame echo). *)
       let cum = Reorder.next_expected f.reorder in
-      schedule f.reverse_latency (Tcp_ack_arrive (f.id, cum, pkt.ce)));
+      schedule f.reverse_latency (Arena.tcp_ack ~flow:f.id ~cum ~ece:pkt.ce));
     completions_check f
   in
   let deliver_to_destination f pkt =
@@ -1112,7 +1261,9 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
       let delay = now.(0) -. pkt.sent_at in
       Reorder.Equalizer.observe f.equalizer ~route:pkt.route_idx ~delay;
       let hold = Reorder.Equalizer.release_delay f.equalizer ~route:pkt.route_idx in
-      if hold > 1e-6 then schedule hold (Reorder_release (f.id, pkt))
+      if hold > 1e-6 then
+        schedule hold
+          (Arena.reorder_release ~flow:f.id ~slot:(Arena.Slots.put pkt_slots pkt))
       else release_packet f pkt
     end
     else release_packet f pkt
@@ -1126,25 +1277,27 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     | Some pkt when st.air_collided ->
       (* Collided: airtime spent, frame lost. *)
       st.on_air <- None;
+      air_clear l;
       st.air_collided <- false;
       inv_drop ~link:(Some l) ~reason:Invariants.Collision pkt.flow;
       if fl_on then
         Obs.Flight.collision fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
-          ~seq:pkt.header.Header.seq;
+          ~seq:pkt.seq;
       if trace_on && Obs.Trace.accept sink then
         Obs.Trace.push sink
           (Obs.Trace.Collision
-             { t = now.(0); link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
+             { t = now.(0); link = l; flow = pkt.flow; seq = pkt.seq });
       try_start_domain l
     | Some pkt when st.air_faulted ->
       (* Fault-injected loss: airtime spent, frame lost. Not a queue
          drop — the frame made it onto the medium. *)
       st.on_air <- None;
+      air_clear l;
       st.air_faulted <- false;
       inv_drop ~link:(Some l) ~reason:Invariants.Fault_injected pkt.flow;
       if fl_on then
         Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:pkt.flow
-          ~seq:pkt.header.Header.seq ~reason:Obs.Trace.Fault_injected;
+          ~seq:pkt.seq ~reason:Obs.Trace.Fault_injected;
       if trace_on && Obs.Trace.accept sink then
         Obs.Trace.push sink
           (Obs.Trace.Drop
@@ -1152,26 +1305,26 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                t = now.(0);
                link = Some l;
                flow = pkt.flow;
-               seq = pkt.header.Header.seq;
+               seq = pkt.seq;
                reason = Obs.Trace.Fault_injected;
              });
       try_start_domain l
     | Some pkt ->
       st.on_air <- None;
+      air_clear l;
       if fl_on then
         Obs.Flight.dequeue fl ~t_s:now.(0) ~link:l ~flow:pkt.flow
-          ~seq:pkt.header.Header.seq;
+          ~seq:pkt.seq;
       if trace_on && Obs.Trace.accept sink then
         Obs.Trace.push sink
           (Obs.Trace.Dequeue
-             { t = now.(0); link = l; flow = pkt.flow; seq = pkt.header.Header.seq });
-      let arrived_at = (Multigraph.link g l).Multigraph.dst in
+             { t = now.(0); link = l; flow = pkt.flow; seq = pkt.seq });
       let f = flow_states.(pkt.flow) in
       let drop_misroute () =
         inv_drop ~link:(Some l) ~reason:Invariants.Misroute pkt.flow;
         if fl_on then
           Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:pkt.flow
-            ~seq:pkt.header.Header.seq ~reason:Obs.Trace.Misroute;
+            ~seq:pkt.seq ~reason:Obs.Trace.Misroute;
         if trace_on && Obs.Trace.accept sink then
           Obs.Trace.push sink
             (Obs.Trace.Drop
@@ -1179,28 +1332,18 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                  t = now.(0);
                  link = Some l;
                  flow = pkt.flow;
-                 seq = pkt.header.Header.seq;
+                 seq = pkt.seq;
                  reason = Obs.Trace.Misroute;
                })
       in
-      (* Use the layer-2.5 source route for the forwarding decision. *)
-      if Route_codec.is_destination pkt.header.Header.route ~my_ifaces:my_ifaces.(arrived_at)
-      then deliver_to_destination f pkt
+      (* The layer-2.5 source-route decision, pre-resolved at
+         bootstrap into the plan array. *)
+      let act = plans.(pkt.flow).(pkt.route_idx).(pkt.hop) in
+      if act = plan_deliver then deliver_to_destination f pkt
+      else if act = plan_misroute then drop_misroute ()
       else begin
-        match
-          Route_codec.next_hop pkt.header.Header.route ~my_ifaces:my_ifaces.(arrived_at)
-        with
-        | None ->
-          (* misrouted; drop *)
-          drop_misroute ()
-        | Some next_hash -> (
-          match List.assoc_opt next_hash egress_by_hash.(arrived_at) with
-          | None ->
-            (* no such neighbor anymore; drop *)
-            drop_misroute ()
-          | Some next_link ->
-            pkt.hop <- pkt.hop + 1;
-            enqueue_on_link next_link pkt)
+        pkt.hop <- pkt.hop + 1;
+        enqueue_on_link act pkt
       end;
       try_start_domain l
   in
@@ -1259,7 +1402,7 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     f.reclaim_gen.(i) <- f.reclaim_gen.(i) + 1;
     schedule
       (Recovery.Backoff.delay rc rrng ~attempt:0)
-      (Reclaim_probe (f.id, i, f.reclaim_gen.(i)))
+      (Arena.reclaim_probe ~flow:f.id ~route:i ~gen:f.reclaim_gen.(i))
   in
   let on_route_restored f i ~down_for =
     if fl_on then
@@ -1385,10 +1528,14 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
       match f.tcp with Some _ -> tcp_try_send f | None -> ()
     end
   in
+  (* Demand scratch for the control tick: only carrier entries are
+     ever written, and each tick overwrites them before the domain
+     sums read them; non-carrier entries stay 0.0 forever, exactly as
+     the per-tick fresh array had them. *)
+  let demand = Array.make (max 1 n_links) 0.0 in
   let handle_control_tick () =
     (* 1. Demand measurement and dual update (carrier/priced sets
        only; everything else has zero demand and zero gamma). *)
-    let demand = Array.make n_links 0.0 in
     List.iter
       (fun l ->
         let bits = window_bits.(l) in
@@ -1398,7 +1545,12 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
     List.iter
       (fun l ->
         let y =
-          List.fold_left (fun acc l' -> acc +. demand.(l')) 0.0 (Domain.domain dom l)
+          let d = dom_arr.(l) in
+          facc.(0) <- 0.0;
+          for i = 0 to Array.length d - 1 do
+            facc.(0) <- facc.(0) +. demand.(d.(i))
+          done;
+          facc.(0)
         in
         let upd = gamma.(l) +. (config.gamma_alpha *. (y -. (1.0 -. config.delta))) in
         (* Optional dual leak (per second of simulated time): bounds
@@ -1471,20 +1623,33 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
              note at the fault-state declarations. *)
           let ack_lost = ctrl_drop.(0) > 0.0 && Rng.float rng < ctrl_drop.(0) in
           if not ack_lost then
-            schedule (f.reverse_latency +. ctrl_delay.(0)) (Ack_arrive (f.id, ack));
+            schedule
+              (f.reverse_latency +. ctrl_delay.(0))
+              (Arena.ack_arrive ~flow:f.id ~slot:(Arena.Slots.put ack_slots ack));
           f.rates_rev <- (now.(0), Array.copy f.x) :: f.rates_rev
         end)
       flow_states;
     (match inv with
     | Some t -> Invariants.on_tick t ~now:now.(0) (Lazy.force inv_view)
     | None -> ());
-    schedule config.control_period Control_tick
+    schedule config.control_period Arena.control_tick
   in
 
   (* --- event dispatch --- *)
-  let handle = function
-    | Tx_end l -> handle_tx_end l
-    | Capacity_change (l, c) ->
+  (* Tag dispatch on the int encoding (a jump table); each arm decodes
+     its packed operands and releases any payload slot. The arm
+     comments name the historical constructors. *)
+  let handle code =
+    match code land 0xF with
+    | 0 (* Tx_end *) -> handle_tx_end (Arena.link code)
+    | 10 (* Capacity_change *) ->
+      let l = Arena.link20 code in
+      let c =
+        let slot = Arena.slot24 code in
+        let c = Arena.Fslots.get f_slots slot in
+        Arena.Fslots.release f_slots slot;
+        c
+      in
       let was_dead = caps.(l) <= 0.0 in
       caps.(l) <- Float.max 0.0 c;
       if fl_on then
@@ -1496,14 +1661,14 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
         let st = links.(l) in
         (* The flushed backlog counts as queue drops — frames must not
            vanish from the accounting when a link dies. *)
-        queue_drops := !queue_drops + Queue.length st.queue;
-        Queue.iter
+        queue_drops := !queue_drops + Fifo.length st.queue;
+        Fifo.iter
           (fun p ->
             if buf_on then buf_release l p.bytes;
             inv_drop ~link:(Some l) ~reason:Invariants.Backlog_cleared p.flow;
             if fl_on then
               Obs.Flight.drop fl ~t_s:now.(0) ~link:(Some l) ~flow:p.flow
-                ~seq:p.header.Header.seq ~reason:Obs.Trace.Backlog_cleared;
+                ~seq:p.seq ~reason:Obs.Trace.Backlog_cleared;
             if trace_on && Obs.Trace.accept sink then
               Obs.Trace.push sink
                 (Obs.Trace.Drop
@@ -1511,11 +1676,11 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
                      t = now.(0);
                      link = Some l;
                      flow = p.flow;
-                     seq = p.header.Header.seq;
+                     seq = p.seq;
                      reason = Obs.Trace.Backlog_cleared;
                    }))
           st.queue;
-        Queue.clear st.queue
+        Fifo.clear st.queue
       end
       else begin
         (* Self-healing: a link coming back from the dead restarts
@@ -1551,37 +1716,65 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
         | _ -> ());
         try_start l
       end
-    | Loss_change (l, p) ->
+    | 11 (* Loss_change *) ->
+      let l = Arena.link20 code in
+      let p =
+        let slot = Arena.slot24 code in
+        let p = Arena.Fslots.get f_slots slot in
+        Arena.Fslots.release f_slots slot;
+        p
+      in
       loss.(l) <- p;
       if fl_on then Obs.Flight.loss_event fl ~t_s:now.(0) ~link:l ~prob:p;
       if trace_on then
         emit (Obs.Trace.Loss_event { t = now.(0); link = l; prob = p })
-    | Ctrl_change (p, d) ->
+    | 12 (* Ctrl_change *) ->
+      let p, d =
+        let slot = Arena.slot4 code in
+        let pd = Arena.Slots.get pair_slots slot in
+        Arena.Slots.release pair_slots slot;
+        pd
+      in
       ctrl_drop.(0) <- p;
       ctrl_delay.(0) <- d;
       if fl_on then Obs.Flight.ctrl_event fl ~t_s:now.(0) ~drop:p ~delay:d;
       if trace_on then
         emit (Obs.Trace.Ctrl_event { t = now.(0); drop = p; delay = d })
-    | Inject fid -> (
-      let f = flow_states.(fid) in
+    | 1 (* Inject *) -> (
+      let f = flow_states.(Arena.flow_wide code) in
       match f.spec.transport with
       | Udp -> handle_inject f
       | Tcp_transport ->
         f.inject_scheduled <- false;
         tcp_try_send f)
-    | Control_tick -> handle_control_tick ()
-    | Ack_arrive (fid, ack) -> cc_update flow_states.(fid) ack
-    | Tcp_ack_arrive (fid, cum, ece) -> (
-      let f = flow_states.(fid) in
+    | 2 (* Control_tick *) -> handle_control_tick ()
+    | 9 (* Ack_arrive *) ->
+      let slot = Arena.slot20 code in
+      let ack = Arena.Slots.get ack_slots slot in
+      Arena.Slots.release ack_slots slot;
+      cc_update flow_states.(Arena.flow code) ack
+    | 3 (* Tcp_ack_arrive *) -> (
+      let f = flow_states.(Arena.flow code) in
+      let cum = Arena.tcp_ack_cum code and ece = Arena.tcp_ack_ece code in
       match f.tcp with
       | None -> ()
       | Some tcp ->
         Tcp.on_ack ~ece tcp ~now:now.(0) ~cum_ack:cum;
         tcp_try_send f;
         arm_rto f)
-    | Reorder_release (fid, pkt) -> release_packet flow_states.(fid) pkt
-    | Tcp_rto (fid, armed_for) -> (
-      let f = flow_states.(fid) in
+    | 4 (* Reorder_release *) ->
+      let slot = Arena.slot20 code in
+      let pkt = Arena.Slots.get pkt_slots slot in
+      Arena.Slots.release pkt_slots slot;
+      release_packet flow_states.(Arena.flow code) pkt
+    | 5 (* Tcp_rto *) -> (
+      let f = flow_states.(Arena.flow code) in
+      let armed_for =
+        let slot = Arena.slot20 code in
+        let dl = Arena.Fslots.get f_slots slot in
+        Arena.Fslots.release f_slots slot;
+        dl
+      in
       match f.tcp with
       | None -> ()
       | Some tcp -> (
@@ -1590,14 +1783,16 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
           Tcp.on_rto tcp ~now:now.(0);
           tcp_try_send f
         | _ -> () (* stale timer *)))
-    | Flow_start fid ->
-      let f = flow_states.(fid) in
+    | 6 (* Flow_start *) ->
+      let f = flow_states.(Arena.flow_wide code) in
       f.active <- true;
       (match f.spec.transport with
       | Udp -> schedule_inject f
       | Tcp_transport -> tcp_try_send f)
-    | Flow_stop fid -> flow_states.(fid).active <- false
-    | Reclaim_probe (fid, i, gen) -> (
+    | 7 (* Flow_stop *) -> flow_states.(Arena.flow_wide code).active <- false
+    | 8 (* Reclaim_probe *) -> (
+      let fid = Arena.flow code in
+      let i = Arena.probe_route code and gen = Arena.probe_gen code in
       let f = flow_states.(fid) in
       match (f.detector, config.recovery, rec_rng) with
       | Some det, Some rc, Some rrng
@@ -1620,42 +1815,50 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
         f.reclaim_attempt.(i) <- f.reclaim_attempt.(i) + 1;
         schedule
           (Recovery.Backoff.delay rc rrng ~attempt:f.reclaim_attempt.(i))
-          (Reclaim_probe (fid, i, gen))
+          (Arena.reclaim_probe ~flow:fid ~route:i ~gen)
       | _ -> ())
+    | _ -> assert false (* no such tag is ever scheduled *)
   in
-  (* Profiler attribution: the subsystem whose handler ran the event.
-     Closed mapping over the event constructors, so new event kinds
-     fail to compile until they are attributed. *)
-  let prof_cat = function
-    | Tx_end _ | Reorder_release _ -> Obs.Prof.cat_mac_phy
-    | Inject _ | Flow_start _ | Flow_stop _ -> Obs.Prof.cat_traffic
-    | Control_tick | Ack_arrive _ -> Obs.Prof.cat_controller
-    | Tcp_ack_arrive _ | Tcp_rto _ -> Obs.Prof.cat_tcp
-    | Reclaim_probe _ -> Obs.Prof.cat_recovery
-    | Capacity_change _ | Loss_change _ | Ctrl_change _ -> Obs.Prof.cat_fault
+  (* Profiler attribution, indexed by event tag: the subsystem whose
+     handler ran the event. Scheduler time (the wheel's pop path) is
+     attributed separately by the profiled loop below. *)
+  let prof_tab =
+    let t = Array.make 16 Obs.Prof.cat_fault in
+    t.(Arena.t_tx_end) <- Obs.Prof.cat_mac_phy;
+    t.(Arena.t_reorder_release) <- Obs.Prof.cat_mac_phy;
+    t.(Arena.t_inject) <- Obs.Prof.cat_traffic;
+    t.(Arena.t_flow_start) <- Obs.Prof.cat_traffic;
+    t.(Arena.t_flow_stop) <- Obs.Prof.cat_traffic;
+    t.(Arena.t_control_tick) <- Obs.Prof.cat_controller;
+    t.(Arena.t_ack_arrive) <- Obs.Prof.cat_controller;
+    t.(Arena.t_tcp_ack) <- Obs.Prof.cat_tcp;
+    t.(Arena.t_tcp_rto) <- Obs.Prof.cat_tcp;
+    t.(Arena.t_reclaim_probe) <- Obs.Prof.cat_recovery;
+    t
   in
 
   (* --- bootstrap --- *)
   Array.iter
     (fun f ->
-      Pqueue.push q f.spec.start_time (Flow_start f.id);
+      Wheel.push q f.spec.start_time (Arena.flow_start f.id);
       match f.spec.stop_time with
-      | Some t -> Pqueue.push q t (Flow_stop f.id)
+      | Some t -> Wheel.push q t (Arena.flow_stop f.id)
       | None -> ())
     flow_states;
-  Pqueue.push q config.control_period Control_tick;
+  Wheel.push q config.control_period Arena.control_tick;
   List.iter
     (fun (t, l, c) ->
       if t < 0.0 || l < 0 || l >= n_links then
         invalid_arg "Engine.run: bad link event";
-      Pqueue.push q t (Capacity_change (l, c)))
+      Wheel.push q t
+        (Arena.capacity_change ~link:l ~slot:(Arena.Fslots.put f_slots c)))
     link_events;
   List.iter
     (fun (t, l, p) ->
       if t < 0.0 || l < 0 || l >= n_links || not (Float.is_finite p) || p < 0.0
          || p > 1.0
       then invalid_arg "Engine.run: bad loss event";
-      Pqueue.push q t (Loss_change (l, p)))
+      Wheel.push q t (Arena.loss_change ~link:l ~slot:(Arena.Fslots.put f_slots p)))
     loss_events;
   List.iter
     (fun (t, p, d) ->
@@ -1665,7 +1868,8 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
          || (not (Float.is_finite d))
          || d < 0.0
       then invalid_arg "Engine.run: bad ctrl event";
-      Pqueue.push q t (Ctrl_change (p, d)))
+      Wheel.push q t
+        (Arena.ctrl_change ~slot:(Arena.Slots.put pair_slots (p, d))))
     ctrl_events;
 
   let peak_depth = ref 0 in
@@ -1678,24 +1882,19 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
      sampled before the logical pop, exactly as the historical loop
      measured it. *)
   let rec loop () =
-    if not (Pqueue.is_empty q) then begin
-      let t = Pqueue.top_prio q in
+    if not (Wheel.is_empty q) then begin
+      let t = Wheel.top_prio q in
       if t <= duration then begin
-        let d = Pqueue.size q in
+        let d = Wheel.size q in
         if d > !peak_depth then peak_depth := d;
-        let ev = Pqueue.top q in
+        let ev = Wheel.top q in
         pending_drop := true;
         now.(0) <- Float.max now.(0) t;
         incr events_processed;
-        (match prof with
-        | None -> handle ev
-        | Some p ->
-          Obs.Prof.enter p;
-          handle ev;
-          Obs.Prof.leave p (prof_cat ev));
+        handle ev;
         if !pending_drop then begin
           pending_drop := false;
-          Pqueue.drop q
+          Wheel.drop q
         end;
         (match inv with
         | Some chk -> Invariants.check_step chk ~now:now.(0) (Lazy.force inv_view)
@@ -1704,6 +1903,42 @@ let run ?(config = default_config) ?invariants ?trace ?flight ?prof
       end
     end
   in
+  (* Profiled variant of the loop: identical event processing, with
+     the wheel's pop path (find-min scan, migration, the deferred
+     drop) attributed to [cat_scheduler] and each handler to its tag's
+     subsystem. Pushes from inside handlers count toward the handler's
+     category. Kept separate so the unprofiled hot loop carries no
+     per-event branches for it. *)
+  let rec loop_prof p =
+    if not (Wheel.is_empty q) then begin
+      Obs.Prof.enter p;
+      let t = Wheel.top_prio q in
+      if t <= duration then begin
+        let d = Wheel.size q in
+        if d > !peak_depth then peak_depth := d;
+        let ev = Wheel.top q in
+        Obs.Prof.leave_silent p Obs.Prof.cat_scheduler;
+        pending_drop := true;
+        now.(0) <- Float.max now.(0) t;
+        incr events_processed;
+        Obs.Prof.enter p;
+        handle ev;
+        Obs.Prof.leave p prof_tab.(ev land 0xF);
+        if !pending_drop then begin
+          pending_drop := false;
+          Obs.Prof.enter p;
+          Wheel.drop q;
+          Obs.Prof.leave_silent p Obs.Prof.cat_scheduler
+        end;
+        (match inv with
+        | Some chk -> Invariants.check_step chk ~now:now.(0) (Lazy.force inv_view)
+        | None -> ());
+        loop_prof p
+      end
+      else Obs.Prof.leave_silent p Obs.Prof.cat_scheduler
+    end
+  in
+  let loop () = match prof with None -> loop () | Some p -> loop_prof p in
   let wall_start = Sys.time () in
   (* A flight-enabled run that dies dumps the ring before re-raising:
      every escaped exception — invariant violations included — becomes

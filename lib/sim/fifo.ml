@@ -1,0 +1,55 @@
+(* Growable circular-buffer FIFO for the per-link packet queues.
+   [Stdlib.Queue] allocates a three-word cons cell on every [push] —
+   one per frame per hop on the engine's hottest path; this stores
+   elements in a flat array instead, so steady-state push/pop allocate
+   nothing. Popped and cleared slots keep their last element until
+   overwritten (there is no witness value to reset with); liveness is
+   bounded by the queue's high-water mark, which the engine's queue
+   limits already bound. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable head : int;  (* index of the front element *)
+  mutable len : int;
+}
+
+let create () = { data = [||]; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t witness =
+  let cap = Array.length t.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data' = Array.make cap' witness in
+  for i = 0 to t.len - 1 do
+    data'.(i) <- t.data.((t.head + i) mod cap)
+  done;
+  t.data <- data';
+  t.head <- 0
+
+let push t v =
+  if t.len = Array.length t.data then grow t v;
+  let cap = Array.length t.data in
+  let tail = t.head + t.len in
+  t.data.(if tail >= cap then tail - cap else tail) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Fifo.pop: empty";
+  let v = t.data.(t.head) in
+  let head' = t.head + 1 in
+  t.head <- (if head' = Array.length t.data then 0 else head');
+  t.len <- t.len - 1;
+  v
+
+let iter f t =
+  let cap = Array.length t.data in
+  for i = 0 to t.len - 1 do
+    let j = t.head + i in
+    f t.data.(if j >= cap then j - cap else j)
+  done
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,27 @@
+(** Growable circular-buffer FIFO.
+
+    Replaces [Stdlib.Queue] on the engine's per-link packet queues:
+    same FIFO discipline, but elements live in a flat array, so
+    steady-state push/pop allocate nothing (the backing array doubles
+    on overflow). Popped or cleared slots retain their last element
+    until overwritten; transient liveness is bounded by the queue's
+    high-water mark. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Append at the back. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the front element.
+    @raise Invalid_argument when empty. *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back, like [Queue.iter]. *)
+
+val clear : 'a t -> unit

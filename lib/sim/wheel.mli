@@ -1,0 +1,55 @@
+(** Timing-wheel event scheduler for the simulator's event loop.
+
+    A calendar queue over 1024 fixed-width (2^-12 s) time buckets with
+    a {!Pqueue} overflow level for timers beyond the ~250 ms horizon.
+    Near-future pushes and pops — the vast majority under the
+    simulator's periodic workload — cost O(1); far timers (flow stops,
+    fault-plan boundaries) migrate in as the cursor approaches.
+
+    The ordering contract is exactly {!Pqueue}'s: minimum float
+    priority first, FIFO among ties by a global insertion sequence
+    number. This is what keeps golden traces byte-identical across the
+    scheduler swap; a QCheck property in the test suite checks pop
+    sequences against the heap on arbitrary interleavings.
+
+    Priorities must be finite, non-negative, and below ~1e12 seconds.
+    The API mirrors {!Pqueue} so the engine can swap implementations
+    freely. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty wheel. [capacity] pre-sizes the overflow heap (the
+    wheel's buckets grow on demand and persist across drops). *)
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t prio x] inserts [x] with priority [prio]. O(1) within the
+    horizon, O(log overflow) beyond it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element, FIFO among ties. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val top_prio : 'a t -> float
+(** Priority of the minimum element, allocation-free.
+    @raise Invalid_argument on an empty wheel. *)
+
+val top : 'a t -> 'a
+(** Minimum element itself, without removing it.
+    @raise Invalid_argument on an empty wheel. *)
+
+val drop : 'a t -> unit
+(** Remove the minimum element (allocation-free {!pop}).
+    @raise Invalid_argument on an empty wheel. *)
+
+val drop_push : 'a t -> float -> 'a -> unit
+(** [drop] the minimum then [push] with a fresh sequence number, or
+    plain [push] on an empty wheel — same observable behaviour as
+    {!Pqueue.drop_push}. *)
+
+val clear : 'a t -> unit
+(** Drop all elements, retaining bucket capacity. *)

@@ -108,6 +108,54 @@ let test_rng_split_uncorrelated () =
     (Float.abs (corr ys zs) < 0.05);
   Alcotest.(check bool) "siblings distinct" true (ys <> zs)
 
+(* Reference SplitMix64 on boxed Int64, the semantics the native-int
+   Rng must reproduce bit-for-bit. *)
+module Rng_ref = struct
+  type t = { mutable state : int64 }
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state golden_gamma;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let float t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11)
+    *. (1.0 /. 9007199254740992.0)
+
+  let int t n = Int64.to_int (Int64.shift_right_logical (next t) 2) mod n
+
+  let bool t = Int64.logand (next t) 1L = 1L
+
+  let split t = { state = next t }
+end
+
+let prop_rng_matches_int64_reference =
+  (* Arbitrary op interleavings, including splits (both streams keep
+     being compared), must match the Int64 reference draw-for-draw. *)
+  QCheck.Test.make ~count:200 ~name:"rng bit-identical to Int64 SplitMix64"
+    QCheck.(pair int (list (int_bound 4)))
+    (fun (seed, ops) ->
+      let a = ref (Rng.create seed) and b = ref (Rng_ref.create seed) in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 -> Rng.float !a = Rng_ref.float !b
+          | 1 -> Rng.int !a 97 = Rng_ref.int !b 97
+          | 2 -> Rng.bool !a = Rng_ref.bool !b
+          | 3 ->
+              a := Rng.split !a;
+              b := Rng_ref.split !b;
+              true
+          | _ -> Rng.int64 !a = Rng_ref.next !b)
+        ops
+      && Rng.int64 !a = Rng_ref.next !b)
+
 (* --- Stats --- *)
 
 let test_stats_basics () =
@@ -382,6 +430,7 @@ let () =
             test_rng_sample_without_replacement;
           Alcotest.test_case "shuffle is a permutation" `Quick
             test_rng_shuffle_permutation;
+          QCheck_alcotest.to_alcotest prop_rng_matches_int64_reference;
         ] );
       ( "stats",
         [
